@@ -1,0 +1,108 @@
+package aipow
+
+import (
+	"time"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/policy"
+)
+
+// Framework is the assembled scoring → policy → puzzle pipeline.
+// See core.Framework for method documentation: Decide issues challenges,
+// Verify checks solutions, Observe feeds behavioral tracking.
+type Framework = core.Framework
+
+// RequestContext identifies one incoming request for Decide.
+type RequestContext = core.RequestContext
+
+// Decision reports what the pipeline decided for a request: the score the
+// AI model produced, the difficulty the policy assigned, and the issued
+// challenge.
+type Decision = core.Decision
+
+// Scorer is the AI-model seam: map per-client attributes to a reputation
+// score in [0, 10], where higher means less trustworthy.
+type Scorer = core.Scorer
+
+// Hook observes decisions for logging and experiment accounting.
+type Hook = core.Hook
+
+// Option configures New.
+type Option = core.Option
+
+// New assembles a Framework from its components. WithKey, WithScorer,
+// WithPolicy and WithSource are required.
+func New(opts ...Option) (*Framework, error) { return core.New(opts...) }
+
+// WithKey sets the HMAC key (≥ 16 bytes) shared by issuer and verifier.
+func WithKey(key []byte) Option { return core.WithKey(key) }
+
+// WithScorer sets the AI model.
+func WithScorer(s Scorer) Option { return core.WithScorer(s) }
+
+// WithPolicy sets the score→difficulty policy.
+func WithPolicy(p Policy) Option { return core.WithPolicy(p) }
+
+// WithSource sets the per-IP attribute source.
+func WithSource(s AttributeSource) Option { return core.WithSource(s) }
+
+// WithTracker attaches a live behavior tracker (see NewTracker).
+func WithTracker(t *Tracker) Option { return core.WithTracker(t) }
+
+// WithClock injects a time source; defaults to time.Now.
+func WithClock(now func() time.Time) Option { return core.WithClock(now) }
+
+// WithTTL sets how long issued challenges stay redeemable.
+func WithTTL(ttl time.Duration) Option { return core.WithTTL(ttl) }
+
+// WithMaxDifficulty caps the difficulty the issuer will sign.
+func WithMaxDifficulty(d int) Option { return core.WithMaxDifficulty(d) }
+
+// WithReplayCacheSize bounds the single-use challenge cache.
+func WithReplayCacheSize(n int) Option { return core.WithReplayCacheSize(n) }
+
+// WithHook registers a synchronous decision observer.
+func WithHook(h Hook) Option { return core.WithHook(h) }
+
+// WithFailClosedScore sets the score assumed when the scorer errors
+// (default 10 — maximally suspicious).
+func WithFailClosedScore(s float64) Option { return core.WithFailClosedScore(s) }
+
+// WithBypassBelow lets requests scoring under the threshold skip the
+// puzzle entirely (disabled by default; the paper always issues one).
+func WithBypassBelow(threshold float64) Option { return core.WithBypassBelow(threshold) }
+
+// AttributeSource yields the attribute map used to score an IP.
+type AttributeSource = features.Source
+
+// MapStore is a static attribute source (a feed snapshot) with a fallback
+// profile for unknown IPs.
+type MapStore = features.MapStore
+
+// NewMapStore builds a MapStore with the given fallback profile.
+func NewMapStore(fallback map[string]float64) (*MapStore, error) {
+	return features.NewMapStore(fallback)
+}
+
+// Tracker maintains bounded per-IP behavioral statistics.
+type Tracker = features.Tracker
+
+// TrackerOption configures NewTracker.
+type TrackerOption = features.TrackerOption
+
+// NewTracker builds a behavior tracker.
+func NewTracker(opts ...TrackerOption) (*Tracker, error) {
+	return features.NewTracker(opts...)
+}
+
+// RequestInfo is one observed request for behavioral tracking.
+type RequestInfo = features.RequestInfo
+
+// NewCombinedSource merges a static source with live tracker behavior.
+func NewCombinedSource(static AttributeSource, tracker *Tracker) (AttributeSource, error) {
+	return features.NewCombined(static, tracker)
+}
+
+// MaxScore is the top of the reputation scale (least trustworthy).
+const MaxScore = policy.MaxScore

@@ -1,0 +1,212 @@
+package aipow_test
+
+// Benchmarks, one per paper artifact plus the ablations DESIGN.md commits
+// to (regenerate everything with `go test -bench=. -benchmem`):
+//
+//	BenchmarkFig2            E1  Figure 2 (full regeneration per iteration)
+//	BenchmarkSolveTime/d=N   E2  real SHA-256 solving per difficulty
+//	BenchmarkAccuracy        E3  dataset → train → evaluate cycle
+//	BenchmarkAttack          E4  DDoS comparison scenario
+//	BenchmarkEpsilonSweep    E5  Policy 3 ε sweep
+//	BenchmarkAsymmetry*      E6  server-side vs client-side cost per op
+//
+// The CLI `powexp` prints the corresponding tables; these benches measure
+// the cost of producing them and (for E2/E6) the real cryptographic work.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"aipow"
+	"aipow/internal/experiments"
+)
+
+func BenchmarkFig2(b *testing.B) {
+	cfg := experiments.DefaultFig2Config()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveTime measures genuine SHA-256 puzzle solving on this host
+// per difficulty — the real-hardware check of E2's exponential shape.
+// ns/op should roughly double per difficulty step.
+func BenchmarkSolveTime(b *testing.B) {
+	issuer, err := aipow.NewIssuer(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	solver := aipow.NewSolver()
+	for _, d := range []int{1, 4, 8, 12, 16, 20} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
+			var hashes uint64
+			for i := 0; i < b.N; i++ {
+				ch, err := issuer.Issue("bench-client", d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, stats, err := solver.Solve(context.Background(), ch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hashes += stats.Attempts
+			}
+			b.ReportMetric(float64(hashes)/float64(b.N), "hashes/op")
+		})
+	}
+}
+
+func BenchmarkAccuracy(b *testing.B) {
+	cfg := experiments.DefaultAccuracyConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAccuracy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttack(b *testing.B) {
+	cfg := experiments.DefaultAttackConfig()
+	// Scale the scenario down so one iteration stays in benchmark range
+	// while preserving the 1:9 benign:bot ratio.
+	cfg.Scenario.Duration = 10 * time.Second
+	cfg.Scenario.Specs[0].Count = 20
+	cfg.Scenario.Specs[1].Count = 180
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAttack(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpsilonSweep(b *testing.B) {
+	cfg := experiments.DefaultEpsilonConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunEpsilon(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashrateSweep(b *testing.B) {
+	cfg := experiments.DefaultHashrateConfig()
+	cfg.Scenario.Duration = 10 * time.Second
+	cfg.Scenario.Specs[0].Count = 10
+	cfg.Scenario.Specs[1].Count = 90
+	cfg.Multipliers = []float64{1, 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunHashrate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
+
+// BenchmarkAsymmetryIssue measures the server-side cost of generating one
+// challenge (E6: it must be orders of magnitude below solving).
+func BenchmarkAsymmetryIssue(b *testing.B) {
+	issuer, err := aipow.NewIssuer(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := issuer.Issue("203.0.113.9", 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsymmetryVerify measures the server-side cost of verifying one
+// solution — one HMAC plus one hash, independent of difficulty.
+func BenchmarkAsymmetryVerify(b *testing.B) {
+	issuer, err := aipow.NewIssuer(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// No replay cache: measuring pure verification cost.
+	verifier, err := aipow.NewVerifier(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := issuer.Issue("203.0.113.9", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, _, err := aipow.NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := verifier.Verify(sol, "203.0.113.9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsymmetryScore measures the AI-model cost per request.
+func BenchmarkAsymmetryScore(b *testing.B) {
+	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := aipow.TrainReputationModel(aipow.DatasetToSamples(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	attrs := data[0].Attrs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Score(attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsymmetryDecide measures the whole server-side decision path:
+// attribute lookup → scoring → policy → challenge issuance.
+func BenchmarkAsymmetryDecide(b *testing.B) {
+	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := aipow.TrainReputationModel(aipow.DatasetToSamples(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := aipow.NewMapStore(data[0].Attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw, err := aipow.New(
+		aipow.WithKey(benchKey),
+		aipow.WithScorer(model),
+		aipow.WithPolicy(aipow.Policy2()),
+		aipow.WithSource(store),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Command dabr manages the DAbR-style reputation model: synthesize a
+// Talos-like IP attribute feed, train the model, and evaluate scoring
+// quality.
+//
+//	dabr generate -n 5000 -overlap 0.55 -out feed.csv
+//	dabr train    -data feed.csv -out model.json
+//	dabr eval     -data feed.csv -model model.json
+//	dabr score    -model model.json -data feed.csv -ip 203.0.113.9
+//
+// Running without a subcommand performs generate→train→eval in memory on
+// the calibrated defaults and prints the quality table (experiment E3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"aipow/internal/dataset"
+	"aipow/internal/experiments"
+	"aipow/internal/reputation"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		runDefault()
+		return
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = runGenerate(os.Args[2:])
+	case "train":
+		err = runTrain(os.Args[2:])
+	case "eval":
+		err = runEval(os.Args[2:])
+	case "score":
+		err = runScore(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q (want generate, train, eval or score)", os.Args[1])
+	}
+	if err != nil {
+		log.Fatalf("dabr: %v", err)
+	}
+}
+
+// runDefault reproduces experiment E3 end to end.
+func runDefault() {
+	res, err := experiments.RunAccuracy(experiments.DefaultAccuracyConfig())
+	if err != nil {
+		log.Fatalf("dabr: %v", err)
+	}
+	if err := res.Table().Render(os.Stdout); err != nil {
+		log.Fatalf("dabr: render: %v", err)
+	}
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	cfg := dataset.DefaultConfig()
+	fs.IntVar(&cfg.N, "n", cfg.N, "number of samples")
+	fs.Float64Var(&cfg.MaliciousFraction, "malicious", cfg.MaliciousFraction, "malicious fraction [0,1]")
+	fs.Float64Var(&cfg.Overlap, "overlap", cfg.Overlap, "class overlap [0,1]; 0.55 reproduces ~80% accuracy")
+	fs.Uint64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	out := fs.String("out", "feed.csv", "output CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := dataset.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, samples); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", len(samples), *out)
+	return nil
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	data := fs.String("data", "feed.csv", "training CSV (from dabr generate)")
+	out := fs.String("out", "model.json", "model output path")
+	clusters := fs.Int("clusters", reputation.DefaultClusters, "malicious centroids")
+	seed := fs.Uint64("seed", 1, "training seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := loadSamples(*data)
+	if err != nil {
+		return err
+	}
+	model, err := reputation.Train(samples,
+		reputation.WithClusters(*clusters), reputation.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := model.Save(f); err != nil {
+		return err
+	}
+	distMal, distBen := model.Calibration()
+	fmt.Printf("trained on %d samples (%d centroids, anchors %.4f/%.4f); saved to %s\n",
+		len(samples), model.Clusters(), distMal, distBen, *out)
+	return nil
+}
+
+func runEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	data := fs.String("data", "feed.csv", "evaluation CSV")
+	modelPath := fs.String("model", "model.json", "trained model path")
+	threshold := fs.Float64("threshold", reputation.MaxScore/2, "malicious-classification score threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := loadSamples(*data)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	ev, err := reputation.Evaluate(model, samples, *threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Println(ev)
+	return nil
+}
+
+func runScore(args []string) error {
+	fs := flag.NewFlagSet("score", flag.ExitOnError)
+	data := fs.String("data", "feed.csv", "feed CSV holding the IP's attributes")
+	modelPath := fs.String("model", "model.json", "trained model path")
+	ip := fs.String("ip", "", "IP address to score (must appear in the feed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ip == "" {
+		return fmt.Errorf("score requires -ip")
+	}
+	raw, err := loadRaw(*data)
+	if err != nil {
+		return err
+	}
+	model, err := loadModel(*modelPath)
+	if err != nil {
+		return err
+	}
+	for _, s := range raw {
+		if s.IP == *ip {
+			score, err := model.Score(s.Attrs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s -> reputation %.2f (0 trustworthy … 10 untrustworthy)\n", *ip, score)
+			return nil
+		}
+	}
+	return fmt.Errorf("ip %s not found in %s", *ip, *data)
+}
+
+func loadRaw(path string) ([]dataset.Sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+func loadSamples(path string) ([]reputation.Sample, error) {
+	raw, err := loadRaw(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]reputation.Sample, len(raw))
+	for i, s := range raw {
+		out[i] = reputation.Sample{Attrs: s.Attrs, Malicious: s.Malicious}
+	}
+	return out, nil
+}
+
+func loadModel(path string) (*reputation.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return reputation.Load(f)
+}

@@ -1,0 +1,131 @@
+// Command powexp regenerates every table and figure of the paper's
+// evaluation (and the ablations):
+//
+//	powexp -exp fig2        # Figure 2: latency vs reputation per policy
+//	powexp -exp solvetime   # §III.A: solve latency vs difficulty
+//	powexp -exp solvetime -real  # …also hash for real on this host
+//	powexp -exp accuracy    # §II.1: DAbR ~80% accuracy
+//	powexp -exp attack      # throttling under DDoS (adaptive vs baselines)
+//	powexp -exp epsilon     # Policy 3 ε sweep
+//	powexp -exp all         # everything
+//
+// Add -csv DIR to also write each table as CSV for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aipow/internal/experiments"
+	"aipow/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	exp := flag.String("exp", "all", "experiment: fig2, solvetime, accuracy, attack, epsilon, hashrate, or all")
+	trials := flag.Int("trials", 30, "trials per point (fig2/solvetime/epsilon)")
+	real := flag.Bool("real", false, "solvetime: also measure real SHA-256 solving on this host")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	csvDir := flag.String("csv", "", "directory to also write tables as CSV")
+	flag.Parse()
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("fig2") {
+		ran = true
+		cfg := experiments.DefaultFig2Config()
+		cfg.Trials = *trials
+		cfg.Seed = *seed
+		res, err := experiments.RunFig2(cfg)
+		if err != nil {
+			log.Fatalf("powexp: fig2: %v", err)
+		}
+		emit(res.Table(), *csvDir, "fig2_median.csv")
+		emit(res.MeanTable(), *csvDir, "fig2_mean.csv")
+	}
+	if want("solvetime") {
+		ran = true
+		cfg := experiments.DefaultSolveTimeConfig()
+		cfg.Trials = *trials
+		cfg.Real = *real
+		cfg.Seed = *seed + 1
+		res, err := experiments.RunSolveTime(cfg)
+		if err != nil {
+			log.Fatalf("powexp: solvetime: %v", err)
+		}
+		emit(res.Table(), *csvDir, "solvetime.csv")
+	}
+	if want("accuracy") {
+		ran = true
+		cfg := experiments.DefaultAccuracyConfig()
+		cfg.Seed = *seed + 2
+		res, err := experiments.RunAccuracy(cfg)
+		if err != nil {
+			log.Fatalf("powexp: accuracy: %v", err)
+		}
+		emit(res.Table(), *csvDir, "accuracy.csv")
+	}
+	if want("attack") {
+		ran = true
+		cfg := experiments.DefaultAttackConfig()
+		cfg.Seed = *seed + 3
+		res, err := experiments.RunAttack(cfg)
+		if err != nil {
+			log.Fatalf("powexp: attack: %v", err)
+		}
+		emit(res.Table(), *csvDir, "attack.csv")
+	}
+	if want("epsilon") {
+		ran = true
+		cfg := experiments.DefaultEpsilonConfig()
+		cfg.Trials = *trials
+		cfg.Seed = *seed + 4
+		res, err := experiments.RunEpsilon(cfg)
+		if err != nil {
+			log.Fatalf("powexp: epsilon: %v", err)
+		}
+		emit(res.Table(), *csvDir, "epsilon.csv")
+	}
+	if want("hashrate") {
+		ran = true
+		cfg := experiments.DefaultHashrateConfig()
+		cfg.Seed = *seed + 5
+		res, err := experiments.RunHashrate(cfg)
+		if err != nil {
+			log.Fatalf("powexp: hashrate: %v", err)
+		}
+		emit(res.Table(), *csvDir, "hashrate.csv")
+	}
+	if !ran {
+		log.Fatalf("powexp: unknown experiment %q", *exp)
+	}
+}
+
+// emit prints the table and optionally writes it as CSV.
+func emit(t *metrics.Table, dir, filename string) {
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatalf("powexp: render: %v", err)
+	}
+	fmt.Println()
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatalf("powexp: mkdir %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, filename)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatalf("powexp: create %s: %v", path, err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		log.Fatalf("powexp: write %s: %v", path, err)
+	}
+	fmt.Printf("(csv written to %s)\n\n", strings.TrimPrefix(path, "./"))
+}

@@ -1,0 +1,170 @@
+// Command powserver runs an HTTP server protected by the AI-assisted PoW
+// framework. With no flags it synthesizes an intelligence feed, trains the
+// reputation model, and serves a demo endpoint on :8080:
+//
+//	powserver
+//	powserver -addr :9000 -policy 'policy3(epsilon=2.5)'
+//	powserver -feed feed.csv -model model.json -key $(openssl rand -hex 32)
+//
+// Endpoints: every path is protected; GET /healthz is exempt.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"aipow"
+	"aipow/internal/dataset"
+	"aipow/internal/reputation"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", ":8080", "listen address")
+	policySpec := flag.String("policy", "policy2", "policy spec (policy1, policy2, policy3(epsilon=2.5), fixed(difficulty=8), …)")
+	keyHex := flag.String("key", "", "hex HMAC key (≥32 hex chars); random demo key when empty")
+	feedPath := flag.String("feed", "", "IP attribute feed CSV (dabr generate); synthetic demo feed when empty")
+	modelPath := flag.String("model", "", "trained model JSON (dabr train); trains on the feed when empty")
+	bypass := flag.Float64("bypass", -1, "bypass puzzles for scores below this (negative disables)")
+	trustHeader := flag.String("trust-ip-header", "", "trust this header for client IPs (behind a proxy only)")
+	flag.Parse()
+
+	key, err := resolveKey(*keyHex)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+	feed, err := resolveFeed(*feedPath)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+	model, err := resolveModel(*modelPath, feed)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+	store, err := buildStore(feed)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+	tracker, err := aipow.NewTracker()
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+	source, err := aipow.NewCombinedSource(store, tracker)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+	pol, err := aipow.NewPolicyRegistry().New(*policySpec)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+
+	opts := []aipow.Option{
+		aipow.WithKey(key),
+		aipow.WithScorer(model),
+		aipow.WithPolicy(pol),
+		aipow.WithSource(source),
+		aipow.WithTracker(tracker),
+	}
+	if *bypass >= 0 {
+		opts = append(opts, aipow.WithBypassBelow(*bypass))
+	}
+	fw, err := aipow.New(opts...)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+
+	app := http.NewServeMux()
+	app.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "protected resource %q served at %s\n", r.URL.Path, time.Now().Format(time.RFC3339))
+	})
+	var mwOpts []aipow.HTTPMiddlewareOption
+	if *trustHeader != "" {
+		mwOpts = append(mwOpts, aipow.WithTrustedIPHeader(*trustHeader))
+	}
+	protected, err := aipow.NewHTTPMiddleware(fw, app, mwOpts...)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
+	}
+
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	root.Handle("/", protected)
+
+	log.Printf("powserver: policy %s, %d feed IPs, listening on %s", pol.Name(), store.Len(), *addr)
+	server := &http.Server{Addr: *addr, Handler: root, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(server.ListenAndServe())
+}
+
+// resolveKey decodes the hex key or generates a demo key.
+func resolveKey(keyHex string) ([]byte, error) {
+	if keyHex == "" {
+		log.Print("powserver: no -key given; using an ephemeral demo key")
+		return []byte("ephemeral-demo-key-do-not-deploy"), nil
+	}
+	key, err := hex.DecodeString(keyHex)
+	if err != nil {
+		return nil, fmt.Errorf("decode -key: %w", err)
+	}
+	return key, nil
+}
+
+// resolveFeed loads the CSV feed or synthesizes the calibrated demo feed.
+func resolveFeed(path string) ([]dataset.Sample, error) {
+	if path == "" {
+		log.Print("powserver: no -feed given; synthesizing the calibrated demo feed")
+		return dataset.Generate(dataset.DefaultConfig())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
+
+// resolveModel loads a trained model or trains one on the feed.
+func resolveModel(path string, feed []dataset.Sample) (*reputation.Model, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return reputation.Load(f)
+	}
+	log.Print("powserver: no -model given; training on the feed")
+	samples := make([]reputation.Sample, len(feed))
+	for i, s := range feed {
+		samples[i] = reputation.Sample{Attrs: s.Attrs, Malicious: s.Malicious}
+	}
+	return reputation.Train(samples)
+}
+
+// buildStore indexes the feed by IP with a benign fallback profile.
+func buildStore(feed []dataset.Sample) (*aipow.MapStore, error) {
+	var fallback map[string]float64
+	for _, s := range feed {
+		if !s.Malicious {
+			fallback = s.Attrs
+			break
+		}
+	}
+	if fallback == nil {
+		return nil, fmt.Errorf("feed has no benign samples for the fallback profile")
+	}
+	store, err := aipow.NewMapStore(fallback)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range feed {
+		store.Put(s.IP, s.Attrs)
+	}
+	return store, nil
+}

@@ -1,0 +1,52 @@
+// Package aipow is a policy-driven, AI-assisted Proof-of-Work (PoW)
+// framework for defending servers against untrustworthy traffic, as
+// proposed in:
+//
+//	T. Chakraborty, S. Mitra, S. Mittal, M. Young.
+//	"A Policy Driven AI-Assisted PoW Framework." DSN 2022
+//	(supplemental volume), arXiv:2203.10698.
+//
+// Classic PoW defenses make every client solve the same puzzle. This
+// framework instead scores each incoming request's trustworthiness with an
+// AI model over IP traffic features (a DAbR-style reputation scorer), maps
+// the score to a puzzle difficulty through an administrator-chosen policy,
+// and issues an HMAC-authenticated hashcash-style challenge bound to the
+// client. Trustworthy clients sail through with trivial puzzles;
+// untrustworthy ones pay seconds of compute per request — latency that
+// throttles malicious traffic while the server spends microseconds
+// verifying.
+//
+// # Architecture
+//
+// Five swappable components, assembled by New:
+//
+//   - Scorer — the AI model: reputation.Model (DAbR centroids), KNN, or
+//     any func from attributes to a [0,10] score (10 = least trusted).
+//   - Policy — score → difficulty: the paper's Policy1/Policy2/Policy3,
+//     step tables, exponential curves, a text rule DSL, load-adaptive
+//     wrappers.
+//   - Source — per-IP attributes: static feed snapshots, live behavioral
+//     tracking, or both combined.
+//   - Issuer/Verifier — challenge generation and O(1) verification with
+//     replay protection (managed internally by the Framework).
+//
+// # Quick start
+//
+//	fw, err := aipow.New(
+//	    aipow.WithKey(secretKey),
+//	    aipow.WithScorer(model),           // trained reputation model
+//	    aipow.WithPolicy(aipow.Policy2()), // paper's Policy 2
+//	    aipow.WithSource(store),           // per-IP attributes
+//	)
+//	...
+//	dec, err := fw.Decide(aipow.RequestContext{IP: clientIP})
+//	// send dec.Challenge to the client; later:
+//	err = fw.Verify(solution, clientIP)
+//
+// For HTTP servers, NewHTTPMiddleware wraps any http.Handler with the full
+// challenge protocol, and NewHTTPTransport makes any http.Client solve
+// challenges transparently.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package aipow

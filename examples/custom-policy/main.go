@@ -1,0 +1,101 @@
+// Command custom-policy shows the "policy driven" half of the framework:
+// every way an administrator can express a score→difficulty strategy —
+// the paper's built-ins, the registry's spec strings, the text rule DSL,
+// composition wrappers, and a hand-written Policy implementation.
+//
+// Run with:
+//
+//	go run ./examples/custom-policy
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"aipow"
+)
+
+// maintenancePolicy is a fully custom Policy: during a maintenance window
+// it treats everyone as untrusted. Anything with Name and Difficulty
+// methods plugs into the framework.
+type maintenancePolicy struct {
+	inner       aipow.Policy
+	maintenance *atomic.Bool
+}
+
+func (m maintenancePolicy) Name() string { return "maintenance(" + m.inner.Name() + ")" }
+
+func (m maintenancePolicy) Difficulty(score float64) int {
+	if m.maintenance.Load() {
+		return m.inner.Difficulty(10) // worst-case treatment for all
+	}
+	return m.inner.Difficulty(score)
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. The paper's three policies.
+	p3, err := aipow.Policy3(aipow.WithEpsilon(2.5), aipow.WithPolicySeed(42))
+	if err != nil {
+		log.Fatalf("policy3: %v", err)
+	}
+	policies := []aipow.Policy{aipow.Policy1(), aipow.Policy2(), p3}
+
+	// 2. Registry spec strings — how a config file names policies.
+	reg := aipow.NewPolicyRegistry()
+	for _, spec := range []string{"exponential(base=1,factor=0.4)", "fixed(difficulty=8)"} {
+		p, err := reg.New(spec)
+		if err != nil {
+			log.Fatalf("spec %q: %v", spec, err)
+		}
+		policies = append(policies, p)
+	}
+
+	// 3. The rule DSL — tiers with an exemption band, first match wins.
+	tiers, err := aipow.ParsePolicyRules(`
+# Escalation tiers for the edge gateway.
+name edge-tiers
+when score <  2 use 1
+when score >= 8 use 14
+when score >= 5 use 8
+default 3
+`)
+	if err != nil {
+		log.Fatalf("parse rules: %v", err)
+	}
+	policies = append(policies, tiers)
+
+	// 4. Composition: clamp a third-party policy, harden under load.
+	clamped, err := aipow.ClampPolicy(aipow.Policy2(), 5, 12)
+	if err != nil {
+		log.Fatalf("clamp: %v", err)
+	}
+	serverLoad := 0.85 // pretend the server is busy
+	adaptive, err := aipow.NewLoadAdaptivePolicy(aipow.Policy1(), func() float64 { return serverLoad }, 6)
+	if err != nil {
+		log.Fatalf("load adaptive: %v", err)
+	}
+	policies = append(policies, clamped, adaptive)
+
+	// 5. A hand-written policy type.
+	var inMaintenance atomic.Bool
+	inMaintenance.Store(true)
+	policies = append(policies, maintenancePolicy{inner: aipow.Policy1(), maintenance: &inMaintenance})
+
+	// Print the difficulty table every policy induces across the score
+	// scale — the shape of the paper's Figure 2 before latency enters.
+	fmt.Printf("%-28s", "policy \\ score")
+	for r := 0; r <= 10; r++ {
+		fmt.Printf("%4d", r)
+	}
+	fmt.Println()
+	for _, p := range policies {
+		fmt.Printf("%-28s", p.Name())
+		for r := 0; r <= 10; r++ {
+			fmt.Printf("%4d", p.Difficulty(float64(r)))
+		}
+		fmt.Println()
+	}
+}

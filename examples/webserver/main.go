@@ -1,0 +1,136 @@
+// Command webserver protects a small HTTP API with the framework's
+// middleware and then demonstrates the protocol against itself with an
+// auto-solving client: a bare request is challenged with 428, a client
+// using the PoW transport passes transparently.
+//
+// Run a self-contained demo (starts, exercises, exits):
+//
+//	go run ./examples/webserver
+//
+// Or keep the server up for manual poking:
+//
+//	go run ./examples/webserver -listen :8080
+//	curl -i http://localhost:8080/api/data        # observe the 428
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"aipow"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "", "stay up listening on this address instead of running the self-demo")
+	flag.Parse()
+
+	fw, err := buildFramework()
+	if err != nil {
+		log.Fatalf("build framework: %v", err)
+	}
+
+	api := http.NewServeMux()
+	api.HandleFunc("/api/data", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"data":"the protected payload","at":%q}`, time.Now().Format(time.RFC3339))
+	})
+	protected, err := aipow.NewHTTPMiddleware(fw, api)
+	if err != nil {
+		log.Fatalf("wrap middleware: %v", err)
+	}
+
+	if *listen != "" {
+		log.Printf("serving protected API on %s (try: curl -i http://%s/api/data)", *listen, *listen)
+		server := &http.Server{Addr: *listen, Handler: protected, ReadHeaderTimeout: 5 * time.Second}
+		log.Fatal(server.ListenAndServe())
+	}
+
+	// Self-demo: bind an ephemeral port, hit it both ways, exit.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	server := &http.Server{Handler: protected, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := server.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	defer server.Close()
+	url := fmt.Sprintf("http://%s/api/data", ln.Addr())
+
+	// 1. A bare client is challenged.
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("bare request: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Printf("bare client    -> HTTP %d, difficulty %s\n",
+		resp.StatusCode, resp.Header.Get("X-PoW-Difficulty"))
+
+	// 2. A client with the PoW transport sails through.
+	client := &http.Client{Transport: aipow.NewHTTPTransport(
+		aipow.WithSolveObserver(func(s aipow.SolveStats) {
+			fmt.Printf("solving client -> solved in %v (%d hashes)\n",
+				s.Elapsed.Round(time.Microsecond), s.Attempts)
+		}),
+	)}
+	resp, err = client.Get(url)
+	if err != nil {
+		log.Fatalf("solving request: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Fatalf("read body: %v", err)
+	}
+	fmt.Printf("solving client -> HTTP %d, body %s\n", resp.StatusCode, body)
+}
+
+// buildFramework trains a model on the synthetic feed and wires the
+// framework with live behavioral tracking layered over the static store.
+func buildFramework() (*aipow.Framework, error) {
+	feed, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
+	if err != nil {
+		return nil, err
+	}
+	model, err := aipow.TrainReputationModel(aipow.DatasetToSamples(feed))
+	if err != nil {
+		return nil, err
+	}
+	var fallback map[string]float64
+	for _, s := range feed {
+		if !s.Malicious {
+			fallback = s.Attrs
+			break
+		}
+	}
+	store, err := aipow.NewMapStore(fallback)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range feed {
+		store.Put(s.IP, s.Attrs)
+	}
+	tracker, err := aipow.NewTracker()
+	if err != nil {
+		return nil, err
+	}
+	combined, err := aipow.NewCombinedSource(store, tracker)
+	if err != nil {
+		return nil, err
+	}
+	return aipow.New(
+		aipow.WithKey([]byte("change-me-please-32-bytes-secret")),
+		aipow.WithScorer(model),
+		aipow.WithPolicy(aipow.Policy1()),
+		aipow.WithSource(combined),
+		aipow.WithTracker(tracker),
+	)
+}

@@ -1,0 +1,62 @@
+package aipow
+
+import (
+	"net/http"
+	"time"
+
+	"aipow/internal/httpmw"
+)
+
+// HTTP protocol constants, mirrored from the middleware package.
+const (
+	// HeaderChallenge carries the challenge token on a 428 response.
+	HeaderChallenge = httpmw.HeaderChallenge
+
+	// HeaderSolution carries the solution token on the retried request.
+	HeaderSolution = httpmw.HeaderSolution
+
+	// StatusChallenge is 428 Precondition Required.
+	StatusChallenge = httpmw.StatusChallenge
+)
+
+// HTTPMiddlewareOption configures NewHTTPMiddleware.
+type HTTPMiddlewareOption = httpmw.MiddlewareOption
+
+// WithTrustedIPHeader takes the client IP from a proxy-set header instead
+// of the socket address. Only safe behind a trusted proxy.
+func WithTrustedIPHeader(name string) HTTPMiddlewareOption {
+	return httpmw.WithTrustedIPHeader(name)
+}
+
+// WithSessionTokens enables amortized solving: one successful puzzle buys
+// an X-PoW-Token valid for ttl; token-bearing requests skip puzzles until
+// it expires. The transport honors tokens automatically.
+func WithSessionTokens(key []byte, ttl time.Duration) HTTPMiddlewareOption {
+	return httpmw.WithSessionTokens(key, ttl)
+}
+
+// NewHTTPMiddleware wraps next with the PoW challenge protocol driven by
+// the framework: unchallenged requests receive 428 + X-PoW-Challenge;
+// requests carrying a valid X-PoW-Solution reach next.
+func NewHTTPMiddleware(fw *Framework, next http.Handler, opts ...HTTPMiddlewareOption) (http.Handler, error) {
+	return httpmw.NewMiddleware(fw, next, opts...)
+}
+
+// HTTPTransportOption configures NewHTTPTransport.
+type HTTPTransportOption = httpmw.TransportOption
+
+// WithTransportSolver sets the puzzle solver the transport uses.
+func WithTransportSolver(s *Solver) HTTPTransportOption { return httpmw.WithSolver(s) }
+
+// WithSolveObserver receives the stats of every completed solve.
+func WithSolveObserver(fn func(SolveStats)) HTTPTransportOption {
+	return httpmw.WithSolveObserver(fn)
+}
+
+// NewHTTPTransport returns an http.RoundTripper that answers PoW
+// challenges transparently. Use it as any client's Transport:
+//
+//	client := &http.Client{Transport: aipow.NewHTTPTransport()}
+func NewHTTPTransport(opts ...HTTPTransportOption) http.RoundTripper {
+	return httpmw.NewTransport(opts...)
+}

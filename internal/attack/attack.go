@@ -1,0 +1,471 @@
+// Package attack simulates DDoS scenarios against a framework-protected
+// server: populations of benign clients and bots with Poisson arrivals,
+// per-client hash rates, and challenge-response strategies, all running on
+// the deterministic netsim event loop.
+//
+// The simulation drives the real core.Framework decision path (feature
+// lookup → AI scoring → policy → challenge issuance) for every request.
+// Solving is *modeled* — the solve duration is sampled from the same
+// geometric process a real solver executes (netsim.SimSolver) instead of
+// burning billions of real SHA-256 evaluations — and verification is
+// modeled as server service time. The cryptographic correctness of solving
+// and verification is covered by the puzzle package's tests; what this
+// package measures is what the paper cares about: who gets served, at what
+// latency, and at what cost, under attack.
+package attack
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/metrics"
+	"aipow/internal/netsim"
+)
+
+// Kind labels a client population.
+type Kind int
+
+// Client population kinds.
+const (
+	// KindBenign models legitimate users: low request rates, modest CPUs,
+	// willing to solve whatever is asked.
+	KindBenign Kind = iota + 1
+
+	// KindBot models attack traffic: high request rates and a strategy
+	// chosen by the attacker.
+	KindBot
+)
+
+// String renders the kind for tables.
+func (k Kind) String() string {
+	switch k {
+	case KindBenign:
+		return "benign"
+	case KindBot:
+		return "bot"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Strategy describes how a client reacts to receiving a challenge.
+type Strategy int
+
+// Challenge-response strategies.
+const (
+	// StrategySolve always solves, whatever the difficulty.
+	StrategySolve Strategy = iota + 1
+
+	// StrategyIgnore never solves: the attacker just floods initial
+	// requests, hoping issuance alone exhausts the server.
+	StrategyIgnore
+
+	// StrategyGiveUpAbove solves only puzzles at or below GiveUpAt —
+	// the rational attacker bounding per-request spend.
+	StrategyGiveUpAbove
+)
+
+// ClientSpec describes one homogeneous client population.
+type ClientSpec struct {
+	// Kind classifies the population for reporting.
+	Kind Kind
+
+	// Count is the number of clients.
+	Count int
+
+	// RequestRate is each client's Poisson arrival rate (requests/s).
+	// Used by open-loop populations only.
+	RequestRate float64
+
+	// ClosedLoop switches the population from open-loop Poisson arrivals
+	// to closed-loop behavior: each client keeps one request in flight and
+	// issues the next one ThinkTime after the previous completes (or is
+	// abandoned). This is how PoW throttles attackers — inflicted latency
+	// directly caps a closed-loop client's achievable request rate, the
+	// paper's "slow down the incoming malicious traffic".
+	ClosedLoop bool
+
+	// ThinkTime is the closed-loop pause between a request's outcome and
+	// the next request. Zero models a maximally aggressive bot.
+	ThinkTime time.Duration
+
+	// RetryBackoff is how long a closed-loop client waits after the server
+	// drops its request (full queue) before retrying. Zero defaults to
+	// 100 ms.
+	RetryBackoff time.Duration
+
+	// HashRate is each client's solver throughput (hashes/s).
+	HashRate float64
+
+	// Strategy is the challenge response behavior.
+	Strategy Strategy
+
+	// GiveUpAt is the maximum difficulty StrategyGiveUpAbove will solve.
+	GiveUpAt int
+}
+
+// validate rejects inconsistent specs.
+func (s ClientSpec) validate() error {
+	if s.Count < 0 {
+		return fmt.Errorf("attack: negative client count %d", s.Count)
+	}
+	if s.Count > 0 && !s.ClosedLoop && s.RequestRate <= 0 {
+		return fmt.Errorf("attack: open-loop population needs a positive request rate, got %v", s.RequestRate)
+	}
+	if s.ThinkTime < 0 || s.RetryBackoff < 0 {
+		return fmt.Errorf("attack: negative think time or retry backoff")
+	}
+	switch s.Strategy {
+	case StrategySolve, StrategyGiveUpAbove:
+		if s.HashRate <= 0 {
+			return fmt.Errorf("attack: solving strategy needs a positive hash rate")
+		}
+	case StrategyIgnore:
+	default:
+		return fmt.Errorf("attack: unknown strategy %d", s.Strategy)
+	}
+	return nil
+}
+
+// Scenario is a full experiment description.
+type Scenario struct {
+	// Duration is the simulated time span.
+	Duration time.Duration
+
+	// Specs lists the client populations.
+	Specs []ClientSpec
+
+	// Link models the client↔server network.
+	Link netsim.Link
+
+	// IssueTime and VerifyTime are the server-side service times for
+	// challenge issuance and solution verification respectively.
+	IssueTime, VerifyTime time.Duration
+
+	// QueueCap bounds the server queue; arrivals beyond it are dropped.
+	// Zero or negative means unbounded.
+	QueueCap int
+
+	// Seed drives every random draw in the scenario.
+	Seed uint64
+}
+
+// validate rejects inconsistent scenarios.
+func (sc Scenario) validate() error {
+	if sc.Duration <= 0 {
+		return fmt.Errorf("attack: non-positive duration %v", sc.Duration)
+	}
+	if len(sc.Specs) == 0 {
+		return fmt.Errorf("attack: scenario has no client populations")
+	}
+	for i, spec := range sc.Specs {
+		if err := spec.validate(); err != nil {
+			return fmt.Errorf("spec %d: %w", i, err)
+		}
+	}
+	if err := sc.Link.Validate(); err != nil {
+		return err
+	}
+	if sc.IssueTime < 0 || sc.VerifyTime < 0 {
+		return fmt.Errorf("attack: negative server service time")
+	}
+	return nil
+}
+
+// ClientIPs returns the deterministic IP addresses Run assigns to each
+// spec's clients, so callers can pre-register attributes for them in the
+// feature store. Addressing: client j of spec i gets "10.<i>.<j/250>.<j%250+1>".
+func (sc Scenario) ClientIPs() [][]string {
+	out := make([][]string, len(sc.Specs))
+	for i, spec := range sc.Specs {
+		ips := make([]string, spec.Count)
+		for j := 0; j < spec.Count; j++ {
+			ips[j] = clientIP(i, j)
+		}
+		out[i] = ips
+	}
+	return out
+}
+
+func clientIP(spec, idx int) string {
+	return fmt.Sprintf("10.%d.%d.%d", spec, idx/250, idx%250+1)
+}
+
+// ClassStats aggregates outcomes for one client kind.
+type ClassStats struct {
+	// Requests is the number of initial requests sent.
+	Requests uint64
+
+	// Challenged counts challenges received.
+	Challenged uint64
+
+	// Served counts completed request→response cycles.
+	Served uint64
+
+	// GaveUp counts challenges abandoned by strategy.
+	GaveUp uint64
+
+	// Dropped counts requests or solutions lost to a full server queue.
+	Dropped uint64
+
+	// SolveAttempts is the total hash work expended (modeled attempts).
+	SolveAttempts float64
+
+	// Latency collects end-to-end latencies of served requests, in ms.
+	Latency *metrics.Summary
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	// PolicyName echoes the framework's policy for tables.
+	PolicyName string
+
+	// ByKind maps each client kind to its aggregated stats.
+	ByKind map[Kind]*ClassStats
+
+	// ServerUtilization is the fraction of time the server was busy.
+	ServerUtilization float64
+
+	// PeakQueue is the maximum server backlog observed.
+	PeakQueue int
+
+	// ServerDropped counts jobs rejected by the full queue.
+	ServerDropped uint64
+}
+
+// Goodput reports served requests per second for a kind.
+func (r Result) Goodput(kind Kind, duration time.Duration) float64 {
+	cs, ok := r.ByKind[kind]
+	if !ok || duration <= 0 {
+		return 0
+	}
+	return float64(cs.Served) / duration.Seconds()
+}
+
+// FrameworkFactory builds a framework wired to the simulation's virtual
+// clock. Defenses whose state depends on time — behavioral trackers,
+// challenge TTLs — must be constructed through it (core.WithClock(now)).
+type FrameworkFactory func(now func() time.Time) (*core.Framework, error)
+
+// Run executes the scenario against a pre-built framework. Use RunFactory
+// instead when the defense needs the simulation clock.
+func Run(fw *core.Framework, sc Scenario) (Result, error) {
+	if fw == nil {
+		return Result{}, fmt.Errorf("attack: nil framework")
+	}
+	return RunFactory(func(func() time.Time) (*core.Framework, error) { return fw, nil }, sc)
+}
+
+// RunFactory executes the scenario against a framework built on the
+// simulation clock and reports per-class outcomes.
+func RunFactory(build FrameworkFactory, sc Scenario) (Result, error) {
+	if build == nil {
+		return Result{}, fmt.Errorf("attack: nil framework factory")
+	}
+	if err := sc.validate(); err != nil {
+		return Result{}, err
+	}
+
+	loop := netsim.NewEventLoop(netsim.Start())
+	fw, err := build(loop.Clock().Now)
+	if err != nil {
+		return Result{}, fmt.Errorf("attack: build framework: %w", err)
+	}
+	if fw == nil {
+		return Result{}, fmt.Errorf("attack: factory returned nil framework")
+	}
+	server, err := netsim.NewSimServer(loop, sc.QueueCap)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewPCG(sc.Seed, 0xC0FFEE))
+	end := netsim.Start().Add(sc.Duration)
+
+	res := Result{
+		PolicyName: fw.PolicyName(),
+		ByKind:     make(map[Kind]*ClassStats),
+	}
+	for _, spec := range sc.Specs {
+		if _, ok := res.ByKind[spec.Kind]; !ok {
+			res.ByKind[spec.Kind] = &ClassStats{Latency: metrics.NewSummary(1024)}
+		}
+	}
+
+	// Schedule each client's arrival process: Poisson for open-loop
+	// populations, a staggered first request for closed-loop ones.
+	for i, spec := range sc.Specs {
+		for j := 0; j < spec.Count; j++ {
+			c := &simClient{
+				ip:     clientIP(i, j),
+				spec:   spec,
+				stats:  res.ByKind[spec.Kind],
+				loop:   loop,
+				server: server,
+				fw:     fw,
+				sc:     sc,
+				rng:    rng,
+				end:    end,
+			}
+			if spec.ClosedLoop {
+				// Stagger starts uniformly over the first second so the
+				// fleet does not arrive as one synchronized spike.
+				c.scheduleAt(time.Duration(rng.Float64() * float64(time.Second)))
+			} else {
+				c.scheduleNextArrival()
+			}
+		}
+	}
+
+	loop.RunUntil(end)
+	res.ServerUtilization = server.Utilization()
+	res.PeakQueue = server.PeakQueue()
+	res.ServerDropped = server.Dropped()
+	return res, nil
+}
+
+// simClient is the per-client state machine.
+type simClient struct {
+	ip     string
+	spec   ClientSpec
+	stats  *ClassStats
+	loop   *netsim.EventLoop
+	server *netsim.SimServer
+	fw     *core.Framework
+	sc     Scenario
+	rng    *rand.Rand
+	end    time.Time
+}
+
+// scheduleNextArrival draws the next open-loop Poisson arrival.
+func (c *simClient) scheduleNextArrival() {
+	gap := time.Duration(c.rng.ExpFloat64() / c.spec.RequestRate * float64(time.Second))
+	c.scheduleAt(gap)
+}
+
+// scheduleAt schedules the next request after d, unless past the horizon.
+func (c *simClient) scheduleAt(d time.Duration) {
+	next := c.loop.Now().Add(d)
+	if next.After(c.end) {
+		return
+	}
+	// Scheduling in the future from "now" can only fail on programmer
+	// error; surface it loudly.
+	if err := c.loop.At(next, c.sendRequest); err != nil {
+		panic(fmt.Sprintf("attack: schedule arrival: %v", err))
+	}
+}
+
+// nextCycle schedules a closed-loop client's follow-up request. Open-loop
+// clients drive themselves from sendRequest, so it is a no-op for them.
+func (c *simClient) nextCycle(backoff bool) {
+	if !c.spec.ClosedLoop {
+		return
+	}
+	wait := c.spec.ThinkTime
+	if backoff {
+		wait = c.spec.RetryBackoff
+		if wait == 0 {
+			wait = 100 * time.Millisecond
+		}
+	}
+	c.scheduleAt(wait)
+}
+
+// sendRequest is protocol step 1: the initial request leaves the client.
+func (c *simClient) sendRequest() {
+	c.stats.Requests++
+	sentAt := c.loop.Now()
+	if !c.spec.ClosedLoop {
+		c.scheduleNextArrival() // open-loop traffic: next arrival regardless
+	}
+
+	c.after(c.sc.Link.Delay(c.rng), func() {
+		// The request has arrived: feed the behavior tracker before any
+		// queueing decision (observation is a cheap counter bump, so real
+		// servers do it on arrival — dropped floods must still be seen,
+		// or rate-based defenses would be blinded by their own overload).
+		_ = c.fw.Observe(features.RequestInfo{IP: c.ip, Path: "/", At: c.loop.Now()})
+		// Issuing consumes server capacity.
+		accepted := c.server.Enqueue(netsim.Job{
+			Service: c.sc.IssueTime,
+			Done:    func() { c.handleDecision(sentAt) },
+		})
+		if !accepted {
+			c.stats.Dropped++
+			c.nextCycle(true)
+		}
+	})
+}
+
+// handleDecision runs steps 2–4 on the server, then routes the outcome.
+func (c *simClient) handleDecision(sentAt time.Time) {
+	dec, err := c.fw.Decide(core.RequestContext{IP: c.ip})
+	if err != nil {
+		// Issuance failure counts as a drop; the client hears nothing.
+		c.stats.Dropped++
+		c.nextCycle(true)
+		return
+	}
+	if dec.Bypassed {
+		c.after(c.sc.Link.Delay(c.rng), func() { c.completed(sentAt) })
+		return
+	}
+	// Challenge travels back to the client.
+	c.after(c.sc.Link.Delay(c.rng), func() { c.handleChallenge(sentAt, dec.Difficulty) })
+}
+
+// handleChallenge is step 5: the client decides whether and how to solve.
+func (c *simClient) handleChallenge(sentAt time.Time, difficulty int) {
+	c.stats.Challenged++
+	switch c.spec.Strategy {
+	case StrategyIgnore:
+		c.nextCycle(false)
+		return
+	case StrategyGiveUpAbove:
+		if difficulty > c.spec.GiveUpAt {
+			c.stats.GaveUp++
+			c.nextCycle(false)
+			return
+		}
+	case StrategySolve:
+	}
+	solver := netsim.SimSolver{HashRate: c.spec.HashRate}
+	attempts := solver.Attempts(difficulty, c.rng)
+	c.stats.SolveAttempts += attempts
+	solveTime := time.Duration(attempts / c.spec.HashRate * float64(time.Second))
+
+	c.after(solveTime, func() {
+		// Solution travels to the server; verification consumes capacity.
+		c.after(c.sc.Link.Delay(c.rng), func() {
+			accepted := c.server.Enqueue(netsim.Job{
+				Service: c.sc.VerifyTime,
+				Done: func() {
+					// Response travels back (steps 6–7).
+					c.after(c.sc.Link.Delay(c.rng), func() { c.completed(sentAt) })
+				},
+			})
+			if !accepted {
+				c.stats.Dropped++
+				c.nextCycle(true)
+			}
+		})
+	})
+}
+
+// completed records a served request.
+func (c *simClient) completed(sentAt time.Time) {
+	c.stats.Served++
+	c.stats.Latency.ObserveDuration(c.loop.Now().Sub(sentAt))
+	c.nextCycle(false)
+}
+
+// after schedules fn at now+d, tolerating events that land past the
+// horizon (RunUntil simply won't execute them).
+func (c *simClient) after(d time.Duration, fn func()) {
+	if err := c.loop.After(d, fn); err != nil {
+		panic(fmt.Sprintf("attack: schedule: %v", err))
+	}
+}

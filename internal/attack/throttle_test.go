@@ -1,0 +1,80 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"aipow/internal/netsim"
+	"aipow/internal/policy"
+)
+
+// TestClosedLoopThrottledByDifficulty is the mechanism check behind E4:
+// the same closed-loop bot fleet completes far fewer requests when every
+// request costs a hard puzzle, because each bot's next request waits for
+// the previous solve.
+func TestClosedLoopThrottledByDifficulty(t *testing.T) {
+	scenario := func() Scenario {
+		return Scenario{
+			Duration: 20 * time.Second,
+			Specs: []ClientSpec{
+				{Kind: KindBot, Count: 30, ClosedLoop: true,
+					HashRate: 27000, Strategy: StrategySolve},
+			},
+			Link:       netsim.Link{OneWay: 5 * time.Millisecond},
+			IssueTime:  100 * time.Microsecond,
+			VerifyTime: 100 * time.Microsecond,
+			Seed:       11,
+		}
+	}
+	served := func(d int) uint64 {
+		t.Helper()
+		sc := scenario()
+		pol, err := policy.NewFixed(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw := buildFramework(t, sc, pol)
+		res, err := Run(fw, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ByKind[KindBot].Served
+	}
+	easy := served(1)  // ~2 hashes: cycle ≈ RTT
+	hard := served(14) // ~16 k hashes ≈ 600 ms at 27 kH/s
+	if easy < 4*hard {
+		t.Fatalf("difficulty did not throttle closed-loop bots: easy=%d hard=%d", easy, hard)
+	}
+}
+
+// TestClosedLoopRetryAfterDrop verifies that a dropped request does not
+// wedge a closed-loop client: it retries after the backoff.
+func TestClosedLoopRetryAfterDrop(t *testing.T) {
+	sc := Scenario{
+		Duration: 10 * time.Second,
+		Specs: []ClientSpec{
+			{Kind: KindBot, Count: 20, ClosedLoop: true, RetryBackoff: 50 * time.Millisecond,
+				HashRate: 1e9, Strategy: StrategySolve},
+		},
+		Link:       netsim.Link{OneWay: time.Millisecond},
+		IssueTime:  2 * time.Millisecond, // capacity 500/s vs ~20 bots hammering
+		VerifyTime: 2 * time.Millisecond,
+		QueueCap:   4,
+		Seed:       13,
+	}
+	fw := buildFramework(t, sc, policy.Policy1())
+	res, err := Run(fw, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot := res.ByKind[KindBot]
+	if bot.Dropped == 0 {
+		t.Fatal("scenario did not exercise drops")
+	}
+	// Despite drops, clients kept cycling: total completions must far
+	// exceed one per client (which is all they would manage if the first
+	// drop wedged them).
+	if bot.Served < uint64(5*sc.Specs[0].Count) {
+		t.Fatalf("served = %d, clients appear wedged after drops", bot.Served)
+	}
+}

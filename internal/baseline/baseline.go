@@ -1,0 +1,122 @@
+// Package baseline provides the comparators experiment E4 measures the
+// framework against:
+//
+//   - NoPoW: a pass-through server with no puzzles at all — the undefended
+//     baseline whose collapse under flood motivates the paper.
+//   - FixedPoW: classic one-difficulty-for-everyone PoW — the paper's
+//     "current state of the art is unable to differentiate between
+//     trustworthy and untrustworthy connections".
+//   - KaPoW: a kaPoW-style (Le, Dua, Feng 2012) behavioral comparator that
+//     derives difficulty from each client's recent request rate rather
+//     than an AI model over traffic features.
+//
+// All three are expressed as configurations of the same core.Framework,
+// which is itself the modularity point the paper claims.
+package baseline
+
+import (
+	"fmt"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/policy"
+)
+
+// trustAllScorer scores everything 0: used by NoPoW (with full bypass) and
+// FixedPoW (where the policy ignores the score anyway).
+type trustAllScorer struct{}
+
+// Score implements core.Scorer.
+func (trustAllScorer) Score(map[string]float64) (float64, error) { return 0, nil }
+
+// RateScorer maps a client's live request rate to a reputation score:
+// score = 10 · min(1, rate/SaturationRate). It is the kaPoW-style
+// behavioral "model": no training, no traffic features beyond arrival
+// counts.
+type RateScorer struct {
+	// SaturationRate is the requests-per-second at which the score pegs
+	// at 10.
+	SaturationRate float64
+}
+
+var _ core.Scorer = RateScorer{}
+
+// NewRateScorer validates and constructs a RateScorer.
+func NewRateScorer(saturationRate float64) (RateScorer, error) {
+	if saturationRate <= 0 {
+		return RateScorer{}, fmt.Errorf("baseline: saturation rate must be positive, got %v", saturationRate)
+	}
+	return RateScorer{SaturationRate: saturationRate}, nil
+}
+
+// Score implements core.Scorer using the tracker's live request rate.
+func (r RateScorer) Score(attrs map[string]float64) (float64, error) {
+	rate, ok := attrs[features.AttrRequestRate]
+	if !ok {
+		return 0, fmt.Errorf("baseline: attribute %q missing (is a Tracker attached?)", features.AttrRequestRate)
+	}
+	frac := rate / r.SaturationRate
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return policy.MaxScore * frac, nil
+}
+
+// NewNoPoW builds the undefended baseline: every request bypasses the
+// puzzle entirely.
+func NewNoPoW(key []byte, source features.Source, opts ...core.Option) (*core.Framework, error) {
+	base := []core.Option{
+		core.WithKey(key),
+		core.WithScorer(trustAllScorer{}),
+		core.WithPolicy(policy.Policy1()),
+		core.WithSource(source),
+		core.WithBypassBelow(policy.MaxScore + 1), // everything bypasses
+	}
+	return core.New(append(base, opts...)...)
+}
+
+// NewFixedPoW builds the classic non-adaptive baseline: every client gets
+// difficulty d regardless of reputation.
+func NewFixedPoW(key []byte, source features.Source, d int, opts ...core.Option) (*core.Framework, error) {
+	fixed, err := policy.NewFixed(d)
+	if err != nil {
+		return nil, err
+	}
+	base := []core.Option{
+		core.WithKey(key),
+		core.WithScorer(trustAllScorer{}),
+		core.WithPolicy(fixed),
+		core.WithSource(source),
+	}
+	return core.New(append(base, opts...)...)
+}
+
+// NewKaPoW builds the behavioral comparator: score is the client's recent
+// request rate (saturating at saturationRate req/s), mapped through pol —
+// pass the same policy as the AI framework for an apples-to-apples
+// comparison of the *detection* mechanisms. The tracker must be wired into
+// the source (features.NewCombined) so the rate attribute is present.
+func NewKaPoW(key []byte, source features.Source, tracker *features.Tracker,
+	saturationRate float64, pol policy.Policy, opts ...core.Option) (*core.Framework, error) {
+	scorer, err := NewRateScorer(saturationRate)
+	if err != nil {
+		return nil, err
+	}
+	if tracker == nil {
+		return nil, fmt.Errorf("baseline: kaPoW requires a tracker")
+	}
+	if pol == nil {
+		pol = policy.Policy1()
+	}
+	base := []core.Option{
+		core.WithKey(key),
+		core.WithScorer(scorer),
+		core.WithPolicy(pol),
+		core.WithSource(source),
+		core.WithTracker(tracker),
+	}
+	return core.New(append(base, opts...)...)
+}

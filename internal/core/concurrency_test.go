@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"aipow/internal/puzzle"
+)
+
+// TestFrameworkConcurrentDecideVerify hammers one framework from many
+// goroutines mixing decisions, solves and verifications — the shape of a
+// real server under load. Run with -race in CI.
+func TestFrameworkConcurrentDecideVerify(t *testing.T) {
+	f := newTestFramework(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ip := fmt.Sprintf("10.9.%d.1", w)
+			solver := puzzle.NewSolver()
+			for i := 0; i < 20; i++ {
+				dec, err := f.Decide(RequestContext{IP: ip})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				sol, _, err := solver.Solve(context.Background(), dec.Challenge)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if err := f.Verify(sol, ip); err != nil {
+					errCh <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	stats := f.Stats()
+	if stats["issued"] != 160 || stats["verified"] != 160 {
+		t.Fatalf("stats = %v, want 160 issued and verified", stats)
+	}
+}
+
+// TestFrameworkStatsCounters pins the counter taxonomy: every decision
+// path increments exactly one counter.
+func TestFrameworkStatsCounters(t *testing.T) {
+	f := newTestFramework(t, WithBypassBelow(3))
+	// Bypass path.
+	if _, err := f.Decide(RequestContext{IP: "10.0.0.1"}); err != nil { // score 0
+		t.Fatal(err)
+	}
+	// Challenge path.
+	dec, err := f.Decide(RequestContext{IP: "10.0.0.9"}) // score 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rejected path.
+	bad := puzzle.Solution{Challenge: dec.Challenge, Nonce: 0}
+	for bad.Challenge.Meets(bad.Nonce) {
+		bad.Nonce++
+	}
+	_ = f.Verify(bad, "10.0.0.9")
+
+	stats := f.Stats()
+	want := map[string]float64{"bypassed": 1, "issued": 1, "rejected": 1}
+	for k, v := range want {
+		if stats[k] != v {
+			t.Errorf("stats[%q] = %v, want %v (all: %v)", k, stats[k], v, stats)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// Package core implements the paper's central contribution: the
+// policy-driven, AI-assisted PoW framework that wires the five modular
+// components together — an AI model producing a reputation score, a policy
+// mapping score to difficulty, a puzzle generator, a puzzle verifier, and
+// the traffic feature source feeding the model.
+//
+// The request path follows Figure 1 of the paper:
+//
+//	(1) a client request arrives              → Decide(RequestContext)
+//	(2) the AI model scores its features      → Scorer.Score(Source.Attributes(ip))
+//	(3) the policy maps score to difficulty   → Policy.Difficulty(score)
+//	(4) the generator issues the puzzle       → Issuer.Issue(ip, d)
+//	(5,6) the solved puzzle is verified       → Verify(solution, ip)
+//	(7) the caller serves the resource.
+//
+// Every component is injected, satisfying the paper's modularity claim:
+// swap the scorer (DAbR, kNN, behavioral), the policy (Policies 1–3, DSL
+// rules, adaptive wrappers), or the feature source without touching the
+// pipeline.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aipow/internal/features"
+	"aipow/internal/metrics"
+	"aipow/internal/policy"
+	"aipow/internal/puzzle"
+)
+
+// Scorer is the AI-model seam: anything that maps attribute vectors to a
+// reputation score in [0, 10] (higher = less trustworthy). reputation.Model
+// and reputation.KNN satisfy it.
+type Scorer interface {
+	Score(attrs map[string]float64) (float64, error)
+}
+
+// RequestContext identifies one incoming request.
+type RequestContext struct {
+	// IP is the client identity; it becomes the challenge binding.
+	IP string
+}
+
+// Decision is the outcome of the scoring-and-policy pipeline for one
+// request.
+type Decision struct {
+	// IP echoes the request.
+	IP string
+
+	// Score is the reputation score used (after fail-closed substitution,
+	// if the scorer errored).
+	Score float64
+
+	// ScoreErr records a scorer failure. When non-nil, Score is the
+	// configured fail-closed score, not a model output.
+	ScoreErr error
+
+	// Bypassed reports that the request was let through without a puzzle
+	// (score under the bypass threshold). Challenge is zero in that case.
+	Bypassed bool
+
+	// Difficulty is the assigned puzzle difficulty (0 when bypassed).
+	Difficulty int
+
+	// Challenge is the issued puzzle (zero when bypassed).
+	Challenge puzzle.Challenge
+}
+
+// Hook observes decisions, for logging and experiment accounting.
+type Hook func(Decision)
+
+// Framework is the assembled pipeline. Construct with New; all methods are
+// safe for concurrent use.
+type Framework struct {
+	scorer   Scorer
+	pol      policy.Policy
+	source   features.Source
+	tracker  *features.Tracker
+	issuer   *puzzle.Issuer
+	verifier *puzzle.Verifier
+	now      func() time.Time
+	hooks    []Hook
+
+	failClosedScore float64
+	bypassBelow     float64 // < 0 disables bypass
+
+	stats metrics.Registry
+}
+
+// config collects the options New applies.
+type config struct {
+	key         []byte
+	scorer      Scorer
+	pol         policy.Policy
+	source      features.Source
+	tracker     *features.Tracker
+	now         func() time.Time
+	ttl         time.Duration
+	maxDiff     int
+	replaySize  int
+	hooks       []Hook
+	failClosed  float64
+	bypassBelow float64
+	clockSkew   time.Duration
+}
+
+// Option customizes the framework.
+type Option func(*config)
+
+// WithKey sets the HMAC key shared by issuer and verifier. Required,
+// minimum 16 bytes.
+func WithKey(key []byte) Option { return func(c *config) { c.key = key } }
+
+// WithScorer sets the AI model. Required.
+func WithScorer(s Scorer) Option { return func(c *config) { c.scorer = s } }
+
+// WithPolicy sets the score→difficulty policy. Required.
+func WithPolicy(p policy.Policy) Option { return func(c *config) { c.pol = p } }
+
+// WithSource sets the attribute source consulted per request. Required.
+func WithSource(s features.Source) Option { return func(c *config) { c.source = s } }
+
+// WithTracker attaches a behavior tracker; Observe forwards to it. The
+// tracker is typically also wrapped into the Source via features.Combined.
+func WithTracker(t *features.Tracker) Option { return func(c *config) { c.tracker = t } }
+
+// WithClock injects the time source (default time.Now). Experiments pass
+// the simulator's virtual clock.
+func WithClock(now func() time.Time) Option { return func(c *config) { c.now = now } }
+
+// WithTTL sets challenge lifetime (default puzzle.DefaultTTL).
+func WithTTL(ttl time.Duration) Option { return func(c *config) { c.ttl = ttl } }
+
+// WithMaxDifficulty caps what the issuer will sign (default 32).
+func WithMaxDifficulty(d int) Option { return func(c *config) { c.maxDiff = d } }
+
+// WithReplayCacheSize bounds the single-use seed cache (default 1<<16).
+// Zero disables replay protection entirely — only sensible in benchmarks.
+func WithReplayCacheSize(n int) Option { return func(c *config) { c.replaySize = n } }
+
+// WithHook registers a decision observer. Hooks run synchronously on the
+// Decide path and must be fast.
+func WithHook(h Hook) Option { return func(c *config) { c.hooks = append(c.hooks, h) } }
+
+// WithFailClosedScore sets the score assumed when the scorer errors
+// (default 10, the most suspicious). Fail-open (0) is possible but
+// explicitly a policy decision.
+func WithFailClosedScore(s float64) Option { return func(c *config) { c.failClosed = s } }
+
+// WithBypassBelow lets requests scoring strictly under threshold through
+// without any puzzle. The paper always issues a puzzle (cost “increases as
+// the client's reputation score worsens” from a non-zero floor); bypass is
+// an extension for sites that cannot tolerate any latency on trusted
+// traffic. Negative disables (the default).
+func WithBypassBelow(threshold float64) Option {
+	return func(c *config) { c.bypassBelow = threshold }
+}
+
+// WithClockSkew sets issuer/verifier skew tolerance (default 2 s).
+func WithClockSkew(d time.Duration) Option { return func(c *config) { c.clockSkew = d } }
+
+// New assembles a Framework, validating that all required components are
+// present and mutually consistent.
+func New(opts ...Option) (*Framework, error) {
+	cfg := config{
+		now:         time.Now,
+		ttl:         puzzle.DefaultTTL,
+		maxDiff:     32,
+		replaySize:  1 << 16,
+		failClosed:  policy.MaxScore,
+		bypassBelow: -1,
+		clockSkew:   2 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	switch {
+	case cfg.scorer == nil:
+		return nil, errors.New("core: a Scorer is required (WithScorer)")
+	case cfg.pol == nil:
+		return nil, errors.New("core: a Policy is required (WithPolicy)")
+	case cfg.source == nil:
+		return nil, errors.New("core: a feature Source is required (WithSource)")
+	case cfg.key == nil:
+		return nil, errors.New("core: an HMAC key is required (WithKey)")
+	}
+	if cfg.failClosed < policy.MinScore || cfg.failClosed > policy.MaxScore {
+		return nil, fmt.Errorf("core: fail-closed score %v outside [%v, %v]",
+			cfg.failClosed, policy.MinScore, policy.MaxScore)
+	}
+
+	issuer, err := puzzle.NewIssuer(cfg.key,
+		puzzle.WithIssuerNow(cfg.now),
+		puzzle.WithTTL(cfg.ttl),
+		puzzle.WithIssuerMaxDifficulty(cfg.maxDiff),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("core: build issuer: %w", err)
+	}
+	verifierOpts := []puzzle.VerifierOption{
+		puzzle.WithVerifierNow(cfg.now),
+		puzzle.WithClockSkew(cfg.clockSkew),
+	}
+	if cfg.replaySize > 0 {
+		verifierOpts = append(verifierOpts,
+			puzzle.WithReplayCache(puzzle.NewReplayCache(cfg.replaySize, cfg.now)))
+	}
+	verifier, err := puzzle.NewVerifier(cfg.key, verifierOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build verifier: %w", err)
+	}
+
+	return &Framework{
+		scorer:          cfg.scorer,
+		pol:             cfg.pol,
+		source:          cfg.source,
+		tracker:         cfg.tracker,
+		issuer:          issuer,
+		verifier:        verifier,
+		now:             cfg.now,
+		hooks:           cfg.hooks,
+		failClosedScore: cfg.failClosed,
+		bypassBelow:     cfg.bypassBelow,
+	}, nil
+}
+
+// Decide runs steps 2–4 of the protocol for one request: score the
+// client's features, map the score to a difficulty, and issue a bound
+// challenge.
+func (f *Framework) Decide(req RequestContext) (Decision, error) {
+	if req.IP == "" {
+		return Decision{}, errors.New("core: request without client IP")
+	}
+	dec := Decision{IP: req.IP}
+
+	attrs := f.source.Attributes(req.IP, f.now())
+	score, err := f.scorer.Score(attrs)
+	if err != nil {
+		// Fail closed: an unscorable client is treated as configured,
+		// default maximally suspicious. The error is preserved on the
+		// decision for observability.
+		dec.ScoreErr = err
+		score = f.failClosedScore
+		f.stats.Counter("score_errors").Inc()
+	}
+	dec.Score = score
+
+	if f.bypassBelow >= 0 && score < f.bypassBelow {
+		dec.Bypassed = true
+		f.stats.Counter("bypassed").Inc()
+		f.fire(dec)
+		return dec, nil
+	}
+
+	dec.Difficulty = f.pol.Difficulty(score)
+	ch, err := f.issuer.Issue(req.IP, dec.Difficulty)
+	if err != nil {
+		return Decision{}, fmt.Errorf("core: issue challenge: %w", err)
+	}
+	dec.Challenge = ch
+	f.stats.Counter("issued").Inc()
+	f.fire(dec)
+	return dec, nil
+}
+
+// Verify runs steps 5–6: check the solution presented by binding. A nil
+// return means the caller should serve the resource.
+func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
+	if err := f.verifier.Verify(sol, binding); err != nil {
+		f.stats.Counter("rejected").Inc()
+		return err
+	}
+	f.stats.Counter("verified").Inc()
+	return nil
+}
+
+// Observe feeds one request into the attached behavior tracker (a no-op
+// without one). Call it for every request, including ones that fail
+// verification — failures are behavioral signal.
+func (f *Framework) Observe(req features.RequestInfo) error {
+	if f.tracker == nil {
+		return nil
+	}
+	return f.tracker.Observe(req)
+}
+
+// PolicyName reports the active policy's name for logs and tables.
+func (f *Framework) PolicyName() string { return f.pol.Name() }
+
+// Stats returns a snapshot of the framework's counters: issued, verified,
+// rejected, bypassed, score_errors.
+func (f *Framework) Stats() map[string]float64 { return f.stats.Snapshot() }
+
+// fire invokes hooks synchronously.
+func (f *Framework) fire(dec Decision) {
+	for _, h := range f.hooks {
+		h(dec)
+	}
+}

@@ -1,0 +1,206 @@
+package dataset
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAttributesCanonicalOrder(t *testing.T) {
+	attrs := Attributes()
+	if len(attrs) != 10 {
+		t.Fatalf("schema has %d attributes, want 10", len(attrs))
+	}
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i-1].Name >= attrs[i].Name {
+			t.Fatalf("schema not sorted: %q >= %q", attrs[i-1].Name, attrs[i].Name)
+		}
+	}
+	for _, a := range attrs {
+		if a.Min >= a.Max {
+			t.Errorf("attribute %q has degenerate range [%v, %v]", a.Name, a.Min, a.Max)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"zero_n", Config{N: 0}},
+		{"bad_fraction", Config{N: 10, MaliciousFraction: 1.5}},
+		{"bad_overlap", Config{N: 10, Overlap: -0.1}},
+		{"negative_noise", Config{N: 10, Noise: -1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Generate(tt.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 1000
+	samples, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != cfg.N {
+		t.Fatalf("got %d samples, want %d", len(samples), cfg.N)
+	}
+	schema := Attributes()
+	nMal := 0
+	for i, s := range samples {
+		if s.Malicious {
+			nMal++
+			if s.Family == "" {
+				t.Fatalf("sample %d malicious without family", i)
+			}
+		} else if s.Family != "" {
+			t.Fatalf("sample %d benign with family %q", i, s.Family)
+		}
+		if len(s.Attrs) != len(schema) {
+			t.Fatalf("sample %d has %d attrs, want %d", i, len(s.Attrs), len(schema))
+		}
+		for _, a := range schema {
+			v, ok := s.Attrs[a.Name]
+			if !ok {
+				t.Fatalf("sample %d missing %q", i, a.Name)
+			}
+			if v < a.Min || v > a.Max {
+				t.Fatalf("sample %d attr %q = %v outside [%v, %v]", i, a.Name, v, a.Min, a.Max)
+			}
+		}
+	}
+	wantMal := int(math.Round(float64(cfg.N) * cfg.MaliciousFraction))
+	if nMal != wantMal {
+		t.Fatalf("malicious count = %d, want %d", nMal, wantMal)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 200
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].IP != b[i].IP || a[i].Malicious != b[i].Malicious {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+		for k, v := range a[i].Attrs {
+			if b[i].Attrs[k] != v {
+				t.Fatalf("sample %d attr %q differs", i, k)
+			}
+		}
+	}
+	cfg.Seed = 2
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].IP != c[i].IP {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateOverlapSeparation(t *testing.T) {
+	// With zero overlap the classes should be far apart; with full overlap
+	// their attribute means should nearly coincide. Compare mean
+	// blacklist_count gaps as a proxy for separation.
+	gap := func(overlap float64) float64 {
+		cfg := Config{N: 2000, MaliciousFraction: 0.5, Overlap: overlap, Noise: 0.2, Seed: 3}
+		samples, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var malMean, benMean float64
+		var malN, benN int
+		for _, s := range samples {
+			if s.Malicious {
+				malMean += s.Attrs["blacklist_count"]
+				malN++
+			} else {
+				benMean += s.Attrs["blacklist_count"]
+				benN++
+			}
+		}
+		return malMean/float64(malN) - benMean/float64(benN)
+	}
+	if g0, g1 := gap(0), gap(1); g0 < 2 || math.Abs(g1) > 0.5 || g1 >= g0 {
+		t.Fatalf("overlap knob not separating classes: gap(0)=%v gap(1)=%v", g0, g1)
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.N = 100
+	samples, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	train, test := Split(samples, 0.8, rng)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split sizes = %d/%d, want 80/20", len(train), len(test))
+	}
+	seen := make(map[string]int)
+	for _, s := range samples {
+		seen[s.IP]++
+	}
+	for _, s := range append(append([]Sample{}, train...), test...) {
+		seen[s.IP]--
+	}
+	for ip, n := range seen {
+		if n != 0 {
+			t.Fatalf("split is not a partition: ip %s count %d", ip, n)
+		}
+	}
+}
+
+// Property: Split never loses or duplicates samples for any fraction.
+func TestSplitPartitionProperty(t *testing.T) {
+	samples, err := Generate(Config{N: 50, MaliciousFraction: 0.3, Overlap: 0.5, Noise: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(fracRaw uint8) bool {
+		frac := float64(fracRaw) / 255
+		train, test := Split(samples, frac, rand.New(rand.NewPCG(uint64(fracRaw), 1)))
+		return len(train)+len(test) == len(samples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomIPv4Valid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := 0; i < 200; i++ {
+		ip := RandomIPv4(rng)
+		if ip == "" {
+			t.Fatal("empty IP")
+		}
+		switch ip[0] {
+		case '0':
+			t.Fatalf("IP with zero first octet: %s", ip)
+		}
+	}
+}

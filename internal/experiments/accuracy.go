@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"aipow/internal/dataset"
+	"aipow/internal/metrics"
+	"aipow/internal/reputation"
+)
+
+// AccuracyConfig parameterizes the E3 reproduction of DAbR's ~80% scoring
+// accuracy on the synthetic Talos-like dataset.
+type AccuracyConfig struct {
+	// Dataset is the synthetic feed configuration.
+	Dataset dataset.Config
+
+	// TrainFraction splits the dataset.
+	TrainFraction float64
+
+	// Threshold is the malicious-classification score cut (the model's
+	// calibrated operating point is 5).
+	Threshold float64
+
+	// Clusters is the number of malicious centroids to learn.
+	Clusters int
+
+	// KNNK, when positive, also evaluates a kNN scorer for comparison.
+	KNNK int
+
+	// Seed drives the split and training.
+	Seed uint64
+}
+
+// DefaultAccuracyConfig reproduces E3.
+func DefaultAccuracyConfig() AccuracyConfig {
+	return AccuracyConfig{
+		Dataset:       dataset.DefaultConfig(),
+		TrainFraction: 0.8,
+		Threshold:     reputation.MaxScore / 2,
+		Clusters:      reputation.DefaultClusters,
+		KNNK:          15,
+		Seed:          3,
+	}
+}
+
+// AccuracyResult is the E3 outcome.
+type AccuracyResult struct {
+	Config AccuracyConfig
+
+	// Model is the trained DAbR-style scorer's evaluation on the test set.
+	Model reputation.Evaluation
+
+	// KNN is the kNN comparator's evaluation (zero value when disabled).
+	KNN reputation.Evaluation
+
+	// TrainSize and TestSize record the split.
+	TrainSize, TestSize int
+}
+
+// RunAccuracy generates the dataset, trains the reputation model, and
+// evaluates it, reproducing the 80% figure the paper imports from DAbR.
+func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
+	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
+		return nil, fmt.Errorf("experiments: train fraction %v not in (0,1)", cfg.TrainFraction)
+	}
+	raw, err := dataset.Generate(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: accuracy dataset: %w", err)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xACC))
+	trainRaw, testRaw := dataset.Split(raw, cfg.TrainFraction, rng)
+	train := toReputationSamples(trainRaw)
+	test := toReputationSamples(testRaw)
+
+	model, err := reputation.Train(train,
+		reputation.WithClusters(cfg.Clusters),
+		reputation.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: accuracy training: %w", err)
+	}
+	eval, err := reputation.Evaluate(model, test, cfg.Threshold)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: accuracy evaluation: %w", err)
+	}
+	res := &AccuracyResult{
+		Config:    cfg,
+		Model:     eval,
+		TrainSize: len(train),
+		TestSize:  len(test),
+	}
+	if cfg.KNNK > 0 {
+		knn, err := reputation.NewKNN(train, cfg.KNNK)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: accuracy knn: %w", err)
+		}
+		knnEval, err := reputation.Evaluate(knn, test, cfg.Threshold)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: accuracy knn evaluation: %w", err)
+		}
+		res.KNN = knnEval
+	}
+	return res, nil
+}
+
+// toReputationSamples adapts dataset samples to the scorer's input type.
+func toReputationSamples(in []dataset.Sample) []reputation.Sample {
+	out := make([]reputation.Sample, len(in))
+	for i, s := range in {
+		out[i] = reputation.Sample{Attrs: s.Attrs, Malicious: s.Malicious}
+	}
+	return out
+}
+
+// Table renders the E3 rows (paper imports 80% accuracy from DAbR).
+func (r *AccuracyResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Reputation model quality (train=%d test=%d threshold=%.1f; DAbR reports 0.80 accuracy)",
+			r.TrainSize, r.TestSize, r.Config.Threshold),
+		"scorer", "accuracy", "precision", "recall", "f1")
+	t.AddRow("dabr_centroids", r.Model.Accuracy(), r.Model.Precision(), r.Model.Recall(), r.Model.F1())
+	if r.Config.KNNK > 0 {
+		t.AddRow(fmt.Sprintf("knn(k=%d)", r.Config.KNNK), r.KNN.Accuracy(), r.KNN.Precision(), r.KNN.Recall(), r.KNN.F1())
+	}
+	return t
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"aipow/internal/metrics"
+	"aipow/internal/netsim"
+	"aipow/internal/policy"
+)
+
+// Fig2Config parameterizes the Figure 2 reproduction.
+type Fig2Config struct {
+	// Trials is the number of trials per (policy, score) point; the paper
+	// reports the median of 30.
+	Trials int
+
+	// Epsilon is Policy 3's error allowance.
+	Epsilon float64
+
+	// Trial is the simulated environment.
+	Trial netsim.TrialConfig
+
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultFig2Config reproduces the paper's setup.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{
+		Trials:  30,
+		Epsilon: policy.DefaultEpsilon,
+		Trial:   CalibratedTrial(),
+		Seed:    1,
+	}
+}
+
+// Fig2Point is one (policy, score) cell of the figure.
+type Fig2Point struct {
+	Policy   string
+	Score    int
+	MedianMS float64
+	MeanMS   float64
+	P10MS    float64
+	P90MS    float64
+}
+
+// Fig2Result is the full reproduced figure.
+type Fig2Result struct {
+	Config Fig2Config
+	Points []Fig2Point
+}
+
+// RunFig2 reproduces Figure 2: for each reputation score R ∈ {0, …, 10}
+// and each of the paper's three policies, it samples Trials end-to-end
+// round trips and reports their order statistics.
+func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiments: fig2 needs at least one trial, got %d", cfg.Trials)
+	}
+	if err := cfg.Trial.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: fig2 trial config: %w", err)
+	}
+	p3, err := policy.Policy3(policy.WithEpsilon(cfg.Epsilon), policy.WithSeed(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig2 policy3: %w", err)
+	}
+	policies := []policy.Policy{policy.Policy1(), policy.Policy2(), p3}
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0xF162))
+	res := &Fig2Result{Config: cfg}
+	for _, pol := range policies {
+		for score := 0; score <= 10; score++ {
+			sum := metrics.NewSummary(cfg.Trials)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				d := pol.Difficulty(float64(score))
+				b, err := netsim.RunTrial(cfg.Trial, d, rng)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig2 trial (policy %s, score %d): %w",
+						pol.Name(), score, err)
+				}
+				sum.ObserveDuration(b.Total())
+			}
+			res.Points = append(res.Points, Fig2Point{
+				Policy:   pol.Name(),
+				Score:    score,
+				MedianMS: sum.Median(),
+				MeanMS:   sum.Mean(),
+				P10MS:    sum.Percentile(10),
+				P90MS:    sum.Percentile(90),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Point returns the cell for (policyName, score), or false if absent.
+func (r *Fig2Result) Point(policyName string, score int) (Fig2Point, bool) {
+	for _, p := range r.Points {
+		if p.Policy == policyName && p.Score == score {
+			return p, true
+		}
+	}
+	return Fig2Point{}, false
+}
+
+// Table renders the figure as the series the paper plots: one row per
+// reputation score, one median-latency column per policy.
+func (r *Fig2Result) Table() *metrics.Table {
+	names := []string{}
+	seen := map[string]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Policy] {
+			seen[p.Policy] = true
+			names = append(names, p.Policy)
+		}
+	}
+	headers := []string{"reputation_score"}
+	for _, n := range names {
+		headers = append(headers, n+"_median_ms")
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 2 — median latency (ms) vs reputation score (median of %d trials)", r.Config.Trials),
+		headers...)
+	for score := 0; score <= 10; score++ {
+		row := []any{score}
+		for _, n := range names {
+			if p, ok := r.Point(n, score); ok {
+				row = append(row, p.MedianMS)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// MeanTable renders the mean-latency view of the same runs. The paper
+// plots medians; the mean view makes Policy 3's upper-tail skew visible
+// (see EXPERIMENTS.md).
+func (r *Fig2Result) MeanTable() *metrics.Table {
+	names := []string{}
+	seen := map[string]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Policy] {
+			seen[p.Policy] = true
+			names = append(names, p.Policy)
+		}
+	}
+	headers := []string{"reputation_score"}
+	for _, n := range names {
+		headers = append(headers, n+"_mean_ms")
+	}
+	t := metrics.NewTable("Figure 2 (mean view) — mean latency (ms) vs reputation score", headers...)
+	for score := 0; score <= 10; score++ {
+		row := []any{score}
+		for _, n := range names {
+			if p, ok := r.Point(n, score); ok {
+				row = append(row, p.MeanMS)
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"aipow/internal/attack"
+	"aipow/internal/core"
+	"aipow/internal/dataset"
+	"aipow/internal/metrics"
+	"aipow/internal/policy"
+)
+
+// HashrateConfig parameterizes E7: how the adaptive defense degrades as
+// the attacker brings more hashing power (botnets with GPUs). PoW throttles
+// by compute cost, so an attacker hashing k× faster cuts their inflicted
+// latency by k — the known structural limit of every PoW defense, which
+// the framework inherits and this ablation quantifies.
+type HashrateConfig struct {
+	// Scenario is the base workload; the bot population's hash rate is
+	// scaled per sweep point. Benign clients keep the calibrated rate.
+	Scenario attack.Scenario
+
+	// Multipliers are the attacker hash-rate factors to sweep.
+	Multipliers []float64
+
+	// Dataset and Policy mirror the E4 pipeline.
+	Dataset dataset.Config
+	Policy  string
+
+	// Seed drives dataset assignment and training.
+	Seed uint64
+}
+
+// DefaultHashrateConfig sweeps a script kiddie (1×) through a GPU fleet
+// (1000×) against the E4 workload.
+func DefaultHashrateConfig() HashrateConfig {
+	base := DefaultAttackConfig()
+	return HashrateConfig{
+		Scenario:    base.Scenario,
+		Multipliers: []float64{1, 10, 100, 1000},
+		Dataset:     base.Dataset,
+		Policy:      base.Policy,
+		Seed:        base.Seed,
+	}
+}
+
+// HashrateRow is one sweep point.
+type HashrateRow struct {
+	Multiplier     float64
+	BotGoodput     float64 // served/s
+	BotMeanMS      float64
+	BenignGoodput  float64
+	BenignMedianMS float64
+	ServerDropped  uint64
+}
+
+// HashrateResult is the full E7 sweep.
+type HashrateResult struct {
+	Config HashrateConfig
+	Rows   []HashrateRow
+}
+
+// RunHashrate sweeps the attacker's hash rate against the adaptive
+// framework built from the full E4 pipeline.
+func RunHashrate(cfg HashrateConfig) (*HashrateResult, error) {
+	if len(cfg.Multipliers) == 0 {
+		return nil, fmt.Errorf("experiments: hashrate sweep needs multipliers")
+	}
+	raw, err := dataset.Generate(cfg.Dataset)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hashrate dataset: %w", err)
+	}
+	attackCfg := AttackConfig{Scenario: cfg.Scenario, Dataset: cfg.Dataset, Seed: cfg.Seed}
+	model, store, err := buildIntel(raw, attackCfg)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := policy.NewRegistry().New(cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hashrate policy: %w", err)
+	}
+	fw, err := core.New(
+		core.WithKey([]byte("hashrate-experiment-hmac-key-32b")),
+		core.WithScorer(model),
+		core.WithPolicy(pol),
+		core.WithSource(store),
+		core.WithReplayCacheSize(0),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: hashrate framework: %w", err)
+	}
+
+	baseRate := cfg.Scenario.Specs[1].HashRate
+	res := &HashrateResult{Config: cfg}
+	for _, mult := range cfg.Multipliers {
+		if mult <= 0 {
+			return nil, fmt.Errorf("experiments: non-positive multiplier %v", mult)
+		}
+		sc := cfg.Scenario
+		specs := make([]attack.ClientSpec, len(sc.Specs))
+		copy(specs, sc.Specs)
+		specs[1].HashRate = baseRate * mult
+		sc.Specs = specs
+
+		out, err := attack.Run(fw, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hashrate run ×%g: %w", mult, err)
+		}
+		row := HashrateRow{
+			Multiplier:    mult,
+			ServerDropped: out.ServerDropped,
+		}
+		if b, ok := out.ByKind[attack.KindBot]; ok {
+			row.BotGoodput = out.Goodput(attack.KindBot, sc.Duration)
+			row.BotMeanMS = b.Latency.Mean()
+		}
+		if b, ok := out.ByKind[attack.KindBenign]; ok {
+			row.BenignGoodput = out.Goodput(attack.KindBenign, sc.Duration)
+			row.BenignMedianMS = b.Latency.Median()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the E7 sweep.
+func (r *HashrateResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Attacker hash-rate sweep (%v, adaptive %s)",
+			r.Config.Scenario.Duration, r.Config.Policy),
+		"attacker_speedup", "bot_goodput_rps", "bot_mean_ms", "benign_goodput_rps",
+		"benign_med_ms", "dropped")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%gx", row.Multiplier), row.BotGoodput, row.BotMeanMS,
+			row.BenignGoodput, row.BenignMedianMS, row.ServerDropped)
+	}
+	return t
+}

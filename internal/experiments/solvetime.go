@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"aipow/internal/metrics"
+	"aipow/internal/netsim"
+	"aipow/internal/puzzle"
+)
+
+// SolveTimeConfig parameterizes the E2 table (solve latency vs difficulty).
+type SolveTimeConfig struct {
+	// Trials per difficulty.
+	Trials int
+
+	// MaxDifficulty is the last row of the table (Policy 2's top is 15).
+	MaxDifficulty int
+
+	// Trial is the simulated environment.
+	Trial netsim.TrialConfig
+
+	// Real additionally measures actual SHA-256 solving on this host up
+	// to RealMaxDifficulty, checking that the exponential shape is not a
+	// simulation artifact.
+	Real              bool
+	RealMaxDifficulty int
+
+	// Seed drives the simulated draws.
+	Seed uint64
+}
+
+// DefaultSolveTimeConfig reproduces the paper's in-text claim setup.
+func DefaultSolveTimeConfig() SolveTimeConfig {
+	return SolveTimeConfig{
+		Trials:            30,
+		MaxDifficulty:     15,
+		Trial:             CalibratedTrial(),
+		Real:              false,
+		RealMaxDifficulty: 14,
+		Seed:              2,
+	}
+}
+
+// SolveTimePoint is one difficulty row.
+type SolveTimePoint struct {
+	Difficulty int
+
+	// SimMeanMS / SimMedianMS are simulated end-to-end latencies.
+	SimMeanMS, SimMedianMS float64
+
+	// ExpectedAttempts is the analytic 2^d.
+	ExpectedAttempts float64
+
+	// RealMedianMS is the measured wall-clock median of real SHA-256
+	// solving (solve only, no network), or NaN when not measured.
+	RealMedianMS float64
+
+	// RealMedianAttempts is the measured median attempt count, or NaN.
+	RealMedianAttempts float64
+}
+
+// SolveTimeResult is the full E2 table.
+type SolveTimeResult struct {
+	Config SolveTimeConfig
+	Points []SolveTimePoint
+}
+
+// RunSolveTime produces the solve-latency-vs-difficulty table anchored by
+// the paper's "31 ms for a 1-difficult puzzle".
+func RunSolveTime(cfg SolveTimeConfig) (*SolveTimeResult, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiments: solvetime needs at least one trial")
+	}
+	if cfg.MaxDifficulty < 1 || cfg.MaxDifficulty > puzzle.MaxDifficulty {
+		return nil, fmt.Errorf("experiments: solvetime max difficulty %d out of range", cfg.MaxDifficulty)
+	}
+	if err := cfg.Trial.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: solvetime trial config: %w", err)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x501E))
+
+	res := &SolveTimeResult{Config: cfg}
+	for d := 1; d <= cfg.MaxDifficulty; d++ {
+		sum := metrics.NewSummary(cfg.Trials)
+		for i := 0; i < cfg.Trials; i++ {
+			b, err := netsim.RunTrial(cfg.Trial, d, rng)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: solvetime trial d=%d: %w", d, err)
+			}
+			sum.ObserveDuration(b.Total())
+		}
+		p := SolveTimePoint{
+			Difficulty:         d,
+			SimMeanMS:          sum.Mean(),
+			SimMedianMS:        sum.Median(),
+			ExpectedAttempts:   puzzle.ExpectedAttempts(d),
+			RealMedianMS:       math.NaN(),
+			RealMedianAttempts: math.NaN(),
+		}
+		if cfg.Real && d <= cfg.RealMaxDifficulty {
+			realMS, realAttempts, err := measureRealSolve(d, cfg.Trials)
+			if err != nil {
+				return nil, err
+			}
+			p.RealMedianMS = realMS
+			p.RealMedianAttempts = realAttempts
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// measureRealSolve issues and genuinely solves real challenges, reporting
+// median wall-clock ms and median attempts.
+func measureRealSolve(d, trials int) (ms, attempts float64, err error) {
+	key := []byte("solvetime-experiment-hmac-key-32b")
+	issuer, err := puzzle.NewIssuer(key)
+	if err != nil {
+		return 0, 0, fmt.Errorf("experiments: real solve issuer: %w", err)
+	}
+	solver := puzzle.NewSolver()
+	msSum := metrics.NewSummary(trials)
+	atSum := metrics.NewSummary(trials)
+	for i := 0; i < trials; i++ {
+		ch, err := issuer.Issue(fmt.Sprintf("bench-client-%d", i), d)
+		if err != nil {
+			return 0, 0, fmt.Errorf("experiments: real solve issue: %w", err)
+		}
+		start := time.Now()
+		_, stats, err := solver.Solve(context.Background(), ch)
+		if err != nil {
+			return 0, 0, fmt.Errorf("experiments: real solve d=%d: %w", d, err)
+		}
+		msSum.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		atSum.Observe(float64(stats.Attempts))
+	}
+	return msSum.Median(), atSum.Median(), nil
+}
+
+// Table renders the E2 rows.
+func (r *SolveTimeResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		"Solve latency vs difficulty (paper anchor: ~31 ms at d=1)",
+		"difficulty", "expected_attempts", "sim_median_ms", "sim_mean_ms", "real_solve_median_ms", "real_median_attempts")
+	for _, p := range r.Points {
+		real1, real2 := any("-"), any("-")
+		if !math.IsNaN(p.RealMedianMS) {
+			real1 = p.RealMedianMS
+		}
+		if !math.IsNaN(p.RealMedianAttempts) {
+			real2 = p.RealMedianAttempts
+		}
+		t.AddRow(p.Difficulty, p.ExpectedAttempts, p.SimMedianMS, p.SimMeanMS, real1, real2)
+	}
+	return t
+}

@@ -1,0 +1,57 @@
+package features
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkTrackerObserve(b *testing.B) {
+	tr, err := NewTracker()
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Observe(RequestInfo{
+			IP:   fmt.Sprintf("10.0.%d.%d", i%256, (i/256)%256),
+			Path: "/api",
+			At:   start.Add(time.Duration(i) * time.Millisecond),
+		})
+	}
+}
+
+func BenchmarkTrackerAttributes(b *testing.B) {
+	tr, err := NewTracker()
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		_ = tr.Observe(RequestInfo{IP: "10.0.0.1", Path: fmt.Sprintf("/p%d", i%8),
+			At: start.Add(time.Duration(i) * time.Millisecond)})
+	}
+	at := start.Add(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Attributes("10.0.0.1", at)
+	}
+}
+
+func BenchmarkMapStoreLookup(b *testing.B) {
+	s, err := NewMapStore(map[string]float64{"x": 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		s.Put(fmt.Sprintf("10.0.%d.%d", i%256, i/256), map[string]float64{"x": float64(i)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Attributes("10.0.7.9", time.Time{})
+	}
+}

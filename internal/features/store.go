@@ -1,0 +1,111 @@
+package features
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Source yields the attribute map for an IP at a point in time. It is the
+// seam between the framework and whatever intelligence feeds a deployment
+// has: static feed lookups, live behavior, or both.
+type Source interface {
+	// Attributes returns the attribute map used to score ip. The returned
+	// map is owned by the caller.
+	Attributes(ip string, now time.Time) map[string]float64
+}
+
+// MapStore is a static attribute source backed by an in-memory map — the
+// shape of a Talos-style feed snapshot. IPs absent from the feed fall back
+// to a configurable default profile.
+//
+// MapStore is safe for concurrent use.
+type MapStore struct {
+	mu       sync.RWMutex
+	byIP     map[string]map[string]float64
+	fallback map[string]float64
+}
+
+var _ Source = (*MapStore)(nil)
+
+// NewMapStore returns a store with the given fallback profile for unknown
+// IPs. The fallback must be non-nil: scoring an IP with no attributes at
+// all is a configuration error the store surfaces early.
+func NewMapStore(fallback map[string]float64) (*MapStore, error) {
+	if fallback == nil {
+		return nil, fmt.Errorf("features: map store requires a fallback profile")
+	}
+	return &MapStore{
+		byIP:     make(map[string]map[string]float64),
+		fallback: cloneAttrs(fallback),
+	}, nil
+}
+
+// Put registers (or replaces) the attributes for ip.
+func (s *MapStore) Put(ip string, attrs map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byIP[ip] = cloneAttrs(attrs)
+}
+
+// Attributes implements Source.
+func (s *MapStore) Attributes(ip string, _ time.Time) map[string]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if attrs, ok := s.byIP[ip]; ok {
+		return cloneAttrs(attrs)
+	}
+	return cloneAttrs(s.fallback)
+}
+
+// Known reports whether ip has explicit attributes (vs. the fallback).
+func (s *MapStore) Known(ip string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.byIP[ip]
+	return ok
+}
+
+// Len reports the number of explicitly registered IPs.
+func (s *MapStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byIP)
+}
+
+// Combined merges a static source with live tracker behavior: static
+// attributes first, then behavioral attributes layered on top (behavioral
+// names are "live_"-prefixed, so the two never collide in practice; on a
+// genuine key collision the behavioral value wins, being fresher).
+type Combined struct {
+	static  Source
+	tracker *Tracker
+}
+
+var _ Source = (*Combined)(nil)
+
+// NewCombined builds the merged source. Both parts are required; use the
+// parts directly when only one is wanted.
+func NewCombined(static Source, tracker *Tracker) (*Combined, error) {
+	if static == nil || tracker == nil {
+		return nil, fmt.Errorf("features: combined source requires static source and tracker")
+	}
+	return &Combined{static: static, tracker: tracker}, nil
+}
+
+// Attributes implements Source.
+func (c *Combined) Attributes(ip string, now time.Time) map[string]float64 {
+	out := c.static.Attributes(ip, now)
+	for k, v := range c.tracker.Attributes(ip, now) {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneAttrs(in map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package features
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewMapStoreRequiresFallback(t *testing.T) {
+	if _, err := NewMapStore(nil); err == nil {
+		t.Fatal("nil fallback accepted")
+	}
+}
+
+func TestMapStoreLookupAndFallback(t *testing.T) {
+	s, err := NewMapStore(map[string]float64{"spam_ratio": 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("1.1.1.1", map[string]float64{"spam_ratio": 0.9})
+
+	if got := s.Attributes("1.1.1.1", time.Time{})["spam_ratio"]; got != 0.9 {
+		t.Errorf("known IP spam_ratio = %v, want 0.9", got)
+	}
+	if got := s.Attributes("8.8.8.8", time.Time{})["spam_ratio"]; got != 0.01 {
+		t.Errorf("unknown IP spam_ratio = %v, want fallback 0.01", got)
+	}
+	if !s.Known("1.1.1.1") || s.Known("8.8.8.8") {
+		t.Error("Known() wrong")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", s.Len())
+	}
+}
+
+func TestMapStoreReturnsCopies(t *testing.T) {
+	s, err := NewMapStore(map[string]float64{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := map[string]float64{"x": 5}
+	s.Put("a", src)
+	src["x"] = 99 // caller mutates after Put
+	if got := s.Attributes("a", time.Time{})["x"]; got != 5 {
+		t.Fatalf("Put did not copy: got %v", got)
+	}
+	out := s.Attributes("a", time.Time{})
+	out["x"] = 123 // caller mutates returned map
+	if got := s.Attributes("a", time.Time{})["x"]; got != 5 {
+		t.Fatalf("Attributes did not copy: got %v", got)
+	}
+}
+
+func TestCombinedValidation(t *testing.T) {
+	tr, err := NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCombined(nil, tr); err == nil {
+		t.Error("nil static accepted")
+	}
+	store, err := NewMapStore(map[string]float64{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCombined(store, nil); err == nil {
+		t.Error("nil tracker accepted")
+	}
+}
+
+func TestCombinedMergesStaticAndLive(t *testing.T) {
+	store, err := NewMapStore(map[string]float64{"web_reputation": 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put("9.9.9.9", map[string]float64{"web_reputation": 15})
+	tr, err := NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := tr.Observe(RequestInfo{IP: "9.9.9.9", Path: "/login", At: at(i), Failed: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	combined, err := NewCombined(store, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := combined.Attributes("9.9.9.9", at(4))
+	if attrs["web_reputation"] != 15 {
+		t.Errorf("static attr lost: %v", attrs["web_reputation"])
+	}
+	if attrs[AttrTotalRequests] != 4 {
+		t.Errorf("live attr lost: %v", attrs[AttrTotalRequests])
+	}
+	if attrs[AttrFailRatio] != 1 {
+		t.Errorf("fail ratio = %v, want 1", attrs[AttrFailRatio])
+	}
+}

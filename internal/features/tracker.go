@@ -1,0 +1,245 @@
+package features
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Behavioral attribute names produced by Tracker.Attributes. They carry a
+// "live_" prefix so they never collide with static feed attributes when
+// merged.
+const (
+	AttrRequestRate   = "live_req_per_sec"
+	AttrFailRatio     = "live_fail_ratio"
+	AttrDistinctPaths = "live_distinct_paths"
+	AttrPathEntropy   = "live_path_entropy"
+	AttrInterArrival  = "live_inter_arrival_ms"
+	AttrTotalRequests = "live_total_requests"
+)
+
+// RequestInfo is the normalized description of one incoming request, the
+// unit the tracker observes.
+type RequestInfo struct {
+	// IP identifies the client (the tracker's key).
+	IP string
+
+	// Path is the requested resource path.
+	Path string
+
+	// At is the arrival time.
+	At time.Time
+
+	// Failed marks requests the server answered with a client-error status
+	// (failed auth, malformed input) — a strong abuse signal.
+	Failed bool
+}
+
+// Tracker maintains bounded per-IP behavioral state and summarizes it as
+// attributes for the scorer. Memory is bounded two ways: at most capacity
+// IPs (LRU-evicted) and at most maxPaths distinct paths tracked per IP.
+//
+// Tracker is safe for concurrent use.
+type Tracker struct {
+	mu       sync.Mutex
+	entries  map[string]*ipEntry
+	lru      *list.List // front = most recently used
+	capacity int
+	span     time.Duration
+	buckets  int
+	maxPaths int
+}
+
+// ipEntry is the tracked state for one client IP.
+type ipEntry struct {
+	ip           string
+	lruElem      *list.Element
+	requests     *Window
+	failures     *Window
+	paths        map[string]uint64 // per-path hit counts, capped at maxPaths keys
+	overflowHits uint64            // hits on paths beyond the cap, pooled
+	lastSeen     time.Time
+	interArrival float64 // EWMA, milliseconds
+	total        uint64
+}
+
+// TrackerOption customizes a Tracker.
+type TrackerOption func(*Tracker)
+
+// WithCapacity bounds the number of tracked IPs (default 65536).
+func WithCapacity(n int) TrackerOption {
+	return func(t *Tracker) { t.capacity = n }
+}
+
+// WithWindow sets the sliding-window span and bucket count used for rates
+// (default 60 s across 12 buckets).
+func WithWindow(span time.Duration, buckets int) TrackerOption {
+	return func(t *Tracker) { t.span, t.buckets = span, buckets }
+}
+
+// WithMaxPaths bounds the distinct paths remembered per IP (default 64).
+func WithMaxPaths(n int) TrackerOption {
+	return func(t *Tracker) { t.maxPaths = n }
+}
+
+// NewTracker returns a Tracker with the given options applied.
+func NewTracker(opts ...TrackerOption) (*Tracker, error) {
+	t := &Tracker{
+		entries:  make(map[string]*ipEntry),
+		lru:      list.New(),
+		capacity: 65536,
+		span:     time.Minute,
+		buckets:  12,
+		maxPaths: 64,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.capacity < 1 {
+		return nil, fmt.Errorf("features: tracker capacity must be positive, got %d", t.capacity)
+	}
+	if t.span <= 0 || t.buckets < 1 {
+		return nil, fmt.Errorf("features: invalid window %v/%d", t.span, t.buckets)
+	}
+	if t.maxPaths < 1 {
+		return nil, fmt.Errorf("features: max paths must be positive, got %d", t.maxPaths)
+	}
+	return t, nil
+}
+
+// Observe folds one request into the tracker.
+func (t *Tracker) Observe(req RequestInfo) error {
+	if req.IP == "" {
+		return fmt.Errorf("features: request without IP")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	e, ok := t.entries[req.IP]
+	if !ok {
+		reqW, err := NewWindow(t.span, t.buckets)
+		if err != nil {
+			return err
+		}
+		failW, err := NewWindow(t.span, t.buckets)
+		if err != nil {
+			return err
+		}
+		e = &ipEntry{
+			ip:       req.IP,
+			requests: reqW,
+			failures: failW,
+			paths:    make(map[string]uint64, 8),
+		}
+		e.lruElem = t.lru.PushFront(e)
+		t.entries[req.IP] = e
+		for len(t.entries) > t.capacity {
+			t.evictLocked()
+		}
+	} else {
+		t.lru.MoveToFront(e.lruElem)
+	}
+
+	if !e.lastSeen.IsZero() {
+		gapMS := float64(req.At.Sub(e.lastSeen)) / float64(time.Millisecond)
+		if gapMS < 0 {
+			gapMS = 0
+		}
+		const alpha = 0.3 // EWMA smoothing: favors recent behavior
+		if e.total <= 1 {
+			e.interArrival = gapMS
+		} else {
+			e.interArrival = alpha*gapMS + (1-alpha)*e.interArrival
+		}
+	}
+	e.lastSeen = req.At
+	e.total++
+	e.requests.Add(req.At, 1)
+	if req.Failed {
+		e.failures.Add(req.At, 1)
+	}
+	if _, known := e.paths[req.Path]; known || len(e.paths) < t.maxPaths {
+		e.paths[req.Path]++
+	} else {
+		e.overflowHits++
+	}
+	return nil
+}
+
+// Attributes summarizes the IP's tracked behavior at time now. Unknown IPs
+// return all-zero attributes: no observed behavior, no suspicion from this
+// source.
+func (t *Tracker) Attributes(ip string, now time.Time) map[string]float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	attrs := map[string]float64{
+		AttrRequestRate:   0,
+		AttrFailRatio:     0,
+		AttrDistinctPaths: 0,
+		AttrPathEntropy:   0,
+		AttrInterArrival:  0,
+		AttrTotalRequests: 0,
+	}
+	e, ok := t.entries[ip]
+	if !ok {
+		return attrs
+	}
+	reqs := e.requests.Sum(now)
+	attrs[AttrRequestRate] = e.requests.Rate(now)
+	if reqs > 0 {
+		attrs[AttrFailRatio] = e.failures.Sum(now) / reqs
+	}
+	attrs[AttrDistinctPaths] = float64(len(e.paths))
+	attrs[AttrPathEntropy] = e.pathEntropy()
+	attrs[AttrInterArrival] = e.interArrival
+	attrs[AttrTotalRequests] = float64(e.total)
+	return attrs
+}
+
+// pathEntropy is the Shannon entropy (bits) of the per-path hit
+// distribution: near 0 for single-endpoint hammering, high for crawlers
+// spraying across many paths. Overflow hits pool into one pseudo-path, so
+// the cap cannot be abused to zero the signal.
+func (e *ipEntry) pathEntropy() float64 {
+	total := e.overflowHits
+	for _, n := range e.paths {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	acc := func(n uint64) {
+		if n == 0 {
+			return
+		}
+		p := float64(n) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	for _, n := range e.paths {
+		acc(n)
+	}
+	acc(e.overflowHits)
+	return h
+}
+
+// Tracked reports how many IPs currently have state.
+func (t *Tracker) Tracked() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// evictLocked drops the least-recently-used IP.
+func (t *Tracker) evictLocked() {
+	back := t.lru.Back()
+	if back == nil {
+		return
+	}
+	e := back.Value.(*ipEntry)
+	t.lru.Remove(back)
+	delete(t.entries, e.ip)
+}

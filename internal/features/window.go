@@ -1,0 +1,95 @@
+// Package features turns raw request streams into the per-IP attribute
+// vectors the AI model scores. It provides a bucketed sliding window, a
+// bounded per-IP behavior tracker, and attribute stores that merge static
+// (Talos-like) attributes with live behavioral ones — the "IP traffic based
+// features" the paper's AI subsystem consumes.
+package features
+
+import (
+	"fmt"
+	"time"
+)
+
+// Window is a fixed-duration sliding-window accumulator backed by a ring
+// of time buckets. Adding a value assigns it to the bucket covering its
+// timestamp; querying sums the buckets that are still inside the window,
+// lazily zeroing buckets that have rotated out. Timestamps must be
+// non-decreasing within ~one window span for exact results, which request
+// streams satisfy.
+//
+// Window is not safe for concurrent use; Tracker serializes access.
+type Window struct {
+	span    time.Duration
+	bucket  time.Duration
+	counts  []float64
+	stamps  []int64 // bucket epoch each slot currently holds
+	lastAdd time.Time
+}
+
+// NewWindow returns a sliding window covering span with the given number
+// of buckets. More buckets cost memory but reduce quantization error at
+// the trailing edge.
+func NewWindow(span time.Duration, buckets int) (*Window, error) {
+	if span <= 0 {
+		return nil, fmt.Errorf("features: window span must be positive, got %v", span)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("features: window needs at least one bucket, got %d", buckets)
+	}
+	return &Window{
+		span:   span,
+		bucket: span / time.Duration(buckets),
+		counts: make([]float64, buckets),
+		stamps: make([]int64, buckets),
+	}, nil
+}
+
+// epoch maps a timestamp to its global bucket index.
+func (w *Window) epoch(at time.Time) int64 {
+	return at.UnixNano() / int64(w.bucket)
+}
+
+// Add records v at time at.
+func (w *Window) Add(at time.Time, v float64) {
+	e := w.epoch(at)
+	slot := int(((e % int64(len(w.counts))) + int64(len(w.counts))) % int64(len(w.counts)))
+	if w.stamps[slot] != e {
+		w.counts[slot] = 0
+		w.stamps[slot] = e
+	}
+	w.counts[slot] += v
+	if at.After(w.lastAdd) {
+		w.lastAdd = at
+	}
+}
+
+// Sum reports the total of values whose buckets are inside the window
+// ending at now.
+func (w *Window) Sum(now time.Time) float64 {
+	newest := w.epoch(now)
+	oldest := newest - int64(len(w.counts)) + 1
+	var total float64
+	for slot, e := range w.stamps {
+		if e >= oldest && e <= newest {
+			total += w.counts[slot]
+		}
+	}
+	return total
+}
+
+// Rate reports Sum divided by the window span in seconds.
+func (w *Window) Rate(now time.Time) float64 {
+	return w.Sum(now) / w.span.Seconds()
+}
+
+// Span reports the window's configured duration.
+func (w *Window) Span() time.Duration { return w.span }
+
+// Reset zeroes the window.
+func (w *Window) Reset() {
+	for i := range w.counts {
+		w.counts[i] = 0
+		w.stamps[i] = 0
+	}
+	w.lastAdd = time.Time{}
+}

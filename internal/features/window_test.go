@@ -1,0 +1,117 @@
+package features
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func at(sec int) time.Time {
+	return time.Date(2022, 3, 21, 0, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0, 4); err == nil {
+		t.Error("zero span accepted")
+	}
+	if _, err := NewWindow(time.Minute, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+}
+
+func TestWindowSumWithinSpan(t *testing.T) {
+	w, err := NewWindow(60*time.Second, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(at(0), 1)
+	w.Add(at(10), 2)
+	w.Add(at(20), 3)
+	if got := w.Sum(at(20)); got != 6 {
+		t.Fatalf("Sum = %v, want 6", got)
+	}
+	if got := w.Rate(at(20)); got != 0.1 {
+		t.Fatalf("Rate = %v, want 0.1", got)
+	}
+}
+
+func TestWindowExpiresOldBuckets(t *testing.T) {
+	w, err := NewWindow(60*time.Second, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(at(0), 5)
+	w.Add(at(45), 1)
+	// At t=90 the covered buckets start at t=40 (the 60 s span quantizes to
+	// whole 10 s buckets), so the t=0 event is out and the t=45 one is in.
+	if got := w.Sum(at(90)); got != 1 {
+		t.Fatalf("Sum after expiry = %v, want 1", got)
+	}
+	// Far in the future everything is gone.
+	if got := w.Sum(at(1000)); got != 0 {
+		t.Fatalf("Sum far future = %v, want 0", got)
+	}
+}
+
+func TestWindowBucketReuseClearsStaleCounts(t *testing.T) {
+	w, err := NewWindow(6*time.Second, 6) // 1s buckets
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(at(0), 100)
+	// t=6 maps to the same ring slot as t=0 (6 mod 6 buckets); the stale
+	// count must be cleared, not accumulated into.
+	w.Add(at(6), 1)
+	// Window ending at t=6 covers buckets [1..6]: only the t=6 value remains.
+	if got := w.Sum(at(6)); got != 1 {
+		t.Fatalf("Sum = %v, want 1 (stale slot leaked)", got)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w, err := NewWindow(time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Add(at(0), 3)
+	w.Reset()
+	if got := w.Sum(at(0)); got != 0 {
+		t.Fatalf("Sum after reset = %v, want 0", got)
+	}
+}
+
+func TestWindowSpanAccessor(t *testing.T) {
+	w, err := NewWindow(42*time.Second, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Span() != 42*time.Second {
+		t.Fatalf("Span() = %v", w.Span())
+	}
+}
+
+// Property (conservation): for events all within one span of "now", the
+// window sum equals the plain sum.
+func TestWindowConservationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		w, err := NewWindow(60*time.Second, 60)
+		if err != nil {
+			return false
+		}
+		now := at(120)
+		var want float64
+		rng := rand.New(rand.NewPCG(uint64(len(raw)), 7))
+		for _, v := range raw {
+			// Offsets in [61s, 120s]: safely inside the window ending at 120s
+			// even after bucket quantization.
+			off := 61 + rng.IntN(60)
+			w.Add(at(off), float64(v))
+			want += float64(v)
+		}
+		return w.Sum(now) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+package httpmw
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/puzzle"
+)
+
+// challengeBody is the JSON payload of a 428 response. The header carries
+// the authoritative token; the body is for human and tooling convenience.
+type challengeBody struct {
+	Challenge  string `json:"challenge"`
+	Difficulty int    `json:"difficulty"`
+	Message    string `json:"message"`
+}
+
+// errorBody is the JSON payload of a rejection.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// Middleware protects an http.Handler with the framework. Construct with
+// NewMiddleware.
+type Middleware struct {
+	next        http.Handler
+	fw          *core.Framework
+	trustHeader string
+	now         func() time.Time
+	tokens      *tokenSigner
+	tokenTTL    time.Duration
+}
+
+// MiddlewareOption customizes the middleware.
+type MiddlewareOption func(*Middleware)
+
+// WithTrustedIPHeader makes the middleware take the client IP from the
+// given header (e.g. "X-Real-IP") instead of RemoteAddr. Only safe behind
+// a proxy that always sets it.
+func WithTrustedIPHeader(name string) MiddlewareOption {
+	return func(m *Middleware) { m.trustHeader = name }
+}
+
+// WithMiddlewareClock injects the middleware's time source, for tests.
+func WithMiddlewareClock(now func() time.Time) MiddlewareOption {
+	return func(m *Middleware) { m.now = now }
+}
+
+// WithSessionTokens enables amortized solving: after one successful puzzle
+// redemption the client receives an X-PoW-Token valid for ttl, and
+// token-bearing requests skip puzzles until it expires. The key signs
+// tokens (it may equal the framework key; the HMAC domains are separated)
+// and must be at least 16 bytes.
+func WithSessionTokens(key []byte, ttl time.Duration) MiddlewareOption {
+	return func(m *Middleware) {
+		m.tokens = newTokenSigner(key, time.Now)
+		m.tokenTTL = ttl
+	}
+}
+
+// NewMiddleware wraps next with the PoW protocol driven by fw.
+func NewMiddleware(fw *core.Framework, next http.Handler, opts ...MiddlewareOption) (*Middleware, error) {
+	if fw == nil {
+		return nil, fmt.Errorf("httpmw: middleware requires a framework")
+	}
+	if next == nil {
+		return nil, fmt.Errorf("httpmw: middleware requires a handler to protect")
+	}
+	m := &Middleware{next: next, fw: fw, now: time.Now}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.tokens != nil {
+		m.tokens.now = m.now
+		if len(m.tokens.key) < 16 {
+			return nil, fmt.Errorf("httpmw: session token key shorter than 16 bytes")
+		}
+		if m.tokenTTL <= 0 {
+			return nil, fmt.Errorf("httpmw: non-positive session token TTL %v", m.tokenTTL)
+		}
+	}
+	return m, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ip := ClientIP(r, m.trustHeader)
+
+	if m.tokens != nil {
+		if tok := r.Header.Get(HeaderToken); tok != "" {
+			if err := m.tokens.Validate(tok, ip); err == nil {
+				m.observe(r, ip, false)
+				m.next.ServeHTTP(w, r)
+				return
+			}
+			// Invalid/expired token: fall through to the puzzle flow; the
+			// failed presentation is behavioral signal.
+			m.observe(r, ip, true)
+		}
+	}
+
+	if token := r.Header.Get(HeaderSolution); token != "" {
+		m.redeem(w, r, ip, token)
+		return
+	}
+	m.challenge(w, r, ip, "")
+}
+
+// challenge runs Decide and answers with a 428 (or passes a bypassed
+// request through). extraMsg annotates re-challenges after a failed
+// redemption.
+func (m *Middleware) challenge(w http.ResponseWriter, r *http.Request, ip, extraMsg string) {
+	m.observe(r, ip, false)
+	dec, err := m.fw.Decide(core.RequestContext{IP: ip})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "challenge issuance failed"})
+		return
+	}
+	if dec.Bypassed {
+		m.next.ServeHTTP(w, r)
+		return
+	}
+	token, err := dec.Challenge.MarshalText()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "challenge encoding failed"})
+		return
+	}
+	msg := fmt.Sprintf("solve the %d-difficult puzzle and retry with %s", dec.Difficulty, HeaderSolution)
+	if extraMsg != "" {
+		msg = extraMsg + "; " + msg
+	}
+	w.Header().Set(HeaderChallenge, string(token))
+	w.Header().Set(HeaderDifficulty, fmt.Sprintf("%d", dec.Difficulty))
+	writeJSON(w, StatusChallenge, challengeBody{
+		Challenge:  string(token),
+		Difficulty: dec.Difficulty,
+		Message:    msg,
+	})
+}
+
+// redeem verifies a presented solution and serves the protected resource on
+// success. Invalid solutions get a fresh challenge (the paper's flow keeps
+// clients in the loop rather than banning them outright — cost, not
+// blocking, is the control).
+func (m *Middleware) redeem(w http.ResponseWriter, r *http.Request, ip, token string) {
+	var sol puzzle.Solution
+	if err := sol.UnmarshalText([]byte(token)); err != nil {
+		m.observe(r, ip, true)
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed solution token"})
+		return
+	}
+	if err := m.fw.Verify(sol, ip); err != nil {
+		m.challenge(w, r, ip, "solution rejected")
+		return
+	}
+	m.observe(r, ip, false)
+	if m.tokens != nil {
+		w.Header().Set(HeaderToken, m.tokens.Mint(ip, m.tokenTTL))
+	}
+	m.next.ServeHTTP(w, r)
+}
+
+// observe feeds the request into the framework's behavior tracker.
+func (m *Middleware) observe(r *http.Request, ip string, failed bool) {
+	// Observe is best-effort: tracking failures must never block serving.
+	_ = m.fw.Observe(features.RequestInfo{
+		IP:     ip,
+		Path:   r.URL.Path,
+		At:     m.now(),
+		Failed: failed,
+	})
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors at this point mean the connection is gone; there is
+	// nothing useful left to do with the request.
+	_ = json.NewEncoder(w).Encode(v)
+}

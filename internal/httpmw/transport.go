@@ -1,0 +1,170 @@
+package httpmw
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"aipow/internal/puzzle"
+)
+
+// ErrNoRetryBody reports a challenged request whose body cannot be
+// replayed (no GetBody); the caller must set Request.GetBody to use the
+// transport with non-idempotent bodies.
+var ErrNoRetryBody = errors.New("httpmw: challenged request has an unreplayable body")
+
+// ErrTooManyChallenges reports that the server kept challenging beyond the
+// configured attempt budget.
+var ErrTooManyChallenges = errors.New("httpmw: challenge retry budget exhausted")
+
+// Transport is an http.RoundTripper that answers PoW challenges
+// transparently: on a 428 response it solves the attached puzzle and
+// retries the request with the solution header. Wrap any client with it:
+//
+//	client := &http.Client{Transport: httpmw.NewTransport()}
+//
+// Transport is safe for concurrent use.
+type Transport struct {
+	base        http.RoundTripper
+	solver      *puzzle.Solver
+	maxAttempts int
+	onSolve     func(puzzle.SolveStats)
+
+	// tokens caches per-host session tokens (see WithSessionTokens on the
+	// middleware): host → token string. A stale token simply triggers a
+	// fresh challenge, so no expiry bookkeeping is needed client-side.
+	tokens sync.Map
+}
+
+// TransportOption customizes a Transport.
+type TransportOption func(*Transport)
+
+// WithBase sets the underlying RoundTripper (default
+// http.DefaultTransport).
+func WithBase(rt http.RoundTripper) TransportOption {
+	return func(t *Transport) { t.base = rt }
+}
+
+// WithSolver sets the puzzle solver (default puzzle.NewSolver()).
+func WithSolver(s *puzzle.Solver) TransportOption {
+	return func(t *Transport) { t.solver = s }
+}
+
+// WithMaxAttempts bounds how many consecutive challenges the transport
+// will answer for one logical request (default 3).
+func WithMaxAttempts(n int) TransportOption {
+	return func(t *Transport) { t.maxAttempts = n }
+}
+
+// WithSolveObserver registers a callback receiving the stats of every
+// completed solve — the client-side cost accounting experiments use.
+func WithSolveObserver(fn func(puzzle.SolveStats)) TransportOption {
+	return func(t *Transport) { t.onSolve = fn }
+}
+
+// NewTransport returns a Transport with the options applied.
+func NewTransport(opts ...TransportOption) *Transport {
+	t := &Transport{
+		base:        http.DefaultTransport,
+		solver:      puzzle.NewSolver(),
+		maxAttempts: 3,
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	if t.maxAttempts < 1 {
+		t.maxAttempts = 1
+	}
+	return t
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Attach a cached session token, if the server minted one earlier.
+	if tok, ok := t.tokens.Load(req.URL.Host); ok {
+		withToken, err := cloneForRetry(req)
+		if err == nil { // unreplayable body: send as-is, worst case we solve
+			withToken.Header.Set(HeaderToken, tok.(string))
+			req = withToken
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt < t.maxAttempts; attempt++ {
+		if resp.StatusCode != StatusChallenge {
+			t.rememberToken(req.URL.Host, resp)
+			return resp, nil
+		}
+		token := resp.Header.Get(HeaderChallenge)
+		if token == "" {
+			// A 428 from something other than our middleware: pass through.
+			return resp, nil
+		}
+		// The challenge response body is not needed; drain it so the
+		// connection can be reused.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+
+		var ch puzzle.Challenge
+		if err := ch.UnmarshalText([]byte(token)); err != nil {
+			return nil, fmt.Errorf("httpmw: server sent undecodable challenge: %w", err)
+		}
+		sol, stats, err := t.solver.Solve(req.Context(), ch)
+		if err != nil {
+			return nil, fmt.Errorf("httpmw: solve %d-difficult challenge: %w", ch.Difficulty, err)
+		}
+		if t.onSolve != nil {
+			t.onSolve(stats)
+		}
+		solToken, err := sol.MarshalText()
+		if err != nil {
+			return nil, fmt.Errorf("httpmw: encode solution: %w", err)
+		}
+
+		retry, err := cloneForRetry(req)
+		if err != nil {
+			return nil, err
+		}
+		retry.Header.Set(HeaderSolution, string(solToken))
+		resp, err = t.base.RoundTrip(retry)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if resp.StatusCode == StatusChallenge {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil, ErrTooManyChallenges
+	}
+	t.rememberToken(req.URL.Host, resp)
+	return resp, nil
+}
+
+// rememberToken stores a server-minted session token for the host.
+func (t *Transport) rememberToken(host string, resp *http.Response) {
+	if tok := resp.Header.Get(HeaderToken); tok != "" {
+		t.tokens.Store(host, tok)
+	}
+}
+
+// cloneForRetry duplicates a request, rewinding the body via GetBody when
+// present.
+func cloneForRetry(req *http.Request) (*http.Request, error) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.Body == http.NoBody {
+		return clone, nil
+	}
+	if req.GetBody == nil {
+		return nil, ErrNoRetryBody
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, fmt.Errorf("httpmw: rewind request body: %w", err)
+	}
+	clone.Body = body
+	return clone, nil
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a log-bucketed histogram for positive values (typically
+// latencies in milliseconds). Buckets grow geometrically from Start by
+// Factor, so wide dynamic ranges (microseconds to seconds) fit in a few
+// dozen buckets with bounded relative error.
+//
+// Use NewHistogram to construct one; the zero value is not usable.
+// Histogram is not safe for concurrent use.
+type Histogram struct {
+	start  float64
+	factor float64
+	counts []uint64
+	under  uint64 // observations below start
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram returns a histogram whose first bucket covers [start,
+// start*factor) and which has n geometric buckets; values >= the last bound
+// land in the final overflow bucket. It panics if the shape parameters are
+// degenerate, since that is a programming error, not an input error.
+func NewHistogram(start, factor float64, n int) *Histogram {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: invalid histogram shape start=%v factor=%v n=%d", start, factor, n))
+	}
+	return &Histogram{start: start, factor: factor, counts: make([]uint64, n+1)}
+}
+
+// NewLatencyHistogram returns a histogram tuned for request latencies in
+// milliseconds: 0.1 ms to ~100 s with ~26% relative bucket error.
+func NewLatencyHistogram() *Histogram { return NewHistogram(0.1, 1.26, 60) }
+
+// Observe records one value. Non-positive and NaN values are counted in the
+// underflow bucket so totals still reconcile.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	if !math.IsNaN(v) {
+		h.sum += v
+	}
+	if math.IsNaN(v) || v < h.start {
+		h.under++
+		return
+	}
+	idx := int(math.Floor(math.Log(v/h.start) / math.Log(h.factor)))
+	if idx >= len(h.counts)-1 {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count reports the total number of observations, including underflow.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the mean of all observed values (underflow included), or NaN
+// when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.total)
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) from bucket midpoints.
+// The estimate carries the bucket's relative error. Returns NaN when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q <= 0 || q >= 1 {
+		return math.NaN()
+	}
+	target := uint64(math.Ceil(q * float64(h.total)))
+	if h.under >= target {
+		return h.start / 2
+	}
+	cum := h.under
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			lo := h.start * math.Pow(h.factor, float64(i))
+			return lo * math.Sqrt(h.factor) // geometric bucket midpoint
+		}
+	}
+	return h.start * math.Pow(h.factor, float64(len(h.counts)))
+}
+
+// BucketBound reports the lower bound of bucket i.
+func (h *Histogram) BucketBound(i int) float64 {
+	return h.start * math.Pow(h.factor, float64(i))
+}
+
+// Render draws a proportional ASCII bar chart of the non-empty buckets,
+// useful for quick inspection in experiment logs.
+func (h *Histogram) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var peak uint64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.under > peak {
+		peak = h.under
+	}
+	if peak == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	bar := func(label string, c uint64) {
+		n := int(float64(c) / float64(peak) * float64(width))
+		fmt.Fprintf(&b, "%14s | %-*s %d\n", label, width, strings.Repeat("#", n), c)
+	}
+	if h.under > 0 {
+		bar(fmt.Sprintf("<%.3g", h.start), h.under)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		bar(fmt.Sprintf(">=%.3g", h.BucketBound(i)), c)
+	}
+	return b.String()
+}
+
+// Reset clears all recorded observations, retaining the bucket layout.
+func (h *Histogram) Reset() {
+	h.under, h.total, h.sum = 0, 0, 0
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNewHistogramPanicsOnBadShape(t *testing.T) {
+	tests := []struct {
+		name          string
+		start, factor float64
+		n             int
+	}{
+		{"zero_start", 0, 2, 4},
+		{"negative_start", -1, 2, 4},
+		{"factor_one", 1, 1, 4},
+		{"no_buckets", 1, 2, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			NewHistogram(tt.start, tt.factor, tt.n)
+		})
+	}
+}
+
+func TestHistogramCountAndMean(t *testing.T) {
+	h := NewHistogram(1, 2, 10)
+	for _, v := range []float64{1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count() = %d, want 4", got)
+	}
+	if got := h.Mean(); got != 3.75 {
+		t.Fatalf("Mean() = %v, want 3.75", got)
+	}
+}
+
+func TestHistogramUnderflowAndOverflow(t *testing.T) {
+	h := NewHistogram(1, 2, 3) // buckets: [1,2) [2,4) [4,8) [8,inf)
+	h.Observe(0.5)             // underflow
+	h.Observe(math.NaN())      // underflow, excluded from sum
+	h.Observe(100)             // overflow bucket
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count() = %d, want 3", got)
+	}
+	if got := h.under; got != 2 {
+		t.Fatalf("underflow = %d, want 2", got)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewLatencyHistogram()
+	rng := rand.New(rand.NewPCG(7, 9))
+	var exact Summary
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.0 + 3.0) // lognormal latencies ~20ms
+		h.Observe(v)
+		exact.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := exact.Percentile(q * 100)
+		if rel := math.Abs(got-want) / want; rel > 0.30 {
+			t.Errorf("Quantile(%v) = %v, exact %v, rel err %.2f > 0.30", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("Quantile on empty = %v, want NaN", got)
+	}
+	h.Observe(0.1) // all mass in underflow
+	if got := h.Quantile(0.5); got != 0.5 {
+		t.Errorf("underflow quantile = %v, want start/2 = 0.5", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.ObserveDuration(50 * time.Millisecond)
+	if got := h.Mean(); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("Mean after ObserveDuration = %v, want 50", got)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	if got := h.Render(20); got != "(empty histogram)\n" {
+		t.Fatalf("empty render = %q", got)
+	}
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(3)
+	out := h.Render(20)
+	if !strings.Contains(out, "<1") || !strings.Contains(out, ">=2") {
+		t.Fatalf("render missing buckets:\n%s", out)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	h.Observe(3)
+	h.Reset()
+	if h.Count() != 0 || !math.IsNaN(h.Mean()) {
+		t.Fatal("Reset did not clear state")
+	}
+}

@@ -1,0 +1,174 @@
+// Package metrics provides the measurement substrate used by the framework
+// and by the experiment harness: exact sample summaries (median, arbitrary
+// percentiles), log-bucketed histograms, counters, time series, and renderers
+// that produce the ASCII tables and CSV files the experiments report.
+//
+// All types are safe for single-goroutine use; the ones documented as
+// concurrency-safe (Counter, Gauge, Registry) may be shared across
+// goroutines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates float64 observations and answers exact order
+// statistics over them. It keeps every sample, so it is intended for
+// experiment-scale data (thousands to low millions of points), not for
+// unbounded production telemetry — use Histogram for that.
+//
+// The zero value is ready to use. Summary is not safe for concurrent use.
+type Summary struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewSummary returns a Summary pre-allocated for n observations.
+func NewSummary(n int) *Summary {
+	return &Summary{samples: make([]float64, 0, n)}
+}
+
+// Observe records one sample. NaN samples are ignored so that downstream
+// statistics stay well defined.
+func (s *Summary) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.samples = append(s.samples, v)
+	s.sorted = false
+}
+
+// ObserveDuration records a duration sample in milliseconds, the unit the
+// paper's figures use.
+func (s *Summary) ObserveDuration(d time.Duration) {
+	s.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count reports the number of recorded samples.
+func (s *Summary) Count() int { return len(s.samples) }
+
+// Sum reports the sum of all samples.
+func (s *Summary) Sum() float64 {
+	var sum float64
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum
+}
+
+// Mean reports the arithmetic mean, or NaN if no samples were recorded.
+// It is computed incrementally so it stays finite (within [Min, Max]) even
+// when the plain sum of the samples would overflow.
+func (s *Summary) Mean() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	var mean float64
+	for i, v := range s.samples {
+		// mean*(i/(i+1)) + v/(i+1) keeps every intermediate ≤ MaxFloat64,
+		// unlike the textbook mean += (v-mean)/(i+1), whose difference can
+		// overflow when samples straddle ±MaxFloat64/2.
+		n := float64(i + 1)
+		mean = mean*(float64(i)/n) + v/n
+	}
+	return mean
+}
+
+// Min reports the smallest sample, or NaN if no samples were recorded.
+func (s *Summary) Min() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max reports the largest sample, or NaN if no samples were recorded.
+func (s *Summary) Max() float64 {
+	if len(s.samples) == 0 {
+		return math.NaN()
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}
+
+// Median reports the 50th percentile. See Percentile for the interpolation
+// rule.
+func (s *Summary) Median() float64 { return s.Percentile(50) }
+
+// Percentile reports the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks, matching numpy's default method so
+// the numbers line up with the plotting scripts people actually use.
+// It returns NaN when the summary is empty or p is out of range.
+func (s *Summary) Percentile(p float64) float64 {
+	if len(s.samples) == 0 || p < 0 || p > 100 {
+		return math.NaN()
+	}
+	s.sort()
+	if len(s.samples) == 1 {
+		return s.samples[0]
+	}
+	rank := p / 100 * float64(len(s.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return s.samples[lo]*(1-frac) + s.samples[hi]*frac
+}
+
+// Variance reports the unbiased sample variance, or NaN with fewer than two
+// samples.
+func (s *Summary) Variance() float64 {
+	n := len(s.samples)
+	if n < 2 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	var acc float64
+	for _, v := range s.samples {
+		d := v - mean
+		acc += d * d
+	}
+	return acc / float64(n-1)
+}
+
+// Stddev reports the unbiased sample standard deviation, or NaN with fewer
+// than two samples.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Samples returns a copy of the recorded samples in insertion order is not
+// guaranteed; the slice is sorted ascending. Mutating the returned slice
+// does not affect the Summary.
+func (s *Summary) Samples() []float64 {
+	s.sort()
+	out := make([]float64, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Reset discards all samples, retaining capacity.
+func (s *Summary) Reset() {
+	s.samples = s.samples[:0]
+	s.sorted = false
+}
+
+// String renders a compact one-line digest, useful in logs and test output.
+func (s *Summary) String() string {
+	if len(s.samples) == 0 {
+		return "summary{empty}"
+	}
+	return fmt.Sprintf("summary{n=%d min=%.3g p50=%.3g p95=%.3g max=%.3g mean=%.3g}",
+		s.Count(), s.Min(), s.Median(), s.Percentile(95), s.Max(), s.Mean())
+}
+
+func (s *Summary) sort() {
+	if !s.sorted {
+		sort.Float64s(s.samples)
+		s.sorted = true
+	}
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count() = %d, want 0", got)
+	}
+	for name, v := range map[string]float64{
+		"Mean":   s.Mean(),
+		"Median": s.Median(),
+		"Min":    s.Min(),
+		"Max":    s.Max(),
+		"Stddev": s.Stddev(),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s on empty summary = %v, want NaN", name, v)
+		}
+	}
+	if got := s.String(); got != "summary{empty}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSummaryBasicStats(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []float64
+		median  float64
+		mean    float64
+		min     float64
+		max     float64
+	}{
+		{"single", []float64{5}, 5, 5, 5, 5},
+		{"odd", []float64{3, 1, 2}, 2, 2, 1, 3},
+		{"even_interpolates", []float64{1, 2, 3, 4}, 2.5, 2.5, 1, 4},
+		{"duplicates", []float64{7, 7, 7, 7}, 7, 7, 7, 7},
+		{"negative", []float64{-5, 5}, 0, 0, -5, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var s Summary
+			for _, v := range tt.samples {
+				s.Observe(v)
+			}
+			if got := s.Median(); got != tt.median {
+				t.Errorf("Median() = %v, want %v", got, tt.median)
+			}
+			if got := s.Mean(); got != tt.mean {
+				t.Errorf("Mean() = %v, want %v", got, tt.mean)
+			}
+			if got := s.Min(); got != tt.min {
+				t.Errorf("Min() = %v, want %v", got, tt.min)
+			}
+			if got := s.Max(); got != tt.max {
+				t.Errorf("Max() = %v, want %v", got, tt.max)
+			}
+		})
+	}
+}
+
+func TestSummaryPercentileInterpolation(t *testing.T) {
+	var s Summary
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 100}, {50, 50.5}, {25, 25.75}, {95, 95.05},
+	}
+	for _, tt := range tests {
+		if got := s.Percentile(tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := s.Percentile(-1); !math.IsNaN(got) {
+		t.Errorf("Percentile(-1) = %v, want NaN", got)
+	}
+	if got := s.Percentile(101); !math.IsNaN(got) {
+		t.Errorf("Percentile(101) = %v, want NaN", got)
+	}
+}
+
+func TestSummaryIgnoresNaN(t *testing.T) {
+	var s Summary
+	s.Observe(math.NaN())
+	s.Observe(1)
+	if got := s.Count(); got != 1 {
+		t.Fatalf("Count() = %d, want 1 (NaN must be dropped)", got)
+	}
+}
+
+func TestSummaryObserveDuration(t *testing.T) {
+	var s Summary
+	s.ObserveDuration(250 * time.Millisecond)
+	if got := s.Median(); got != 250 {
+		t.Fatalf("Median() = %v ms, want 250", got)
+	}
+}
+
+func TestSummaryVariance(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	want := 32.0 / 7.0
+	if got := s.Variance(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance() = %v, want %v", got, want)
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	var s Summary
+	s.Observe(1)
+	s.Reset()
+	if s.Count() != 0 {
+		t.Fatal("Reset did not clear samples")
+	}
+}
+
+// Property: for any sample set, min ≤ p25 ≤ median ≤ p75 ≤ max, and the mean
+// lies within [min, max].
+func TestSummaryOrderProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Summary
+		for _, v := range raw {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			s.Observe(v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		mn, p25, med, p75, mx := s.Min(), s.Percentile(25), s.Median(), s.Percentile(75), s.Max()
+		if !(mn <= p25 && p25 <= med && med <= p75 && p75 <= mx) {
+			return false
+		}
+		mean := s.Mean()
+		return mean >= mn && mean <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Samples() returns a sorted copy whose mutation cannot corrupt
+// the summary.
+func TestSummarySamplesCopyProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Observe(rng.Float64() * 1000)
+	}
+	cp := s.Samples()
+	for i := 1; i < len(cp); i++ {
+		if cp[i-1] > cp[i] {
+			t.Fatal("Samples() not sorted")
+		}
+	}
+	before := s.Median()
+	for i := range cp {
+		cp[i] = -1
+	}
+	if got := s.Median(); got != before {
+		t.Fatal("mutating Samples() copy changed the summary")
+	}
+}

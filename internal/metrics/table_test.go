@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("Policies", "policy", "latency_ms")
+	tb.AddRow("policy1", 31.0)
+	tb.AddRow("policy2", 871.25)
+	out := tb.String()
+	if !strings.Contains(out, "Policies") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "policy1") || !strings.Contains(out, "871.250") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Errorf("got %d lines, want 5:\n%s", len(lines), out)
+		}
+	}
+}
+
+func TestTableIntegerFloatsRenderCompact(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(31.0)
+	if !strings.Contains(tb.String(), "31.0") {
+		t.Fatalf("whole float should render as 31.0:\n%s", tb.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x", 1.5)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1.500\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableNumRowsAndTitle(t *testing.T) {
+	tb := NewTable("fig2", "a")
+	if tb.Title() != "fig2" {
+		t.Fatalf("Title() = %q", tb.Title())
+	}
+	tb.AddRow("r")
+	tb.AddRow("s")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows() = %d, want 2", tb.NumRows())
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"time"
+)
+
+// Point is one time-stamped observation in a TimeSeries.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// TimeSeries is an append-only sequence of time-stamped values, used by the
+// attack experiments to track goodput and queue depth over simulated time.
+// Appends must be in non-decreasing time order; out-of-order appends are
+// clamped to the last timestamp so downstream resampling stays monotone.
+//
+// The zero value is ready to use. TimeSeries is not safe for concurrent use.
+type TimeSeries struct {
+	points []Point
+}
+
+// Append records value v at time at.
+func (ts *TimeSeries) Append(at time.Time, v float64) {
+	if n := len(ts.points); n > 0 && at.Before(ts.points[n-1].At) {
+		at = ts.points[n-1].At
+	}
+	ts.points = append(ts.points, Point{At: at, Value: v})
+}
+
+// Len reports the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns a copy of the recorded points in time order.
+func (ts *TimeSeries) Points() []Point {
+	out := make([]Point, len(ts.points))
+	copy(out, ts.points)
+	return out
+}
+
+// Span reports the duration between the first and last point, or zero when
+// fewer than two points exist.
+func (ts *TimeSeries) Span() time.Duration {
+	if len(ts.points) < 2 {
+		return 0
+	}
+	return ts.points[len(ts.points)-1].At.Sub(ts.points[0].At)
+}
+
+// Resample buckets the series into fixed windows of width step starting at
+// the first point, reporting the per-window sum. Empty windows report zero.
+// It returns nil when the series is empty or step is non-positive.
+func (ts *TimeSeries) Resample(step time.Duration) []Point {
+	if len(ts.points) == 0 || step <= 0 {
+		return nil
+	}
+	start := ts.points[0].At
+	nWindows := int(ts.points[len(ts.points)-1].At.Sub(start)/step) + 1
+	out := make([]Point, nWindows)
+	for i := range out {
+		out[i] = Point{At: start.Add(time.Duration(i) * step)}
+	}
+	for _, p := range ts.points {
+		idx := int(p.At.Sub(start) / step)
+		if idx >= nWindows {
+			idx = nWindows - 1
+		}
+		out[idx].Value += p.Value
+	}
+	return out
+}
+
+// Rate reports the average of point values per second across the series
+// span, treating each point's value as a count. Returns NaN when the span
+// is zero.
+func (ts *TimeSeries) Rate() float64 {
+	span := ts.Span().Seconds()
+	if span <= 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, p := range ts.points {
+		sum += p.Value
+	}
+	return sum / span
+}

@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func ts(sec int) time.Time {
+	return time.Date(2022, 3, 21, 0, 0, 0, 0, time.UTC).Add(time.Duration(sec) * time.Second)
+}
+
+func TestTimeSeriesAppendAndSpan(t *testing.T) {
+	var s TimeSeries
+	if s.Span() != 0 {
+		t.Fatal("empty span should be 0")
+	}
+	s.Append(ts(0), 1)
+	s.Append(ts(10), 2)
+	if got := s.Span(); got != 10*time.Second {
+		t.Fatalf("Span() = %v, want 10s", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", s.Len())
+	}
+}
+
+func TestTimeSeriesClampsOutOfOrder(t *testing.T) {
+	var s TimeSeries
+	s.Append(ts(10), 1)
+	s.Append(ts(5), 1) // earlier than previous: clamped
+	pts := s.Points()
+	if !pts[1].At.Equal(pts[0].At) {
+		t.Fatalf("out-of-order append not clamped: %v vs %v", pts[1].At, pts[0].At)
+	}
+}
+
+func TestTimeSeriesResample(t *testing.T) {
+	var s TimeSeries
+	for sec, v := range map[int]float64{0: 1, 1: 2, 5: 3, 11: 4} {
+		_ = sec
+		_ = v
+	}
+	// Deterministic insertion order (maps iterate randomly).
+	s.Append(ts(0), 1)
+	s.Append(ts(1), 2)
+	s.Append(ts(5), 3)
+	s.Append(ts(11), 4)
+	buckets := s.Resample(5 * time.Second)
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	wants := []float64{3, 3, 4}
+	for i, w := range wants {
+		if buckets[i].Value != w {
+			t.Errorf("bucket[%d] = %v, want %v", i, buckets[i].Value, w)
+		}
+	}
+}
+
+func TestTimeSeriesResampleDegenerate(t *testing.T) {
+	var s TimeSeries
+	if got := s.Resample(time.Second); got != nil {
+		t.Fatal("resample of empty series should be nil")
+	}
+	s.Append(ts(0), 1)
+	if got := s.Resample(0); got != nil {
+		t.Fatal("resample with step 0 should be nil")
+	}
+}
+
+func TestTimeSeriesRate(t *testing.T) {
+	var s TimeSeries
+	if got := s.Rate(); !math.IsNaN(got) {
+		t.Fatalf("Rate() on empty = %v, want NaN", got)
+	}
+	s.Append(ts(0), 5)
+	s.Append(ts(10), 5)
+	if got := s.Rate(); got != 1 {
+		t.Fatalf("Rate() = %v, want 1 (10 events / 10s)", got)
+	}
+}
+
+func TestTimeSeriesPointsCopy(t *testing.T) {
+	var s TimeSeries
+	s.Append(ts(0), 1)
+	pts := s.Points()
+	pts[0].Value = 99
+	if s.Points()[0].Value != 1 {
+		t.Fatal("Points() must return a copy")
+	}
+}

@@ -1,0 +1,48 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func BenchmarkRunTrial(b *testing.B) {
+	cfg := TrialConfig{
+		Link:       Link{OneWay: 7750 * time.Microsecond},
+		Solver:     SimSolver{HashRate: 27000},
+		IssueTime:  100 * time.Microsecond,
+		VerifyTime: 100 * time.Microsecond,
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrial(cfg, 10, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEventLoopThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := NewEventLoop(Start())
+		for j := 0; j < 1000; j++ {
+			if err := l.After(time.Duration(j)*time.Millisecond, func() {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n := l.Run(); n != 1000 {
+			b.Fatalf("ran %d events", n)
+		}
+	}
+}
+
+func BenchmarkSolverAttempts(b *testing.B) {
+	s := SimSolver{HashRate: 27000}
+	rng := rand.New(rand.NewPCG(3, 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Attempts(15, rng)
+	}
+}

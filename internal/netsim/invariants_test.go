@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: every trial breakdown component is non-negative and the total
+// equals the sum, for random (valid) environments and difficulties.
+func TestRunTrialInvariantsProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(100, 200))
+	f := func(onewayMS uint16, jitterMS uint8, dRaw uint8) bool {
+		cfg := TrialConfig{
+			Link: Link{
+				OneWay: time.Duration(onewayMS%100) * time.Millisecond,
+				Jitter: time.Duration(jitterMS%20) * time.Millisecond,
+			},
+			Solver:     SimSolver{HashRate: 1000 + float64(onewayMS)},
+			IssueTime:  time.Duration(jitterMS) * time.Microsecond,
+			VerifyTime: time.Duration(dRaw) * time.Microsecond,
+		}
+		d := 1 + int(dRaw%12)
+		b, err := RunTrial(cfg, d, rng)
+		if err != nil {
+			return false
+		}
+		for _, part := range []time.Duration{
+			b.Request, b.Issue, b.Challenge, b.Solve, b.Submit, b.Verify, b.Response,
+		} {
+			if part < 0 {
+				return false
+			}
+		}
+		return b.Total() == b.Request+b.Issue+b.Challenge+b.Solve+b.Submit+b.Verify+b.Response
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: event-loop execution order equals sorted schedule order for
+// random schedules (determinism of the simulation heart).
+func TestEventLoopOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		l := NewEventLoop(Start())
+		type stamp struct {
+			at  time.Time
+			seq int
+		}
+		var fired []stamp
+		for i, off := range offsets {
+			at := Start().Add(time.Duration(off) * time.Millisecond)
+			i := i
+			if err := l.At(at, func() { fired = append(fired, stamp{at: l.Now(), seq: i}) }); err != nil {
+				return false
+			}
+		}
+		l.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at.Before(fired[i-1].at) {
+				return false // time order violated
+			}
+			if fired[i].at.Equal(fired[i-1].at) && fired[i].seq < fired[i-1].seq {
+				return false // FIFO tie-break violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Conservation: jobs enqueued = completed + dropped + still queued, after
+// the loop drains.
+func TestSimServerConservation(t *testing.T) {
+	l := NewEventLoop(Start())
+	s, err := NewSimServer(l, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if s.Enqueue(netsimJob(time.Millisecond)) {
+			accepted++
+		}
+	}
+	l.Run()
+	if got := int(s.Completed() + s.Dropped()); got != n {
+		t.Fatalf("completed+dropped = %d, want %d", got, n)
+	}
+	if int(s.Completed()) != accepted {
+		t.Fatalf("completed = %d, accepted %d", s.Completed(), accepted)
+	}
+}
+
+// netsimJob builds a job without a completion callback.
+func netsimJob(d time.Duration) Job { return Job{Service: d} }

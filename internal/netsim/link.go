@@ -1,0 +1,47 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Link models one network direction with a base one-way delay and uniform
+// jitter. The paper's testbed RTT is folded into two Link crossings per
+// direction pair; experiment E1 calibrates OneWay so a 1-difficult round
+// trip lands at the paper's 31 ms anchor.
+type Link struct {
+	// OneWay is the base one-way propagation + transmission delay.
+	OneWay time.Duration
+
+	// Jitter is the half-width of the uniform delay perturbation: each
+	// crossing takes OneWay + U(−Jitter, +Jitter), floored at zero.
+	Jitter time.Duration
+}
+
+// Validate rejects physically meaningless links.
+func (l Link) Validate() error {
+	if l.OneWay < 0 {
+		return fmt.Errorf("netsim: negative one-way delay %v", l.OneWay)
+	}
+	if l.Jitter < 0 {
+		return fmt.Errorf("netsim: negative jitter %v", l.Jitter)
+	}
+	return nil
+}
+
+// Delay samples one crossing of the link.
+func (l Link) Delay(rng *rand.Rand) time.Duration {
+	if l.Jitter == 0 {
+		return l.OneWay
+	}
+	j := time.Duration((rng.Float64()*2 - 1) * float64(l.Jitter))
+	d := l.OneWay + j
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// RTT reports the nominal round-trip time (two crossings, no jitter).
+func (l Link) RTT() time.Duration { return 2 * l.OneWay }

@@ -1,0 +1,109 @@
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// EventLoop executes scheduled callbacks in virtual-time order. Ties are
+// broken by scheduling order (FIFO), which keeps runs deterministic.
+// EventLoop is single-goroutine by design: simulations are CPU-bound state
+// machines, and determinism beats parallelism for experiments.
+type EventLoop struct {
+	clock  *VirtualClock
+	events eventHeap
+	seq    uint64
+}
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+// NewEventLoop returns a loop whose clock starts at start.
+func NewEventLoop(start time.Time) *EventLoop {
+	return &EventLoop{clock: NewVirtualClock(start)}
+}
+
+// Clock returns the loop's virtual clock.
+func (l *EventLoop) Clock() *VirtualClock { return l.clock }
+
+// Now reports the current virtual time.
+func (l *EventLoop) Now() time.Time { return l.clock.Now() }
+
+// At schedules fn at the absolute virtual time at. Scheduling into the
+// past is an error: it would silently reorder causality.
+func (l *EventLoop) At(at time.Time, fn func()) error {
+	if fn == nil {
+		return fmt.Errorf("netsim: nil event callback")
+	}
+	if at.Before(l.Now()) {
+		return fmt.Errorf("netsim: schedule at %v is before now %v", at, l.Now())
+	}
+	heap.Push(&l.events, event{at: at, seq: l.seq, fn: fn})
+	l.seq++
+	return nil
+}
+
+// After schedules fn d from now; negative d clamps to now.
+func (l *EventLoop) After(d time.Duration, fn func()) error {
+	if d < 0 {
+		d = 0
+	}
+	return l.At(l.Now().Add(d), fn)
+}
+
+// Pending reports the number of scheduled events.
+func (l *EventLoop) Pending() int { return len(l.events) }
+
+// Run processes events until none remain, returning how many ran.
+func (l *EventLoop) Run() int {
+	n := 0
+	for len(l.events) > 0 {
+		l.step()
+		n++
+	}
+	return n
+}
+
+// RunUntil processes all events scheduled at or before deadline, then
+// advances the clock to deadline. It returns the number of events run.
+func (l *EventLoop) RunUntil(deadline time.Time) int {
+	n := 0
+	for len(l.events) > 0 && !l.events[0].at.After(deadline) {
+		l.step()
+		n++
+	}
+	l.clock.advanceTo(deadline)
+	return n
+}
+
+// step pops and executes the earliest event.
+func (l *EventLoop) step() {
+	e := heap.Pop(&l.events).(event)
+	l.clock.advanceTo(e.at)
+	e.fn()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,125 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvancesMonotonically(t *testing.T) {
+	c := NewVirtualClock(Start())
+	c.advanceTo(Start().Add(5 * time.Second))
+	if got := c.Now(); !got.Equal(Start().Add(5 * time.Second)) {
+		t.Fatalf("Now() = %v", got)
+	}
+	c.advanceTo(Start().Add(2 * time.Second)) // backward: ignored
+	if got := c.Now(); !got.Equal(Start().Add(5 * time.Second)) {
+		t.Fatalf("clock moved backward to %v", got)
+	}
+}
+
+func TestEventLoopRunsInTimeOrder(t *testing.T) {
+	l := NewEventLoop(Start())
+	var order []int
+	mustAt := func(sec int, id int) {
+		t.Helper()
+		if err := l.At(Start().Add(time.Duration(sec)*time.Second), func() {
+			order = append(order, id)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAt(30, 3)
+	mustAt(10, 1)
+	mustAt(20, 2)
+	if n := l.Run(); n != 3 {
+		t.Fatalf("Run() = %d events, want 3", n)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if got := l.Now(); !got.Equal(Start().Add(30 * time.Second)) {
+		t.Fatalf("clock after run = %v", got)
+	}
+}
+
+func TestEventLoopTieBreakFIFO(t *testing.T) {
+	l := NewEventLoop(Start())
+	var order []int
+	at := Start().Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := l.At(at, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEventLoopRejectsPastAndNil(t *testing.T) {
+	l := NewEventLoop(Start())
+	if err := l.At(Start().Add(-time.Second), func() {}); err == nil {
+		t.Error("past event accepted")
+	}
+	if err := l.At(Start().Add(time.Second), nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	// Negative After clamps to now rather than failing: relative intent.
+	ran := false
+	if err := l.After(-5*time.Second, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	l.Run()
+	if !ran {
+		t.Error("clamped event did not run")
+	}
+}
+
+func TestEventLoopCascadingEvents(t *testing.T) {
+	l := NewEventLoop(Start())
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		if depth < 10 {
+			depth++
+			if err := l.After(time.Second, schedule); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	schedule()
+	if n := l.Run(); n != 10 {
+		t.Fatalf("Run() = %d, want 10 cascaded events", n)
+	}
+	if got := l.Now(); !got.Equal(Start().Add(10 * time.Second)) {
+		t.Fatalf("clock = %v", got)
+	}
+}
+
+func TestEventLoopRunUntil(t *testing.T) {
+	l := NewEventLoop(Start())
+	ran := make(map[int]bool)
+	for _, sec := range []int{1, 2, 3, 10} {
+		sec := sec
+		if err := l.At(Start().Add(time.Duration(sec)*time.Second), func() { ran[sec] = true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := l.RunUntil(Start().Add(5 * time.Second))
+	if n != 3 {
+		t.Fatalf("RunUntil = %d events, want 3", n)
+	}
+	if ran[10] {
+		t.Fatal("future event ran early")
+	}
+	if got := l.Now(); !got.Equal(Start().Add(5 * time.Second)) {
+		t.Fatalf("clock = %v, want deadline", got)
+	}
+	if l.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", l.Pending())
+	}
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Job is one unit of server work (issuing a challenge, verifying a
+// solution, serving a response).
+type Job struct {
+	// Service is how long the job occupies the server.
+	Service time.Duration
+
+	// Done runs when the job completes, at the virtual completion time.
+	Done func()
+}
+
+// SimServer is a single FIFO queue with one service unit — the simplest
+// server model that still exhibits the queueing collapse a DDoS causes.
+// Experiment E4 protects (or fails to protect) this queue with the
+// framework's policies.
+type SimServer struct {
+	loop     *EventLoop
+	queue    []Job
+	busy     bool
+	maxQueue int
+
+	// accounting
+	busyTime  time.Duration
+	started   time.Time
+	completed uint64
+	dropped   uint64
+	peakQueue int
+}
+
+// NewSimServer returns a server on the given loop. maxQueue bounds the
+// backlog; jobs arriving to a full queue are dropped (the overload signal).
+// maxQueue < 1 means unbounded.
+func NewSimServer(loop *EventLoop, maxQueue int) (*SimServer, error) {
+	if loop == nil {
+		return nil, fmt.Errorf("netsim: server requires an event loop")
+	}
+	return &SimServer{loop: loop, maxQueue: maxQueue, started: loop.Now()}, nil
+}
+
+// Enqueue submits a job. It reports false if the queue was full and the
+// job was dropped (Done is not called for dropped jobs).
+func (s *SimServer) Enqueue(j Job) bool {
+	if j.Service < 0 {
+		j.Service = 0
+	}
+	if s.maxQueue > 0 && len(s.queue) >= s.maxQueue {
+		s.dropped++
+		return false
+	}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.peakQueue {
+		s.peakQueue = len(s.queue)
+	}
+	if !s.busy {
+		s.startNext()
+	}
+	return true
+}
+
+// startNext pops the queue head and schedules its completion.
+func (s *SimServer) startNext() {
+	if len(s.queue) == 0 {
+		s.busy = false
+		return
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.busyTime += j.Service
+	// Completion runs the job callback and then pulls the next job.
+	if err := s.loop.After(j.Service, func() {
+		s.completed++
+		if j.Done != nil {
+			j.Done()
+		}
+		s.startNext()
+	}); err != nil {
+		// After only fails on nil fn or past deadline; neither is possible
+		// here, so this is a programming error worth crashing on.
+		panic(fmt.Sprintf("netsim: scheduling job completion: %v", err))
+	}
+}
+
+// QueueLen reports the current backlog (excluding the job in service).
+func (s *SimServer) QueueLen() int { return len(s.queue) }
+
+// PeakQueue reports the maximum backlog observed.
+func (s *SimServer) PeakQueue() int { return s.peakQueue }
+
+// Completed reports the number of finished jobs.
+func (s *SimServer) Completed() uint64 { return s.completed }
+
+// Dropped reports the number of jobs rejected by the full queue.
+func (s *SimServer) Dropped() uint64 { return s.dropped }
+
+// Utilization reports the fraction of elapsed virtual time the server has
+// been busy, in [0, 1] (it can exceed 1 transiently if busyTime includes a
+// scheduled-but-unfinished job; callers sample it after Run completes).
+func (s *SimServer) Utilization() float64 {
+	elapsed := s.loop.Now().Sub(s.started)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(s.busyTime) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

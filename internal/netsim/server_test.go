@@ -1,0 +1,134 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewSimServerRequiresLoop(t *testing.T) {
+	if _, err := NewSimServer(nil, 0); err == nil {
+		t.Fatal("nil loop accepted")
+	}
+}
+
+func TestSimServerProcessesFIFO(t *testing.T) {
+	l := NewEventLoop(Start())
+	s, err := NewSimServer(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []int
+	var doneAt []time.Time
+	for i := 0; i < 3; i++ {
+		i := i
+		ok := s.Enqueue(Job{Service: time.Second, Done: func() {
+			done = append(done, i)
+			doneAt = append(doneAt, l.Now())
+		}})
+		if !ok {
+			t.Fatalf("job %d dropped", i)
+		}
+	}
+	l.Run()
+	if len(done) != 3 || done[0] != 0 || done[1] != 1 || done[2] != 2 {
+		t.Fatalf("completion order = %v", done)
+	}
+	for i, at := range doneAt {
+		want := Start().Add(time.Duration(i+1) * time.Second)
+		if !at.Equal(want) {
+			t.Fatalf("job %d done at %v, want %v (sequential service)", i, at, want)
+		}
+	}
+	if got := s.Completed(); got != 3 {
+		t.Fatalf("Completed() = %d", got)
+	}
+}
+
+func TestSimServerQueueBoundDrops(t *testing.T) {
+	l := NewEventLoop(Start())
+	s, err := NewSimServer(l, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if s.Enqueue(Job{Service: time.Second}) {
+			accepted++
+		}
+	}
+	// First job goes into service immediately, two queue, two drop.
+	if accepted != 3 {
+		t.Fatalf("accepted = %d, want 3", accepted)
+	}
+	if got := s.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+	if got := s.QueueLen(); got != 2 {
+		t.Fatalf("QueueLen() = %d, want 2", got)
+	}
+	l.Run()
+	if got := s.Completed(); got != 3 {
+		t.Fatalf("Completed() = %d, want 3", got)
+	}
+	if got := s.PeakQueue(); got != 2 {
+		t.Fatalf("PeakQueue() = %d, want 2", got)
+	}
+}
+
+func TestSimServerUtilization(t *testing.T) {
+	l := NewEventLoop(Start())
+	s, err := NewSimServer(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Enqueue(Job{Service: 2 * time.Second})
+	l.Run()
+	// 2s busy; clock is at 2s: fully utilized so far.
+	if got := s.Utilization(); got != 1 {
+		t.Fatalf("Utilization() = %v, want 1", got)
+	}
+	l.RunUntil(Start().Add(8 * time.Second)) // idle to t=8
+	if got := s.Utilization(); got != 0.25 {
+		t.Fatalf("Utilization() = %v, want 0.25", got)
+	}
+}
+
+func TestSimServerZeroServiceJobs(t *testing.T) {
+	l := NewEventLoop(Start())
+	s, err := NewSimServer(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	s.Enqueue(Job{Service: -time.Second, Done: func() { ran = true }}) // clamps to 0
+	l.Run()
+	if !ran {
+		t.Fatal("zero-service job did not complete")
+	}
+}
+
+func TestSimServerInterleavedArrivals(t *testing.T) {
+	l := NewEventLoop(Start())
+	s, err := NewSimServer(l, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finished []time.Time
+	// First job at t=0 (3s service), second arrives at t=1 (1s service).
+	s.Enqueue(Job{Service: 3 * time.Second, Done: func() { finished = append(finished, l.Now()) }})
+	if err := l.At(Start().Add(time.Second), func() {
+		s.Enqueue(Job{Service: time.Second, Done: func() { finished = append(finished, l.Now()) }})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Run()
+	if len(finished) != 2 {
+		t.Fatalf("finished = %v", finished)
+	}
+	if !finished[0].Equal(Start().Add(3 * time.Second)) {
+		t.Fatalf("first done at %v, want t+3s", finished[0])
+	}
+	if !finished[1].Equal(Start().Add(4 * time.Second)) {
+		t.Fatalf("second done at %v, want t+4s (queued behind first)", finished[1])
+	}
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+)
+
+// SimSolver models a client CPU solving PoW puzzles at a fixed hash rate.
+// A d-difficult puzzle needs a Geometric(p = 2^−d) number of hash
+// evaluations; dividing by the hash rate gives the solve time. This is the
+// same process a real solver executes (internal/puzzle), so the simulated
+// and real modes of experiment E2 agree in distribution.
+type SimSolver struct {
+	// HashRate is the client's hash throughput in evaluations per second.
+	HashRate float64
+}
+
+// Validate rejects non-positive hash rates.
+func (s SimSolver) Validate() error {
+	if s.HashRate <= 0 || math.IsNaN(s.HashRate) || math.IsInf(s.HashRate, 0) {
+		return fmt.Errorf("netsim: hash rate must be positive and finite, got %v", s.HashRate)
+	}
+	return nil
+}
+
+// Attempts samples the number of hash evaluations needed for a d-difficult
+// puzzle: a geometric draw with success probability 2^−d, sampled by
+// inversion (⌊ln U / ln(1−p)⌋ + 1), which is exact for all d ≥ 1.
+func (s SimSolver) Attempts(d int, rng *rand.Rand) float64 {
+	p := math.Exp2(-float64(d))
+	u := rng.Float64()
+	for u == 0 { // ln(0) is −inf; redraw the measure-zero corner
+		u = rng.Float64()
+	}
+	return math.Floor(math.Log(u)/math.Log1p(-p)) + 1
+}
+
+// SolveTime samples the wall-clock duration of one solve.
+func (s SimSolver) SolveTime(d int, rng *rand.Rand) time.Duration {
+	sec := s.Attempts(d, rng) / s.HashRate
+	if sec > float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// ExpectedAttempts reports the mean of the attempt distribution (2^d).
+func ExpectedAttempts(d int) float64 { return math.Exp2(float64(d)) }
+
+// MedianAttempts reports the median of the attempt distribution,
+// ≈ ln(2)·2^d for large d.
+func MedianAttempts(d int) float64 {
+	p := math.Exp2(-float64(d))
+	return math.Ceil(-math.Ln2 / math.Log1p(-p))
+}

@@ -1,0 +1,94 @@
+package netsim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestSimSolverValidate(t *testing.T) {
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := (SimSolver{HashRate: rate}).Validate(); err == nil {
+			t.Errorf("rate %v accepted", rate)
+		}
+	}
+	if err := (SimSolver{HashRate: 1000}).Validate(); err != nil {
+		t.Errorf("valid rate rejected: %v", err)
+	}
+}
+
+// The geometric sampler must match its analytic mean and median. This is
+// the statistical heart of the Figure 2 reproduction, so test it tightly.
+func TestSimSolverAttemptsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	s := SimSolver{HashRate: 1}
+	for _, d := range []int{1, 4, 8, 12} {
+		const n = 20000
+		var sum float64
+		samples := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a := s.Attempts(d, rng)
+			if a < 1 {
+				t.Fatalf("d=%d: attempts %v < 1", d, a)
+			}
+			samples[i] = a
+			sum += a
+		}
+		mean := sum / n
+		wantMean := ExpectedAttempts(d)
+		if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.05 {
+			t.Errorf("d=%d: mean attempts %v, want %v (rel err %.3f)", d, mean, wantMean, rel)
+		}
+	}
+}
+
+func TestMedianAttempts(t *testing.T) {
+	// Geometric(1/2) median is 1; for large d the median → ln2·2^d.
+	if got := MedianAttempts(1); got != 1 {
+		t.Errorf("MedianAttempts(1) = %v, want 1", got)
+	}
+	want := math.Ln2 * math.Exp2(15)
+	if got := MedianAttempts(15); math.Abs(got-want)/want > 0.01 {
+		t.Errorf("MedianAttempts(15) = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestSimSolverSolveTimeScalesWithRate(t *testing.T) {
+	rng1 := rand.New(rand.NewPCG(3, 4))
+	rng2 := rand.New(rand.NewPCG(3, 4)) // identical stream
+	slow := SimSolver{HashRate: 1000}
+	fast := SimSolver{HashRate: 10000}
+	for i := 0; i < 100; i++ {
+		ts := slow.SolveTime(8, rng1)
+		tf := fast.SolveTime(8, rng2)
+		// Same attempt draw, 10× rate → 10× faster.
+		ratio := float64(ts) / float64(tf)
+		if math.Abs(ratio-10) > 0.01 {
+			t.Fatalf("solve-time ratio = %v, want 10", ratio)
+		}
+	}
+}
+
+func TestSimSolverSolveTimeSaturates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	s := SimSolver{HashRate: 1e-300}
+	if got := s.SolveTime(64, rng); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("SolveTime = %v, want saturation at MaxInt64", got)
+	}
+}
+
+// Property: attempts are always ≥ 1 and finite for every difficulty in the
+// protocol range.
+func TestSimSolverAttemptsAlwaysPositive(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	s := SimSolver{HashRate: 1}
+	for d := 1; d <= 64; d++ {
+		for i := 0; i < 50; i++ {
+			a := s.Attempts(d, rng)
+			if a < 1 || math.IsInf(a, 0) || math.IsNaN(a) {
+				t.Fatalf("d=%d: bad attempts %v", d, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// TrialConfig describes the environment for one full protocol round trip —
+// the seven steps of the paper's Figure 1 collapsed into their latency
+// components.
+type TrialConfig struct {
+	// Link models both directions of the client↔server path.
+	Link Link
+
+	// Solver models the client's hashing capability.
+	Solver SimSolver
+
+	// IssueTime is the server-side cost of scoring the request, consulting
+	// the policy, and generating the challenge.
+	IssueTime time.Duration
+
+	// VerifyTime is the server-side cost of verifying a solution and
+	// serving the response.
+	VerifyTime time.Duration
+}
+
+// Validate rejects inconsistent configurations.
+func (c TrialConfig) Validate() error {
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if err := c.Solver.Validate(); err != nil {
+		return err
+	}
+	if c.IssueTime < 0 || c.VerifyTime < 0 {
+		return fmt.Errorf("netsim: negative server processing time")
+	}
+	return nil
+}
+
+// TrialBreakdown itemizes one round trip, so experiments can attribute
+// latency to network, solving, and server time.
+type TrialBreakdown struct {
+	Request   time.Duration // client → server (step 1)
+	Issue     time.Duration // AI model + policy + generation (steps 2–4)
+	Challenge time.Duration // server → client (step 4)
+	Solve     time.Duration // client-side search (step 5)
+	Submit    time.Duration // client → server (step 5)
+	Verify    time.Duration // verification + approval (steps 5–6)
+	Response  time.Duration // server → client (step 7)
+}
+
+// Total sums the components.
+func (b TrialBreakdown) Total() time.Duration {
+	return b.Request + b.Issue + b.Challenge + b.Solve + b.Submit + b.Verify + b.Response
+}
+
+// RunTrial samples one complete challenge round at difficulty d: the
+// end-to-end latency a client experiences between sending the original
+// request and receiving the protected resource.
+func RunTrial(cfg TrialConfig, d int, rng *rand.Rand) (TrialBreakdown, error) {
+	if err := cfg.Validate(); err != nil {
+		return TrialBreakdown{}, err
+	}
+	if d < 1 {
+		return TrialBreakdown{}, fmt.Errorf("netsim: trial difficulty %d < 1", d)
+	}
+	return TrialBreakdown{
+		Request:   cfg.Link.Delay(rng),
+		Issue:     cfg.IssueTime,
+		Challenge: cfg.Link.Delay(rng),
+		Solve:     cfg.Solver.SolveTime(d, rng),
+		Submit:    cfg.Link.Delay(rng),
+		Verify:    cfg.VerifyTime,
+		Response:  cfg.Link.Delay(rng),
+	}, nil
+}

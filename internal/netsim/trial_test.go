@@ -1,0 +1,130 @@
+package netsim
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func testTrialConfig() TrialConfig {
+	return TrialConfig{
+		Link:       Link{OneWay: 7750 * time.Microsecond}, // 31 ms per 4 crossings
+		Solver:     SimSolver{HashRate: 27000},
+		IssueTime:  100 * time.Microsecond,
+		VerifyTime: 100 * time.Microsecond,
+	}
+}
+
+func TestLinkValidateAndDelay(t *testing.T) {
+	if err := (Link{OneWay: -time.Second}).Validate(); err == nil {
+		t.Error("negative one-way accepted")
+	}
+	if err := (Link{OneWay: time.Second, Jitter: -time.Second}).Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	l := Link{OneWay: 10 * time.Millisecond}
+	if got := l.Delay(rng); got != 10*time.Millisecond {
+		t.Errorf("jitterless Delay = %v", got)
+	}
+	if got := l.RTT(); got != 20*time.Millisecond {
+		t.Errorf("RTT = %v", got)
+	}
+	jl := Link{OneWay: 10 * time.Millisecond, Jitter: 3 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		d := jl.Delay(rng)
+		if d < 7*time.Millisecond || d > 13*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [7ms, 13ms]", d)
+		}
+	}
+	// Jitter larger than the base must floor at zero, not go negative.
+	ext := Link{OneWay: time.Millisecond, Jitter: 10 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if d := ext.Delay(rng); d < 0 {
+			t.Fatalf("negative delay %v", d)
+		}
+	}
+}
+
+func TestRunTrialValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	bad := testTrialConfig()
+	bad.Solver.HashRate = 0
+	if _, err := RunTrial(bad, 1, rng); err == nil {
+		t.Error("invalid solver accepted")
+	}
+	bad = testTrialConfig()
+	bad.IssueTime = -time.Second
+	if _, err := RunTrial(bad, 1, rng); err == nil {
+		t.Error("negative issue time accepted")
+	}
+	if _, err := RunTrial(testTrialConfig(), 0, rng); err == nil {
+		t.Error("difficulty 0 accepted")
+	}
+}
+
+func TestRunTrialBreakdownSumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	b, err := RunTrial(testTrialConfig(), 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := b.Request + b.Issue + b.Challenge + b.Solve + b.Submit + b.Verify + b.Response
+	if b.Total() != sum {
+		t.Fatalf("Total() = %v, parts sum to %v", b.Total(), sum)
+	}
+	if b.Solve <= 0 {
+		t.Fatalf("Solve = %v, want > 0", b.Solve)
+	}
+}
+
+// The calibration anchor of experiment E2: a 1-difficult trial under the
+// calibrated environment lands at the paper's ~31 ms (network dominated).
+func TestRunTrialCalibrationAnchor(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	var sum time.Duration
+	const n = 500
+	for i := 0; i < n; i++ {
+		b, err := RunTrial(testTrialConfig(), 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += b.Total()
+	}
+	meanMS := float64(sum) / n / float64(time.Millisecond)
+	if math.Abs(meanMS-31.3) > 1.0 {
+		t.Fatalf("1-difficult mean latency = %.2f ms, want ≈ 31 ms", meanMS)
+	}
+}
+
+// Latency must grow monotonically (in median) with difficulty — the shape
+// of Figure 2.
+func TestRunTrialLatencyGrowsWithDifficulty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	median := func(d int) time.Duration {
+		samples := make([]time.Duration, 201)
+		for i := range samples {
+			b, err := RunTrial(testTrialConfig(), d, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples[i] = b.Total()
+		}
+		for i := 1; i < len(samples); i++ {
+			for j := i; j > 0 && samples[j] < samples[j-1]; j-- {
+				samples[j], samples[j-1] = samples[j-1], samples[j]
+			}
+		}
+		return samples[len(samples)/2]
+	}
+	m5, m10, m15 := median(5), median(10), median(15)
+	if !(m5 < m10 && m10 < m15) {
+		t.Fatalf("medians not increasing: d5=%v d10=%v d15=%v", m5, m10, m15)
+	}
+	// Policy 2's worst case (d=15) should land in the paper's high-hundreds
+	// of milliseconds.
+	if m15 < 500*time.Millisecond || m15 > 1500*time.Millisecond {
+		t.Fatalf("d=15 median = %v, want ~0.9 s scale", m15)
+	}
+}

@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadFunc reports the protected server's instantaneous load as a fraction
+// in [0, 1]. Implementations must be safe for concurrent use.
+type LoadFunc func() float64
+
+// LoadAdaptive wraps an inner policy and shifts its difficulty up by as
+// much as MaxShift when the server is saturated. This realizes the paper's
+// observation that "the amount of work inflicted by a puzzle is adaptive
+// and can be tuned": under attack the whole curve hardens, and when load
+// subsides it relaxes back to the inner policy.
+//
+// LoadAdaptive is safe for concurrent use if its LoadFunc is.
+type LoadAdaptive struct {
+	inner    Policy
+	load     LoadFunc
+	maxShift int
+}
+
+var _ Policy = (*LoadAdaptive)(nil)
+
+// NewLoadAdaptive wraps inner, adding up to maxShift difficulty at full
+// load as reported by load.
+func NewLoadAdaptive(inner Policy, load LoadFunc, maxShift int) (*LoadAdaptive, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("policy: load-adaptive requires an inner policy")
+	}
+	if load == nil {
+		return nil, fmt.Errorf("policy: load-adaptive requires a load function")
+	}
+	if maxShift < 0 {
+		return nil, fmt.Errorf("policy: negative max shift %d", maxShift)
+	}
+	return &LoadAdaptive{inner: inner, load: load, maxShift: maxShift}, nil
+}
+
+// Name implements Policy.
+func (a *LoadAdaptive) Name() string {
+	return fmt.Sprintf("adaptive(%s,+%d)", a.inner.Name(), a.maxShift)
+}
+
+// Difficulty implements Policy.
+func (a *LoadAdaptive) Difficulty(score float64) int {
+	l := a.load()
+	if math.IsNaN(l) || l < 0 {
+		l = 0
+	} else if l > 1 {
+		l = 1
+	}
+	shift := int(math.Round(l * float64(a.maxShift)))
+	return clampDifficulty(a.inner.Difficulty(score) + shift)
+}

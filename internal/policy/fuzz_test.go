@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// The DSL parser must never panic, whatever bytes arrive: it either
+// returns a policy or an error.
+func TestParseRulesNeverPanicsProperty(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		p, err := ParseRules(src)
+		if err == nil && p == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Near-miss programs: structurally plausible inputs that must be rejected
+// with errors, not misparsed.
+func TestParseRulesNearMisses(t *testing.T) {
+	nearMisses := []string{
+		"when score >= 5 use 8 extra\ndefault 1",
+		"when score >= 5\ndefault 1",
+		"when >= 5 use 8\ndefault 1",
+		"default 1 2",
+		"name a b\ndefault 1",
+		"WHEN score >= 5 use 8\ndefault 1", // statements are case-sensitive
+	}
+	for _, src := range nearMisses {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("near-miss accepted: %q", src)
+		}
+	}
+}
+
+// Spec parser robustness: random spec strings must not panic the registry.
+func TestRegistryNewNeverPanicsProperty(t *testing.T) {
+	r := NewRegistry()
+	f := func(spec string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = r.New(spec)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A registry-resolved policy3 must stay within its documented interval for
+// in-range scores (spot-check of spec plumbing end to end).
+func TestRegistryPolicy3IntervalPlumbing(t *testing.T) {
+	r := NewRegistry()
+	p, err := r.New("policy3(epsilon=0.5,seed=9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ok := p.(*ErrorRange)
+	if !ok {
+		t.Fatalf("got %T", p)
+	}
+	lo, hi := er.Interval(7)
+	if lo != 8 || hi != 9 { // dᵢ=8, ceil(-0.5)=0 → lo=8; ceil(0.5)=1 → hi=9
+		t.Fatalf("Interval(7) = [%d, %d], want [8, 9]", lo, hi)
+	}
+	for i := 0; i < 100; i++ {
+		if d := p.Difficulty(7); d < lo || d > hi {
+			t.Fatalf("draw %d outside [%d, %d]", d, lo, hi)
+		}
+	}
+}
+
+// Rendering helpers must include rule text (used in ops tooling).
+func TestStepStringMentionsEveryRule(t *testing.T) {
+	s, err := NewStep("edge", 2,
+		StepRule{MinScore: 3, Difficulty: 5},
+		StepRule{MinScore: 7, Difficulty: 11},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str := s.String()
+	for _, frag := range []string{">=3 -> 5", ">=7 -> 11", "default=2"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() missing %q: %s", frag, str)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestPaperPolicyTables pins the exact mapping from §III.A of the paper:
+// Policy 1 maps score R to difficulty R+1, Policy 2 maps R to R+5.
+func TestPaperPolicyTables(t *testing.T) {
+	p1, p2 := Policy1(), Policy2()
+	for r := 0; r <= 10; r++ {
+		if got, want := p1.Difficulty(float64(r)), r+1; got != want {
+			t.Errorf("policy1.Difficulty(%d) = %d, want %d", r, got, want)
+		}
+		if got, want := p2.Difficulty(float64(r)), r+5; got != want {
+			t.Errorf("policy2.Difficulty(%d) = %d, want %d", r, got, want)
+		}
+	}
+	if p1.Name() != "policy1" || p2.Name() != "policy2" {
+		t.Errorf("names = %q, %q", p1.Name(), p2.Name())
+	}
+}
+
+func TestNewLinearValidation(t *testing.T) {
+	if _, err := NewLinear(1, -1); err == nil {
+		t.Error("negative slope accepted")
+	}
+	if _, err := NewLinear(1, math.NaN()); err == nil {
+		t.Error("NaN slope accepted")
+	}
+	if _, err := NewLinear(1, math.Inf(1)); err == nil {
+		t.Error("infinite slope accepted")
+	}
+}
+
+func TestLinearFractionalScoresRound(t *testing.T) {
+	l, err := NewLinear(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		score float64
+		want  int
+	}{
+		{0.4, 1}, {0.5, 2}, {3.49, 4}, {9.7, 11},
+	}
+	for _, tt := range tests {
+		if got := l.Difficulty(tt.score); got != tt.want {
+			t.Errorf("Difficulty(%v) = %d, want %d", tt.score, got, tt.want)
+		}
+	}
+}
+
+func TestLinearName(t *testing.T) {
+	l, err := NewLinear(2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Name() != "linear(base=2,slope=1.5)" {
+		t.Errorf("Name() = %q", l.Name())
+	}
+}
+
+// Property: linear difficulty is non-decreasing in score.
+func TestLinearMonotoneProperty(t *testing.T) {
+	l := Policy2()
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return l.Difficulty(lo) <= l.Difficulty(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialCurve(t *testing.T) {
+	e, err := NewExponential(1, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Difficulty(0); got != 1 {
+		t.Errorf("Difficulty(0) = %d, want 1", got)
+	}
+	// 2^(0.4·10) − 1 = 2^4 − 1 = 15, so difficulty 16 at score 10.
+	if got := e.Difficulty(10); got != 16 {
+		t.Errorf("Difficulty(10) = %d, want 16", got)
+	}
+	mid, high := e.Difficulty(5), e.Difficulty(10)
+	if mid >= high {
+		t.Errorf("exponential not increasing: d(5)=%d d(10)=%d", mid, high)
+	}
+}
+
+func TestExponentialValidation(t *testing.T) {
+	if _, err := NewExponential(1, -0.1); err == nil {
+		t.Error("negative factor accepted")
+	}
+	if _, err := NewExponential(1, math.Inf(1)); err == nil {
+		t.Error("infinite factor accepted")
+	}
+}
+
+func TestExponentialExtremeFactorClamps(t *testing.T) {
+	e, err := NewExponential(1, 10) // 2^100 internally
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Difficulty(10); got != 64 {
+		t.Errorf("Difficulty(10) = %d, want protocol max 64", got)
+	}
+}
+
+// Property: exponential difficulty is non-decreasing in score.
+func TestExponentialMonotoneProperty(t *testing.T) {
+	e, err := NewExponential(2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return e.Difficulty(lo) <= e.Difficulty(hi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Factory builds a policy from numeric parameters. Factories must reject
+// unknown parameter names so configuration typos fail loudly.
+type Factory func(params map[string]float64) (Policy, error)
+
+// Registry resolves policy specification strings like "policy2" or
+// "policy3(epsilon=3,seed=42)" into Policy values. It ships with the
+// paper's three policies plus the package's generic families registered,
+// and accepts custom factories. A Registry is safe for concurrent use.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns a registry pre-populated with the built-in policies:
+//
+//	policy1                              paper Policy 1
+//	policy2                              paper Policy 2
+//	policy3(epsilon=2.5, seed=…)         paper Policy 3
+//	fixed(difficulty=8)                  non-adaptive baseline
+//	linear(base=1, slope=1)              generic linear family
+//	exponential(base=1, factor=0.4)      generic exponential family
+func NewRegistry() *Registry {
+	r := &Registry{factories: make(map[string]Factory)}
+	mustRegister := func(name string, f Factory) {
+		if err := r.Register(name, f); err != nil {
+			panic(fmt.Sprintf("policy: registering builtin %q: %v", name, err))
+		}
+	}
+	mustRegister("policy1", func(params map[string]float64) (Policy, error) {
+		if err := rejectUnknown(params); err != nil {
+			return nil, err
+		}
+		return Policy1(), nil
+	})
+	mustRegister("policy2", func(params map[string]float64) (Policy, error) {
+		if err := rejectUnknown(params); err != nil {
+			return nil, err
+		}
+		return Policy2(), nil
+	})
+	mustRegister("policy3", func(params map[string]float64) (Policy, error) {
+		if err := rejectUnknown(params, "epsilon", "seed"); err != nil {
+			return nil, err
+		}
+		var opts []ErrorRangeOption
+		if eps, ok := params["epsilon"]; ok {
+			opts = append(opts, WithEpsilon(eps))
+		}
+		if seed, ok := params["seed"]; ok {
+			opts = append(opts, WithSeed(uint64(seed)))
+		}
+		return Policy3(opts...)
+	})
+	mustRegister("fixed", func(params map[string]float64) (Policy, error) {
+		if err := rejectUnknown(params, "difficulty"); err != nil {
+			return nil, err
+		}
+		d, ok := params["difficulty"]
+		if !ok {
+			return nil, fmt.Errorf("policy: fixed requires difficulty=<n>")
+		}
+		return NewFixed(int(d))
+	})
+	mustRegister("linear", func(params map[string]float64) (Policy, error) {
+		if err := rejectUnknown(params, "base", "slope"); err != nil {
+			return nil, err
+		}
+		base, slope := 1.0, 1.0
+		if v, ok := params["base"]; ok {
+			base = v
+		}
+		if v, ok := params["slope"]; ok {
+			slope = v
+		}
+		return NewLinear(int(base), slope)
+	})
+	mustRegister("exponential", func(params map[string]float64) (Policy, error) {
+		if err := rejectUnknown(params, "base", "factor"); err != nil {
+			return nil, err
+		}
+		base, factor := 1.0, 0.4
+		if v, ok := params["base"]; ok {
+			base = v
+		}
+		if v, ok := params["factor"]; ok {
+			factor = v
+		}
+		return NewExponential(int(base), factor)
+	})
+	return r
+}
+
+// Register adds a named factory. Re-registering an existing name is an
+// error: silent overrides hide configuration mistakes.
+func (r *Registry) Register(name string, f Factory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("policy: registry requires a name and factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("policy: %q already registered", name)
+	}
+	r.factories[name] = f
+	return nil
+}
+
+// Names reports registered policy names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New resolves a spec string "name" or "name(k=v,k2=v2)" into a Policy.
+func (r *Registry) New(spec string) (Policy, error) {
+	name, params, err := parseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	f, ok := r.factories[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (known: %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return f(params)
+}
+
+// parseSpec splits "name(k=v,…)" into its parts.
+func parseSpec(spec string) (string, map[string]float64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return "", nil, fmt.Errorf("policy: empty spec")
+	}
+	open := strings.IndexByte(spec, '(')
+	if open < 0 {
+		return spec, nil, nil
+	}
+	if !strings.HasSuffix(spec, ")") {
+		return "", nil, fmt.Errorf("policy: unbalanced parentheses in %q", spec)
+	}
+	name := strings.TrimSpace(spec[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("policy: missing name in %q", spec)
+	}
+	inner := spec[open+1 : len(spec)-1]
+	params := make(map[string]float64)
+	if strings.TrimSpace(inner) == "" {
+		return name, params, nil
+	}
+	for _, kv := range strings.Split(inner, ",") {
+		k, v, found := strings.Cut(kv, "=")
+		if !found {
+			return "", nil, fmt.Errorf("policy: parameter %q is not key=value", kv)
+		}
+		k = strings.TrimSpace(k)
+		val, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("policy: parameter %q: %w", k, err)
+		}
+		if _, dup := params[k]; dup {
+			return "", nil, fmt.Errorf("policy: duplicate parameter %q", k)
+		}
+		params[k] = val
+	}
+	return name, params, nil
+}
+
+// rejectUnknown errors on any parameter key outside the allowed set.
+func rejectUnknown(params map[string]float64, allowed ...string) error {
+	for k := range params {
+		ok := false
+		for _, a := range allowed {
+			if k == a {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("policy: unknown parameter %q (allowed: %s)", k, strings.Join(allowed, ", "))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	want := []string{"exponential", "fixed", "linear", "policy1", "policy2", "policy3"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+}
+
+func TestRegistryNewSpecs(t *testing.T) {
+	r := NewRegistry()
+	tests := []struct {
+		spec  string
+		score float64
+		want  int
+	}{
+		{"policy1", 4, 5},
+		{"policy2", 4, 9},
+		{"fixed(difficulty=12)", 9, 12},
+		{"linear(base=2,slope=2)", 3, 8},
+		{"linear", 3, 4}, // defaults base=1 slope=1
+		{"exponential(base=1,factor=0.4)", 10, 16},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			p, err := r.New(tt.spec)
+			if err != nil {
+				t.Fatalf("New(%q): %v", tt.spec, err)
+			}
+			if got := p.Difficulty(tt.score); got != tt.want {
+				t.Errorf("Difficulty(%v) = %d, want %d", tt.score, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRegistryPolicy3Spec(t *testing.T) {
+	r := NewRegistry()
+	p, err := r.New("policy3(epsilon=1,seed=42)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ok := p.(*ErrorRange)
+	if !ok {
+		t.Fatalf("policy3 spec produced %T", p)
+	}
+	if er.Epsilon() != 1 {
+		t.Fatalf("Epsilon() = %v, want 1", er.Epsilon())
+	}
+}
+
+func TestRegistrySpecErrors(t *testing.T) {
+	r := NewRegistry()
+	tests := []string{
+		"",
+		"unknown",
+		"policy1(bogus=1)",
+		"fixed",                      // missing required difficulty
+		"fixed(difficulty=99)",       // out of range
+		"linear(base=1,base=2)",      // duplicate param
+		"linear(base)",               // not key=value
+		"linear(base=x)",             // bad float
+		"linear(base=1",              // unbalanced
+		"(base=1)",                   // missing name
+		"policy3(epsilon=-2,seed=1)", // invalid epsilon propagates
+	}
+	for _, spec := range tests {
+		t.Run(spec, func(t *testing.T) {
+			if _, err := r.New(spec); err == nil {
+				t.Fatalf("New(%q) accepted", spec)
+			}
+		})
+	}
+}
+
+func TestRegistryRegisterCustomAndDuplicate(t *testing.T) {
+	r := NewRegistry()
+	err := r.Register("custom", func(params map[string]float64) (Policy, error) {
+		return Fixed{D: 3}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.New("custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Difficulty(0) != 3 {
+		t.Fatal("custom policy not used")
+	}
+	if err := r.Register("custom", nil); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	if err := r.Register("policy1", func(map[string]float64) (Policy, error) { return nil, nil }); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestRegistrySpecWhitespaceTolerant(t *testing.T) {
+	r := NewRegistry()
+	p, err := r.New("  linear( base = 2 , slope = 1 )  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Difficulty(1); got != 3 {
+		t.Fatalf("Difficulty(1) = %d, want 3", got)
+	}
+}

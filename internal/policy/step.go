@@ -1,0 +1,84 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Step is a threshold table: the difficulty of the highest threshold at or
+// below the score wins. It is the compiled form of the rule DSL and the
+// natural way to express "tiers of suspicion" policies.
+type Step struct {
+	name    string
+	nodes   []stepNode // sorted ascending by MinScore
+	defawlt int
+}
+
+// stepNode is one threshold entry.
+type stepNode struct {
+	minScore   float64
+	difficulty int
+}
+
+var _ Policy = (*Step)(nil)
+
+// StepRule is one public threshold: scores at or above MinScore map to
+// Difficulty, unless a higher threshold also matches.
+type StepRule struct {
+	MinScore   float64
+	Difficulty int
+}
+
+// NewStep builds a Step policy from rules plus a default difficulty for
+// scores below every threshold. Duplicate thresholds are rejected: the
+// table would be ambiguous.
+func NewStep(name string, defaultDifficulty int, rules ...StepRule) (*Step, error) {
+	if name == "" {
+		name = "step"
+	}
+	if defaultDifficulty < 1 {
+		return nil, fmt.Errorf("policy: step default difficulty %d invalid", defaultDifficulty)
+	}
+	nodes := make([]stepNode, 0, len(rules))
+	seen := make(map[float64]bool, len(rules))
+	for _, r := range rules {
+		if r.Difficulty < 1 {
+			return nil, fmt.Errorf("policy: step rule at %v has invalid difficulty %d", r.MinScore, r.Difficulty)
+		}
+		if seen[r.MinScore] {
+			return nil, fmt.Errorf("policy: duplicate step threshold %v", r.MinScore)
+		}
+		seen[r.MinScore] = true
+		nodes = append(nodes, stepNode{minScore: r.MinScore, difficulty: r.Difficulty})
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].minScore < nodes[j].minScore })
+	return &Step{name: name, nodes: nodes, defawlt: defaultDifficulty}, nil
+}
+
+// Name implements Policy.
+func (s *Step) Name() string { return s.name }
+
+// Difficulty implements Policy.
+func (s *Step) Difficulty(score float64) int {
+	sc := clampScore(score)
+	d := s.defawlt
+	for _, n := range s.nodes {
+		if sc >= n.minScore {
+			d = n.difficulty
+		} else {
+			break
+		}
+	}
+	return clampDifficulty(d)
+}
+
+// String renders the table for diagnostics.
+func (s *Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "step %q default=%d", s.name, s.defawlt)
+	for _, n := range s.nodes {
+		fmt.Fprintf(&b, " [>=%g -> %d]", n.minScore, n.difficulty)
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewStepValidation(t *testing.T) {
+	if _, err := NewStep("s", 0); err == nil {
+		t.Error("invalid default accepted")
+	}
+	if _, err := NewStep("s", 2, StepRule{MinScore: 5, Difficulty: 0}); err == nil {
+		t.Error("invalid rule difficulty accepted")
+	}
+	if _, err := NewStep("s", 2,
+		StepRule{MinScore: 5, Difficulty: 4},
+		StepRule{MinScore: 5, Difficulty: 9}); err == nil {
+		t.Error("duplicate threshold accepted")
+	}
+}
+
+func TestStepTierSelection(t *testing.T) {
+	s, err := NewStep("tiers", 1,
+		StepRule{MinScore: 8, Difficulty: 14},
+		StepRule{MinScore: 5, Difficulty: 8},
+		StepRule{MinScore: 2, Difficulty: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		score float64
+		want  int
+	}{
+		{0, 1}, {1.99, 1}, {2, 3}, {4.9, 3}, {5, 8}, {7.5, 8}, {8, 14}, {10, 14},
+	}
+	for _, tt := range tests {
+		if got := s.Difficulty(tt.score); got != tt.want {
+			t.Errorf("Difficulty(%v) = %d, want %d", tt.score, got, tt.want)
+		}
+	}
+}
+
+func TestStepUnorderedRulesSort(t *testing.T) {
+	s, err := NewStep("s", 1,
+		StepRule{MinScore: 2, Difficulty: 3},
+		StepRule{MinScore: 8, Difficulty: 14},
+		StepRule{MinScore: 5, Difficulty: 8},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Difficulty(6); got != 8 {
+		t.Fatalf("Difficulty(6) = %d, want 8 (rules must sort internally)", got)
+	}
+}
+
+func TestStepDefaultNameAndString(t *testing.T) {
+	s, err := NewStep("", 2, StepRule{MinScore: 5, Difficulty: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "step" {
+		t.Errorf("Name() = %q", s.Name())
+	}
+	if str := s.String(); !strings.Contains(str, ">=5 -> 9") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestLoadAdaptiveValidation(t *testing.T) {
+	if _, err := NewLoadAdaptive(nil, func() float64 { return 0 }, 4); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewLoadAdaptive(Policy1(), nil, 4); err == nil {
+		t.Error("nil load func accepted")
+	}
+	if _, err := NewLoadAdaptive(Policy1(), func() float64 { return 0 }, -1); err == nil {
+		t.Error("negative shift accepted")
+	}
+}
+
+func TestLoadAdaptiveShifts(t *testing.T) {
+	load := 0.0
+	a, err := NewLoadAdaptive(Policy1(), func() float64 { return load }, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Difficulty(3); got != 4 { // idle server: inner policy as-is
+		t.Errorf("idle Difficulty(3) = %d, want 4", got)
+	}
+	load = 1.0
+	if got := a.Difficulty(3); got != 10 { // saturated: +6
+		t.Errorf("saturated Difficulty(3) = %d, want 10", got)
+	}
+	load = 0.5
+	if got := a.Difficulty(3); got != 7 { // half load: +3
+		t.Errorf("half-load Difficulty(3) = %d, want 7", got)
+	}
+}
+
+func TestLoadAdaptiveDefensiveLoadClamp(t *testing.T) {
+	for _, load := range []float64{-5, 7} {
+		load := load
+		a, err := NewLoadAdaptive(Policy1(), func() float64 { return load }, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := a.Difficulty(0)
+		if d < 1 || d > 5 {
+			t.Errorf("load %v gave difficulty %d outside [1, 5]", load, d)
+		}
+	}
+}
+
+func TestLoadAdaptiveName(t *testing.T) {
+	a, err := NewLoadAdaptive(Policy2(), func() float64 { return 0 }, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "adaptive(policy2,+4)" {
+		t.Errorf("Name() = %q", a.Name())
+	}
+}

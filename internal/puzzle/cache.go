@@ -1,0 +1,119 @@
+package puzzle
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// ReplayCache remembers redeemed challenge seeds until they expire, so each
+// issued challenge can be used at most once — the paper's defense against
+// pre-computation and replay. Entries evict lazily on expiry; when the
+// cache is full, the entry closest to expiring is evicted first, which is
+// the cheapest safe choice (it protects the remaining window of the
+// longest-lived seeds).
+//
+// ReplayCache is safe for concurrent use.
+type ReplayCache struct {
+	mu      sync.Mutex
+	entries map[[SeedSize]byte]time.Time
+	order   expiryHeap
+	max     int
+	now     func() time.Time
+}
+
+// NewReplayCache returns a cache holding at most max seeds. The now
+// function may be nil, in which case time.Now is used.
+func NewReplayCache(max int, now func() time.Time) *ReplayCache {
+	if max < 1 {
+		max = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &ReplayCache{
+		entries: make(map[[SeedSize]byte]time.Time, max),
+		max:     max,
+		now:     now,
+	}
+}
+
+// Remember records seed as redeemed until expires. It reports false if the
+// seed was already present (a replay), true if the seed was fresh.
+func (c *ReplayCache) Remember(seed [SeedSize]byte, expires time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	now := c.now()
+	c.sweepLocked(now)
+
+	if until, ok := c.entries[seed]; ok && until.After(now) {
+		return false
+	}
+	for len(c.entries) >= c.max {
+		c.evictSoonestLocked()
+	}
+	c.entries[seed] = expires
+	heap.Push(&c.order, expiryEntry{seed: seed, expires: expires})
+	return true
+}
+
+// Contains reports whether seed is currently remembered (and unexpired).
+func (c *ReplayCache) Contains(seed [SeedSize]byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	until, ok := c.entries[seed]
+	return ok && until.After(c.now())
+}
+
+// Len reports the number of live (unexpired) entries.
+func (c *ReplayCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(c.now())
+	return len(c.entries)
+}
+
+// sweepLocked drops expired entries from the front of the expiry order.
+func (c *ReplayCache) sweepLocked(now time.Time) {
+	for len(c.order) > 0 && !c.order[0].expires.After(now) {
+		e := heap.Pop(&c.order).(expiryEntry)
+		// Only delete if the map still holds this exact registration; a
+		// seed can be re-remembered with a later expiry after expiring.
+		if until, ok := c.entries[e.seed]; ok && until.Equal(e.expires) {
+			delete(c.entries, e.seed)
+		}
+	}
+}
+
+// evictSoonestLocked removes the live entry closest to expiring.
+func (c *ReplayCache) evictSoonestLocked() {
+	for len(c.order) > 0 {
+		e := heap.Pop(&c.order).(expiryEntry)
+		if until, ok := c.entries[e.seed]; ok && until.Equal(e.expires) {
+			delete(c.entries, e.seed)
+			return
+		}
+	}
+	// Heap drained but map non-empty cannot happen: every map entry has a
+	// corresponding heap entry. Guard anyway to keep the invariant local.
+	for k := range c.entries {
+		delete(c.entries, k)
+		return
+	}
+}
+
+// expiryEntry orders seeds by expiry for eviction.
+type expiryEntry struct {
+	seed    [SeedSize]byte
+	expires time.Time
+}
+
+// expiryHeap is a min-heap on expiry time.
+type expiryHeap []expiryEntry
+
+func (h expiryHeap) Len() int           { return len(h) }
+func (h expiryHeap) Less(i, j int) bool { return h[i].expires.Before(h[j].expires) }
+func (h expiryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)        { *h = append(*h, x.(expiryEntry)) }
+func (h *expiryHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }

@@ -1,0 +1,114 @@
+package puzzle
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// binarySize is the length of a Version1 challenge's binary encoding,
+// excluding the variable-length binding.
+const binaryFixedSize = len(magic) + 1 + SeedSize + 8 + 8 + 2 + 2
+
+// MarshalBinary encodes the challenge as canonical bytes followed by the
+// tag. It never fails for challenges produced by an Issuer.
+func (c Challenge) MarshalBinary() ([]byte, error) {
+	if len(c.Binding) > maxBindingLen {
+		return nil, ErrBindingTooLong
+	}
+	return append(c.canonical(), c.Tag[:]...), nil
+}
+
+// UnmarshalBinary decodes a challenge previously encoded by MarshalBinary.
+// It validates structure only; authenticity is the Verifier's job.
+func (c *Challenge) UnmarshalBinary(data []byte) error {
+	if len(data) < binaryFixedSize+TagSize {
+		return fmt.Errorf("puzzle: truncated challenge (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return fmt.Errorf("puzzle: bad magic")
+	}
+	off := len(magic)
+	c.Version = data[off]
+	off++
+	copy(c.Seed[:], data[off:off+SeedSize])
+	off += SeedSize
+	c.IssuedAt = time.Unix(0, int64(binary.BigEndian.Uint64(data[off:]))).UTC()
+	off += 8
+	c.TTL = time.Duration(binary.BigEndian.Uint64(data[off:]))
+	off += 8
+	c.Difficulty = int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	bindLen := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	if bindLen > maxBindingLen {
+		return ErrBindingTooLong
+	}
+	if len(data) != binaryFixedSize+bindLen+TagSize {
+		return fmt.Errorf("puzzle: challenge length %d does not match binding length %d",
+			len(data), bindLen)
+	}
+	c.Binding = string(data[off : off+bindLen])
+	off += bindLen
+	copy(c.Tag[:], data[off:off+TagSize])
+	return nil
+}
+
+// MarshalText encodes the challenge as a single base64url token suitable
+// for an HTTP header.
+func (c Challenge) MarshalText() ([]byte, error) {
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, base64.RawURLEncoding.EncodedLen(len(raw)))
+	base64.RawURLEncoding.Encode(out, raw)
+	return out, nil
+}
+
+// UnmarshalText decodes a base64url challenge token.
+func (c *Challenge) UnmarshalText(text []byte) error {
+	raw := make([]byte, base64.RawURLEncoding.DecodedLen(len(text)))
+	n, err := base64.RawURLEncoding.Decode(raw, text)
+	if err != nil {
+		return fmt.Errorf("puzzle: decode challenge token: %w", err)
+	}
+	return c.UnmarshalBinary(raw[:n])
+}
+
+// String renders a compact human-readable description (not the wire form).
+func (c Challenge) String() string {
+	return fmt.Sprintf("challenge{v%d d=%d binding=%q issued=%s ttl=%s}",
+		c.Version, c.Difficulty, c.Binding,
+		c.IssuedAt.Format(time.RFC3339Nano), c.TTL)
+}
+
+// MarshalText encodes a solution as "<challenge-token>.<nonce-hex>".
+func (s Solution) MarshalText() ([]byte, error) {
+	cht, err := s.Challenge.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	return []byte(string(cht) + "." + strconv.FormatUint(s.Nonce, 16)), nil
+}
+
+// UnmarshalText decodes a solution encoded by MarshalText.
+func (s *Solution) UnmarshalText(text []byte) error {
+	str := string(text)
+	dot := strings.LastIndexByte(str, '.')
+	if dot < 0 {
+		return fmt.Errorf("puzzle: solution token missing nonce separator")
+	}
+	if err := s.Challenge.UnmarshalText([]byte(str[:dot])); err != nil {
+		return err
+	}
+	nonce, err := strconv.ParseUint(str[dot+1:], 16, 64)
+	if err != nil {
+		return fmt.Errorf("puzzle: parse solution nonce: %w", err)
+	}
+	s.Nonce = nonce
+	return nil
+}

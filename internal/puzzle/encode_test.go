@@ -1,0 +1,184 @@
+package puzzle
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestChallengeBinaryRoundTrip(t *testing.T) {
+	iss := newTestIssuer(t)
+	ch, err := iss.Issue("198.51.100.23", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Challenge
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	assertChallengeEqual(t, ch, got)
+}
+
+func TestChallengeTextRoundTrip(t *testing.T) {
+	iss := newTestIssuer(t)
+	ch, err := iss.Issue("2001:db8::1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := ch.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsAny(string(txt), "+/=\n ") {
+		t.Fatalf("text form not header-safe: %q", txt)
+	}
+	var got Challenge
+	if err := got.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	assertChallengeEqual(t, ch, got)
+}
+
+// Property: round-tripping preserves verifiability — a decoded challenge's
+// solved nonce still verifies, for random bindings and difficulties.
+func TestEncodedChallengeStillVerifiesProperty(t *testing.T) {
+	iss := newTestIssuer(t)
+	ver := newTestVerifier(t)
+	f := func(b uint8, dRaw uint8) bool {
+		binding := strings.Repeat("x", int(b%32))
+		d := 1 + int(dRaw%6)
+		ch, err := iss.Issue(binding, d)
+		if err != nil {
+			return false
+		}
+		txt, err := ch.MarshalText()
+		if err != nil {
+			return false
+		}
+		var decoded Challenge
+		if err := decoded.UnmarshalText(txt); err != nil {
+			return false
+		}
+		sol := Solution{Challenge: decoded}
+		for n := uint64(0); ; n++ {
+			if decoded.Meets(n) {
+				sol.Nonce = n
+				break
+			}
+		}
+		return ver.Verify(sol, binding) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalBinaryErrors(t *testing.T) {
+	iss := newTestIssuer(t)
+	ch, err := iss.Issue("c", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ch.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"truncated", raw[:10]},
+		{"missing_tag_byte", raw[:len(raw)-1]},
+		{"bad_magic", append([]byte("XXXXXXXX"), raw[8:]...)},
+		{"trailing_garbage", append(append([]byte(nil), raw...), 0xFF)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var got Challenge
+			if err := got.UnmarshalBinary(tt.data); err == nil {
+				t.Fatal("corrupt encoding accepted")
+			}
+		})
+	}
+}
+
+func TestUnmarshalTextRejectsGarbage(t *testing.T) {
+	var ch Challenge
+	if err := ch.UnmarshalText([]byte("!!!not-base64!!!")); err == nil {
+		t.Fatal("invalid base64 accepted")
+	}
+}
+
+func TestMarshalBinaryRejectsOversizedBinding(t *testing.T) {
+	ch := Challenge{Binding: strings.Repeat("b", 300)}
+	if _, err := ch.MarshalBinary(); !errors.Is(err, ErrBindingTooLong) {
+		t.Fatalf("err = %v, want ErrBindingTooLong", err)
+	}
+}
+
+func TestSolutionTextRoundTrip(t *testing.T) {
+	iss := newTestIssuer(t)
+	ch, err := iss.Issue("client-9", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	txt, err := sol.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Solution
+	if err := got.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if got.Nonce != sol.Nonce {
+		t.Fatalf("nonce = %d, want %d", got.Nonce, sol.Nonce)
+	}
+	assertChallengeEqual(t, sol.Challenge, got.Challenge)
+}
+
+func TestSolutionUnmarshalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"no_separator", "abcdef"},
+		{"bad_nonce", "QUlQb1cvMQ.zzzz-not-hex"},
+		{"bad_challenge", "%%%.ff"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var s Solution
+			if err := s.UnmarshalText([]byte(tt.in)); err == nil {
+				t.Fatal("garbage solution accepted")
+			}
+		})
+	}
+}
+
+func TestChallengeStringIsHumanReadable(t *testing.T) {
+	ch := Challenge{Version: 1, Difficulty: 7, Binding: "10.1.1.1",
+		IssuedAt: time.Unix(0, 0).UTC(), TTL: time.Minute}
+	s := ch.String()
+	if !strings.Contains(s, "d=7") || !strings.Contains(s, "10.1.1.1") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func assertChallengeEqual(t *testing.T, want, got Challenge) {
+	t.Helper()
+	if got.Version != want.Version || got.Seed != want.Seed ||
+		!got.IssuedAt.Equal(want.IssuedAt) || got.TTL != want.TTL ||
+		got.Difficulty != want.Difficulty || got.Binding != want.Binding ||
+		got.Tag != want.Tag {
+		t.Fatalf("challenge mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}

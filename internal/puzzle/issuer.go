@@ -1,0 +1,119 @@
+package puzzle
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// minKeyLen is the minimum HMAC key length the issuer accepts; shorter keys
+// give away the only secret in the protocol.
+const minKeyLen = 16
+
+// ErrKeyTooShort reports an HMAC key below the minimum safe length.
+var ErrKeyTooShort = errors.New("puzzle: key shorter than 16 bytes")
+
+// Issuer generates authenticated challenges. It corresponds to the paper's
+// "puzzle generation" module: it collects the request-related data
+// (timestamp, unique seed) and the difficulty chosen by the policy module,
+// and relays the result to the client.
+//
+// Issuer is safe for concurrent use.
+type Issuer struct {
+	key           []byte
+	now           func() time.Time
+	rand          io.Reader
+	ttl           time.Duration
+	maxDifficulty int
+}
+
+// IssuerOption customizes an Issuer.
+type IssuerOption func(*Issuer)
+
+// WithIssuerNow injects the issuer's clock, enabling virtual-time tests and
+// simulation. Defaults to time.Now.
+func WithIssuerNow(now func() time.Time) IssuerOption {
+	return func(i *Issuer) { i.now = now }
+}
+
+// WithIssuerRand injects the seed entropy source. Defaults to crypto/rand.
+func WithIssuerRand(r io.Reader) IssuerOption {
+	return func(i *Issuer) { i.rand = r }
+}
+
+// WithTTL sets how long issued challenges stay redeemable. Defaults to
+// DefaultTTL.
+func WithTTL(ttl time.Duration) IssuerOption {
+	return func(i *Issuer) { i.ttl = ttl }
+}
+
+// WithIssuerMaxDifficulty caps the difficulty this issuer will sign.
+// Defaults to 32, half the protocol ceiling, because nothing a policy can
+// legitimately ask for exceeds it.
+func WithIssuerMaxDifficulty(d int) IssuerOption {
+	return func(i *Issuer) { i.maxDifficulty = d }
+}
+
+// NewIssuer returns an Issuer that signs challenges with key. The key must
+// be at least 16 bytes; the same key must be given to the Verifier.
+func NewIssuer(key []byte, opts ...IssuerOption) (*Issuer, error) {
+	if len(key) < minKeyLen {
+		return nil, fmt.Errorf("%w (got %d)", ErrKeyTooShort, len(key))
+	}
+	i := &Issuer{
+		key:           append([]byte(nil), key...),
+		now:           time.Now,
+		rand:          rand.Reader,
+		ttl:           DefaultTTL,
+		maxDifficulty: 32,
+	}
+	for _, opt := range opts {
+		opt(i)
+	}
+	if i.ttl <= 0 {
+		return nil, fmt.Errorf("puzzle: non-positive TTL %v", i.ttl)
+	}
+	if i.maxDifficulty < MinDifficulty || i.maxDifficulty > MaxDifficulty {
+		return nil, fmt.Errorf("%w: issuer cap %d", ErrInvalidDifficulty, i.maxDifficulty)
+	}
+	return i, nil
+}
+
+// Issue creates a d-difficult challenge bound to the given client identity.
+func (i *Issuer) Issue(binding string, difficulty int) (Challenge, error) {
+	if err := validateDifficulty(difficulty); err != nil {
+		return Challenge{}, err
+	}
+	if difficulty > i.maxDifficulty {
+		return Challenge{}, fmt.Errorf("%w: %d exceeds issuer cap %d",
+			ErrInvalidDifficulty, difficulty, i.maxDifficulty)
+	}
+	if len(binding) > maxBindingLen {
+		return Challenge{}, ErrBindingTooLong
+	}
+	ch := Challenge{
+		Version:    Version1,
+		IssuedAt:   i.now(),
+		TTL:        i.ttl,
+		Difficulty: difficulty,
+		Binding:    binding,
+	}
+	if _, err := io.ReadFull(i.rand, ch.Seed[:]); err != nil {
+		return Challenge{}, fmt.Errorf("puzzle: read seed entropy: %w", err)
+	}
+	ch.Tag = i.tag(ch)
+	return ch, nil
+}
+
+// tag computes the HMAC-SHA256 tag over the challenge's canonical form.
+func (i *Issuer) tag(ch Challenge) [TagSize]byte {
+	mac := hmac.New(sha256.New, i.key)
+	mac.Write(ch.canonical())
+	var out [TagSize]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}

@@ -1,0 +1,222 @@
+// Package puzzle implements the Proof-of-Work substrate of the framework:
+// challenge issuance, client-side solving, and server-side verification.
+//
+// A challenge binds together a random seed (defeating pre-computation), the
+// issue timestamp and a TTL (bounding solution lifetime), the required
+// difficulty, and an opaque client binding (typically the client IP, as in
+// the paper). The issuer authenticates all of that with an HMAC-SHA256 tag,
+// so verification is stateless apart from an optional replay cache that
+// enforces single use of each seed.
+//
+// A solution to a d-difficult challenge is a nonce such that
+//
+//	SHA-256(canonical(challenge) ‖ nonce)
+//
+// has at least d leading zero bits. The expected number of hash evaluations
+// is 2^d, which is what makes difficulty an adaptive cost dial: the policy
+// module chooses d per request from the client's reputation score.
+package puzzle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+const (
+	// Version1 is the only wire format version currently defined.
+	Version1 = 1
+
+	// SeedSize is the byte length of the anti-precomputation seed.
+	SeedSize = 16
+
+	// TagSize is the byte length of the HMAC-SHA256 authentication tag.
+	TagSize = sha256.Size
+
+	// MinDifficulty is the smallest difficulty the framework issues. The
+	// paper's easiest policy starts at a 1-difficult puzzle.
+	MinDifficulty = 1
+
+	// MaxDifficulty is the hard upper bound on difficulty: a SHA-256 digest
+	// has 256 bits, but anything beyond 64 leading zero bits is beyond
+	// plausible client work, so the encoding caps there.
+	MaxDifficulty = 64
+
+	// DefaultTTL is how long an issued challenge stays valid unless the
+	// issuer is configured otherwise. It must comfortably exceed the worst
+	// solve time a policy can impose on a legitimate client.
+	DefaultTTL = 2 * time.Minute
+
+	// maxBindingLen bounds the client-binding string on the wire.
+	maxBindingLen = 255
+
+	// magic prefixes every canonical encoding so that tags and hashes from
+	// this protocol cannot collide with other uses of the same key.
+	magic = "AIPoW/1\x00"
+)
+
+// Typed failures returned by issuance and verification. Callers are expected
+// to branch with errors.Is; all verification failures are also ErrVerify.
+var (
+	// ErrVerify is the umbrella error wrapped by every verification failure.
+	ErrVerify = errors.New("puzzle: verification failed")
+
+	// ErrBadVersion reports an unknown wire-format version.
+	ErrBadVersion = errors.New("puzzle: unsupported version")
+
+	// ErrInvalidDifficulty reports a difficulty outside the permitted range.
+	ErrInvalidDifficulty = errors.New("puzzle: difficulty out of range")
+
+	// ErrBadTag reports an HMAC authentication failure: the challenge was
+	// not issued by this key or was tampered with in transit.
+	ErrBadTag = errors.New("puzzle: challenge authentication failed")
+
+	// ErrExpired reports a solution submitted after the challenge TTL.
+	ErrExpired = errors.New("puzzle: challenge expired")
+
+	// ErrNotYetValid reports a challenge whose issue time is in the future
+	// beyond the allowed clock skew.
+	ErrNotYetValid = errors.New("puzzle: challenge not yet valid")
+
+	// ErrWrongSolution reports a nonce whose digest does not meet the
+	// required difficulty.
+	ErrWrongSolution = errors.New("puzzle: solution does not meet difficulty")
+
+	// ErrReplayed reports a seed that was already redeemed.
+	ErrReplayed = errors.New("puzzle: challenge already redeemed")
+
+	// ErrBindingMismatch reports a solution presented by a client other
+	// than the one the challenge was issued to.
+	ErrBindingMismatch = errors.New("puzzle: client binding mismatch")
+
+	// ErrNonceExhausted reports that the 32-bit nonce space was searched
+	// without finding a solution. With d ≤ 22 the probability of this is
+	// below 1e-9; it signals a mis-configured (too high) difficulty.
+	ErrNonceExhausted = errors.New("puzzle: nonce space exhausted")
+
+	// ErrBindingTooLong reports a client binding exceeding the wire limit.
+	ErrBindingTooLong = errors.New("puzzle: binding exceeds 255 bytes")
+)
+
+// Challenge is one issued puzzle. The zero value is not a valid challenge;
+// obtain one from an Issuer or by decoding a wire string.
+type Challenge struct {
+	// Version identifies the wire format (Version1).
+	Version uint8
+
+	// Seed is the unique random value that makes each challenge fresh.
+	Seed [SeedSize]byte
+
+	// IssuedAt is the issuer's clock reading at issue time, at nanosecond
+	// granularity.
+	IssuedAt time.Time
+
+	// TTL is how long after IssuedAt the challenge may be redeemed.
+	TTL time.Duration
+
+	// Difficulty is the required number of leading zero bits, in
+	// [MinDifficulty, MaxDifficulty].
+	Difficulty int
+
+	// Binding ties the challenge to a client identity (the paper uses the
+	// client IP address). Verification rejects solutions presented under a
+	// different binding.
+	Binding string
+
+	// Tag authenticates all fields above under the issuer's key.
+	Tag [TagSize]byte
+}
+
+// ExpiresAt reports the instant after which the challenge is no longer
+// redeemable.
+func (c Challenge) ExpiresAt() time.Time { return c.IssuedAt.Add(c.TTL) }
+
+// canonical renders every authenticated field into a fixed, unambiguous
+// byte layout. It is both the HMAC input and the hash preimage prefix.
+func (c Challenge) canonical() []byte {
+	b := make([]byte, 0, len(magic)+1+SeedSize+8+8+2+2+len(c.Binding))
+	b = append(b, magic...)
+	b = append(b, c.Version)
+	b = append(b, c.Seed[:]...)
+	b = binary.BigEndian.AppendUint64(b, uint64(c.IssuedAt.UnixNano()))
+	b = binary.BigEndian.AppendUint64(b, uint64(c.TTL))
+	b = binary.BigEndian.AppendUint16(b, uint16(c.Difficulty))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(c.Binding)))
+	b = append(b, c.Binding...)
+	return b
+}
+
+// Solution pairs a challenge with the nonce that solves it.
+type Solution struct {
+	Challenge Challenge
+
+	// Nonce is the value appended to the preimage. The paper specifies a
+	// 32-bit nonce; values above 2^32-1 only appear when a Solver is run
+	// in extended mode.
+	Nonce uint64
+}
+
+// appendNonce encodes the nonce exactly as hashed: 4 big-endian bytes for
+// 32-bit values (the paper's "32-bit string"), 8 bytes for extended nonces.
+func appendNonce(b []byte, nonce uint64) []byte {
+	if nonce <= math.MaxUint32 {
+		return binary.BigEndian.AppendUint32(b, uint32(nonce))
+	}
+	return binary.BigEndian.AppendUint64(b, nonce)
+}
+
+// Digest computes the SHA-256 digest a verifier checks for the given nonce.
+func (c Challenge) Digest(nonce uint64) [sha256.Size]byte {
+	return sha256.Sum256(appendNonce(c.canonical(), nonce))
+}
+
+// Meets reports whether nonce solves the challenge at its difficulty.
+func (c Challenge) Meets(nonce uint64) bool {
+	d := c.Digest(nonce)
+	return CountLeadingZeroBits(d[:]) >= c.Difficulty
+}
+
+// CountLeadingZeroBits reports the number of consecutive zero bits at the
+// start of b, reading bytes most-significant-bit first.
+func CountLeadingZeroBits(b []byte) int {
+	n := 0
+	for _, by := range b {
+		if by == 0 {
+			n += 8
+			continue
+		}
+		n += bits.LeadingZeros8(by)
+		break
+	}
+	return n
+}
+
+// ExpectedAttempts reports the expected number of hash evaluations to solve
+// a d-difficult puzzle (2^d).
+func ExpectedAttempts(d int) float64 { return math.Exp2(float64(d)) }
+
+// ExpectedSolveTime reports the expected solve duration for a d-difficult
+// puzzle at the given hash rate (hashes per second). It returns a very
+// large value rather than overflowing when the rate is non-positive.
+func ExpectedSolveTime(d int, hashRate float64) time.Duration {
+	if hashRate <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := ExpectedAttempts(d) / hashRate
+	if sec > float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// validateDifficulty rejects difficulties outside the protocol range.
+func validateDifficulty(d int) error {
+	if d < MinDifficulty || d > MaxDifficulty {
+		return fmt.Errorf("%w: %d not in [%d, %d]", ErrInvalidDifficulty, d, MinDifficulty, MaxDifficulty)
+	}
+	return nil
+}

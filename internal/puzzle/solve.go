@@ -1,0 +1,127 @@
+package puzzle
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"time"
+)
+
+// ctxCheckInterval is how many hash attempts the solver performs between
+// context cancellation checks; it trades cancellation latency (microseconds)
+// against per-hash overhead.
+const ctxCheckInterval = 4096
+
+// SolveStats describes the work one solve performed. The attack experiments
+// use it to account attacker-side cost.
+type SolveStats struct {
+	// Attempts is the number of hash evaluations performed, including the
+	// successful one.
+	Attempts uint64
+
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// Solver performs the client-side nonce search. It corresponds to the
+// paper's "puzzle solver" module: the received challenge data is treated as
+// an immutable prefix, a 32-bit string is appended, and the client mutates
+// it on each hash evaluation until the digest has the required zero prefix.
+//
+// Solver is safe for concurrent use; each Solve call owns its own state.
+type Solver struct {
+	extended bool
+	limit    uint64
+	now      func() time.Time
+}
+
+// SolverOption customizes a Solver.
+type SolverOption func(*Solver)
+
+// WithExtendedNonce lets the search continue into a 64-bit nonce space
+// after the 32-bit space (the paper's default) is exhausted. It exists for
+// difficulties above ~26 where 32-bit exhaustion stops being negligible.
+func WithExtendedNonce() SolverOption {
+	return func(s *Solver) { s.extended = true }
+}
+
+// WithSolverNow injects the solver's clock for deterministic tests.
+func WithSolverNow(now func() time.Time) SolverOption {
+	return func(s *Solver) { s.now = now }
+}
+
+// WithNonceLimit caps the number of hash attempts before the solver gives
+// up with ErrNonceExhausted. Zero (the default) means the full nonce space.
+// Rational attackers use this to bound the work they are willing to spend
+// on one request (see the attack strategies in internal/attack).
+func WithNonceLimit(limit uint64) SolverOption {
+	return func(s *Solver) { s.limit = limit }
+}
+
+// NewSolver returns a Solver with the given options applied.
+func NewSolver(opts ...SolverOption) *Solver {
+	s := &Solver{now: time.Now}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Solve searches for a nonce meeting the challenge difficulty. It returns
+// ErrNonceExhausted if the nonce space runs out, or ctx.Err() if the
+// context is cancelled mid-search. The returned stats are valid in all
+// cases and report the work performed up to the return.
+func (s *Solver) Solve(ctx context.Context, ch Challenge) (Solution, SolveStats, error) {
+	start := s.now()
+	stats := SolveStats{}
+	prefix := ch.canonical()
+
+	// 32-bit phase: 4-byte big-endian nonce, exactly the paper's format.
+	buf := make([]byte, len(prefix)+4)
+	copy(buf, prefix)
+	for nonce := uint64(0); nonce <= math.MaxUint32; nonce++ {
+		if stats.Attempts%ctxCheckInterval == 0 && ctx.Err() != nil {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{}, stats, ctx.Err()
+		}
+		if s.limit > 0 && stats.Attempts >= s.limit {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{}, stats, ErrNonceExhausted
+		}
+		binary.BigEndian.PutUint32(buf[len(prefix):], uint32(nonce))
+		digest := sha256.Sum256(buf)
+		stats.Attempts++
+		if CountLeadingZeroBits(digest[:]) >= ch.Difficulty {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{Challenge: ch, Nonce: nonce}, stats, nil
+		}
+	}
+	if !s.extended {
+		stats.Elapsed = s.now().Sub(start)
+		return Solution{}, stats, ErrNonceExhausted
+	}
+
+	// Extended phase: 8-byte nonces strictly above MaxUint32.
+	buf = make([]byte, len(prefix)+8)
+	copy(buf, prefix)
+	for nonce := uint64(math.MaxUint32) + 1; nonce != 0; nonce++ {
+		if stats.Attempts%ctxCheckInterval == 0 && ctx.Err() != nil {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{}, stats, ctx.Err()
+		}
+		if s.limit > 0 && stats.Attempts >= s.limit {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{}, stats, ErrNonceExhausted
+		}
+		binary.BigEndian.PutUint64(buf[len(prefix):], nonce)
+		digest := sha256.Sum256(buf)
+		stats.Attempts++
+		if CountLeadingZeroBits(digest[:]) >= ch.Difficulty {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{Challenge: ch, Nonce: nonce}, stats, nil
+		}
+	}
+	stats.Elapsed = s.now().Sub(start)
+	return Solution{}, stats, ErrNonceExhausted
+}

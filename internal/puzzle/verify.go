@@ -1,0 +1,106 @@
+package puzzle
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"time"
+)
+
+// Verifier checks solutions. It corresponds to the paper's lightweight
+// "puzzle verification" module: one HMAC plus one SHA-256 evaluation per
+// solution, independent of difficulty — the asymmetry that makes PoW a
+// defense (see the Asymmetry benchmark).
+//
+// Verifier is safe for concurrent use.
+type Verifier struct {
+	key    []byte
+	now    func() time.Time
+	replay *ReplayCache
+	skew   time.Duration
+}
+
+// VerifierOption customizes a Verifier.
+type VerifierOption func(*Verifier)
+
+// WithVerifierNow injects the verifier's clock. Defaults to time.Now.
+func WithVerifierNow(now func() time.Time) VerifierOption {
+	return func(v *Verifier) { v.now = now }
+}
+
+// WithReplayCache enables single-use enforcement of challenge seeds.
+// Without it, a solved challenge can be redeemed repeatedly until expiry.
+func WithReplayCache(c *ReplayCache) VerifierOption {
+	return func(v *Verifier) { v.replay = c }
+}
+
+// WithClockSkew sets the tolerated clock skew between issuer and verifier
+// (relevant when they are separate processes). Defaults to 2 s.
+func WithClockSkew(skew time.Duration) VerifierOption {
+	return func(v *Verifier) { v.skew = skew }
+}
+
+// NewVerifier returns a Verifier holding the issuer's HMAC key.
+func NewVerifier(key []byte, opts ...VerifierOption) (*Verifier, error) {
+	if len(key) < minKeyLen {
+		return nil, fmt.Errorf("%w (got %d)", ErrKeyTooShort, len(key))
+	}
+	v := &Verifier{
+		key:  append([]byte(nil), key...),
+		now:  time.Now,
+		skew: 2 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(v)
+	}
+	if v.skew < 0 {
+		return nil, fmt.Errorf("puzzle: negative clock skew %v", v.skew)
+	}
+	return v, nil
+}
+
+// Verify checks that sol is an authentic, fresh, unredeemed, and correct
+// solution presented by the client identified by binding. An empty binding
+// skips the binding check (for callers that have already authenticated the
+// presenter). All failures wrap ErrVerify plus a specific sentinel.
+func (v *Verifier) Verify(sol Solution, binding string) error {
+	ch := sol.Challenge
+	if ch.Version != Version1 {
+		return fmt.Errorf("%w: %w: got %d", ErrVerify, ErrBadVersion, ch.Version)
+	}
+	if err := validateDifficulty(ch.Difficulty); err != nil {
+		return fmt.Errorf("%w: %w", ErrVerify, err)
+	}
+
+	// Authenticate before trusting any field.
+	mac := hmac.New(sha256.New, v.key)
+	mac.Write(ch.canonical())
+	if !hmac.Equal(mac.Sum(nil), ch.Tag[:]) {
+		return fmt.Errorf("%w: %w", ErrVerify, ErrBadTag)
+	}
+
+	if binding != "" && binding != ch.Binding {
+		return fmt.Errorf("%w: %w: challenge bound to %q, presented by %q",
+			ErrVerify, ErrBindingMismatch, ch.Binding, binding)
+	}
+
+	now := v.now()
+	if ch.IssuedAt.After(now.Add(v.skew)) {
+		return fmt.Errorf("%w: %w: issued %v ahead of verifier clock",
+			ErrVerify, ErrNotYetValid, ch.IssuedAt.Sub(now))
+	}
+	if now.After(ch.ExpiresAt().Add(v.skew)) {
+		return fmt.Errorf("%w: %w: expired %v ago",
+			ErrVerify, ErrExpired, now.Sub(ch.ExpiresAt()))
+	}
+
+	if !ch.Meets(sol.Nonce) {
+		return fmt.Errorf("%w: %w: nonce %d", ErrVerify, ErrWrongSolution, sol.Nonce)
+	}
+
+	// Redeem last, so failed attempts do not burn the seed.
+	if v.replay != nil && !v.replay.Remember(ch.Seed, ch.ExpiresAt().Add(v.skew)) {
+		return fmt.Errorf("%w: %w", ErrVerify, ErrReplayed)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package puzzle
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestVerifier(t *testing.T, opts ...VerifierOption) *Verifier {
+	t.Helper()
+	v, err := NewVerifier(testKey, opts...)
+	if err != nil {
+		t.Fatalf("NewVerifier: %v", err)
+	}
+	return v
+}
+
+func TestNewVerifierRejectsShortKey(t *testing.T) {
+	if _, err := NewVerifier([]byte("tiny")); !errors.Is(err, ErrKeyTooShort) {
+		t.Fatalf("err = %v, want ErrKeyTooShort", err)
+	}
+}
+
+func TestNewVerifierRejectsNegativeSkew(t *testing.T) {
+	if _, err := NewVerifier(testKey, WithClockSkew(-time.Second)); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
+
+func TestVerifyAcceptsValidSolution(t *testing.T) {
+	iss := newTestIssuer(t)
+	ver := newTestVerifier(t)
+	ch, err := iss.Issue("192.0.2.1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	if err := ver.Verify(sol, "192.0.2.1"); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Empty binding skips the binding check.
+	if err := ver.Verify(sol, ""); err != nil {
+		t.Fatalf("Verify with empty binding: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedFields(t *testing.T) {
+	iss := newTestIssuer(t)
+	ver := newTestVerifier(t)
+	ch, err := iss.Issue("192.0.2.1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+
+	tests := []struct {
+		name   string
+		mutate func(*Solution)
+		want   error
+	}{
+		{"difficulty_lowered", func(s *Solution) { s.Challenge.Difficulty = 1 }, ErrBadTag},
+		{"ttl_extended", func(s *Solution) { s.Challenge.TTL *= 10 }, ErrBadTag},
+		{"binding_swapped", func(s *Solution) { s.Challenge.Binding = "6.6.6.6" }, ErrBadTag},
+		{"seed_flipped", func(s *Solution) { s.Challenge.Seed[0] ^= 1 }, ErrBadTag},
+		{"issued_shifted", func(s *Solution) { s.Challenge.IssuedAt = s.Challenge.IssuedAt.Add(time.Second) }, ErrBadTag},
+		{"tag_flipped", func(s *Solution) { s.Challenge.Tag[0] ^= 1 }, ErrBadTag},
+		{"bad_version", func(s *Solution) { s.Challenge.Version = 9 }, ErrBadVersion},
+		{"difficulty_out_of_range", func(s *Solution) { s.Challenge.Difficulty = 0 }, ErrInvalidDifficulty},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			mutated := sol
+			tt.mutate(&mutated)
+			err := ver.Verify(mutated, "192.0.2.1")
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("err = %v, want %v", err, tt.want)
+			}
+			if !errors.Is(err, ErrVerify) {
+				t.Fatalf("err = %v does not wrap ErrVerify", err)
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongPresenter(t *testing.T) {
+	iss := newTestIssuer(t)
+	ver := newTestVerifier(t)
+	ch, err := iss.Issue("192.0.2.1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	if err := ver.Verify(sol, "203.0.113.5"); !errors.Is(err, ErrBindingMismatch) {
+		t.Fatalf("err = %v, want ErrBindingMismatch", err)
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	iss := newTestIssuer(t)
+	ver := newTestVerifier(t)
+	ch, err := iss.Issue("c", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	bad := sol
+	bad.Nonce++ // almost surely wrong at d=12
+	if ch.Meets(bad.Nonce) {
+		t.Skip("adjacent nonce happens to solve; astronomically rare")
+	}
+	if err := ver.Verify(bad, "c"); !errors.Is(err, ErrWrongSolution) {
+		t.Fatalf("err = %v, want ErrWrongSolution", err)
+	}
+}
+
+func TestVerifyExpiry(t *testing.T) {
+	issuedAt := time.Date(2022, 3, 21, 12, 0, 0, 0, time.UTC)
+	iss := newTestIssuer(t, WithIssuerNow(fixedNow(issuedAt)), WithTTL(time.Minute))
+	ch, err := iss.Issue("c", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+
+	tests := []struct {
+		name string
+		at   time.Time
+		want error
+	}{
+		{"fresh", issuedAt.Add(time.Second), nil},
+		{"at_ttl_edge_within_skew", issuedAt.Add(time.Minute + time.Second), nil},
+		{"expired", issuedAt.Add(time.Minute + 3*time.Second), ErrExpired},
+		{"future_challenge", issuedAt.Add(-5 * time.Second), ErrNotYetValid},
+		{"future_within_skew", issuedAt.Add(-time.Second), nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ver := newTestVerifier(t, WithVerifierNow(fixedNow(tt.at)), WithClockSkew(2*time.Second))
+			err := ver.Verify(sol, "c")
+			if tt.want == nil && err != nil {
+				t.Fatalf("Verify = %v, want nil", err)
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Fatalf("Verify = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestVerifyReplay(t *testing.T) {
+	iss := newTestIssuer(t)
+	cache := NewReplayCache(128, nil)
+	ver := newTestVerifier(t, WithReplayCache(cache))
+	ch, err := iss.Issue("c", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	if err := ver.Verify(sol, "c"); err != nil {
+		t.Fatalf("first redemption: %v", err)
+	}
+	if err := ver.Verify(sol, "c"); !errors.Is(err, ErrReplayed) {
+		t.Fatalf("second redemption = %v, want ErrReplayed", err)
+	}
+}
+
+func TestVerifyFailedAttemptDoesNotBurnSeed(t *testing.T) {
+	iss := newTestIssuer(t)
+	cache := NewReplayCache(128, nil)
+	ver := newTestVerifier(t, WithReplayCache(cache))
+	ch, err := iss.Issue("c", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	bad := sol
+	bad.Nonce = sol.Nonce + 1
+	if ch.Meets(bad.Nonce) {
+		t.Skip("adjacent nonce happens to solve")
+	}
+	if err := ver.Verify(bad, "c"); err == nil {
+		t.Fatal("bad nonce accepted")
+	}
+	if err := ver.Verify(sol, "c"); err != nil {
+		t.Fatalf("correct solution rejected after failed attempt: %v", err)
+	}
+}
+
+func TestVerifyDifferentKeyRejects(t *testing.T) {
+	iss := newTestIssuer(t)
+	otherKey := []byte("ffffffffffffffffffffffffffffffff")
+	ver, err := NewVerifier(otherKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := iss.Issue("c", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := solveOrDie(t, ch)
+	if err := ver.Verify(sol, "c"); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("err = %v, want ErrBadTag", err)
+	}
+}

@@ -1,0 +1,132 @@
+package reputation
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+)
+
+// errNoPoints reports a k-means call without data.
+var errNoPoints = errors.New("k-means: no points")
+
+// kMeans clusters points into k centroids using k-means++ seeding followed
+// by at most iters Lloyd iterations. It returns the centroids; cluster
+// membership is implied by nearest-centroid. Points must share one
+// dimensionality. k is clamped to len(points) by the caller.
+func kMeans(points [][]float64, k, iters int, rng *rand.Rand) ([][]float64, error) {
+	if len(points) == 0 {
+		return nil, errNoPoints
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(points) {
+		k = len(points)
+	}
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := euclidean(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		recomputeCentroids(points, assign, centroids, rng)
+	}
+	return centroids, nil
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ (D² weighting),
+// which avoids the degenerate all-in-one-cluster starts plain random
+// seeding produces on imbalanced family sizes.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[rng.IntN(len(points))]
+	centroids = append(centroids, cloneVec(first))
+
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			d := distToNearest(p, centroids)
+			d2[i] = d * d
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with a centroid; duplicate one.
+			centroids = append(centroids, cloneVec(points[rng.IntN(len(points))]))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		chosen := len(points) - 1
+		for i, w := range d2 {
+			acc += w
+			if acc >= target {
+				chosen = i
+				break
+			}
+		}
+		centroids = append(centroids, cloneVec(points[chosen]))
+	}
+	return centroids
+}
+
+// recomputeCentroids moves each centroid to the mean of its assigned
+// points; empty clusters are reseeded to the point farthest from its
+// centroid, the standard fix that keeps k live clusters.
+func recomputeCentroids(points [][]float64, assign []int, centroids [][]float64, rng *rand.Rand) {
+	dim := len(points[0])
+	sums := make([][]float64, len(centroids))
+	counts := make([]int, len(centroids))
+	for c := range centroids {
+		sums[c] = make([]float64, dim)
+	}
+	for i, p := range points {
+		c := assign[i]
+		counts[c]++
+		for j, x := range p {
+			sums[c][j] += x
+		}
+	}
+	for c := range centroids {
+		if counts[c] == 0 {
+			centroids[c] = cloneVec(farthestPoint(points, centroids, rng))
+			continue
+		}
+		for j := range sums[c] {
+			centroids[c][j] = sums[c][j] / float64(counts[c])
+		}
+	}
+}
+
+// farthestPoint returns the point with the largest nearest-centroid
+// distance, breaking ties arbitrarily; rng breaks the all-zero tie.
+func farthestPoint(points [][]float64, centroids [][]float64, rng *rand.Rand) []float64 {
+	best := points[rng.IntN(len(points))]
+	bestD := -1.0
+	for _, p := range points {
+		if d := distToNearest(p, centroids); d > bestD {
+			best, bestD = p, d
+		}
+	}
+	return best
+}
+
+func cloneVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

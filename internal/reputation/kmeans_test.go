@@ -1,0 +1,119 @@
+package reputation
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestKMeansSingleClusterIsMean(t *testing.T) {
+	points := [][]float64{{0, 0}, {2, 0}, {0, 2}, {2, 2}}
+	rng := rand.New(rand.NewPCG(1, 1))
+	cents, err := kMeans(points, 1, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cents) != 1 {
+		t.Fatalf("got %d centroids, want 1", len(cents))
+	}
+	if math.Abs(cents[0][0]-1) > 1e-9 || math.Abs(cents[0][1]-1) > 1e-9 {
+		t.Fatalf("centroid = %v, want [1 1]", cents[0])
+	}
+}
+
+func TestKMeansRecoversSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	var points [][]float64
+	for i := 0; i < 50; i++ {
+		points = append(points, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+		points = append(points, []float64{5 + rng.NormFloat64()*0.1, 5 + rng.NormFloat64()*0.1})
+	}
+	cents, err := kMeans(points, 2, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cents) != 2 {
+		t.Fatalf("got %d centroids, want 2", len(cents))
+	}
+	// One centroid near (0,0), one near (5,5), in either order.
+	d00 := math.Min(euclidean(cents[0], []float64{0, 0}), euclidean(cents[1], []float64{0, 0}))
+	d55 := math.Min(euclidean(cents[0], []float64{5, 5}), euclidean(cents[1], []float64{5, 5}))
+	if d00 > 0.5 || d55 > 0.5 {
+		t.Fatalf("clusters not recovered: centroids %v", cents)
+	}
+}
+
+// k-means assignment optimality: after convergence every point is closer to
+// its own centroid than to any other (within float tolerance). This is the
+// defining invariant of Lloyd's algorithm.
+func TestKMeansAssignmentOptimality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	var points [][]float64
+	for i := 0; i < 90; i++ {
+		c := float64(i % 3 * 4)
+		points = append(points, []float64{c + rng.NormFloat64()*0.2, c + rng.NormFloat64()*0.2})
+	}
+	cents, err := kMeans(points, 3, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute means of implied assignment; converged centroids must be
+	// (near) fixed points.
+	sums := make([][]float64, len(cents))
+	counts := make([]int, len(cents))
+	for i := range sums {
+		sums[i] = make([]float64, 2)
+	}
+	for _, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c := range cents {
+			if d := euclidean(p, cents[c]); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		counts[best]++
+		sums[best][0] += p[0]
+		sums[best][1] += p[1]
+	}
+	for c := range cents {
+		if counts[c] == 0 {
+			t.Fatalf("centroid %d owns no points", c)
+		}
+		for j := 0; j < 2; j++ {
+			mean := sums[c][j] / float64(counts[c])
+			if math.Abs(mean-cents[c][j]) > 1e-6 {
+				t.Fatalf("centroid %d not a fixed point: dim %d mean %v vs %v", c, j, mean, cents[c][j])
+			}
+		}
+	}
+}
+
+func TestKMeansClampK(t *testing.T) {
+	points := [][]float64{{1}, {2}}
+	cents, err := kMeans(points, 10, 10, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cents) != 2 {
+		t.Fatalf("got %d centroids, want clamp to 2", len(cents))
+	}
+}
+
+func TestKMeansNoPoints(t *testing.T) {
+	if _, err := kMeans(nil, 2, 10, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	points := [][]float64{{3, 3}, {3, 3}, {3, 3}}
+	cents, err := kMeans(points, 2, 10, rand.New(rand.NewPCG(1, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cents {
+		if c[0] != 3 || c[1] != 3 {
+			t.Fatalf("centroid %v, want [3 3]", c)
+		}
+	}
+}

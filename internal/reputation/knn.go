@@ -1,0 +1,143 @@
+package reputation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is an alternative reputation scorer: the score of an IP is
+// MaxScore times the malicious fraction among its k nearest training
+// neighbours (in the same normalized attribute space the Model uses).
+// It demonstrates the framework's "AI model is swappable" claim and serves
+// as a sanity baseline for the centroid model in the evaluation.
+//
+// KNN is immutable after construction and safe for concurrent use.
+type KNN struct {
+	k         int
+	attrNames []string
+	mins      []float64
+	ranges    []float64
+	points    [][]float64
+	labels    []bool
+}
+
+var _ Scorer = (*KNN)(nil)
+
+// NewKNN builds a kNN scorer from labeled samples. k is clamped to the
+// sample count. Normalization bounds are derived from the samples exactly
+// as in Train.
+func NewKNN(samples []Sample, k int) (*KNN, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("reputation: k must be positive, got %d", k)
+	}
+	if k > len(samples) {
+		k = len(samples)
+	}
+
+	attrNames := make([]string, 0, len(samples[0].Attrs))
+	for name := range samples[0].Attrs {
+		attrNames = append(attrNames, name)
+	}
+	sort.Strings(attrNames)
+
+	knn := &KNN{
+		k:         k,
+		attrNames: attrNames,
+		mins:      make([]float64, len(attrNames)),
+		ranges:    make([]float64, len(attrNames)),
+		points:    make([][]float64, len(samples)),
+		labels:    make([]bool, len(samples)),
+	}
+
+	raw := make([][]float64, len(samples))
+	for i, s := range samples {
+		v := make([]float64, len(attrNames))
+		for j, name := range attrNames {
+			val, ok := s.Attrs[name]
+			if !ok {
+				return nil, fmt.Errorf("%w: sample %d lacks %q", ErrMissingAttr, i, name)
+			}
+			v[j] = val
+		}
+		raw[i] = v
+		knn.labels[i] = s.Malicious
+	}
+
+	maxs := make([]float64, len(attrNames))
+	for j := range attrNames {
+		knn.mins[j], maxs[j] = raw[0][j], raw[0][j]
+	}
+	for _, v := range raw {
+		for j, x := range v {
+			if x < knn.mins[j] {
+				knn.mins[j] = x
+			}
+			if x > maxs[j] {
+				maxs[j] = x
+			}
+		}
+	}
+	for j := range attrNames {
+		knn.ranges[j] = maxs[j] - knn.mins[j]
+	}
+	for i, v := range raw {
+		knn.points[i] = knn.normalize(v)
+	}
+	return knn, nil
+}
+
+// Score maps an attribute map to [0, MaxScore] by majority mass of the k
+// nearest neighbours.
+func (knn *KNN) Score(attrs map[string]float64) (float64, error) {
+	v := make([]float64, len(knn.attrNames))
+	for j, name := range knn.attrNames {
+		val, ok := attrs[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: %q", ErrMissingAttr, name)
+		}
+		v[j] = val
+	}
+	q := knn.normalize(v)
+
+	type neigh struct {
+		d   float64
+		mal bool
+	}
+	ns := make([]neigh, len(knn.points))
+	for i, p := range knn.points {
+		ns[i] = neigh{d: euclidean(q, p), mal: knn.labels[i]}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i].d < ns[j].d })
+
+	malicious := 0
+	for _, n := range ns[:knn.k] {
+		if n.mal {
+			malicious++
+		}
+	}
+	return MaxScore * float64(malicious) / float64(knn.k), nil
+}
+
+// K reports the neighbour count in use.
+func (knn *KNN) K() int { return knn.k }
+
+func (knn *KNN) normalize(raw []float64) []float64 {
+	out := make([]float64, len(raw))
+	for j, x := range raw {
+		if knn.ranges[j] == 0 {
+			out[j] = 0
+			continue
+		}
+		n := (x - knn.mins[j]) / knn.ranges[j]
+		if n < 0 {
+			n = 0
+		} else if n > 1 {
+			n = 1
+		}
+		out[j] = n
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package reputation
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelFileVersion guards the persisted format.
+const modelFileVersion = 1
+
+// modelJSON is the on-disk representation of a trained Model.
+type modelJSON struct {
+	Version   int         `json:"version"`
+	AttrNames []string    `json:"attr_names"`
+	Mins      []float64   `json:"mins"`
+	Ranges    []float64   `json:"ranges"`
+	Centroids [][]float64 `json:"centroids"`
+	DistMal   float64     `json:"dist_malicious_median"`
+	DistBen   float64     `json:"dist_benign_median"`
+}
+
+// Save writes the model as JSON. The format is stable across releases
+// within the same major version.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(modelJSON{
+		Version:   modelFileVersion,
+		AttrNames: m.attrNames,
+		Mins:      m.mins,
+		Ranges:    m.ranges,
+		Centroids: m.centroids,
+		DistMal:   m.distMal,
+		DistBen:   m.distBen,
+	}); err != nil {
+		return fmt.Errorf("reputation: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save, validating structural
+// consistency so a corrupt file fails loudly instead of mis-scoring.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("reputation: decode model: %w", err)
+	}
+	if mj.Version != modelFileVersion {
+		return nil, fmt.Errorf("reputation: unsupported model file version %d", mj.Version)
+	}
+	dim := len(mj.AttrNames)
+	if dim == 0 {
+		return nil, fmt.Errorf("reputation: model has no attributes")
+	}
+	if len(mj.Mins) != dim || len(mj.Ranges) != dim {
+		return nil, fmt.Errorf("reputation: normalization bounds have wrong dimension")
+	}
+	if len(mj.Centroids) == 0 {
+		return nil, fmt.Errorf("reputation: model has no centroids")
+	}
+	for i, c := range mj.Centroids {
+		if len(c) != dim {
+			return nil, fmt.Errorf("reputation: centroid %d has dimension %d, want %d", i, len(c), dim)
+		}
+	}
+	if mj.DistMal < 0 || mj.DistBen <= mj.DistMal {
+		return nil, fmt.Errorf("reputation: invalid calibration anchors (mal %v, ben %v)",
+			mj.DistMal, mj.DistBen)
+	}
+	for i := 1; i < dim; i++ {
+		if mj.AttrNames[i-1] >= mj.AttrNames[i] {
+			return nil, fmt.Errorf("reputation: attribute names not in canonical order")
+		}
+	}
+	return &Model{
+		attrNames: mj.AttrNames,
+		mins:      mj.Mins,
+		ranges:    mj.Ranges,
+		centroids: mj.Centroids,
+		distMal:   mj.DistMal,
+		distBen:   mj.DistBen,
+	}, nil
+}

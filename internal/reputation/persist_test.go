@@ -1,0 +1,60 @@
+package reputation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := trainToy(t, WithClusters(2), WithSeed(3))
+	var b strings.Builder
+	if err := m.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []map[string]float64{
+		{"x": 0, "y": 0},
+		{"x": 10, "y": 10},
+		{"x": 3.7, "y": 8.1},
+	}
+	for _, p := range probes {
+		want, err := m.Score(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Score(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Score(%v) after reload = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestLoadRejectsCorruptModels(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"not_json", "]["},
+		{"wrong_version", `{"version":99,"attr_names":["x"],"mins":[0],"ranges":[1],"centroids":[[0.5]],"dist_malicious_median":0.1,"dist_benign_median":0.9}`},
+		{"no_attrs", `{"version":1,"attr_names":[],"mins":[],"ranges":[],"centroids":[[0.5]],"dist_malicious_median":0.1,"dist_benign_median":0.9}`},
+		{"bad_bounds_dim", `{"version":1,"attr_names":["x"],"mins":[0,1],"ranges":[1],"centroids":[[0.5]],"dist_malicious_median":0.1,"dist_benign_median":0.9}`},
+		{"no_centroids", `{"version":1,"attr_names":["x"],"mins":[0],"ranges":[1],"centroids":[],"dist_malicious_median":0.1,"dist_benign_median":0.9}`},
+		{"bad_centroid_dim", `{"version":1,"attr_names":["x"],"mins":[0],"ranges":[1],"centroids":[[0.5,0.5]],"dist_malicious_median":0.1,"dist_benign_median":0.9}`},
+		{"inverted_anchors", `{"version":1,"attr_names":["x"],"mins":[0],"ranges":[1],"centroids":[[0.5]],"dist_malicious_median":0.9,"dist_benign_median":0.1}`},
+		{"negative_anchor", `{"version":1,"attr_names":["x"],"mins":[0],"ranges":[1],"centroids":[[0.5]],"dist_malicious_median":-1,"dist_benign_median":0.5}`},
+		{"unsorted_attrs", `{"version":1,"attr_names":["y","x"],"mins":[0,0],"ranges":[1,1],"centroids":[[0.5,0.5]],"dist_malicious_median":0.1,"dist_benign_median":0.9}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tt.in)); err == nil {
+				t.Fatal("corrupt model accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package aipow
+
+import (
+	"aipow/internal/policy"
+)
+
+// Policy maps a reputation score in [0, 10] to a puzzle difficulty.
+type Policy = policy.Policy
+
+// Policy1 returns the paper's Policy 1: difficulty = score + 1, the gentle
+// linear mapping whose latency "does not grow significantly" with score.
+func Policy1() Policy { return policy.Policy1() }
+
+// Policy2 returns the paper's Policy 2: difficulty = score + 5, whose
+// latency grows to ≈900 ms for the worst reputation scores.
+func Policy2() Policy { return policy.Policy2() }
+
+// Policy3 returns the paper's Policy 3: the difficulty is drawn uniformly
+// from an ε-wide interval around score+1, compensating for the AI model's
+// scoring error.
+func Policy3(opts ...ErrorRangeOption) (Policy, error) { return policy.Policy3(opts...) }
+
+// ErrorRangeOption configures Policy3.
+type ErrorRangeOption = policy.ErrorRangeOption
+
+// WithEpsilon sets Policy3's scoring-error allowance (default 2.5).
+func WithEpsilon(eps float64) ErrorRangeOption { return policy.WithEpsilon(eps) }
+
+// WithPolicySeed makes Policy3's draws deterministic.
+func WithPolicySeed(seed uint64) ErrorRangeOption { return policy.WithSeed(seed) }
+
+// NewFixedPolicy returns the classic non-adaptive policy: one difficulty
+// for every client.
+func NewFixedPolicy(d int) (Policy, error) { return policy.NewFixed(d) }
+
+// NewLinearPolicy returns difficulty = base + round(slope × score).
+func NewLinearPolicy(base int, slope float64) (Policy, error) {
+	return policy.NewLinear(base, slope)
+}
+
+// NewExponentialPolicy returns difficulty = base + round(2^(factor×score) − 1).
+func NewExponentialPolicy(base int, factor float64) (Policy, error) {
+	return policy.NewExponential(base, factor)
+}
+
+// StepRule is one threshold of a step policy: scores at or above MinScore
+// get Difficulty.
+type StepRule = policy.StepRule
+
+// NewStepPolicy returns a threshold-table policy.
+func NewStepPolicy(name string, defaultDifficulty int, rules ...StepRule) (Policy, error) {
+	return policy.NewStep(name, defaultDifficulty, rules...)
+}
+
+// ParsePolicyRules compiles the policy rule DSL:
+//
+//	name edge-tiers
+//	when score >= 8 use 14
+//	when score >= 5 use 8
+//	default 3
+func ParsePolicyRules(src string) (Policy, error) { return policy.ParseRules(src) }
+
+// ClampPolicy restricts an inner policy's output to [lo, hi].
+func ClampPolicy(inner Policy, lo, hi int) (Policy, error) {
+	return policy.NewClamp(inner, lo, hi)
+}
+
+// LoadFunc reports instantaneous server load in [0, 1] for adaptive
+// policies.
+type LoadFunc = policy.LoadFunc
+
+// NewLoadAdaptivePolicy shifts an inner policy's difficulty up by as much
+// as maxShift at full load.
+func NewLoadAdaptivePolicy(inner Policy, load LoadFunc, maxShift int) (Policy, error) {
+	return policy.NewLoadAdaptive(inner, load, maxShift)
+}
+
+// PolicyRegistry resolves specification strings like "policy2" or
+// "policy3(epsilon=3)" into policies.
+type PolicyRegistry = policy.Registry
+
+// NewPolicyRegistry returns a registry with the built-in policies
+// registered: policy1, policy2, policy3, fixed, linear, exponential.
+func NewPolicyRegistry() *PolicyRegistry { return policy.NewRegistry() }

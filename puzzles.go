@@ -1,0 +1,96 @@
+package aipow
+
+import (
+	"aipow/internal/puzzle"
+)
+
+// Challenge is one issued PoW puzzle: seed, timestamp, TTL, difficulty,
+// client binding, and HMAC tag. It round-trips through MarshalText as a
+// header-safe token.
+type Challenge = puzzle.Challenge
+
+// Solution pairs a challenge with the nonce that solves it.
+type Solution = puzzle.Solution
+
+// Solver performs the client-side nonce search.
+type Solver = puzzle.Solver
+
+// SolverOption configures NewSolver.
+type SolverOption = puzzle.SolverOption
+
+// SolveStats reports the work one solve performed.
+type SolveStats = puzzle.SolveStats
+
+// NewSolver returns a puzzle solver. Use WithNonceLimit to bound the work
+// a client is willing to spend, WithExtendedNonce to search beyond 32 bits.
+func NewSolver(opts ...SolverOption) *Solver { return puzzle.NewSolver(opts...) }
+
+// WithNonceLimit caps solve attempts before giving up.
+func WithNonceLimit(limit uint64) SolverOption { return puzzle.WithNonceLimit(limit) }
+
+// WithExtendedNonce allows 64-bit nonces for difficulties above ~26.
+func WithExtendedNonce() SolverOption { return puzzle.WithExtendedNonce() }
+
+// ParallelSolver searches the nonce space with multiple goroutines for a
+// near-linear wall-clock speedup at high difficulties.
+type ParallelSolver = puzzle.ParallelSolver
+
+// ParallelOption configures NewParallelSolver.
+type ParallelOption = puzzle.ParallelOption
+
+// NewParallelSolver returns a multi-goroutine solver (default
+// runtime.NumCPU() workers).
+func NewParallelSolver(opts ...ParallelOption) (*ParallelSolver, error) {
+	return puzzle.NewParallelSolver(opts...)
+}
+
+// WithWorkers sets the parallel solver's goroutine count.
+func WithWorkers(n int) ParallelOption { return puzzle.WithWorkers(n) }
+
+// Standalone issuance/verification, for deployments that split the issuer
+// and verifier across processes. Most callers should use Framework, which
+// wires these internally.
+type (
+	// Issuer generates authenticated challenges.
+	Issuer = puzzle.Issuer
+
+	// Verifier checks solutions.
+	Verifier = puzzle.Verifier
+
+	// IssuerOption configures NewIssuer.
+	IssuerOption = puzzle.IssuerOption
+
+	// VerifierOption configures NewVerifier.
+	VerifierOption = puzzle.VerifierOption
+)
+
+// NewIssuer returns a standalone challenge issuer.
+func NewIssuer(key []byte, opts ...IssuerOption) (*Issuer, error) {
+	return puzzle.NewIssuer(key, opts...)
+}
+
+// NewVerifier returns a standalone solution verifier.
+func NewVerifier(key []byte, opts ...VerifierOption) (*Verifier, error) {
+	return puzzle.NewVerifier(key, opts...)
+}
+
+// Verification failure sentinels, for errors.Is branching.
+var (
+	// ErrVerify is wrapped by every verification failure.
+	ErrVerify = puzzle.ErrVerify
+
+	// ErrExpired reports a solution past its challenge TTL.
+	ErrExpired = puzzle.ErrExpired
+
+	// ErrReplayed reports a challenge redeemed twice.
+	ErrReplayed = puzzle.ErrReplayed
+
+	// ErrBindingMismatch reports a solution presented by the wrong client.
+	ErrBindingMismatch = puzzle.ErrBindingMismatch
+
+	// ErrWrongSolution reports a nonce that does not meet the difficulty.
+	ErrWrongSolution = puzzle.ErrWrongSolution
+
+	// ErrNonceExhausted reports an exhausted solver search budget.
+	ErrNonceExhausted = puzzle.ErrNonceExhausted
+)
