@@ -76,6 +76,27 @@ func WithBypassBelow(threshold float64) Option { return core.WithBypassBelow(thr
 // AttributeSource yields the attribute map used to score an IP.
 type AttributeSource = features.Source
 
+// AttributeSchema is an immutable, interned attribute layout: attribute
+// names pinned to vector slots. Scorers publish one; sources fill flat
+// []float64 vectors laid out by it, which is what lets the Decide hot
+// path run without allocating per request.
+type AttributeSchema = features.Schema
+
+// NewAttributeSchema interns the given attribute names, in order.
+func NewAttributeSchema(names ...string) (*AttributeSchema, error) {
+	return features.NewSchema(names...)
+}
+
+// VectorSource is the allocation-free fast path of AttributeSource.
+// Sources that implement it (MapStore, Tracker, combined sources) are
+// consulted through interned vectors on the hot path.
+type VectorSource = features.VectorSource
+
+// VectorScorer is the allocation-free fast path of Scorer. Scorers that
+// implement it (the reputation model, the kNN scorer) are fed interned
+// vectors instead of maps on the hot path.
+type VectorScorer = features.VectorScorer
+
 // MapStore is a static attribute source (a feed snapshot) with a fallback
 // profile for unknown IPs.
 type MapStore = features.MapStore
@@ -95,6 +116,11 @@ type TrackerOption = features.TrackerOption
 func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	return features.NewTracker(opts...)
 }
+
+// WithTrackerShards sets the tracker's lock-stripe count (rounded up to a
+// power of two, clamped so the capacity bound stays exact). Zero, the
+// default, auto-sizes from GOMAXPROCS and capacity.
+func WithTrackerShards(n int) TrackerOption { return features.WithShards(n) }
 
 // RequestInfo is one observed request for behavioral tracking.
 type RequestInfo = features.RequestInfo

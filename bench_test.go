@@ -178,9 +178,13 @@ func BenchmarkAsymmetryScore(b *testing.B) {
 	}
 }
 
-// BenchmarkAsymmetryDecide measures the whole server-side decision path:
-// attribute lookup → scoring → policy → challenge issuance.
-func BenchmarkAsymmetryDecide(b *testing.B) {
+// benchFramework assembles the standard Decide pipeline used by the
+// asymmetry and parallel-scaling benchmarks: trained reputation model over
+// the synthetic dataset, Policy 2, static map store. Callbacks receive the
+// store and may return options that extend or override the base wiring
+// (later options win).
+func benchFramework(b *testing.B, extra ...func(store *aipow.MapStore) []aipow.Option) *aipow.Framework {
+	b.Helper()
 	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
 	if err != nil {
 		b.Fatal(err)
@@ -193,15 +197,26 @@ func BenchmarkAsymmetryDecide(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fw, err := aipow.New(
+	opts := []aipow.Option{
 		aipow.WithKey(benchKey),
 		aipow.WithScorer(model),
 		aipow.WithPolicy(aipow.Policy2()),
 		aipow.WithSource(store),
-	)
+	}
+	for _, fn := range extra {
+		opts = append(opts, fn(store)...)
+	}
+	fw, err := aipow.New(opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
+	return fw
+}
+
+// BenchmarkAsymmetryDecide measures the whole server-side decision path:
+// attribute lookup → scoring → policy → challenge issuance.
+func BenchmarkAsymmetryDecide(b *testing.B) {
+	fw := benchFramework(b)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -209,4 +224,86 @@ func BenchmarkAsymmetryDecide(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDecideParallel measures the serving path under GOMAXPROCS-way
+// concurrency — the millions-of-users shape: every iteration feeds the
+// behavior tracker (Observe) and runs the decision over the combined
+// static+live source, so the sharded tracker, pooled HMAC state, and
+// pre-resolved counters are all on the measured path. Per-op time should
+// stay near the serial figure instead of collapsing onto a global lock.
+func BenchmarkDecideParallel(b *testing.B) {
+	tracker, err := aipow.NewTracker()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := benchFramework(b, func(store *aipow.MapStore) []aipow.Option {
+		source, err := aipow.NewCombinedSource(store, tracker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return []aipow.Option{aipow.WithSource(source), aipow.WithTracker(tracker)}
+	})
+	at := time.Unix(1000, 0)
+	for _, ip := range benchIPs { // pre-seed per-IP state
+		if err := fw.Observe(aipow.RequestInfo{IP: ip, Path: "/api", At: at}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ip := benchIPs[i%len(benchIPs)]
+			i++
+			if err := fw.Observe(aipow.RequestInfo{IP: ip, Path: "/api", At: at}); err != nil {
+				b.Error(err) // Fatal must not run off the benchmark goroutine
+				return
+			}
+			if _, err := fw.Decide(aipow.RequestContext{IP: ip}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkVerifyParallel measures concurrent solution verification (no
+// replay cache, matching BenchmarkAsymmetryVerify's pure-verification
+// setup).
+func BenchmarkVerifyParallel(b *testing.B) {
+	issuer, err := aipow.NewIssuer(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	verifier, err := aipow.NewVerifier(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := issuer.Issue("203.0.113.9", 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, _, err := aipow.NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := verifier.Verify(sol, "203.0.113.9"); err != nil {
+				b.Error(err) // Fatal must not run off the benchmark goroutine
+				return
+			}
+		}
+	})
+}
+
+// benchIPs spreads parallel decisions over a handful of clients so shard
+// striping and per-IP state are actually exercised.
+var benchIPs = []string{
+	"198.51.100.1", "198.51.100.2", "198.51.100.3", "198.51.100.4",
+	"203.0.113.5", "203.0.113.6", "203.0.113.7", "203.0.113.8",
 }

@@ -1,0 +1,152 @@
+// Command benchdump measures the serving hot path — Decide, Verify, and
+// Score — with testing.Benchmark and writes the results as machine-readable
+// JSON (default BENCH_hotpath.json), so successive PRs can track the
+// performance trajectory without parsing `go test -bench` text output.
+//
+// Usage:
+//
+//	go run ./cmd/benchdump [-out BENCH_hotpath.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"aipow"
+)
+
+var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
+
+// result is one benchmark's stable, diffable summary.
+type result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	N           int     `json:"iterations"`
+}
+
+type dump struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Benchmarks  map[string]result `json:"benchmarks"`
+}
+
+func summarize(r testing.BenchmarkResult) result {
+	return result{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		N:           r.N,
+	}
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string) error {
+	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
+	if err != nil {
+		return err
+	}
+	model, err := aipow.TrainReputationModel(aipow.DatasetToSamples(data))
+	if err != nil {
+		return err
+	}
+	store, err := aipow.NewMapStore(data[0].Attrs)
+	if err != nil {
+		return err
+	}
+	fw, err := aipow.New(
+		aipow.WithKey(benchKey),
+		aipow.WithScorer(model),
+		aipow.WithPolicy(aipow.Policy2()),
+		aipow.WithSource(store),
+	)
+	if err != nil {
+		return err
+	}
+
+	verifier, err := aipow.NewVerifier(benchKey)
+	if err != nil {
+		return err
+	}
+	issuer, err := aipow.NewIssuer(benchKey)
+	if err != nil {
+		return err
+	}
+	ch, err := issuer.Issue("203.0.113.9", 8)
+	if err != nil {
+		return err
+	}
+	sol, _, err := aipow.NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		return err
+	}
+	attrs := data[0].Attrs
+
+	d := dump{
+		GeneratedBy: "cmd/benchdump",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]result{
+			"Decide": summarize(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})),
+			"DecideParallel": summarize(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+							b.Error(err) // Fatal must not run off the benchmark goroutine
+							return
+						}
+					}
+				})
+			})),
+			"Verify": summarize(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := verifier.Verify(sol, "203.0.113.9"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})),
+			"Score": summarize(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := model.Score(attrs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})),
+		},
+	}
+
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

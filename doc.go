@@ -47,6 +47,43 @@
 // challenge protocol, and NewHTTPTransport makes any http.Client solve
 // challenges transparently.
 //
+// # Performance
+//
+// The serving hot path (Decide and Verify) is allocation-free and
+// lock-striped, sized for millions of concurrent clients:
+//
+//   - Vector fast path. Scorers that implement VectorScorer publish an
+//     AttributeSchema (their attribute names interned to vector slots);
+//     sources that implement VectorSource fill flat []float64 vectors in
+//     that layout instead of building a map per request. The framework
+//     wires the fast path automatically at New time when both sides
+//     support it, pooling the scratch vectors; a source that cannot cover
+//     the full schema for a request makes that request fall back to the
+//     map-based path, which reports the missing attribute (and the
+//     framework fails closed). The map-based Scorer/AttributeSource
+//     interfaces remain fully supported as the compatibility path.
+//   - Sharded tracker. The behavior tracker stripes its per-IP state
+//     across power-of-two shards (FNV-1a on the IP), each with its own
+//     mutex, entries map, and LRU list, so concurrent Observe/Attributes
+//     calls do not serialize on one lock. WithTrackerShards overrides the
+//     auto-sizing.
+//   - Pooled crypto state. Challenge issuance and verification reuse
+//     keyed HMAC instances and encode buffers from pools: zero
+//     allocations per Issue and per Verify in steady state. The replay
+//     cache sweeps expired seeds incrementally to bound lock hold times.
+//   - Pre-resolved counters. The framework's five stat counters are
+//     resolved to atomic counters once at New time, never through the
+//     registry's map on the request path.
+//
+// Benchmarks cover each stage (BenchmarkAsymmetry*) and the parallel
+// serving shape (BenchmarkDecideParallel, BenchmarkVerifyParallel):
+//
+//	go test -bench=. -benchmem
+//
+// and `go run ./cmd/benchdump` writes the hot-path numbers to
+// BENCH_hotpath.json for regression tracking across changes (compare runs
+// with benchstat).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
 package aipow

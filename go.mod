@@ -1,0 +1,3 @@
+module aipow
+
+go 1.24

@@ -22,6 +22,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"aipow/internal/features"
@@ -86,7 +87,24 @@ type Framework struct {
 	failClosedScore float64
 	bypassBelow     float64 // < 0 disables bypass
 
+	// Vector fast path, wired at New time when both the scorer and the
+	// source support interned vectors (features.VectorScorer /
+	// features.VectorSource). When schema is nil Decide uses the
+	// map-based compatibility path.
+	schema    *features.Schema
+	vecScorer features.VectorScorer
+	vecSource features.VectorSource
+	vecPool   sync.Pool // *[]float64, len == schema.Len()
+
 	stats metrics.Registry
+
+	// Hot-path counters, pre-resolved once at New time so Decide/Verify
+	// never touch the registry's map or lock per request.
+	cIssued    *metrics.Counter
+	cVerified  *metrics.Counter
+	cRejected  *metrics.Counter
+	cBypassed  *metrics.Counter
+	cScoreErrs *metrics.Counter
 }
 
 // config collects the options New applies.
@@ -212,7 +230,7 @@ func New(opts ...Option) (*Framework, error) {
 		return nil, fmt.Errorf("core: build verifier: %w", err)
 	}
 
-	return &Framework{
+	f := &Framework{
 		scorer:          cfg.scorer,
 		pol:             cfg.pol,
 		source:          cfg.source,
@@ -223,7 +241,25 @@ func New(opts ...Option) (*Framework, error) {
 		hooks:           cfg.hooks,
 		failClosedScore: cfg.failClosed,
 		bypassBelow:     cfg.bypassBelow,
-	}, nil
+	}
+	f.cIssued = f.stats.Counter("issued")
+	f.cVerified = f.stats.Counter("verified")
+	f.cRejected = f.stats.Counter("rejected")
+	f.cBypassed = f.stats.Counter("bypassed")
+	f.cScoreErrs = f.stats.Counter("score_errors")
+
+	if vs, ok := cfg.scorer.(features.VectorScorer); ok {
+		if vsrc, ok := cfg.source.(features.VectorSource); ok {
+			if sch := vs.Schema(); sch != nil {
+				f.schema, f.vecScorer, f.vecSource = sch, vs, vsrc
+				f.vecPool.New = func() any {
+					v := make([]float64, sch.Len())
+					return &v
+				}
+			}
+		}
+	}
+	return f, nil
 }
 
 // Decide runs steps 2–4 of the protocol for one request: score the
@@ -235,21 +271,20 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	}
 	dec := Decision{IP: req.IP}
 
-	attrs := f.source.Attributes(req.IP, f.now())
-	score, err := f.scorer.Score(attrs)
+	score, err := f.score(req.IP)
 	if err != nil {
 		// Fail closed: an unscorable client is treated as configured,
 		// default maximally suspicious. The error is preserved on the
 		// decision for observability.
 		dec.ScoreErr = err
 		score = f.failClosedScore
-		f.stats.Counter("score_errors").Inc()
+		f.cScoreErrs.Inc()
 	}
 	dec.Score = score
 
 	if f.bypassBelow >= 0 && score < f.bypassBelow {
 		dec.Bypassed = true
-		f.stats.Counter("bypassed").Inc()
+		f.cBypassed.Inc()
 		f.fire(dec)
 		return dec, nil
 	}
@@ -260,19 +295,39 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 		return Decision{}, fmt.Errorf("core: issue challenge: %w", err)
 	}
 	dec.Challenge = ch
-	f.stats.Counter("issued").Inc()
+	f.cIssued.Inc()
 	f.fire(dec)
 	return dec, nil
+}
+
+// score runs the AI model over the client's attributes, preferring the
+// interned vector fast path (no map, no allocations) and falling back to
+// the map-based Source/Scorer pair when the fast path is unavailable or a
+// source could not cover the full schema — the map path then reports
+// exactly which attribute was missing, and Decide fails closed.
+func (f *Framework) score(ip string) (float64, error) {
+	if f.schema != nil {
+		vp := f.vecPool.Get().(*[]float64)
+		v := *vp
+		clear(v)
+		if mask := f.vecSource.AttributesVector(v, f.schema, ip, f.now()); mask == f.schema.FullMask() {
+			score, err := f.vecScorer.ScoreVector(v)
+			f.vecPool.Put(vp)
+			return score, err
+		}
+		f.vecPool.Put(vp)
+	}
+	return f.scorer.Score(f.source.Attributes(ip, f.now()))
 }
 
 // Verify runs steps 5–6: check the solution presented by binding. A nil
 // return means the caller should serve the resource.
 func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
 	if err := f.verifier.Verify(sol, binding); err != nil {
-		f.stats.Counter("rejected").Inc()
+		f.cRejected.Inc()
 		return err
 	}
-	f.stats.Counter("verified").Inc()
+	f.cVerified.Inc()
 	return nil
 }
 

@@ -1,0 +1,112 @@
+package features
+
+import (
+	"fmt"
+	"time"
+)
+
+// MaxSchemaAttrs is the largest attribute count a Schema supports. Slot
+// coverage on the vector fast path is tracked with a uint64 bitmask, so a
+// schema holds at most 64 attributes; models with more fall back to the
+// map-based path.
+const MaxSchemaAttrs = 64
+
+// Schema is an immutable, interned attribute layout: a fixed ordering of
+// attribute names with O(1) name→index lookup. It lets the serving hot
+// path represent a client's attributes as a flat []float64 ("vector")
+// indexed by slot instead of allocating a map[string]float64 per request.
+//
+// A Schema is typically owned by the scorer (its canonical attribute
+// order) and shared by reference with every source that fills vectors for
+// it; sources key their per-schema caches on the pointer identity.
+type Schema struct {
+	names []string
+	index map[string]int
+	full  uint64
+}
+
+// NewSchema builds a schema over the given attribute names, in order.
+// Names must be non-empty, unique, and at most MaxSchemaAttrs in number.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("features: schema needs at least one attribute")
+	}
+	if len(names) > MaxSchemaAttrs {
+		return nil, fmt.Errorf("features: schema holds at most %d attributes, got %d",
+			MaxSchemaAttrs, len(names))
+	}
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, name := range s.names {
+		if name == "" {
+			return nil, fmt.Errorf("features: schema attribute %d is empty", i)
+		}
+		if _, dup := s.index[name]; dup {
+			return nil, fmt.Errorf("features: duplicate schema attribute %q", name)
+		}
+		s.index[name] = i
+	}
+	if len(names) == MaxSchemaAttrs {
+		s.full = ^uint64(0)
+	} else {
+		s.full = uint64(1)<<uint(len(names)) - 1
+	}
+	return s, nil
+}
+
+// Len reports the number of attributes in the schema.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name reports the attribute name at slot i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Names returns the attribute order as a copy.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Index reports the slot of name, and whether the schema contains it.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// FullMask is the coverage bitmask with every slot set; a VectorSource
+// that returns it from AttributesVector produced every attribute.
+func (s *Schema) FullMask() uint64 { return s.full }
+
+// NewVector allocates a zeroed vector with one slot per attribute.
+func (s *Schema) NewVector() []float64 { return make([]float64, len(s.names)) }
+
+// VectorSource is the allocation-free fast path of Source: instead of
+// building a map per request, the source writes attribute values into a
+// caller-owned vector laid out by a Schema.
+type VectorSource interface {
+	Source
+
+	// AttributesVector writes ip's attributes into dst, which must hold
+	// schema.Len() zero-initialized elements, and returns the bitmask of
+	// schema slots it produced (bit j set ⇒ dst[j] written). The caller
+	// may trust dst for scoring only when the mask equals
+	// schema.FullMask(); on partial coverage it must fall back to the
+	// map-based Attributes path, which reports what is missing.
+	AttributesVector(dst []float64, schema *Schema, ip string, now time.Time) uint64
+}
+
+// VectorScorer is the allocation-free fast path of a scorer: it publishes
+// the attribute layout it expects and scores flat vectors in that layout.
+type VectorScorer interface {
+	// Schema reports the attribute layout ScoreVector expects. A nil
+	// schema disables the fast path (e.g. a model with more attributes
+	// than MaxSchemaAttrs).
+	Schema() *Schema
+
+	// ScoreVector scores a raw-unit vector laid out in Schema order. The
+	// scorer may use v as scratch space; its contents are unspecified on
+	// return.
+	ScoreVector(v []float64) (float64, error)
+}

@@ -9,9 +9,14 @@ import (
 // Source yields the attribute map for an IP at a point in time. It is the
 // seam between the framework and whatever intelligence feeds a deployment
 // has: static feed lookups, live behavior, or both.
+//
+// Sources may return shared, read-only state (e.g. one fallback profile
+// for all unknown IPs); callers must not mutate the returned map. Sources
+// that can fill interned vectors additionally implement VectorSource,
+// which the framework prefers on the request hot path.
 type Source interface {
 	// Attributes returns the attribute map used to score ip. The returned
-	// map is owned by the caller.
+	// map is read-only from the caller's perspective.
 	Attributes(ip string, now time.Time) map[string]float64
 }
 
@@ -24,9 +29,44 @@ type MapStore struct {
 	mu       sync.RWMutex
 	byIP     map[string]map[string]float64
 	fallback map[string]float64
+
+	// vecBySchema holds the interned vector form of every profile, one
+	// cache per schema served (keyed by schema pointer identity, guarded
+	// by mu like the maps). A cache is built once, the first time its
+	// schema is seen; Put then maintains all caches incrementally, so the
+	// request path never rebuilds and feed refreshes cost O(schemas), not
+	// O(store). The cache count is bounded at maxSchemaCaches, evicting
+	// oldest-built first (vecOrder), so a store outliving many retrained
+	// scorers (each with a fresh schema pointer) cannot accrete dead
+	// O(store) caches, and a retrain that replaces an old schema retires
+	// the old cache before the live one.
+	vecBySchema map[*Schema]*storeVectors
+	vecOrder    []*Schema
 }
 
-var _ Source = (*MapStore)(nil)
+// maxSchemaCaches bounds how many schemas' interned caches one store
+// retains. A live schema evicted by churn simply rebuilds on next use.
+const maxSchemaCaches = 4
+
+var (
+	_ Source       = (*MapStore)(nil)
+	_ VectorSource = (*MapStore)(nil)
+)
+
+// storeVectors is the interned form of the store's maps for one schema:
+// every profile pre-resolved to a flat vector plus its coverage mask, so
+// the per-request cost is one map lookup and one copy.
+type storeVectors struct {
+	byIP     map[string]storeVec
+	fallback storeVec
+}
+
+// storeVec is one interned profile: values in schema order and the bitmask
+// of schema slots the profile actually covers.
+type storeVec struct {
+	v    []float64
+	mask uint64
+}
 
 // NewMapStore returns a store with the given fallback profile for unknown
 // IPs. The fallback must be non-nil: scoring an IP with no attributes at
@@ -41,21 +81,91 @@ func NewMapStore(fallback map[string]float64) (*MapStore, error) {
 	}, nil
 }
 
-// Put registers (or replaces) the attributes for ip.
+// Put registers (or replaces) the attributes for ip, updating the interned
+// vector caches in place.
 func (s *MapStore) Put(ip string, attrs map[string]float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.byIP[ip] = cloneAttrs(attrs)
+	for schema, vecs := range s.vecBySchema {
+		vecs.byIP[ip] = vectorize(attrs, schema)
+	}
 }
 
-// Attributes implements Source.
+// Attributes implements Source. Known IPs get a private copy; unknown IPs
+// share the store's immutable fallback profile, so a flood of cold traffic
+// does not allocate one clone per request.
 func (s *MapStore) Attributes(ip string, _ time.Time) map[string]float64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if attrs, ok := s.byIP[ip]; ok {
 		return cloneAttrs(attrs)
 	}
-	return cloneAttrs(s.fallback)
+	return s.fallback
+}
+
+// AttributesVector implements VectorSource: one lookup in the interned
+// cache and one copy under the read lock, with zero allocations after the
+// schema's cache is built (a one-time O(store) pass the first time each
+// schema is seen).
+func (s *MapStore) AttributesVector(dst []float64, schema *Schema, ip string, _ time.Time) uint64 {
+	s.mu.RLock()
+	vecs, ok := s.vecBySchema[schema]
+	if !ok {
+		s.mu.RUnlock()
+		vecs = s.buildVectors(schema)
+		s.mu.RLock()
+	}
+	e, ok := vecs.byIP[ip]
+	if !ok {
+		e = vecs.fallback
+	}
+	copy(dst, e.v)
+	mask := e.mask
+	s.mu.RUnlock()
+	return mask
+}
+
+// buildVectors interns every profile for a schema seen for the first time.
+// Under the write lock, so concurrent first-seers do the pass once each at
+// worst and Put cannot interleave.
+func (s *MapStore) buildVectors(schema *Schema) *storeVectors {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if vecs, ok := s.vecBySchema[schema]; ok {
+		return vecs
+	}
+	vecs := &storeVectors{
+		byIP:     make(map[string]storeVec, len(s.byIP)),
+		fallback: vectorize(s.fallback, schema),
+	}
+	for ip, attrs := range s.byIP {
+		vecs.byIP[ip] = vectorize(attrs, schema)
+	}
+	if s.vecBySchema == nil {
+		s.vecBySchema = make(map[*Schema]*storeVectors, 1)
+	}
+	for len(s.vecBySchema) >= maxSchemaCaches {
+		oldest := s.vecOrder[0]
+		s.vecOrder = s.vecOrder[1:]
+		delete(s.vecBySchema, oldest)
+	}
+	s.vecBySchema[schema] = vecs
+	s.vecOrder = append(s.vecOrder, schema)
+	return vecs
+}
+
+// vectorize lays attrs out in schema order, recording which slots the
+// profile covers.
+func vectorize(attrs map[string]float64, schema *Schema) storeVec {
+	e := storeVec{v: make([]float64, len(schema.names))}
+	for j, name := range schema.names {
+		if val, ok := attrs[name]; ok {
+			e.v[j] = val
+			e.mask |= 1 << uint(j)
+		}
+	}
+	return e
 }
 
 // Known reports whether ip has explicit attributes (vs. the fallback).
@@ -78,11 +188,15 @@ func (s *MapStore) Len() int {
 // names are "live_"-prefixed, so the two never collide in practice; on a
 // genuine key collision the behavioral value wins, being fresher).
 type Combined struct {
-	static  Source
-	tracker *Tracker
+	static    Source
+	staticVec VectorSource // nil when the static source lacks vector support
+	tracker   *Tracker
 }
 
-var _ Source = (*Combined)(nil)
+var (
+	_ Source       = (*Combined)(nil)
+	_ VectorSource = (*Combined)(nil)
+)
 
 // NewCombined builds the merged source. Both parts are required; use the
 // parts directly when only one is wanted.
@@ -90,16 +204,36 @@ func NewCombined(static Source, tracker *Tracker) (*Combined, error) {
 	if static == nil || tracker == nil {
 		return nil, fmt.Errorf("features: combined source requires static source and tracker")
 	}
-	return &Combined{static: static, tracker: tracker}, nil
+	c := &Combined{static: static, tracker: tracker}
+	c.staticVec, _ = static.(VectorSource)
+	return c, nil
 }
 
-// Attributes implements Source.
+// Attributes implements Source. The merge happens in a fresh map: the
+// static source's result may be shared state and is never mutated.
 func (c *Combined) Attributes(ip string, now time.Time) map[string]float64 {
-	out := c.static.Attributes(ip, now)
+	static := c.static.Attributes(ip, now)
+	out := make(map[string]float64, len(static)+behaviorAttrCount)
+	for k, v := range static {
+		out[k] = v
+	}
 	for k, v := range c.tracker.Attributes(ip, now) {
 		out[k] = v
 	}
 	return out
+}
+
+// AttributesVector implements VectorSource: the static source fills first,
+// then the tracker overlays its behavioral slots (so on a key collision
+// the behavioral value wins, matching Attributes). A static source without
+// vector support yields zero coverage, which makes the caller fall back to
+// the map path.
+func (c *Combined) AttributesVector(dst []float64, schema *Schema, ip string, now time.Time) uint64 {
+	if c.staticVec == nil {
+		return 0
+	}
+	mask := c.staticVec.AttributesVector(dst, schema, ip, now)
+	return mask | c.tracker.AttributesVector(dst, schema, ip, now)
 }
 
 func cloneAttrs(in map[string]float64) map[string]float64 {

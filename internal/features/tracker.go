@@ -2,9 +2,12 @@ package features
 
 import (
 	"container/list"
+	cryptorand "crypto/rand"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -19,6 +22,19 @@ const (
 	AttrInterArrival  = "live_inter_arrival_ms"
 	AttrTotalRequests = "live_total_requests"
 )
+
+// behaviorAttrCount is the number of behavioral attributes the tracker
+// produces; behaviorAttrNames fixes their order for the vector fast path.
+const behaviorAttrCount = 6
+
+var behaviorAttrNames = [behaviorAttrCount]string{
+	AttrRequestRate,
+	AttrFailRatio,
+	AttrDistinctPaths,
+	AttrPathEntropy,
+	AttrInterArrival,
+	AttrTotalRequests,
+}
 
 // RequestInfo is the normalized description of one incoming request, the
 // unit the tracker observes.
@@ -41,15 +57,52 @@ type RequestInfo struct {
 // attributes for the scorer. Memory is bounded two ways: at most capacity
 // IPs (LRU-evicted) and at most maxPaths distinct paths tracked per IP.
 //
+// State is lock-striped across a power-of-two number of shards, each with
+// its own mutex, entries map, and LRU list; an IP's shard is chosen by
+// FNV-1a hash, so concurrent Observe/Attributes calls for different
+// clients do not serialize on one lock. The capacity bound is exact:
+// capacity is distributed across the shards (per-shard quotas differ by at
+// most one entry) and each shard LRU-evicts beyond its own quota, so the
+// total never exceeds capacity — though eviction order is per-shard LRU,
+// not global.
+//
 // Tracker is safe for concurrent use.
 type Tracker struct {
-	mu       sync.Mutex
-	entries  map[string]*ipEntry
-	lru      *list.List // front = most recently used
-	capacity int
-	span     time.Duration
-	buckets  int
-	maxPaths int
+	shards    []trackerShard
+	shardMask uint32
+	// shardSeed keys the shard hash per tracker, so an attacker cannot
+	// precompute IPs that collide into a victim's shard and flush its
+	// behavioral history with only quota-many addresses.
+	shardSeed uint32
+
+	capacity  int
+	span      time.Duration
+	buckets   int
+	maxPaths  int
+	shardsOpt int
+
+	// layout caches the behavioral attrs' slots for the last schema seen
+	// on the vector fast path (keyed by schema pointer identity).
+	layout atomic.Pointer[trackerLayout]
+}
+
+// trackerShard is one lock stripe, padded so neighboring shards' mutexes
+// do not share a cache line under contention.
+type trackerShard struct {
+	mu      sync.Mutex
+	entries map[string]*ipEntry
+	lru     *list.List // front = most recently used
+	cap     int        // this shard's share of the tracker capacity
+	_       [32]byte
+}
+
+// trackerLayout maps the tracker's behavioral attributes onto one schema's
+// slots: idx[i] is the slot of behaviorAttrNames[i] (-1 when absent), and
+// mask is the coverage the tracker contributes.
+type trackerLayout struct {
+	schema *Schema
+	idx    [behaviorAttrCount]int
+	mask   uint64
 }
 
 // ipEntry is the tracked state for one client IP.
@@ -84,11 +137,18 @@ func WithMaxPaths(n int) TrackerOption {
 	return func(t *Tracker) { t.maxPaths = n }
 }
 
+// WithShards sets the lock-stripe count, rounded up to a power of two and
+// clamped to both 1<<14 and the tracker capacity (so over-sharding can
+// never loosen the memory bound). Zero (the default) auto-sizes from
+// GOMAXPROCS, keeping at least 8 entries of capacity per shard so small
+// trackers stay single-shard with exact global LRU semantics.
+func WithShards(n int) TrackerOption {
+	return func(t *Tracker) { t.shardsOpt = n }
+}
+
 // NewTracker returns a Tracker with the given options applied.
 func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	t := &Tracker{
-		entries:  make(map[string]*ipEntry),
-		lru:      list.New(),
 		capacity: 65536,
 		span:     time.Minute,
 		buckets:  12,
@@ -106,18 +166,95 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	if t.maxPaths < 1 {
 		return nil, fmt.Errorf("features: max paths must be positive, got %d", t.maxPaths)
 	}
+	if t.shardsOpt < 0 {
+		return nil, fmt.Errorf("features: shard count must be non-negative, got %d", t.shardsOpt)
+	}
+	shards := t.shardsOpt
+	if shards == 0 {
+		shards = defaultShardCount(t.capacity)
+	}
+	// Clamp before rounding: ceilPow2 would overflow on absurd requests.
+	if shards > 1<<14 {
+		shards = 1 << 14
+	}
+	shards = ceilPow2(shards)
+	// More shards than capacity would hand every shard a quota of one and
+	// inflate the bound to `shards` entries; clamp down instead.
+	for shards > t.capacity {
+		shards >>= 1
+	}
+	t.shardMask = uint32(shards - 1)
+	var seed [4]byte
+	if _, err := cryptorand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("features: seed shard hash: %w", err)
+	}
+	t.shardSeed = uint32(seed[0]) | uint32(seed[1])<<8 | uint32(seed[2])<<16 | uint32(seed[3])<<24
+	t.shards = make([]trackerShard, shards)
+	// Distribute capacity exactly: the first capacity%shards shards hold
+	// one extra entry, so quotas sum to capacity for any configuration.
+	base, extra := t.capacity/shards, t.capacity%shards
+	for i := range t.shards {
+		t.shards[i].entries = make(map[string]*ipEntry)
+		t.shards[i].lru = list.New()
+		t.shards[i].cap = base
+		if i < extra {
+			t.shards[i].cap++
+		}
+	}
 	return t, nil
 }
+
+// defaultShardCount picks a stripe count for auto mode: enough stripes to
+// spread GOMAXPROCS-way contention, but never so many that a shard holds
+// fewer than 8 entries.
+func defaultShardCount(capacity int) int {
+	n := ceilPow2(runtime.GOMAXPROCS(0) * 4)
+	if n > 256 {
+		n = 256
+	}
+	for n > 1 && capacity/n < 8 {
+		n >>= 1
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shard picks the lock stripe for ip by FNV-1a hash, keyed with the
+// per-tracker seed.
+func (t *Tracker) shard(ip string) *trackerShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32) ^ t.shardSeed
+	for i := 0; i < len(ip); i++ {
+		h ^= uint32(ip[i])
+		h *= prime32
+	}
+	return &t.shards[h&t.shardMask]
+}
+
+// Shards reports the lock-stripe count in use.
+func (t *Tracker) Shards() int { return len(t.shards) }
 
 // Observe folds one request into the tracker.
 func (t *Tracker) Observe(req RequestInfo) error {
 	if req.IP == "" {
 		return fmt.Errorf("features: request without IP")
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	sh := t.shard(req.IP)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 
-	e, ok := t.entries[req.IP]
+	e, ok := sh.entries[req.IP]
 	if !ok {
 		reqW, err := NewWindow(t.span, t.buckets)
 		if err != nil {
@@ -133,13 +270,13 @@ func (t *Tracker) Observe(req RequestInfo) error {
 			failures: failW,
 			paths:    make(map[string]uint64, 8),
 		}
-		e.lruElem = t.lru.PushFront(e)
-		t.entries[req.IP] = e
-		for len(t.entries) > t.capacity {
-			t.evictLocked()
+		e.lruElem = sh.lru.PushFront(e)
+		sh.entries[req.IP] = e
+		for len(sh.entries) > sh.cap {
+			sh.evictLocked()
 		}
 	} else {
-		t.lru.MoveToFront(e.lruElem)
+		sh.lru.MoveToFront(e.lruElem)
 	}
 
 	if !e.lastSeen.IsZero() {
@@ -168,35 +305,83 @@ func (t *Tracker) Observe(req RequestInfo) error {
 	return nil
 }
 
+// behaviorSummary is the tracker's six attribute values for one IP, in
+// behaviorAttrNames order.
+type behaviorSummary [behaviorAttrCount]float64
+
+// summarize computes an IP's behavioral attributes under its shard lock.
+// Unknown IPs report ok=false (all-zero behavior).
+func (t *Tracker) summarize(ip string, now time.Time) (behaviorSummary, bool) {
+	var s behaviorSummary
+	sh := t.shard(ip)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[ip]
+	if !ok {
+		return s, false
+	}
+	reqs := e.requests.Sum(now)
+	s[0] = e.requests.Rate(now)
+	if reqs > 0 {
+		s[1] = e.failures.Sum(now) / reqs
+	}
+	s[2] = float64(len(e.paths))
+	s[3] = e.pathEntropy()
+	s[4] = e.interArrival
+	s[5] = float64(e.total)
+	return s, true
+}
+
 // Attributes summarizes the IP's tracked behavior at time now. Unknown IPs
 // return all-zero attributes: no observed behavior, no suspicion from this
 // source.
 func (t *Tracker) Attributes(ip string, now time.Time) map[string]float64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	attrs := map[string]float64{
-		AttrRequestRate:   0,
-		AttrFailRatio:     0,
-		AttrDistinctPaths: 0,
-		AttrPathEntropy:   0,
-		AttrInterArrival:  0,
-		AttrTotalRequests: 0,
+	s, _ := t.summarize(ip, now)
+	attrs := make(map[string]float64, behaviorAttrCount)
+	for i, name := range behaviorAttrNames {
+		attrs[name] = s[i]
 	}
-	e, ok := t.entries[ip]
-	if !ok {
-		return attrs
-	}
-	reqs := e.requests.Sum(now)
-	attrs[AttrRequestRate] = e.requests.Rate(now)
-	if reqs > 0 {
-		attrs[AttrFailRatio] = e.failures.Sum(now) / reqs
-	}
-	attrs[AttrDistinctPaths] = float64(len(e.paths))
-	attrs[AttrPathEntropy] = e.pathEntropy()
-	attrs[AttrInterArrival] = e.interArrival
-	attrs[AttrTotalRequests] = float64(e.total)
 	return attrs
+}
+
+// AttributesVector implements VectorSource: the behavioral values are
+// written at their schema slots (zeros for unknown IPs, matching
+// Attributes) without allocating.
+func (t *Tracker) AttributesVector(dst []float64, schema *Schema, ip string, now time.Time) uint64 {
+	l := t.layoutFor(schema)
+	if l.mask == 0 {
+		return 0
+	}
+	s, _ := t.summarize(ip, now)
+	for i, j := range l.idx {
+		if j >= 0 {
+			dst[j] = s[i]
+		}
+	}
+	return l.mask
+}
+
+var _ VectorSource = (*Tracker)(nil)
+
+// layoutFor resolves (and caches) the behavioral attributes' slots in
+// schema. The cache holds the last schema seen; in practice a tracker
+// serves one framework and therefore one schema.
+func (t *Tracker) layoutFor(schema *Schema) *trackerLayout {
+	if l := t.layout.Load(); l != nil && l.schema == schema {
+		return l
+	}
+	l := &trackerLayout{schema: schema}
+	for i, name := range behaviorAttrNames {
+		j, ok := schema.Index(name)
+		if !ok {
+			l.idx[i] = -1
+			continue
+		}
+		l.idx[i] = j
+		l.mask |= 1 << uint(j)
+	}
+	t.layout.Store(l)
+	return l
 }
 
 // pathEntropy is the Shannon entropy (bits) of the per-path hit
@@ -226,20 +411,25 @@ func (e *ipEntry) pathEntropy() float64 {
 	return h
 }
 
-// Tracked reports how many IPs currently have state.
+// Tracked reports how many IPs currently have state, summed across shards.
 func (t *Tracker) Tracked() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return len(t.entries)
+	total := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		total += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
-// evictLocked drops the least-recently-used IP.
-func (t *Tracker) evictLocked() {
-	back := t.lru.Back()
+// evictLocked drops the shard's least-recently-used IP.
+func (sh *trackerShard) evictLocked() {
+	back := sh.lru.Back()
 	if back == nil {
 		return
 	}
 	e := back.Value.(*ipEntry)
-	t.lru.Remove(back)
-	delete(t.entries, e.ip)
+	sh.lru.Remove(back)
+	delete(sh.entries, e.ip)
 }

@@ -37,8 +37,12 @@ func (g *Gauge) Value() float64 { return bitsFloat(g.bits.Load()) }
 // concurrent use. It exists so a simulation or server can expose a flat
 // snapshot of everything it measured.
 // The zero value is ready to use.
+//
+// Lookups of already-registered metrics take only a read lock, so hot
+// paths that cannot pre-resolve a *Counter at construction time still
+// avoid serializing on one mutex.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 }
@@ -46,12 +50,18 @@ type Registry struct {
 // Counter returns the counter registered under name, creating it on first
 // use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.counters == nil {
 		r.counters = make(map[string]*Counter)
 	}
-	c, ok := r.counters[name]
+	c, ok = r.counters[name]
 	if !ok {
 		c = &Counter{}
 		r.counters[name] = c
@@ -61,12 +71,18 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the gauge registered under name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.gauges == nil {
 		r.gauges = make(map[string]*Gauge)
 	}
-	g, ok := r.gauges[name]
+	g, ok = r.gauges[name]
 	if !ok {
 		g = &Gauge{}
 		r.gauges[name] = g
@@ -78,8 +94,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 // values converted to float64. Keys are unique because counters and gauges
 // share one namespace only if the caller reuses names; gauge values win ties.
 func (r *Registry) Snapshot() map[string]float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make(map[string]float64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
 		out[name] = float64(c.Value())
@@ -92,8 +108,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 
 // Names reports all registered metric names in sorted order.
 func (r *Registry) Names() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges))
 	for name := range r.counters {
 		names = append(names, name)

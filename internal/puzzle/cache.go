@@ -45,7 +45,11 @@ func (c *ReplayCache) Remember(seed [SeedSize]byte, expires time.Time) bool {
 	defer c.mu.Unlock()
 
 	now := c.now()
-	c.sweepLocked(now)
+	// Amortized expiry: drop at most a few expired entries per call so the
+	// lock hold time stays bounded on the verify hot path. Correctness
+	// does not depend on eager sweeping — the replay check below compares
+	// expiries directly — and capacity pressure is handled by eviction.
+	c.sweepLocked(now, maxSweepPerOp)
 
 	if until, ok := c.entries[seed]; ok && until.After(now) {
 		return false
@@ -70,13 +74,18 @@ func (c *ReplayCache) Contains(seed [SeedSize]byte) bool {
 func (c *ReplayCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.sweepLocked(c.now())
+	c.sweepLocked(c.now(), len(c.order))
 	return len(c.entries)
 }
 
-// sweepLocked drops expired entries from the front of the expiry order.
-func (c *ReplayCache) sweepLocked(now time.Time) {
-	for len(c.order) > 0 && !c.order[0].expires.After(now) {
+// maxSweepPerOp bounds how many expired entries one Remember call drops,
+// keeping the critical section short under heavy verify traffic.
+const maxSweepPerOp = 8
+
+// sweepLocked drops up to limit expired entries from the front of the
+// expiry order.
+func (c *ReplayCache) sweepLocked(now time.Time, limit int) {
+	for n := 0; n < limit && len(c.order) > 0 && !c.order[0].expires.After(now); n++ {
 		e := heap.Pop(&c.order).(expiryEntry)
 		// Only delete if the map still holds this exact registration; a
 		// seed can be re-remembered with a later expiry after expiring.

@@ -1,9 +1,7 @@
 package puzzle
 
 import (
-	"crypto/hmac"
 	"crypto/rand"
-	"crypto/sha256"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +27,7 @@ type Issuer struct {
 	rand          io.Reader
 	ttl           time.Duration
 	maxDifficulty int
+	macs          *macPool
 }
 
 // IssuerOption customizes an Issuer.
@@ -80,6 +79,7 @@ func NewIssuer(key []byte, opts ...IssuerOption) (*Issuer, error) {
 	if i.maxDifficulty < MinDifficulty || i.maxDifficulty > MaxDifficulty {
 		return nil, fmt.Errorf("%w: issuer cap %d", ErrInvalidDifficulty, i.maxDifficulty)
 	}
+	i.macs = newMACPool(i.key)
 	return i, nil
 }
 
@@ -102,18 +102,16 @@ func (i *Issuer) Issue(binding string, difficulty int) (Challenge, error) {
 		Difficulty: difficulty,
 		Binding:    binding,
 	}
-	if _, err := io.ReadFull(i.rand, ch.Seed[:]); err != nil {
+	// The seed is read into pooled scratch (not ch.Seed directly) so the
+	// returned challenge does not escape to the heap through the entropy
+	// reader's interface call.
+	s := i.macs.get()
+	if _, err := io.ReadFull(i.rand, s.seed[:]); err != nil {
+		i.macs.put(s)
 		return Challenge{}, fmt.Errorf("puzzle: read seed entropy: %w", err)
 	}
-	ch.Tag = i.tag(ch)
+	ch.Seed = s.seed
+	ch.Tag = s.tagOf(&ch)
+	i.macs.put(s)
 	return ch, nil
-}
-
-// tag computes the HMAC-SHA256 tag over the challenge's canonical form.
-func (i *Issuer) tag(ch Challenge) [TagSize]byte {
-	mac := hmac.New(sha256.New, i.key)
-	mac.Write(ch.canonical())
-	var out [TagSize]byte
-	copy(out[:], mac.Sum(nil))
-	return out
 }

@@ -138,7 +138,12 @@ func (c Challenge) ExpiresAt() time.Time { return c.IssuedAt.Add(c.TTL) }
 // canonical renders every authenticated field into a fixed, unambiguous
 // byte layout. It is both the HMAC input and the hash preimage prefix.
 func (c Challenge) canonical() []byte {
-	b := make([]byte, 0, len(magic)+1+SeedSize+8+8+2+2+len(c.Binding))
+	return c.appendCanonical(make([]byte, 0, len(magic)+1+SeedSize+8+8+2+2+len(c.Binding)))
+}
+
+// appendCanonical appends the canonical form to b and returns the extended
+// slice; the hot paths pass pooled buffers to avoid per-call allocation.
+func (c *Challenge) appendCanonical(b []byte) []byte {
 	b = append(b, magic...)
 	b = append(b, c.Version)
 	b = append(b, c.Seed[:]...)

@@ -18,6 +18,7 @@ type Verifier struct {
 	now    func() time.Time
 	replay *ReplayCache
 	skew   time.Duration
+	macs   *macPool
 }
 
 // VerifierOption customizes a Verifier.
@@ -56,6 +57,7 @@ func NewVerifier(key []byte, opts ...VerifierOption) (*Verifier, error) {
 	if v.skew < 0 {
 		return nil, fmt.Errorf("puzzle: negative clock skew %v", v.skew)
 	}
+	v.macs = newMACPool(v.key)
 	return v, nil
 }
 
@@ -72,10 +74,13 @@ func (v *Verifier) Verify(sol Solution, binding string) error {
 		return fmt.Errorf("%w: %w", ErrVerify, err)
 	}
 
-	// Authenticate before trusting any field.
-	mac := hmac.New(sha256.New, v.key)
-	mac.Write(ch.canonical())
-	if !hmac.Equal(mac.Sum(nil), ch.Tag[:]) {
+	// Authenticate before trusting any field. The pooled scratch computes
+	// the tag without allocating and keeps the canonical bytes around so
+	// the solution digest below reuses them as its preimage prefix.
+	s := v.macs.get()
+	defer v.macs.put(s)
+	tag := s.tagOf(&ch)
+	if !hmac.Equal(tag[:], ch.Tag[:]) {
 		return fmt.Errorf("%w: %w", ErrVerify, ErrBadTag)
 	}
 
@@ -94,7 +99,11 @@ func (v *Verifier) Verify(sol Solution, binding string) error {
 			ErrVerify, ErrExpired, now.Sub(ch.ExpiresAt()))
 	}
 
-	if !ch.Meets(sol.Nonce) {
+	// Equivalent to ch.Meets(sol.Nonce), but re-using the canonical bytes
+	// already in s.buf instead of re-encoding them.
+	s.buf = appendNonce(s.buf, sol.Nonce)
+	digest := sha256.Sum256(s.buf)
+	if CountLeadingZeroBits(digest[:]) < ch.Difficulty {
 		return fmt.Errorf("%w: %w: nonce %d", ErrVerify, ErrWrongSolution, sol.Nonce)
 	}
 

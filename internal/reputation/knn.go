@@ -3,6 +3,9 @@ package reputation
 import (
 	"fmt"
 	"sort"
+	"sync"
+
+	"aipow/internal/features"
 )
 
 // KNN is an alternative reputation scorer: the score of an IP is
@@ -15,13 +18,26 @@ import (
 type KNN struct {
 	k         int
 	attrNames []string
+	schema    *features.Schema
 	mins      []float64
 	ranges    []float64
 	points    [][]float64
 	labels    []bool
+	scratch   sync.Pool // *knnScratch
 }
 
-var _ Scorer = (*KNN)(nil)
+var (
+	_ Scorer                = (*KNN)(nil)
+	_ features.VectorScorer = (*KNN)(nil)
+)
+
+// knnScratch is the reusable per-call state of a Score/ScoreVector call:
+// the query vector (map path only) and the running k-best arrays.
+type knnScratch struct {
+	q   []float64
+	d   []float64
+	mal []bool
+}
 
 // NewKNN builds a kNN scorer from labeled samples. k is clamped to the
 // sample count. Normalization bounds are derived from the samples exactly
@@ -46,6 +62,7 @@ func NewKNN(samples []Sample, k int) (*KNN, error) {
 	knn := &KNN{
 		k:         k,
 		attrNames: attrNames,
+		schema:    schemaFor(attrNames),
 		mins:      make([]float64, len(attrNames)),
 		ranges:    make([]float64, len(attrNames)),
 		points:    make([][]float64, len(samples)),
@@ -84,7 +101,8 @@ func NewKNN(samples []Sample, k int) (*KNN, error) {
 		knn.ranges[j] = maxs[j] - knn.mins[j]
 	}
 	for i, v := range raw {
-		knn.points[i] = knn.normalize(v)
+		knn.normalizeInPlace(v)
+		knn.points[i] = v
 	}
 	return knn, nil
 }
@@ -92,43 +110,86 @@ func NewKNN(samples []Sample, k int) (*KNN, error) {
 // Score maps an attribute map to [0, MaxScore] by majority mass of the k
 // nearest neighbours.
 func (knn *KNN) Score(attrs map[string]float64) (float64, error) {
-	v := make([]float64, len(knn.attrNames))
+	sp := knn.getScratch()
 	for j, name := range knn.attrNames {
 		val, ok := attrs[name]
 		if !ok {
+			knn.scratch.Put(sp)
 			return 0, fmt.Errorf("%w: %q", ErrMissingAttr, name)
 		}
-		v[j] = val
+		sp.q[j] = val
 	}
-	q := knn.normalize(v)
+	knn.normalizeInPlace(sp.q)
+	score := knn.scoreNormalized(sp.q, sp)
+	knn.scratch.Put(sp)
+	return score, nil
+}
 
-	type neigh struct {
-		d   float64
-		mal bool
+// Schema reports the interned layout ScoreVector expects.
+func (knn *KNN) Schema() *features.Schema { return knn.schema }
+
+// ScoreVector scores a raw-unit vector laid out in Schema order. The
+// vector is used as scratch space: its contents are unspecified on return.
+func (knn *KNN) ScoreVector(v []float64) (float64, error) {
+	if len(v) != len(knn.attrNames) {
+		return 0, fmt.Errorf("reputation: vector has %d dims, knn wants %d", len(v), len(knn.attrNames))
 	}
-	ns := make([]neigh, len(knn.points))
+	knn.normalizeInPlace(v)
+	sp := knn.getScratch()
+	score := knn.scoreNormalized(v, sp)
+	knn.scratch.Put(sp)
+	return score, nil
+}
+
+// getScratch returns pooled per-call state sized for this scorer.
+func (knn *KNN) getScratch() *knnScratch {
+	sp, _ := knn.scratch.Get().(*knnScratch)
+	if sp == nil {
+		sp = &knnScratch{
+			q:   make([]float64, len(knn.attrNames)),
+			d:   make([]float64, knn.k),
+			mal: make([]bool, knn.k),
+		}
+	}
+	return sp
+}
+
+// scoreNormalized finds the k nearest training points to the normalized
+// query q by maintaining a small sorted k-best array (k is tiny, so this
+// O(n·k) pass beats sorting all n distances and allocates nothing).
+func (knn *KNN) scoreNormalized(q []float64, sp *knnScratch) float64 {
+	d, mal := sp.d[:0], sp.mal[:0]
 	for i, p := range knn.points {
-		ns[i] = neigh{d: euclidean(q, p), mal: knn.labels[i]}
+		dist := euclidean(q, p)
+		if len(d) < knn.k {
+			d = append(d, dist)
+			mal = append(mal, knn.labels[i])
+		} else if dist < d[len(d)-1] {
+			d[len(d)-1], mal[len(d)-1] = dist, knn.labels[i]
+		} else {
+			continue
+		}
+		for j := len(d) - 1; j > 0 && d[j-1] > d[j]; j-- {
+			d[j-1], d[j] = d[j], d[j-1]
+			mal[j-1], mal[j] = mal[j], mal[j-1]
+		}
 	}
-	sort.Slice(ns, func(i, j int) bool { return ns[i].d < ns[j].d })
-
 	malicious := 0
-	for _, n := range ns[:knn.k] {
-		if n.mal {
+	for _, isMal := range mal {
+		if isMal {
 			malicious++
 		}
 	}
-	return MaxScore * float64(malicious) / float64(knn.k), nil
+	return MaxScore * float64(malicious) / float64(len(d))
 }
 
 // K reports the neighbour count in use.
 func (knn *KNN) K() int { return knn.k }
 
-func (knn *KNN) normalize(raw []float64) []float64 {
-	out := make([]float64, len(raw))
-	for j, x := range raw {
+func (knn *KNN) normalizeInPlace(v []float64) {
+	for j, x := range v {
 		if knn.ranges[j] == 0 {
-			out[j] = 0
+			v[j] = 0
 			continue
 		}
 		n := (x - knn.mins[j]) / knn.ranges[j]
@@ -137,7 +198,6 @@ func (knn *KNN) normalize(raw []float64) []float64 {
 		} else if n > 1 {
 			n = 1
 		}
-		out[j] = n
+		v[j] = n
 	}
-	return out
 }

@@ -23,6 +23,9 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync"
+
+	"aipow/internal/features"
 )
 
 const (
@@ -68,10 +71,12 @@ type Scorer interface {
 // Model is a trained DAbR reputation scorer. Obtain one from Train or Load.
 // Model is immutable after training and safe for concurrent use.
 type Model struct {
-	attrNames []string    // canonical (sorted) attribute order
-	mins      []float64   // per-attribute normalization lower bound
-	ranges    []float64   // per-attribute (max-min); 0 marks a dead dimension
-	centroids [][]float64 // malicious centroids in normalized space
+	attrNames []string         // canonical (sorted) attribute order
+	schema    *features.Schema // interned attrNames layout (nil: no fast path)
+	mins      []float64        // per-attribute normalization lower bound
+	ranges    []float64        // per-attribute (max-min); 0 marks a dead dimension
+	centroids [][]float64      // malicious centroids in normalized space
+	scratch   sync.Pool        // *[]float64 vectors for the map-based Score path
 
 	// Calibration anchors: the median nearest-centroid distance of the
 	// malicious (distMal) and benign (distBen) training points. Scoring
@@ -81,7 +86,10 @@ type Model struct {
 	distMal, distBen float64
 }
 
-var _ Scorer = (*Model)(nil)
+var (
+	_ Scorer                = (*Model)(nil)
+	_ features.VectorScorer = (*Model)(nil)
+)
 
 // trainConfig collects Train options.
 type trainConfig struct {
@@ -137,6 +145,7 @@ func Train(samples []Sample, opts ...TrainOption) (*Model, error) {
 
 	m := &Model{
 		attrNames: attrNames,
+		schema:    schemaFor(attrNames),
 		mins:      make([]float64, len(attrNames)),
 		ranges:    make([]float64, len(attrNames)),
 	}
@@ -181,14 +190,14 @@ func Train(samples []Sample, opts ...TrainOption) (*Model, error) {
 		m.ranges[j] = maxs[j] - m.mins[j]
 	}
 
-	// Normalize, split classes.
+	// Normalize (in place — raw is not used again), split classes.
 	var malicious, benign [][]float64
 	for i, v := range raw {
-		n := m.normalize(v)
+		m.normalizeInPlace(v)
 		if samples[i].Malicious {
-			malicious = append(malicious, n)
+			malicious = append(malicious, v)
 		} else {
-			benign = append(benign, n)
+			benign = append(benign, v)
 		}
 	}
 
@@ -219,33 +228,49 @@ func Train(samples []Sample, opts ...TrainOption) (*Model, error) {
 
 // Score maps an attribute map to a reputation score in [0, MaxScore].
 // Unknown extra attributes are ignored; missing model attributes are an
-// error.
+// error. The working vector comes from a pool, so the map path allocates
+// nothing in steady state.
 func (m *Model) Score(attrs map[string]float64) (float64, error) {
-	v := make([]float64, len(m.attrNames))
+	vp, _ := m.scratch.Get().(*[]float64)
+	if vp == nil {
+		v := make([]float64, len(m.attrNames))
+		vp = &v
+	}
+	v := *vp
 	for j, name := range m.attrNames {
 		val, ok := attrs[name]
 		if !ok {
+			m.scratch.Put(vp)
 			return 0, fmt.Errorf("%w: %q", ErrMissingAttr, name)
 		}
 		v[j] = val
 	}
-	return m.scoreRaw(v), nil
+	score := m.scoreInPlace(v)
+	m.scratch.Put(vp)
+	return score, nil
 }
 
+// Schema reports the interned layout ScoreVector expects (AttributeNames
+// order). It is nil when the model's dimensionality exceeds what a schema
+// can hold, disabling the vector fast path.
+func (m *Model) Schema() *features.Schema { return m.schema }
+
 // ScoreVector scores a raw-unit vector laid out in AttributeNames order.
+// The vector is used as scratch space: its contents are unspecified on
+// return.
 func (m *Model) ScoreVector(v []float64) (float64, error) {
 	if len(v) != len(m.attrNames) {
 		return 0, fmt.Errorf("reputation: vector has %d dims, model wants %d", len(v), len(m.attrNames))
 	}
-	return m.scoreRaw(v), nil
+	return m.scoreInPlace(v), nil
 }
 
-// scoreRaw normalizes and maps distance to score through the two-anchor
-// calibration: distMal → 9, distBen → 1, linear in between and beyond,
-// clamped to [0, MaxScore].
-func (m *Model) scoreRaw(raw []float64) float64 {
-	n := m.normalize(raw)
-	d := distToNearest(n, m.centroids)
+// scoreInPlace normalizes v in place and maps distance to score through
+// the two-anchor calibration: distMal → 9, distBen → 1, linear in between
+// and beyond, clamped to [0, MaxScore].
+func (m *Model) scoreInPlace(v []float64) float64 {
+	m.normalizeInPlace(v)
+	d := distToNearest(v, m.centroids)
 	score := 9 - 8*(d-m.distMal)/(m.distBen-m.distMal)
 	if score < 0 {
 		return 0
@@ -256,13 +281,13 @@ func (m *Model) scoreRaw(raw []float64) float64 {
 	return score
 }
 
-// normalize maps a raw vector into [0,1]^d using the training bounds,
-// clamping out-of-range values. Dead dimensions (zero range) map to 0.
-func (m *Model) normalize(raw []float64) []float64 {
-	out := make([]float64, len(raw))
-	for j, x := range raw {
+// normalizeInPlace maps a raw vector into [0,1]^d using the training
+// bounds, clamping out-of-range values. Dead dimensions (zero range) map
+// to 0.
+func (m *Model) normalizeInPlace(v []float64) {
+	for j, x := range v {
 		if m.ranges[j] == 0 {
-			out[j] = 0
+			v[j] = 0
 			continue
 		}
 		n := (x - m.mins[j]) / m.ranges[j]
@@ -271,9 +296,19 @@ func (m *Model) normalize(raw []float64) []float64 {
 		} else if n > 1 {
 			n = 1
 		}
-		out[j] = n
+		v[j] = n
 	}
-	return out
+}
+
+// schemaFor interns names as a schema, or nil when they cannot form one
+// (e.g. more attributes than a coverage mask can track) — the model then
+// simply serves the map-based path only.
+func schemaFor(names []string) *features.Schema {
+	s, err := features.NewSchema(names...)
+	if err != nil {
+		return nil
+	}
+	return s
 }
 
 // AttributeNames returns the model's canonical attribute order as a copy.

@@ -75,6 +75,7 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	return &Model{
 		attrNames: mj.AttrNames,
+		schema:    schemaFor(mj.AttrNames),
 		mins:      mj.Mins,
 		ranges:    mj.Ranges,
 		centroids: mj.Centroids,
