@@ -6,6 +6,7 @@ import (
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/policy"
+	"aipow/internal/sim"
 )
 
 // Framework is the assembled scoring → policy → puzzle pipeline.
@@ -52,6 +53,18 @@ func WithTracker(t *Tracker) Option { return core.WithTracker(t) }
 
 // WithClock injects a time source; defaults to time.Now.
 func WithClock(now func() time.Time) Option { return core.WithClock(now) }
+
+// SimulatedClock is a manually-advanced time source for driving a
+// Framework in simulated time: wire it with WithClock(clock.Now) and every
+// time-dependent component — challenge TTLs, tracker windows, replay
+// sweeps — follows Advance/Set instead of the wall clock. Reads are a
+// single atomic load, so the clock can sit on a concurrently-driven
+// serving path. The adversarial scenario engine (internal/sim, surfaced by
+// cmd/attacksim) runs entire attack campaigns on one.
+type SimulatedClock = sim.Clock
+
+// NewSimulatedClock returns a simulated clock reading start.
+func NewSimulatedClock(start time.Time) *SimulatedClock { return sim.NewClock(start) }
 
 // WithTTL sets how long issued challenges stay redeemable.
 func WithTTL(ttl time.Duration) Option { return core.WithTTL(ttl) }

@@ -1,11 +1,19 @@
-// Command attacksim runs configurable DDoS scenarios against the framework
-// on the deterministic network simulator and prints the defense
-// comparison table:
+// Command attacksim runs the deterministic adversarial scenario suite
+// (internal/sim) against the real framework and reports per-population
+// asymmetry outcomes scored against each scenario's declared invariants.
 //
-//	attacksim
-//	attacksim -bots 2000 -duration 120s -policy 'policy3(epsilon=2.5)'
-//	attacksim -bot-strategy giveup -giveup-at 10
-//	attacksim -bot-strategy ignore
+//	attacksim                      # run the default suite, human tables
+//	attacksim -json                # also write SIM_scenarios.json
+//	attacksim -json -quick         # CI mode: scaled-down populations
+//	attacksim -scenario slow-and-low -seed 7
+//	attacksim -list
+//
+// The exit status is the CI gate: non-zero when any scenario invariant is
+// violated. Reports are deterministic — equal seeds produce byte-identical
+// SIM_scenarios.json files.
+//
+// For queueing-collapse comparisons across defenses (adaptive vs. fixed
+// vs. no-PoW on the netsim event loop), see `powexp attack`.
 package main
 
 import (
@@ -13,77 +21,82 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
 	"strings"
 
-	"aipow/internal/attack"
-	"aipow/internal/experiments"
+	"aipow/internal/sim"
 )
 
 func main() {
 	log.SetFlags(0)
-	cfg := experiments.DefaultAttackConfig()
-
-	duration := flag.Duration("duration", cfg.Scenario.Duration, "simulated time span")
-	benign := flag.Int("benign", cfg.Scenario.Specs[0].Count, "benign client count")
-	benignRate := flag.Float64("benign-rate", cfg.Scenario.Specs[0].RequestRate, "benign requests/s per client (open loop)")
-	bots := flag.Int("bots", cfg.Scenario.Specs[1].Count, "bot count (closed loop)")
-	botThink := flag.Duration("bot-think", 0, "bot pause between completed requests")
-	botStrategy := flag.String("bot-strategy", "solve", "bot strategy: solve, ignore, giveup")
-	giveUpAt := flag.Int("giveup-at", 10, "giveup strategy: max difficulty bots will solve")
-	hashRate := flag.Float64("hashrate", experiments.CalibratedHashRate, "client hash rate (hashes/s)")
-	policySpec := flag.String("policy", cfg.Policy, "adaptive policy spec")
-	fixed := flag.String("fixed", "8,15", "comma-separated fixed-difficulty comparators")
-	queueCap := flag.Int("queue", cfg.Scenario.QueueCap, "server queue bound (0 = unbounded)")
-	seed := flag.Uint64("seed", cfg.Seed, "random seed")
+	var (
+		seed     = flag.Uint64("seed", 4, "scenario seed (equal seeds: byte-identical reports)")
+		jsonOut  = flag.Bool("json", false, "write the machine-readable report")
+		out      = flag.String("out", "SIM_scenarios.json", "report path for -json")
+		quick    = flag.Bool("quick", false, "scale populations down for fast CI runs")
+		scenario = flag.String("scenario", "", "run only the named scenario (see -list)")
+		list     = flag.Bool("list", false, "list suite scenarios and exit")
+		quiet    = flag.Bool("quiet", false, "suppress per-scenario tables")
+	)
 	flag.Parse()
 
-	cfg.Scenario.Duration = *duration
-	cfg.Scenario.QueueCap = *queueCap
-	cfg.Scenario.Seed = *seed
-	cfg.Seed = *seed
-	cfg.Policy = *policySpec
+	scale := 1.0
+	suiteName := "default"
+	if *quick {
+		scale = 0.25
+		suiteName = "quick"
+	}
+	scenarios := sim.DefaultSuite(*seed, scale)
 
-	cfg.Scenario.Specs[0].Count = *benign
-	cfg.Scenario.Specs[0].RequestRate = *benignRate
-	cfg.Scenario.Specs[0].HashRate = *hashRate
-
-	cfg.Scenario.Specs[1].Count = *bots
-	cfg.Scenario.Specs[1].ThinkTime = *botThink
-	cfg.Scenario.Specs[1].HashRate = *hashRate
-	switch *botStrategy {
-	case "solve":
-		cfg.Scenario.Specs[1].Strategy = attack.StrategySolve
-	case "ignore":
-		cfg.Scenario.Specs[1].Strategy = attack.StrategyIgnore
-		cfg.Scenario.Specs[1].HashRate = 0
-	case "giveup":
-		cfg.Scenario.Specs[1].Strategy = attack.StrategyGiveUpAbove
-		cfg.Scenario.Specs[1].GiveUpAt = *giveUpAt
-	default:
-		log.Fatalf("attacksim: unknown bot strategy %q", *botStrategy)
+	if *list {
+		for _, sc := range scenarios {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+	if *scenario != "" {
+		var filtered []sim.Scenario
+		for _, sc := range scenarios {
+			if sc.Name == *scenario {
+				filtered = append(filtered, sc)
+			}
+		}
+		if len(filtered) == 0 {
+			log.Fatalf("attacksim: unknown scenario %q (known: %s)",
+				*scenario, strings.Join(sim.SuiteNames(), ", "))
+		}
+		scenarios = filtered
 	}
 
-	cfg.FixedDifficulties = nil
-	for _, part := range strings.Split(*fixed, ",") {
-		part = strings.TrimSpace(part)
-		if part == "" {
-			continue
-		}
-		d, err := strconv.Atoi(part)
-		if err != nil {
-			log.Fatalf("attacksim: -fixed %q: %v", part, err)
-		}
-		cfg.FixedDifficulties = append(cfg.FixedDifficulties, d)
-	}
-
-	res, err := experiments.RunAttack(cfg)
+	rep, err := sim.RunSuite(suiteName, *seed, scenarios)
 	if err != nil {
 		log.Fatalf("attacksim: %v", err)
 	}
-	if err := res.Table().Render(os.Stdout); err != nil {
-		log.Fatalf("attacksim: render: %v", err)
+
+	if !*quiet {
+		for _, sr := range rep.Scenarios {
+			if err := sr.RenderTable(os.Stdout); err != nil {
+				log.Fatalf("attacksim: render: %v", err)
+			}
+		}
 	}
-	fmt.Println("\n(bot metrics are request-weighted: correctly-penalized bots cycle slowly")
-	fmt.Println(" and contribute few samples; the mean/p90 columns expose the throttling)")
+	if *jsonOut {
+		buf, err := rep.Marshal()
+		if err != nil {
+			log.Fatalf("attacksim: marshal report: %v", err)
+		}
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			log.Fatalf("attacksim: write report: %v", err)
+		}
+		fmt.Printf("wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+	}
+	if !rep.Pass {
+		var failed []string
+		for _, sr := range rep.Scenarios {
+			if !sr.Pass {
+				failed = append(failed, sr.Name)
+			}
+		}
+		log.Fatalf("attacksim: invariant violations in: %s", strings.Join(failed, ", "))
+	}
+	fmt.Println("all scenario invariants passed")
 }

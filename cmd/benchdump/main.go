@@ -1,11 +1,22 @@
-// Command benchdump measures the serving hot path — Decide, Verify, and
-// Score — with testing.Benchmark and writes the results as machine-readable
-// JSON (default BENCH_hotpath.json), so successive PRs can track the
-// performance trajectory without parsing `go test -bench` text output.
+// Command benchdump measures the serving hot path — Decide, Verify, Issue,
+// and Score — with testing.Benchmark and writes the results as
+// machine-readable JSON (default BENCH_hotpath.json), so successive PRs can
+// track the performance trajectory without parsing `go test -bench` text
+// output.
 //
 // Usage:
 //
-//	go run ./cmd/benchdump [-out BENCH_hotpath.json]
+//	go run ./cmd/benchdump [-out BENCH_hotpath.json] [-cpu 1,2,4]
+//	go run ./cmd/benchdump -compare BENCH_hotpath.json -max-regress 20%
+//
+// -cpu additionally runs the parallel Decide benchmark at each listed
+// GOMAXPROCS, recording multi-core scaling as "DecideParallel/cpu=N"
+// entries.
+//
+// -compare is the CI regression gate: after measuring, the run is diffed
+// against the baseline file and the process exits non-zero when a gated
+// benchmark (Decide, Verify, Issue) allocates at all or slows down by more
+// than -max-regress.
 package main
 
 import (
@@ -15,12 +26,19 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"aipow"
 )
 
 var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
+
+// gated are the benchmarks -compare fails the build on: the serving hot
+// path that PR 1 made allocation-free. Parallel/scaling entries are
+// informational (their ns/op depends on core count).
+var gated = []string{"Decide", "Verify", "Issue"}
 
 // result is one benchmark's stable, diffable summary.
 type result struct {
@@ -48,14 +66,61 @@ func summarize(r testing.BenchmarkResult) result {
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	cpu := flag.String("cpu", "", "comma-separated GOMAXPROCS list for parallel scaling entries (e.g. 1,2,4)")
+	compare := flag.String("compare", "", "baseline JSON to gate against (CI regression check)")
+	maxRegress := flag.String("max-regress", "20%", "ns/op regression tolerance for -compare (e.g. 20% or 0.2)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *cpu, *compare, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string) error {
+// parseCPUList parses "1,2,4" into GOMAXPROCS values.
+func parseCPUList(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseRegress parses "20%" or "0.2" into a fraction.
+func parseRegress(spec string) (float64, error) {
+	s := strings.TrimSpace(spec)
+	pct := strings.HasSuffix(s, "%")
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -max-regress %q", spec)
+	}
+	if pct {
+		v /= 100
+	}
+	return v, nil
+}
+
+func run(out, cpuSpec, compare, maxRegress string) error {
+	cpus, err := parseCPUList(cpuSpec)
+	if err != nil {
+		return err
+	}
+	tolerance, err := parseRegress(maxRegress)
+	if err != nil {
+		return err
+	}
+
 	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
 	if err != nil {
 		return err
@@ -96,6 +161,18 @@ func run(out string) error {
 	}
 	attrs := data[0].Attrs
 
+	decideParallel := func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+					b.Error(err) // Fatal must not run off the benchmark goroutine
+					return
+				}
+			}
+		})
+	}
+
 	d := dump{
 		GeneratedBy: "cmd/benchdump",
 		GoVersion:   runtime.Version(),
@@ -109,16 +186,14 @@ func run(out string) error {
 					}
 				}
 			})),
-			"DecideParallel": summarize(testing.Benchmark(func(b *testing.B) {
+			"DecideParallel": summarize(testing.Benchmark(decideParallel)),
+			"Issue": summarize(testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
-				b.RunParallel(func(pb *testing.PB) {
-					for pb.Next() {
-						if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
-							b.Error(err) // Fatal must not run off the benchmark goroutine
-							return
-						}
+				for i := 0; i < b.N; i++ {
+					if _, err := issuer.Issue("203.0.113.9", 8); err != nil {
+						b.Fatal(err)
 					}
-				})
+				}
 			})),
 			"Verify": summarize(testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
@@ -139,6 +214,16 @@ func run(out string) error {
 		},
 	}
 
+	// Multi-core scaling entries: rerun the parallel Decide benchmark at
+	// each requested GOMAXPROCS. Flat-or-better ns/op as cores grow is the
+	// "no lock collapse" evidence the ROADMAP asks to record.
+	prev := runtime.GOMAXPROCS(0)
+	for _, n := range cpus {
+		runtime.GOMAXPROCS(n)
+		d.Benchmarks[fmt.Sprintf("DecideParallel/cpu=%d", n)] = summarize(testing.Benchmark(decideParallel))
+	}
+	runtime.GOMAXPROCS(prev)
+
 	buf, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		return err
@@ -148,5 +233,55 @@ func run(out string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+
+	if compare != "" {
+		return gate(d, compare, tolerance)
+	}
+	return nil
+}
+
+// gate diffs the fresh run against the baseline file and fails on hot-path
+// regressions: any allocation at all, or ns/op beyond baseline×(1+tol).
+func gate(cur dump, baselinePath string, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base dump
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+
+	var violations []string
+	for _, name := range gated {
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from current run", name))
+			continue
+		}
+		if c.AllocsPerOp > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %d allocs/op (hot path must stay allocation-free)", name, c.AllocsPerOp))
+		}
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("compare: %-8s no baseline entry, skipping ns/op gate\n", name)
+			continue
+		}
+		limit := b.NsPerOp * (1 + tol)
+		verdict := "ok"
+		if c.NsPerOp > limit {
+			verdict = "REGRESSION"
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (limit %.0f, +%.0f%%)",
+					name, c.NsPerOp, b.NsPerOp, limit, (c.NsPerOp/b.NsPerOp-1)*100))
+		}
+		fmt.Printf("compare: %-8s %8.0f ns/op (baseline %8.0f, limit %8.0f) %d allocs/op  %s\n",
+			name, c.NsPerOp, b.NsPerOp, limit, c.AllocsPerOp, verdict)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("hot-path regression gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	fmt.Println("compare: hot-path gate passed")
 	return nil
 }

@@ -82,7 +82,58 @@
 //
 // and `go run ./cmd/benchdump` writes the hot-path numbers to
 // BENCH_hotpath.json for regression tracking across changes (compare runs
-// with benchstat).
+// with benchstat). In CI, `benchdump -compare BENCH_hotpath.json
+// -max-regress 20%` fails the build when Decide/Verify/Issue allocate at
+// all or slow down beyond the tolerance.
+//
+// # Simulation & scenario regression
+//
+// The paper's central claim is economic asymmetry: legitimate clients pay
+// near-zero compute while attackers pay super-linearly. internal/sim pins
+// that claim down empirically with a deterministic adversarial scenario
+// engine that drives a real Framework — concurrently, over the sharded
+// vector fast path — with declaratively-defined traffic mixes:
+//
+//	sim.Scenario{
+//	    Phases: []sim.Phase{            // a timeline of named windows
+//	        {Name: "warmup", Duration: 30 * time.Second},
+//	        {Name: "strike", Duration: 30 * time.Second,
+//	            RateScale: map[string]float64{"bots": 40}},  // 40x surge
+//	    },
+//	    Populations: []sim.Population{  // concurrent client groups
+//	        {Name: "users", Legit: true, Clients: 100, Rate: 0.3,
+//	            Behavior: sim.BehaviorSolve, Feed: sim.FeedBenign, ...},
+//	        {Name: "bots", Clients: 200, Rate: 0.2,
+//	            Behavior: sim.BehaviorSolve, Feed: sim.FeedUnknown,
+//	            IPPool: 4000, RotateEvery: 10 * time.Second, ...},
+//	    },
+//	    Invariants: []sim.Invariant{    // the asymmetry bounds CI gates on
+//	        sim.AtLeast(sim.MetricWorkRatioP50, "", "", 12),
+//	        sim.AtMost(sim.MetricLatencyP90, "users", "", 800),
+//	    },
+//	}
+//
+// Time is simulated (NewSimulatedClock plugs into WithClock), every random
+// draw is position-seeded, and per-worker results merge in fixed order, so
+// equal seeds produce byte-identical reports regardless of GOMAXPROCS.
+// Solving is modeled as the real solver's geometric process; RealSolve
+// scenarios additionally perform genuine nonce searches redeemed through
+// Verify.
+//
+// The canonical eight-scenario suite (steady state, flash crowd, pulsing
+// botnet, rotating-IP botnet, slow-and-low probing, reputation-poisoning
+// warmup, challenge dodging, real-crypto smoke) runs via:
+//
+//	go run ./cmd/attacksim -json          # writes SIM_scenarios.json
+//	go run ./cmd/attacksim -json -quick   # CI scale
+//
+// Each scenario's report carries per-population, per-phase outcomes
+// (served fraction, goodput, difficulty and latency histograms, modeled
+// hash cost) plus every invariant's measured value and verdict; the
+// process exits non-zero on any violation, which is the CI gate. The same
+// suite runs in `go test ./internal/sim` as a scenario-table regression
+// test. For queueing-collapse comparisons across defenses (adaptive vs.
+// fixed vs. no-PoW), see `powexp attack` on the netsim event loop.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.

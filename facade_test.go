@@ -87,6 +87,57 @@ func TestPublicSessionTokens(t *testing.T) {
 	}
 }
 
+// TestPublicSimulatedClock drives a framework's challenge TTL through the
+// facade's simulated clock: a solution is redeemable before the clock
+// advances past the TTL and expired after, with no wall time involved.
+func TestPublicSimulatedClock(t *testing.T) {
+	clock := aipow.NewSimulatedClock(time.Date(2022, 3, 21, 0, 0, 0, 0, time.UTC))
+	store, err := aipow.NewMapStore(map[string]float64{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := aipow.New(
+		aipow.WithKey(testKey),
+		aipow.WithScorer(scorerFunc(func(map[string]float64) (float64, error) { return 0, nil })),
+		aipow.WithPolicy(aipow.Policy1()),
+		aipow.WithSource(store),
+		aipow.WithClock(clock.Now),
+		aipow.WithTTL(30*time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := fw.Decide(aipow.RequestContext{IP: "203.0.113.7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := aipow.NewSolver().Solve(context.Background(), dec.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(29 * time.Second)
+	if err := fw.Verify(sol, "203.0.113.7"); err != nil {
+		t.Fatalf("verify within TTL: %v", err)
+	}
+	dec2, err := fw.Decide(aipow.RequestContext{IP: "203.0.113.7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol2, _, err := aipow.NewSolver().Solve(context.Background(), dec2.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	if err := fw.Verify(sol2, "203.0.113.7"); err == nil {
+		t.Fatal("verify after simulated TTL expiry should fail")
+	}
+}
+
+// scorerFunc adapts a function to aipow.Scorer.
+type scorerFunc func(map[string]float64) (float64, error)
+
+func (f scorerFunc) Score(attrs map[string]float64) (float64, error) { return f(attrs) }
+
 // TestPublicSolverNonceLimit exercises bounded-work solving through the
 // facade (the rational-attacker knob).
 func TestPublicSolverNonceLimit(t *testing.T) {

@@ -134,6 +134,89 @@ func (h *Histogram) Render(width int) string {
 	return b.String()
 }
 
+// Merge folds other's observations into h. Both histograms must share the
+// same bucket layout (start, factor, bucket count); Merge panics otherwise,
+// since mixing layouts silently would corrupt every later quantile.
+//
+// Merging is how concurrent collectors stay deterministic: each worker
+// records into a private histogram and the owner merges them in a fixed
+// order, so the float sum accumulates in the same order on every run.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	if h.start != other.start || h.factor != other.factor || len(h.counts) != len(other.counts) {
+		panic(fmt.Sprintf("metrics: merging mismatched histogram layouts (%v/%v/%d vs %v/%v/%d)",
+			h.start, h.factor, len(h.counts), other.start, other.factor, len(other.counts)))
+	}
+	h.under += other.under
+	h.total += other.total
+	h.sum += other.sum
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+}
+
+// HistogramBucket is one non-empty bucket of a snapshot: the bucket's lower
+// bound and its observation count.
+type HistogramBucket struct {
+	// Lo is the bucket's inclusive lower bound (the underflow bucket
+	// reports 0).
+	Lo float64 `json:"lo"`
+
+	// Count is the number of observations in the bucket.
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is an immutable, JSON-marshalable export of a
+// histogram's state: shape, sparse non-empty buckets, and the derived
+// summary statistics reports care about. Marshaling a snapshot of the same
+// observations always yields identical bytes, which is what lets simulation
+// reports be compared with cmp/diff across runs.
+type HistogramSnapshot struct {
+	// Start and Factor echo the bucket layout, so a snapshot is
+	// self-describing.
+	Start  float64 `json:"start"`
+	Factor float64 `json:"factor"`
+
+	// Count is the total number of observations, Sum their total value.
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+
+	// Mean, P50, P90 and P99 are the derived statistics (0 when empty).
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+
+	// Buckets lists the non-empty buckets in ascending bound order; the
+	// underflow bucket, when non-empty, leads with Lo 0.
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports the histogram's current state. Quantile estimates carry
+// the bucket relative error, like Quantile. NaN-free: an empty histogram
+// snapshots with zero statistics so the result always marshals to JSON.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Start: h.start, Factor: h.factor, Count: h.total, Sum: h.sum}
+	if h.under > 0 {
+		s.Buckets = append(s.Buckets, HistogramBucket{Lo: 0, Count: h.under})
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{Lo: h.BucketBound(i), Count: c})
+		}
+	}
+	if h.total == 0 {
+		return s
+	}
+	s.Mean = h.Mean()
+	s.P50 = h.Quantile(0.50)
+	s.P90 = h.Quantile(0.90)
+	s.P99 = h.Quantile(0.99)
+	return s
+}
+
 // Reset clears all recorded observations, retaining the bucket layout.
 func (h *Histogram) Reset() {
 	h.under, h.total, h.sum = 0, 0, 0

@@ -108,6 +108,73 @@ func TestHistogramRender(t *testing.T) {
 	}
 }
 
+func TestHistogramMerge(t *testing.T) {
+	whole := NewHistogram(1, 2, 6)
+	a := NewHistogram(1, 2, 6)
+	b := NewHistogram(1, 2, 6)
+	values := []float64{0.5, 1, 3, 3, 9, 40, 200}
+	for i, v := range values {
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != whole.Count() || a.under != whole.under || a.sum != whole.sum {
+		t.Fatalf("merged totals = (%d,%d,%v), want (%d,%d,%v)",
+			a.Count(), a.under, a.sum, whole.Count(), whole.under, whole.sum)
+	}
+	for i := range whole.counts {
+		if a.counts[i] != whole.counts[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, a.counts[i], whole.counts[i])
+		}
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != whole.Count() {
+		t.Fatal("Merge(nil) changed state")
+	}
+}
+
+func TestHistogramMergePanicsOnLayoutMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched layouts")
+		}
+	}()
+	NewHistogram(1, 2, 6).Merge(NewHistogram(1, 2, 7))
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	empty := h.Snapshot()
+	if empty.Count != 0 || len(empty.Buckets) != 0 || empty.Mean != 0 || empty.P99 != 0 {
+		t.Fatalf("empty snapshot not zeroed: %+v", empty)
+	}
+
+	h.Observe(0.5) // underflow
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100) // overflow
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("snapshot count = %d, want 4", s.Count)
+	}
+	if len(s.Buckets) != 3 {
+		t.Fatalf("snapshot buckets = %+v, want 3 entries", s.Buckets)
+	}
+	if s.Buckets[0].Lo != 0 || s.Buckets[0].Count != 1 {
+		t.Fatalf("underflow bucket = %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].Lo != 2 || s.Buckets[1].Count != 2 {
+		t.Fatalf("value bucket = %+v", s.Buckets[1])
+	}
+	if s.Mean != h.Mean() || s.P50 != h.Quantile(0.5) || s.P99 != h.Quantile(0.99) {
+		t.Fatal("snapshot statistics disagree with histogram accessors")
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	h := NewHistogram(1, 2, 4)
 	h.Observe(3)

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"aipow/internal/baseline"
+	"aipow/internal/core"
+	"aipow/internal/dataset"
+	"aipow/internal/features"
+	"aipow/internal/policy"
+	"aipow/internal/puzzle"
+	"aipow/internal/reputation"
+)
+
+// defenseKey is the HMAC key every simulated defense signs with. Scenarios
+// never cross keys, so a fixed one keeps reports free of key material.
+var defenseKey = []byte("sim-scenario-hmac-key-32-bytes!!")
+
+// Defense configures the framework a scenario defends with: the paper's
+// pipeline assembled from a synthetic intelligence feed, a trained DAbR
+// model, a live behavior tracker, and a registry policy.
+type Defense struct {
+	// Policy is the score→difficulty policy spec in registry syntax
+	// (default "policy2"). Stick to deterministic policies: policy3 draws
+	// from a shared PRNG per decision, which is order-dependent under the
+	// engine's concurrency and would break report determinism.
+	Policy string
+
+	// MaxDifficulty caps what the issuer signs (default 22).
+	MaxDifficulty int
+
+	// SaturationRate, when positive, blends a kaPoW-style behavioral
+	// score into the model: the final score is the maximum of the static
+	// DAbR score and 10·min(1, live_rate/SaturationRate). Zero leaves the
+	// defense purely feed-driven (behavior-blind).
+	SaturationRate float64
+
+	// TrackerWindow and TrackerBuckets shape the behavior tracker's
+	// sliding rate window (default 30 s across 10 buckets).
+	TrackerWindow  time.Duration
+	TrackerBuckets int
+
+	// TTL is the challenge lifetime (default puzzle.DefaultTTL). The
+	// engine also applies it to modeled verification, so slow solvers
+	// time out identically in modeled and real-solve runs.
+	TTL time.Duration
+
+	// RealSolve switches the engine from modeled verification to real
+	// nonce searches redeemed through Framework.Verify — the full
+	// cryptographic path. Wall-clock cost is ~2^difficulty hashes per
+	// request, so pair it with a low MaxDifficulty.
+	RealSolve bool
+
+	// DatasetSeed seeds feed generation, model training, and attribute
+	// assignment (default: the scenario seed).
+	DatasetSeed uint64
+}
+
+// withDefaults resolves zero fields.
+func (d Defense) withDefaults(scenarioSeed uint64) Defense {
+	if d.Policy == "" {
+		d.Policy = "policy2"
+	}
+	if d.MaxDifficulty == 0 {
+		d.MaxDifficulty = 22
+	}
+	if d.TrackerWindow == 0 {
+		d.TrackerWindow = 30 * time.Second
+	}
+	if d.TrackerBuckets == 0 {
+		d.TrackerBuckets = 10
+	}
+	if d.TTL == 0 {
+		d.TTL = puzzle.DefaultTTL
+	}
+	if d.DatasetSeed == 0 {
+		d.DatasetSeed = scenarioSeed
+	}
+	return d
+}
+
+// BuildDefense assembles the scenario's framework factory from its Defense
+// config: generate the synthetic feed, train the model, register each
+// population's addresses per its Feed profile, and wire tracker + store
+// into a combined vector source so the engine exercises the allocation-free
+// fast path.
+func BuildDefense(sc Scenario) FrameworkFactory {
+	return func(now func() time.Time) (*core.Framework, error) {
+		d := sc.Defense.withDefaults(sc.Seed)
+
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = d.DatasetSeed
+		raw, err := dataset.Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: generate feed: %w", err)
+		}
+		samples := make([]reputation.Sample, len(raw))
+		var benign, malicious []dataset.Sample
+		for i, s := range raw {
+			samples[i] = reputation.Sample{Attrs: s.Attrs, Malicious: s.Malicious}
+			if s.Malicious {
+				malicious = append(malicious, s)
+			} else {
+				benign = append(benign, s)
+			}
+		}
+		if len(benign) == 0 || len(malicious) == 0 {
+			return nil, fmt.Errorf("sim: feed is missing a class")
+		}
+		model, err := reputation.Train(samples, reputation.WithSeed(d.DatasetSeed))
+		if err != nil {
+			return nil, fmt.Errorf("sim: train model: %w", err)
+		}
+
+		// Unknown addresses fall back to the median benign profile: the
+		// feed has nothing on them, so static scoring sees an ordinary
+		// client and only live behavior can raise suspicion — exactly the
+		// blind spot rotating botnets aim for.
+		store, err := features.NewMapStore(medianAttrs(benign))
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewPCG(mix(d.DatasetSeed, 0xFEED), 0xA551617))
+		for pi := range sc.Populations {
+			pool := benign
+			switch sc.Populations[pi].Feed {
+			case FeedMalicious:
+				pool = malicious
+			case FeedUnknown:
+				continue
+			}
+			for _, addr := range sc.PopulationIPs(pi) {
+				store.Put(addr, pool[rng.IntN(len(pool))].Attrs)
+			}
+		}
+
+		// Capacity is sized so far above the address universe that no
+		// shard's quota can overflow; per-shard LRU eviction would depend
+		// on cross-worker interleaving and break determinism.
+		tracker, err := features.NewTracker(
+			features.WithCapacity(sc.TotalIPs()*8+4096),
+			features.WithWindow(d.TrackerWindow, d.TrackerBuckets),
+		)
+		if err != nil {
+			return nil, err
+		}
+		combined, err := features.NewCombined(store, tracker)
+		if err != nil {
+			return nil, err
+		}
+
+		var scorer core.Scorer = model
+		if d.SaturationRate > 0 {
+			scorer, err = newHybridScorer(model, d.SaturationRate)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pol, err := policy.NewRegistry().New(d.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("sim: policy %q: %w", d.Policy, err)
+		}
+		// Clamp to the issuer's cap: the issuer rejects (rather than
+		// clamps) over-cap difficulties, and a worst-score client must
+		// still get a challenge, not an error.
+		pol, err = policy.NewClamp(pol, 1, d.MaxDifficulty)
+		if err != nil {
+			return nil, fmt.Errorf("sim: clamp policy: %w", err)
+		}
+
+		opts := []core.Option{
+			core.WithKey(defenseKey),
+			core.WithScorer(scorer),
+			core.WithPolicy(pol),
+			core.WithSource(combined),
+			core.WithTracker(tracker),
+			core.WithClock(now),
+			core.WithMaxDifficulty(d.MaxDifficulty),
+			core.WithTTL(d.TTL),
+		}
+		if !d.RealSolve {
+			// Verification is modeled; the replay cache would only grow.
+			opts = append(opts, core.WithReplayCacheSize(0))
+		}
+		return core.New(opts...)
+	}
+}
+
+// medianAttrs computes the per-attribute median over samples — the
+// fallback profile for feed-unknown addresses.
+func medianAttrs(samples []dataset.Sample) map[string]float64 {
+	out := make(map[string]float64, len(samples[0].Attrs))
+	for name := range samples[0].Attrs {
+		vals := make([]float64, 0, len(samples))
+		for _, s := range samples {
+			vals = append(vals, s.Attrs[name])
+		}
+		// Insertion sort: attribute counts are small and this avoids
+		// pulling in sort for a setup-time helper.
+		for i := 1; i < len(vals); i++ {
+			for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+				vals[j], vals[j-1] = vals[j-1], vals[j]
+			}
+		}
+		out[name] = vals[len(vals)/2]
+	}
+	return out
+}
+
+// hybridScorer is the defense's AI seam when behavioral blending is on:
+// max(static DAbR score, kaPoW-style rate score). It publishes its own
+// schema — the model's attributes plus the tracker's live request rate —
+// so the whole blend runs on the vector fast path.
+type hybridScorer struct {
+	model    *reputation.Model
+	rate     baseline.RateScorer
+	schema   *features.Schema
+	modelLen int
+	rateSlot int
+}
+
+func newHybridScorer(model *reputation.Model, saturation float64) (*hybridScorer, error) {
+	rs, err := baseline.NewRateScorer(saturation)
+	if err != nil {
+		return nil, err
+	}
+	ms := model.Schema()
+	if ms == nil {
+		return nil, fmt.Errorf("sim: model schema too wide for the vector fast path")
+	}
+	names := append(ms.Names(), features.AttrRequestRate)
+	schema, err := features.NewSchema(names...)
+	if err != nil {
+		return nil, fmt.Errorf("sim: hybrid schema: %w", err)
+	}
+	return &hybridScorer{
+		model:    model,
+		rate:     rs,
+		schema:   schema,
+		modelLen: ms.Len(),
+		rateSlot: ms.Len(),
+	}, nil
+}
+
+// Score implements core.Scorer (map compatibility path).
+func (h *hybridScorer) Score(attrs map[string]float64) (float64, error) {
+	static, err := h.model.Score(attrs)
+	if err != nil {
+		return 0, err
+	}
+	behavioral, err := h.rate.Score(attrs)
+	if err != nil {
+		return 0, err
+	}
+	return max(static, behavioral), nil
+}
+
+// Schema implements features.VectorScorer.
+func (h *hybridScorer) Schema() *features.Schema { return h.schema }
+
+// ScoreVector implements features.VectorScorer. The rate slot is read
+// before the model scores, because the model uses its subvector as
+// scratch.
+func (h *hybridScorer) ScoreVector(v []float64) (float64, error) {
+	if len(v) != h.schema.Len() {
+		return 0, fmt.Errorf("sim: vector has %d dims, hybrid scorer wants %d", len(v), h.schema.Len())
+	}
+	frac := v[h.rateSlot] / h.rate.SaturationRate
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	behavioral := policy.MaxScore * frac
+	static, err := h.model.ScoreVector(v[:h.modelLen])
+	if err != nil {
+		return 0, err
+	}
+	return max(static, behavioral), nil
+}
+
+var _ features.VectorScorer = (*hybridScorer)(nil)

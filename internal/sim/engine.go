@@ -1,0 +1,535 @@
+// Package sim is a deterministic adversarial scenario engine: it drives a
+// real core.Framework — the same scoring → policy → issuance pipeline that
+// serves production traffic, including the PR 1 vector fast path and
+// sharded tracker — with declaratively-defined mixed client populations
+// (steady legitimate traffic, flash crowds, pulsing attackers, rotating-IP
+// botnets, slow-and-low probers, reputation-poisoning warmups) and scores
+// each run against declared economic-asymmetry invariants.
+//
+// Two properties hold at once, and their combination is the point:
+//
+//   - Concurrency: within each simulated tick, events run across a pool
+//     of workers that call Decide/Observe concurrently, so every run
+//     exercises the framework's lock-striped hot path under realistic
+//     contention (and under the race detector in tests).
+//
+//   - Determinism: events shard onto workers by client IP, every random
+//     draw comes from a PRNG seeded by position (scenario seed ×
+//     population × tick × event) rather than by arrival order, per-worker
+//     results merge in fixed worker order, and time is a simulated clock.
+//     Two runs with the same seed produce byte-identical reports, which
+//     is what lets CI diff SIM_scenarios.json and gate on regressions.
+//
+// The engine deliberately has no server queueing model: internal/attack
+// (on the netsim event loop) measures overload collapse; this engine
+// measures the paper's central claim — who pays how much work for how much
+// service — under adversarial traffic mixes. Solving is modeled as the
+// same geometric process a real solver executes (netsim.SimSolver); with
+// Defense.RealSolve the engine additionally performs real nonce searches
+// and redeems them through Framework.Verify, exercising the cryptographic
+// path end to end at low difficulties.
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/metrics"
+	"aipow/internal/netsim"
+	"aipow/internal/puzzle"
+)
+
+// Default engine parameters.
+const (
+	// DefaultTick is the engine time step when Scenario.Tick is zero.
+	DefaultTick = 100 * time.Millisecond
+
+	// DefaultWorkers is the concurrency width when Scenario.Workers is
+	// zero. Events shard by IP across workers, so the width changes only
+	// scheduling, never results.
+	DefaultWorkers = 8
+)
+
+// outcome accumulates one (population, phase) cell's results. Workers each
+// own a private set; the engine merges them in worker order, so every
+// floating-point sum accumulates in the same order on every run.
+type outcome struct {
+	requests      uint64
+	challenged    uint64
+	bypassed      uint64
+	served        uint64
+	ignored       uint64
+	gaveUp        uint64
+	expired       uint64
+	rejected      uint64
+	scoreErrors   uint64
+	decideErrors  uint64
+	solveAttempts uint64
+	diffSum       uint64
+	diffHist      map[int]uint64
+	scoreSum      float64
+	latency       *metrics.Histogram // end-to-end served latency, ms
+	work          *metrics.Histogram // modeled hashes per solved request
+}
+
+func newOutcome() *outcome {
+	return &outcome{
+		diffHist: make(map[int]uint64),
+		latency:  metrics.NewLatencyHistogram(),
+		// Power-of-two buckets: 1 hash to ~2^40, matching the geometric
+		// solve process, so the median cost estimate is sharp.
+		work: metrics.NewHistogram(1, 2, 40),
+	}
+}
+
+// merge folds other into o (deterministic given call order).
+func (o *outcome) merge(other *outcome) {
+	o.requests += other.requests
+	o.challenged += other.challenged
+	o.bypassed += other.bypassed
+	o.served += other.served
+	o.ignored += other.ignored
+	o.gaveUp += other.gaveUp
+	o.expired += other.expired
+	o.rejected += other.rejected
+	o.scoreErrors += other.scoreErrors
+	o.decideErrors += other.decideErrors
+	o.solveAttempts += other.solveAttempts
+	o.diffSum += other.diffSum
+	for d, n := range other.diffHist {
+		o.diffHist[d] += n
+	}
+	o.scoreSum += other.scoreSum
+	o.latency.Merge(other.latency)
+	o.work.Merge(other.work)
+}
+
+// Result is one scenario's raw outcome: per-population, per-phase cells
+// plus the framework's own counters as a cross-check.
+type Result struct {
+	// Scenario echoes the (defaults-resolved) input.
+	Scenario Scenario
+
+	// Outcomes is indexed [population][phase].
+	Outcomes [][]*outcome
+
+	// FrameworkStats snapshots the framework's counters (issued,
+	// verified, rejected, bypassed, score_errors) after the run.
+	FrameworkStats map[string]float64
+}
+
+// event is one unit of simulated work, processed by the worker owning its
+// client IP.
+type event struct {
+	completion bool
+	pop        int
+	phase      int
+	client     int
+	ip         string
+	at         time.Duration // event time, offset from scenario start
+	seed       uint64        // per-event PRNG seed (arrivals)
+
+	// Completion-only fields.
+	sentAt time.Duration
+	verify bool // redeem sol through Framework.Verify (real-solve mode)
+	sol    puzzle.Solution
+}
+
+// worker owns a shard of the IP space: a calendar of future events and a
+// private outcome grid. Workers never touch each other's state, which is
+// what makes concurrent execution order-independent.
+type worker struct {
+	eng    *engine
+	future map[int][]event // tick index → events, processed in append order
+	out    [][]*outcome    // [population][phase]
+	solver *puzzle.Solver
+}
+
+// schedule queues ev at the tick containing its event time. Scheduling
+// into the worker's current tick is allowed (the tick loop re-checks its
+// queue length), so zero-delay completions land in the same tick.
+func (w *worker) schedule(tick int, ev event) {
+	w.future[tick] = append(w.future[tick], ev)
+}
+
+// engine is the per-run state.
+type engine struct {
+	sc       Scenario
+	fw       *core.Framework
+	clock    *Clock
+	tick     time.Duration
+	workers  []*worker
+	mask     uint32
+	ttl      time.Duration
+	phaseEnd []time.Duration // cumulative phase boundaries
+}
+
+// Run executes the scenario and returns its raw result. The run is
+// deterministic: equal scenarios (including Seed) produce equal results,
+// bit for bit, regardless of GOMAXPROCS or scheduling.
+func Run(sc Scenario) (*Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if sc.Tick == 0 {
+		sc.Tick = DefaultTick
+	}
+	if sc.Workers == 0 {
+		sc.Workers = DefaultWorkers
+	}
+	sc.Workers = ceilPow2(sc.Workers)
+	sc.Defense = sc.Defense.withDefaults(sc.Seed)
+
+	clock := NewClock(Epoch())
+	factory := sc.Factory
+	if factory == nil {
+		factory = BuildDefense(sc)
+	}
+	fw, err := factory(clock.Now)
+	if err != nil {
+		return nil, fmt.Errorf("sim: build defense for %q: %w", sc.Name, err)
+	}
+	if fw == nil {
+		return nil, fmt.Errorf("sim: scenario %q factory returned a nil framework", sc.Name)
+	}
+
+	eng := &engine{
+		sc:    sc,
+		fw:    fw,
+		clock: clock,
+		tick:  sc.Tick,
+		mask:  uint32(sc.Workers - 1),
+		ttl:   sc.Defense.TTL,
+	}
+	var cum time.Duration
+	for _, ph := range sc.Phases {
+		cum += ph.Duration
+		eng.phaseEnd = append(eng.phaseEnd, cum)
+	}
+	eng.workers = make([]*worker, sc.Workers)
+	for i := range eng.workers {
+		w := &worker{eng: eng, future: make(map[int][]event)}
+		w.out = make([][]*outcome, len(sc.Populations))
+		for p := range w.out {
+			w.out[p] = make([]*outcome, len(sc.Phases))
+			for ph := range w.out[p] {
+				w.out[p][ph] = newOutcome()
+			}
+		}
+		if sc.Defense.RealSolve {
+			w.solver = puzzle.NewSolver(puzzle.WithExtendedNonce())
+		}
+		eng.workers[i] = w
+	}
+
+	ticks := int((sc.Duration() + sc.Tick - 1) / sc.Tick)
+	for t := 0; t < ticks; t++ {
+		tickStart := time.Duration(t) * eng.tick
+		clock.Set(Epoch().Add(tickStart))
+		eng.generateArrivals(t, tickStart)
+		eng.runTick(t)
+	}
+	// Drain: keep ticking (no new arrivals) until every in-flight solve
+	// completes, so tail requests are served rather than silently cut off
+	// at the horizon. Jump straight to the next scheduled tick — a slow
+	// population's modeled solve can land millions of ticks out, and
+	// walking the empty ticks between events would take longer than the
+	// events themselves.
+	for {
+		t, ok := eng.nextPending(ticks)
+		if !ok {
+			break
+		}
+		clock.Set(Epoch().Add(time.Duration(t) * eng.tick))
+		eng.runTick(t)
+	}
+
+	res := &Result{Scenario: sc, FrameworkStats: fw.Stats()}
+	res.Outcomes = make([][]*outcome, len(sc.Populations))
+	for p := range res.Outcomes {
+		res.Outcomes[p] = make([]*outcome, len(sc.Phases))
+		for ph := range res.Outcomes[p] {
+			merged := newOutcome()
+			for _, w := range eng.workers { // fixed order: deterministic float sums
+				merged.merge(w.out[p][ph])
+			}
+			res.Outcomes[p][ph] = merged
+		}
+	}
+	return res, nil
+}
+
+// phaseOf reports the phase index containing offset t (clamped to the last
+// phase for drain-time completions).
+func (eng *engine) phaseOf(t time.Duration) int {
+	for i, end := range eng.phaseEnd {
+		if t < end {
+			return i
+		}
+	}
+	return len(eng.phaseEnd) - 1
+}
+
+// generateArrivals draws each population's tick-t arrivals and deals them
+// to their IP-owning workers. It runs single-threaded between ticks, and
+// every draw comes from a position-seeded PRNG, so the dealt queues are
+// identical on every run.
+func (eng *engine) generateArrivals(t int, tickStart time.Duration) {
+	phase := eng.phaseOf(tickStart)
+	ph := eng.sc.Phases[phase]
+	tickSec := eng.tick.Seconds()
+	for pi := range eng.sc.Populations {
+		p := &eng.sc.Populations[pi]
+		scale := 1.0
+		if s, ok := ph.RateScale[p.Name]; ok {
+			scale = s
+		}
+		lambda := float64(p.Clients) * p.Rate * scale * tickSec
+		if lambda <= 0 {
+			continue
+		}
+		rng := rand.New(rand.NewPCG(mix(eng.sc.Seed, uint64(pi)+1, uint64(t)+1), 0xA11CE5EED))
+		n := poisson(rng, lambda)
+		for i := 0; i < n; i++ {
+			client := rng.IntN(p.Clients)
+			addr := p.ipAt(pi, client, tickStart)
+			ev := event{
+				pop:    pi,
+				phase:  phase,
+				client: client,
+				ip:     addr,
+				at:     tickStart,
+				seed:   rng.Uint64(),
+			}
+			eng.workers[eng.workerFor(addr)].schedule(t, ev)
+		}
+	}
+}
+
+// workerFor shards an IP onto a worker by (unseeded, run-stable) FNV-1a.
+func (eng *engine) workerFor(ip string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(ip))
+	return h.Sum32() & eng.mask
+}
+
+// runTick executes every worker's tick-t queue concurrently. Workers only
+// append to their own calendars, so the barrier at the end of the tick is
+// the only synchronization the engine needs.
+func (eng *engine) runTick(t int) {
+	var wg sync.WaitGroup
+	for _, w := range eng.workers {
+		if len(w.future[t]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.runTick(t)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// nextPending reports the earliest tick (≥ floor) any worker still has
+// events scheduled for, and whether one exists.
+func (eng *engine) nextPending(floor int) (int, bool) {
+	best, found := 0, false
+	for _, w := range eng.workers {
+		for t := range w.future {
+			if t < floor {
+				t = floor // cannot happen (tickOf clamps), but stay safe
+			}
+			if !found || t < best {
+				best, found = t, true
+			}
+		}
+	}
+	return best, found
+}
+
+// runTick processes the worker's queue for tick t in append order. The
+// queue may grow while iterating (same-tick completions), so the loop
+// re-reads its length.
+func (w *worker) runTick(t int) {
+	for i := 0; i < len(w.future[t]); i++ {
+		ev := w.future[t][i]
+		if ev.completion {
+			w.complete(ev)
+		} else {
+			w.arrive(t, ev)
+		}
+	}
+	delete(w.future, t)
+}
+
+// arrive runs protocol steps 1–5 for one request: observe, decide, and —
+// per the population's behavior — model (or really perform) the solve and
+// schedule the completion.
+func (w *worker) arrive(t int, ev event) {
+	eng := w.eng
+	p := &eng.sc.Populations[ev.pop]
+	o := w.out[ev.pop][ev.phase]
+	o.requests++
+
+	rng := rand.New(rand.NewPCG(ev.seed, 0x5EEDFACE))
+	path := "/"
+	if len(p.Paths) > 0 {
+		path = p.Paths[rng.IntN(len(p.Paths))]
+	}
+	failed := p.FailRatio > 0 && rng.Float64() < p.FailRatio
+
+	now := eng.clock.Now()
+	_ = eng.fw.Observe(features.RequestInfo{IP: ev.ip, Path: path, At: now, Failed: failed})
+
+	dec, err := eng.fw.Decide(core.RequestContext{IP: ev.ip})
+	if err != nil {
+		o.decideErrors++
+		return
+	}
+	if dec.ScoreErr != nil {
+		o.scoreErrors++
+	}
+	o.scoreSum += dec.Score
+
+	net := eng.sc.Network
+	if dec.Bypassed {
+		o.bypassed++
+		done := ev
+		done.completion = true
+		done.sentAt = ev.at
+		done.at = ev.at + 2*net.OneWay + net.IssueTime
+		w.schedule(eng.tickOf(done.at, t), done)
+		return
+	}
+
+	o.challenged++
+	o.diffSum += uint64(dec.Difficulty)
+	o.diffHist[dec.Difficulty]++
+
+	switch p.Behavior {
+	case BehaviorIgnore:
+		o.ignored++
+		return
+	case BehaviorGiveUpAbove:
+		if dec.Difficulty > p.GiveUpAt {
+			o.gaveUp++
+			return
+		}
+	}
+
+	// The solve cost is always *modeled* from the same geometric process a
+	// real solver executes, so cost accounting stays deterministic even
+	// when RealSolve burns real hashes below.
+	attempts := netsim.SimSolver{HashRate: p.HashRate}.Attempts(dec.Difficulty, rng)
+	o.solveAttempts += uint64(attempts)
+	o.work.Observe(attempts)
+	solveTime := time.Duration(attempts / p.HashRate * float64(time.Second))
+
+	done := ev
+	done.completion = true
+	done.sentAt = ev.at
+	done.at = ev.at + 4*net.OneWay + net.IssueTime + net.VerifyTime + solveTime
+	if w.solver != nil {
+		sol, _, err := w.solver.Solve(context.Background(), dec.Challenge)
+		if err != nil {
+			o.decideErrors++
+			return
+		}
+		done.verify = true
+		done.sol = sol
+	}
+	w.schedule(eng.tickOf(done.at, t), done)
+}
+
+// complete runs steps 6–7: the solution lands at the server at simulated
+// time ev.at and the client is (or is not) served.
+func (w *worker) complete(ev event) {
+	eng := w.eng
+	o := w.out[ev.pop][ev.phase]
+	latency := ev.at - ev.sentAt
+	if ev.verify {
+		if err := eng.fw.Verify(ev.sol, ev.ip); err != nil {
+			if errors.Is(err, puzzle.ErrExpired) {
+				o.expired++
+			} else {
+				o.rejected++
+			}
+			return
+		}
+	} else if latency > eng.ttl {
+		// Modeled verification applies the same clock rule the real
+		// verifier would: a solve that outlived the challenge TTL is not
+		// redeemable. (Conservative: latency includes network crossings.)
+		o.expired++
+		return
+	}
+	o.served++
+	o.latency.ObserveDuration(latency)
+}
+
+// tickOf maps an event time to its tick index, clamped to never schedule
+// into the past relative to the currently-running tick.
+func (eng *engine) tickOf(at time.Duration, current int) int {
+	t := int(at / eng.tick)
+	if t < current {
+		t = current
+	}
+	return t
+}
+
+// mix derives a stream seed from positional coordinates via splitmix64,
+// so every (population, tick) pair gets an independent, order-free PRNG.
+func mix(parts ...uint64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, p := range parts {
+		h ^= p
+		h += 0x9E3779B97F4A7C15
+		z := h
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		h = z ^ (z >> 31)
+	}
+	return h
+}
+
+// poisson samples a Poisson(lambda) count: Knuth's product method for
+// small lambda, a rounded normal approximation beyond (where the product
+// method underflows and the approximation error is far below the
+// scenario-level noise floor).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		limit := math.Exp(-lambda)
+		k, prod := 0, rng.Float64()
+		for prod > limit {
+			k++
+			prod *= rng.Float64()
+		}
+		return k
+	}
+	n := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// ceilPow2 rounds n up to the next power of two (minimum 1).
+func ceilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}

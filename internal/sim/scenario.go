@@ -1,0 +1,374 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"aipow/internal/core"
+)
+
+// Behavior describes how a population's clients react to a challenge.
+type Behavior int
+
+// Challenge-response behaviors.
+const (
+	// BehaviorSolve always solves, whatever the difficulty.
+	BehaviorSolve Behavior = iota + 1
+
+	// BehaviorIgnore never solves: the population floods initial requests
+	// and walks away from every challenge.
+	BehaviorIgnore
+
+	// BehaviorGiveUpAbove solves puzzles at or below the population's
+	// GiveUpAt difficulty and abandons harder ones — the rational attacker
+	// bounding per-request spend.
+	BehaviorGiveUpAbove
+)
+
+// String renders the behavior for reports.
+func (b Behavior) String() string {
+	switch b {
+	case BehaviorSolve:
+		return "solve"
+	case BehaviorIgnore:
+		return "ignore"
+	case BehaviorGiveUpAbove:
+		return "giveup"
+	default:
+		return fmt.Sprintf("behavior(%d)", int(b))
+	}
+}
+
+// Feed describes what the static IP-intelligence feed knows about a
+// population's addresses when the scenario's defense is assembled.
+type Feed int
+
+// Feed profiles.
+const (
+	// FeedBenign registers the population's IPs with benign feed
+	// attributes — known-good addresses.
+	FeedBenign Feed = iota + 1
+
+	// FeedMalicious registers them with malicious family attributes —
+	// addresses the intelligence feed has already flagged.
+	FeedMalicious
+
+	// FeedUnknown leaves them out of the feed entirely: the store serves
+	// its fallback profile and only live behavior can raise suspicion.
+	// This is what a freshly-rotated botnet address looks like.
+	FeedUnknown
+)
+
+// String renders the feed profile for reports.
+func (f Feed) String() string {
+	switch f {
+	case FeedBenign:
+		return "benign"
+	case FeedMalicious:
+		return "malicious"
+	case FeedUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("feed(%d)", int(f))
+	}
+}
+
+// Population declares one homogeneous client group of a scenario.
+type Population struct {
+	// Name labels the population in reports and invariant references.
+	Name string
+
+	// Legit marks legitimate traffic; the complement is attack traffic.
+	// Class-level invariants (work_ratio) aggregate over this flag.
+	Legit bool
+
+	// Clients is the number of concurrently active clients.
+	Clients int
+
+	// Rate is each client's open-loop Poisson arrival rate in requests
+	// per second, before phase scaling.
+	Rate float64
+
+	// Behavior is the challenge response.
+	Behavior Behavior
+
+	// GiveUpAt is the maximum difficulty BehaviorGiveUpAbove will solve.
+	GiveUpAt int
+
+	// HashRate is each client's solver throughput (hashes/s). Required
+	// for solving behaviors.
+	HashRate float64
+
+	// Feed is what the static intelligence feed knows about the
+	// population's addresses.
+	Feed Feed
+
+	// IPPool is the number of distinct addresses the population draws
+	// from; zero defaults to Clients (one stable address each).
+	IPPool int
+
+	// RotateEvery makes the population shift to a fresh block of the pool
+	// this often — the rotating-botnet evasion. Zero disables rotation.
+	RotateEvery time.Duration
+
+	// Paths is the set of request paths clients draw from uniformly
+	// (entropy signal for the behavior tracker). Empty defaults to "/".
+	Paths []string
+
+	// FailRatio is the fraction of requests observed as failed (4xx-like
+	// behavioral signal), in [0, 1]. Probing populations set it high.
+	FailRatio float64
+}
+
+// validate rejects inconsistent populations.
+func (p Population) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("sim: population without a name")
+	}
+	if p.Clients <= 0 {
+		return fmt.Errorf("sim: population %q needs a positive client count, got %d", p.Name, p.Clients)
+	}
+	if p.Rate <= 0 {
+		return fmt.Errorf("sim: population %q needs a positive request rate, got %v", p.Name, p.Rate)
+	}
+	switch p.Behavior {
+	case BehaviorSolve, BehaviorGiveUpAbove:
+		if p.HashRate <= 0 {
+			return fmt.Errorf("sim: population %q solves but has hash rate %v", p.Name, p.HashRate)
+		}
+	case BehaviorIgnore:
+	default:
+		return fmt.Errorf("sim: population %q has unknown behavior %d", p.Name, int(p.Behavior))
+	}
+	switch p.Feed {
+	case FeedBenign, FeedMalicious, FeedUnknown:
+	default:
+		return fmt.Errorf("sim: population %q has unknown feed profile %d", p.Name, int(p.Feed))
+	}
+	if p.IPPool < 0 {
+		return fmt.Errorf("sim: population %q has negative IP pool", p.Name)
+	}
+	if p.RotateEvery < 0 {
+		return fmt.Errorf("sim: population %q has negative rotation interval", p.Name)
+	}
+	if p.FailRatio < 0 || p.FailRatio > 1 {
+		return fmt.Errorf("sim: population %q fail ratio %v outside [0, 1]", p.Name, p.FailRatio)
+	}
+	return nil
+}
+
+// poolSize reports the population's effective address pool.
+func (p Population) poolSize() int {
+	if p.IPPool > 0 {
+		return p.IPPool
+	}
+	return p.Clients
+}
+
+// Phase is one named window of a scenario's timeline. Phases run in
+// declaration order; the scenario's duration is their sum.
+type Phase struct {
+	// Name labels the phase in reports and invariant references.
+	Name string
+
+	// Duration is the phase's simulated length.
+	Duration time.Duration
+
+	// RateScale multiplies named populations' arrival rates during the
+	// phase: 0 switches a population off (the "off" half of a pulsing
+	// attack), large factors model flash crowds and strikes. Populations
+	// absent from the map run at their declared rate.
+	RateScale map[string]float64
+}
+
+// validate rejects inconsistent phases.
+func (ph Phase) validate(populations []Population) error {
+	if ph.Name == "" {
+		return fmt.Errorf("sim: phase without a name")
+	}
+	if ph.Duration <= 0 {
+		return fmt.Errorf("sim: phase %q needs a positive duration, got %v", ph.Name, ph.Duration)
+	}
+	for name, scale := range ph.RateScale {
+		if scale < 0 {
+			return fmt.Errorf("sim: phase %q scales %q by negative %v", ph.Name, name, scale)
+		}
+		found := false
+		for _, p := range populations {
+			if p.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sim: phase %q scales unknown population %q", ph.Name, name)
+		}
+	}
+	return nil
+}
+
+// Network models the client↔server path and server-side service times.
+// The engine has no queueing model — internal/attack covers overload
+// collapse; this engine measures cost asymmetry — so these terms only
+// shape end-to-end latency.
+type Network struct {
+	// OneWay is the one-way network delay per crossing (a full serve is
+	// four crossings: request, challenge, solution, response).
+	OneWay time.Duration
+
+	// IssueTime and VerifyTime are the server-side service times for
+	// challenge issuance and solution verification.
+	IssueTime, VerifyTime time.Duration
+}
+
+// validate rejects physically meaningless networks.
+func (n Network) validate() error {
+	if n.OneWay < 0 || n.IssueTime < 0 || n.VerifyTime < 0 {
+		return fmt.Errorf("sim: negative network delay or service time")
+	}
+	return nil
+}
+
+// FrameworkFactory builds the defense under test on the simulation clock.
+// The returned framework must route all time through now, or TTLs and
+// tracker windows would mix wall and simulated time.
+type FrameworkFactory func(now func() time.Time) (*core.Framework, error)
+
+// Scenario is one declarative adversarial experiment: a phased timeline, a
+// set of client populations, the network they cross, the defense under
+// test, and the invariants its outcome must satisfy.
+type Scenario struct {
+	// Name identifies the scenario in reports and -scenario filters.
+	Name string
+
+	// Description is a one-line summary for reports.
+	Description string
+
+	// Seed drives every random draw in the scenario. Equal seeds produce
+	// byte-identical reports.
+	Seed uint64
+
+	// Tick is the engine's time step (default 100 ms). Arrivals are
+	// generated per tick and the framework clock advances tick by tick;
+	// modeled latencies keep sub-tick resolution.
+	Tick time.Duration
+
+	// Workers is the engine's concurrency width (default 8, rounded up to
+	// a power of two). Events shard onto workers by client IP, so per-IP
+	// ordering — and therefore the report — is independent of scheduling.
+	Workers int
+
+	// Phases is the timeline. At least one phase is required; the
+	// scenario's duration is the sum of phase durations.
+	Phases []Phase
+
+	// Populations is the client mix. At least one is required.
+	Populations []Population
+
+	// Network shapes modeled latencies.
+	Network Network
+
+	// Defense configures the framework under test; used when Factory is
+	// nil.
+	Defense Defense
+
+	// Factory overrides Defense with a custom framework construction.
+	Factory FrameworkFactory `json:"-"`
+
+	// Invariants are the asymmetry bounds the outcome must satisfy; any
+	// violation fails the scenario (and the CI gate).
+	Invariants []Invariant
+}
+
+// Duration reports the scenario's total simulated time span.
+func (sc Scenario) Duration() time.Duration {
+	var d time.Duration
+	for _, ph := range sc.Phases {
+		d += ph.Duration
+	}
+	return d
+}
+
+// TotalIPs reports the size of the scenario's address universe, the figure
+// tracker capacity is sized from.
+func (sc Scenario) TotalIPs() int {
+	total := 0
+	for _, p := range sc.Populations {
+		total += p.poolSize()
+	}
+	return total
+}
+
+// validate rejects inconsistent scenarios.
+func (sc Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("sim: scenario without a name")
+	}
+	if len(sc.Phases) == 0 {
+		return fmt.Errorf("sim: scenario %q has no phases", sc.Name)
+	}
+	if len(sc.Populations) == 0 {
+		return fmt.Errorf("sim: scenario %q has no populations", sc.Name)
+	}
+	if sc.Tick < 0 {
+		return fmt.Errorf("sim: scenario %q has negative tick", sc.Name)
+	}
+	if sc.Workers < 0 {
+		return fmt.Errorf("sim: scenario %q has negative worker count", sc.Name)
+	}
+	seen := map[string]bool{}
+	for _, p := range sc.Populations {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("sim: duplicate population %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, ph := range sc.Phases {
+		if err := ph.validate(sc.Populations); err != nil {
+			return err
+		}
+	}
+	if err := sc.Network.validate(); err != nil {
+		return err
+	}
+	for i, inv := range sc.Invariants {
+		if err := inv.validate(sc); err != nil {
+			return fmt.Errorf("sim: scenario %q invariant %d: %w", sc.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// ip reports population pop's address k. Populations get disjoint /8-ish
+// blocks so no two populations ever share an address.
+func ip(pop, k int) string {
+	return fmt.Sprintf("10.%d.%d.%d", pop, k/250, k%250+1)
+}
+
+// PopulationIPs lists the address pool of population index i, the set the
+// defense builder registers feed attributes for.
+func (sc Scenario) PopulationIPs(i int) []string {
+	p := sc.Populations[i]
+	out := make([]string, p.poolSize())
+	for k := range out {
+		out[k] = ip(i, k)
+	}
+	return out
+}
+
+// ipAt reports client c's address during tick t: stable without rotation,
+// otherwise the pool block shifted by Clients every RotateEvery — each
+// rotation lands the whole population on previously-idle addresses until
+// the pool wraps.
+func (p Population) ipAt(popIdx, client int, tickStart time.Duration) string {
+	pool := p.poolSize()
+	k := client % pool
+	if p.RotateEvery > 0 {
+		rotations := int(tickStart / p.RotateEvery)
+		k = (client + rotations*p.Clients) % pool
+	}
+	return ip(popIdx, k)
+}

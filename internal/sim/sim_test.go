@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testNetwork is a fast network for unit scenarios.
+func testNetwork() Network {
+	return Network{OneWay: 5 * time.Millisecond, IssueTime: 300 * time.Microsecond, VerifyTime: 300 * time.Microsecond}
+}
+
+// TestSuiteInvariantsHold is the scenario-table regression gate: every
+// suite scenario runs end to end (at reduced scale, so -race stays fast)
+// and every declared asymmetry invariant must hold. A failure here means a
+// change eroded the defense quality the suite pins down.
+func TestSuiteInvariantsHold(t *testing.T) {
+	for _, sc := range DefaultSuite(4, 0.2) {
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			invs, pass := res.Evaluate()
+			for _, inv := range invs {
+				if !inv.Pass {
+					bounds := ""
+					if inv.Min != nil {
+						bounds += fmt.Sprintf(" min=%g", *inv.Min)
+					}
+					if inv.Max != nil {
+						bounds += fmt.Sprintf(" max=%g", *inv.Max)
+					}
+					t.Errorf("invariant %s violated: value=%v%s", inv.Name, inv.Value, bounds)
+				}
+			}
+			if !pass {
+				t.Error("scenario failed")
+			}
+
+			// Cross-check the engine's accounting against the framework's
+			// own counters: every challenge the engine saw was issued by
+			// the framework.
+			total, _ := res.scope("", "")
+			if issued := uint64(res.FrameworkStats["issued"]); issued != total.challenged {
+				t.Errorf("framework issued %d, engine challenged %d", issued, total.challenged)
+			}
+			if total.decideErrors != 0 {
+				t.Errorf("decide errors: %d", total.decideErrors)
+			}
+			if sc.Defense.RealSolve {
+				if verified := uint64(res.FrameworkStats["verified"]); verified != total.served {
+					t.Errorf("real-solve: framework verified %d, engine served %d", verified, total.served)
+				}
+			}
+		})
+	}
+}
+
+// TestRunDeterministic runs one multi-population, multi-phase scenario
+// several times and demands byte-identical reports — the property the CI
+// diff gate depends on.
+func TestRunDeterministic(t *testing.T) {
+	scenario := func() Scenario {
+		return Scenario{
+			Name: "determinism",
+			Seed: 99,
+			Phases: []Phase{
+				{Name: "calm", Duration: 5 * time.Second},
+				{Name: "burst", Duration: 5 * time.Second, RateScale: map[string]float64{"bots": 5}},
+			},
+			Populations: []Population{
+				{Name: "users", Legit: true, Clients: 20, Rate: 1,
+					Behavior: BehaviorSolve, HashRate: 27000, Feed: FeedBenign},
+				{Name: "bots", Clients: 40, Rate: 2,
+					Behavior: BehaviorSolve, HashRate: 27000, Feed: FeedMalicious,
+					IPPool: 120, RotateEvery: 2 * time.Second, FailRatio: 0.3,
+					Paths: []string{"/a", "/b"}},
+			},
+			Network: testNetwork(),
+			Defense: Defense{SaturationRate: 3, TrackerWindow: 5 * time.Second},
+		}
+	}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		res, err := Run(scenario())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		rep := res.Report()
+		buf, err := (&SuiteReport{Scenarios: []ScenarioReport{rep}}).Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if i == 0 {
+			first = buf
+			if rep.Populations[0].Outcome.Served == 0 || rep.Populations[1].Outcome.Served == 0 {
+				t.Fatal("determinism scenario served nothing; it is not exercising the pipeline")
+			}
+			continue
+		}
+		if string(buf) != string(first) {
+			t.Fatalf("run %d produced a different report", i)
+		}
+	}
+}
+
+// TestPhaseRateScale verifies that a zero phase scale switches a
+// population off and a large one scales it up, with outcomes attributed to
+// the right phase.
+func TestPhaseRateScale(t *testing.T) {
+	res, err := Run(Scenario{
+		Name: "phases",
+		Seed: 7,
+		Phases: []Phase{
+			{Name: "off", Duration: 5 * time.Second, RateScale: map[string]float64{"bots": 0}},
+			{Name: "on", Duration: 5 * time.Second},
+		},
+		Populations: []Population{
+			{Name: "bots", Clients: 30, Rate: 2, Behavior: BehaviorIgnore, Feed: FeedUnknown},
+		},
+		Network: testNetwork(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outcomes[0][0].requests; got != 0 {
+		t.Errorf("off phase saw %d requests, want 0", got)
+	}
+	on := res.Outcomes[0][1].requests
+	if on < 200 || on > 400 { // Poisson mean 300
+		t.Errorf("on phase saw %d requests, want ≈300", on)
+	}
+	if served := res.Outcomes[0][1].served; served != 0 {
+		t.Errorf("ignoring population was served %d times", served)
+	}
+	if ignored := res.Outcomes[0][1].ignored; ignored != on {
+		t.Errorf("ignored = %d, want %d (all challenged walked away)", ignored, on)
+	}
+}
+
+// TestModeledTTLExpiry verifies the engine applies the challenge TTL to
+// modeled verification: a hash rate too slow for the difficulty means the
+// solve outlives the challenge.
+func TestModeledTTLExpiry(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:   "expiry",
+		Seed:   3,
+		Phases: []Phase{{Name: "all", Duration: 5 * time.Second}},
+		Populations: []Population{
+			// ~2^14 hashes at 100 h/s ≈ 160 s ≫ the 2 s TTL.
+			{Name: "slow", Legit: true, Clients: 5, Rate: 1,
+				Behavior: BehaviorSolve, HashRate: 100, Feed: FeedMalicious},
+		},
+		Network: testNetwork(),
+		Defense: Defense{TTL: 2 * time.Second, Policy: "fixed(difficulty=14)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Outcomes[0][0]
+	if o.expired == 0 {
+		t.Fatalf("no expiries despite solve time ≫ TTL (served=%d)", o.served)
+	}
+	if o.served > o.expired/10 {
+		t.Errorf("served %d vs expired %d: expiry modeling is not biting", o.served, o.expired)
+	}
+}
+
+// TestDrainJumpsToPendingTick guards the drain fast path: a 1 hash/s
+// population on a difficulty-22 puzzle schedules completions millions of
+// ticks past the horizon, and the drain must jump straight to them rather
+// than walk every empty tick (which would hang for minutes).
+func TestDrainJumpsToPendingTick(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:   "drain",
+		Seed:   11,
+		Phases: []Phase{{Name: "all", Duration: time.Second}},
+		Populations: []Population{
+			{Name: "glacial", Legit: true, Clients: 3, Rate: 2,
+				Behavior: BehaviorSolve, HashRate: 1, Feed: FeedUnknown},
+		},
+		Network: testNetwork(),
+		Defense: Defense{Policy: "fixed(difficulty=22)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Outcomes[0][0]
+	if o.requests == 0 {
+		t.Fatal("no requests generated")
+	}
+	// Every solve outlives the TTL by orders of magnitude; what matters is
+	// that the run completed and accounted for all of them.
+	if o.expired+o.served != o.challenged {
+		t.Errorf("challenged %d but expired %d + served %d", o.challenged, o.expired, o.served)
+	}
+	if o.expired == 0 {
+		t.Error("glacial solves should expire")
+	}
+}
+
+// TestRotationShiftsAddresses verifies rotating populations actually move
+// through their pool and stable ones do not.
+func TestRotationShiftsAddresses(t *testing.T) {
+	stable := Population{Clients: 10}
+	if got := stable.ipAt(0, 3, 0); got != stable.ipAt(0, 3, 50*time.Second) {
+		t.Errorf("stable population rotated: %s", got)
+	}
+	rot := Population{Clients: 10, IPPool: 40, RotateEvery: 10 * time.Second}
+	first := rot.ipAt(1, 3, 0)
+	second := rot.ipAt(1, 3, 10*time.Second)
+	if first == second {
+		t.Errorf("rotation did not move the address (%s)", first)
+	}
+	if got := rot.ipAt(1, 3, 9*time.Second); got != first {
+		t.Errorf("address moved mid-interval: %s vs %s", got, first)
+	}
+}
+
+// TestScenarioValidation spot-checks the declarative validation errors.
+func TestScenarioValidation(t *testing.T) {
+	base := func() Scenario {
+		return Scenario{
+			Name:   "v",
+			Phases: []Phase{{Name: "p", Duration: time.Second}},
+			Populations: []Population{{
+				Name: "a", Clients: 1, Rate: 1, Behavior: BehaviorIgnore, Feed: FeedUnknown,
+			}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"no_phases", func(sc *Scenario) { sc.Phases = nil }},
+		{"no_populations", func(sc *Scenario) { sc.Populations = nil }},
+		{"dup_population", func(sc *Scenario) { sc.Populations = append(sc.Populations, sc.Populations[0]) }},
+		{"bad_scale_target", func(sc *Scenario) { sc.Phases[0].RateScale = map[string]float64{"nope": 2} }},
+		{"solver_without_hashrate", func(sc *Scenario) { sc.Populations[0].Behavior = BehaviorSolve }},
+		{"bad_fail_ratio", func(sc *Scenario) { sc.Populations[0].FailRatio = 1.5 }},
+		{"unknown_metric", func(sc *Scenario) {
+			sc.Invariants = []Invariant{AtLeast("nonsense", "", "", 1)}
+		}},
+		{"unbounded_invariant", func(sc *Scenario) {
+			sc.Invariants = []Invariant{{Metric: MetricServed}}
+		}},
+		{"work_ratio_with_population", func(sc *Scenario) {
+			sc.Invariants = []Invariant{AtLeast(MetricWorkRatio, "a", "", 1)}
+		}},
+		{"unknown_invariant_population", func(sc *Scenario) {
+			sc.Invariants = []Invariant{AtLeast(MetricServed, "ghost", "", 1)}
+		}},
+		{"unknown_invariant_phase", func(sc *Scenario) {
+			sc.Invariants = []Invariant{AtLeast(MetricServed, "a", "ghost", 1)}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			if _, err := Run(sc); err == nil {
+				t.Fatal("expected a validation error")
+			}
+		})
+	}
+}
+
+// TestInvariantEvaluation exercises the bound logic on a crafted result.
+func TestInvariantEvaluation(t *testing.T) {
+	sc := Scenario{
+		Name:   "inv",
+		Phases: []Phase{{Name: "p", Duration: 10 * time.Second}},
+		Populations: []Population{
+			{Name: "good", Legit: true, Clients: 1, Rate: 1, Behavior: BehaviorIgnore, Feed: FeedUnknown},
+			{Name: "bad", Clients: 1, Rate: 1, Behavior: BehaviorIgnore, Feed: FeedUnknown},
+		},
+	}
+	good, bad := newOutcome(), newOutcome()
+	good.requests, good.served, good.solveAttempts = 100, 100, 1000
+	bad.requests, bad.served, bad.solveAttempts = 100, 50, 50000
+	res := &Result{Scenario: sc, Outcomes: [][]*outcome{{good}, {bad}}}
+
+	check := func(inv Invariant, wantValue float64, wantPass bool) {
+		t.Helper()
+		res.Scenario.Invariants = []Invariant{inv}
+		got, _ := res.Evaluate()
+		if got[0].Value != wantValue || got[0].Pass != wantPass {
+			t.Errorf("%s: got (%v, %v), want (%v, %v)",
+				got[0].Name, got[0].Value, got[0].Pass, wantValue, wantPass)
+		}
+	}
+	// attacker cost/served = 1000, legit = 10 → ratio 100.
+	check(AtLeast(MetricWorkRatio, "", "", 50), 100, true)
+	check(AtLeast(MetricWorkRatio, "", "", 200), 100, false)
+	check(AtMost(MetricServedFrac, "bad", "", 0.4), 0.5, false)
+	check(AtLeast(MetricServedFrac, ClassLegit, "", 0.99), 1, true)
+	check(AtMost(MetricGoodput, ClassAttackers, "", 10), 5, true)
+	check(AtLeast(MetricRequests, "", "", 200), 200, true)
+}
+
+// TestClock verifies the simulated clock's contract.
+func TestClock(t *testing.T) {
+	start := Epoch()
+	c := NewClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after Advance: %v", got)
+	}
+	c.Set(start) // backward: ignored
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Set moved the clock backward to %v", got)
+	}
+	c.Advance(-time.Second) // negative: ignored
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("negative Advance moved the clock to %v", got)
+	}
+}

@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"time"
+)
+
+// Simulation-wide calibration, matching internal/experiments: a
+// script-grade solver and the paper's ~31 ms four-crossing round trip.
+const (
+	suiteHashRate = 27000 // hashes/s
+	suiteOneWay   = 7750 * time.Microsecond
+	suiteService  = 300 * time.Microsecond
+)
+
+// suiteNetwork is the network every suite scenario crosses.
+func suiteNetwork() Network {
+	return Network{OneWay: suiteOneWay, IssueTime: suiteService, VerifyTime: suiteService}
+}
+
+// scalePop shrinks a population for -quick runs, keeping per-client rates
+// (and therefore all per-IP dynamics, difficulties, and latencies)
+// untouched: only population-level counts shrink.
+func scalePop(n int, scale float64) int {
+	if scale >= 1 {
+		return n
+	}
+	s := int(float64(n) * scale)
+	if s < 8 {
+		s = 8
+	}
+	return s
+}
+
+// DefaultSuite is the canonical adversarial scenario set the CI gate runs:
+// eight deterministic scenarios spanning the traffic mixes the ROADMAP
+// asks for. scale < 1 (the CLI's -quick) shrinks population sizes without
+// changing per-client dynamics, so invariant bounds hold at every scale.
+func DefaultSuite(seed uint64, scale float64) []Scenario {
+	net := suiteNetwork()
+	scs := []Scenario{
+		{
+			Name:        "steady-state",
+			Description: "benign-only baseline: known-good users pay near-zero",
+			Phases:      []Phase{{Name: "steady", Duration: 60 * time.Second}},
+			Populations: []Population{{
+				Name: "users", Legit: true, Clients: scalePop(100, scale), Rate: 0.3,
+				Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				Paths: []string{"/", "/search", "/account"},
+			}},
+			Defense: Defense{SaturationRate: 4},
+			Invariants: []Invariant{
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP50, "users", "", 60),
+				AtMost(MetricLatencyP90, "users", "", 800),
+				AtMost(MetricLatencyP99, "users", "", 4000),
+				AtMost(MetricMeanDifficulty, "users", "", 9.5),
+				AtMost(MetricMeanScore, "users", "", 4),
+				AtMost(MetricCostP50, "users", "", 400),
+				AtMost(MetricDecideErrors, "users", "", 0),
+			},
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "legitimate demand surge: 8x arrival spike must not be mistaken for an attack",
+			Phases: []Phase{
+				{Name: "calm", Duration: 20 * time.Second},
+				{Name: "surge", Duration: 20 * time.Second, RateScale: map[string]float64{"users": 8}},
+				{Name: "cooldown", Duration: 20 * time.Second},
+			},
+			Populations: []Population{{
+				Name: "users", Legit: true, Clients: scalePop(100, scale), Rate: 0.25,
+				Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				Paths: []string{"/", "/sale"},
+			}},
+			Defense: Defense{SaturationRate: 6},
+			Invariants: []Invariant{
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP90, "users", "surge", 800),
+				AtMost(MetricLatencyP99, "users", "surge", 4000),
+				AtMost(MetricMeanDifficulty, "users", "surge", 10),
+			},
+		},
+		{
+			Name:        "pulsing-botnet",
+			Description: "on-off flood: known-bad bots pulse to dodge rate defenses but pay on every pulse",
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"pulse-bots": 0}},
+				{Name: "pulse1", Duration: 15 * time.Second},
+				{Name: "quiet", Duration: 15 * time.Second, RateScale: map[string]float64{"pulse-bots": 0}},
+				{Name: "pulse2", Duration: 15 * time.Second},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "pulse-bots", Clients: scalePop(300, scale), Rate: 2,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{SaturationRate: 3},
+			Invariants: []Invariant{
+				AtLeast(MetricWorkRatioP50, "", "", 12),
+				AtLeast(MetricWorkRatio, "", "", 3),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP90, "users", "", 800),
+				AtLeast(MetricMeanDifficulty, "pulse-bots", "", 11),
+			},
+		},
+		{
+			Name:        "rotating-botnet",
+			Description: "feed-unknown bots rotate IPs to shed behavioral history; the rate window re-catches each block",
+			Phases:      []Phase{{Name: "attack", Duration: 60 * time.Second}},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "rotating-bots", Clients: scalePop(150, scale), Rate: 3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedUnknown,
+					IPPool: scalePop(150, scale) * 20, RotateEvery: 10 * time.Second,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{SaturationRate: 2, TrackerWindow: 10 * time.Second},
+			Invariants: []Invariant{
+				AtLeast(MetricWorkRatioP50, "", "", 8),
+				AtLeast(MetricWorkRatio, "", "", 2.5),
+				AtLeast(MetricMeanDifficulty, "rotating-bots", "", 10),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP90, "users", "", 800),
+			},
+		},
+		{
+			Name:        "slow-and-low",
+			Description: "feed-flagged probers hide under the rate radar; static intelligence still prices them out",
+			Phases:      []Phase{{Name: "probe", Duration: 90 * time.Second}},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(80, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "probers", Clients: scalePop(400, scale), Rate: 0.05,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths:     []string{"/admin", "/wp-login.php", "/.env", "/backup.sql", "/api/keys"},
+					FailRatio: 0.4,
+				},
+			},
+			Defense: Defense{SaturationRate: 4},
+			Invariants: []Invariant{
+				AtLeast(MetricWorkRatioP50, "", "", 20),
+				AtLeast(MetricWorkRatio, "", "", 2),
+				AtLeast(MetricMeanDifficulty, "probers", "", 11),
+				AtLeast(MetricCostP50, "probers", "", 2000),
+				AtMost(MetricLatencyP90, "users", "", 1000),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+			},
+		},
+		{
+			Name:        "poison-warmup",
+			Description: "clean-feed bots warm up politely, then strike: the rate window reprices them mid-strike",
+			Phases: []Phase{
+				{Name: "warmup", Duration: 30 * time.Second},
+				{Name: "strike", Duration: 30 * time.Second, RateScale: map[string]float64{"sleeper-bots": 40}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "sleeper-bots", Clients: scalePop(200, scale), Rate: 0.2,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+					Paths: []string{"/checkout"},
+				},
+			},
+			Defense: Defense{SaturationRate: 3, TrackerWindow: 15 * time.Second},
+			Invariants: []Invariant{
+				AtLeast(MetricMeanDifficulty, "sleeper-bots", "strike", 12),
+				AtLeast(MetricWorkRatioP50, "", "strike", 30),
+				AtLeast(MetricWorkRatio, "", "strike", 5),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP90, "users", "", 800),
+			},
+		},
+		{
+			Name:        "challenge-dodgers",
+			Description: "issuance flood: bots that never solve get zero service at high asking price",
+			Phases:      []Phase{{Name: "flood", Duration: 45 * time.Second}},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "dodgers", Clients: scalePop(500, scale), Rate: 4,
+					Behavior: BehaviorIgnore, Feed: FeedMalicious,
+					Paths: []string{"/"},
+				},
+			},
+			Defense: Defense{SaturationRate: 3},
+			Invariants: []Invariant{
+				AtMost(MetricServed, "dodgers", "", 0),
+				AtMost(MetricSolveAttempts, "dodgers", "", 0),
+				AtLeast(MetricMeanDifficulty, "dodgers", "", 12),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP90, "users", "", 800),
+			},
+		},
+		{
+			Name:        "real-crypto-smoke",
+			Description: "end-to-end cryptographic path: real nonce searches redeemed through Verify",
+			Phases:      []Phase{{Name: "steady", Duration: 10 * time.Second}},
+			Populations: []Population{{
+				Name: "users", Legit: true, Clients: scalePop(20, scale), Rate: 0.5,
+				Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+			}},
+			Defense: Defense{Policy: "policy1", MaxDifficulty: 10, RealSolve: true},
+			Invariants: []Invariant{
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricExpired, "users", "", 0),
+				AtMost(MetricDecideErrors, "users", "", 0),
+				AtMost(MetricLatencyP99, "users", "", 300),
+			},
+		},
+	}
+	for i := range scs {
+		scs[i].Seed = seed
+		scs[i].Network = net
+	}
+	return scs
+}
+
+// SuiteNames lists the default suite's scenario names, for -scenario
+// filter validation and docs.
+func SuiteNames() []string {
+	names := make([]string, 0, 8)
+	for _, sc := range DefaultSuite(1, 1) {
+		names = append(names, sc.Name)
+	}
+	return names
+}
