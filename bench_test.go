@@ -269,6 +269,47 @@ func BenchmarkDecideParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkDecideUnderSwap measures the decision path while a background
+// goroutine hot-swaps the policy through Framework.Swap at a realistic
+// control-plane cadence (~1 kHz, far above any real operator's). The
+// serving path must stay allocation-free and within a few percent of the
+// plain Decide figure: Decide reads the configuration with one atomic
+// snapshot load, so swap churn costs it nothing.
+func BenchmarkDecideUnderSwap(b *testing.B) {
+	fw := benchFramework(b)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pol := aipow.Policy2()
+			if i%2 == 1 {
+				pol = aipow.Policy1()
+			}
+			if err := fw.SwapPolicy(pol); err != nil {
+				b.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkVerifyParallel measures concurrent solution verification (no
 // replay cache, matching BenchmarkAsymmetryVerify's pure-verification
 // setup).

@@ -15,8 +15,8 @@
 //
 // -compare is the CI regression gate: after measuring, the run is diffed
 // against the baseline file and the process exits non-zero when a gated
-// benchmark (Decide, Verify, Issue) allocates at all or slows down by more
-// than -max-regress.
+// benchmark (Decide, DecideUnderSwap, Verify, Issue) allocates at all or
+// slows down by more than -max-regress.
 package main
 
 import (
@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"aipow"
 )
@@ -36,9 +37,11 @@ import (
 var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
 
 // gated are the benchmarks -compare fails the build on: the serving hot
-// path that PR 1 made allocation-free. Parallel/scaling entries are
-// informational (their ns/op depends on core count).
-var gated = []string{"Decide", "Verify", "Issue"}
+// path that PR 1 made allocation-free, plus Decide under control-plane
+// swap churn (PR 3's RCU snapshot redesign must not give the allocation
+// freedom back). Parallel/scaling entries are informational (their ns/op
+// depends on core count).
+var gated = []string{"Decide", "DecideUnderSwap", "Verify", "Issue"}
 
 // result is one benchmark's stable, diffable summary.
 type result struct {
@@ -187,6 +190,48 @@ func run(out, cpuSpec, compare, maxRegress string) error {
 				}
 			})),
 			"DecideParallel": summarize(testing.Benchmark(decideParallel)),
+			// Decide while a background goroutine hot-swaps the policy at
+			// ~1 kHz: the RCU snapshot design means swap churn must cost
+			// the serving path nothing — same ns/op class, still zero
+			// allocations. Gated like Decide.
+			"DecideUnderSwap": summarize(testing.Benchmark(func(b *testing.B) {
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						pol := aipow.Policy2()
+						if i%2 == 1 {
+							pol = aipow.Policy1()
+						}
+						if err := fw.SwapPolicy(pol); err != nil {
+							b.Error(err)
+							return
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				close(stop)
+				<-done
+				// Leave the framework on the baseline policy for any
+				// benchmark measured after this one.
+				if err := fw.SwapPolicy(aipow.Policy2()); err != nil {
+					b.Fatal(err)
+				}
+			})),
 			"Issue": summarize(testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {

@@ -1,37 +1,64 @@
 // Command powserver runs an HTTP server protected by the AI-assisted PoW
-// framework. With no flags it synthesizes an intelligence feed, trains the
-// reputation model, and serves a demo endpoint on :8080:
+// framework, driven by the runtime control plane. With no flags it
+// synthesizes an intelligence feed, trains the reputation model, wires a
+// single-pipeline deployment from the -policy flag, and serves a demo
+// endpoint on :8080:
 //
 //	powserver
 //	powserver -addr :9000 -policy 'policy3(epsilon=2.5)'
 //	powserver -feed feed.csv -model model.json -key $(openssl rand -hex 32)
+//	powserver -spec deploy.spec -admin 127.0.0.1:8081
+//
+// With -spec the whole deployment — per-route pipelines, policies,
+// scorers, limits — comes from a declarative spec file (see SPEC.md for
+// the grammar). The deployment reconfigures live, without dropping a
+// request, through either channel:
+//
+//   - SIGHUP re-reads the -spec file and applies it;
+//   - the -admin listener accepts POST /apply with a spec body, and
+//     serves GET /spec (current deployment) and GET /stats (per-pipeline
+//     counters).
+//
+// Spec-named components: scorers "dabr" (the trained reputation model)
+// and "rate(saturation=N)" (kaPoW-style request-rate scorer); sources
+// "feed" (static store), "tracker" (live behavior), "combined" (both).
 //
 // Endpoints: every path is protected; GET /healthz is exempt.
 package main
 
 import (
 	"encoding/hex"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sync"
+	"syscall"
 	"time"
 
 	"aipow"
+	"aipow/internal/baseline"
 	"aipow/internal/dataset"
+	"aipow/internal/policy"
 	"aipow/internal/reputation"
 )
 
 func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", ":8080", "listen address")
-	policySpec := flag.String("policy", "policy2", "policy spec (policy1, policy2, policy3(epsilon=2.5), fixed(difficulty=8), …)")
+	adminAddr := flag.String("admin", "", "control-plane listen address (empty disables; bind privately)")
+	specPath := flag.String("spec", "", "deployment spec file (text DSL or JSON; overrides -policy/-bypass)")
+	policySpec := flag.String("policy", "policy2", "policy spec for the default single-pipeline deployment")
 	keyHex := flag.String("key", "", "hex HMAC key (≥32 hex chars); random demo key when empty")
 	feedPath := flag.String("feed", "", "IP attribute feed CSV (dabr generate); synthetic demo feed when empty")
 	modelPath := flag.String("model", "", "trained model JSON (dabr train); trains on the feed when empty")
 	bypass := flag.Float64("bypass", -1, "bypass puzzles for scores below this (negative disables)")
 	trustHeader := flag.String("trust-ip-header", "", "trust this header for client IPs (behind a proxy only)")
+	tenantHeader := flag.String("tenant-header", "", "trust this header as the tenant routing key (behind a proxy only)")
 	flag.Parse()
 
 	key, err := resolveKey(*keyHex)
@@ -50,30 +77,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
-	tracker, err := aipow.NewTracker()
-	if err != nil {
-		log.Fatalf("powserver: %v", err)
-	}
-	source, err := aipow.NewCombinedSource(store, tracker)
-	if err != nil {
-		log.Fatalf("powserver: %v", err)
-	}
-	pol, err := aipow.NewPolicyRegistry().New(*policySpec)
+	registry, err := buildRegistry(key, model, store)
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
 
-	opts := []aipow.Option{
-		aipow.WithKey(key),
-		aipow.WithScorer(model),
-		aipow.WithPolicy(pol),
-		aipow.WithSource(source),
-		aipow.WithTracker(tracker),
+	dep, err := resolveDeployment(*specPath, *policySpec, *bypass)
+	if err != nil {
+		log.Fatalf("powserver: %v", err)
 	}
-	if *bypass >= 0 {
-		opts = append(opts, aipow.WithBypassBelow(*bypass))
-	}
-	fw, err := aipow.New(opts...)
+	gk, err := aipow.NewGatekeeper(registry, dep)
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
@@ -86,7 +99,10 @@ func main() {
 	if *trustHeader != "" {
 		mwOpts = append(mwOpts, aipow.WithTrustedIPHeader(*trustHeader))
 	}
-	protected, err := aipow.NewHTTPMiddleware(fw, app, mwOpts...)
+	if *tenantHeader != "" {
+		mwOpts = append(mwOpts, aipow.WithTenantHeader(*tenantHeader))
+	}
+	protected, err := aipow.NewRoutedHTTPMiddleware(gk, app, mwOpts...)
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
@@ -97,8 +113,170 @@ func main() {
 	})
 	root.Handle("/", protected)
 
-	log.Printf("powserver: policy %s, %d feed IPs, listening on %s", pol.Name(), store.Len(), *addr)
+	if *specPath != "" {
+		reloadOnSIGHUP(gk, *specPath)
+	}
+	if *adminAddr != "" {
+		go serveAdmin(*adminAddr, gk)
+	}
+
+	log.Printf("powserver: pipelines %v, %d feed IPs, listening on %s", gk.Names(), store.Len(), *addr)
 	server := &http.Server{Addr: *addr, Handler: root, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(server.ListenAndServe())
+}
+
+// buildRegistry assembles the component registry the spec's names resolve
+// against: the trained model and the feed store become spec-addressable
+// components sharing one tracker and key across all pipelines.
+func buildRegistry(key []byte, model *reputation.Model, store *aipow.MapStore) (*aipow.ComponentRegistry, error) {
+	tracker, err := aipow.NewTracker()
+	if err != nil {
+		return nil, err
+	}
+	registry, err := aipow.NewComponentRegistry(key, aipow.WithSharedTracker(tracker))
+	if err != nil {
+		return nil, err
+	}
+	if err := registry.RegisterScorer("dabr", func(params map[string]float64) (aipow.Scorer, error) {
+		if err := policy.RejectUnknownParams(params); err != nil {
+			return nil, err
+		}
+		return model, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := registry.RegisterScorer("rate", func(params map[string]float64) (aipow.Scorer, error) {
+		if err := policy.RejectUnknownParams(params, "saturation"); err != nil {
+			return nil, err
+		}
+		saturation, ok := params["saturation"]
+		if !ok {
+			return nil, fmt.Errorf("rate requires saturation=<req/s>")
+		}
+		rs, err := baseline.NewRateScorer(saturation)
+		if err != nil {
+			return nil, err
+		}
+		return rs, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := registry.RegisterSource("feed", func(params map[string]float64, _ *aipow.Tracker) (aipow.AttributeSource, error) {
+		if err := policy.RejectUnknownParams(params); err != nil {
+			return nil, err
+		}
+		return store, nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := registry.RegisterSource("combined", func(params map[string]float64, tracker *aipow.Tracker) (aipow.AttributeSource, error) {
+		if err := policy.RejectUnknownParams(params); err != nil {
+			return nil, err
+		}
+		return aipow.NewCombinedSource(store, tracker)
+	}); err != nil {
+		return nil, err
+	}
+	return registry, nil
+}
+
+// resolveDeployment loads the spec file, or synthesizes the classic
+// single-pipeline deployment from the -policy/-bypass flags.
+func resolveDeployment(specPath, policySpec string, bypass float64) (*aipow.DeploymentSpec, error) {
+	if specPath != "" {
+		return loadDeployment(specPath)
+	}
+	ps := aipow.PipelineSpec{Name: "default", Scorer: "dabr", Policy: policySpec, Source: "combined"}
+	if bypass >= 0 {
+		ps.BypassBelow = &bypass
+	}
+	return &aipow.DeploymentSpec{Pipelines: []aipow.PipelineSpec{ps}}, nil
+}
+
+// loadDeployment reads and parses a spec file.
+func loadDeployment(path string) (*aipow.DeploymentSpec, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read spec: %w", err)
+	}
+	dep, err := aipow.ParseDeployment(string(buf))
+	if err != nil {
+		return nil, fmt.Errorf("spec %s: %w", path, err)
+	}
+	return dep, nil
+}
+
+// reloadOnSIGHUP re-reads the spec file and applies it on every SIGHUP —
+// the restart-free operator workflow: edit the file, kill -HUP.
+func reloadOnSIGHUP(gk *aipow.Gatekeeper, specPath string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGHUP)
+	go func() {
+		for range ch {
+			dep, err := loadDeployment(specPath)
+			if err != nil {
+				log.Printf("powserver: SIGHUP reload rejected: %v", err)
+				continue
+			}
+			if err := gk.Apply(dep); err != nil {
+				log.Printf("powserver: SIGHUP apply rejected: %v", err)
+				continue
+			}
+			log.Printf("powserver: SIGHUP applied %s (pipelines %v)", specPath, gk.Names())
+		}
+	}()
+}
+
+// serveAdmin runs the control-plane listener: POST /apply (spec body),
+// GET /spec, GET /stats. It is deliberately unauthenticated — bind it to
+// a private interface.
+func serveAdmin(addr string, gk *aipow.Gatekeeper) {
+	// One stats map reused across polls (StatsInto): the scrape path does
+	// not allocate a map per request.
+	var statsMu sync.Mutex
+	stats := make(map[string]float64, 16)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
+		// MaxBytesReader (not LimitReader) so an oversized spec is
+		// rejected loudly instead of silently truncated — a cut-off
+		// deployment could still validate and route tenants wrongly.
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		dep, err := aipow.ParseDeployment(string(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := gk.Apply(dep); err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		log.Printf("powserver: admin applied new deployment (pipelines %v)", gk.Names())
+		fmt.Fprintf(w, "applied; pipelines %v\n", gk.Names())
+	})
+	mux.HandleFunc("GET /spec", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := gk.Spec().Marshal()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		statsMu.Lock()
+		defer statsMu.Unlock()
+		clear(stats)
+		gk.StatsInto(stats)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(stats)
+	})
+	log.Printf("powserver: control plane on %s (POST /apply, GET /spec, GET /stats)", addr)
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }
 

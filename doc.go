@@ -47,6 +47,53 @@
 // challenge protocol, and NewHTTPTransport makes any http.Client solve
 // challenges transparently.
 //
+// # Runtime control plane
+//
+// The paper's operating model is that administrators tune defense by
+// swapping policies, not redeploying code. The control plane makes the
+// whole pipeline work that way, live:
+//
+//   - Declarative specs. A deployment spec (text DSL or JSON — see
+//     SPEC.md) names each pipeline's scorer, policy (registry syntax or
+//     inline rule-DSL lines), source, TTL, difficulty cap, bypass
+//     threshold, and limits, plus the routes mapping request classes
+//     onto pipelines. ParseDeployment compiles the document; a
+//     ComponentRegistry resolves the component names (register scorers
+//     and sources with RegisterScorer/RegisterSource) and owns the
+//     shared HMAC key and behavior tracker.
+//
+//   - Atomic hot-swap. A Framework's swappable configuration — scorer,
+//     policy, source, fail-closed score, bypass threshold — lives in an
+//     immutable snapshot behind an atomic pointer. Decide loads the
+//     snapshot once per request; Framework.Swap (and the SwapPolicy /
+//     SwapScorer conveniences, or spec-level Pipeline.Apply) installs a
+//     new snapshot RCU-style. Swapping mid-attack costs the serving path
+//     nothing: Decide stays 0 allocs/op at an unchanged ns/op while a
+//     background goroutine applies swaps in a loop (the gated
+//     DecideUnderSwap benchmark), and requests in flight finish on the
+//     configuration they loaded — never a torn mix. The issuer/verifier
+//     (key, TTL, replay cache) and tracker persist across swaps, so
+//     in-flight challenges stay redeemable and behavioral history stays
+//     warm.
+//
+//   - Per-route pipelines. A Gatekeeper compiles a multi-pipeline
+//     deployment and routes each request — by longest path prefix, or by
+//     tenant key via WithTenantHeader — onto its pipeline, all sharing
+//     one behavior tracker while each signs challenges with its own
+//     name-derived key (a cheap solve on a lenient route cannot be
+//     redeemed on a stricter one). NewRoutedHTTPMiddleware plugs it into any
+//     http.Handler; Gatekeeper.Apply reconfigures the whole deployment
+//     declaratively (hot-swapping pipelines where only swappable fields
+//     changed, rebuilding where limits changed) with an atomic
+//     route-table switch. cmd/powserver boots from -spec, re-applies the
+//     file on SIGHUP, and exposes POST /apply, GET /spec, and GET /stats
+//     on the -admin listener.
+//
+// The attacksim suite's policy-flip scenario regression-tests the
+// operator move the paper implies (policy1 → policy2 mid-pulse):
+// attacker difficulty must rise after the swap while legitimate median
+// latency stays bounded, deterministically.
+//
 // # Performance
 //
 // The serving hot path (Decide and Verify) is allocation-free and
@@ -71,7 +118,7 @@
 //     keyed HMAC instances and encode buffers from pools: zero
 //     allocations per Issue and per Verify in steady state. The replay
 //     cache sweeps expired seeds incrementally to bound lock hold times.
-//   - Pre-resolved counters. The framework's five stat counters are
+//   - Pre-resolved counters. The framework's six stat counters are
 //     resolved to atomic counters once at New time, never through the
 //     registry's map on the request path.
 //
@@ -120,9 +167,10 @@
 // scenarios additionally perform genuine nonce searches redeemed through
 // Verify.
 //
-// The canonical eight-scenario suite (steady state, flash crowd, pulsing
+// The canonical nine-scenario suite (steady state, flash crowd, pulsing
 // botnet, rotating-IP botnet, slow-and-low probing, reputation-poisoning
-// warmup, challenge dodging, real-crypto smoke) runs via:
+// warmup, challenge dodging, mid-campaign policy flip, real-crypto smoke)
+// runs via:
 //
 //	go run ./cmd/attacksim -json          # writes SIM_scenarios.json
 //	go run ./cmd/attacksim -json -quick   # CI scale

@@ -35,11 +35,30 @@ func WithSessionTokens(key []byte, ttl time.Duration) HTTPMiddlewareOption {
 	return httpmw.WithSessionTokens(key, ttl)
 }
 
+// WithTenantHeader names the header whose value selects the tenant's
+// pipeline in a routed middleware (only safe behind a trusted proxy that
+// controls the header).
+func WithTenantHeader(name string) HTTPMiddlewareOption {
+	return httpmw.WithTenantHeader(name)
+}
+
 // NewHTTPMiddleware wraps next with the PoW challenge protocol driven by
 // the framework: unchallenged requests receive 428 + X-PoW-Challenge;
 // requests carrying a valid X-PoW-Solution reach next.
 func NewHTTPMiddleware(fw *Framework, next http.Handler, opts ...HTTPMiddlewareOption) (http.Handler, error) {
 	return httpmw.NewMiddleware(fw, next, opts...)
+}
+
+// HTTPRouter selects the framework serving one request class; the
+// control plane's Gatekeeper implements it.
+type HTTPRouter = httpmw.Router
+
+// NewRoutedHTTPMiddleware wraps next with the PoW challenge protocol,
+// selecting the serving pipeline per request through router — typically
+// a Gatekeeper, so path prefixes and (with WithTenantHeader) tenant keys
+// map onto independently tuned, hot-swappable pipelines.
+func NewRoutedHTTPMiddleware(router HTTPRouter, next http.Handler, opts ...HTTPMiddlewareOption) (http.Handler, error) {
+	return httpmw.NewRoutedMiddleware(router, next, opts...)
 }
 
 // HTTPTransportOption configures NewHTTPTransport.

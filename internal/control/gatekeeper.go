@@ -1,0 +1,231 @@
+package control
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/policy"
+)
+
+// Gatekeeper is the multi-tenant front of the control plane: it maps
+// request classes — path prefixes and tenant keys — onto named pipelines
+// built from one DeploymentSpec. All pipelines share the registry's
+// behavior tracker, so one client's behavioral history follows it across
+// route boundaries; each pipeline signs challenges with its own
+// name-derived key, so a cheap solve on a lenient route cannot be
+// redeemed on a stricter one.
+//
+// Routing state lives in an immutable table behind an atomic pointer:
+// Route is one atomic load, a tenant map lookup, and a short
+// longest-prefix scan — no locks and no allocations on the request path.
+// Apply builds the next table aside and swaps it in whole, so a request
+// is always routed by exactly one deployment generation.
+type Gatekeeper struct {
+	reg *Registry
+
+	mu    sync.Mutex // serializes Apply
+	state atomic.Pointer[gkState]
+}
+
+// gkState is one immutable deployment generation.
+type gkState struct {
+	spec      *DeploymentSpec
+	pipelines map[string]*Pipeline
+	tenants   map[string]*Pipeline
+	prefixes  []prefixRoute // sorted longest-prefix-first
+	fallback  *Pipeline     // the "/" catch-all target
+}
+
+// prefixRoute is one compiled path-prefix route.
+type prefixRoute struct {
+	prefix string
+	p      *Pipeline
+}
+
+// NewGatekeeper compiles a deployment spec into a running gatekeeper. A
+// single-pipeline spec may omit routes (the pipeline becomes the
+// catch-all); otherwise the spec must route "/" somewhere.
+func NewGatekeeper(reg *Registry, dep *DeploymentSpec) (*Gatekeeper, error) {
+	if reg == nil || dep == nil {
+		return nil, fmt.Errorf("control: gatekeeper requires a registry and a deployment spec")
+	}
+	gk := &Gatekeeper{reg: reg}
+	st, err := gk.build(dep, nil)
+	if err != nil {
+		return nil, err
+	}
+	gk.state.Store(st)
+	return gk, nil
+}
+
+// build compiles dep into a state in two phases: first every pipeline's
+// components are resolved (carried-over pipelines with unchanged specs
+// are reused untouched; changed-but-swappable specs get their components
+// precompiled; the rest are built fresh), and only when the whole
+// deployment resolved cleanly are the hot-swaps installed. An error
+// therefore leaves every live pipeline — and the route table — exactly
+// as it was: no half-applied deployments.
+func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error) {
+	if err := dep.Validate(); err != nil {
+		return nil, err
+	}
+	st := &gkState{
+		spec:      dep,
+		pipelines: make(map[string]*Pipeline, len(dep.Pipelines)),
+		tenants:   make(map[string]*Pipeline),
+	}
+	type pendingSwap struct {
+		p      *Pipeline
+		ps     PipelineSpec
+		scorer core.Scorer
+		pol    policy.Policy
+		source features.Source
+	}
+	var pending []pendingSwap
+	for _, ps := range dep.Pipelines {
+		resolved := ps.withDefaults()
+		var built *Pipeline
+		if prev != nil {
+			if old, ok := prev.pipelines[ps.Name]; ok {
+				if old.Spec().swappableEqual(resolved) == nil {
+					if old.upToDate(resolved) {
+						built = old // unchanged: keep running state intact
+					} else {
+						scorer, pol, source, err := gk.reg.components(resolved)
+						if err != nil {
+							return nil, err
+						}
+						pending = append(pending, pendingSwap{old, resolved, scorer, pol, source})
+						built = old
+					}
+				}
+			}
+		}
+		if built == nil {
+			// Building a fresh pipeline has no effect on live traffic
+			// until it is routed, so it is safe in the resolve phase.
+			p, err := gk.reg.Build(ps)
+			if err != nil {
+				return nil, err
+			}
+			built = p
+		}
+		st.pipelines[ps.Name] = built
+	}
+	for _, sw := range pending {
+		if err := sw.p.applyResolved(sw.ps, sw.scorer, sw.pol, sw.source); err != nil {
+			return nil, err
+		}
+	}
+
+	routes := dep.Routes
+	if len(routes) == 0 { // single pipeline, implicit catch-all
+		routes = []RouteSpec{{PathPrefix: "/", Pipeline: dep.Pipelines[0].Name}}
+	}
+	for _, r := range routes {
+		target := st.pipelines[r.Pipeline] // Validate guaranteed existence
+		if r.Tenant != "" {
+			st.tenants[r.Tenant] = target
+			continue
+		}
+		st.prefixes = append(st.prefixes, prefixRoute{prefix: r.PathPrefix, p: target})
+		if r.PathPrefix == "/" {
+			st.fallback = target
+		}
+	}
+	sort.SliceStable(st.prefixes, func(i, j int) bool {
+		return len(st.prefixes[i].prefix) > len(st.prefixes[j].prefix)
+	})
+	return st, nil
+}
+
+// Apply reconfigures the whole deployment declaratively: pipelines whose
+// specs are unchanged keep running untouched; changed pipelines with
+// unchanged limits are hot-swapped in place (zero traffic interruption,
+// replay cache preserved); pipelines with changed limits, and new
+// pipelines, are rebuilt fresh (their replay windows reset — in-flight
+// challenges still verify, because a pipeline's signing key is derived
+// from its name and the registry's root key); pipelines absent from the
+// new spec are dropped from routing. The route table switches atomically
+// to the new generation. On error — reported before anything is
+// installed — every live pipeline and the routing state stay exactly as
+// they were.
+func (gk *Gatekeeper) Apply(dep *DeploymentSpec) error {
+	gk.mu.Lock()
+	defer gk.mu.Unlock()
+	st, err := gk.build(dep, gk.state.Load())
+	if err != nil {
+		return err
+	}
+	gk.state.Store(st)
+	return nil
+}
+
+// Route reports the framework serving a request class: the tenant route
+// if the tenant key matches one, else the longest matching path prefix,
+// else the catch-all. It never returns nil and never allocates.
+func (gk *Gatekeeper) Route(path, tenant string) *core.Framework {
+	return gk.RoutePipeline(path, tenant).Framework()
+}
+
+// RoutePipeline is Route returning the pipeline (for stats and specs).
+func (gk *Gatekeeper) RoutePipeline(path, tenant string) *Pipeline {
+	st := gk.state.Load()
+	if tenant != "" {
+		if p, ok := st.tenants[tenant]; ok {
+			return p
+		}
+	}
+	for _, r := range st.prefixes {
+		if strings.HasPrefix(path, r.prefix) {
+			return r.p
+		}
+	}
+	return st.fallback
+}
+
+// Pipeline reports the named pipeline of the current generation.
+func (gk *Gatekeeper) Pipeline(name string) (*Pipeline, bool) {
+	p, ok := gk.state.Load().pipelines[name]
+	return p, ok
+}
+
+// Names reports the current generation's pipeline names, sorted.
+func (gk *Gatekeeper) Names() []string {
+	return sortedKeys(gk.state.Load().pipelines)
+}
+
+// Spec reports the current deployment, reconstructed from each live
+// pipeline's applied spec (not the document last passed to Apply), so a
+// per-pipeline Pipeline.Apply done directly on a gatekeeper-owned
+// pipeline is reflected — an operator can always save GET /spec and
+// re-apply it without silently reverting live state.
+func (gk *Gatekeeper) Spec() *DeploymentSpec {
+	st := gk.state.Load()
+	out := &DeploymentSpec{
+		Pipelines: make([]PipelineSpec, 0, len(st.spec.Pipelines)),
+		Routes:    append([]RouteSpec(nil), st.spec.Routes...),
+	}
+	for _, ps := range st.spec.Pipelines { // declaration order
+		if p, ok := st.pipelines[ps.Name]; ok {
+			out.Pipelines = append(out.Pipelines, p.Spec())
+		}
+	}
+	return out
+}
+
+// StatsInto adds every pipeline's counters into dst under
+// "<pipeline>.<counter>" keys. Reusing dst across polls means no maps
+// are allocated per scrape; the namespaced key strings still allocate
+// (this is the admin scrape path, not the serving hot path).
+func (gk *Gatekeeper) StatsInto(dst map[string]float64) {
+	st := gk.state.Load()
+	for name, p := range st.pipelines {
+		p.Framework().StatsPrefixInto(name+".", dst)
+	}
+}

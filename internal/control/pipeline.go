@@ -1,0 +1,131 @@
+package control
+
+import (
+	"fmt"
+	"sync"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/policy"
+)
+
+// Pipeline is one runnable, hot-reconfigurable serving pipeline: a
+// core.Framework plus the spec it was compiled from and the registry that
+// resolves revisions of it. The serving methods (Framework().Decide /
+// Verify / Observe) stay allocation-free; Apply installs a revised spec
+// atomically against them.
+type Pipeline struct {
+	reg *Registry
+	fw  *core.Framework
+
+	mu   sync.Mutex // guards spec/swapsAt against concurrent Apply
+	spec PipelineSpec
+
+	// swapsAt is the framework's swap-generation counter as of the last
+	// spec install. A mismatch means someone called Framework.Swap
+	// directly (e.g. an emergency override); re-applying the spec then
+	// restores the declared configuration instead of no-opping.
+	swapsAt uint64
+}
+
+// Name reports the pipeline's spec name.
+func (p *Pipeline) Name() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spec.Name
+}
+
+// Spec reports the currently applied spec (defaults resolved).
+func (p *Pipeline) Spec() PipelineSpec {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.spec
+}
+
+// Framework exposes the underlying serving pipeline. The pointer is
+// stable across Apply calls — hold it for the process lifetime.
+func (p *Pipeline) Framework() *core.Framework { return p.fw }
+
+// StatsInto adds the pipeline's framework counters into dst without
+// allocating a fresh map (see core.Framework.StatsInto).
+func (p *Pipeline) StatsInto(dst map[string]float64) { p.fw.StatsInto(dst) }
+
+// Apply hot-swaps the pipeline onto a revised spec: the scorer, policy,
+// source, bypass threshold, and fail-closed score are recompiled and
+// installed in one atomic snapshot swap, with zero interruption to
+// concurrent Decide/Verify traffic. An effectively identical spec is a
+// no-op, so re-applying a deployment never resets stateful components —
+// unless a direct Framework.Swap diverged the live configuration from
+// the spec (detected via the swap-generation counter), in which case
+// re-applying restores the declared state.
+// The spec's name and its non-hot-swappable fields (ttl, max-difficulty,
+// replay-cache, clock-skew — state the issuer/verifier own) must match
+// the current spec; changing those needs a rebuilt pipeline
+// (Gatekeeper.Apply does this automatically, at the cost of resetting
+// the replay cache).
+//
+// A failed Apply leaves the running configuration untouched.
+func (p *Pipeline) Apply(ps PipelineSpec) error {
+	if err := ps.validate(); err != nil {
+		return err
+	}
+	ps = ps.withDefaults()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ps.Name != p.spec.Name {
+		return fmt.Errorf("control: apply renames pipeline %q to %q; build a new pipeline instead", p.spec.Name, ps.Name)
+	}
+	if err := p.spec.swappableEqual(ps); err != nil {
+		return fmt.Errorf("control: pipeline %q: %v is not hot-swappable; rebuild required", ps.Name, err)
+	}
+	if specEqual(p.spec, ps) && p.fw.Swaps() == p.swapsAt {
+		return nil
+	}
+	scorer, pol, source, err := p.reg.components(ps)
+	if err != nil {
+		return err
+	}
+	return p.installLocked(ps, scorer, pol, source)
+}
+
+// installLocked swaps pre-resolved components in under p.mu. Split from
+// Apply so Gatekeeper.Apply can resolve every pipeline's components
+// before installing any of them (no half-applied deployments).
+func (p *Pipeline) installLocked(ps PipelineSpec, scorer core.Scorer, pol policy.Policy, source features.Source) error {
+	failClosed := policy.MaxScore
+	if ps.FailClosedScore != nil {
+		failClosed = *ps.FailClosedScore
+	}
+	bypass := -1.0
+	if ps.BypassBelow != nil {
+		bypass = *ps.BypassBelow
+	}
+	if err := p.fw.Swap(
+		core.SetScorer(scorer),
+		core.SetPolicy(pol),
+		core.SetSource(source),
+		core.SetFailClosedScore(failClosed),
+		core.SetBypassBelow(bypass),
+	); err != nil {
+		return err
+	}
+	p.spec = ps
+	p.swapsAt = p.fw.Swaps()
+	return nil
+}
+
+// upToDate reports whether the pipeline already runs exactly ps: the
+// spec matches and no out-of-band Framework.Swap has diverged the live
+// configuration since the last install.
+func (p *Pipeline) upToDate(ps PipelineSpec) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return specEqual(p.spec, ps) && p.fw.Swaps() == p.swapsAt
+}
+
+// applyResolved is installLocked behind the spec mutex.
+func (p *Pipeline) applyResolved(ps PipelineSpec, scorer core.Scorer, pol policy.Policy, source features.Source) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.installLocked(ps, scorer, pol, source)
+}

@@ -1,0 +1,329 @@
+package control
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"aipow/internal/core"
+	"aipow/internal/features"
+	"aipow/internal/policy"
+	"aipow/internal/puzzle"
+)
+
+// ScorerFactory builds an AI model from a component spec's numeric
+// parameters. Factories must reject unknown parameter names.
+type ScorerFactory func(params map[string]float64) (core.Scorer, error)
+
+// SourceFactory builds a per-request attribute source. It receives the
+// registry's shared behavior tracker so deployment-specific sources
+// (feed stores, combined static+live sources) can layer onto the same
+// live behavioral state every pipeline observes into.
+type SourceFactory func(params map[string]float64, tracker *features.Tracker) (features.Source, error)
+
+// Registry resolves component names in pipeline specs and owns the shared
+// long-lived state every pipeline it builds rides on: one root HMAC key,
+// one behavior tracker (so behavioral history survives swaps and is
+// shared across per-route pipelines), and one clock.
+//
+// Each pipeline signs with a key derived from the root key and the
+// pipeline's name. Same name ⇒ same key, so a pipeline rebuilt by a
+// reconfiguration keeps accepting challenges its predecessor issued;
+// different names ⇒ different keys, so a cheap challenge solved on a
+// lenient route can never be redeemed on a stricter one — per-route
+// difficulty is enforced, not advisory.
+//
+// It ships with the policy registry's built-ins and a "tracker" source
+// (the live tracker alone); deployments register their scorers (e.g. a
+// trained DAbR model) and richer sources. A Registry is safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	scorers map[string]ScorerFactory
+	sources map[string]SourceFactory
+
+	policies *policy.Registry
+	key      []byte
+	tracker  *features.Tracker
+	now      func() time.Time
+}
+
+// RegistryOption customizes NewRegistry.
+type RegistryOption func(*Registry)
+
+// WithRegistryTracker sets the shared behavior tracker (default: a fresh
+// tracker with default sizing).
+func WithRegistryTracker(t *features.Tracker) RegistryOption {
+	return func(r *Registry) { r.tracker = t }
+}
+
+// WithRegistryClock injects the time source every built pipeline uses
+// (default time.Now; simulations pass a virtual clock).
+func WithRegistryClock(now func() time.Time) RegistryOption {
+	return func(r *Registry) { r.now = now }
+}
+
+// WithRegistryPolicies replaces the policy registry (default: the policy
+// package's built-ins).
+func WithRegistryPolicies(p *policy.Registry) RegistryOption {
+	return func(r *Registry) { r.policies = p }
+}
+
+// NewRegistry returns a component registry sharing key, tracker, and clock
+// across every pipeline it builds. The root key must be at least 16
+// bytes: per-pipeline keys are derived from it by HMAC, which always
+// yields full-length output, so the issuer's own minimum-length check
+// could never catch a weak root.
+func NewRegistry(key []byte, opts ...RegistryOption) (*Registry, error) {
+	if len(key) < 16 {
+		return nil, fmt.Errorf("control: registry requires an HMAC root key of at least 16 bytes, got %d", len(key))
+	}
+	r := &Registry{
+		scorers:  make(map[string]ScorerFactory),
+		sources:  make(map[string]SourceFactory),
+		policies: policy.NewRegistry(),
+		key:      key,
+		now:      time.Now,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	if r.tracker == nil {
+		t, err := features.NewTracker()
+		if err != nil {
+			return nil, err
+		}
+		r.tracker = t
+	}
+	if err := r.RegisterSource("tracker", func(params map[string]float64, tracker *features.Tracker) (features.Source, error) {
+		if err := policy.RejectUnknownParams(params); err != nil {
+			return nil, err
+		}
+		return tracker, nil
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Tracker reports the shared behavior tracker.
+func (r *Registry) Tracker() *features.Tracker { return r.tracker }
+
+// pipelineKey derives a pipeline's signing key from the root key and the
+// pipeline name (HMAC-SHA256, domain-separated). Stable across rebuilds
+// of the same pipeline, distinct across pipelines.
+func (r *Registry) pipelineKey(name string) []byte {
+	mac := hmac.New(sha256.New, r.key)
+	mac.Write([]byte("aipow-pipeline-key:"))
+	mac.Write([]byte(name))
+	return mac.Sum(nil)
+}
+
+// Policies reports the policy registry, for registering custom policies.
+func (r *Registry) Policies() *policy.Registry { return r.policies }
+
+// RegisterScorer adds a named scorer factory. Re-registering a name is an
+// error: silent overrides hide configuration mistakes.
+func (r *Registry) RegisterScorer(name string, f ScorerFactory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("control: scorer registration requires a name and factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.scorers[name]; dup {
+		return fmt.Errorf("control: scorer %q already registered", name)
+	}
+	r.scorers[name] = f
+	return nil
+}
+
+// RegisterSource adds a named source factory. Re-registering a name is an
+// error.
+func (r *Registry) RegisterSource(name string, f SourceFactory) error {
+	if name == "" || f == nil {
+		return fmt.Errorf("control: source registration requires a name and factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.sources[name]; dup {
+		return fmt.Errorf("control: source %q already registered", name)
+	}
+	r.sources[name] = f
+	return nil
+}
+
+// ScorerNames reports registered scorer names, sorted.
+func (r *Registry) ScorerNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.scorers)
+}
+
+// SourceNames reports registered source names, sorted.
+func (r *Registry) SourceNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.sources)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newScorer resolves a scorer component spec.
+func (r *Registry) newScorer(spec string) (core.Scorer, error) {
+	name, params, err := policy.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("control: scorer spec: %w", err)
+	}
+	r.mu.RLock()
+	f, ok := r.scorers[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("control: unknown scorer %q (known: %s)",
+			name, strings.Join(r.ScorerNames(), ", "))
+	}
+	s, err := f(params)
+	if err != nil {
+		return nil, fmt.Errorf("control: scorer %q: %w", name, err)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("control: scorer %q factory returned nil", name)
+	}
+	return s, nil
+}
+
+// newSource resolves a source component spec ("" defaults to "tracker").
+func (r *Registry) newSource(spec string) (features.Source, error) {
+	if spec == "" {
+		spec = "tracker"
+	}
+	name, params, err := policy.ParseSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("control: source spec: %w", err)
+	}
+	r.mu.RLock()
+	f, ok := r.sources[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("control: unknown source %q (known: %s)",
+			name, strings.Join(r.SourceNames(), ", "))
+	}
+	s, err := f(params, r.tracker)
+	if err != nil {
+		return nil, fmt.Errorf("control: source %q: %w", name, err)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("control: source %q factory returned nil", name)
+	}
+	return s, nil
+}
+
+// newPolicy resolves a spec's policy — registry syntax or inline rules —
+// and clamps it to [1, maxDiff] so the worst score still yields a
+// challenge rather than an over-cap issuance error.
+func (r *Registry) newPolicy(ps PipelineSpec, maxDiff int) (policy.Policy, error) {
+	var pol policy.Policy
+	var err error
+	if ps.PolicyRules != "" {
+		pol, err = policy.ParseRules(ps.PolicyRules)
+	} else {
+		pol, err = r.policies.New(ps.Policy)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("control: pipeline %q policy: %w", ps.Name, err)
+	}
+	clamped, err := policy.NewClamp(pol, 1, maxDiff)
+	if err != nil {
+		return nil, fmt.Errorf("control: pipeline %q: clamp to max-difficulty %d: %w", ps.Name, maxDiff, err)
+	}
+	return clamped, nil
+}
+
+// DefaultMaxDifficulty is the issuance cap when a spec leaves
+// max-difficulty unset — high enough to price out abusive clients
+// (seconds of compute), low enough that a misscored legitimate client is
+// delayed, not locked out.
+const DefaultMaxDifficulty = 22
+
+// withDefaults resolves a spec's zero values to their effective settings.
+func (ps PipelineSpec) withDefaults() PipelineSpec {
+	if ps.MaxDifficulty == 0 {
+		ps.MaxDifficulty = DefaultMaxDifficulty
+	}
+	if ps.TTL == 0 {
+		ps.TTL = Duration(puzzle.DefaultTTL)
+	}
+	if ps.ClockSkew == 0 {
+		ps.ClockSkew = Duration(2 * time.Second)
+	}
+	return ps
+}
+
+// components compiles the hot-swappable component set of a spec.
+func (r *Registry) components(ps PipelineSpec) (core.Scorer, policy.Policy, features.Source, error) {
+	scorer, err := r.newScorer(ps.Scorer)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pol, err := r.newPolicy(ps, ps.MaxDifficulty)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	source, err := r.newSource(ps.Source)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return scorer, pol, source, nil
+}
+
+// Build compiles a pipeline spec into a runnable Pipeline: components
+// resolved against the registry, assembled around a core.Framework wired
+// to the shared key, tracker, and clock.
+func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
+	if err := ps.validate(); err != nil {
+		return nil, err
+	}
+	ps = ps.withDefaults()
+	scorer, pol, source, err := r.components(ps)
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.Option{
+		core.WithKey(r.pipelineKey(ps.Name)),
+		core.WithScorer(scorer),
+		core.WithPolicy(pol),
+		core.WithSource(source),
+		core.WithTracker(r.tracker),
+		core.WithClock(r.now),
+		core.WithTTL(time.Duration(ps.TTL)),
+		core.WithMaxDifficulty(ps.MaxDifficulty),
+		core.WithClockSkew(time.Duration(ps.ClockSkew)),
+	}
+	switch {
+	case ps.ReplayCache > 0:
+		opts = append(opts, core.WithReplayCacheSize(ps.ReplayCache))
+	case ps.ReplayCache < 0:
+		opts = append(opts, core.WithReplayCacheSize(0))
+	}
+	if ps.BypassBelow != nil {
+		opts = append(opts, core.WithBypassBelow(*ps.BypassBelow))
+	}
+	if ps.FailClosedScore != nil {
+		opts = append(opts, core.WithFailClosedScore(*ps.FailClosedScore))
+	}
+	fw, err := core.New(opts...)
+	if err != nil {
+		return nil, fmt.Errorf("control: build pipeline %q: %w", ps.Name, err)
+	}
+	return &Pipeline{reg: r, fw: fw, spec: ps}, nil
+}

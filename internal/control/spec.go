@@ -1,0 +1,458 @@
+// Package control is the framework's runtime control plane: declarative
+// deployment specifications, a component registry that compiles them into
+// runnable pipelines, and a gatekeeper that routes request classes onto
+// named pipelines — all hot-swappable while the serving path keeps running
+// allocation-free.
+//
+// The paper's framing is that operators tune defense by swapping policies,
+// not redeploying code. This package extends that from the policy to the
+// whole pipeline: a Spec names the scorer, policy, source, TTL, difficulty
+// cap, bypass threshold, and limits in a short text (or JSON) document;
+// Registry.Build compiles it into a *Pipeline around a core.Framework; and
+// Pipeline.Apply / Gatekeeper.Apply install a revised spec atomically
+// against live traffic (RCU snapshot swap in core, immutable route-table
+// swap here). Long-lived shared state — the behavior tracker and the HMAC
+// key — lives in the Registry and persists across every apply.
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("30s") in JSON specs and accepts either a string or integer nanoseconds
+// when unmarshaling, so text and JSON spec forms stay interconvertible.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "30s"-style strings or integer nanoseconds.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("control: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("control: duration must be a string like \"30s\" or integer nanoseconds")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// PipelineSpec declares one runnable pipeline: which components serve a
+// request class and under what limits. Scorer, Policy and Source use the
+// shared component-spec syntax "name" or "name(k=v,k2=v2)"; names resolve
+// against the Registry the spec is built with.
+type PipelineSpec struct {
+	// Name identifies the pipeline (route targets, logs, stats).
+	Name string `json:"name"`
+
+	// Scorer is the AI-model spec, e.g. "dabr" or "hybrid(saturation=4)".
+	// Required.
+	Scorer string `json:"scorer"`
+
+	// Policy is the score→difficulty policy in registry syntax, e.g.
+	// "policy2" or "policy3(epsilon=2.5)". Exactly one of Policy and
+	// PolicyRules must be set.
+	Policy string `json:"policy,omitempty"`
+
+	// PolicyRules is an inline policy program in the rule DSL ("when score
+	// >= 8 use 14 / default 3" lines). In the text spec form, bare when/
+	// default lines inside a pipeline block land here.
+	PolicyRules string `json:"policy_rules,omitempty"`
+
+	// Source is the attribute-source spec (default "tracker", the live
+	// behavior tracker alone). Deployments with a static feed register and
+	// name richer sources, e.g. "combined".
+	Source string `json:"source,omitempty"`
+
+	// TTL is the challenge lifetime (0 = puzzle.DefaultTTL). Not
+	// hot-swappable: it lives in the issuer.
+	TTL Duration `json:"ttl,omitempty"`
+
+	// MaxDifficulty caps what the issuer signs (0 = 22). The compiled
+	// policy is clamped to [1, MaxDifficulty] so a worst-score client
+	// still receives a challenge rather than an error. Not hot-swappable.
+	MaxDifficulty int `json:"max_difficulty,omitempty"`
+
+	// BypassBelow lets requests scoring strictly under it skip the puzzle;
+	// nil or negative disables. Hot-swappable.
+	BypassBelow *float64 `json:"bypass_below,omitempty"`
+
+	// FailClosedScore is the score assumed when the scorer errors (nil =
+	// 10, maximally suspicious). Hot-swappable.
+	FailClosedScore *float64 `json:"fail_closed_score,omitempty"`
+
+	// ReplayCache bounds the single-use seed cache (0 = 1<<16, negative
+	// disables replay protection). Not hot-swappable.
+	ReplayCache int `json:"replay_cache,omitempty"`
+
+	// ClockSkew is the verifier's tolerance for clock drift (0 = 2s). Not
+	// hot-swappable.
+	ClockSkew Duration `json:"clock_skew,omitempty"`
+}
+
+// RouteSpec maps one request class onto a pipeline. Exactly one of
+// PathPrefix and Tenant must be set.
+type RouteSpec struct {
+	// PathPrefix routes requests whose path starts with it; the longest
+	// matching prefix wins. "/" is the catch-all.
+	PathPrefix string `json:"path_prefix,omitempty"`
+
+	// Tenant routes requests carrying this tenant key (e.g. from a
+	// middleware-extracted header); tenant routes win over path routes.
+	Tenant string `json:"tenant,omitempty"`
+
+	// Pipeline names the PipelineSpec that serves the class.
+	Pipeline string `json:"pipeline"`
+}
+
+// DeploymentSpec is the full control-plane document: named pipelines plus
+// the routes mapping request classes onto them. A single-pipeline spec may
+// omit Routes (an implicit "/" catch-all to that pipeline is assumed);
+// otherwise a "/" catch-all route is required so no request can miss.
+type DeploymentSpec struct {
+	Pipelines []PipelineSpec `json:"pipelines"`
+	Routes    []RouteSpec    `json:"routes,omitempty"`
+}
+
+// Pipeline looks up a pipeline spec by name.
+func (d *DeploymentSpec) Pipeline(name string) (PipelineSpec, bool) {
+	for _, p := range d.Pipelines {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PipelineSpec{}, false
+}
+
+// Validate rejects structurally inconsistent deployments: duplicate or
+// missing names, routes onto unknown pipelines, no catch-all, and
+// per-pipeline field errors.
+func (d *DeploymentSpec) Validate() error {
+	if len(d.Pipelines) == 0 {
+		return fmt.Errorf("control: deployment declares no pipelines")
+	}
+	seen := make(map[string]bool, len(d.Pipelines))
+	for i := range d.Pipelines {
+		p := &d.Pipelines[i]
+		if err := p.validate(); err != nil {
+			return err
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("control: duplicate pipeline %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	if len(d.Routes) == 0 {
+		if len(d.Pipelines) > 1 {
+			return fmt.Errorf("control: %d pipelines but no routes; add route lines (including a \"/\" catch-all)", len(d.Pipelines))
+		}
+		return nil
+	}
+	catchAll := false
+	routed := make(map[string]bool, len(d.Routes))
+	for _, r := range d.Routes {
+		switch {
+		case r.PathPrefix == "" && r.Tenant == "":
+			return fmt.Errorf("control: route onto %q has neither path prefix nor tenant", r.Pipeline)
+		case r.PathPrefix != "" && r.Tenant != "":
+			return fmt.Errorf("control: route onto %q sets both path prefix and tenant; use two routes", r.Pipeline)
+		case r.PathPrefix != "" && !strings.HasPrefix(r.PathPrefix, "/"):
+			return fmt.Errorf("control: path prefix %q must start with /", r.PathPrefix)
+		}
+		if !seen[r.Pipeline] {
+			return fmt.Errorf("control: route %s targets unknown pipeline %q", routeLabel(r), r.Pipeline)
+		}
+		key := "path:" + r.PathPrefix
+		if r.Tenant != "" {
+			key = "tenant:" + r.Tenant
+		}
+		if routed[key] {
+			return fmt.Errorf("control: duplicate route %s", routeLabel(r))
+		}
+		routed[key] = true
+		if r.PathPrefix == "/" {
+			catchAll = true
+		}
+	}
+	if !catchAll {
+		return fmt.Errorf("control: no catch-all route; add `route / <pipeline>`")
+	}
+	return nil
+}
+
+// routeLabel renders a route for error messages.
+func routeLabel(r RouteSpec) string {
+	if r.Tenant != "" {
+		return fmt.Sprintf("tenant %q", r.Tenant)
+	}
+	return fmt.Sprintf("path %q", r.PathPrefix)
+}
+
+// validate rejects malformed pipeline specs.
+func (p *PipelineSpec) validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("control: pipeline without a name")
+	}
+	if p.Scorer == "" {
+		return fmt.Errorf("control: pipeline %q names no scorer", p.Name)
+	}
+	switch {
+	case p.Policy == "" && p.PolicyRules == "":
+		return fmt.Errorf("control: pipeline %q names no policy (add `policy <spec>` or when/default rule lines)", p.Name)
+	case p.Policy != "" && p.PolicyRules != "":
+		return fmt.Errorf("control: pipeline %q declares both a policy spec and inline rules; pick one", p.Name)
+	}
+	if p.TTL < 0 {
+		return fmt.Errorf("control: pipeline %q has negative ttl", p.Name)
+	}
+	if p.MaxDifficulty < 0 {
+		return fmt.Errorf("control: pipeline %q has negative max-difficulty", p.Name)
+	}
+	if p.ClockSkew < 0 {
+		return fmt.Errorf("control: pipeline %q has negative clock-skew", p.Name)
+	}
+	if p.FailClosedScore != nil && (*p.FailClosedScore < 0 || *p.FailClosedScore > 10) {
+		return fmt.Errorf("control: pipeline %q fail-closed score %v outside [0, 10]", p.Name, *p.FailClosedScore)
+	}
+	return nil
+}
+
+// specEqual reports whether two (defaults-resolved) specs are identical
+// in effect. Applies skip identical specs entirely, so a reload that
+// touches one pipeline never resets another pipeline's stateful
+// components (e.g. a rate scorer's accumulated window).
+func specEqual(a, b PipelineSpec) bool {
+	eq := func(x, y *float64) bool {
+		if (x == nil) != (y == nil) {
+			return false
+		}
+		return x == nil || *x == *y
+	}
+	return a.Name == b.Name && a.Scorer == b.Scorer && a.Policy == b.Policy &&
+		a.PolicyRules == b.PolicyRules && a.Source == b.Source &&
+		a.TTL == b.TTL && a.MaxDifficulty == b.MaxDifficulty &&
+		a.ReplayCache == b.ReplayCache && a.ClockSkew == b.ClockSkew &&
+		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore)
+}
+
+// swappableEqual reports whether only hot-swappable fields differ between
+// the two specs — the condition under which Apply may proceed without a
+// restart.
+func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
+	switch {
+	case p.TTL != q.TTL:
+		return fmt.Errorf("ttl %v → %v", time.Duration(p.TTL), time.Duration(q.TTL))
+	case p.MaxDifficulty != q.MaxDifficulty:
+		return fmt.Errorf("max-difficulty %d → %d", p.MaxDifficulty, q.MaxDifficulty)
+	case p.ReplayCache != q.ReplayCache:
+		return fmt.Errorf("replay-cache %d → %d", p.ReplayCache, q.ReplayCache)
+	case p.ClockSkew != q.ClockSkew:
+		return fmt.Errorf("clock-skew %v → %v", time.Duration(p.ClockSkew), time.Duration(q.ClockSkew))
+	}
+	return nil
+}
+
+// ParseDeployment parses a deployment spec in either form: JSON (first
+// non-space byte '{') or the line-oriented text DSL. The text grammar, one
+// statement per line (with #-comments and blank lines skipped):
+//
+//	pipeline <name>            opens a pipeline block; the lines below
+//	                           configure it until the next top-level statement
+//	  scorer <spec>            e.g. dabr, hybrid(saturation=4)     (required)
+//	  policy <spec>            registry syntax, e.g. policy3(epsilon=2.5)
+//	  when score <op> <n> use <d>   inline policy rules (the policy DSL);
+//	  default <d>                   an alternative to `policy`
+//	  source <spec>            default: tracker
+//	  ttl <duration>           e.g. 30s
+//	  max-difficulty <n>
+//	  bypass-below <score>
+//	  fail-closed <score>
+//	  replay-cache <n>         negative disables replay protection
+//	  clock-skew <duration>
+//	route <prefix> <pipeline>  longest matching path prefix wins; "/" is
+//	                           the catch-all (required with >1 pipeline)
+//	tenant <key> <pipeline>    tenant routes win over path routes
+func ParseDeployment(src string) (*DeploymentSpec, error) {
+	trimmed := strings.TrimSpace(src)
+	if strings.HasPrefix(trimmed, "{") {
+		var d DeploymentSpec
+		dec := json.NewDecoder(strings.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&d); err != nil {
+			return nil, fmt.Errorf("control: parse JSON spec: %w", err)
+		}
+		if dec.More() {
+			// Trailing content (e.g. two concatenated specs) would mean
+			// silently applying only the first document.
+			return nil, fmt.Errorf("control: parse JSON spec: trailing content after the deployment document")
+		}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		return &d, nil
+	}
+	return parseDeploymentText(src)
+}
+
+// parseDeploymentText compiles the text DSL form.
+func parseDeploymentText(src string) (*DeploymentSpec, error) {
+	d := &DeploymentSpec{}
+	var cur *PipelineSpec // open pipeline block, nil at top level
+	var rules []string    // accumulated inline when/default lines
+	var seen map[string]bool
+	closeBlock := func() {
+		if cur != nil {
+			cur.PolicyRules = strings.Join(rules, "\n")
+			d.Pipelines = append(d.Pipelines, *cur)
+			cur, rules, seen = nil, nil, nil
+		}
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		stmt, args := fields[0], fields[1:]
+		switch stmt {
+		case "pipeline":
+			closeBlock()
+			if len(args) != 1 {
+				return nil, fmt.Errorf("control: spec line %d: want 'pipeline <name>'", lineNo+1)
+			}
+			cur = &PipelineSpec{Name: args[0]}
+			seen = make(map[string]bool)
+		case "route", "tenant":
+			closeBlock()
+			if len(args) != 2 {
+				return nil, fmt.Errorf("control: spec line %d: want '%s <%s> <pipeline>'",
+					lineNo+1, stmt, map[string]string{"route": "prefix", "tenant": "key"}[stmt])
+			}
+			r := RouteSpec{Pipeline: args[1]}
+			if stmt == "route" {
+				r.PathPrefix = args[0]
+			} else {
+				r.Tenant = args[0]
+			}
+			d.Routes = append(d.Routes, r)
+		case "scorer", "policy", "source", "ttl", "max-difficulty", "bypass-below",
+			"fail-closed", "replay-cache", "clock-skew", "when", "default":
+			if cur == nil {
+				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
+			}
+			if err := cur.applyStatement(stmt, args, line, &rules, seen); err != nil {
+				return nil, fmt.Errorf("control: spec line %d: %w", lineNo+1, err)
+			}
+		default:
+			return nil, fmt.Errorf("control: spec line %d: unknown statement %q", lineNo+1, stmt)
+		}
+	}
+	closeBlock()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// applyStatement folds one pipeline-block line into the spec. seen
+// tracks which scalar statements the block already set: every statement
+// except the when/default rule lines errors on repetition, so a merge
+// artifact like two bypass-below lines fails loudly instead of
+// last-wins.
+func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, rules *[]string, seen map[string]bool) error {
+	if stmt != "when" && stmt != "default" {
+		if seen[stmt] {
+			return fmt.Errorf("duplicate %s", stmt)
+		}
+		seen[stmt] = true
+	}
+	joined := strings.Join(args, " ") // component specs may contain spaces: policy3(epsilon=2.5, seed=1)
+	one := func(dst *string, what string) error {
+		if joined == "" {
+			return fmt.Errorf("want '%s <%s>'", stmt, what)
+		}
+		*dst = joined
+		return nil
+	}
+	switch stmt {
+	case "scorer":
+		return one(&p.Scorer, "spec")
+	case "policy":
+		return one(&p.Policy, "spec")
+	case "source":
+		return one(&p.Source, "spec")
+	case "when", "default":
+		*rules = append(*rules, line)
+		return nil
+	case "ttl", "clock-skew":
+		if len(args) != 1 {
+			return fmt.Errorf("want '%s <duration>'", stmt)
+		}
+		v, err := time.ParseDuration(args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+		if stmt == "ttl" {
+			p.TTL = Duration(v)
+		} else {
+			p.ClockSkew = Duration(v)
+		}
+		return nil
+	case "max-difficulty", "replay-cache":
+		if len(args) != 1 {
+			return fmt.Errorf("want '%s <n>'", stmt)
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+		if stmt == "max-difficulty" {
+			p.MaxDifficulty = n
+		} else {
+			p.ReplayCache = n
+		}
+		return nil
+	case "bypass-below", "fail-closed":
+		if len(args) != 1 {
+			return fmt.Errorf("want '%s <score>'", stmt)
+		}
+		v, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return fmt.Errorf("%s: %w", stmt, err)
+		}
+		if stmt == "bypass-below" {
+			p.BypassBelow = &v
+		} else {
+			p.FailClosedScore = &v
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown statement %q", stmt) // unreachable: caller dispatched
+}
+
+// Marshal renders the deployment in canonical JSON (the form the admin
+// /spec endpoint serves and operators can round-trip through
+// ParseDeployment). Deliberately not named MarshalText: encoding/json
+// would treat that as a TextMarshaler implementation and recurse.
+func (d *DeploymentSpec) Marshal() ([]byte, error) {
+	buf, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

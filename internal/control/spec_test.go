@@ -1,0 +1,155 @@
+package control
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// specText is a representative two-pipeline deployment in the text DSL,
+// exercising component params, inline rules, limits, and both route kinds.
+const specText = `
+# demo deployment
+pipeline api
+  scorer threat
+  policy policy2
+  source store
+  ttl 45s
+  max-difficulty 18
+  bypass-below 1.5
+  fail-closed 9
+  replay-cache 1024
+  clock-skew 3s
+
+pipeline static
+  scorer threat
+  when score >= 8 use 14
+  when score < 2 use 1
+  default 3
+
+route /api/ api
+route / static
+tenant gold api
+`
+
+func TestParseDeploymentText(t *testing.T) {
+	d, err := ParseDeployment(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Pipelines) != 2 || len(d.Routes) != 3 {
+		t.Fatalf("parsed %d pipelines, %d routes", len(d.Pipelines), len(d.Routes))
+	}
+	api, ok := d.Pipeline("api")
+	if !ok {
+		t.Fatal("pipeline api missing")
+	}
+	if api.Scorer != "threat" || api.Policy != "policy2" || api.Source != "store" {
+		t.Fatalf("api components = %q/%q/%q", api.Scorer, api.Policy, api.Source)
+	}
+	if time.Duration(api.TTL) != 45*time.Second || api.MaxDifficulty != 18 ||
+		api.ReplayCache != 1024 || time.Duration(api.ClockSkew) != 3*time.Second {
+		t.Fatalf("api limits = %+v", api)
+	}
+	if api.BypassBelow == nil || *api.BypassBelow != 1.5 {
+		t.Fatalf("api bypass = %v", api.BypassBelow)
+	}
+	if api.FailClosedScore == nil || *api.FailClosedScore != 9 {
+		t.Fatalf("api fail-closed = %v", api.FailClosedScore)
+	}
+	static, _ := d.Pipeline("static")
+	if static.Policy != "" || !strings.Contains(static.PolicyRules, "when score >= 8 use 14") {
+		t.Fatalf("static inline rules = %q", static.PolicyRules)
+	}
+	if d.Routes[2].Tenant != "gold" || d.Routes[2].Pipeline != "api" {
+		t.Fatalf("tenant route = %+v", d.Routes[2])
+	}
+}
+
+func TestParseDeploymentJSONRoundTrip(t *testing.T) {
+	d, err := ParseDeployment(specText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseDeployment(string(buf))
+	if err != nil {
+		t.Fatalf("reparse canonical JSON: %v", err)
+	}
+	if len(d2.Pipelines) != len(d.Pipelines) || len(d2.Routes) != len(d.Routes) {
+		t.Fatalf("round trip lost structure: %+v", d2)
+	}
+	api, _ := d2.Pipeline("api")
+	if time.Duration(api.TTL) != 45*time.Second {
+		t.Fatalf("round trip lost ttl: %v", time.Duration(api.TTL))
+	}
+}
+
+func TestParseDeploymentErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "", "no pipelines"},
+		{"unknown statement", "pipeline p\n scorer s\n policy policy2\nfrobnicate 3\n", "unknown statement"},
+		{"statement outside block", "scorer s\n", "outside a pipeline block"},
+		{"missing scorer", "pipeline p\n policy policy2\n", "names no scorer"},
+		{"missing policy", "pipeline p\n scorer s\n", "names no policy"},
+		{"policy and rules", "pipeline p\n scorer s\n policy policy2\n when score >= 5 use 9\n default 2\n", "both a policy spec and inline rules"},
+		{"duplicate pipeline", "pipeline p\n scorer s\n policy policy2\npipeline p\n scorer s\n policy policy2\n", "duplicate pipeline"},
+		{"duplicate field", "pipeline p\n scorer s\n scorer t\n policy policy2\n", "duplicate scorer"},
+		{"duplicate scalar", "pipeline p\n scorer s\n policy policy2\n bypass-below 1\n bypass-below 7\n", "duplicate bypass-below"},
+		{"duplicate ttl", "pipeline p\n scorer s\n policy policy2\n ttl 30s\n ttl 60s\n", "duplicate ttl"},
+		{"bad duration", "pipeline p\n scorer s\n policy policy2\n ttl fast\n", "ttl"},
+		{"bad difficulty", "pipeline p\n scorer s\n policy policy2\n max-difficulty high\n", "max-difficulty"},
+		{"negative ttl", "pipeline p\n scorer s\n policy policy2\n ttl -5s\n", "negative ttl"},
+		{"route unknown pipeline", "pipeline p\n scorer s\n policy policy2\nroute / q\n", "unknown pipeline"},
+		{"route without slash", "pipeline p\n scorer s\n policy policy2\nroute api p\n", "must start with /"},
+		{"no catch-all", "pipeline p\n scorer s\n policy policy2\nroute /api p\n", "no catch-all"},
+		{"duplicate route", "pipeline p\n scorer s\n policy policy2\nroute / p\nroute / p\n", "duplicate route"},
+		{"multi pipeline no routes", "pipeline p\n scorer s\n policy policy2\npipeline q\n scorer s\n policy policy2\n", "no routes"},
+		{"fail-closed range", "pipeline p\n scorer s\n policy policy2\n fail-closed 11\n", "outside [0, 10]"},
+		{"bad route arity", "pipeline p\n scorer s\n policy policy2\nroute /\n", "want 'route"},
+		{"bad json", `{"pipelines": [{"name": 3}]}`, "parse JSON spec"},
+		{"unknown json field", `{"pipelines": [{"name": "p", "scorer": "s", "policy": "policy2", "wat": 1}]}`, "parse JSON spec"},
+		{"json bad duration", `{"pipelines": [{"name": "p", "scorer": "s", "policy": "policy2", "ttl": "soon"}]}`, "bad duration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDeployment(tc.src)
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSwappableEqual(t *testing.T) {
+	base := PipelineSpec{Name: "p", Scorer: "s", Policy: "policy2"}.withDefaults()
+	if err := base.swappableEqual(base); err != nil {
+		t.Fatalf("self-compare: %v", err)
+	}
+	swapped := base
+	swapped.Policy = "policy1"
+	swapped.Scorer = "t"
+	if err := base.swappableEqual(swapped); err != nil {
+		t.Fatalf("swappable-only diff rejected: %v", err)
+	}
+	for _, mut := range []func(*PipelineSpec){
+		func(p *PipelineSpec) { p.TTL = Duration(time.Minute) },
+		func(p *PipelineSpec) { p.MaxDifficulty = 9 },
+		func(p *PipelineSpec) { p.ReplayCache = 7 },
+		func(p *PipelineSpec) { p.ClockSkew = Duration(time.Minute) },
+	} {
+		q := base
+		mut(&q)
+		if err := base.swappableEqual(q); err == nil {
+			t.Fatalf("non-swappable diff accepted: %+v", q)
+		}
+	}
+}

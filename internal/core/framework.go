@@ -17,12 +17,25 @@
 // swap the scorer (DAbR, kNN, behavioral), the policy (Policies 1–3, DSL
 // rules, adaptive wrappers), or the feature source without touching the
 // pipeline.
+//
+// # Runtime reconfiguration
+//
+// The swappable configuration — scorer, policy, source, fail-closed score,
+// bypass threshold — lives in an immutable snapshot behind an atomic
+// pointer. Decide loads the snapshot once per request; Swap (and the
+// SwapPolicy/SwapScorer conveniences) installs a fresh snapshot RCU-style,
+// so an operator can retune the defense mid-attack without a restart and
+// without adding a single lock to the hot path. Long-lived shared state —
+// the behavior tracker, issuer/verifier (and with them the HMAC key, TTL,
+// difficulty cap, and replay cache), clock, hooks, and counters — persists
+// across swaps; changing those requires a new Framework.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aipow/internal/features"
@@ -72,29 +85,43 @@ type Decision struct {
 // Hook observes decisions, for logging and experiment accounting.
 type Hook func(Decision)
 
+// snapshot is the swappable half of a Framework's configuration, immutable
+// once published. Decide performs exactly one atomic load to read the
+// whole set, so a swap can never be observed torn — a request runs either
+// entirely on the old configuration or entirely on the new one.
+type snapshot struct {
+	scorer Scorer
+	pol    policy.Policy
+	source features.Source
+
+	failClosedScore float64
+	bypassBelow     float64 // < 0 disables bypass
+
+	// Vector fast path, wired when both the scorer and the source support
+	// interned vectors (features.VectorScorer / features.VectorSource).
+	// When schema is nil the snapshot uses the map-based compatibility
+	// path. The scratch pool belongs to the snapshot because its vector
+	// length is schema-dependent.
+	schema    *features.Schema
+	vecScorer features.VectorScorer
+	vecSource features.VectorSource
+	vecPool   *sync.Pool // *[]float64, len == schema.Len()
+}
+
 // Framework is the assembled pipeline. Construct with New; all methods are
-// safe for concurrent use.
+// safe for concurrent use, including Swap against concurrent
+// Decide/Verify.
 type Framework struct {
-	scorer   Scorer
-	pol      policy.Policy
-	source   features.Source
+	snap atomic.Pointer[snapshot]
+
+	// swapMu serializes writers of snap; readers never take it.
+	swapMu sync.Mutex
+
 	tracker  *features.Tracker
 	issuer   *puzzle.Issuer
 	verifier *puzzle.Verifier
 	now      func() time.Time
 	hooks    []Hook
-
-	failClosedScore float64
-	bypassBelow     float64 // < 0 disables bypass
-
-	// Vector fast path, wired at New time when both the scorer and the
-	// source support interned vectors (features.VectorScorer /
-	// features.VectorSource). When schema is nil Decide uses the
-	// map-based compatibility path.
-	schema    *features.Schema
-	vecScorer features.VectorScorer
-	vecSource features.VectorSource
-	vecPool   sync.Pool // *[]float64, len == schema.Len()
 
 	stats metrics.Registry
 
@@ -105,6 +132,7 @@ type Framework struct {
 	cRejected  *metrics.Counter
 	cBypassed  *metrics.Counter
 	cScoreErrs *metrics.Counter
+	cSwaps     *metrics.Counter
 }
 
 // config collects the options New applies.
@@ -179,6 +207,43 @@ func WithBypassBelow(threshold float64) Option {
 // WithClockSkew sets issuer/verifier skew tolerance (default 2 s).
 func WithClockSkew(d time.Duration) Option { return func(c *config) { c.clockSkew = d } }
 
+// buildSnapshot validates the swappable configuration and assembles an
+// immutable snapshot from it, wiring the vector fast path when both sides
+// support it.
+func buildSnapshot(scorer Scorer, pol policy.Policy, source features.Source, failClosed, bypassBelow float64) (*snapshot, error) {
+	switch {
+	case scorer == nil:
+		return nil, errors.New("core: a Scorer is required (WithScorer)")
+	case pol == nil:
+		return nil, errors.New("core: a Policy is required (WithPolicy)")
+	case source == nil:
+		return nil, errors.New("core: a feature Source is required (WithSource)")
+	}
+	if failClosed < policy.MinScore || failClosed > policy.MaxScore {
+		return nil, fmt.Errorf("core: fail-closed score %v outside [%v, %v]",
+			failClosed, policy.MinScore, policy.MaxScore)
+	}
+	s := &snapshot{
+		scorer:          scorer,
+		pol:             pol,
+		source:          source,
+		failClosedScore: failClosed,
+		bypassBelow:     bypassBelow,
+	}
+	if vs, ok := scorer.(features.VectorScorer); ok {
+		if vsrc, ok := source.(features.VectorSource); ok {
+			if sch := vs.Schema(); sch != nil {
+				s.schema, s.vecScorer, s.vecSource = sch, vs, vsrc
+				s.vecPool = &sync.Pool{New: func() any {
+					v := make([]float64, sch.Len())
+					return &v
+				}}
+			}
+		}
+	}
+	return s, nil
+}
+
 // New assembles a Framework, validating that all required components are
 // present and mutually consistent.
 func New(opts ...Option) (*Framework, error) {
@@ -194,19 +259,12 @@ func New(opts ...Option) (*Framework, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	switch {
-	case cfg.scorer == nil:
-		return nil, errors.New("core: a Scorer is required (WithScorer)")
-	case cfg.pol == nil:
-		return nil, errors.New("core: a Policy is required (WithPolicy)")
-	case cfg.source == nil:
-		return nil, errors.New("core: a feature Source is required (WithSource)")
-	case cfg.key == nil:
-		return nil, errors.New("core: an HMAC key is required (WithKey)")
+	snap, err := buildSnapshot(cfg.scorer, cfg.pol, cfg.source, cfg.failClosed, cfg.bypassBelow)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.failClosed < policy.MinScore || cfg.failClosed > policy.MaxScore {
-		return nil, fmt.Errorf("core: fail-closed score %v outside [%v, %v]",
-			cfg.failClosed, policy.MinScore, policy.MaxScore)
+	if cfg.key == nil {
+		return nil, errors.New("core: an HMAC key is required (WithKey)")
 	}
 
 	issuer, err := puzzle.NewIssuer(cfg.key,
@@ -231,65 +289,156 @@ func New(opts ...Option) (*Framework, error) {
 	}
 
 	f := &Framework{
-		scorer:          cfg.scorer,
-		pol:             cfg.pol,
-		source:          cfg.source,
-		tracker:         cfg.tracker,
-		issuer:          issuer,
-		verifier:        verifier,
-		now:             cfg.now,
-		hooks:           cfg.hooks,
-		failClosedScore: cfg.failClosed,
-		bypassBelow:     cfg.bypassBelow,
+		tracker:  cfg.tracker,
+		issuer:   issuer,
+		verifier: verifier,
+		now:      cfg.now,
+		hooks:    cfg.hooks,
 	}
+	f.snap.Store(snap)
 	f.cIssued = f.stats.Counter("issued")
 	f.cVerified = f.stats.Counter("verified")
 	f.cRejected = f.stats.Counter("rejected")
 	f.cBypassed = f.stats.Counter("bypassed")
 	f.cScoreErrs = f.stats.Counter("score_errors")
-
-	if vs, ok := cfg.scorer.(features.VectorScorer); ok {
-		if vsrc, ok := cfg.source.(features.VectorSource); ok {
-			if sch := vs.Schema(); sch != nil {
-				f.schema, f.vecScorer, f.vecSource = sch, vs, vsrc
-				f.vecPool.New = func() any {
-					v := make([]float64, sch.Len())
-					return &v
-				}
-			}
-		}
-	}
+	f.cSwaps = f.stats.Counter("swaps")
 	return f, nil
 }
 
+// SwapOption describes one change to the swappable configuration; pass a
+// set of them to Swap. Fields not mentioned keep their current values.
+type SwapOption func(*swapConfig)
+
+// swapConfig accumulates a Swap's changes against the current snapshot.
+// The set flags distinguish "replace with nil" (rejected by validation)
+// from "keep current".
+type swapConfig struct {
+	scorer      Scorer
+	scorerSet   bool
+	pol         policy.Policy
+	polSet      bool
+	source      features.Source
+	sourceSet   bool
+	failClosed  *float64
+	bypassBelow *float64
+}
+
+// SetScorer replaces the AI model.
+func SetScorer(s Scorer) SwapOption {
+	return func(c *swapConfig) { c.scorer, c.scorerSet = s, true }
+}
+
+// SetPolicy replaces the score→difficulty policy.
+func SetPolicy(p policy.Policy) SwapOption {
+	return func(c *swapConfig) { c.pol, c.polSet = p, true }
+}
+
+// SetSource replaces the per-request attribute source.
+func SetSource(s features.Source) SwapOption {
+	return func(c *swapConfig) { c.source, c.sourceSet = s, true }
+}
+
+// SetFailClosedScore replaces the score assumed on scorer failure.
+func SetFailClosedScore(v float64) SwapOption {
+	return func(c *swapConfig) { c.failClosed = &v }
+}
+
+// SetBypassBelow replaces the bypass threshold (negative disables bypass).
+func SetBypassBelow(v float64) SwapOption {
+	return func(c *swapConfig) { c.bypassBelow = &v }
+}
+
+// Swap atomically replaces the framework's swappable configuration —
+// scorer, policy, source, fail-closed score, bypass threshold — with a new
+// immutable snapshot built from the current one plus the given changes.
+// Requests in flight finish on the snapshot they loaded; requests arriving
+// after Swap returns see the new one. The tracker, issuer/verifier (key,
+// TTL, max difficulty, replay cache), clock, hooks, and counters are
+// shared long-lived state and persist across swaps.
+//
+// A failed Swap (nil component, fail-closed score out of range) leaves the
+// current configuration untouched.
+func (f *Framework) Swap(changes ...SwapOption) error {
+	if len(changes) == 0 {
+		return errors.New("core: swap without changes")
+	}
+	f.swapMu.Lock()
+	defer f.swapMu.Unlock()
+	cur := f.snap.Load()
+	cfg := swapConfig{}
+	for _, change := range changes {
+		change(&cfg)
+	}
+	scorer, pol, source := cur.scorer, cur.pol, cur.source
+	failClosed, bypassBelow := cur.failClosedScore, cur.bypassBelow
+	if cfg.scorerSet {
+		scorer = cfg.scorer
+	}
+	if cfg.polSet {
+		pol = cfg.pol
+	}
+	if cfg.sourceSet {
+		source = cfg.source
+	}
+	if cfg.failClosed != nil {
+		failClosed = *cfg.failClosed
+	}
+	if cfg.bypassBelow != nil {
+		bypassBelow = *cfg.bypassBelow
+	}
+	next, err := buildSnapshot(scorer, pol, source, failClosed, bypassBelow)
+	if err != nil {
+		return fmt.Errorf("core: swap rejected: %w", err)
+	}
+	// Reuse the current scratch pool when the schema is unchanged: warm
+	// *[]float64 buffers stay warm across policy-only swaps.
+	if next.schema != nil && next.schema == cur.schema {
+		next.vecPool = cur.vecPool
+	}
+	f.snap.Store(next)
+	f.cSwaps.Inc()
+	return nil
+}
+
+// SwapPolicy atomically replaces just the policy — the paper's headline
+// operation: switching policy1 → policy2 mid-attack without redeploying.
+func (f *Framework) SwapPolicy(p policy.Policy) error { return f.Swap(SetPolicy(p)) }
+
+// SwapScorer atomically replaces just the AI model (e.g. installing a
+// freshly retrained reputation model). Vector fast-path wiring is rebuilt
+// against the new scorer's schema.
+func (f *Framework) SwapScorer(s Scorer) error { return f.Swap(SetScorer(s)) }
+
 // Decide runs steps 2–4 of the protocol for one request: score the
 // client's features, map the score to a difficulty, and issue a bound
-// challenge.
+// challenge. The whole decision runs on one configuration snapshot loaded
+// at entry, so a concurrent Swap is never observed torn.
 func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	if req.IP == "" {
 		return Decision{}, errors.New("core: request without client IP")
 	}
+	snap := f.snap.Load()
 	dec := Decision{IP: req.IP}
 
-	score, err := f.score(req.IP)
+	score, err := snap.score(req.IP, f.now())
 	if err != nil {
 		// Fail closed: an unscorable client is treated as configured,
 		// default maximally suspicious. The error is preserved on the
 		// decision for observability.
 		dec.ScoreErr = err
-		score = f.failClosedScore
+		score = snap.failClosedScore
 		f.cScoreErrs.Inc()
 	}
 	dec.Score = score
 
-	if f.bypassBelow >= 0 && score < f.bypassBelow {
+	if snap.bypassBelow >= 0 && score < snap.bypassBelow {
 		dec.Bypassed = true
 		f.cBypassed.Inc()
 		f.fire(dec)
 		return dec, nil
 	}
 
-	dec.Difficulty = f.pol.Difficulty(score)
+	dec.Difficulty = snap.pol.Difficulty(score)
 	ch, err := f.issuer.Issue(req.IP, dec.Difficulty)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: issue challenge: %w", err)
@@ -305,19 +454,19 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 // the map-based Source/Scorer pair when the fast path is unavailable or a
 // source could not cover the full schema — the map path then reports
 // exactly which attribute was missing, and Decide fails closed.
-func (f *Framework) score(ip string) (float64, error) {
-	if f.schema != nil {
-		vp := f.vecPool.Get().(*[]float64)
+func (s *snapshot) score(ip string, now time.Time) (float64, error) {
+	if s.schema != nil {
+		vp := s.vecPool.Get().(*[]float64)
 		v := *vp
 		clear(v)
-		if mask := f.vecSource.AttributesVector(v, f.schema, ip, f.now()); mask == f.schema.FullMask() {
-			score, err := f.vecScorer.ScoreVector(v)
-			f.vecPool.Put(vp)
+		if mask := s.vecSource.AttributesVector(v, s.schema, ip, now); mask == s.schema.FullMask() {
+			score, err := s.vecScorer.ScoreVector(v)
+			s.vecPool.Put(vp)
 			return score, err
 		}
-		f.vecPool.Put(vp)
+		s.vecPool.Put(vp)
 	}
-	return f.scorer.Score(f.source.Attributes(ip, f.now()))
+	return s.scorer.Score(s.source.Attributes(ip, now))
 }
 
 // Verify runs steps 5–6: check the solution presented by binding. A nil
@@ -342,11 +491,33 @@ func (f *Framework) Observe(req features.RequestInfo) error {
 }
 
 // PolicyName reports the active policy's name for logs and tables.
-func (f *Framework) PolicyName() string { return f.pol.Name() }
+func (f *Framework) PolicyName() string { return f.snap.Load().pol.Name() }
+
+// Swaps reports how many configuration swaps have been installed — a
+// cheap generation counter the control plane uses to detect out-of-band
+// Swap calls on a spec-managed framework.
+func (f *Framework) Swaps() uint64 { return f.cSwaps.Value() }
 
 // Stats returns a snapshot of the framework's counters: issued, verified,
-// rejected, bypassed, score_errors.
-func (f *Framework) Stats() map[string]float64 { return f.stats.Snapshot() }
+// rejected, bypassed, score_errors, swaps.
+func (f *Framework) Stats() map[string]float64 {
+	out := make(map[string]float64, 6)
+	f.StatsInto(out)
+	return out
+}
+
+// StatsInto adds the framework's counter values into dst, overwriting
+// same-named keys. Callers polling stats (a server's /stats endpoint, the
+// simulation reporter) reuse one map across calls instead of allocating a
+// fresh one per poll.
+func (f *Framework) StatsInto(dst map[string]float64) { f.stats.SnapshotInto(dst) }
+
+// StatsPrefixInto is StatsInto with every key prefixed (e.g.
+// "web.issued"), for pollers aggregating several frameworks into one map
+// without an intermediate map per framework.
+func (f *Framework) StatsPrefixInto(prefix string, dst map[string]float64) {
+	f.stats.SnapshotPrefixInto(prefix, dst)
+}
 
 // fire invokes hooks synchronously.
 func (f *Framework) fire(dec Decision) {

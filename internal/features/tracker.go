@@ -81,10 +81,26 @@ type Tracker struct {
 	maxPaths  int
 	shardsOpt int
 
-	// layout caches the behavioral attrs' slots for the last schema seen
-	// on the vector fast path (keyed by schema pointer identity).
-	layout atomic.Pointer[trackerLayout]
+	// layouts caches the behavioral attrs' slots per schema seen on the
+	// vector fast path (keyed by schema pointer identity). The slice is
+	// immutable once published — lookups are one atomic load plus a scan
+	// of at most maxTrackerLayouts entries — and layoutMu serializes the
+	// copy-on-write slow path that appends a newly resolved schema. This
+	// is what lets multiple pipelines (each with its own scorer schema)
+	// share one tracker without rebuilding layouts on the request path.
+	layouts  atomic.Pointer[[]*trackerLayout]
+	layoutMu sync.Mutex
 }
+
+// maxTrackerLayouts bounds how many schemas' layouts one tracker retains
+// (oldest evicted first), so a tracker outliving many retrained scorers
+// (each publishing a fresh schema pointer) cannot accrete dead layouts.
+// It is sized well above any realistic count of concurrently-live
+// schemas on one tracker: a deployment would need more than this many
+// pipelines with *distinct* scorer schemas before the FIFO starts
+// evicting a live schema (which degrades to a per-request mutex+rebuild
+// on the overflowing schemas, not an error).
+const maxTrackerLayouts = 16
 
 // trackerShard is one lock stripe, padded so neighboring shards' mutexes
 // do not share a cache line under contention.
@@ -364,11 +380,29 @@ func (t *Tracker) AttributesVector(dst []float64, schema *Schema, ip string, now
 var _ VectorSource = (*Tracker)(nil)
 
 // layoutFor resolves (and caches) the behavioral attributes' slots in
-// schema. The cache holds the last schema seen; in practice a tracker
-// serves one framework and therefore one schema.
+// schema. The fast path is one atomic load and a pointer scan; a schema
+// seen for the first time takes the mutex, re-checks, and publishes a new
+// bounded slice copy-on-write, so trackers shared by several pipelines
+// (one schema each) never rebuild layouts on the request path.
 func (t *Tracker) layoutFor(schema *Schema) *trackerLayout {
-	if l := t.layout.Load(); l != nil && l.schema == schema {
-		return l
+	if ls := t.layouts.Load(); ls != nil {
+		for _, l := range *ls {
+			if l.schema == schema {
+				return l
+			}
+		}
+	}
+	t.layoutMu.Lock()
+	defer t.layoutMu.Unlock()
+	cur := t.layouts.Load()
+	var prev []*trackerLayout
+	if cur != nil {
+		prev = *cur
+		for _, l := range prev {
+			if l.schema == schema { // lost the race to another resolver
+				return l
+			}
+		}
 	}
 	l := &trackerLayout{schema: schema}
 	for i, name := range behaviorAttrNames {
@@ -380,7 +414,13 @@ func (t *Tracker) layoutFor(schema *Schema) *trackerLayout {
 		l.idx[i] = j
 		l.mask |= 1 << uint(j)
 	}
-	t.layout.Store(l)
+	for len(prev) >= maxTrackerLayouts {
+		prev = prev[1:] // FIFO: evict the oldest-resolved schema
+	}
+	next := make([]*trackerLayout, 0, len(prev)+1)
+	next = append(next, prev...)
+	next = append(next, l)
+	t.layouts.Store(&next)
 	return l
 }
 

@@ -228,3 +228,109 @@ func TestTrackerConcurrent(t *testing.T) {
 		t.Fatalf("Tracked() = %d, want 8", got)
 	}
 }
+
+// TestTrackerLayoutCacheMultiSchema exercises the bounded per-schema
+// layout cache: several schemas served interleaved (the multi-pipeline
+// shape, where one tracker feeds frameworks with different scorer
+// schemas) must all stay resident, keep answering with correct slots and
+// masks, and never grow the cache past its bound.
+func TestTrackerLayoutCacheMultiSchema(t *testing.T) {
+	tr, err := NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tr.Observe(RequestInfo{IP: "a", Path: "/x", At: at(0)})
+	_ = tr.Observe(RequestInfo{IP: "a", Path: "/y", At: at(1)})
+
+	mk := func(names ...string) *Schema {
+		s, err := NewSchema(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Distinct layouts: the live attributes land at different slots.
+	schemas := []*Schema{
+		mk(AttrRequestRate, AttrTotalRequests),
+		mk("static_x", AttrTotalRequests, AttrFailRatio),
+		mk(AttrDistinctPaths),
+		mk("static_x", "static_y"), // no live attributes at all
+	}
+	for round := 0; round < 3; round++ {
+		for si, schema := range schemas {
+			dst := schema.NewVector()
+			mask := tr.AttributesVector(dst, schema, "a", at(2))
+			want := uint64(0)
+			for j := 0; j < schema.Len(); j++ {
+				name := schema.Name(j)
+				for _, live := range behaviorAttrNames {
+					if name == live {
+						want |= 1 << uint(j)
+					}
+				}
+			}
+			if mask != want {
+				t.Fatalf("round %d schema %d: mask = %b, want %b", round, si, mask, want)
+			}
+			if j, ok := schema.Index(AttrTotalRequests); ok && dst[j] != 2 {
+				t.Fatalf("round %d schema %d: total = %v, want 2", round, si, dst[j])
+			}
+		}
+	}
+	if ls := tr.layouts.Load(); ls == nil || len(*ls) != len(schemas) {
+		t.Fatalf("layout cache holds %d entries, want %d", len(*ls), len(schemas))
+	}
+
+	// Fill the cache to its bound with churned (retrained-scorer-style)
+	// schemas, then one more: the oldest is evicted, the cache stays
+	// bounded, and the evicted schema still answers correctly (it just
+	// re-resolves).
+	for i := len(schemas); i < maxTrackerLayouts+1; i++ {
+		s := mk(fmt.Sprintf("churn_%d", i), AttrFailRatio)
+		_ = tr.AttributesVector(s.NewVector(), s, "a", at(3))
+	}
+	if ls := tr.layouts.Load(); len(*ls) != maxTrackerLayouts {
+		t.Fatalf("layout cache holds %d entries after churn, want bound %d", len(*ls), maxTrackerLayouts)
+	}
+	dst := schemas[0].NewVector()
+	if mask := tr.AttributesVector(dst, schemas[0], "a", at(4)); mask == 0 {
+		t.Fatal("evicted schema no longer resolves")
+	}
+}
+
+// TestTrackerLayoutCacheConcurrent races many goroutines resolving a mix
+// of schemas; run under -race this guards the copy-on-write publish.
+func TestTrackerLayoutCacheConcurrent(t *testing.T) {
+	tr, err := NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var schemas []*Schema
+	for i := 0; i < maxTrackerLayouts; i++ {
+		s, err := NewSchema(fmt.Sprintf("static_%d", i), AttrRequestRate, AttrTotalRequests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schemas = append(schemas, s)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dst := make([]float64, 3)
+			for i := 0; i < 500; i++ {
+				s := schemas[(w+i)%len(schemas)]
+				clear(dst)
+				if mask := tr.AttributesVector(dst, s, "a", at(i)); mask == 0 {
+					t.Error("live attributes not covered")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ls := tr.layouts.Load(); len(*ls) != len(schemas) {
+		t.Fatalf("layout cache holds %d entries, want %d", len(*ls), len(schemas))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"aipow/internal/core"
 	"aipow/internal/features"
@@ -353,5 +354,99 @@ func TestTransportIgnoresForeign428(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != StatusChallenge {
 		t.Fatalf("status = %d, want untouched 428", resp.StatusCode)
+	}
+}
+
+// fixedRouter routes /api/ onto one framework and everything else onto
+// another, honoring a "gold" tenant override — a miniature gatekeeper.
+type fixedRouter struct {
+	api, web *core.Framework
+}
+
+func (r fixedRouter) Route(path, tenant string) *core.Framework {
+	if tenant == "gold" || strings.HasPrefix(path, "/api/") {
+		return r.api
+	}
+	return r.web
+}
+
+func TestRoutedMiddlewarePicksPipelinePerRequest(t *testing.T) {
+	polAPI, err := policy.NewFixed(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polWeb, err := policy.NewFixed(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := fixedRouter{
+		api: newTestFramework(t, 5, core.WithPolicy(polAPI)),
+		web: newTestFramework(t, 5, core.WithPolicy(polWeb)),
+	}
+	mw, err := NewRoutedMiddleware(router, okHandler(), WithTenantHeader("X-Tenant"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(mw)
+	t.Cleanup(srv.Close)
+
+	difficulty := func(path, tenant string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tenant != "" {
+			req.Header.Set("X-Tenant", tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != StatusChallenge {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, StatusChallenge)
+		}
+		return resp.Header.Get(HeaderDifficulty)
+	}
+	if d := difficulty("/", ""); d != "2" {
+		t.Fatalf("web difficulty = %s, want 2", d)
+	}
+	if d := difficulty("/api/v1", ""); d != "9" {
+		t.Fatalf("api difficulty = %s, want 9", d)
+	}
+	if d := difficulty("/", "gold"); d != "9" {
+		t.Fatalf("gold tenant difficulty = %s, want 9", d)
+	}
+
+	// The full solve loop works against a routed middleware: the same
+	// pipeline that issued the challenge verifies the solution.
+	client := &http.Client{Transport: NewTransport()}
+	resp, err := client.Get(srv.URL + "/api/thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "the protected resource" {
+		t.Fatalf("routed solve loop: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+func TestRoutedMiddlewareValidation(t *testing.T) {
+	if _, err := NewRoutedMiddleware(nil, okHandler()); err == nil {
+		t.Error("nil router accepted")
+	}
+	fw := newTestFramework(t, 0)
+	if _, err := NewMiddleware(fw, okHandler(), WithTenantHeader("X-T")); err == nil {
+		t.Error("tenant header without router accepted")
+	}
+	// Session tokens are IP-bound, not pipeline-scoped: combined with
+	// routing, one cheap solve would buy pass-through on strict routes.
+	router := fixedRouter{api: fw, web: fw}
+	if _, err := NewRoutedMiddleware(router, okHandler(),
+		WithSessionTokens(testKey, time.Minute)); err == nil {
+		t.Error("session tokens with routed middleware accepted")
 	}
 }

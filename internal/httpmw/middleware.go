@@ -24,15 +24,26 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// Middleware protects an http.Handler with the framework. Construct with
-// NewMiddleware.
+// Router selects the framework that serves one request class — the seam
+// between the middleware and the control plane's gatekeeper. Route must
+// never return nil; path is the request path and tenant the value of the
+// configured tenant header ("" when unset).
+type Router interface {
+	Route(path, tenant string) *core.Framework
+}
+
+// Middleware protects an http.Handler with a framework — one fixed
+// pipeline, or per-route pipelines via a Router. Construct with
+// NewMiddleware or NewRoutedMiddleware.
 type Middleware struct {
-	next        http.Handler
-	fw          *core.Framework
-	trustHeader string
-	now         func() time.Time
-	tokens      *tokenSigner
-	tokenTTL    time.Duration
+	next         http.Handler
+	fw           *core.Framework // single-pipeline mode; nil when routed
+	router       Router          // per-route mode; nil when single
+	tenantHeader string
+	trustHeader  string
+	now          func() time.Time
+	tokens       *tokenSigner
+	tokenTTL     time.Duration
 }
 
 // MiddlewareOption customizes the middleware.
@@ -43,6 +54,14 @@ type MiddlewareOption func(*Middleware)
 // a proxy that always sets it.
 func WithTrustedIPHeader(name string) MiddlewareOption {
 	return func(m *Middleware) { m.trustHeader = name }
+}
+
+// WithTenantHeader names the header whose value is passed to the Router
+// as the tenant key (e.g. "X-Tenant"). Only meaningful with
+// NewRoutedMiddleware; only safe when a trusted proxy controls the
+// header, since clients could otherwise choose their pipeline.
+func WithTenantHeader(name string) MiddlewareOption {
+	return func(m *Middleware) { m.tenantHeader = name }
 }
 
 // WithMiddlewareClock injects the middleware's time source, for tests.
@@ -67,12 +86,38 @@ func NewMiddleware(fw *core.Framework, next http.Handler, opts ...MiddlewareOpti
 	if fw == nil {
 		return nil, fmt.Errorf("httpmw: middleware requires a framework")
 	}
+	return newMiddleware(fw, nil, next, opts)
+}
+
+// NewRoutedMiddleware wraps next with the PoW protocol, selecting the
+// serving framework per request through router (typically the control
+// plane's gatekeeper): the request path and — with WithTenantHeader —
+// the tenant key pick the pipeline that scores, prices, and verifies the
+// request.
+func NewRoutedMiddleware(router Router, next http.Handler, opts ...MiddlewareOption) (*Middleware, error) {
+	if router == nil {
+		return nil, fmt.Errorf("httpmw: routed middleware requires a router")
+	}
+	return newMiddleware(nil, router, next, opts)
+}
+
+func newMiddleware(fw *core.Framework, router Router, next http.Handler, opts []MiddlewareOption) (*Middleware, error) {
 	if next == nil {
 		return nil, fmt.Errorf("httpmw: middleware requires a handler to protect")
 	}
-	m := &Middleware{next: next, fw: fw, now: time.Now}
+	m := &Middleware{next: next, fw: fw, router: router, now: time.Now}
 	for _, opt := range opts {
 		opt(m)
+	}
+	if m.tenantHeader != "" && m.router == nil {
+		return nil, fmt.Errorf("httpmw: WithTenantHeader requires a routed middleware")
+	}
+	if m.tokens != nil && m.router != nil {
+		// Tokens are bound to the client IP only, not to a pipeline: one
+		// cheap solve on a lenient route would buy token pass-through on
+		// every stricter route. Until tokens carry a pipeline scope,
+		// refuse the combination rather than silently weaken routing.
+		return nil, fmt.Errorf("httpmw: session tokens are not pipeline-scoped; WithSessionTokens cannot be combined with a routed middleware")
 	}
 	if m.tokens != nil {
 		m.tokens.now = m.now
@@ -86,36 +131,53 @@ func NewMiddleware(fw *core.Framework, next http.Handler, opts ...MiddlewareOpti
 	return m, nil
 }
 
+// framework resolves the pipeline serving r: the fixed framework in
+// single-pipeline mode, the router's choice in routed mode.
+func (m *Middleware) framework(r *http.Request) *core.Framework {
+	if m.router == nil {
+		return m.fw
+	}
+	tenant := ""
+	if m.tenantHeader != "" {
+		tenant = r.Header.Get(m.tenantHeader)
+	}
+	return m.router.Route(r.URL.Path, tenant)
+}
+
 // ServeHTTP implements http.Handler.
 func (m *Middleware) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	ip := ClientIP(r, m.trustHeader)
+	// One routing decision per request: the same pipeline scores,
+	// challenges, and verifies it even if a control-plane Apply swaps the
+	// route table mid-flight.
+	fw := m.framework(r)
 
 	if m.tokens != nil {
 		if tok := r.Header.Get(HeaderToken); tok != "" {
 			if err := m.tokens.Validate(tok, ip); err == nil {
-				m.observe(r, ip, false)
+				m.observe(fw, r, ip, false)
 				m.next.ServeHTTP(w, r)
 				return
 			}
 			// Invalid/expired token: fall through to the puzzle flow; the
 			// failed presentation is behavioral signal.
-			m.observe(r, ip, true)
+			m.observe(fw, r, ip, true)
 		}
 	}
 
 	if token := r.Header.Get(HeaderSolution); token != "" {
-		m.redeem(w, r, ip, token)
+		m.redeem(fw, w, r, ip, token)
 		return
 	}
-	m.challenge(w, r, ip, "")
+	m.challenge(fw, w, r, ip, "")
 }
 
 // challenge runs Decide and answers with a 428 (or passes a bypassed
 // request through). extraMsg annotates re-challenges after a failed
 // redemption.
-func (m *Middleware) challenge(w http.ResponseWriter, r *http.Request, ip, extraMsg string) {
-	m.observe(r, ip, false)
-	dec, err := m.fw.Decide(core.RequestContext{IP: ip})
+func (m *Middleware) challenge(fw *core.Framework, w http.ResponseWriter, r *http.Request, ip, extraMsg string) {
+	m.observe(fw, r, ip, false)
+	dec, err := fw.Decide(core.RequestContext{IP: ip})
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "challenge issuance failed"})
 		return
@@ -146,18 +208,18 @@ func (m *Middleware) challenge(w http.ResponseWriter, r *http.Request, ip, extra
 // success. Invalid solutions get a fresh challenge (the paper's flow keeps
 // clients in the loop rather than banning them outright — cost, not
 // blocking, is the control).
-func (m *Middleware) redeem(w http.ResponseWriter, r *http.Request, ip, token string) {
+func (m *Middleware) redeem(fw *core.Framework, w http.ResponseWriter, r *http.Request, ip, token string) {
 	var sol puzzle.Solution
 	if err := sol.UnmarshalText([]byte(token)); err != nil {
-		m.observe(r, ip, true)
+		m.observe(fw, r, ip, true)
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "malformed solution token"})
 		return
 	}
-	if err := m.fw.Verify(sol, ip); err != nil {
-		m.challenge(w, r, ip, "solution rejected")
+	if err := fw.Verify(sol, ip); err != nil {
+		m.challenge(fw, w, r, ip, "solution rejected")
 		return
 	}
-	m.observe(r, ip, false)
+	m.observe(fw, r, ip, false)
 	if m.tokens != nil {
 		w.Header().Set(HeaderToken, m.tokens.Mint(ip, m.tokenTTL))
 	}
@@ -165,9 +227,9 @@ func (m *Middleware) redeem(w http.ResponseWriter, r *http.Request, ip, token st
 }
 
 // observe feeds the request into the framework's behavior tracker.
-func (m *Middleware) observe(r *http.Request, ip string, failed bool) {
+func (m *Middleware) observe(fw *core.Framework, r *http.Request, ip string, failed bool) {
 	// Observe is best-effort: tracking failures must never block serving.
-	_ = m.fw.Observe(features.RequestInfo{
+	_ = fw.Observe(features.RequestInfo{
 		IP:     ip,
 		Path:   r.URL.Path,
 		At:     m.now(),

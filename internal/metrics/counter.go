@@ -95,15 +95,32 @@ func (r *Registry) Gauge(name string) *Gauge {
 // share one namespace only if the caller reuses names; gauge values win ties.
 func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.RLock()
+	n := len(r.counters) + len(r.gauges)
+	r.mu.RUnlock()
+	out := make(map[string]float64, n)
+	r.SnapshotInto(out)
+	return out
+}
+
+// SnapshotInto writes all registered metric values into dst, overwriting
+// same-named keys but leaving other keys alone. Pollers reuse one map
+// across calls instead of allocating a fresh one per scrape.
+func (r *Registry) SnapshotInto(dst map[string]float64) {
+	r.SnapshotPrefixInto("", dst)
+}
+
+// SnapshotPrefixInto is SnapshotInto with every key prefixed — the
+// namespacing a multi-registry poller (one registry per pipeline) needs
+// without building an intermediate map per registry.
+func (r *Registry) SnapshotPrefixInto(prefix string, dst map[string]float64) {
+	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make(map[string]float64, len(r.counters)+len(r.gauges))
 	for name, c := range r.counters {
-		out[name] = float64(c.Value())
+		dst[prefix+name] = float64(c.Value())
 	}
 	for name, g := range r.gauges {
-		out[name] = g.Value()
+		dst[prefix+name] = g.Value()
 	}
-	return out
 }
 
 // Names reports all registered metric names in sorted order.

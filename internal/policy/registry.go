@@ -142,22 +142,36 @@ func (r *Registry) New(spec string) (Policy, error) {
 	return f(params)
 }
 
+// ParseSpec splits a component specification "name" or "name(k=v,k2=v2)"
+// into its name and numeric parameters. The syntax is shared by every
+// component registry in the framework — policies here, scorers and sources
+// in the control plane — so operators learn one spec grammar.
+func ParseSpec(spec string) (name string, params map[string]float64, err error) {
+	return parseSpec(spec)
+}
+
+// RejectUnknownParams errors on any parameter key outside the allowed set;
+// component factories use it so configuration typos fail loudly.
+func RejectUnknownParams(params map[string]float64, allowed ...string) error {
+	return rejectUnknown(params, allowed...)
+}
+
 // parseSpec splits "name(k=v,…)" into its parts.
 func parseSpec(spec string) (string, map[string]float64, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
-		return "", nil, fmt.Errorf("policy: empty spec")
+		return "", nil, fmt.Errorf("spec: empty spec")
 	}
 	open := strings.IndexByte(spec, '(')
 	if open < 0 {
 		return spec, nil, nil
 	}
 	if !strings.HasSuffix(spec, ")") {
-		return "", nil, fmt.Errorf("policy: unbalanced parentheses in %q", spec)
+		return "", nil, fmt.Errorf("spec: unbalanced parentheses in %q", spec)
 	}
 	name := strings.TrimSpace(spec[:open])
 	if name == "" {
-		return "", nil, fmt.Errorf("policy: missing name in %q", spec)
+		return "", nil, fmt.Errorf("spec: missing name in %q", spec)
 	}
 	inner := spec[open+1 : len(spec)-1]
 	params := make(map[string]float64)
@@ -167,15 +181,15 @@ func parseSpec(spec string) (string, map[string]float64, error) {
 	for _, kv := range strings.Split(inner, ",") {
 		k, v, found := strings.Cut(kv, "=")
 		if !found {
-			return "", nil, fmt.Errorf("policy: parameter %q is not key=value", kv)
+			return "", nil, fmt.Errorf("spec: parameter %q is not key=value", kv)
 		}
 		k = strings.TrimSpace(k)
 		val, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
 		if err != nil {
-			return "", nil, fmt.Errorf("policy: parameter %q: %w", k, err)
+			return "", nil, fmt.Errorf("spec: parameter %q: %w", k, err)
 		}
 		if _, dup := params[k]; dup {
-			return "", nil, fmt.Errorf("policy: duplicate parameter %q", k)
+			return "", nil, fmt.Errorf("spec: duplicate parameter %q", k)
 		}
 		params[k] = val
 	}
@@ -193,7 +207,7 @@ func rejectUnknown(params map[string]float64, allowed ...string) error {
 			}
 		}
 		if !ok {
-			return fmt.Errorf("policy: unknown parameter %q (allowed: %s)", k, strings.Join(allowed, ", "))
+			return fmt.Errorf("spec: unknown parameter %q (allowed: %s)", k, strings.Join(allowed, ", "))
 		}
 	}
 	return nil

@@ -45,6 +45,7 @@ import (
 	"aipow/internal/features"
 	"aipow/internal/metrics"
 	"aipow/internal/netsim"
+	"aipow/internal/policy"
 	"aipow/internal/puzzle"
 )
 
@@ -232,9 +233,22 @@ func Run(sc Scenario) (*Result, error) {
 	}
 
 	ticks := int((sc.Duration() + sc.Tick - 1) / sc.Tick)
+	lastPhase := -1
 	for t := 0; t < ticks; t++ {
 		tickStart := time.Duration(t) * eng.tick
 		clock.Set(Epoch().Add(tickStart))
+		phase := eng.phaseOf(tickStart)
+		// Phase-entry policy swaps run here, between ticks: the engine is
+		// single-threaded at this point (runTick's barrier has passed), so
+		// the swap lands at a deterministic position in the event order
+		// while still exercising the real RCU swap against the concurrent
+		// workers of the following ticks.
+		for p := lastPhase + 1; p <= phase; p++ {
+			if err := eng.applyPhaseSwap(p); err != nil {
+				return nil, err
+			}
+		}
+		lastPhase = phase
 		eng.generateArrivals(t, tickStart)
 		eng.runTick(t)
 	}
@@ -253,7 +267,8 @@ func Run(sc Scenario) (*Result, error) {
 		eng.runTick(t)
 	}
 
-	res := &Result{Scenario: sc, FrameworkStats: fw.Stats()}
+	res := &Result{Scenario: sc, FrameworkStats: make(map[string]float64, 8)}
+	fw.StatsInto(res.FrameworkStats)
 	res.Outcomes = make([][]*outcome, len(sc.Populations))
 	for p := range res.Outcomes {
 		res.Outcomes[p] = make([]*outcome, len(sc.Phases))
@@ -266,6 +281,27 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// applyPhaseSwap installs phase p's SwapPolicy (if any) on the framework,
+// clamped to the defense's difficulty cap like the original policy.
+func (eng *engine) applyPhaseSwap(p int) error {
+	spec := eng.sc.Phases[p].SwapPolicy
+	if spec == "" {
+		return nil
+	}
+	pol, err := policy.NewRegistry().New(spec)
+	if err != nil {
+		return fmt.Errorf("sim: phase %q swap policy: %w", eng.sc.Phases[p].Name, err)
+	}
+	clamped, err := policy.NewClamp(pol, 1, eng.sc.Defense.MaxDifficulty)
+	if err != nil {
+		return fmt.Errorf("sim: phase %q clamp swap policy: %w", eng.sc.Phases[p].Name, err)
+	}
+	if err := eng.fw.SwapPolicy(clamped); err != nil {
+		return fmt.Errorf("sim: phase %q swap policy: %w", eng.sc.Phases[p].Name, err)
+	}
+	return nil
 }
 
 // phaseOf reports the phase index containing offset t (clamped to the last

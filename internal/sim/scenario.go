@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aipow/internal/core"
+	"aipow/internal/policy"
 )
 
 // Behavior describes how a population's clients react to a challenge.
@@ -179,6 +180,17 @@ type Phase struct {
 	// attack), large factors model flash crowds and strikes. Populations
 	// absent from the map run at their declared rate.
 	RateScale map[string]float64
+
+	// SwapPolicy, when non-empty, hot-swaps the defense's policy to this
+	// registry spec (e.g. "policy2") as the phase begins — the paper's
+	// mid-campaign operator move, exercised through the real
+	// Framework.SwapPolicy RCU path while workers keep deciding
+	// concurrently. The swap happens at the tick boundary entering the
+	// phase (a single-threaded point in the engine), so runs stay
+	// deterministic. The swapped policy is clamped to the defense's
+	// MaxDifficulty like the original. Stick to deterministic policies;
+	// policy3 would break report determinism (see Defense.Policy).
+	SwapPolicy string
 }
 
 // validate rejects inconsistent phases.
@@ -188,6 +200,13 @@ func (ph Phase) validate(populations []Population) error {
 	}
 	if ph.Duration <= 0 {
 		return fmt.Errorf("sim: phase %q needs a positive duration, got %v", ph.Name, ph.Duration)
+	}
+	if ph.SwapPolicy != "" {
+		// Compile the spec once up front so a typo fails at validation
+		// time, not mid-campaign.
+		if _, err := policy.NewRegistry().New(ph.SwapPolicy); err != nil {
+			return fmt.Errorf("sim: phase %q swap policy: %w", ph.Name, err)
+		}
 	}
 	for name, scale := range ph.RateScale {
 		if scale < 0 {
@@ -315,6 +334,16 @@ func (sc Scenario) validate() error {
 	}
 	if sc.Workers < 0 {
 		return fmt.Errorf("sim: scenario %q has negative worker count", sc.Name)
+	}
+	if sc.Factory != nil {
+		// Phase swaps clamp the new policy to Defense.MaxDifficulty; a
+		// custom factory's issuer cap is unknowable here, and a clamp
+		// above it would turn the swap into mid-run Issue errors.
+		for _, ph := range sc.Phases {
+			if ph.SwapPolicy != "" {
+				return fmt.Errorf("sim: scenario %q: phase %q SwapPolicy requires the built-in Defense, not a custom Factory", sc.Name, ph.Name)
+			}
+		}
 	}
 	seen := map[string]bool{}
 	for _, p := range sc.Populations {

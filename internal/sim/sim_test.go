@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"aipow/internal/core"
 )
 
 // testNetwork is a fast network for unit scenarios.
@@ -254,6 +256,11 @@ func TestScenarioValidation(t *testing.T) {
 		}},
 		{"unknown_invariant_phase", func(sc *Scenario) {
 			sc.Invariants = []Invariant{AtLeast(MetricServed, "a", "ghost", 1)}
+		}},
+		{"bad_swap_policy", func(sc *Scenario) { sc.Phases[0].SwapPolicy = "nope" }},
+		{"swap_policy_with_factory", func(sc *Scenario) {
+			sc.Phases[0].SwapPolicy = "policy2"
+			sc.Factory = func(now func() time.Time) (*core.Framework, error) { return nil, nil }
 		}},
 	}
 	for _, tc := range cases {

@@ -32,9 +32,10 @@ func scalePop(n int, scale float64) int {
 }
 
 // DefaultSuite is the canonical adversarial scenario set the CI gate runs:
-// eight deterministic scenarios spanning the traffic mixes the ROADMAP
-// asks for. scale < 1 (the CLI's -quick) shrinks population sizes without
-// changing per-client dynamics, so invariant bounds hold at every scale.
+// nine deterministic scenarios spanning the traffic mixes the ROADMAP
+// asks for, including the mid-campaign policy hot-swap. scale < 1 (the
+// CLI's -quick) shrinks population sizes without changing per-client
+// dynamics, so invariant bounds hold at every scale.
 func DefaultSuite(seed uint64, scale float64) []Scenario {
 	net := suiteNetwork()
 	scs := []Scenario{
@@ -209,6 +210,41 @@ func DefaultSuite(seed uint64, scale float64) []Scenario {
 				AtLeast(MetricMeanDifficulty, "dodgers", "", 12),
 				AtLeast(MetricServedFrac, "users", "", 0.999),
 				AtMost(MetricLatencyP90, "users", "", 800),
+			},
+		},
+		{
+			Name:        "policy-flip",
+			Description: "mid-campaign control-plane flip: policy1 → policy2 reprices a pulsing botnet without a restart",
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"flip-bots": 0}},
+				{Name: "pulse-policy1", Duration: 15 * time.Second},
+				{Name: "pulse-policy2", Duration: 15 * time.Second, SwapPolicy: "policy2"},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "flip-bots", Clients: scalePop(300, scale), Rate: 2,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3},
+			Invariants: []Invariant{
+				// The flip is the observable: under policy1 the bots' asking
+				// price is capped (score+1 ≤ 11); the phase-boundary swap to
+				// policy2 must visibly reprice them upward mid-pulse…
+				AtMost(MetricMeanDifficulty, "flip-bots", "pulse-policy1", 11),
+				AtLeast(MetricMeanDifficulty, "flip-bots", "pulse-policy2", 12),
+				AtLeast(MetricWorkRatioP50, "", "pulse-policy2", 12),
+				// …while legitimate traffic keeps being served with bounded
+				// typical latency across the whole campaign, swap included.
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP50, "users", "", 60),
+				AtMost(MetricLatencyP90, "users", "", 800),
+				AtMost(MetricDecideErrors, "", "", 0),
 			},
 		},
 		{
