@@ -310,6 +310,86 @@ func BenchmarkDecideUnderSwap(b *testing.B) {
 	<-done
 }
 
+// BenchmarkDecideUnderAdapt measures the decision path with the
+// closed-loop feedback subsystem attached and stepping at ~1 kHz (far
+// above the default 1 Hz controller cadence). The signal plane reads the
+// pipeline's counters by polling — the serving path contributes nothing
+// beyond its usual atomic counter increments — so Decide must stay
+// allocation-free at an unchanged ns/op class.
+func BenchmarkDecideUnderAdapt(b *testing.B) {
+	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := aipow.TrainReputationModel(aipow.DatasetToSamples(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	store, err := aipow.NewMapStore(data[0].Attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	registry, err := aipow.NewComponentRegistry(benchKey)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := registry.RegisterScorer("model", func(params map[string]float64) (aipow.Scorer, error) {
+		return model, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := registry.RegisterSource("store", func(params map[string]float64, _ *aipow.Tracker) (aipow.AttributeSource, error) {
+		return store, nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	dep, err := aipow.ParseDeployment(`
+pipeline bench
+  scorer model
+  source store
+  policy policy2
+  adapt capacity 1000000
+  adapt interval 1ms
+  adapt escalate(when=rate>1e12, policy=policy1, hold=1s)
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gk, err := aipow.NewGatekeeper(registry, dep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := gk.Route("/", "")
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := gk.StepControllers(time.Now()); err != nil {
+				b.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
 // BenchmarkVerifyParallel measures concurrent solution verification (no
 // replay cache, matching BenchmarkAsymmetryVerify's pure-verification
 // setup).

@@ -39,9 +39,11 @@ var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
 // gated are the benchmarks -compare fails the build on: the serving hot
 // path that PR 1 made allocation-free, plus Decide under control-plane
 // swap churn (PR 3's RCU snapshot redesign must not give the allocation
-// freedom back). Parallel/scaling entries are informational (their ns/op
+// freedom back) and Decide with the feedback subsystem's signal plane
+// polling at ~1 kHz (the closed loop must cost the serving path
+// nothing). Parallel/scaling entries are informational (their ns/op
 // depends on core count).
-var gated = []string{"Decide", "DecideUnderSwap", "Verify", "Issue"}
+var gated = []string{"Decide", "DecideUnderSwap", "DecideUnderAdapt", "Verify", "Issue"}
 
 // result is one benchmark's stable, diffable summary.
 type result struct {
@@ -146,6 +148,42 @@ func run(out, cpuSpec, compare, maxRegress string) error {
 		return err
 	}
 
+	// Adaptive-feedback wiring: the same Decide pipeline compiled through
+	// the control plane with an adapt section whose rule never fires, so
+	// the benchmark isolates the signal plane's polling cost (swap churn
+	// is DecideUnderSwap's job).
+	registry, err := aipow.NewComponentRegistry(benchKey)
+	if err != nil {
+		return err
+	}
+	if err := registry.RegisterScorer("model", func(params map[string]float64) (aipow.Scorer, error) {
+		return model, nil
+	}); err != nil {
+		return err
+	}
+	if err := registry.RegisterSource("store", func(params map[string]float64, _ *aipow.Tracker) (aipow.AttributeSource, error) {
+		return store, nil
+	}); err != nil {
+		return err
+	}
+	adaptDep, err := aipow.ParseDeployment(`
+pipeline bench
+  scorer model
+  source store
+  policy policy2
+  adapt capacity 1000000
+  adapt interval 1ms
+  adapt escalate(when=rate>1e12, policy=policy1, hold=1s)
+`)
+	if err != nil {
+		return err
+	}
+	gk, err := aipow.NewGatekeeper(registry, adaptDep)
+	if err != nil {
+		return err
+	}
+	adaptFW := gk.Route("/", "")
+
 	verifier, err := aipow.NewVerifier(benchKey)
 	if err != nil {
 		return err
@@ -231,6 +269,38 @@ func run(out, cpuSpec, compare, maxRegress string) error {
 				if err := fw.SwapPolicy(aipow.Policy2()); err != nil {
 					b.Fatal(err)
 				}
+			})),
+			// Decide with the feedback controller stepping at ~1 kHz: the
+			// signal plane reads counters by polling, so the serving path
+			// must stay allocation-free at an unchanged ns/op class.
+			"DecideUnderAdapt": summarize(testing.Benchmark(func(b *testing.B) {
+				stop := make(chan struct{})
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						if err := gk.StepControllers(time.Now()); err != nil {
+							b.Error(err)
+							return
+						}
+						time.Sleep(time.Millisecond)
+					}
+				}()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := adaptFW.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				close(stop)
+				<-done
 			})),
 			"Issue": summarize(testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()

@@ -16,8 +16,22 @@
 //
 //   - SIGHUP re-reads the -spec file and applies it;
 //   - the -admin listener accepts POST /apply with a spec body, and
-//     serves GET /spec (current deployment) and GET /stats (per-pipeline
-//     counters).
+//     serves GET /spec (current deployment), GET /spec/history (the last
+//     applied generations), POST /rollback (revert to the previous
+//     generation), and GET /stats (per-pipeline counters, including
+//     adapt.* controller state).
+//
+// With -adapt the server also runs the feedback controllers declared in
+// the spec's `adapt` sections: live signal estimation (request rate,
+// verify failures, difficulty distribution, the hard-solve FP proxy)
+// driving automatic policy escalation and de-escalation through the same
+// hot-swap path /apply uses. Without the flag, adapt sections are parsed
+// and validated but stay dormant.
+//
+// -admin-token protects the mutating admin endpoints (POST /apply, POST
+// /rollback) with a constant-time bearer check; read endpoints stay open
+// for scrapers. Without a token the admin listener is fully open — bind
+// it privately.
 //
 // Spec-named components: scorers "dabr" (the trained reputation model)
 // and "rate(saturation=N)" (kaPoW-style request-rate scorer); sources
@@ -27,6 +41,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"flag"
@@ -36,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -51,6 +68,8 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", ":8080", "listen address")
 	adminAddr := flag.String("admin", "", "control-plane listen address (empty disables; bind privately)")
+	adminToken := flag.String("admin-token", "", "bearer token required on mutating admin endpoints (empty leaves them open)")
+	adapt := flag.Bool("adapt", false, "run the feedback controllers declared in the spec's adapt sections")
 	specPath := flag.String("spec", "", "deployment spec file (text DSL or JSON; overrides -policy/-bypass)")
 	policySpec := flag.String("policy", "policy2", "policy spec for the default single-pipeline deployment")
 	keyHex := flag.String("key", "", "hex HMAC key (≥32 hex chars); random demo key when empty")
@@ -117,7 +136,10 @@ func main() {
 		reloadOnSIGHUP(gk, *specPath)
 	}
 	if *adminAddr != "" {
-		go serveAdmin(*adminAddr, gk)
+		go serveAdmin(*adminAddr, *adminToken, gk)
+	}
+	if *adapt {
+		go runAdaptLoop(gk)
 	}
 
 	log.Printf("powserver: pipelines %v, %d feed IPs, listening on %s", gk.Names(), store.Len(), *addr)
@@ -227,17 +249,71 @@ func reloadOnSIGHUP(gk *aipow.Gatekeeper, specPath string) {
 	}()
 }
 
+// runAdaptLoop drives the feedback controllers of every pipeline whose
+// spec declares an adapt section: a coarse ticker calls the gatekeeper's
+// StepControllers, and each controller internally skips until its own
+// interval has elapsed. The closed loop uses the exact policy hot-swap
+// path /apply does, so everything an escalation installs is visible on
+// GET /stats (the adapt.* keys) and revertible via POST /rollback.
+func runAdaptLoop(gk *aipow.Gatekeeper) {
+	log.Print("powserver: adaptive feedback loop running")
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	var lastErr string
+	for now := range ticker.C {
+		if err := gk.StepControllers(now); err != nil {
+			// Log state changes, not every tick, so a persistent swap
+			// failure cannot flood the log.
+			if msg := err.Error(); msg != lastErr {
+				log.Printf("powserver: adapt: %v", err)
+				lastErr = msg
+			}
+			continue
+		}
+		lastErr = ""
+	}
+}
+
+// requireBearer wraps a mutating admin handler with a constant-time
+// bearer-token check. An empty configured token leaves the handler open
+// (the pre-hardening behavior — bind the listener privately).
+func requireBearer(token string, next http.HandlerFunc) http.HandlerFunc {
+	if token == "" {
+		return next
+	}
+	// Compare digests, not raw strings: ConstantTimeCompare leaks length
+	// mismatches, a hash makes both sides fixed-width.
+	want := sha256.Sum256([]byte(token))
+	return func(w http.ResponseWriter, r *http.Request) {
+		auth := r.Header.Get("Authorization")
+		const prefix = "Bearer "
+		if !strings.HasPrefix(auth, prefix) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="powserver-admin"`)
+			http.Error(w, "missing bearer token", http.StatusUnauthorized)
+			return
+		}
+		got := sha256.Sum256([]byte(strings.TrimPrefix(auth, prefix)))
+		if subtle.ConstantTimeCompare(want[:], got[:]) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="powserver-admin"`)
+			http.Error(w, "invalid bearer token", http.StatusUnauthorized)
+			return
+		}
+		next(w, r)
+	}
+}
+
 // serveAdmin runs the control-plane listener: POST /apply (spec body),
-// GET /spec, GET /stats. It is deliberately unauthenticated — bind it to
-// a private interface.
-func serveAdmin(addr string, gk *aipow.Gatekeeper) {
+// POST /rollback, GET /spec, GET /spec/history, GET /stats. Mutating
+// endpoints honor the bearer token; read endpoints stay open for
+// scrapers — bind the listener to a private interface regardless.
+func serveAdmin(addr, token string, gk *aipow.Gatekeeper) {
 	// One stats map reused across polls (StatsInto): the scrape path does
 	// not allocate a map per request.
 	var statsMu sync.Mutex
 	stats := make(map[string]float64, 16)
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /apply", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /apply", requireBearer(token, func(w http.ResponseWriter, r *http.Request) {
 		// MaxBytesReader (not LimitReader) so an oversized spec is
 		// rejected loudly instead of silently truncated — a cut-off
 		// deployment could still validate and route tenants wrongly.
@@ -257,6 +333,20 @@ func serveAdmin(addr string, gk *aipow.Gatekeeper) {
 		}
 		log.Printf("powserver: admin applied new deployment (pipelines %v)", gk.Names())
 		fmt.Fprintf(w, "applied; pipelines %v\n", gk.Names())
+	}))
+	mux.HandleFunc("POST /rollback", requireBearer(token, func(w http.ResponseWriter, r *http.Request) {
+		if _, err := gk.Rollback(); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		log.Printf("powserver: admin rolled back deployment (pipelines %v)", gk.Names())
+		fmt.Fprintf(w, "rolled back; pipelines %v\n", gk.Names())
+	}))
+	mux.HandleFunc("GET /spec/history", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(gk.History())
 	})
 	mux.HandleFunc("GET /spec", func(w http.ResponseWriter, r *http.Request) {
 		buf, err := gk.Spec().Marshal()
@@ -275,7 +365,7 @@ func serveAdmin(addr string, gk *aipow.Gatekeeper) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(stats)
 	})
-	log.Printf("powserver: control plane on %s (POST /apply, GET /spec, GET /stats)", addr)
+	log.Printf("powserver: control plane on %s (POST /apply, POST /rollback, GET /spec, GET /spec/history, GET /stats)", addr)
 	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }

@@ -5,6 +5,7 @@ import (
 
 	"aipow/internal/control"
 	"aipow/internal/core"
+	"aipow/internal/feedback"
 	"aipow/internal/policy"
 )
 
@@ -90,6 +91,36 @@ type Gatekeeper = control.Gatekeeper
 func NewGatekeeper(reg *ComponentRegistry, dep *DeploymentSpec) (*Gatekeeper, error) {
 	return control.NewGatekeeper(reg, dep)
 }
+
+// AdaptSpec is a pipeline spec's closed-loop adaptive-defense section:
+// signal-plane shape (capacity, hard-difficulty threshold, window),
+// optional load-shift, and the escalation ladder in the declarative rule
+// grammar ("escalate(when=verify_fail_rate>0.3, policy=policy2,
+// hold=30s)"). See the "Adaptive feedback" section of the package
+// documentation and SPEC.md.
+type AdaptSpec = control.AdaptSpec
+
+// FeedbackController is the deterministic-steppable controller closing
+// the defense loop over one pipeline: Pipeline.Controller exposes it,
+// Gatekeeper.StepControllers drives every attached one.
+type FeedbackController = feedback.Controller
+
+// AdaptSignalNames lists the signal names adapt rule conditions can
+// reference (rate, load, verify_fail_rate, hard_solve_frac, …).
+func AdaptSignalNames() []string { return feedback.SignalNames() }
+
+// ParseAdaptRule validates one escalation rule
+// ("escalate(when=<cond>, policy=<spec>[, hold=<dur>][, after=<n>][, unless=<cond>])")
+// without building a controller — useful for config linting.
+func ParseAdaptRule(spec string) error {
+	_, err := feedback.ParseRule(spec)
+	return err
+}
+
+// SpecHistoryEntry is one applied deployment generation in the
+// gatekeeper's bounded rollback history (Gatekeeper.History /
+// Gatekeeper.Rollback).
+type SpecHistoryEntry = control.SpecHistoryEntry
 
 // SwapOption describes one change for Framework.Swap. Fields not
 // mentioned keep their current values.

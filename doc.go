@@ -94,6 +94,51 @@
 // attacker difficulty must rise after the swap while legitimate median
 // latency stays bounded, deterministically.
 //
+// # Adaptive feedback
+//
+// The paper's policies react to observed behavior and load; the feedback
+// subsystem closes that loop without an operator in it. A pipeline spec
+// may carry an `adapt` section (AdaptSpec; `adapt …` lines in the text
+// DSL) declaring an escalation ladder in the shared component-spec
+// syntax:
+//
+//	adapt capacity 400
+//	adapt escalate(when=rate>60, policy=policy2, hold=10s, after=2)
+//
+// Two halves make the loop:
+//
+//   - Signal plane. Each controller step polls the pipeline's cumulative
+//     atomic counters — no locks, allocations, or extra work on the
+//     Decide/Verify hot path (the gated DecideUnderAdapt benchmark pins
+//     0 allocs/op with the loop running) — and derives windowed
+//     estimates: an EWMA request rate, load (rate over declared
+//     capacity, also feeding load-shifted policies — the spec-addressable
+//     form of NewLoadAdaptivePolicy), verify-failure ratio, the
+//     per-pipeline difficulty distribution with quantiles, and
+//     hard_solve_frac, a false-positive proxy: the fraction of hard
+//     challenges that get solved. Misscored legitimate clients dutifully
+//     solve expensive puzzles; rational bots walk away — so a volume
+//     spike whose hard puzzles keep getting solved is a flash crowd, not
+//     an attack, and a rule can gate on it ("unless=hard_solve_frac>0.35").
+//
+//   - Controller. Rules form a ladder: the controller escalates to the
+//     highest level whose condition has held for its activation delay
+//     (after), installing that level's policy through the same RCU
+//     hot-swap path /apply uses, and de-escalates one level per step
+//     only after the level's condition has been false for its hold time
+//     — hysteresis that keeps a pulsing attacker from flapping the
+//     policy. Operator applies always win: a changed spec resets the
+//     controller to base, and the gatekeeper's bounded spec history
+//     (GET /spec/history, POST /rollback) is the safety net under the
+//     autonomous loop.
+//
+// powserver runs the loop under -adapt (controller state appears under
+// the adapt.* keys of GET /stats); the attacksim suite's three
+// adaptive scenarios gate the behavior in CI — attack-onset escalation
+// within a declared tick bound, post-attack de-escalation, FP-gated
+// non-escalation of a benign flash crowd, and a flap-guard bound on swap
+// counts — deterministically, byte-identical across reruns.
+//
 // # Performance
 //
 // The serving hot path (Decide and Verify) is allocation-free and

@@ -6,9 +6,11 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aipow/internal/core"
 	"aipow/internal/features"
+	"aipow/internal/feedback"
 	"aipow/internal/policy"
 )
 
@@ -28,9 +30,33 @@ import (
 type Gatekeeper struct {
 	reg *Registry
 
-	mu    sync.Mutex // serializes Apply
+	mu    sync.Mutex // serializes Apply/Rollback and guards hist
 	state atomic.Pointer[gkState]
+
+	// hist is the bounded log of applied deployments (oldest first), the
+	// rollback safety net an autonomous controller needs: when an
+	// adaptive deployment misbehaves, the operator reverts to a known
+	// generation instead of reconstructing it from memory mid-incident.
+	hist []SpecHistoryEntry
+	seq  int
 }
+
+// SpecHistoryEntry is one applied deployment generation.
+type SpecHistoryEntry struct {
+	// Seq increases monotonically across applies (including ones rotated
+	// out of the bounded log).
+	Seq int `json:"seq"`
+
+	// AppliedAt is when the generation was installed, on the registry's
+	// clock.
+	AppliedAt time.Time `json:"applied_at"`
+
+	// Spec is the deployment document as applied. Treat it as read-only.
+	Spec *DeploymentSpec `json:"spec"`
+}
+
+// SpecHistoryLimit bounds the retained spec history.
+const SpecHistoryLimit = 8
 
 // gkState is one immutable deployment generation.
 type gkState struct {
@@ -60,6 +86,7 @@ func NewGatekeeper(reg *Registry, dep *DeploymentSpec) (*Gatekeeper, error) {
 		return nil, err
 	}
 	gk.state.Store(st)
+	gk.record(dep)
 	return gk, nil
 }
 
@@ -85,6 +112,7 @@ func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error
 		scorer core.Scorer
 		pol    policy.Policy
 		source features.Source
+		ctrl   *feedback.Controller
 	}
 	var pending []pendingSwap
 	for _, ps := range dep.Pipelines {
@@ -96,11 +124,11 @@ func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error
 					if old.upToDate(resolved) {
 						built = old // unchanged: keep running state intact
 					} else {
-						scorer, pol, source, err := gk.reg.components(resolved)
+						scorer, pol, source, ctrl, err := gk.reg.components(resolved, old.load)
 						if err != nil {
 							return nil, err
 						}
-						pending = append(pending, pendingSwap{old, resolved, scorer, pol, source})
+						pending = append(pending, pendingSwap{old, resolved, scorer, pol, source, ctrl})
 						built = old
 					}
 				}
@@ -118,7 +146,7 @@ func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error
 		st.pipelines[ps.Name] = built
 	}
 	for _, sw := range pending {
-		if err := sw.p.applyResolved(sw.ps, sw.scorer, sw.pol, sw.source); err != nil {
+		if err := sw.p.applyResolved(sw.ps, sw.scorer, sw.pol, sw.source, sw.ctrl); err != nil {
 			return nil, err
 		}
 	}
@@ -163,7 +191,87 @@ func (gk *Gatekeeper) Apply(dep *DeploymentSpec) error {
 		return err
 	}
 	gk.state.Store(st)
+	gk.record(dep)
 	return nil
+}
+
+// record appends dep to the bounded spec history unless it is
+// semantically identical to the latest entry (a no-op re-apply — e.g. a
+// SIGHUP against an unchanged file — must not flood the rollback log).
+// Callers hold gk.mu.
+func (gk *Gatekeeper) record(dep *DeploymentSpec) {
+	if n := len(gk.hist); n > 0 && depEqual(gk.hist[n-1].Spec, dep) {
+		return
+	}
+	gk.seq++
+	gk.hist = append(gk.hist, SpecHistoryEntry{Seq: gk.seq, AppliedAt: gk.reg.now(), Spec: dep})
+	if len(gk.hist) > SpecHistoryLimit {
+		copy(gk.hist, gk.hist[1:])
+		gk.hist = gk.hist[:SpecHistoryLimit]
+	}
+}
+
+// depEqual reports semantic equality of two deployment documents.
+func depEqual(a, b *DeploymentSpec) bool {
+	if len(a.Pipelines) != len(b.Pipelines) || len(a.Routes) != len(b.Routes) {
+		return false
+	}
+	for i := range a.Pipelines {
+		if !specEqual(a.Pipelines[i], b.Pipelines[i]) {
+			return false
+		}
+	}
+	for i := range a.Routes {
+		if a.Routes[i] != b.Routes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// History returns a copy of the retained applied-spec log, oldest first.
+// The entries' Spec documents are shared — treat them as read-only.
+func (gk *Gatekeeper) History() []SpecHistoryEntry {
+	gk.mu.Lock()
+	defer gk.mu.Unlock()
+	return append([]SpecHistoryEntry(nil), gk.hist...)
+}
+
+// Rollback re-applies the previous deployment generation and pops the
+// current one off the history, so consecutive rollbacks keep unwinding
+// toward the oldest retained spec. It fails — changing nothing — when no
+// previous generation is retained or the previous spec no longer
+// compiles (e.g. a component was unregistered).
+func (gk *Gatekeeper) Rollback() (*DeploymentSpec, error) {
+	gk.mu.Lock()
+	defer gk.mu.Unlock()
+	if len(gk.hist) < 2 {
+		return nil, fmt.Errorf("control: no previous deployment to roll back to")
+	}
+	prev := gk.hist[len(gk.hist)-2]
+	st, err := gk.build(prev.Spec, gk.state.Load())
+	if err != nil {
+		return nil, fmt.Errorf("control: rollback to spec #%d: %w", prev.Seq, err)
+	}
+	gk.state.Store(st)
+	gk.hist = gk.hist[:len(gk.hist)-1]
+	return prev.Spec, nil
+}
+
+// StepControllers advances every pipeline's feedback controller that is
+// due at now, in stable name order. The host calls this from one coarse
+// ticker goroutine (powserver's adapt loop); pipelines without adapt
+// sections are untouched. All pipelines are stepped even when one
+// errors; the first error is returned.
+func (gk *Gatekeeper) StepControllers(now time.Time) error {
+	st := gk.state.Load()
+	var firstErr error
+	for _, name := range sortedKeys(st.pipelines) {
+		if err := st.pipelines[name].StepController(now); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Route reports the framework serving a request class: the tenant route
@@ -219,13 +327,18 @@ func (gk *Gatekeeper) Spec() *DeploymentSpec {
 	return out
 }
 
-// StatsInto adds every pipeline's counters into dst under
-// "<pipeline>.<counter>" keys. Reusing dst across polls means no maps
-// are allocated per scrape; the namespaced key strings still allocate
-// (this is the admin scrape path, not the serving hot path).
+// StatsInto adds every pipeline's counters — and, for pipelines with an
+// adapt section, the controller's level, swap counts, and live signal
+// estimates under "<pipeline>.adapt.*" — into dst under namespaced keys.
+// Reusing dst across polls means no maps are allocated per scrape; the
+// namespaced key strings still allocate (this is the admin scrape path,
+// not the serving hot path).
 func (gk *Gatekeeper) StatsInto(dst map[string]float64) {
 	st := gk.state.Load()
 	for name, p := range st.pipelines {
 		p.Framework().StatsPrefixInto(name+".", dst)
+		if ctrl := p.Controller(); ctrl != nil {
+			ctrl.StatsPrefixInto(name+".adapt.", dst)
+		}
 	}
 }

@@ -3,17 +3,21 @@ package control
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"aipow/internal/core"
 	"aipow/internal/features"
+	"aipow/internal/feedback"
 	"aipow/internal/policy"
 )
 
 // Pipeline is one runnable, hot-reconfigurable serving pipeline: a
-// core.Framework plus the spec it was compiled from and the registry that
-// resolves revisions of it. The serving methods (Framework().Decide /
-// Verify / Observe) stay allocation-free; Apply installs a revised spec
-// atomically against them.
+// core.Framework plus the spec it was compiled from, the registry that
+// resolves revisions of it, and — when the spec declares an adapt section
+// — the feedback controller closing the defense loop over it. The serving
+// methods (Framework().Decide / Verify / Observe) stay allocation-free;
+// Apply installs a revised spec atomically against them.
 type Pipeline struct {
 	reg *Registry
 	fw  *core.Framework
@@ -25,7 +29,15 @@ type Pipeline struct {
 	// spec install. A mismatch means someone called Framework.Swap
 	// directly (e.g. an emergency override); re-applying the spec then
 	// restores the declared configuration instead of no-opping.
+	// Controller-installed escalations go through controllerSwap, which
+	// keeps the counter in sync: adaptive repricing is declared behavior,
+	// not divergence.
 	swapsAt uint64
+
+	// ctrl is the attached feedback controller (nil without an adapt
+	// section), behind an atomic pointer so the load indirection on the
+	// serving hot path never takes a lock.
+	ctrl atomic.Pointer[feedback.Controller]
 }
 
 // Name reports the pipeline's spec name.
@@ -46,18 +58,90 @@ func (p *Pipeline) Spec() PipelineSpec {
 // stable across Apply calls — hold it for the process lifetime.
 func (p *Pipeline) Framework() *core.Framework { return p.fw }
 
+// Controller reports the attached feedback controller, nil when the spec
+// declares no adapt section.
+func (p *Pipeline) Controller() *feedback.Controller { return p.ctrl.Load() }
+
 // StatsInto adds the pipeline's framework counters into dst without
 // allocating a fresh map (see core.Framework.StatsInto).
 func (p *Pipeline) StatsInto(dst map[string]float64) { p.fw.StatsInto(dst) }
 
+// load is the pipeline's policy.LoadFunc: the current controller's load
+// estimate, 0 without one. It is a stable indirection — load-shifted
+// policies capture the method once and keep reading the live signal
+// plane across controller rebuilds — and costs two atomic loads on the
+// serving path.
+func (p *Pipeline) load() float64 {
+	if c := p.ctrl.Load(); c != nil {
+		return c.Sampler().Load()
+	}
+	return 0
+}
+
+// StepController advances the pipeline's feedback controller if one is
+// attached and its interval has elapsed. Hosts drive this from a coarse
+// ticker (powserver's adapt loop); the simulation engine steps its
+// controller directly.
+func (p *Pipeline) StepController(now time.Time) error {
+	ctrl := p.ctrl.Load()
+	if ctrl == nil {
+		return nil
+	}
+	_, err := ctrl.MaybeStep(now)
+	return err
+}
+
+// controllerSwap installs a controller-chosen policy, keeping the
+// swap-generation bookkeeping consistent so re-applying the (unchanged)
+// spec does not read the escalation as operator divergence and reset it.
+// A controller detached by a concurrent Apply is ignored: the new
+// deployment generation owns the pipeline now.
+func (p *Pipeline) controllerSwap(from *feedback.Controller, pol policy.Policy) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ctrl.Load() != from {
+		return nil
+	}
+	if err := p.fw.SwapPolicy(pol); err != nil {
+		return err
+	}
+	p.swapsAt = p.fw.Swaps()
+	return nil
+}
+
+// pipelineTarget routes a controller's swaps through its pipeline.
+type pipelineTarget struct {
+	p    *Pipeline
+	ctrl *feedback.Controller
+}
+
+// SwapPolicy implements feedback.Target.
+func (t pipelineTarget) SwapPolicy(pol policy.Policy) error {
+	return t.p.controllerSwap(t.ctrl, pol)
+}
+
+// attachControllerLocked installs (or clears) the pipeline's controller
+// and binds it to the pipeline's swap path and counter source. Callers
+// hold p.mu or own p exclusively (Build).
+func (p *Pipeline) attachControllerLocked(ctrl *feedback.Controller) {
+	p.ctrl.Store(ctrl)
+	if ctrl != nil {
+		ctrl.Bind(pipelineTarget{p: p, ctrl: ctrl}, p.fw)
+	}
+}
+
 // Apply hot-swaps the pipeline onto a revised spec: the scorer, policy,
-// source, bypass threshold, and fail-closed score are recompiled and
-// installed in one atomic snapshot swap, with zero interruption to
-// concurrent Decide/Verify traffic. An effectively identical spec is a
-// no-op, so re-applying a deployment never resets stateful components —
+// source, bypass threshold, fail-closed score, and adapt section are
+// recompiled and installed in one atomic snapshot swap, with zero
+// interruption to concurrent Decide/Verify traffic. An effectively
+// identical spec is a no-op, so re-applying a deployment never resets
+// stateful components — including an escalated feedback controller —
 // unless a direct Framework.Swap diverged the live configuration from
 // the spec (detected via the swap-generation counter), in which case
-// re-applying restores the declared state.
+// re-applying restores the declared state. An Apply that does change the
+// pipeline rebuilds its controller at base level: the declared spec wins
+// over accumulated escalation state, and the controller re-escalates if
+// the signals still demand it.
 // The spec's name and its non-hot-swappable fields (ttl, max-difficulty,
 // replay-cache, clock-skew — state the issuer/verifier own) must match
 // the current spec; changing those needs a rebuilt pipeline
@@ -81,17 +165,17 @@ func (p *Pipeline) Apply(ps PipelineSpec) error {
 	if specEqual(p.spec, ps) && p.fw.Swaps() == p.swapsAt {
 		return nil
 	}
-	scorer, pol, source, err := p.reg.components(ps)
+	scorer, pol, source, ctrl, err := p.reg.components(ps, p.load)
 	if err != nil {
 		return err
 	}
-	return p.installLocked(ps, scorer, pol, source)
+	return p.installLocked(ps, scorer, pol, source, ctrl)
 }
 
 // installLocked swaps pre-resolved components in under p.mu. Split from
 // Apply so Gatekeeper.Apply can resolve every pipeline's components
 // before installing any of them (no half-applied deployments).
-func (p *Pipeline) installLocked(ps PipelineSpec, scorer core.Scorer, pol policy.Policy, source features.Source) error {
+func (p *Pipeline) installLocked(ps PipelineSpec, scorer core.Scorer, pol policy.Policy, source features.Source, ctrl *feedback.Controller) error {
 	failClosed := policy.MaxScore
 	if ps.FailClosedScore != nil {
 		failClosed = *ps.FailClosedScore
@@ -111,6 +195,7 @@ func (p *Pipeline) installLocked(ps PipelineSpec, scorer core.Scorer, pol policy
 	}
 	p.spec = ps
 	p.swapsAt = p.fw.Swaps()
+	p.attachControllerLocked(ctrl)
 	return nil
 }
 
@@ -124,8 +209,8 @@ func (p *Pipeline) upToDate(ps PipelineSpec) bool {
 }
 
 // applyResolved is installLocked behind the spec mutex.
-func (p *Pipeline) applyResolved(ps PipelineSpec, scorer core.Scorer, pol policy.Policy, source features.Source) error {
+func (p *Pipeline) applyResolved(ps PipelineSpec, scorer core.Scorer, pol policy.Policy, source features.Source, ctrl *feedback.Controller) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.installLocked(ps, scorer, pol, source)
+	return p.installLocked(ps, scorer, pol, source, ctrl)
 }

@@ -11,6 +11,7 @@ import (
 
 	"aipow/internal/core"
 	"aipow/internal/features"
+	"aipow/internal/feedback"
 	"aipow/internal/policy"
 	"aipow/internal/puzzle"
 )
@@ -229,9 +230,8 @@ func (r *Registry) newSource(spec string) (features.Source, error) {
 }
 
 // newPolicy resolves a spec's policy — registry syntax or inline rules —
-// and clamps it to [1, maxDiff] so the worst score still yields a
-// challenge rather than an over-cap issuance error.
-func (r *Registry) newPolicy(ps PipelineSpec, maxDiff int) (policy.Policy, error) {
+// and finishes it with the pipeline's shared wrapping.
+func (r *Registry) newPolicy(ps PipelineSpec, load policy.LoadFunc) (policy.Policy, error) {
 	var pol policy.Policy
 	var err error
 	if ps.PolicyRules != "" {
@@ -242,11 +242,65 @@ func (r *Registry) newPolicy(ps PipelineSpec, maxDiff int) (policy.Policy, error
 	if err != nil {
 		return nil, fmt.Errorf("control: pipeline %q policy: %w", ps.Name, err)
 	}
-	clamped, err := policy.NewClamp(pol, 1, maxDiff)
+	return r.finishPolicy(ps, pol, load)
+}
+
+// finishPolicy applies the wrapping every policy serving ps receives —
+// the declared one and each adapt escalation rung alike: the
+// load-adaptive shift (when the adapt section declares load-shift, fed by
+// the pipeline's signal plane) and the clamp to [1, max-difficulty] so
+// the worst score still yields a challenge rather than an over-cap
+// issuance error.
+func (r *Registry) finishPolicy(ps PipelineSpec, pol policy.Policy, load policy.LoadFunc) (policy.Policy, error) {
+	if ps.Adapt != nil && ps.Adapt.LoadShift > 0 {
+		shifted, err := policy.NewLoadAdaptive(pol, load, ps.Adapt.LoadShift)
+		if err != nil {
+			return nil, fmt.Errorf("control: pipeline %q: load-shift: %w", ps.Name, err)
+		}
+		pol = shifted
+	}
+	clamped, err := policy.NewClamp(pol, 1, ps.MaxDifficulty)
 	if err != nil {
-		return nil, fmt.Errorf("control: pipeline %q: clamp to max-difficulty %d: %w", ps.Name, maxDiff, err)
+		return nil, fmt.Errorf("control: pipeline %q: clamp to max-difficulty %d: %w", ps.Name, ps.MaxDifficulty, err)
 	}
 	return clamped, nil
+}
+
+// newController compiles a spec's adapt section into a feedback
+// controller over the given base policy. The controller is returned
+// unbound; the pipeline attaches it (target + counter source) at install
+// time.
+func (r *Registry) newController(ps PipelineSpec, base policy.Policy, load policy.LoadFunc) (*feedback.Controller, error) {
+	a := ps.Adapt
+	rules := make([]feedback.Rule, 0, len(a.Rules))
+	for _, spec := range a.Rules {
+		rule, err := feedback.ParseRule(spec)
+		if err != nil {
+			return nil, fmt.Errorf("control: pipeline %q adapt: %w", ps.Name, err)
+		}
+		rules = append(rules, rule)
+	}
+	ctrl, err := feedback.New(feedback.Config{
+		Interval: time.Duration(a.Interval),
+		Sampler: feedback.SamplerConfig{
+			Capacity:       a.Capacity,
+			HardDifficulty: a.Hard,
+			Window:         a.Window,
+		},
+		Rules: rules,
+		Compile: func(spec string) (policy.Policy, error) {
+			pol, err := r.policies.New(spec)
+			if err != nil {
+				return nil, err
+			}
+			return r.finishPolicy(ps, pol, load)
+		},
+		Base: base,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("control: pipeline %q adapt: %w", ps.Name, err)
+	}
+	return ctrl, nil
 }
 
 // DefaultMaxDifficulty is the issuance cap when a spec leaves
@@ -269,21 +323,31 @@ func (ps PipelineSpec) withDefaults() PipelineSpec {
 	return ps
 }
 
-// components compiles the hot-swappable component set of a spec.
-func (r *Registry) components(ps PipelineSpec) (core.Scorer, policy.Policy, features.Source, error) {
+// components compiles the hot-swappable component set of a spec,
+// including the feedback controller when the spec has an adapt section.
+// load feeds load-shifted policies and must outlive controller rebuilds
+// (pipelines pass their stable load indirection).
+func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc) (core.Scorer, policy.Policy, features.Source, *feedback.Controller, error) {
 	scorer, err := r.newScorer(ps.Scorer)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	pol, err := r.newPolicy(ps, ps.MaxDifficulty)
+	pol, err := r.newPolicy(ps, load)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	source, err := r.newSource(ps.Source)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return scorer, pol, source, nil
+	var ctrl *feedback.Controller
+	if ps.Adapt != nil {
+		ctrl, err = r.newController(ps, pol, load)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
+	return scorer, pol, source, ctrl, nil
 }
 
 // Build compiles a pipeline spec into a runnable Pipeline: components
@@ -294,7 +358,8 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 		return nil, err
 	}
 	ps = ps.withDefaults()
-	scorer, pol, source, err := r.components(ps)
+	p := &Pipeline{reg: r}
+	scorer, pol, source, ctrl, err := r.components(ps, p.load)
 	if err != nil {
 		return nil, err
 	}
@@ -325,5 +390,8 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("control: build pipeline %q: %w", ps.Name, err)
 	}
-	return &Pipeline{reg: r, fw: fw, spec: ps}, nil
+	p.fw = fw
+	p.spec = ps
+	p.attachControllerLocked(ctrl)
+	return p, nil
 }

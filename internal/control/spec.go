@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"aipow/internal/feedback"
 )
 
 // Duration is a time.Duration that marshals as a human-readable string
@@ -103,6 +105,103 @@ type PipelineSpec struct {
 	// ClockSkew is the verifier's tolerance for clock drift (0 = 2s). Not
 	// hot-swappable.
 	ClockSkew Duration `json:"clock_skew,omitempty"`
+
+	// Adapt attaches a closed-loop feedback controller to the pipeline:
+	// live signal estimation driving automatic policy escalation. Nil
+	// leaves the pipeline purely operator-driven. Hot-swappable — but an
+	// Apply that changes the pipeline also resets the controller to its
+	// base level (the declared spec always wins over accumulated
+	// escalation state).
+	Adapt *AdaptSpec `json:"adapt,omitempty"`
+}
+
+// AdaptSpec is a pipeline's adaptive-defense section: the signal-plane
+// shape plus the escalation ladder, in the declarative rule grammar (see
+// feedback.ParseRule). In the text DSL these are `adapt <setting>` lines
+// inside the pipeline block.
+type AdaptSpec struct {
+	// Interval is the controller's step cadence (0 = 1s).
+	Interval Duration `json:"interval,omitempty"`
+
+	// Capacity is the decision rate (decisions/s) treated as full load
+	// for the "load" signal — and for load-adaptive policies via
+	// load-shift. 0 pins load to 0.
+	Capacity float64 `json:"capacity,omitempty"`
+
+	// Hard marks challenges at or above this difficulty as "hard" for the
+	// hard_solve_frac false-positive proxy (0 = 12).
+	Hard int `json:"hard,omitempty"`
+
+	// Window is the sliding-window length of the signal estimators, in
+	// controller steps (0 = 10).
+	Window int `json:"window,omitempty"`
+
+	// LoadShift, when positive, wraps every policy the pipeline compiles
+	// (the declared one and each escalation rung) in a load-adaptive
+	// shift of up to this many difficulty levels at full load, fed by the
+	// signal plane — the spec-addressable form of policy.NewLoadAdaptive.
+	LoadShift int `json:"load_shift,omitempty"`
+
+	// Rules is the escalation ladder in level order:
+	// "escalate(when=<cond>, policy=<spec>[, hold=<dur>][, after=<n>][, unless=<cond>])".
+	Rules []string `json:"rules,omitempty"`
+}
+
+// validate rejects malformed adapt sections.
+func (a *AdaptSpec) validate(pipeline string) error {
+	switch {
+	case a.Interval < 0:
+		return fmt.Errorf("control: pipeline %q adapt: negative interval", pipeline)
+	case a.Capacity < 0:
+		return fmt.Errorf("control: pipeline %q adapt: negative capacity", pipeline)
+	case a.Hard < 0:
+		return fmt.Errorf("control: pipeline %q adapt: negative hard difficulty", pipeline)
+	case a.Window < 0:
+		return fmt.Errorf("control: pipeline %q adapt: negative window", pipeline)
+	case a.LoadShift < 0:
+		return fmt.Errorf("control: pipeline %q adapt: negative load-shift", pipeline)
+	case len(a.Rules) == 0 && a.LoadShift == 0:
+		return fmt.Errorf("control: pipeline %q adapt: declares neither escalate rules nor load-shift", pipeline)
+	}
+	// The load signal is rate/capacity; without a declared capacity it is
+	// pinned to 0, so a load-shift or load-conditioned rule would be
+	// silently inert — reject rather than deploy a defense that can never
+	// engage.
+	needsLoad := a.LoadShift > 0
+	for _, spec := range a.Rules {
+		rule, err := feedback.ParseRule(spec)
+		if err != nil {
+			return fmt.Errorf("control: pipeline %q adapt: %w", pipeline, err)
+		}
+		if rule.When.Signal == feedback.SignalLoad ||
+			(rule.Unless != nil && rule.Unless.Signal == feedback.SignalLoad) {
+			needsLoad = true
+		}
+	}
+	if needsLoad && a.Capacity <= 0 {
+		return fmt.Errorf("control: pipeline %q adapt: load-shift and load-conditioned rules require `adapt capacity <decisions/s>`", pipeline)
+	}
+	return nil
+}
+
+// equal reports semantic equality of two adapt sections.
+func (a *AdaptSpec) equal(b *AdaptSpec) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if a.Interval != b.Interval || a.Capacity != b.Capacity || a.Hard != b.Hard ||
+		a.Window != b.Window || a.LoadShift != b.LoadShift || len(a.Rules) != len(b.Rules) {
+		return false
+	}
+	for i := range a.Rules {
+		if a.Rules[i] != b.Rules[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RouteSpec maps one request class onto a pipeline. Exactly one of
@@ -229,6 +328,11 @@ func (p *PipelineSpec) validate() error {
 	if p.FailClosedScore != nil && (*p.FailClosedScore < 0 || *p.FailClosedScore > 10) {
 		return fmt.Errorf("control: pipeline %q fail-closed score %v outside [0, 10]", p.Name, *p.FailClosedScore)
 	}
+	if p.Adapt != nil {
+		if err := p.Adapt.validate(p.Name); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -247,7 +351,8 @@ func specEqual(a, b PipelineSpec) bool {
 		a.PolicyRules == b.PolicyRules && a.Source == b.Source &&
 		a.TTL == b.TTL && a.MaxDifficulty == b.MaxDifficulty &&
 		a.ReplayCache == b.ReplayCache && a.ClockSkew == b.ClockSkew &&
-		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore)
+		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
+		a.Adapt.equal(b.Adapt)
 }
 
 // swappableEqual reports whether only hot-swappable fields differ between
@@ -284,6 +389,12 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	  fail-closed <score>
 //	  replay-cache <n>         negative disables replay protection
 //	  clock-skew <duration>
+//	  adapt escalate(when=<cond>, policy=<spec>, …)   escalation ladder rung
+//	  adapt interval <duration>    controller step cadence (default 1s)
+//	  adapt capacity <rate>        decisions/s treated as full load
+//	  adapt hard <n>               hard-difficulty threshold for the FP proxy
+//	  adapt window <n>             signal window length in steps
+//	  adapt load-shift <n>         load-adaptive difficulty shift at full load
 //	route <prefix> <pipeline>  longest matching path prefix wins; "/" is
 //	                           the catch-all (required with >1 pipeline)
 //	tenant <key> <pipeline>    tenant routes win over path routes
@@ -351,7 +462,7 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 			}
 			d.Routes = append(d.Routes, r)
 		case "scorer", "policy", "source", "ttl", "max-difficulty", "bypass-below",
-			"fail-closed", "replay-cache", "clock-skew", "when", "default":
+			"fail-closed", "replay-cache", "clock-skew", "when", "default", "adapt":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
 			}
@@ -371,15 +482,18 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 
 // applyStatement folds one pipeline-block line into the spec. seen
 // tracks which scalar statements the block already set: every statement
-// except the when/default rule lines errors on repetition, so a merge
-// artifact like two bypass-below lines fails loudly instead of
-// last-wins.
+// except the when/default rule lines and adapt lines (which do their own
+// per-setting bookkeeping) errors on repetition, so a merge artifact like
+// two bypass-below lines fails loudly instead of last-wins.
 func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, rules *[]string, seen map[string]bool) error {
-	if stmt != "when" && stmt != "default" {
+	if stmt != "when" && stmt != "default" && stmt != "adapt" {
 		if seen[stmt] {
 			return fmt.Errorf("duplicate %s", stmt)
 		}
 		seen[stmt] = true
+	}
+	if stmt == "adapt" {
+		return p.applyAdaptStatement(args, seen)
 	}
 	joined := strings.Join(args, " ") // component specs may contain spaces: policy3(epsilon=2.5, seed=1)
 	one := func(dst *string, what string) error {
@@ -443,6 +557,68 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 		return nil
 	}
 	return fmt.Errorf("unknown statement %q", stmt) // unreachable: caller dispatched
+}
+
+// applyAdaptStatement folds one "adapt <setting>" line into the
+// pipeline's adapt section. Escalate rules append in declaration order
+// (that order is the ladder); scalar settings reject repetition via seen,
+// namespaced so they cannot collide with top-level statements.
+func (p *PipelineSpec) applyAdaptStatement(args []string, seen map[string]bool) error {
+	if len(args) == 0 {
+		return fmt.Errorf("want 'adapt <setting…>'")
+	}
+	if p.Adapt == nil {
+		p.Adapt = &AdaptSpec{}
+	}
+	joined := strings.Join(args, " ")
+	if strings.HasPrefix(joined, "escalate") {
+		// Validate eagerly so the error carries the spec line number.
+		if _, err := feedback.ParseRule(joined); err != nil {
+			return err
+		}
+		p.Adapt.Rules = append(p.Adapt.Rules, joined)
+		return nil
+	}
+	sub := args[0]
+	key := "adapt " + sub
+	if seen[key] {
+		return fmt.Errorf("duplicate %s", key)
+	}
+	seen[key] = true
+	if len(args) != 2 {
+		return fmt.Errorf("want 'adapt %s <value>'", sub)
+	}
+	val := args[1]
+	switch sub {
+	case "interval":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("adapt interval: %w", err)
+		}
+		p.Adapt.Interval = Duration(d)
+	case "capacity":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("adapt capacity: %w", err)
+		}
+		p.Adapt.Capacity = v
+	case "hard", "window", "load-shift":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("adapt %s: %w", sub, err)
+		}
+		switch sub {
+		case "hard":
+			p.Adapt.Hard = n
+		case "window":
+			p.Adapt.Window = n
+		case "load-shift":
+			p.Adapt.LoadShift = n
+		}
+	default:
+		return fmt.Errorf("unknown adapt setting %q (want escalate(…), interval, capacity, hard, window, load-shift)", sub)
+	}
+	return nil
 }
 
 // Marshal renders the deployment in canonical JSON (the form the admin

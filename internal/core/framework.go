@@ -133,6 +133,13 @@ type Framework struct {
 	cBypassed  *metrics.Counter
 	cScoreErrs *metrics.Counter
 	cSwaps     *metrics.Counter
+
+	// Per-difficulty cumulative profiles feeding the feedback signal
+	// plane: diffIssued[d] counts challenges issued at difficulty d and
+	// diffVerified[d] counts solutions verified at d. Fixed atomic arrays,
+	// so recording costs the hot path one atomic add and zero allocations.
+	diffIssued   [puzzle.MaxDifficulty + 1]atomic.Uint64
+	diffVerified [puzzle.MaxDifficulty + 1]atomic.Uint64
 }
 
 // config collects the options New applies.
@@ -445,6 +452,7 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	}
 	dec.Challenge = ch
 	f.cIssued.Inc()
+	f.diffIssued[dec.Difficulty].Add(1) // issuer validated the range
 	f.fire(dec)
 	return dec, nil
 }
@@ -477,7 +485,24 @@ func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
 		return err
 	}
 	f.cVerified.Inc()
+	if d := sol.Challenge.Difficulty; d >= 0 && d < len(f.diffVerified) {
+		f.diffVerified[d].Add(1)
+	}
 	return nil
+}
+
+// DifficultyProfileInto copies the cumulative per-difficulty counters into
+// issued and verified (index = difficulty, up to puzzle.MaxDifficulty);
+// shorter destination slices receive a prefix. The feedback signal plane
+// polls this once per controller tick to derive windowed difficulty
+// distributions and the hard-solve false-positive proxy.
+func (f *Framework) DifficultyProfileInto(issued, verified []uint64) {
+	for d := 0; d < len(f.diffIssued) && d < len(issued); d++ {
+		issued[d] = f.diffIssued[d].Load()
+	}
+	for d := 0; d < len(f.diffVerified) && d < len(verified); d++ {
+		verified[d] = f.diffVerified[d].Load()
+	}
 }
 
 // Observe feeds one request into the attached behavior tracker (a no-op

@@ -1,0 +1,288 @@
+package feedback
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aipow/internal/policy"
+)
+
+// Target is where the controller installs policy changes — the same
+// atomic hot-swap path an operator uses. core.Framework satisfies it; the
+// control plane passes an adapter that also keeps its spec bookkeeping
+// consistent (a controller swap is declared behavior, not operator
+// divergence).
+type Target interface {
+	SwapPolicy(policy.Policy) error
+}
+
+// DefaultInterval is the controller step cadence when Config.Interval is
+// zero and the controller is driven through MaybeStep.
+const DefaultInterval = time.Second
+
+// Config assembles a Controller.
+type Config struct {
+	// Interval is the minimum time between MaybeStep-driven steps
+	// (0 = DefaultInterval). Step ignores it — the simulation engine
+	// steps explicitly at tick boundaries.
+	Interval time.Duration
+
+	// Sampler shapes the signal plane.
+	Sampler SamplerConfig
+
+	// Rules is the escalation ladder, in order: Rules[i] guards level
+	// i+1. May be empty — the controller then only keeps the signal plane
+	// (and its Load feed) fresh.
+	Rules []Rule
+
+	// Compile resolves a rule's policy spec into an installable policy.
+	// The control plane passes registry resolution plus difficulty
+	// clamping (and the load-adaptive wrap, when configured), so a
+	// controller-installed policy obeys exactly the constraints a
+	// spec-declared one would. Required when Rules is non-empty.
+	Compile func(spec string) (policy.Policy, error)
+
+	// Base is the level-0 policy restored on full de-escalation — the
+	// pipeline's declared policy. Required when Rules is non-empty.
+	Base policy.Policy
+}
+
+// Transition is one controller level change.
+type Transition struct {
+	// At is when the transition was installed.
+	At time.Time `json:"at"`
+
+	// From and To are the levels before and after (0 = base).
+	From int `json:"from"`
+	To   int `json:"to"`
+
+	// Rule is the triggering rule's condition for escalations, empty for
+	// de-escalations.
+	Rule string `json:"rule,omitempty"`
+}
+
+// maxTransitions bounds the retained transition log; the swap counters
+// keep totals when a very long-lived controller rotates old entries out.
+const maxTransitions = 256
+
+// compiledRule is one ladder rung plus its runtime state.
+type compiledRule struct {
+	Rule
+	pol      policy.Policy
+	streak   int       // consecutive steps the condition has held
+	lastTrue time.Time // when the condition last held (or escalation installed)
+}
+
+// Controller is the closed-loop brain: each Step refreshes the signal
+// plane and settles the escalation ladder — escalating to the highest
+// level whose rule has held for its activation delay, or stepping down
+// one level once the current level's rule has been false for its hold
+// time. All state advances only in Step/MaybeStep, with the clock passed
+// in, so runs are deterministic and the simulation engine can drive the
+// controller tick-by-tick on virtual time.
+type Controller struct {
+	sampler  *Sampler
+	interval time.Duration
+	base     policy.Policy
+
+	mu          sync.Mutex
+	target      Target
+	rules       []compiledRule
+	level       int
+	lastStep    time.Time
+	stepped     bool
+	swaps       uint64
+	escalations uint64
+	transitions []Transition
+}
+
+// New builds a controller from cfg, compiling every rule's policy up
+// front so a configuration typo fails at build time, not mid-attack. The
+// controller is inert until Bind attaches its target and signal source.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("feedback: negative interval %v", cfg.Interval)
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if len(cfg.Rules) > 0 {
+		if cfg.Compile == nil {
+			return nil, fmt.Errorf("feedback: rules require a policy compiler")
+		}
+		if cfg.Base == nil {
+			return nil, fmt.Errorf("feedback: rules require a base policy to de-escalate to")
+		}
+	}
+	sampler, err := NewSampler(cfg.Sampler)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		sampler:  sampler,
+		interval: cfg.Interval,
+		base:     cfg.Base,
+		rules:    make([]compiledRule, 0, len(cfg.Rules)),
+	}
+	for _, r := range cfg.Rules {
+		pol, err := cfg.Compile(r.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("feedback: rule %s: %w", r, err)
+		}
+		if pol == nil {
+			return nil, fmt.Errorf("feedback: rule %s: compiler returned a nil policy", r)
+		}
+		c.rules = append(c.rules, compiledRule{Rule: r, pol: pol})
+	}
+	return c, nil
+}
+
+// Bind attaches the swap target and the counter source the signal plane
+// polls. Until bound, steps are inert (zero signals, no swaps).
+func (c *Controller) Bind(target Target, src Source) {
+	c.sampler.Bind(src)
+	c.mu.Lock()
+	c.target = target
+	c.mu.Unlock()
+}
+
+// Sampler exposes the controller's signal plane — its Load method is the
+// policy.LoadFunc for load-adaptive policies on the same pipeline.
+func (c *Controller) Sampler() *Sampler { return c.sampler }
+
+// Step refreshes the signals and settles the ladder as of now. Swap
+// errors are returned; the controller's state only advances past a level
+// change once the swap installed.
+func (c *Controller) Step(now time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stepLocked(now)
+}
+
+// MaybeStep is Step rate-limited to the configured interval — what a
+// server's coarse adapt ticker calls. It reports whether a step ran.
+func (c *Controller) MaybeStep(now time.Time) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stepped && now.Sub(c.lastStep) < c.interval {
+		return false, nil
+	}
+	return true, c.stepLocked(now)
+}
+
+// stepLocked runs one controller step under c.mu.
+func (c *Controller) stepLocked(now time.Time) error {
+	sig := c.sampler.Step(now)
+	c.lastStep, c.stepped = now, true
+	if c.target == nil {
+		return nil
+	}
+
+	desired := c.level
+	for i := range c.rules {
+		r := &c.rules[i]
+		holds := r.When.Eval(sig) && (r.Unless == nil || !r.Unless.Eval(sig))
+		if holds {
+			r.streak++
+			r.lastTrue = now
+		} else {
+			r.streak = 0
+		}
+		if holds && r.streak >= r.After && i+1 > desired {
+			desired = i + 1
+		}
+	}
+
+	if desired > c.level {
+		r := &c.rules[desired-1]
+		if err := c.target.SwapPolicy(r.pol); err != nil {
+			return fmt.Errorf("feedback: escalate to level %d (%s): %w", desired, r.Policy, err)
+		}
+		// The hold clock starts at installation, so a level is kept for
+		// at least Hold even if its condition clears immediately.
+		r.lastTrue = now
+		c.record(now, desired, r.When.String())
+		c.escalations++
+		return nil
+	}
+
+	// Bounded de-escalation: at most one level per step, and only after
+	// the current level's rule has been false for its hold time — a
+	// pulsing signal that re-fires inside the hold window keeps the
+	// defense up instead of flapping it.
+	if c.level > 0 {
+		r := &c.rules[c.level-1]
+		if r.streak == 0 && now.Sub(r.lastTrue) >= r.Hold {
+			next := c.level - 1
+			pol := c.base
+			if next > 0 {
+				pol = c.rules[next-1].pol
+			}
+			if err := c.target.SwapPolicy(pol); err != nil {
+				return fmt.Errorf("feedback: de-escalate to level %d: %w", next, err)
+			}
+			c.record(now, next, "")
+		}
+	}
+	return nil
+}
+
+// record appends a transition (bounded) and advances the level.
+func (c *Controller) record(now time.Time, to int, rule string) {
+	if len(c.transitions) >= maxTransitions {
+		copy(c.transitions, c.transitions[1:])
+		c.transitions = c.transitions[:maxTransitions-1]
+	}
+	c.transitions = append(c.transitions, Transition{At: now, From: c.level, To: to, Rule: rule})
+	c.level = to
+	c.swaps++
+}
+
+// Level reports the current escalation level (0 = base policy).
+func (c *Controller) Level() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// Swaps reports how many policy swaps the controller has installed.
+func (c *Controller) Swaps() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.swaps
+}
+
+// Transitions returns a copy of the retained level-change log (the most
+// recent maxTransitions entries).
+func (c *Controller) Transitions() []Transition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Transition(nil), c.transitions...)
+}
+
+// Rules reports the ladder's rule specs, in level order.
+func (c *Controller) Rules() []string {
+	out := make([]string, len(c.rules))
+	for i := range c.rules {
+		out[i] = c.rules[i].Rule.String()
+	}
+	return out
+}
+
+// StatsPrefixInto adds the controller's observable state — level, swap
+// counts, and every signal — into dst under prefixed keys, for a stats
+// endpoint aggregating pipelines into one scrape map.
+func (c *Controller) StatsPrefixInto(prefix string, dst map[string]float64) {
+	c.mu.Lock()
+	level, swaps, escalations := c.level, c.swaps, c.escalations
+	c.mu.Unlock()
+	dst[prefix+"level"] = float64(level)
+	dst[prefix+"swaps"] = float64(swaps)
+	dst[prefix+"escalations"] = float64(escalations)
+	sig := c.sampler.Signals()
+	for _, name := range signalNames {
+		v, _ := sig.Value(name)
+		dst[prefix+name] = v
+	}
+}

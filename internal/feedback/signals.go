@@ -1,0 +1,454 @@
+// Package feedback closes the framework's defense loop: it estimates live
+// traffic signals from the serving pipeline's own telemetry and drives
+// automatic policy hot-swaps through the same RCU path an operator uses.
+//
+// The paper's framing is that policies react to observed client behavior
+// and server load; until now every reconfiguration was operator-initiated
+// (spec apply, SIGHUP). This package supplies the missing half:
+//
+//   - a signal plane (Sampler): lock-cheap windowed estimators — an EWMA
+//     request rate, sliding-window ratios, a per-pipeline difficulty
+//     distribution with quantiles, and a false-positive proxy (the
+//     fraction of hard challenges that get solved: misscored legitimate
+//     clients dutifully solve expensive puzzles, bots overwhelmingly
+//     abandon them) — fed by polling the pipeline's cumulative atomic
+//     counters once per step, so the Decide/Verify hot path pays nothing;
+//
+//   - a controller (Controller): a deterministic-steppable escalation
+//     ladder compiled from declarative escalate(...) rules in the shared
+//     component-spec syntax, with hysteresis (hold), activation delays
+//     (after), condition gates (unless), and bounded one-level-per-step
+//     de-escalation, installing policies through an injected Target.
+//
+// Everything is clock-injected and caller-stepped: a server drives
+// MaybeStep from a ticker on wall time, the simulation engine drives Step
+// at tick boundaries on virtual time, and equal inputs produce equal
+// decisions — which is what lets CI byte-compare adaptive scenario runs.
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aipow/internal/metrics"
+	"aipow/internal/puzzle"
+)
+
+// Source is what the signal plane samples once per controller step: a
+// serving pipeline's cumulative counters. core.Framework implements it;
+// the simulation engine wraps one to fold modeled verification outcomes
+// in.
+type Source interface {
+	// StatsInto adds cumulative counter values into dst, overwriting
+	// same-named keys. The sampler reads "issued", "verified", "rejected",
+	// "bypassed", and "score_errors".
+	StatsInto(dst map[string]float64)
+
+	// DifficultyProfileInto copies cumulative per-difficulty issue and
+	// verify counts (index = difficulty) into the destination slices.
+	DifficultyProfileInto(issued, verified []uint64)
+}
+
+// Signal names a Condition can reference.
+const (
+	// SignalRate is the EWMA decision rate (issued + bypassed) in
+	// decisions per second.
+	SignalRate = "rate"
+
+	// SignalRateP90 is the 90th percentile of per-step decision rates over
+	// the sliding window — a burst detector that outlives pulse gaps.
+	SignalRateP90 = "rate_p90"
+
+	// SignalLoad is SignalRate normalized by the configured capacity,
+	// clamped to [0, 1]. It doubles as the policy.LoadFunc feed.
+	SignalLoad = "load"
+
+	// SignalVerifyFailRate is rejected / (rejected + verified) over the
+	// sliding window.
+	SignalVerifyFailRate = "verify_fail_rate"
+
+	// SignalBypassFrac is the bypassed fraction of decisions over the
+	// window.
+	SignalBypassFrac = "bypass_frac"
+
+	// SignalScoreErrorRate is the scorer-failure fraction of decisions
+	// over the window.
+	SignalScoreErrorRate = "score_error_rate"
+
+	// SignalMeanDifficulty is the issue-weighted mean difficulty over the
+	// window.
+	SignalMeanDifficulty = "mean_difficulty"
+
+	// SignalDiffP90 is the 90th percentile of the windowed per-difficulty
+	// issue distribution.
+	SignalDiffP90 = "diff_p90"
+
+	// SignalHardSolveFrac is the false-positive proxy: the fraction of
+	// hard challenges (difficulty ≥ the configured threshold) issued in
+	// the window that were solved and verified. Misscored legitimate
+	// clients solve the expensive puzzles they are handed; rational bots
+	// abandon them — so a high value while volume spikes says the hard
+	// tail is landing on real users, and escalation should be gated.
+	SignalHardSolveFrac = "hard_solve_frac"
+)
+
+// signalNames lists every known signal, in documentation order.
+var signalNames = []string{
+	SignalRate, SignalRateP90, SignalLoad, SignalVerifyFailRate,
+	SignalBypassFrac, SignalScoreErrorRate, SignalMeanDifficulty,
+	SignalDiffP90, SignalHardSolveFrac,
+}
+
+// SignalNames lists the known signal names, in documentation order.
+func SignalNames() []string { return append([]string(nil), signalNames...) }
+
+// KnownSignal reports whether name is a valid signal reference.
+func KnownSignal(name string) bool {
+	for _, s := range signalNames {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Signals is one step's computed signal values.
+type Signals struct {
+	Rate           float64
+	RateP90        float64
+	Load           float64
+	VerifyFailRate float64
+	BypassFrac     float64
+	ScoreErrorRate float64
+	MeanDifficulty float64
+	DiffP90        float64
+	HardSolveFrac  float64
+}
+
+// Value reports the named signal's value and whether the name is known.
+func (s Signals) Value(name string) (float64, bool) {
+	switch name {
+	case SignalRate:
+		return s.Rate, true
+	case SignalRateP90:
+		return s.RateP90, true
+	case SignalLoad:
+		return s.Load, true
+	case SignalVerifyFailRate:
+		return s.VerifyFailRate, true
+	case SignalBypassFrac:
+		return s.BypassFrac, true
+	case SignalScoreErrorRate:
+		return s.ScoreErrorRate, true
+	case SignalMeanDifficulty:
+		return s.MeanDifficulty, true
+	case SignalDiffP90:
+		return s.DiffP90, true
+	case SignalHardSolveFrac:
+		return s.HardSolveFrac, true
+	}
+	return 0, false
+}
+
+// Sampler defaults.
+const (
+	// DefaultWindow is the sliding-window length in steps.
+	DefaultWindow = 10
+
+	// DefaultHardDifficulty is the threshold at or above which a challenge
+	// counts as "hard" for the false-positive proxy.
+	DefaultHardDifficulty = 12
+
+	// DefaultAlpha is the EWMA weight of the rate estimator.
+	DefaultAlpha = 0.3
+)
+
+// SamplerConfig shapes a Sampler.
+type SamplerConfig struct {
+	// Capacity is the decision rate (decisions/s) treated as full load for
+	// the load signal; 0 pins load to 0 (no capacity declared).
+	Capacity float64
+
+	// HardDifficulty marks challenges at or above it as "hard" for the
+	// false-positive proxy (0 = DefaultHardDifficulty).
+	HardDifficulty int
+
+	// Window is the sliding-window length in steps (0 = DefaultWindow).
+	Window int
+
+	// Alpha is the EWMA weight of the rate estimator (0 = DefaultAlpha).
+	Alpha float64
+}
+
+// withDefaults resolves zero fields.
+func (c SamplerConfig) withDefaults() SamplerConfig {
+	if c.HardDifficulty == 0 {
+		c.HardDifficulty = DefaultHardDifficulty
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	return c
+}
+
+// validate rejects malformed configurations.
+func (c SamplerConfig) validate() error {
+	switch {
+	case c.Capacity < 0:
+		return fmt.Errorf("feedback: negative capacity %v", c.Capacity)
+	case c.HardDifficulty < 0 || c.HardDifficulty > puzzle.MaxDifficulty:
+		return fmt.Errorf("feedback: hard difficulty %d outside [0, %d]", c.HardDifficulty, puzzle.MaxDifficulty)
+	case c.Window < 0:
+		return fmt.Errorf("feedback: negative window %d", c.Window)
+	case c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("feedback: EWMA alpha %v outside (0, 1]", c.Alpha)
+	}
+	return nil
+}
+
+// snapshot is one step's cumulative counter reading.
+type snapshot struct {
+	at time.Time
+
+	issued, verified, rejected, bypassed, scoreErrs float64
+
+	diffIssued   [puzzle.MaxDifficulty + 1]uint64
+	diffVerified [puzzle.MaxDifficulty + 1]uint64
+}
+
+// decisions reports the cumulative decision count (challenged + bypassed).
+func (s *snapshot) decisions() float64 { return s.issued + s.bypassed }
+
+// Sampler is the signal plane: it polls a Source's cumulative counters
+// once per step into a ring of snapshots and derives windowed signal
+// estimates from the deltas. Stepping is cheap (one counter scrape, no
+// steady-state allocations) and everything the hot path might read —
+// Load, the last Signals — is lock-free.
+//
+// Step must be called from one goroutine at a time (the controller's);
+// Load and Signals are safe from any goroutine.
+type Sampler struct {
+	cfg SamplerConfig
+
+	mu      sync.Mutex
+	src     Source
+	stats   map[string]float64 // reused scrape map
+	ring    []snapshot         // Window slots; newest diffs against the slot it replaces
+	next    int
+	n       int
+	rate    *metrics.EWMA
+	rateWin *metrics.Window
+
+	// last published signals, one atomic word each so concurrent readers
+	// (stats scrapes, the load-adaptive policy on the serving path) never
+	// contend with Step.
+	sig [numSignalSlots]atomic.Uint64
+}
+
+// Slot indices into Sampler.sig — the single source tying Step's writes
+// to Load/Signals' reads.
+const (
+	slotRate = iota
+	slotRateP90
+	slotLoad
+	slotVerifyFailRate
+	slotBypassFrac
+	slotScoreErrorRate
+	slotMeanDifficulty
+	slotDiffP90
+	slotHardSolveFrac
+	numSignalSlots
+)
+
+// NewSampler returns a sampler for the given configuration. The source is
+// attached later with Bind — the control plane compiles policies (which
+// may capture the sampler's Load) before the framework they serve exists.
+func NewSampler(cfg SamplerConfig) (*Sampler, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	rate, err := metrics.NewEWMA(cfg.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	rateWin, err := metrics.NewWindow(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{
+		cfg:   cfg,
+		stats: make(map[string]float64, 8),
+		// Window ring slots: the newest snapshot is diffed against the one
+		// taken Window steps earlier (the slot it is about to replace), so
+		// windowed deltas span exactly Window steps once warm.
+		ring:    make([]snapshot, cfg.Window),
+		rate:    rate,
+		rateWin: rateWin,
+	}, nil
+}
+
+// Bind attaches the counter source the sampler polls. Steps before Bind
+// produce zero signals.
+func (s *Sampler) Bind(src Source) {
+	s.mu.Lock()
+	s.src = src
+	s.mu.Unlock()
+}
+
+// Load reports the current load estimate in [0, 1] — the long-promised
+// policy.LoadFunc feed for load-adaptive policies, wired from the signal
+// plane. It is a single atomic read, safe on the serving hot path.
+func (s *Sampler) Load() float64 { return s.get(slotLoad) }
+
+// Signals reports the last computed signal values.
+func (s *Sampler) Signals() Signals {
+	return Signals{
+		Rate:           s.get(slotRate),
+		RateP90:        s.get(slotRateP90),
+		Load:           s.get(slotLoad),
+		VerifyFailRate: s.get(slotVerifyFailRate),
+		BypassFrac:     s.get(slotBypassFrac),
+		ScoreErrorRate: s.get(slotScoreErrorRate),
+		MeanDifficulty: s.get(slotMeanDifficulty),
+		DiffP90:        s.get(slotDiffP90),
+		HardSolveFrac:  s.get(slotHardSolveFrac),
+	}
+}
+
+// Step polls the source and recomputes every signal as of now, returning
+// the fresh values.
+func (s *Sampler) Step(now time.Time) Signals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.src == nil {
+		return Signals{}
+	}
+
+	// The slot about to be written is the one rotating out when the ring
+	// is full, so copy the snapshots still needed — the oldest (window
+	// delta) and the previous (instantaneous rate) — before overwriting.
+	ringLen := len(s.ring)
+	var oldest, prevCopy snapshot
+	var prev *snapshot
+	if s.n > 0 {
+		oldest = s.ring[(s.next-s.n+ringLen)%ringLen]
+		prevCopy = s.ring[(s.next-1+ringLen)%ringLen]
+		prev = &prevCopy
+	}
+
+	cur := &s.ring[s.next]
+	clear(s.stats)
+	s.src.StatsInto(s.stats)
+	cur.at = now
+	cur.issued = s.stats["issued"]
+	cur.verified = s.stats["verified"]
+	cur.rejected = s.stats["rejected"]
+	cur.bypassed = s.stats["bypassed"]
+	cur.scoreErrs = s.stats["score_errors"]
+	s.src.DifficultyProfileInto(cur.diffIssued[:], cur.diffVerified[:])
+
+	// Instantaneous decision rate over the last step feeds the EWMA and
+	// the windowed quantile series.
+	if prev != nil {
+		if dt := cur.at.Sub(prev.at).Seconds(); dt > 0 {
+			inst := (cur.decisions() - prev.decisions()) / dt
+			s.rate.Observe(inst)
+			s.rateWin.Push(inst)
+		}
+	}
+
+	sig := s.compute(cur, &oldest, s.n > 0)
+	s.next = (s.next + 1) % ringLen
+	if s.n < ringLen {
+		s.n++
+	}
+
+	s.put(slotRate, sig.Rate)
+	s.put(slotRateP90, sig.RateP90)
+	s.put(slotLoad, sig.Load)
+	s.put(slotVerifyFailRate, sig.VerifyFailRate)
+	s.put(slotBypassFrac, sig.BypassFrac)
+	s.put(slotScoreErrorRate, sig.ScoreErrorRate)
+	s.put(slotMeanDifficulty, sig.MeanDifficulty)
+	s.put(slotDiffP90, sig.DiffP90)
+	s.put(slotHardSolveFrac, sig.HardSolveFrac)
+	return sig
+}
+
+// compute derives the signal set from the newest snapshot against the
+// oldest held one (the sliding-window delta).
+func (s *Sampler) compute(cur, oldest *snapshot, haveWindow bool) Signals {
+	sig := Signals{
+		Rate:    s.rate.Value(),
+		RateP90: s.rateWin.Quantile(0.9),
+	}
+	if s.cfg.Capacity > 0 {
+		l := sig.Rate / s.cfg.Capacity
+		if l > 1 {
+			l = 1
+		}
+		if l < 0 || math.IsNaN(l) {
+			l = 0
+		}
+		sig.Load = l
+	}
+	if !haveWindow {
+		return sig
+	}
+
+	dVerified := cur.verified - oldest.verified
+	dRejected := cur.rejected - oldest.rejected
+	dBypassed := cur.bypassed - oldest.bypassed
+	dScoreErr := cur.scoreErrs - oldest.scoreErrs
+	dDecisions := cur.decisions() - oldest.decisions()
+	sig.VerifyFailRate = frac(dRejected, dRejected+dVerified)
+	sig.BypassFrac = frac(dBypassed, dDecisions)
+	sig.ScoreErrorRate = frac(dScoreErr, dDecisions)
+
+	var issuedTotal, diffWeighted, hardIssued, hardVerified uint64
+	for d := 1; d < len(cur.diffIssued); d++ {
+		di := cur.diffIssued[d] - oldest.diffIssued[d]
+		issuedTotal += di
+		diffWeighted += uint64(d) * di
+		if d >= s.cfg.HardDifficulty {
+			hardIssued += di
+			hardVerified += cur.diffVerified[d] - oldest.diffVerified[d]
+		}
+	}
+	sig.MeanDifficulty = frac(float64(diffWeighted), float64(issuedTotal))
+	// Solves lag issues by the solve time, so a window can briefly see
+	// more hard verifies than hard issues; clamp so the proxy stays a
+	// fraction.
+	sig.HardSolveFrac = min(frac(float64(hardVerified), float64(hardIssued)), 1)
+	if issuedTotal > 0 {
+		target := uint64(math.Ceil(0.9 * float64(issuedTotal)))
+		var cum uint64
+		for d := 1; d < len(cur.diffIssued); d++ {
+			cum += cur.diffIssued[d] - oldest.diffIssued[d]
+			if cum >= target {
+				sig.DiffP90 = float64(d)
+				break
+			}
+		}
+	}
+	return sig
+}
+
+// frac is a/b with the empty case pinned to 0, keeping every signal
+// NaN-free.
+func frac(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+func (s *Sampler) put(i int, v float64) { s.sig[i].Store(math.Float64bits(v)) }
+func (s *Sampler) get(i int) float64    { return math.Float64frombits(s.sig[i].Load()) }

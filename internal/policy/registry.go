@@ -156,8 +156,22 @@ func RejectUnknownParams(params map[string]float64, allowed ...string) error {
 	return rejectUnknown(params, allowed...)
 }
 
-// parseSpec splits "name(k=v,…)" into its parts.
-func parseSpec(spec string) (string, map[string]float64, error) {
+// Param is one raw key=value parameter of a component spec, in declaration
+// order.
+type Param struct {
+	Key, Value string
+}
+
+// ParseSpecParams splits "name" or "name(k=v,k2=v2)" into its name and raw
+// string-valued parameters, preserving declaration order and respecting
+// nested parentheses inside values. It is the shared shell of every
+// component grammar in the framework: ParseSpec layers the numeric
+// conversion policies, scorers, and sources use on top, and the feedback
+// rule grammar consumes the raw form directly so parameter values can
+// themselves be component specs ("policy=fixed(difficulty=16)").
+//
+// A bare name returns nil params; "name()" returns an empty non-nil slice.
+func ParseSpecParams(spec string) (string, []Param, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return "", nil, fmt.Errorf("spec: empty spec")
@@ -174,24 +188,69 @@ func parseSpec(spec string) (string, map[string]float64, error) {
 		return "", nil, fmt.Errorf("spec: missing name in %q", spec)
 	}
 	inner := spec[open+1 : len(spec)-1]
-	params := make(map[string]float64)
+	params := []Param{}
 	if strings.TrimSpace(inner) == "" {
 		return name, params, nil
 	}
-	for _, kv := range strings.Split(inner, ",") {
+	seen := make(map[string]bool)
+	flush := func(kv string) error {
 		k, v, found := strings.Cut(kv, "=")
 		if !found {
-			return "", nil, fmt.Errorf("spec: parameter %q is not key=value", kv)
+			return fmt.Errorf("spec: parameter %q is not key=value", kv)
 		}
 		k = strings.TrimSpace(k)
-		val, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		if seen[k] {
+			return fmt.Errorf("spec: duplicate parameter %q", k)
+		}
+		seen[k] = true
+		params = append(params, Param{Key: k, Value: strings.TrimSpace(v)})
+		return nil
+	}
+	depth, start := 0, 0
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return "", nil, fmt.Errorf("spec: unbalanced parentheses in %q", spec)
+			}
+		case ',':
+			if depth == 0 {
+				if err := flush(inner[start:i]); err != nil {
+					return "", nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return "", nil, fmt.Errorf("spec: unbalanced parentheses in %q", spec)
+	}
+	if err := flush(inner[start:]); err != nil {
+		return "", nil, err
+	}
+	return name, params, nil
+}
+
+// parseSpec splits "name(k=v,…)" into its parts, converting parameter
+// values to float64.
+func parseSpec(spec string) (string, map[string]float64, error) {
+	name, raw, err := ParseSpecParams(spec)
+	if err != nil {
+		return "", nil, err
+	}
+	if raw == nil {
+		return name, nil, nil
+	}
+	params := make(map[string]float64, len(raw))
+	for _, p := range raw {
+		val, err := strconv.ParseFloat(p.Value, 64)
 		if err != nil {
-			return "", nil, fmt.Errorf("spec: parameter %q: %w", k, err)
+			return "", nil, fmt.Errorf("spec: parameter %q: %w", p.Key, err)
 		}
-		if _, dup := params[k]; dup {
-			return "", nil, fmt.Errorf("spec: duplicate parameter %q", k)
-		}
-		params[k] = val
+		params[p.Key] = val
 	}
 	return name, params, nil
 }

@@ -56,6 +56,35 @@ type Defense struct {
 	// DatasetSeed seeds feed generation, model training, and attribute
 	// assignment (default: the scenario seed).
 	DatasetSeed uint64
+
+	// Adapt attaches a feedback controller to the defense — the closed
+	// adaptive loop under test. The controller steps once per engine tick
+	// at the tick boundary (a single-threaded point in the engine), so
+	// adaptive runs stay byte-identical across reruns. Requires the
+	// built-in Defense, not a custom Factory.
+	Adapt *AdaptDefense
+}
+
+// AdaptDefense configures the scenario's feedback controller: the
+// signal-plane shape plus the escalation ladder in the feedback rule
+// grammar ("escalate(when=…, policy=…, hold=…)"). Escalation policies
+// resolve against the built-in policy registry and are clamped to the
+// defense's MaxDifficulty like the base policy; stick to deterministic
+// policies (policy3 would break report determinism).
+type AdaptDefense struct {
+	// Capacity is the decision rate (decisions/s) treated as full load
+	// for the "load" signal; 0 pins load to 0.
+	Capacity float64
+
+	// Hard marks challenges at or above this difficulty as "hard" for the
+	// hard_solve_frac false-positive proxy (0 = 12).
+	Hard int
+
+	// Window is the signal window in engine ticks (0 = 10).
+	Window int
+
+	// Rules is the escalation ladder, in level order.
+	Rules []string
 }
 
 // withDefaults resolves zero fields.

@@ -43,6 +43,7 @@ import (
 
 	"aipow/internal/core"
 	"aipow/internal/features"
+	"aipow/internal/feedback"
 	"aipow/internal/metrics"
 	"aipow/internal/netsim"
 	"aipow/internal/policy"
@@ -126,6 +127,10 @@ type Result struct {
 	// FrameworkStats snapshots the framework's counters (issued,
 	// verified, rejected, bypassed, score_errors) after the run.
 	FrameworkStats map[string]float64
+
+	// Adapt summarizes the feedback controller's behavior (nil when the
+	// defense declares no adapt section).
+	Adapt *AdaptOutcome
 }
 
 // event is one unit of simulated work, processed by the worker owning its
@@ -141,6 +146,7 @@ type event struct {
 
 	// Completion-only fields.
 	sentAt time.Duration
+	diff   int  // assigned difficulty (0 for bypassed completions)
 	verify bool // redeem sol through Framework.Verify (real-solve mode)
 	sol    puzzle.Solution
 }
@@ -153,6 +159,14 @@ type worker struct {
 	future map[int][]event // tick index → events, processed in append order
 	out    [][]*outcome    // [population][phase]
 	solver *puzzle.Solver
+
+	// Modeled verification accounting for the feedback signal plane: a
+	// modeled completion is the simulation shortcut for a solved-and-
+	// verified challenge, so the controller's source folds these counts
+	// into the framework's verify counters. Read only at tick boundaries
+	// (single-threaded points).
+	mVerified [puzzle.MaxDifficulty + 1]uint64
+	mExpired  uint64
 }
 
 // schedule queues ev at the tick containing its event time. Scheduling
@@ -172,6 +186,10 @@ type engine struct {
 	mask     uint32
 	ttl      time.Duration
 	phaseEnd []time.Duration // cumulative phase boundaries
+
+	// ctrl is the scenario's feedback controller (nil without
+	// Defense.Adapt), stepped once per tick between worker barriers.
+	ctrl *feedback.Controller
 }
 
 // Run executes the scenario and returns its raw result. The run is
@@ -231,6 +249,9 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		eng.workers[i] = w
 	}
+	if err := eng.buildAdapt(); err != nil {
+		return nil, err
+	}
 
 	ticks := int((sc.Duration() + sc.Tick - 1) / sc.Tick)
 	lastPhase := -1
@@ -249,6 +270,15 @@ func Run(sc Scenario) (*Result, error) {
 			}
 		}
 		lastPhase = phase
+		// The feedback controller steps at the same single-threaded
+		// point, on counters complete through the previous tick — the
+		// closed loop runs against the live framework exactly as a
+		// server's adapt ticker would, minus wall-clock dependence.
+		if eng.ctrl != nil {
+			if err := eng.ctrl.Step(clock.Now()); err != nil {
+				return nil, fmt.Errorf("sim: scenario %q adapt: %w", sc.Name, err)
+			}
+		}
 		eng.generateArrivals(t, tickStart)
 		eng.runTick(t)
 	}
@@ -269,6 +299,9 @@ func Run(sc Scenario) (*Result, error) {
 
 	res := &Result{Scenario: sc, FrameworkStats: make(map[string]float64, 8)}
 	fw.StatsInto(res.FrameworkStats)
+	if eng.ctrl != nil {
+		res.Adapt = adaptOutcome(eng.ctrl)
+	}
 	res.Outcomes = make([][]*outcome, len(sc.Populations))
 	for p := range res.Outcomes {
 		res.Outcomes[p] = make([]*outcome, len(sc.Phases))
@@ -281,6 +314,136 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// buildAdapt compiles the defense's adapt section into a feedback
+// controller bound to the framework and the engine's modeled-verify-aware
+// counter source. Policies resolve against the built-in registry and are
+// clamped to the defense's difficulty cap, mirroring BuildDefense.
+func (eng *engine) buildAdapt() error {
+	a := eng.sc.Defense.Adapt
+	if a == nil {
+		return nil
+	}
+	compileClamped := func(spec string) (policy.Policy, error) {
+		pol, err := policy.NewRegistry().New(spec)
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewClamp(pol, 1, eng.sc.Defense.MaxDifficulty)
+	}
+	base, err := compileClamped(eng.sc.Defense.Policy)
+	if err != nil {
+		return fmt.Errorf("sim: scenario %q adapt base policy: %w", eng.sc.Name, err)
+	}
+	rules := make([]feedback.Rule, 0, len(a.Rules))
+	for _, spec := range a.Rules {
+		rule, err := feedback.ParseRule(spec)
+		if err != nil {
+			return fmt.Errorf("sim: scenario %q: %w", eng.sc.Name, err)
+		}
+		rules = append(rules, rule)
+	}
+	ctrl, err := feedback.New(feedback.Config{
+		Sampler: feedback.SamplerConfig{
+			Capacity:       a.Capacity,
+			HardDifficulty: a.Hard,
+			Window:         a.Window,
+		},
+		Rules:   rules,
+		Compile: compileClamped,
+		Base:    base,
+	})
+	if err != nil {
+		return fmt.Errorf("sim: scenario %q adapt: %w", eng.sc.Name, err)
+	}
+	ctrl.Bind(eng.fw, adaptSource{eng})
+	eng.ctrl = ctrl
+	return nil
+}
+
+// adaptSource is the controller's counter view of a simulated defense:
+// the framework's own counters plus the engine's modeled verification
+// outcomes, so the signal plane sees the same solved-challenge stream a
+// real deployment's Verify calls would produce. Only read at tick
+// boundaries, where workers are quiescent.
+type adaptSource struct{ eng *engine }
+
+// StatsInto implements feedback.Source.
+func (s adaptSource) StatsInto(dst map[string]float64) {
+	s.eng.fw.StatsInto(dst)
+	var verified, expired uint64
+	for _, w := range s.eng.workers { // fixed order
+		for d := puzzle.MinDifficulty; d < len(w.mVerified); d++ {
+			verified += w.mVerified[d]
+		}
+		expired += w.mExpired
+	}
+	dst["verified"] += float64(verified)
+	dst["rejected"] += float64(expired)
+}
+
+// DifficultyProfileInto implements feedback.Source.
+func (s adaptSource) DifficultyProfileInto(issued, verified []uint64) {
+	s.eng.fw.DifficultyProfileInto(issued, verified)
+	for _, w := range s.eng.workers {
+		for d := puzzle.MinDifficulty; d < len(w.mVerified) && d < len(verified); d++ {
+			verified[d] += w.mVerified[d]
+		}
+	}
+}
+
+// AdaptOutcome summarizes the feedback controller's behavior over a run.
+type AdaptOutcome struct {
+	// Swaps counts controller-installed policy swaps.
+	Swaps uint64 `json:"swaps"`
+
+	// MaxLevel and FinalLevel are the highest level reached and the level
+	// at the end of the phased timeline.
+	MaxLevel   int `json:"max_level"`
+	FinalLevel int `json:"final_level"`
+
+	// FirstEscalationMS and FirstDeescalationMS are offsets from scenario
+	// start (0 = never happened).
+	FirstEscalationMS   float64 `json:"first_escalation_ms"`
+	FirstDeescalationMS float64 `json:"first_deescalation_ms"`
+
+	// Transitions is the full level-change log.
+	Transitions []AdaptTransition `json:"transitions,omitempty"`
+}
+
+// AdaptTransition is one controller level change, in scenario time.
+type AdaptTransition struct {
+	AtMS float64 `json:"at_ms"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Rule string  `json:"rule,omitempty"`
+}
+
+// adaptOutcome flattens the controller's transition log into the report
+// form, with times as offsets from the scenario epoch. Explicit booleans
+// track "seen": a ms value of 0 is a legal transition time (a rule true
+// on zero signals fires at the first tick), not the never-happened
+// sentinel.
+func adaptOutcome(ctrl *feedback.Controller) *AdaptOutcome {
+	out := &AdaptOutcome{Swaps: ctrl.Swaps(), FinalLevel: ctrl.Level()}
+	var sawUp, sawDown bool
+	for _, tr := range ctrl.Transitions() {
+		ms := float64(tr.At.Sub(Epoch())) / float64(time.Millisecond)
+		out.Transitions = append(out.Transitions, AdaptTransition{
+			AtMS: ms, From: tr.From, To: tr.To, Rule: tr.Rule,
+		})
+		if tr.To > out.MaxLevel {
+			out.MaxLevel = tr.To
+		}
+		if tr.To > tr.From && !sawUp {
+			out.FirstEscalationMS, sawUp = ms, true
+		}
+		if tr.To < tr.From && !sawDown {
+			out.FirstDeescalationMS, sawDown = ms, true
+		}
+	}
+	return out
 }
 
 // applyPhaseSwap installs phase p's SwapPolicy (if any) on the framework,
@@ -474,6 +637,7 @@ func (w *worker) arrive(t int, ev event) {
 	done := ev
 	done.completion = true
 	done.sentAt = ev.at
+	done.diff = dec.Difficulty
 	done.at = ev.at + 4*net.OneWay + net.IssueTime + net.VerifyTime + solveTime
 	if w.solver != nil {
 		sol, _, err := w.solver.Solve(context.Background(), dec.Challenge)
@@ -507,10 +671,19 @@ func (w *worker) complete(ev event) {
 		// verifier would: a solve that outlived the challenge TTL is not
 		// redeemable. (Conservative: latency includes network crossings.)
 		o.expired++
+		if ev.diff >= puzzle.MinDifficulty {
+			w.mExpired++
+		}
 		return
 	}
 	o.served++
 	o.latency.ObserveDuration(latency)
+	// A served modeled completion is a solved-and-verified challenge;
+	// record it for the feedback signal plane (bypassed completions carry
+	// no difficulty and are not verifications).
+	if !ev.verify && ev.diff >= puzzle.MinDifficulty {
+		w.mVerified[ev.diff]++
+	}
 }
 
 // tickOf maps an event time to its tick index, clamped to never schedule

@@ -66,7 +66,24 @@ const (
 	MetricGaveUp        = "gave_up"
 	MetricExpired       = "expired"
 	MetricDecideErrors  = "decide_errors"
+
+	// Adaptive-controller metrics, defined only for scenarios with
+	// Defense.Adapt; Population and Phase must be empty (the controller
+	// is scenario-wide). The MS figures are offsets from scenario start,
+	// 0 meaning "never" — bound them from both sides to pin both that a
+	// transition happened and when.
+	MetricAdaptSwaps               = "adapt_swaps"
+	MetricAdaptMaxLevel            = "adapt_max_level"
+	MetricAdaptFinalLevel          = "adapt_final_level"
+	MetricAdaptFirstEscalationMS   = "adapt_first_escalation_ms"
+	MetricAdaptFirstDeescalationMS = "adapt_first_deescalation_ms"
 )
+
+// adaptMetrics marks the controller-scoped metric names.
+var adaptMetrics = map[string]bool{
+	MetricAdaptSwaps: true, MetricAdaptMaxLevel: true, MetricAdaptFinalLevel: true,
+	MetricAdaptFirstEscalationMS: true, MetricAdaptFirstDeescalationMS: true,
+}
 
 // validMetrics guards scenario validation against typos.
 var validMetrics = map[string]bool{
@@ -76,6 +93,8 @@ var validMetrics = map[string]bool{
 	MetricCostP50: true, MetricWorkRatio: true, MetricWorkRatioP50: true,
 	MetricServed: true, MetricRequests: true, MetricSolveAttempts: true,
 	MetricGaveUp: true, MetricExpired: true, MetricDecideErrors: true,
+	MetricAdaptSwaps: true, MetricAdaptMaxLevel: true, MetricAdaptFinalLevel: true,
+	MetricAdaptFirstEscalationMS: true, MetricAdaptFirstDeescalationMS: true,
 }
 
 // Invariant is one declarative bound a scenario's outcome must satisfy —
@@ -140,6 +159,14 @@ func (inv Invariant) validate(sc Scenario) error {
 	}
 	if (inv.Metric == MetricWorkRatio || inv.Metric == MetricWorkRatioP50) && inv.Population != "" {
 		return fmt.Errorf("%s aggregates both classes; population must be empty", inv.Metric)
+	}
+	if adaptMetrics[inv.Metric] {
+		if inv.Population != "" || inv.Phase != "" {
+			return fmt.Errorf("%s is controller-wide; population and phase must be empty", inv.Metric)
+		}
+		if sc.Defense.Adapt == nil {
+			return fmt.Errorf("%s requires Defense.Adapt", inv.Metric)
+		}
 	}
 	if inv.Population != "" && inv.Population != ClassLegit && inv.Population != ClassAttackers {
 		found := false
@@ -235,6 +262,24 @@ func (o *outcome) costP50() float64 {
 
 // metricValue computes one metric over the invariant's scope.
 func (r *Result) metricValue(inv Invariant) float64 {
+	if adaptMetrics[inv.Metric] {
+		a := r.Adapt
+		if a == nil {
+			return 0
+		}
+		switch inv.Metric {
+		case MetricAdaptSwaps:
+			return float64(a.Swaps)
+		case MetricAdaptMaxLevel:
+			return float64(a.MaxLevel)
+		case MetricAdaptFinalLevel:
+			return float64(a.FinalLevel)
+		case MetricAdaptFirstEscalationMS:
+			return a.FirstEscalationMS
+		case MetricAdaptFirstDeescalationMS:
+			return a.FirstDeescalationMS
+		}
+	}
 	switch inv.Metric {
 	case MetricWorkRatio:
 		att, _ := r.scope(ClassAttackers, inv.Phase)

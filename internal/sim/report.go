@@ -111,14 +111,19 @@ type ScenarioReport struct {
 	Workers     int     `json:"workers"`
 
 	Defense struct {
-		Policy         string  `json:"policy"`
-		MaxDifficulty  int     `json:"max_difficulty"`
-		SaturationRate float64 `json:"saturation_rate,omitempty"`
-		RealSolve      bool    `json:"real_solve,omitempty"`
+		Policy         string   `json:"policy"`
+		MaxDifficulty  int      `json:"max_difficulty"`
+		SaturationRate float64  `json:"saturation_rate,omitempty"`
+		RealSolve      bool     `json:"real_solve,omitempty"`
+		AdaptRules     []string `json:"adapt_rules,omitempty"`
 	} `json:"defense"`
 
 	Populations []PopulationReport `json:"populations"`
 	Phases      []PhaseReport      `json:"phases,omitempty"`
+
+	// Adapt reports the feedback controller's level transitions and swap
+	// counts (present only for adaptive scenarios).
+	Adapt *AdaptOutcome `json:"adapt,omitempty"`
 
 	// Framework snapshots the framework's own counters — an independent
 	// cross-check of the engine's accounting.
@@ -145,6 +150,10 @@ func (r *Result) Report() ScenarioReport {
 	rep.Defense.MaxDifficulty = sc.Defense.MaxDifficulty
 	rep.Defense.SaturationRate = sc.Defense.SaturationRate
 	rep.Defense.RealSolve = sc.Defense.RealSolve
+	if sc.Defense.Adapt != nil {
+		rep.Defense.AdaptRules = sc.Defense.Adapt.Rules
+	}
+	rep.Adapt = r.Adapt
 
 	for pi, p := range sc.Populations {
 		total := newOutcome()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"aipow/internal/core"
+	"aipow/internal/feedback"
 	"aipow/internal/policy"
 )
 
@@ -342,6 +343,44 @@ func (sc Scenario) validate() error {
 		for _, ph := range sc.Phases {
 			if ph.SwapPolicy != "" {
 				return fmt.Errorf("sim: scenario %q: phase %q SwapPolicy requires the built-in Defense, not a custom Factory", sc.Name, ph.Name)
+			}
+		}
+		if sc.Defense.Adapt != nil {
+			// Same cap problem, and the controller also needs the
+			// defense's base policy spec for de-escalation.
+			return fmt.Errorf("sim: scenario %q: Defense.Adapt requires the built-in Defense, not a custom Factory", sc.Name)
+		}
+	}
+	if a := sc.Defense.Adapt; a != nil {
+		if a.Capacity < 0 || a.Hard < 0 || a.Window < 0 {
+			return fmt.Errorf("sim: scenario %q: negative adapt parameter", sc.Name)
+		}
+		for _, ph := range sc.Phases {
+			if ph.SwapPolicy != "" {
+				// Both drive Framework.SwapPolicy: a phase swap would
+				// clobber an escalated rung and a later de-escalation
+				// would silently revert the phase's declared policy.
+				// One scripted hand on the wheel or the controller, not
+				// both.
+				return fmt.Errorf("sim: scenario %q: phase %q SwapPolicy cannot be combined with Defense.Adapt (both drive the policy swap path)", sc.Name, ph.Name)
+			}
+		}
+		reg := policy.NewRegistry()
+		for _, spec := range a.Rules {
+			// Compile grammar and policy names up front so a typo fails
+			// at validation time, not mid-campaign.
+			rule, err := feedback.ParseRule(spec)
+			if err != nil {
+				return fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
+			}
+			if _, err := reg.New(rule.Policy); err != nil {
+				return fmt.Errorf("sim: scenario %q adapt rule policy: %w", sc.Name, err)
+			}
+			if a.Capacity <= 0 && (rule.When.Signal == feedback.SignalLoad ||
+				(rule.Unless != nil && rule.Unless.Signal == feedback.SignalLoad)) {
+				// Without a capacity the load signal is pinned to 0 and
+				// the rule could never fire.
+				return fmt.Errorf("sim: scenario %q: load-conditioned adapt rule requires Adapt.Capacity", sc.Name)
 			}
 		}
 	}

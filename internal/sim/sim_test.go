@@ -262,6 +262,23 @@ func TestScenarioValidation(t *testing.T) {
 			sc.Phases[0].SwapPolicy = "policy2"
 			sc.Factory = func(now func() time.Time) (*core.Framework, error) { return nil, nil }
 		}},
+		{"adapt_with_factory", func(sc *Scenario) {
+			sc.Defense.Adapt = &AdaptDefense{Rules: []string{"escalate(when=rate>1, policy=policy2)"}}
+			sc.Factory = func(now func() time.Time) (*core.Framework, error) { return nil, nil }
+		}},
+		{"adapt_bad_rule", func(sc *Scenario) {
+			sc.Defense.Adapt = &AdaptDefense{Rules: []string{"escalate(policy=policy2)"}}
+		}},
+		{"adapt_unknown_rule_policy", func(sc *Scenario) {
+			sc.Defense.Adapt = &AdaptDefense{Rules: []string{"escalate(when=rate>1, policy=nope)"}}
+		}},
+		{"adapt_metric_without_adapt", func(sc *Scenario) {
+			sc.Invariants = []Invariant{AtLeast(MetricAdaptSwaps, "", "", 1)}
+		}},
+		{"adapt_metric_with_population", func(sc *Scenario) {
+			sc.Defense.Adapt = &AdaptDefense{Rules: []string{"escalate(when=rate>1, policy=policy2)"}}
+			sc.Invariants = []Invariant{AtLeast(MetricAdaptSwaps, "a", "", 1)}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -271,6 +288,47 @@ func TestScenarioValidation(t *testing.T) {
 				t.Fatal("expected a validation error")
 			}
 		})
+	}
+}
+
+// TestAdaptiveRunDeterministic reruns a closed-loop scenario and demands
+// byte-identical reports: controller stepping (signal estimation and the
+// hot swaps it installs) must not introduce scheduling or wall-clock
+// dependence.
+func TestAdaptiveRunDeterministic(t *testing.T) {
+	pick := func() Scenario {
+		for _, sc := range DefaultSuite(7, 0.15) {
+			if sc.Name == "adaptive-attack-cycle" {
+				return sc
+			}
+		}
+		t.Fatal("adaptive-attack-cycle missing from the default suite")
+		return Scenario{}
+	}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		res, err := Run(pick())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.Adapt == nil || res.Adapt.Swaps < 2 {
+			t.Fatalf("run %d: controller did not close the loop: %+v", i, res.Adapt)
+		}
+		rep := res.Report()
+		buf, err := (&SuiteReport{Scenarios: []ScenarioReport{rep}}).Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if i == 0 {
+			first = buf
+			if rep.Adapt == nil || len(rep.Adapt.Transitions) < 2 {
+				t.Fatalf("report carries no transitions: %+v", rep.Adapt)
+			}
+			continue
+		}
+		if string(buf) != string(first) {
+			t.Fatalf("run %d produced a different report", i)
+		}
 	}
 }
 

@@ -32,8 +32,10 @@ func scalePop(n int, scale float64) int {
 }
 
 // DefaultSuite is the canonical adversarial scenario set the CI gate runs:
-// nine deterministic scenarios spanning the traffic mixes the ROADMAP
-// asks for, including the mid-campaign policy hot-swap. scale < 1 (the
+// twelve deterministic scenarios spanning the traffic mixes the ROADMAP
+// asks for, including the mid-campaign policy hot-swap and the
+// closed-loop adaptive-defense suite (auto-escalation on attack onset,
+// FP-proxy-gated escalation, controller flap guard). scale < 1 (the
 // CLI's -quick) shrinks population sizes without changing per-client
 // dynamics, so invariant bounds hold at every scale.
 func DefaultSuite(seed uint64, scale float64) []Scenario {
@@ -241,6 +243,157 @@ func DefaultSuite(seed uint64, scale float64) []Scenario {
 				AtLeast(MetricWorkRatioP50, "", "pulse-policy2", 12),
 				// …while legitimate traffic keeps being served with bounded
 				// typical latency across the whole campaign, swap included.
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP50, "users", "", 60),
+				AtMost(MetricLatencyP90, "users", "", 800),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "adaptive-attack-cycle",
+			Description: "closed loop: flood onset auto-escalates policy1→policy2 within ticks, attack end auto-de-escalates after the hold",
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"cycle-bots": 0}},
+				{Name: "flood", Duration: 30 * time.Second},
+				{Name: "recovery", Duration: 25 * time.Second, RateScale: map[string]float64{"cycle-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "cycle-bots", Clients: scalePop(300, scale), Rate: 2,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3, Adapt: &AdaptDefense{
+				Capacity: 400,
+				Rules:    []string{"escalate(when=rate>60, policy=policy2, hold=10s, after=2)"},
+			}},
+			Invariants: []Invariant{
+				// The loop's latency, pinned from both sides: escalation
+				// only after the flood starts (15 s) and within ~1.5 s of
+				// ticks; de-escalation only after the 10 s hold past the
+				// flood's end (45 s) plus the rate estimator's decay.
+				AtLeast(MetricAdaptFirstEscalationMS, "", "", 15000),
+				AtMost(MetricAdaptFirstEscalationMS, "", "", 16500),
+				AtLeast(MetricAdaptFirstDeescalationMS, "", "", 55000),
+				AtMost(MetricAdaptFirstDeescalationMS, "", "", 59000),
+				// Exactly one up and one down: no flapping, back at base.
+				AtLeast(MetricAdaptSwaps, "", "", 2),
+				AtMost(MetricAdaptSwaps, "", "", 2),
+				AtMost(MetricAdaptMaxLevel, "", "", 1),
+				AtMost(MetricAdaptFinalLevel, "", "", 0),
+				// The escalation visibly reprices the attackers mid-flood
+				// (policy1 caps them at 11)…
+				AtLeast(MetricMeanDifficulty, "cycle-bots", "flood", 12),
+				AtLeast(MetricWorkRatioP50, "", "flood", 12),
+				// …while legitimate traffic keeps flowing.
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP50, "users", "", 60),
+				AtMost(MetricLatencyP90, "users", "", 800),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "adaptive-fp-softening",
+			Description: "FP-proxy gating: a benign flash crowd (hard puzzles get solved) never escalates; a bot flood (hard puzzles abandoned) does",
+			Phases: []Phase{
+				{Name: "calm", Duration: 20 * time.Second, RateScale: map[string]float64{"fp-bots": 0}},
+				{Name: "benign-surge", Duration: 20 * time.Second, RateScale: map[string]float64{"users": 8, "fp-bots": 0}},
+				{Name: "lull", Duration: 20 * time.Second, RateScale: map[string]float64{"fp-bots": 0}},
+				{Name: "bot-flood", Duration: 20 * time.Second},
+				{Name: "recovery", Duration: 20 * time.Second, RateScale: map[string]float64{"fp-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(80, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "fp-bots", Clients: scalePop(400, scale), Rate: 2,
+					Behavior: BehaviorGiveUpAbove, GiveUpAt: 10, HashRate: suiteHashRate,
+					Feed: FeedMalicious, Paths: []string{"/login"},
+				},
+			},
+			// Base policy2 carries the scorer's ~15% benign FP tail to
+			// difficulty 13–15 — exactly the clients the hard_solve_frac
+			// proxy watches: they dutifully solve, bots walk away.
+			Defense: Defense{Policy: "policy2", SaturationRate: 3, Adapt: &AdaptDefense{
+				Capacity: 800, Window: 20,
+				Rules: []string{"escalate(when=rate>40, policy=fixed(difficulty=16), hold=8s, after=30, unless=hard_solve_frac>0.35)"},
+			}},
+			Invariants: []Invariant{
+				// The 8x benign surge (20–40 s) trips the volume trigger
+				// but the FP gate holds it down; only the bot flood (from
+				// 60 s) escalates — and within the 30-tick debounce.
+				AtLeast(MetricAdaptFirstEscalationMS, "", "", 62000),
+				AtMost(MetricAdaptFirstEscalationMS, "", "", 66000),
+				AtLeast(MetricAdaptFirstDeescalationMS, "", "", 88000),
+				AtMost(MetricAdaptFirstDeescalationMS, "", "", 93000),
+				AtLeast(MetricAdaptSwaps, "", "", 2),
+				AtMost(MetricAdaptSwaps, "", "", 2),
+				// The surge itself stays priced like any non-adaptive
+				// policy2 deployment (an escalation to fixed(16) would
+				// push the mean toward 16).
+				AtMost(MetricMeanDifficulty, "users", "benign-surge", 11),
+				AtMost(MetricLatencyP50, "users", "benign-surge", 60),
+				AtMost(MetricLatencyP90, "users", "benign-surge", 800),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				// The flood is priced out: nearly every give-up bot walks
+				// away unserved (a thin low-score tail still pays).
+				AtMost(MetricServedFrac, "fp-bots", "", 0.1),
+				AtLeast(MetricMeanDifficulty, "fp-bots", "bot-flood", 14),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "adaptive-flap-guard",
+			Description: "pulsing botnet vs. hysteresis: on-off pulses shorter than the hold produce exactly one escalation, no policy flapping",
+			Phases: []Phase{
+				{Name: "calm", Duration: 10 * time.Second, RateScale: map[string]float64{"flap-bots": 0}},
+				{Name: "pulse1", Duration: 5 * time.Second},
+				{Name: "gap1", Duration: 5 * time.Second, RateScale: map[string]float64{"flap-bots": 0}},
+				{Name: "pulse2", Duration: 5 * time.Second},
+				{Name: "gap2", Duration: 5 * time.Second, RateScale: map[string]float64{"flap-bots": 0}},
+				{Name: "pulse3", Duration: 5 * time.Second},
+				{Name: "recovery", Duration: 20 * time.Second, RateScale: map[string]float64{"flap-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "flap-bots", Clients: scalePop(300, scale), Rate: 2,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3, Adapt: &AdaptDefense{
+				Capacity: 400,
+				Rules:    []string{"escalate(when=rate>60, policy=policy2, hold=12s, after=2)"},
+			}},
+			Invariants: []Invariant{
+				// One escalation at the first pulse; every later pulse
+				// lands inside the 12 s hold, so the controller stays up
+				// instead of flapping — exactly 2 swaps across 3 pulses.
+				AtLeast(MetricAdaptFirstEscalationMS, "", "", 10000),
+				AtMost(MetricAdaptFirstEscalationMS, "", "", 11500),
+				AtLeast(MetricAdaptSwaps, "", "", 2),
+				AtMost(MetricAdaptSwaps, "", "", 2),
+				AtMost(MetricAdaptMaxLevel, "", "", 1),
+				// De-escalation only after the last pulse (35 s) + hold.
+				AtLeast(MetricAdaptFirstDeescalationMS, "", "", 47000),
+				AtMost(MetricAdaptFirstDeescalationMS, "", "", 50500),
+				AtMost(MetricAdaptFinalLevel, "", "", 0),
+				// Later pulses arrive pre-priced: the held escalation
+				// means no repricing lag on pulse 2 and 3 (policy1 would
+				// average ≈8 on this mix; policy2 ≈12).
+				AtLeast(MetricMeanDifficulty, "flap-bots", "pulse2", 11.5),
+				AtLeast(MetricMeanDifficulty, "flap-bots", "pulse3", 11.5),
 				AtLeast(MetricServedFrac, "users", "", 0.999),
 				AtMost(MetricLatencyP50, "users", "", 60),
 				AtMost(MetricLatencyP90, "users", "", 800),
