@@ -110,6 +110,16 @@ type VectorSource = features.VectorSource
 // vectors instead of maps on the hot path.
 type VectorScorer = features.VectorScorer
 
+// Verdict is a calibrated scoring outcome: the reputation score plus the
+// scorer's confidence in it, in [0, 1].
+type Verdict = features.Verdict
+
+// VerdictScorer is the confidence-carrying fast path of Scorer. Scorers
+// that implement it (the reputation model, the kNN scorer, the redemption
+// wrapper) report calibrated verdicts; the framework threads the
+// confidence through to confidence-aware policies (NewConfidenceShapedPolicy).
+type VerdictScorer = features.VerdictScorer
+
 // MapStore is a static attribute source (a feed snapshot) with a fallback
 // profile for unknown IPs.
 type MapStore = features.MapStore
@@ -134,6 +144,13 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 // power of two, clamped so the capacity bound stays exact). Zero, the
 // default, auto-sizes from GOMAXPROCS and capacity.
 func WithTrackerShards(n int) TrackerOption { return features.WithShards(n) }
+
+// WithEvidenceHalfLife sets the decay half-life of the tracker's
+// verified-solve credit (default 5m) — the recency horizon of behavioral
+// redemption (NewRedemptionScorer).
+func WithEvidenceHalfLife(d time.Duration) TrackerOption {
+	return features.WithEvidenceHalfLife(d)
+}
 
 // RequestInfo is one observed request for behavioral tracking.
 type RequestInfo = features.RequestInfo

@@ -390,6 +390,84 @@ pipeline bench
 	<-done
 }
 
+// BenchmarkDecideWithEvidence measures the confidence-carrying serving
+// path end to end with the behavioral-evidence loop closed: Observe feeds
+// the tracker, Decide runs the redemption-wrapped verdict scorer under a
+// confidence-shaped policy over the combined source, and Verify writes
+// solve evidence back into the tracker. Every layer the scoring-verdict
+// refactor added sits on this path, and all of it must stay
+// allocation-free.
+func BenchmarkDecideWithEvidence(b *testing.B) {
+	tracker, err := aipow.NewTracker()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fw := benchFramework(b, func(store *aipow.MapStore) []aipow.Option {
+		redeem, err := aipow.NewRedemptionScorer(mustModel(b))
+		if err != nil {
+			b.Fatal(err)
+		}
+		shaped, err := aipow.NewConfidenceShapedPolicy(aipow.Policy2(), 5, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		source, err := aipow.NewCombinedSource(store, tracker)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return []aipow.Option{
+			aipow.WithScorer(redeem),
+			aipow.WithPolicy(shaped),
+			aipow.WithSource(source),
+			aipow.WithTracker(tracker),
+			// Repeated redemption of one pre-solved challenge: replay
+			// protection off, like the pure-verification benchmarks.
+			aipow.WithReplayCacheSize(0),
+		}
+	})
+	const ip = "198.51.100.1"
+	at := time.Unix(1000, 0)
+	if err := fw.Observe(aipow.RequestInfo{IP: ip, Path: "/api", At: at}); err != nil {
+		b.Fatal(err)
+	}
+	dec, err := fw.Decide(aipow.RequestContext{IP: ip})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, _, err := aipow.NewSolver().Solve(context.Background(), dec.Challenge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fw.Observe(aipow.RequestInfo{IP: ip, Path: "/api", At: at}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fw.Decide(aipow.RequestContext{IP: ip}); err != nil {
+			b.Fatal(err)
+		}
+		if err := fw.Verify(sol, ip); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// mustModel trains the benchmark reputation model (cached per run would
+// not matter: training is outside every timer).
+func mustModel(b *testing.B) *aipow.ReputationModel {
+	b.Helper()
+	data, err := aipow.GenerateDataset(aipow.DefaultDatasetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := aipow.TrainReputationModel(aipow.DatasetToSamples(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model
+}
+
 // BenchmarkVerifyParallel measures concurrent solution verification (no
 // replay cache, matching BenchmarkAsymmetryVerify's pure-verification
 // setup).

@@ -43,7 +43,11 @@ var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
 // polling at ~1 kHz (the closed loop must cost the serving path
 // nothing). Parallel/scaling entries are informational (their ns/op
 // depends on core count).
-var gated = []string{"Decide", "DecideUnderSwap", "DecideUnderAdapt", "Verify", "Issue"}
+// DecideWithEvidence covers the scoring-verdict stack end to end:
+// Observe + Decide (redemption-wrapped verdict scorer, confidence-shaped
+// policy, combined source) + Verify with evidence write-back into the
+// tracker.
+var gated = []string{"Decide", "DecideUnderSwap", "DecideUnderAdapt", "DecideWithEvidence", "Verify", "Issue"}
 
 // result is one benchmark's stable, diffable summary.
 type result struct {
@@ -184,6 +188,50 @@ pipeline bench
 	}
 	adaptFW := gk.Route("/", "")
 
+	// Evidence wiring: the full scoring-verdict stack — redemption-wrapped
+	// model under a confidence-shaped policy over the combined
+	// static+tracker source, with Verify writing solve evidence back.
+	evTracker, err := aipow.NewTracker()
+	if err != nil {
+		return err
+	}
+	redeem, err := aipow.NewRedemptionScorer(model)
+	if err != nil {
+		return err
+	}
+	shaped, err := aipow.NewConfidenceShapedPolicy(aipow.Policy2(), 5, 0.5)
+	if err != nil {
+		return err
+	}
+	evSource, err := aipow.NewCombinedSource(store, evTracker)
+	if err != nil {
+		return err
+	}
+	evFW, err := aipow.New(
+		aipow.WithKey(benchKey),
+		aipow.WithScorer(redeem),
+		aipow.WithPolicy(shaped),
+		aipow.WithSource(evSource),
+		aipow.WithTracker(evTracker),
+		aipow.WithReplayCacheSize(0), // one pre-solved challenge, redeemed repeatedly
+	)
+	if err != nil {
+		return err
+	}
+	const evIP = "198.51.100.1"
+	evAt := time.Unix(1000, 0)
+	if err := evFW.Observe(aipow.RequestInfo{IP: evIP, Path: "/api", At: evAt}); err != nil {
+		return err
+	}
+	evDec, err := evFW.Decide(aipow.RequestContext{IP: evIP})
+	if err != nil {
+		return err
+	}
+	evSol, _, err := aipow.NewSolver().Solve(context.Background(), evDec.Challenge)
+	if err != nil {
+		return err
+	}
+
 	verifier, err := aipow.NewVerifier(benchKey)
 	if err != nil {
 		return err
@@ -301,6 +349,24 @@ pipeline bench
 				b.StopTimer()
 				close(stop)
 				<-done
+			})),
+			// The scoring-verdict stack end to end: behavioral observation,
+			// confidence-carrying decision (redemption + shaping on-path),
+			// and verification with evidence write-back. Gated: the whole
+			// loop must stay allocation-free.
+			"DecideWithEvidence": summarize(testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := evFW.Observe(aipow.RequestInfo{IP: evIP, Path: "/api", At: evAt}); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := evFW.Decide(aipow.RequestContext{IP: evIP}); err != nil {
+						b.Fatal(err)
+					}
+					if err := evFW.Verify(evSol, evIP); err != nil {
+						b.Fatal(err)
+					}
+				}
 			})),
 			"Issue": summarize(testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()

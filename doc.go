@@ -133,11 +133,66 @@
 //     autonomous loop.
 //
 // powserver runs the loop under -adapt (controller state appears under
-// the adapt.* keys of GET /stats); the attacksim suite's three
-// adaptive scenarios gate the behavior in CI — attack-onset escalation
-// within a declared tick bound, post-attack de-escalation, FP-gated
-// non-escalation of a benign flash crowd, and a flap-guard bound on swap
-// counts — deterministically, byte-identical across reruns.
+// the adapt.* keys of GET /stats); the attacksim suite's adaptive
+// scenarios gate the behavior in CI — attack-onset escalation within a
+// declared tick bound, post-attack de-escalation, FP-gated
+// non-escalation of a benign flash crowd, a flap-guard bound on swap
+// counts, a verify_fail_rate-triggered rung against a real-crypto
+// forged-solution flood, and a three-rung production ladder —
+// deterministically, byte-identical across reruns.
+//
+// # Scoring verdicts & redemption
+//
+// A reputation score alone says how malicious a client looks; it cannot
+// say how sure the model is, and the DAbR scorer's ~15% benign false
+// positives used to pay the worst-case difficulty for as long as the
+// feed misjudged them. The scoring contract is therefore a calibrated
+// verdict, and good behavior feeds back into it:
+//
+//   - Verdicts. Scorers implementing VerdictScorer return
+//     Verdict{Score, Confidence}: the reputation model calibrates
+//     confidence from cluster margin (relative distance between the
+//     malicious and benign training regions — false positives live in
+//     the overlap, where the margin collapses) and decision-boundary
+//     separation; the kNN scorer uses neighbourhood unanimity. Plain
+//     scorers, the map compatibility path, and fail-closed
+//     substitutions all score at confidence 1 — exactly the pre-verdict
+//     behavior.
+//
+//   - Shaping. NewConfidenceShapedPolicy (spec form
+//     "shape(inner=policy2, anchor=5, floor=0.5)", usable anywhere a
+//     policy spec is — including adapt escalation rungs) charges full
+//     difficulty only when score and confidence are both high: scores
+//     above the anchor are shaded toward it in proportion to lost
+//     confidence, bounded by the floor (at the defaults, at most 2.5
+//     difficulty levels — Policy 3's ε, spent directionally and
+//     deterministically instead of as a uniform random draw). Scores at
+//     or below the anchor never move: uncertainty about a good client
+//     cannot raise its price. The framework computes the verdict only
+//     when the active policy consumes it, so plain deployments pay
+//     nothing.
+//
+//   - Redemption. Framework.Verify writes verification outcomes back
+//     into the behavior tracker as evidence: solved difficulties accrue
+//     into a half-life-decayed solve credit, failures extend a fail
+//     streak. NewRedemptionScorer wraps the static model and attenuates
+//     its score (bounded, saturating in credit) for IPs whose evidence
+//     says they keep paying and behaving — modest rate and spacing, no
+//     4xx history, no failed verifications. A misscored benign client
+//     earns its way out of the false-positive tail in a handful of
+//     solves; an attacker can only buy the same discount by paying the
+//     full toll continuously at a gentle rate, and any live suspicion
+//     (flooding, probing, forging) cancels it. Live rate-based scoring
+//     layers outside the wrapper, so a currently-flooding client keeps
+//     its behavioral price regardless of credit.
+//
+// The fp-redemption simulation scenario gates the outcome in CI: a
+// misscored benign population's mean difficulty and per-request cost
+// must fall after sustained verified solves, while the canonical attack
+// scenarios' mean work_ratio floors — raised to at least twice their
+// pre-redemption values — pin that attackers gained nothing. The gated
+// DecideWithEvidence benchmark holds the whole loop (Observe + verdict
+// Decide + Verify with evidence write-back) at 0 allocs/op.
 //
 // # Performance
 //

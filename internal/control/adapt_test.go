@@ -432,3 +432,47 @@ pipeline web
 		t.Fatal("build with an unresolvable escalation policy unexpectedly succeeded")
 	}
 }
+
+// TestAdaptRungShapePolicy pins that the shape(...) combinator is a legal
+// adapt escalation target: the rung's shaped policy compiles through the
+// registry (nested component spec included), parses from the text DSL,
+// and a bad shape rung fails at validation time.
+func TestAdaptRungShapePolicy(t *testing.T) {
+	reg := newTestRegistry(t)
+	dep, err := ParseDeployment(`
+pipeline web
+  scorer threat
+  source store
+  policy policy1
+  adapt escalate(when=rate>10, policy=shape(inner=fixed(difficulty=16), floor=0.25), hold=5s)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := reg.Build(dep.Pipelines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Controller() == nil {
+		t.Fatal("no controller attached")
+	}
+	rules := p.Controller().Rules()
+	if len(rules) != 1 || !strings.Contains(rules[0], "shape(inner=fixed(difficulty=16)") {
+		t.Fatalf("rules = %v, want the shape rung", rules)
+	}
+	// A rung whose shape inner does not resolve fails at Build (the
+	// grammar itself is fine, so parsing accepts it).
+	bad, err := ParseDeployment(`
+pipeline web
+  scorer threat
+  source store
+  policy policy1
+  adapt escalate(when=rate>10, policy=shape(inner=nope), hold=5s)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Build(bad.Pipelines[0]); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("Build with unresolvable shape inner: %v", err)
+	}
+}

@@ -16,11 +16,12 @@ import (
 
 // Gatekeeper is the multi-tenant front of the control plane: it maps
 // request classes — path prefixes and tenant keys — onto named pipelines
-// built from one DeploymentSpec. All pipelines share the registry's
-// behavior tracker, so one client's behavioral history follows it across
-// route boundaries; each pipeline signs challenges with its own
-// name-derived key, so a cheap solve on a lenient route cannot be
-// redeemed on a stricter one.
+// built from one DeploymentSpec. Pipelines share the registry's behavior
+// tracker by default, so one client's behavioral history follows it
+// across route boundaries (pipelines declaring a `window` get a
+// per-window tracker instead, shared among same-window pipelines); each
+// pipeline signs challenges with its own name-derived key, so a cheap
+// solve on a lenient route cannot be redeemed on a stricter one.
 //
 // Routing state lives in an immutable table behind an atomic pointer:
 // Route is one atomic load, a tenant map lookup, and a short
@@ -124,7 +125,7 @@ func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error
 					if old.upToDate(resolved) {
 						built = old // unchanged: keep running state intact
 					} else {
-						scorer, pol, source, ctrl, err := gk.reg.components(resolved, old.load)
+						scorer, pol, source, ctrl, err := gk.reg.components(resolved, old.load, old.tracker)
 						if err != nil {
 							return nil, err
 						}

@@ -22,6 +22,13 @@ type Pipeline struct {
 	reg *Registry
 	fw  *core.Framework
 
+	// tracker is the behavior tracker the pipeline was built over (the
+	// registry's shared one, or a per-window tracker when the spec
+	// declares `window`). Fixed for the pipeline's lifetime — changing
+	// the window rebuilds the pipeline — and used by Apply to rebuild
+	// sources over the same behavioral state.
+	tracker *features.Tracker
+
 	mu   sync.Mutex // guards spec/swapsAt against concurrent Apply
 	spec PipelineSpec
 
@@ -165,7 +172,7 @@ func (p *Pipeline) Apply(ps PipelineSpec) error {
 	if specEqual(p.spec, ps) && p.fw.Swaps() == p.swapsAt {
 		return nil
 	}
-	scorer, pol, source, ctrl, err := p.reg.components(ps, p.load)
+	scorer, pol, source, ctrl, err := p.reg.components(ps, p.load, p.tracker)
 	if err != nil {
 		return err
 	}

@@ -51,7 +51,31 @@ type Registry struct {
 	key      []byte
 	tracker  *features.Tracker
 	now      func() time.Time
+
+	// windowed holds the per-window trackers behind `window <duration>`
+	// pipeline specs, keyed by span: pipelines declaring equal windows
+	// share one tracker (and with it behavioral history), pipelines
+	// declaring different windows finally get different decay horizons —
+	// the one knob the shared tracker used to force deployment-wide.
+	// Like the default tracker, windowed trackers persist across applies.
+	// windowOrder tracks creation order for the FIFO bound below.
+	windowed    map[time.Duration]*features.Tracker
+	windowOrder []time.Duration
 }
+
+// maxTrackerWindows bounds how many distinct per-pipeline tracker windows
+// one registry retains for sharing. Each tracker is a full
+// capacity-bounded state store, so the set is FIFO-bounded like the
+// store/layout caches: when an operator's window tuning has churned past
+// the bound, the oldest-created window is retired from the share map —
+// pipelines already built on it keep their tracker untouched, but a
+// *future* pipeline declaring that span starts a fresh one (losing
+// cross-build history sharing for that window, never failing the apply).
+const maxTrackerWindows = 8
+
+// trackerWindowBuckets is the bucket count of per-window trackers,
+// matching the default tracker's window:bucket granularity ratio.
+const trackerWindowBuckets = 12
 
 // RegistryOption customizes NewRegistry.
 type RegistryOption func(*Registry)
@@ -113,6 +137,44 @@ func NewRegistry(key []byte, opts ...RegistryOption) (*Registry, error) {
 
 // Tracker reports the shared behavior tracker.
 func (r *Registry) Tracker() *features.Tracker { return r.tracker }
+
+// trackerFor resolves a pipeline's behavior tracker: the shared default
+// for a zero window, otherwise the per-window tracker for that span,
+// created on first use and cached so same-window pipelines share state.
+// Windowed trackers inherit the shared tracker's sizing (capacity,
+// evidence half-life) so `window` changes exactly one thing — the
+// behavioral decay horizon — instead of silently resetting an operator's
+// capacity tuning to defaults.
+func (r *Registry) trackerFor(window Duration) (*features.Tracker, error) {
+	if window == 0 {
+		return r.tracker, nil
+	}
+	span := time.Duration(window)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t, ok := r.windowed[span]; ok {
+		return t, nil
+	}
+	t, err := features.NewTracker(
+		features.WithWindow(span, trackerWindowBuckets),
+		features.WithCapacity(r.tracker.Capacity()),
+		features.WithEvidenceHalfLife(r.tracker.EvidenceHalfLife()),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("control: window %v tracker: %w", span, err)
+	}
+	if r.windowed == nil {
+		r.windowed = make(map[time.Duration]*features.Tracker, 1)
+	}
+	for len(r.windowed) >= maxTrackerWindows {
+		oldest := r.windowOrder[0]
+		r.windowOrder = r.windowOrder[1:]
+		delete(r.windowed, oldest) // FIFO: see maxTrackerWindows
+	}
+	r.windowed[span] = t
+	r.windowOrder = append(r.windowOrder, span)
+	return t, nil
+}
 
 // pipelineKey derives a pipeline's signing key from the root key and the
 // pipeline name (HMAC-SHA256, domain-separated). Stable across rebuilds
@@ -203,8 +265,9 @@ func (r *Registry) newScorer(spec string) (core.Scorer, error) {
 	return s, nil
 }
 
-// newSource resolves a source component spec ("" defaults to "tracker").
-func (r *Registry) newSource(spec string) (features.Source, error) {
+// newSource resolves a source component spec ("" defaults to "tracker")
+// over the pipeline's behavior tracker.
+func (r *Registry) newSource(spec string, tracker *features.Tracker) (features.Source, error) {
 	if spec == "" {
 		spec = "tracker"
 	}
@@ -219,7 +282,7 @@ func (r *Registry) newSource(spec string) (features.Source, error) {
 		return nil, fmt.Errorf("control: unknown source %q (known: %s)",
 			name, strings.Join(r.SourceNames(), ", "))
 	}
-	s, err := f(params, r.tracker)
+	s, err := f(params, tracker)
 	if err != nil {
 		return nil, fmt.Errorf("control: source %q: %w", name, err)
 	}
@@ -323,11 +386,11 @@ func (ps PipelineSpec) withDefaults() PipelineSpec {
 	return ps
 }
 
-// components compiles the hot-swappable component set of a spec,
-// including the feedback controller when the spec has an adapt section.
-// load feeds load-shifted policies and must outlive controller rebuilds
-// (pipelines pass their stable load indirection).
-func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc) (core.Scorer, policy.Policy, features.Source, *feedback.Controller, error) {
+// components compiles the hot-swappable component set of a spec over the
+// pipeline's tracker, including the feedback controller when the spec has
+// an adapt section. load feeds load-shifted policies and must outlive
+// controller rebuilds (pipelines pass their stable load indirection).
+func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc, tracker *features.Tracker) (core.Scorer, policy.Policy, features.Source, *feedback.Controller, error) {
 	scorer, err := r.newScorer(ps.Scorer)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -336,7 +399,7 @@ func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc) (core.Score
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	source, err := r.newSource(ps.Source)
+	source, err := r.newSource(ps.Source, tracker)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -352,14 +415,19 @@ func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc) (core.Score
 
 // Build compiles a pipeline spec into a runnable Pipeline: components
 // resolved against the registry, assembled around a core.Framework wired
-// to the shared key, tracker, and clock.
+// to the shared key, the pipeline's tracker (the shared one, or a
+// per-window tracker when the spec declares `window`), and the clock.
 func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	if err := ps.validate(); err != nil {
 		return nil, err
 	}
 	ps = ps.withDefaults()
-	p := &Pipeline{reg: r}
-	scorer, pol, source, ctrl, err := r.components(ps, p.load)
+	tracker, err := r.trackerFor(ps.TrackerWindow)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{reg: r, tracker: tracker}
+	scorer, pol, source, ctrl, err := r.components(ps, p.load, tracker)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +436,7 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 		core.WithScorer(scorer),
 		core.WithPolicy(pol),
 		core.WithSource(source),
-		core.WithTracker(r.tracker),
+		core.WithTracker(tracker),
 		core.WithClock(r.now),
 		core.WithTTL(time.Duration(ps.TTL)),
 		core.WithMaxDifficulty(ps.MaxDifficulty),

@@ -81,6 +81,16 @@ type PipelineSpec struct {
 	// name richer sources, e.g. "combined".
 	Source string `json:"source,omitempty"`
 
+	// TrackerWindow gives the pipeline its own behavior tracker with this
+	// sliding-window span instead of the registry's shared default-window
+	// tracker — so one deployment can pair a short-memory window on a
+	// login route with a long one on the frontend. Pipelines declaring
+	// equal windows share one tracker (behavioral history still follows a
+	// client across those routes); the zero value keeps the shared
+	// default. Not hot-swappable: the tracker is wired into the framework
+	// at build time, so changing it rebuilds the pipeline.
+	TrackerWindow Duration `json:"window,omitempty"`
+
 	// TTL is the challenge lifetime (0 = puzzle.DefaultTTL). Not
 	// hot-swappable: it lives in the issuer.
 	TTL Duration `json:"ttl,omitempty"`
@@ -319,6 +329,9 @@ func (p *PipelineSpec) validate() error {
 	if p.TTL < 0 {
 		return fmt.Errorf("control: pipeline %q has negative ttl", p.Name)
 	}
+	if p.TrackerWindow < 0 {
+		return fmt.Errorf("control: pipeline %q has negative window", p.Name)
+	}
 	if p.MaxDifficulty < 0 {
 		return fmt.Errorf("control: pipeline %q has negative max-difficulty", p.Name)
 	}
@@ -351,6 +364,7 @@ func specEqual(a, b PipelineSpec) bool {
 		a.PolicyRules == b.PolicyRules && a.Source == b.Source &&
 		a.TTL == b.TTL && a.MaxDifficulty == b.MaxDifficulty &&
 		a.ReplayCache == b.ReplayCache && a.ClockSkew == b.ClockSkew &&
+		a.TrackerWindow == b.TrackerWindow &&
 		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
 		a.Adapt.equal(b.Adapt)
 }
@@ -368,6 +382,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 		return fmt.Errorf("replay-cache %d → %d", p.ReplayCache, q.ReplayCache)
 	case p.ClockSkew != q.ClockSkew:
 		return fmt.Errorf("clock-skew %v → %v", time.Duration(p.ClockSkew), time.Duration(q.ClockSkew))
+	case p.TrackerWindow != q.TrackerWindow:
+		return fmt.Errorf("window %v → %v", time.Duration(p.TrackerWindow), time.Duration(q.TrackerWindow))
 	}
 	return nil
 }
@@ -389,6 +405,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	  fail-closed <score>
 //	  replay-cache <n>         negative disables replay protection
 //	  clock-skew <duration>
+//	  window <duration>        per-pipeline behavior-tracker window (default:
+//	                           the registry's shared tracker)
 //	  adapt escalate(when=<cond>, policy=<spec>, …)   escalation ladder rung
 //	  adapt interval <duration>    controller step cadence (default 1s)
 //	  adapt capacity <rate>        decisions/s treated as full load
@@ -462,7 +480,7 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 			}
 			d.Routes = append(d.Routes, r)
 		case "scorer", "policy", "source", "ttl", "max-difficulty", "bypass-below",
-			"fail-closed", "replay-cache", "clock-skew", "when", "default", "adapt":
+			"fail-closed", "replay-cache", "clock-skew", "window", "when", "default", "adapt":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
 			}
@@ -513,7 +531,7 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 	case "when", "default":
 		*rules = append(*rules, line)
 		return nil
-	case "ttl", "clock-skew":
+	case "ttl", "clock-skew", "window":
 		if len(args) != 1 {
 			return fmt.Errorf("want '%s <duration>'", stmt)
 		}
@@ -521,10 +539,13 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 		if err != nil {
 			return fmt.Errorf("%s: %w", stmt, err)
 		}
-		if stmt == "ttl" {
+		switch stmt {
+		case "ttl":
 			p.TTL = Duration(v)
-		} else {
+		case "clock-skew":
 			p.ClockSkew = Duration(v)
+		case "window":
+			p.TrackerWindow = Duration(v)
 		}
 		return nil
 	case "max-difficulty", "replay-cache":

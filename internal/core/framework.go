@@ -67,6 +67,15 @@ type Decision struct {
 	// if the scorer errored).
 	Score float64
 
+	// Confidence is the scorer's calibrated certainty in Score, in [0, 1].
+	// It is populated (below 1) only when the active policy consumes
+	// verdicts (policy.ConsumesConfidence) and the scorer produces them —
+	// a verdict nobody reads is not computed. Scorers without a verdict
+	// path, plain-policy deployments, and fail-closed substitutions all
+	// report 1: the score is enforced at face value, exactly the
+	// pre-verdict behavior.
+	Confidence float64
+
 	// ScoreErr records a scorer failure. When non-nil, Score is the
 	// configured fail-closed score, not a model output.
 	ScoreErr error
@@ -106,6 +115,15 @@ type snapshot struct {
 	vecScorer features.VectorScorer
 	vecSource features.VectorSource
 	vecPool   *sync.Pool // *[]float64, len == schema.Len()
+
+	// Verdict wiring, resolved once per snapshot so Decide pays no
+	// per-request type assertions: verdictScorer is non-nil only when the
+	// vector scorer carries confidence AND the policy (confPol) consumes
+	// it — a verdict nobody reads would cost every plain deployment the
+	// confidence computation for nothing. Either side missing degrades to
+	// the plain score path at an implied confidence of 1.
+	verdictScorer features.VerdictScorer
+	confPol       policy.ConfidenceAware
 }
 
 // Framework is the assembled pipeline. Construct with New; all methods are
@@ -247,6 +265,10 @@ func buildSnapshot(scorer Scorer, pol policy.Policy, source features.Source, fai
 				}}
 			}
 		}
+	}
+	s.confPol, _ = pol.(policy.ConfidenceAware)
+	if s.vecScorer != nil && policy.ConsumesConfidence(pol) {
+		s.verdictScorer, _ = s.vecScorer.(features.VerdictScorer)
 	}
 	return s, nil
 }
@@ -427,16 +449,17 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	snap := f.snap.Load()
 	dec := Decision{IP: req.IP}
 
-	score, err := snap.score(req.IP, f.now())
+	score, conf, err := snap.score(req.IP, f.now())
 	if err != nil {
 		// Fail closed: an unscorable client is treated as configured,
-		// default maximally suspicious. The error is preserved on the
-		// decision for observability.
+		// default maximally suspicious — at full confidence, so a
+		// confidence-shaped policy cannot soften the fail-closed price.
+		// The error is preserved on the decision for observability.
 		dec.ScoreErr = err
-		score = snap.failClosedScore
+		score, conf = snap.failClosedScore, 1
 		f.cScoreErrs.Inc()
 	}
-	dec.Score = score
+	dec.Score, dec.Confidence = score, conf
 
 	if snap.bypassBelow >= 0 && score < snap.bypassBelow {
 		dec.Bypassed = true
@@ -445,7 +468,11 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 		return dec, nil
 	}
 
-	dec.Difficulty = snap.pol.Difficulty(score)
+	if snap.confPol != nil {
+		dec.Difficulty = snap.confPol.ConfidentDifficulty(score, conf)
+	} else {
+		dec.Difficulty = snap.pol.Difficulty(score)
+	}
 	ch, err := f.issuer.Issue(req.IP, dec.Difficulty)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: issue challenge: %w", err)
@@ -461,34 +488,73 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 // interned vector fast path (no map, no allocations) and falling back to
 // the map-based Source/Scorer pair when the fast path is unavailable or a
 // source could not cover the full schema — the map path then reports
-// exactly which attribute was missing, and Decide fails closed.
-func (s *snapshot) score(ip string, now time.Time) (float64, error) {
+// exactly which attribute was missing, and Decide fails closed. Scorers
+// with a verdict path additionally report their calibrated confidence;
+// everything else scores at confidence 1 (enforce at face value).
+func (s *snapshot) score(ip string, now time.Time) (float64, float64, error) {
 	if s.schema != nil {
 		vp := s.vecPool.Get().(*[]float64)
 		v := *vp
 		clear(v)
 		if mask := s.vecSource.AttributesVector(v, s.schema, ip, now); mask == s.schema.FullMask() {
+			if s.verdictScorer != nil {
+				ver, err := s.verdictScorer.VerdictVector(v)
+				s.vecPool.Put(vp)
+				return ver.Score, ver.Confidence, err
+			}
 			score, err := s.vecScorer.ScoreVector(v)
 			s.vecPool.Put(vp)
-			return score, err
+			return score, 1, err
 		}
 		s.vecPool.Put(vp)
 	}
-	return s.scorer.Score(s.source.Attributes(ip, now))
+	score, err := s.scorer.Score(s.source.Attributes(ip, now))
+	return score, 1, err
 }
 
 // Verify runs steps 5–6: check the solution presented by binding. A nil
 // return means the caller should serve the resource.
+//
+// Verification outcomes are also behavioral *evidence*: a successful
+// solve is written back into the attached tracker as solve credit (the
+// redemption feed for reputation.Decay — a misscored client that keeps
+// paying earns its way out of the false-positive tail), and a failure
+// extends the IP's fail streak (which cancels redemption). Both writes
+// are allocation-free for tracked IPs; without a tracker Verify behaves
+// exactly as before.
 func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
 	if err := f.verifier.Verify(sol, binding); err != nil {
 		f.cRejected.Inc()
+		if f.tracker != nil {
+			f.tracker.RecordVerify(binding, 0, false, f.now())
+		}
 		return err
 	}
 	f.cVerified.Inc()
-	if d := sol.Challenge.Difficulty; d >= 0 && d < len(f.diffVerified) {
+	d := sol.Challenge.Difficulty
+	if d >= 0 && d < len(f.diffVerified) {
 		f.diffVerified[d].Add(1)
 	}
+	if f.tracker != nil {
+		f.tracker.RecordVerify(binding, d, true, f.now())
+	}
 	return nil
+}
+
+// RecordVerifyEvidence feeds one externally-adjudicated verification
+// outcome into the attached tracker, exactly as Verify itself would (a
+// no-op without a tracker). It exists for hosts that model or offload
+// verification — the simulation engine's modeled solves use it so the
+// redemption path sees the same evidence stream a real deployment's
+// Verify calls produce.
+func (f *Framework) RecordVerifyEvidence(ip string, difficulty int, ok bool) {
+	if f.tracker == nil {
+		return
+	}
+	if !ok {
+		difficulty = 0
+	}
+	f.tracker.RecordVerify(ip, difficulty, ok, f.now())
 }
 
 // DifficultyProfileInto copies the cumulative per-difficulty counters into

@@ -97,3 +97,62 @@ func TestCombinedMergesStaticAndLive(t *testing.T) {
 		t.Errorf("fail ratio = %v, want 1", attrs[AttrFailRatio])
 	}
 }
+
+// TestMapStoreFallbackSharedAndUnmutated is the ROADMAP's audit pin on the
+// documented contract change: Attributes returns one shared read-only
+// fallback map for every unknown IP (no per-request clone), and no
+// framework path — the Combined merge, scoring — mutates it. A future
+// caller writing into the returned map would corrupt every unknown
+// client's profile at once; this test fails the moment the shared
+// fallback's contents drift.
+func TestMapStoreFallbackSharedAndUnmutated(t *testing.T) {
+	fallback := map[string]float64{"x": 1, "y": 2}
+	s, err := NewMapStore(fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := s.Attributes("203.0.113.1", at(0))
+	b := s.Attributes("203.0.113.2", at(0))
+	// Shared: both unknown IPs see the same map value (the whole point of
+	// the no-clone contract). Maps are not comparable, so pin sharing by
+	// writing through one and reading the other — then restore.
+	a["__probe__"] = 1
+	if _, shared := b["__probe__"]; !shared {
+		t.Fatal("unknown-IP fallback is cloned per call; the shared-map contract changed")
+	}
+	delete(a, "__probe__")
+
+	// The store's own constructor input is insulated from the caller.
+	fallback["x"] = 99
+	if got := s.Attributes("203.0.113.3", at(0))["x"]; got != 1 {
+		t.Errorf("mutating the constructor argument reached the store: x = %v", got)
+	}
+
+	// Drive the paths that receive the shared map and assert no drift.
+	snapshot := make(map[string]float64, len(a))
+	for k, v := range a {
+		snapshot[k] = v
+	}
+	tr, err := NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := NewCombined(s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe(RequestInfo{IP: "203.0.113.9", Path: "/p", At: at(0)}); err != nil {
+		t.Fatal(err)
+	}
+	merged := combined.Attributes("203.0.113.9", at(1))
+	merged["x"] = -5 // mutating the *merged* map must not reach the fallback
+	after := s.Attributes("203.0.113.4", at(1))
+	if len(after) != len(snapshot) {
+		t.Fatalf("fallback gained/lost keys: %v vs %v", after, snapshot)
+	}
+	for k, v := range snapshot {
+		if after[k] != v {
+			t.Errorf("fallback[%q] drifted: %v != %v", k, after[k], v)
+		}
+	}
+}

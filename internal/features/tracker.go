@@ -21,11 +21,32 @@ const (
 	AttrPathEntropy   = "live_path_entropy"
 	AttrInterArrival  = "live_inter_arrival_ms"
 	AttrTotalRequests = "live_total_requests"
+
+	// AttrSolveCredit is the IP's verified-solve evidence: the sum of the
+	// difficulties of challenges it solved and redeemed through Verify,
+	// decayed exponentially with the tracker's evidence half-life. It is
+	// what lets a misscored legitimate client *earn* a better effective
+	// score (reputation.Decay reads it) instead of sitting in the
+	// false-positive tail for the whole tracker window.
+	AttrSolveCredit = "live_solve_credit"
+
+	// AttrFailStreak counts consecutive failed verifications (bad nonce,
+	// tampered challenge, replay) since the IP's last successful solve —
+	// direct protocol-abuse evidence that cancels redemption.
+	AttrFailStreak = "live_fail_streak"
+
+	// AttrFailRatioTotal is the failed fraction of *all* requests observed
+	// for the IP (entry lifetime), where AttrFailRatio covers only the
+	// sliding window. Redemption gates on the lifetime ratio: a
+	// slow-and-low prober fits whole clean spells inside a short window,
+	// but its lifetime ratio converges on its true failure rate within a
+	// handful of requests and stays there.
+	AttrFailRatioTotal = "live_fail_ratio_total"
 )
 
 // behaviorAttrCount is the number of behavioral attributes the tracker
 // produces; behaviorAttrNames fixes their order for the vector fast path.
-const behaviorAttrCount = 6
+const behaviorAttrCount = 9
 
 var behaviorAttrNames = [behaviorAttrCount]string{
 	AttrRequestRate,
@@ -34,7 +55,17 @@ var behaviorAttrNames = [behaviorAttrCount]string{
 	AttrPathEntropy,
 	AttrInterArrival,
 	AttrTotalRequests,
+	AttrSolveCredit,
+	AttrFailStreak,
+	AttrFailRatioTotal,
 }
+
+// DefaultEvidenceHalfLife is the solve-credit decay half-life when
+// WithEvidenceHalfLife is not given: long enough that a client solving a
+// puzzle a minute sustains its credit, short enough that redemption earned
+// during one visit does not outlive the behavioral window by an order of
+// magnitude.
+const DefaultEvidenceHalfLife = 5 * time.Minute
 
 // RequestInfo is the normalized description of one incoming request, the
 // unit the tracker observes.
@@ -80,6 +111,7 @@ type Tracker struct {
 	buckets   int
 	maxPaths  int
 	shardsOpt int
+	halfLife  time.Duration // solve-credit decay half-life
 
 	// layouts caches the behavioral attrs' slots per schema seen on the
 	// vector fast path (keyed by schema pointer identity). The slice is
@@ -132,6 +164,14 @@ type ipEntry struct {
 	lastSeen     time.Time
 	interArrival float64 // EWMA, milliseconds
 	total        uint64
+	totalFailed  uint64
+
+	// Verification evidence (RecordVerify): half-life-decayed sum of
+	// solved difficulties, the decay reference time, and the consecutive
+	// failed-verification streak.
+	solveCredit float64
+	creditAt    time.Time
+	failStreak  uint64
 }
 
 // TrackerOption customizes a Tracker.
@@ -153,6 +193,13 @@ func WithMaxPaths(n int) TrackerOption {
 	return func(t *Tracker) { t.maxPaths = n }
 }
 
+// WithEvidenceHalfLife sets the decay half-life of the verified-solve
+// credit (AttrSolveCredit, default DefaultEvidenceHalfLife): after one
+// half-life without fresh solves an IP's accumulated credit is halved.
+func WithEvidenceHalfLife(d time.Duration) TrackerOption {
+	return func(t *Tracker) { t.halfLife = d }
+}
+
 // WithShards sets the lock-stripe count, rounded up to a power of two and
 // clamped to both 1<<14 and the tracker capacity (so over-sharding can
 // never loosen the memory bound). Zero (the default) auto-sizes from
@@ -169,6 +216,7 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 		span:     time.Minute,
 		buckets:  12,
 		maxPaths: 64,
+		halfLife: DefaultEvidenceHalfLife,
 	}
 	for _, opt := range opts {
 		opt(t)
@@ -178,6 +226,9 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	}
 	if t.span <= 0 || t.buckets < 1 {
 		return nil, fmt.Errorf("features: invalid window %v/%d", t.span, t.buckets)
+	}
+	if t.halfLife <= 0 {
+		return nil, fmt.Errorf("features: evidence half-life must be positive, got %v", t.halfLife)
 	}
 	if t.maxPaths < 1 {
 		return nil, fmt.Errorf("features: max paths must be positive, got %d", t.maxPaths)
@@ -261,6 +312,12 @@ func (t *Tracker) shard(ip string) *trackerShard {
 // Shards reports the lock-stripe count in use.
 func (t *Tracker) Shards() int { return len(t.shards) }
 
+// Capacity reports the tracked-IP bound.
+func (t *Tracker) Capacity() int { return t.capacity }
+
+// EvidenceHalfLife reports the solve-credit decay half-life.
+func (t *Tracker) EvidenceHalfLife() time.Duration { return t.halfLife }
+
 // Observe folds one request into the tracker.
 func (t *Tracker) Observe(req RequestInfo) error {
 	if req.IP == "" {
@@ -270,29 +327,9 @@ func (t *Tracker) Observe(req RequestInfo) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
-	e, ok := sh.entries[req.IP]
-	if !ok {
-		reqW, err := NewWindow(t.span, t.buckets)
-		if err != nil {
-			return err
-		}
-		failW, err := NewWindow(t.span, t.buckets)
-		if err != nil {
-			return err
-		}
-		e = &ipEntry{
-			ip:       req.IP,
-			requests: reqW,
-			failures: failW,
-			paths:    make(map[string]uint64, 8),
-		}
-		e.lruElem = sh.lru.PushFront(e)
-		sh.entries[req.IP] = e
-		for len(sh.entries) > sh.cap {
-			sh.evictLocked()
-		}
-	} else {
-		sh.lru.MoveToFront(e.lruElem)
+	e, err := t.entryLocked(sh, req.IP)
+	if err != nil {
+		return err
 	}
 
 	if !e.lastSeen.IsZero() {
@@ -312,6 +349,7 @@ func (t *Tracker) Observe(req RequestInfo) error {
 	e.requests.Add(req.At, 1)
 	if req.Failed {
 		e.failures.Add(req.At, 1)
+		e.totalFailed++
 	}
 	if _, known := e.paths[req.Path]; known || len(e.paths) < t.maxPaths {
 		e.paths[req.Path]++
@@ -321,7 +359,79 @@ func (t *Tracker) Observe(req RequestInfo) error {
 	return nil
 }
 
-// behaviorSummary is the tracker's six attribute values for one IP, in
+// entryLocked returns the shard's entry for ip, creating (and, beyond the
+// shard quota, LRU-evicting) as needed, and refreshes its LRU position.
+// Callers hold sh.mu.
+func (t *Tracker) entryLocked(sh *trackerShard, ip string) (*ipEntry, error) {
+	if e, ok := sh.entries[ip]; ok {
+		sh.lru.MoveToFront(e.lruElem)
+		return e, nil
+	}
+	reqW, err := NewWindow(t.span, t.buckets)
+	if err != nil {
+		return nil, err
+	}
+	failW, err := NewWindow(t.span, t.buckets)
+	if err != nil {
+		return nil, err
+	}
+	e := &ipEntry{
+		ip:       ip,
+		requests: reqW,
+		failures: failW,
+		paths:    make(map[string]uint64, 8),
+	}
+	e.lruElem = sh.lru.PushFront(e)
+	sh.entries[ip] = e
+	for len(sh.entries) > sh.cap {
+		sh.evictLocked()
+	}
+	return e, nil
+}
+
+// RecordVerify folds one verification outcome into the IP's evidence
+// state: a successful solve at the given difficulty adds that difficulty
+// to the half-life-decayed solve credit and clears the failure streak; a
+// failed verification extends the streak. The core framework calls this
+// from Verify, so evidence accrues wherever solutions are actually
+// redeemed; the simulation engine records modeled verifications through
+// the same path. Allocation-free for already-tracked IPs.
+func (t *Tracker) RecordVerify(ip string, difficulty int, ok bool, at time.Time) {
+	if ip == "" {
+		return
+	}
+	sh := t.shard(ip)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, err := t.entryLocked(sh, ip)
+	if err != nil {
+		return // unreachable: window config was validated at construction
+	}
+	e.solveCredit = decayCredit(e.solveCredit, e.creditAt, at, t.halfLife)
+	e.creditAt = at
+	if ok {
+		e.solveCredit += float64(difficulty)
+		e.failStreak = 0
+	} else {
+		e.failStreak++
+	}
+}
+
+// decayCredit applies the exponential half-life decay from the credit's
+// reference time to now. Non-monotonic clocks decay nothing rather than
+// inflating credit.
+func decayCredit(credit float64, from, now time.Time, halfLife time.Duration) float64 {
+	if credit == 0 || from.IsZero() {
+		return credit
+	}
+	dt := now.Sub(from)
+	if dt <= 0 {
+		return credit
+	}
+	return credit * math.Exp2(-float64(dt)/float64(halfLife))
+}
+
+// behaviorSummary is the tracker's attribute values for one IP, in
 // behaviorAttrNames order.
 type behaviorSummary [behaviorAttrCount]float64
 
@@ -345,6 +455,11 @@ func (t *Tracker) summarize(ip string, now time.Time) (behaviorSummary, bool) {
 	s[3] = e.pathEntropy()
 	s[4] = e.interArrival
 	s[5] = float64(e.total)
+	s[6] = decayCredit(e.solveCredit, e.creditAt, now, t.halfLife)
+	s[7] = float64(e.failStreak)
+	if e.total > 0 {
+		s[8] = float64(e.totalFailed) / float64(e.total)
+	}
 	return s, true
 }
 

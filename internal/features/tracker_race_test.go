@@ -110,8 +110,7 @@ func TestTrackerVectorMatchesAttributes(t *testing.T) {
 	}
 	now := at(41)
 
-	schema, err := NewSchema("static_attr", AttrRequestRate, AttrFailRatio,
-		AttrDistinctPaths, AttrPathEntropy, AttrInterArrival, AttrTotalRequests)
+	schema, err := NewSchema(append([]string{"static_attr"}, behaviorAttrNames[:]...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

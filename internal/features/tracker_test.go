@@ -43,8 +43,8 @@ func TestTrackerUnknownIPZeroAttributes(t *testing.T) {
 			t.Errorf("attr %q = %v for unknown IP, want 0", name, v)
 		}
 	}
-	if len(attrs) != 6 {
-		t.Errorf("got %d attrs, want the 6 behavioral ones", len(attrs))
+	if len(attrs) != behaviorAttrCount {
+		t.Errorf("got %d attrs, want the %d behavioral ones", len(attrs), behaviorAttrCount)
 	}
 }
 

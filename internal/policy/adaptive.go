@@ -46,12 +46,27 @@ func (a *LoadAdaptive) Name() string {
 
 // Difficulty implements Policy.
 func (a *LoadAdaptive) Difficulty(score float64) int {
+	return clampDifficulty(a.inner.Difficulty(score) + a.shift())
+}
+
+// ConfidentDifficulty implements ConfidenceAware by forwarding the
+// confidence to the inner policy, so load-shifting composes with
+// confidence shaping.
+func (a *LoadAdaptive) ConfidentDifficulty(score, confidence float64) int {
+	return clampDifficulty(Confident(a.inner, score, confidence) + a.shift())
+}
+
+// Unwrap implements Unwrapper: LoadAdaptive is a pure forwarder of
+// confidence.
+func (a *LoadAdaptive) Unwrap() Policy { return a.inner }
+
+// shift reports the current load-proportional difficulty shift.
+func (a *LoadAdaptive) shift() int {
 	l := a.load()
 	if math.IsNaN(l) || l < 0 {
 		l = 0
 	} else if l > 1 {
 		l = 1
 	}
-	shift := int(math.Round(l * float64(a.maxShift)))
-	return clampDifficulty(a.inner.Difficulty(score) + shift)
+	return int(math.Round(l * float64(a.maxShift)))
 }

@@ -121,7 +121,21 @@ func (c Clamp) Name() string {
 
 // Difficulty implements Policy.
 func (c Clamp) Difficulty(score float64) int {
-	d := c.Inner.Difficulty(score)
+	return c.clamp(c.Inner.Difficulty(score))
+}
+
+// ConfidentDifficulty implements ConfidenceAware by forwarding the
+// confidence to the inner policy (a no-op pass-through when the inner
+// policy ignores confidence), so the registry's mandatory difficulty
+// clamp never strands a confidence-shaped policy underneath it.
+func (c Clamp) ConfidentDifficulty(score, confidence float64) int {
+	return c.clamp(Confident(c.Inner, score, confidence))
+}
+
+// Unwrap implements Unwrapper: Clamp is a pure forwarder of confidence.
+func (c Clamp) Unwrap() Policy { return c.Inner }
+
+func (c Clamp) clamp(d int) int {
 	if d < c.Lo {
 		d = c.Lo
 	}

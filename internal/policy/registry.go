@@ -100,11 +100,19 @@ func NewRegistry() *Registry {
 	return r
 }
 
+// shapeName is the reserved spec name of the confidence-shaping
+// combinator. It is resolved by New itself rather than a Factory because
+// its inner parameter is a nested component spec, not a number.
+const shapeName = "shape"
+
 // Register adds a named factory. Re-registering an existing name is an
 // error: silent overrides hide configuration mistakes.
 func (r *Registry) Register(name string, f Factory) error {
 	if name == "" || f == nil {
 		return fmt.Errorf("policy: registry requires a name and factory")
+	}
+	if name == shapeName {
+		return fmt.Errorf("policy: %q is a reserved combinator name", shapeName)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -115,21 +123,34 @@ func (r *Registry) Register(name string, f Factory) error {
 	return nil
 }
 
-// Names reports registered policy names, sorted.
+// Names reports registered policy names (including the built-in shape
+// combinator), sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	names := make([]string, 0, len(r.factories))
+	names := make([]string, 0, len(r.factories)+1)
 	for name := range r.factories {
 		names = append(names, name)
 	}
+	names = append(names, shapeName)
 	sort.Strings(names)
 	return names
 }
 
 // New resolves a spec string "name" or "name(k=v,k2=v2)" into a Policy.
+// The built-in combinator "shape(inner=<spec>[, anchor=<score>])" wraps
+// any registry-resolvable policy in confidence shaping (NewConfidenceShaped);
+// its inner parameter is itself a full component spec, nested parentheses
+// included: shape(inner=linear(base=1, slope=1.2)).
 func (r *Registry) New(spec string) (Policy, error) {
-	name, params, err := parseSpec(spec)
+	name, raw, err := ParseSpecParams(spec)
+	if err != nil {
+		return nil, err
+	}
+	if name == shapeName {
+		return r.newShape(spec, raw)
+	}
+	params, err := convertParams(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +161,38 @@ func (r *Registry) New(spec string) (Policy, error) {
 		return nil, fmt.Errorf("policy: unknown policy %q (known: %s)", name, strings.Join(r.Names(), ", "))
 	}
 	return f(params)
+}
+
+// newShape compiles the shape(...) combinator from raw parameters.
+func (r *Registry) newShape(spec string, raw []Param) (Policy, error) {
+	var inner Policy
+	anchor, floor := DefaultShapeAnchor, DefaultShapeFloor
+	for _, p := range raw {
+		switch p.Key {
+		case "inner":
+			pol, err := r.New(p.Value)
+			if err != nil {
+				return nil, fmt.Errorf("policy: shape inner: %w", err)
+			}
+			inner = pol
+		case "anchor", "floor":
+			v, err := strconv.ParseFloat(p.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("policy: shape %s %q: %w", p.Key, p.Value, err)
+			}
+			if p.Key == "anchor" {
+				anchor = v
+			} else {
+				floor = v
+			}
+		default:
+			return nil, fmt.Errorf("policy: shape: unknown parameter %q (allowed: inner, anchor, floor)", p.Key)
+		}
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("policy: %q requires inner=<policy spec>", spec)
+	}
+	return NewConfidenceShaped(inner, anchor, floor)
 }
 
 // ParseSpec splits a component specification "name" or "name(k=v,k2=v2)"
@@ -241,18 +294,28 @@ func parseSpec(spec string) (string, map[string]float64, error) {
 	if err != nil {
 		return "", nil, err
 	}
+	params, err := convertParams(raw)
+	if err != nil {
+		return "", nil, err
+	}
+	return name, params, nil
+}
+
+// convertParams converts raw key=value parameters to the numeric map the
+// factory interface consumes (nil in, nil out).
+func convertParams(raw []Param) (map[string]float64, error) {
 	if raw == nil {
-		return name, nil, nil
+		return nil, nil
 	}
 	params := make(map[string]float64, len(raw))
 	for _, p := range raw {
 		val, err := strconv.ParseFloat(p.Value, 64)
 		if err != nil {
-			return "", nil, fmt.Errorf("spec: parameter %q: %w", p.Key, err)
+			return nil, fmt.Errorf("spec: parameter %q: %w", p.Key, err)
 		}
 		params[p.Key] = val
 	}
-	return name, params, nil
+	return params, nil
 }
 
 // rejectUnknown errors on any parameter key outside the allowed set.

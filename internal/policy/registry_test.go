@@ -8,7 +8,7 @@ import (
 func TestRegistryBuiltins(t *testing.T) {
 	r := NewRegistry()
 	names := r.Names()
-	want := []string{"exponential", "fixed", "linear", "policy1", "policy2", "policy3"}
+	want := []string{"exponential", "fixed", "linear", "policy1", "policy2", "policy3", "shape"}
 	if strings.Join(names, ",") != strings.Join(want, ",") {
 		t.Fatalf("Names() = %v, want %v", names, want)
 	}

@@ -1,0 +1,340 @@
+package reputation
+
+import (
+	"fmt"
+
+	"aipow/internal/features"
+)
+
+// Decay defaults.
+const (
+	// DefaultMaxRedemption is the largest score attenuation sustained
+	// solve evidence can earn. 6 points moves a tail-dwelling false
+	// positive (score 8–9, difficulty 13–15 under Policy 2) down to the
+	// ordinary-client band (score 2–3, difficulty 7–8) — and bounds the
+	// discount any paying attacker can buy.
+	DefaultMaxRedemption = 6.0
+
+	// DefaultHalfCredit is the solve credit at which half the maximum
+	// redemption applies (the saturation constant). 26 ≈ two solved
+	// difficulty-13 challenges: redemption ramps over the first few
+	// expensive solves instead of flipping on the first.
+	DefaultHalfCredit = 26.0
+
+	// DefaultFailRatioTolerance is the lifetime 4xx-failure ratio at
+	// which redemption is fully cancelled. Probing clients (credential
+	// stuffing, path scanning) fail a large fraction of their requests;
+	// their solve evidence must not buy them cheaper puzzles. The gate
+	// reads the *lifetime* ratio (features.AttrFailRatioTotal), not the
+	// windowed one: a slow prober fits whole clean spells inside a short
+	// window, but its lifetime ratio converges within a few requests.
+	DefaultFailRatioTolerance = 0.25
+
+	// DefaultMaxFailStreak is the consecutive failed-verification count
+	// at which redemption is cancelled: forged or replayed solutions are
+	// direct protocol abuse.
+	DefaultMaxFailStreak = 3
+
+	// DefaultRateTolerance is the live request rate (requests/s) at which
+	// redemption is fully cancelled. This gate is what keeps redemption
+	// from being farmable: a flooding client earns solve credit *faster*
+	// than a legitimate one (it solves more puzzles), so credit volume
+	// alone would hand the biggest discount to the busiest attacker.
+	// Tying redemption to a modest live rate restricts it to clients
+	// whose behavior is unremarkable — the misscored-benign shape —
+	// while volume-priced suspicion stays with the rate scorer.
+	DefaultRateTolerance = 1.0
+
+	// DefaultInterArrivalTolerance is the typical request gap
+	// (milliseconds, EWMA) at which redemption is fully open; tighter
+	// gaps close it linearly. The windowed rate estimate dilutes across
+	// pulse gaps — an on-off attacker can keep it under any tolerance —
+	// but the per-request inter-arrival EWMA converges within a few
+	// requests of a burst starting, so it closes the gate exactly when
+	// the rate window is still blind.
+	DefaultInterArrivalTolerance = 2000.0
+)
+
+// Decay wraps a scorer with behavioral redemption: an IP that keeps
+// solving and redeeming the puzzles it is handed — while staying otherwise
+// clean — earns an attenuation of its effective score, so a misscored
+// legitimate client works its way out of the false-positive tail instead
+// of paying the worst-case difficulty for as long as the feed misjudges
+// it. The evidence is the tracker's half-life-decayed solve credit
+// (features.AttrSolveCredit, written by Framework.Verify), so redemption
+// is deterministic and clock-injected: stop solving for a half-life and
+// half the earned attenuation is gone.
+//
+// Redemption is deliberately *evidence*-priced, not trust-priced: an
+// attacker can buy the same attenuation, but only by actually paying the
+// full tail difficulty first and continuously (the credit decays), while
+// the gates cancel redemption for clients showing abuse signals — a
+// failed-verification streak (forged solutions) or a high live failure
+// ratio (probing) — and live rate-based suspicion is layered *outside*
+// this wrapper, so a currently-flooding client keeps its behavioral price
+// regardless of credit.
+//
+// The attenuation is
+//
+//	drop = MaxRedemption × credit/(credit+HalfCredit) × cleanliness
+//
+// with cleanliness the most restrictive of the behavioral gates: it falls
+// linearly to 0 as the live failure ratio approaches FailRatioTolerance
+// or the live request rate approaches RateTolerance, and is 0 while the
+// verification fail streak is at or beyond MaxFailStreak.
+//
+// Decay publishes the inner scorer's schema extended with the evidence
+// attributes, implements the verdict fast path (confidence passes through
+// from the inner scorer), and is safe for concurrent use if its inner
+// scorer is.
+type Decay struct {
+	scorer  Scorer                 // inner map path
+	vec     features.VectorScorer  // inner vector path
+	verdict features.VerdictScorer // nil: inner verdicts at confidence 1
+	attrVer AttrVerdictScorer      // nil: map-path verdicts at confidence 1
+
+	schema    *features.Schema
+	innerLen  int
+	credSlot  int
+	failSlot  int // verification fail streak
+	ratioSlot int // lifetime 4xx failure ratio
+	rateSlot  int // live request rate
+	iaSlot    int // live inter-arrival EWMA (ms)
+
+	maxDrop       float64
+	halfCredit    float64
+	failRatioTol  float64
+	maxFailStreak float64
+	rateTol       float64
+	iaTolMS       float64
+}
+
+var (
+	_ Scorer                 = (*Decay)(nil)
+	_ features.VectorScorer  = (*Decay)(nil)
+	_ features.VerdictScorer = (*Decay)(nil)
+	_ AttrVerdictScorer      = (*Decay)(nil)
+)
+
+// DecayOption customizes NewDecay.
+type DecayOption func(*Decay)
+
+// WithMaxRedemption sets the largest score attenuation evidence can earn.
+func WithMaxRedemption(drop float64) DecayOption {
+	return func(d *Decay) { d.maxDrop = drop }
+}
+
+// WithHalfCredit sets the solve credit at which half the maximum
+// redemption applies.
+func WithHalfCredit(credit float64) DecayOption {
+	return func(d *Decay) { d.halfCredit = credit }
+}
+
+// WithFailRatioTolerance sets the lifetime failure ratio at which
+// redemption is fully cancelled.
+func WithFailRatioTolerance(ratio float64) DecayOption {
+	return func(d *Decay) { d.failRatioTol = ratio }
+}
+
+// WithMaxFailStreak sets the failed-verification streak that cancels
+// redemption.
+func WithMaxFailStreak(n int) DecayOption {
+	return func(d *Decay) { d.maxFailStreak = float64(n) }
+}
+
+// WithRateTolerance sets the live request rate (requests/s) at which
+// redemption is fully cancelled.
+func WithRateTolerance(rps float64) DecayOption {
+	return func(d *Decay) { d.rateTol = rps }
+}
+
+// WithInterArrivalTolerance sets the typical request gap (milliseconds)
+// at which redemption is fully open.
+func WithInterArrivalTolerance(ms float64) DecayOption {
+	return func(d *Decay) { d.iaTolMS = ms }
+}
+
+// NewDecay wraps inner with behavioral redemption. The inner scorer must
+// support the vector fast path with a non-nil schema — redemption reads
+// the tracker's evidence attributes through schema slots — and must also
+// implement the map-path Scorer interface for the compatibility path.
+func NewDecay(inner features.VectorScorer, opts ...DecayOption) (*Decay, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("reputation: decay requires an inner scorer")
+	}
+	scorer, ok := inner.(Scorer)
+	if !ok {
+		return nil, fmt.Errorf("reputation: decay inner scorer must also implement the map-path Score")
+	}
+	is := inner.Schema()
+	if is == nil {
+		return nil, fmt.Errorf("reputation: decay inner scorer publishes no schema (vector fast path required)")
+	}
+	names := append(is.Names(),
+		features.AttrSolveCredit, features.AttrFailStreak, features.AttrFailRatioTotal,
+		features.AttrRequestRate, features.AttrInterArrival)
+	schema, err := features.NewSchema(names...)
+	if err != nil {
+		return nil, fmt.Errorf("reputation: decay schema: %w", err)
+	}
+	d := &Decay{
+		scorer:        scorer,
+		vec:           inner,
+		schema:        schema,
+		innerLen:      is.Len(),
+		credSlot:      is.Len(),
+		failSlot:      is.Len() + 1,
+		ratioSlot:     is.Len() + 2,
+		rateSlot:      is.Len() + 3,
+		iaSlot:        is.Len() + 4,
+		maxDrop:       DefaultMaxRedemption,
+		halfCredit:    DefaultHalfCredit,
+		failRatioTol:  DefaultFailRatioTolerance,
+		maxFailStreak: DefaultMaxFailStreak,
+		rateTol:       DefaultRateTolerance,
+		iaTolMS:       DefaultInterArrivalTolerance,
+	}
+	d.verdict, _ = inner.(features.VerdictScorer)
+	d.attrVer, _ = inner.(AttrVerdictScorer)
+	for _, opt := range opts {
+		opt(d)
+	}
+	if d.maxDrop < 0 || d.maxDrop > MaxScore {
+		return nil, fmt.Errorf("reputation: max redemption %v outside [0, %v]", d.maxDrop, MaxScore)
+	}
+	if d.halfCredit <= 0 {
+		return nil, fmt.Errorf("reputation: half credit must be positive, got %v", d.halfCredit)
+	}
+	if d.failRatioTol <= 0 || d.failRatioTol > 1 {
+		return nil, fmt.Errorf("reputation: fail ratio tolerance %v outside (0, 1]", d.failRatioTol)
+	}
+	if d.maxFailStreak < 1 {
+		return nil, fmt.Errorf("reputation: max fail streak must be at least 1, got %v", d.maxFailStreak)
+	}
+	if d.rateTol <= 0 {
+		return nil, fmt.Errorf("reputation: rate tolerance must be positive, got %v", d.rateTol)
+	}
+	if d.iaTolMS <= 0 {
+		return nil, fmt.Errorf("reputation: inter-arrival tolerance must be positive, got %v", d.iaTolMS)
+	}
+	return d, nil
+}
+
+// redemption computes the score attenuation for the given evidence. The
+// cleanliness weight is the most restrictive of the behavioral gates,
+// each a soft knee: fully open while the signal is clearly inside its
+// tolerance, fading to zero at the tolerance. The knee matters — a
+// linear ramp from zero would hand every fast-but-solving attacker a
+// *partial* discount, which across a whole botnet is a real price cut;
+// the knee gives clients nothing until their behavior is unambiguously
+// modest.
+func (d *Decay) redemption(credit, failStreak, failRatio, rate, interArrival float64) float64 {
+	if credit <= 0 || failStreak >= d.maxFailStreak {
+		return 0
+	}
+	// Fail ratio and rate: open at or below half the tolerance, closed at
+	// the tolerance. Inter-arrival: open at or above the tolerance,
+	// closed at or below half of it.
+	clean := knee(1 - failRatio/d.failRatioTol)
+	if quiet := knee(1 - rate/d.rateTol); quiet < clean {
+		clean = quiet
+	}
+	if spaced := knee(interArrival/d.iaTolMS - 0.5); spaced < clean {
+		clean = spaced
+	}
+	if clean <= 0 {
+		return 0
+	}
+	return d.maxDrop * credit / (credit + d.halfCredit) * clean
+}
+
+// knee maps the open fraction x (1 = fully inside tolerance, 0 = at it)
+// onto a gate weight that saturates at 1 once x reaches 1/2.
+func knee(x float64) float64 {
+	x *= 2
+	if x <= 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// apply attenuates a verdict's score by the evidence-earned redemption.
+func (d *Decay) apply(ver features.Verdict, credit, failStreak, failRatio, rate, interArrival float64) features.Verdict {
+	ver.Score -= d.redemption(credit, failStreak, failRatio, rate, interArrival)
+	if ver.Score < 0 {
+		ver.Score = 0
+	}
+	return ver
+}
+
+// Schema implements features.VectorScorer: the inner schema extended with
+// the evidence attributes.
+func (d *Decay) Schema() *features.Schema { return d.schema }
+
+// ScoreVector implements features.VectorScorer. The evidence slots are
+// read before the inner scorer runs (it may use its subvector as scratch).
+func (d *Decay) ScoreVector(v []float64) (float64, error) {
+	ver, err := d.VerdictVector(v)
+	if err != nil {
+		return 0, err
+	}
+	return ver.Score, nil
+}
+
+// VerdictVector implements features.VerdictScorer: the inner verdict
+// (confidence 1 when the inner scorer has no verdict path) with the
+// redeemed score.
+func (d *Decay) VerdictVector(v []float64) (features.Verdict, error) {
+	if len(v) != d.schema.Len() {
+		return features.Verdict{}, fmt.Errorf("reputation: vector has %d dims, decay wants %d", len(v), d.schema.Len())
+	}
+	credit, failStreak, failRatio := v[d.credSlot], v[d.failSlot], v[d.ratioSlot]
+	rate, interArrival := v[d.rateSlot], v[d.iaSlot]
+	var ver features.Verdict
+	var err error
+	if d.verdict != nil {
+		ver, err = d.verdict.VerdictVector(v[:d.innerLen])
+	} else {
+		ver.Confidence = 1
+		ver.Score, err = d.vec.ScoreVector(v[:d.innerLen])
+	}
+	if err != nil {
+		return features.Verdict{}, err
+	}
+	return d.apply(ver, credit, failStreak, failRatio, rate, interArrival), nil
+}
+
+// Score implements the map-path Scorer. Evidence attributes absent from
+// the map count as zero evidence (no redemption), matching the tracker's
+// unknown-IP contract.
+func (d *Decay) Score(attrs map[string]float64) (float64, error) {
+	ver, err := d.VerdictAttrs(attrs)
+	if err != nil {
+		return 0, err
+	}
+	return ver.Score, nil
+}
+
+// VerdictAttrs implements AttrVerdictScorer (the map compatibility path).
+func (d *Decay) VerdictAttrs(attrs map[string]float64) (features.Verdict, error) {
+	var ver features.Verdict
+	var err error
+	if d.attrVer != nil {
+		ver, err = d.attrVer.VerdictAttrs(attrs)
+	} else {
+		ver.Confidence = 1
+		ver.Score, err = d.scorer.Score(attrs)
+	}
+	if err != nil {
+		return features.Verdict{}, err
+	}
+	return d.apply(ver,
+		attrs[features.AttrSolveCredit],
+		attrs[features.AttrFailStreak],
+		attrs[features.AttrFailRatioTotal],
+		attrs[features.AttrRequestRate],
+		attrs[features.AttrInterArrival]), nil
+}

@@ -2,6 +2,7 @@ package reputation
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -27,8 +28,10 @@ type KNN struct {
 }
 
 var (
-	_ Scorer                = (*KNN)(nil)
-	_ features.VectorScorer = (*KNN)(nil)
+	_ Scorer                 = (*KNN)(nil)
+	_ features.VectorScorer  = (*KNN)(nil)
+	_ features.VerdictScorer = (*KNN)(nil)
+	_ AttrVerdictScorer      = (*KNN)(nil)
 )
 
 // knnScratch is the reusable per-call state of a Score/ScoreVector call:
@@ -139,6 +142,37 @@ func (knn *KNN) ScoreVector(v []float64) (float64, error) {
 	score := knn.scoreNormalized(v, sp)
 	knn.scratch.Put(sp)
 	return score, nil
+}
+
+// VerdictVector implements features.VerdictScorer. A kNN verdict's
+// confidence is the neighbourhood's unanimity, |2·malFrac − 1|: a
+// unanimous vote is fully confident, an even split — the overlap region
+// where this scorer's false positives live — carries no confidence.
+func (knn *KNN) VerdictVector(v []float64) (features.Verdict, error) {
+	score, err := knn.ScoreVector(v)
+	if err != nil {
+		return features.Verdict{}, err
+	}
+	return knn.verdictOf(score), nil
+}
+
+// VerdictAttrs is the map-path form of VerdictVector (AttrVerdictScorer).
+func (knn *KNN) VerdictAttrs(attrs map[string]float64) (features.Verdict, error) {
+	score, err := knn.Score(attrs)
+	if err != nil {
+		return features.Verdict{}, err
+	}
+	return knn.verdictOf(score), nil
+}
+
+// verdictOf derives the unanimity confidence from a kNN score (the score
+// *is* MaxScore·malFrac, so no second neighbour pass is needed).
+func (knn *KNN) verdictOf(score float64) features.Verdict {
+	conf := math.Abs(2*score/MaxScore - 1)
+	if conf > 1 {
+		conf = 1
+	}
+	return features.Verdict{Score: score, Confidence: conf}
 }
 
 // getScratch returns pooled per-call state sized for this scorer.

@@ -68,6 +68,14 @@ type Scorer interface {
 	Score(attrs map[string]float64) (float64, error)
 }
 
+// AttrVerdictScorer is the map-path twin of features.VerdictScorer: a
+// scorer that can report a calibrated confidence alongside the score for a
+// plain attribute map. Model and KNN implement it; Decay uses it to weigh
+// redemption on the compatibility path.
+type AttrVerdictScorer interface {
+	VerdictAttrs(attrs map[string]float64) (features.Verdict, error)
+}
+
 // Model is a trained DAbR reputation scorer. Obtain one from Train or Load.
 // Model is immutable after training and safe for concurrent use.
 type Model struct {
@@ -84,11 +92,26 @@ type Model struct {
 	// the decision boundary at score 5 sits exactly midway between the
 	// class medians and the scale is actually spanned, as DAbR intends.
 	distMal, distBen float64
+
+	// Confidence calibration: centroids of the *benign* training class and
+	// the class-margin scale. A point's cluster margin is
+	// |dBen − dMal| / (dBen + dMal) — near 0 when the point sits in the
+	// overlap region both classes occupy (the false-positive tail lives
+	// exactly there), near 1 deep inside one class's region. marginCal is
+	// the lower-decile (q = 0.10) margin of the malicious training
+	// points, so the clear majority of flagged clients calibrate to full
+	// confidence and only the genuinely ambiguous tail falls off
+	// proportionally. benignCentroids may be empty on models loaded from
+	// a pre-verdict file; such models score at confidence 1.
+	benignCentroids [][]float64
+	marginCal       float64
 }
 
 var (
-	_ Scorer                = (*Model)(nil)
-	_ features.VectorScorer = (*Model)(nil)
+	_ Scorer                 = (*Model)(nil)
+	_ features.VectorScorer  = (*Model)(nil)
+	_ features.VerdictScorer = (*Model)(nil)
+	_ AttrVerdictScorer      = (*Model)(nil)
 )
 
 // trainConfig collects Train options.
@@ -212,6 +235,27 @@ func Train(samples []Sample, opts ...TrainOption) (*Model, error) {
 	}
 	m.centroids = centroids
 
+	// Benign-region centroids anchor the confidence calibration: the
+	// cluster margin needs a distance to *both* class regions to tell an
+	// in-cluster malicious point from an overlap point that merely sits
+	// near a malicious centroid.
+	kb := cfg.clusters
+	if kb > len(benign) {
+		kb = len(benign)
+	}
+	benignCentroids, err := kMeans(benign, kb, cfg.iterations, rng)
+	if err != nil {
+		return nil, fmt.Errorf("reputation: cluster benign samples: %w", err)
+	}
+	m.benignCentroids = benignCentroids
+	m.marginCal = marginQuantile(malicious, centroids, benignCentroids, 0.10)
+	if m.marginCal <= 0 {
+		// Degenerate geometry (classes collapse onto each other): disable
+		// margin scaling rather than divide by zero; boundary separation
+		// still shapes the confidence.
+		m.marginCal = 1
+	}
+
 	// Calibration: anchor the malicious median distance at score 9 and the
 	// benign median at score 1. The score-5 boundary then sits midway
 	// between the class medians (threshold MaxScore/2 is the natural
@@ -265,12 +309,46 @@ func (m *Model) ScoreVector(v []float64) (float64, error) {
 	return m.scoreInPlace(v), nil
 }
 
+// VerdictVector implements features.VerdictScorer: the calibrated score
+// plus the model's confidence in it. Like ScoreVector, v is scratch space.
+func (m *Model) VerdictVector(v []float64) (features.Verdict, error) {
+	if len(v) != len(m.attrNames) {
+		return features.Verdict{}, fmt.Errorf("reputation: vector has %d dims, model wants %d", len(v), len(m.attrNames))
+	}
+	return m.verdictInPlace(v), nil
+}
+
+// VerdictAttrs is the map-path form of VerdictVector (AttrVerdictScorer).
+func (m *Model) VerdictAttrs(attrs map[string]float64) (features.Verdict, error) {
+	vp, _ := m.scratch.Get().(*[]float64)
+	if vp == nil {
+		v := make([]float64, len(m.attrNames))
+		vp = &v
+	}
+	v := *vp
+	for j, name := range m.attrNames {
+		val, ok := attrs[name]
+		if !ok {
+			m.scratch.Put(vp)
+			return features.Verdict{}, fmt.Errorf("%w: %q", ErrMissingAttr, name)
+		}
+		v[j] = val
+	}
+	ver := m.verdictInPlace(v)
+	m.scratch.Put(vp)
+	return ver, nil
+}
+
 // scoreInPlace normalizes v in place and maps distance to score through
 // the two-anchor calibration: distMal → 9, distBen → 1, linear in between
 // and beyond, clamped to [0, MaxScore].
 func (m *Model) scoreInPlace(v []float64) float64 {
 	m.normalizeInPlace(v)
-	d := distToNearest(v, m.centroids)
+	return m.scoreNormalized(distToNearest(v, m.centroids))
+}
+
+// scoreNormalized maps a nearest-malicious-centroid distance to [0, MaxScore].
+func (m *Model) scoreNormalized(d float64) float64 {
 	score := 9 - 8*(d-m.distMal)/(m.distBen-m.distMal)
 	if score < 0 {
 		return 0
@@ -279,6 +357,80 @@ func (m *Model) scoreInPlace(v []float64) float64 {
 		return MaxScore
 	}
 	return score
+}
+
+// verdictInPlace normalizes v and derives score and confidence. The
+// confidence blends two calibrated terms:
+//
+//   - cluster margin: |dBen − dMal| / (dBen + dMal), scaled so the median
+//     malicious training point maps to 1. Points in the class-overlap
+//     region — where the scorer's false positives live — have margin near
+//     0 regardless of how high they score.
+//   - boundary separation: how far the calibrated score sits from the
+//     score-5 decision boundary, in half-scale units.
+//
+// The margin dominates (the boundary term only shades): a score can be
+// extreme and still carry low confidence when the point is geometrically
+// ambiguous between the classes.
+func (m *Model) verdictInPlace(v []float64) features.Verdict {
+	m.normalizeInPlace(v)
+	dMal := distToNearest(v, m.centroids)
+	score := m.scoreNormalized(dMal)
+	if len(m.benignCentroids) == 0 {
+		return features.Verdict{Score: score, Confidence: 1}
+	}
+	dBen := distToNearest(v, m.benignCentroids)
+	margin := classMargin(dMal, dBen) / m.marginCal
+	if margin > 1 {
+		margin = 1
+	}
+	// Full boundary separation at the calibration anchors (score 9 / 1),
+	// matching the distance calibration: a score at or beyond an anchor
+	// is as far from the decision boundary as the training classes get.
+	boundary := math.Abs(score-5) / 4
+	if boundary > 1 {
+		boundary = 1
+	}
+	// The boundary term only shades (by up to a quarter): a typical
+	// in-cluster member must calibrate to near-full confidence, or
+	// shaping would soften correctly-flagged clients as much as the
+	// ambiguous ones it exists for.
+	conf := margin * (0.75 + 0.25*boundary)
+	if conf > 1 {
+		conf = 1
+	}
+	return features.Verdict{Score: score, Confidence: conf}
+}
+
+// classMargin is the relative separation between the two class-region
+// distances, in [0, 1]: 0 when equidistant (maximally ambiguous), →1 deep
+// inside one region.
+func classMargin(dMal, dBen float64) float64 {
+	sum := dMal + dBen
+	if sum <= 0 {
+		return 0
+	}
+	return math.Abs(dBen-dMal) / sum
+}
+
+// marginQuantile is the q-quantile of the class margin over points — the
+// calibration scale. Train anchors at the lower decile (q = 0.10) of the
+// malicious class, mapping ~90% of flagged clients to full confidence
+// and reserving shading for the points the model's own training set
+// marks as ambiguous: calibrating higher (median, quartile) measurably
+// shades correctly flagged clients, softening the defense where it is
+// right (the suite's attacker-cost medians regressed at both).
+func marginQuantile(points, malCentroids, benCentroids [][]float64, q float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	ms := make([]float64, len(points))
+	for i, p := range points {
+		ms[i] = classMargin(distToNearest(p, malCentroids), distToNearest(p, benCentroids))
+	}
+	sort.Float64s(ms)
+	idx := int(q * float64(len(ms)-1))
+	return ms[idx]
 }
 
 // normalizeInPlace maps a raw vector into [0,1]^d using the training

@@ -6,8 +6,14 @@ import (
 	"io"
 )
 
-// modelFileVersion guards the persisted format.
-const modelFileVersion = 1
+// Persisted format versions. Version 1 predates scoring verdicts; version
+// 2 adds the confidence calibration (benign centroids + margin scale).
+// Load accepts both — a v1 model simply scores at confidence 1, exactly
+// its pre-verdict behavior.
+const (
+	modelFileVersion   = 2
+	modelFileVersionV1 = 1
+)
 
 // modelJSON is the on-disk representation of a trained Model.
 type modelJSON struct {
@@ -18,6 +24,10 @@ type modelJSON struct {
 	Centroids [][]float64 `json:"centroids"`
 	DistMal   float64     `json:"dist_malicious_median"`
 	DistBen   float64     `json:"dist_benign_median"`
+
+	// Confidence calibration (version ≥ 2).
+	BenignCentroids [][]float64 `json:"benign_centroids,omitempty"`
+	MarginCal       float64     `json:"margin_calibration,omitempty"`
 }
 
 // Save writes the model as JSON. The format is stable across releases
@@ -26,13 +36,15 @@ func (m *Model) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(modelJSON{
-		Version:   modelFileVersion,
-		AttrNames: m.attrNames,
-		Mins:      m.mins,
-		Ranges:    m.ranges,
-		Centroids: m.centroids,
-		DistMal:   m.distMal,
-		DistBen:   m.distBen,
+		Version:         modelFileVersion,
+		AttrNames:       m.attrNames,
+		Mins:            m.mins,
+		Ranges:          m.ranges,
+		Centroids:       m.centroids,
+		DistMal:         m.distMal,
+		DistBen:         m.distBen,
+		BenignCentroids: m.benignCentroids,
+		MarginCal:       m.marginCal,
 	}); err != nil {
 		return fmt.Errorf("reputation: encode model: %w", err)
 	}
@@ -46,7 +58,7 @@ func Load(r io.Reader) (*Model, error) {
 	if err := json.NewDecoder(r).Decode(&mj); err != nil {
 		return nil, fmt.Errorf("reputation: decode model: %w", err)
 	}
-	if mj.Version != modelFileVersion {
+	if mj.Version != modelFileVersion && mj.Version != modelFileVersionV1 {
 		return nil, fmt.Errorf("reputation: unsupported model file version %d", mj.Version)
 	}
 	dim := len(mj.AttrNames)
@@ -73,13 +85,23 @@ func Load(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("reputation: attribute names not in canonical order")
 		}
 	}
+	for i, c := range mj.BenignCentroids {
+		if len(c) != dim {
+			return nil, fmt.Errorf("reputation: benign centroid %d has dimension %d, want %d", i, len(c), dim)
+		}
+	}
+	if len(mj.BenignCentroids) > 0 && mj.MarginCal <= 0 {
+		return nil, fmt.Errorf("reputation: benign centroids without a positive margin calibration")
+	}
 	return &Model{
-		attrNames: mj.AttrNames,
-		schema:    schemaFor(mj.AttrNames),
-		mins:      mj.Mins,
-		ranges:    mj.Ranges,
-		centroids: mj.Centroids,
-		distMal:   mj.DistMal,
-		distBen:   mj.DistBen,
+		attrNames:       mj.AttrNames,
+		schema:          schemaFor(mj.AttrNames),
+		mins:            mj.Mins,
+		ranges:          mj.Ranges,
+		centroids:       mj.Centroids,
+		distMal:         mj.DistMal,
+		distBen:         mj.DistBen,
+		benignCentroids: mj.BenignCentroids,
+		marginCal:       mj.MarginCal,
 	}, nil
 }

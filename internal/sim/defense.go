@@ -53,6 +53,13 @@ type Defense struct {
 	// request, so pair it with a low MaxDifficulty.
 	RealSolve bool
 
+	// Redeem wraps the static model in behavioral redemption
+	// (reputation.Decay): verified solves earn a decaying attenuation of
+	// the static score, so misscored benign clients work their way out of
+	// the false-positive tail. The engine feeds modeled verifications into
+	// the tracker's evidence state exactly as real Verify calls would.
+	Redeem *RedeemDefense
+
 	// DatasetSeed seeds feed generation, model training, and attribute
 	// assignment (default: the scenario seed).
 	DatasetSeed uint64
@@ -85,6 +92,20 @@ type AdaptDefense struct {
 
 	// Rules is the escalation ladder, in level order.
 	Rules []string
+}
+
+// RedeemDefense configures the defense's behavioral-redemption wrapper.
+// Zero fields take the reputation package's defaults; HalfLife zero takes
+// the tracker's default evidence half-life.
+type RedeemDefense struct {
+	// HalfLife is the solve-credit decay half-life on the simulated clock.
+	HalfLife time.Duration
+
+	// MaxDrop is the largest score attenuation evidence can earn.
+	MaxDrop float64
+
+	// HalfCredit is the solve credit at which half of MaxDrop applies.
+	HalfCredit float64
 }
 
 // withDefaults resolves zero fields.
@@ -168,10 +189,14 @@ func BuildDefense(sc Scenario) FrameworkFactory {
 		// Capacity is sized so far above the address universe that no
 		// shard's quota can overflow; per-shard LRU eviction would depend
 		// on cross-worker interleaving and break determinism.
-		tracker, err := features.NewTracker(
-			features.WithCapacity(sc.TotalIPs()*8+4096),
+		trackerOpts := []features.TrackerOption{
+			features.WithCapacity(sc.TotalIPs()*8 + 4096),
 			features.WithWindow(d.TrackerWindow, d.TrackerBuckets),
-		)
+		}
+		if d.Redeem != nil && d.Redeem.HalfLife > 0 {
+			trackerOpts = append(trackerOpts, features.WithEvidenceHalfLife(d.Redeem.HalfLife))
+		}
+		tracker, err := features.NewTracker(trackerOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -180,12 +205,33 @@ func BuildDefense(sc Scenario) FrameworkFactory {
 			return nil, err
 		}
 
-		var scorer core.Scorer = model
+		// Scorer stack, innermost out: the static DAbR model, optionally
+		// wrapped in behavioral redemption (so solve evidence attenuates
+		// the *static* judgment only), optionally blended with the live
+		// rate score (layered outside redemption, so a currently-flooding
+		// client keeps its behavioral price regardless of earned credit).
+		var static vectorScorer = model
+		if d.Redeem != nil {
+			var opts []reputation.DecayOption
+			if d.Redeem.MaxDrop > 0 {
+				opts = append(opts, reputation.WithMaxRedemption(d.Redeem.MaxDrop))
+			}
+			if d.Redeem.HalfCredit > 0 {
+				opts = append(opts, reputation.WithHalfCredit(d.Redeem.HalfCredit))
+			}
+			decay, err := reputation.NewDecay(model, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("sim: redemption wrapper: %w", err)
+			}
+			static = decay
+		}
+		var scorer core.Scorer = static
 		if d.SaturationRate > 0 {
-			scorer, err = newHybridScorer(model, d.SaturationRate)
+			hybrid, err := newHybridScorer(static, d.SaturationRate)
 			if err != nil {
 				return nil, err
 			}
+			scorer = hybrid
 		}
 		pol, err := policy.NewRegistry().New(d.Policy)
 		if err != nil {
@@ -238,44 +284,67 @@ func medianAttrs(samples []dataset.Sample) map[string]float64 {
 	return out
 }
 
+// vectorScorer is the inner-scorer seam of the defense stack: the map
+// path plus the vector fast path. reputation.Model and reputation.Decay
+// both satisfy it.
+type vectorScorer interface {
+	core.Scorer
+	features.VectorScorer
+}
+
 // hybridScorer is the defense's AI seam when behavioral blending is on:
-// max(static DAbR score, kaPoW-style rate score). It publishes its own
-// schema — the model's attributes plus the tracker's live request rate —
-// so the whole blend runs on the vector fast path.
+// max(static score, kaPoW-style rate score). It publishes its own schema
+// — the inner scorer's attributes plus the tracker's live request rate —
+// so the whole blend runs on the vector fast path, and carries verdicts
+// through: when the rate score wins, the confidence is 1 (the evidence is
+// directly observed behavior, not a model inference); otherwise the inner
+// scorer's confidence passes through.
 type hybridScorer struct {
-	model    *reputation.Model
+	inner    vectorScorer
+	verdict  features.VerdictScorer // nil: inner verdicts at confidence 1
 	rate     baseline.RateScorer
 	schema   *features.Schema
-	modelLen int
+	innerLen int
 	rateSlot int
 }
 
-func newHybridScorer(model *reputation.Model, saturation float64) (*hybridScorer, error) {
+func newHybridScorer(inner vectorScorer, saturation float64) (*hybridScorer, error) {
 	rs, err := baseline.NewRateScorer(saturation)
 	if err != nil {
 		return nil, err
 	}
-	ms := model.Schema()
-	if ms == nil {
-		return nil, fmt.Errorf("sim: model schema too wide for the vector fast path")
+	is := inner.Schema()
+	if is == nil {
+		return nil, fmt.Errorf("sim: scorer schema too wide for the vector fast path")
 	}
-	names := append(ms.Names(), features.AttrRequestRate)
-	schema, err := features.NewSchema(names...)
-	if err != nil {
-		return nil, fmt.Errorf("sim: hybrid schema: %w", err)
+	// The inner scorer may already consume the live request rate (the
+	// redemption wrapper reads it as a gate); reuse its slot rather than
+	// duplicating the attribute.
+	schema, rateSlot := is, 0
+	if j, ok := is.Index(features.AttrRequestRate); ok {
+		rateSlot = j
+	} else {
+		names := append(is.Names(), features.AttrRequestRate)
+		extended, err := features.NewSchema(names...)
+		if err != nil {
+			return nil, fmt.Errorf("sim: hybrid schema: %w", err)
+		}
+		schema, rateSlot = extended, is.Len()
 	}
-	return &hybridScorer{
-		model:    model,
+	h := &hybridScorer{
+		inner:    inner,
 		rate:     rs,
 		schema:   schema,
-		modelLen: ms.Len(),
-		rateSlot: ms.Len(),
-	}, nil
+		innerLen: is.Len(),
+		rateSlot: rateSlot,
+	}
+	h.verdict, _ = inner.(features.VerdictScorer)
+	return h, nil
 }
 
 // Score implements core.Scorer (map compatibility path).
 func (h *hybridScorer) Score(attrs map[string]float64) (float64, error) {
-	static, err := h.model.Score(attrs)
+	static, err := h.inner.Score(attrs)
 	if err != nil {
 		return 0, err
 	}
@@ -289,13 +358,8 @@ func (h *hybridScorer) Score(attrs map[string]float64) (float64, error) {
 // Schema implements features.VectorScorer.
 func (h *hybridScorer) Schema() *features.Schema { return h.schema }
 
-// ScoreVector implements features.VectorScorer. The rate slot is read
-// before the model scores, because the model uses its subvector as
-// scratch.
-func (h *hybridScorer) ScoreVector(v []float64) (float64, error) {
-	if len(v) != h.schema.Len() {
-		return 0, fmt.Errorf("sim: vector has %d dims, hybrid scorer wants %d", len(v), h.schema.Len())
-	}
+// behavioral maps the rate slot to the kaPoW-style score.
+func (h *hybridScorer) behavioral(v []float64) float64 {
 	frac := v[h.rateSlot] / h.rate.SaturationRate
 	if frac > 1 {
 		frac = 1
@@ -303,12 +367,48 @@ func (h *hybridScorer) ScoreVector(v []float64) (float64, error) {
 	if frac < 0 {
 		frac = 0
 	}
-	behavioral := policy.MaxScore * frac
-	static, err := h.model.ScoreVector(v[:h.modelLen])
+	return policy.MaxScore * frac
+}
+
+// ScoreVector implements features.VectorScorer. The rate slot is read
+// before the inner scorer runs, because it uses its subvector as scratch.
+func (h *hybridScorer) ScoreVector(v []float64) (float64, error) {
+	if len(v) != h.schema.Len() {
+		return 0, fmt.Errorf("sim: vector has %d dims, hybrid scorer wants %d", len(v), h.schema.Len())
+	}
+	behavioral := h.behavioral(v)
+	static, err := h.inner.ScoreVector(v[:h.innerLen])
 	if err != nil {
 		return 0, err
 	}
 	return max(static, behavioral), nil
 }
 
-var _ features.VectorScorer = (*hybridScorer)(nil)
+// VerdictVector implements features.VerdictScorer.
+func (h *hybridScorer) VerdictVector(v []float64) (features.Verdict, error) {
+	if len(v) != h.schema.Len() {
+		return features.Verdict{}, fmt.Errorf("sim: vector has %d dims, hybrid scorer wants %d", len(v), h.schema.Len())
+	}
+	behavioral := h.behavioral(v)
+	var ver features.Verdict
+	var err error
+	if h.verdict != nil {
+		ver, err = h.verdict.VerdictVector(v[:h.innerLen])
+	} else {
+		ver.Confidence = 1
+		ver.Score, err = h.inner.ScoreVector(v[:h.innerLen])
+	}
+	if err != nil {
+		return features.Verdict{}, err
+	}
+	if behavioral >= ver.Score {
+		// Observed behavior outranks the model: enforce at face value.
+		return features.Verdict{Score: behavioral, Confidence: 1}, nil
+	}
+	return ver, nil
+}
+
+var (
+	_ features.VectorScorer  = (*hybridScorer)(nil)
+	_ features.VerdictScorer = (*hybridScorer)(nil)
+)

@@ -619,6 +619,22 @@ func (w *worker) arrive(t int, ev event) {
 	case BehaviorIgnore:
 		o.ignored++
 		return
+	case BehaviorBogus:
+		// The forged-solution attacker: skip the work entirely and submit
+		// the challenge back with a corrupted tag — verification fails the
+		// HMAC check deterministically (no lucky low-difficulty nonces),
+		// costing the attacker nothing but lighting up the defense's
+		// verify_fail_rate signal and the IP's fail-streak evidence.
+		done := ev
+		done.completion = true
+		done.sentAt = ev.at
+		done.diff = dec.Difficulty
+		done.verify = true
+		done.sol = puzzle.Solution{Challenge: dec.Challenge}
+		done.sol.Challenge.Tag[0] ^= 0xFF
+		done.at = ev.at + 4*net.OneWay + net.IssueTime + net.VerifyTime
+		w.schedule(eng.tickOf(done.at, t), done)
+		return
 	case BehaviorGiveUpAbove:
 		if dec.Difficulty > p.GiveUpAt {
 			o.gaveUp++
@@ -673,6 +689,7 @@ func (w *worker) complete(ev event) {
 		o.expired++
 		if ev.diff >= puzzle.MinDifficulty {
 			w.mExpired++
+			eng.fw.RecordVerifyEvidence(ev.ip, 0, false)
 		}
 		return
 	}
@@ -680,9 +697,12 @@ func (w *worker) complete(ev event) {
 	o.latency.ObserveDuration(latency)
 	// A served modeled completion is a solved-and-verified challenge;
 	// record it for the feedback signal plane (bypassed completions carry
-	// no difficulty and are not verifications).
+	// no difficulty and are not verifications), and feed it into the
+	// tracker's evidence state exactly as a real Verify call would — the
+	// redemption path runs on the same solve-credit stream either way.
 	if !ev.verify && ev.diff >= puzzle.MinDifficulty {
 		w.mVerified[ev.diff]++
+		eng.fw.RecordVerifyEvidence(ev.ip, ev.diff, true)
 	}
 }
 

@@ -25,6 +25,13 @@ const (
 	// GiveUpAt difficulty and abandons harder ones — the rational attacker
 	// bounding per-request spend.
 	BehaviorGiveUpAbove
+
+	// BehaviorBogus skips solving and submits the challenge back with a
+	// corrupted authentication tag: a forged-solution attacker spending
+	// nothing while hammering the verifier. Every submission fails
+	// verification deterministically, driving the verify_fail_rate signal
+	// and the per-IP fail-streak evidence.
+	BehaviorBogus
 )
 
 // String renders the behavior for reports.
@@ -36,6 +43,8 @@ func (b Behavior) String() string {
 		return "ignore"
 	case BehaviorGiveUpAbove:
 		return "giveup"
+	case BehaviorBogus:
+		return "bogus"
 	default:
 		return fmt.Sprintf("behavior(%d)", int(b))
 	}
@@ -138,7 +147,7 @@ func (p Population) validate() error {
 		if p.HashRate <= 0 {
 			return fmt.Errorf("sim: population %q solves but has hash rate %v", p.Name, p.HashRate)
 		}
-	case BehaviorIgnore:
+	case BehaviorIgnore, BehaviorBogus:
 	default:
 		return fmt.Errorf("sim: population %q has unknown behavior %d", p.Name, int(p.Behavior))
 	}

@@ -385,3 +385,89 @@ func TestClock(t *testing.T) {
 		t.Fatalf("negative Advance moved the clock to %v", got)
 	}
 }
+
+// TestRedemptionRunDeterministic reruns a scenario exercising the whole
+// scoring-verdict stack — confidence-shaped policy, redemption wrapper,
+// evidence write-back from modeled completions, plus a forging population
+// driving real Verify rejections — and demands byte-identical reports.
+func TestRedemptionRunDeterministic(t *testing.T) {
+	scenario := func() Scenario {
+		return Scenario{
+			Name: "redemption-determinism",
+			Seed: 123,
+			Phases: []Phase{
+				{Name: "cold", Duration: 4 * time.Second},
+				{Name: "settled", Duration: 8 * time.Second},
+			},
+			Populations: []Population{
+				{Name: "users", Legit: true, Clients: 16, Rate: 0.5,
+					Behavior: BehaviorSolve, HashRate: 27000, Feed: FeedBenign},
+				{Name: "misscored", Legit: true, Clients: 16, Rate: 0.5,
+					Behavior: BehaviorSolve, HashRate: 27000, Feed: FeedMalicious},
+			},
+			Network: testNetwork(),
+			Defense: Defense{
+				Policy: "shape(inner=policy2)", SaturationRate: 3,
+				Redeem: &RedeemDefense{HalfLife: 30 * time.Second},
+			},
+		}
+	}
+	var first []byte
+	for i := 0; i < 3; i++ {
+		res, err := Run(scenario())
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		rep := res.Report()
+		buf, err := (&SuiteReport{Scenarios: []ScenarioReport{rep}}).Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if i == 0 {
+			first = buf
+			continue
+		}
+		if string(buf) != string(first) {
+			t.Fatalf("run %d produced a different report", i)
+		}
+	}
+}
+
+// TestBogusBehavior pins the forged-solution attacker: no solve work, no
+// service, every submission rejected through the real Verify path.
+func TestBogusBehavior(t *testing.T) {
+	sc := Scenario{
+		Name:   "bogus",
+		Seed:   5,
+		Phases: []Phase{{Name: "flood", Duration: 5 * time.Second}},
+		Populations: []Population{
+			{Name: "users", Legit: true, Clients: 8, Rate: 0.5,
+				Behavior: BehaviorSolve, HashRate: 27000, Feed: FeedBenign},
+			{Name: "forgers", Clients: 16, Rate: 2,
+				Behavior: BehaviorBogus, Feed: FeedMalicious},
+		},
+		Network: testNetwork(),
+		Defense: Defense{Policy: "policy1", MaxDifficulty: 8, RealSolve: true},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgers, _ := res.scope("forgers", "")
+	if forgers.served != 0 {
+		t.Errorf("forgers served %d, want 0", forgers.served)
+	}
+	if forgers.solveAttempts != 0 {
+		t.Errorf("forgers spent %d hashes, want 0", forgers.solveAttempts)
+	}
+	if forgers.rejected == 0 {
+		t.Error("no forgeries were rejected; Verify path not exercised")
+	}
+	if got := uint64(res.FrameworkStats["rejected"]); got != forgers.rejected {
+		t.Errorf("framework rejected %d, engine counted %d", got, forgers.rejected)
+	}
+	users, _ := res.scope("users", "")
+	if users.served != users.requests {
+		t.Errorf("users served %d of %d", users.served, users.requests)
+	}
+}

@@ -65,6 +65,19 @@ func ClampPolicy(inner Policy, lo, hi int) (Policy, error) {
 	return policy.NewClamp(inner, lo, hi)
 }
 
+// ConfidenceAwarePolicy is the optional Policy extension consuming
+// scoring verdicts: the framework calls ConfidentDifficulty(score,
+// confidence) when both the scorer and the policy support verdicts.
+type ConfidenceAwarePolicy = policy.ConfidenceAware
+
+// NewConfidenceShapedPolicy wraps inner in confidence shaping: scores
+// above anchor are shaded toward it in proportion to lost confidence,
+// bounded by floor (the enforced fraction at zero confidence). The
+// spec-addressable form is "shape(inner=policy2, anchor=5, floor=0.5)".
+func NewConfidenceShapedPolicy(inner Policy, anchor, floor float64) (Policy, error) {
+	return policy.NewConfidenceShaped(inner, anchor, floor)
+}
+
 // LoadFunc reports instantaneous server load in [0, 1] for adaptive
 // policies.
 type LoadFunc = policy.LoadFunc

@@ -37,6 +37,35 @@ func LoadReputationModel(r io.Reader) (*ReputationModel, error) {
 // KNNScorer is the kNN alternative reputation scorer.
 type KNNScorer = reputation.KNN
 
+// RedemptionScorer wraps a scorer with behavioral redemption: IPs with
+// sustained verified-solve evidence — and otherwise unremarkable behavior
+// — earn a decaying attenuation of their effective score, so a misscored
+// legitimate client works its way out of the false-positive tail. The
+// evidence is written by Framework.Verify into the attached Tracker; the
+// decay half-life is the tracker's (WithEvidenceHalfLife).
+type RedemptionScorer = reputation.Decay
+
+// RedemptionOption configures NewRedemptionScorer.
+type RedemptionOption = reputation.DecayOption
+
+// NewRedemptionScorer wraps inner (which must support the vector fast
+// path, e.g. a trained ReputationModel) with behavioral redemption.
+func NewRedemptionScorer(inner VectorScorer, opts ...RedemptionOption) (*RedemptionScorer, error) {
+	return reputation.NewDecay(inner, opts...)
+}
+
+// WithMaxRedemption caps the score attenuation evidence can earn
+// (default 6).
+func WithMaxRedemption(drop float64) RedemptionOption {
+	return reputation.WithMaxRedemption(drop)
+}
+
+// WithRedemptionHalfCredit sets the solve credit at which half the
+// maximum redemption applies (default 26).
+func WithRedemptionHalfCredit(credit float64) RedemptionOption {
+	return reputation.WithHalfCredit(credit)
+}
+
 // NewKNNScorer builds a kNN scorer over labeled samples.
 func NewKNNScorer(samples []ReputationSample, k int) (*KNNScorer, error) {
 	return reputation.NewKNN(samples, k)
