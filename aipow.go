@@ -86,6 +86,17 @@ func WithFailClosedScore(s float64) Option { return core.WithFailClosedScore(s) 
 // puzzle entirely (disabled by default; the paper always issues one).
 func WithBypassBelow(threshold float64) Option { return core.WithBypassBelow(threshold) }
 
+// WithEvidenceBuffer routes the framework's tracker writes (Observe,
+// Verify's evidence, RecordVerifyEvidence) through buffered per-shard
+// write-back: the hot path appends a timestamped event and a background
+// loop folds the buffers into the tracker every interval, with a full
+// buffer flushing itself inline at size events. Requires WithTracker;
+// callers must Close the framework to stop the flush loop. Pair with
+// WithSummaryStaleness for the full low-latency serving configuration.
+func WithEvidenceBuffer(size int, interval time.Duration) Option {
+	return core.WithEvidenceBuffer(size, interval)
+}
+
 // AttributeSource yields the attribute map used to score an IP.
 type AttributeSource = features.Source
 
@@ -150,6 +161,16 @@ func WithTrackerShards(n int) TrackerOption { return features.WithShards(n) }
 // redemption (NewRedemptionScorer).
 func WithEvidenceHalfLife(d time.Duration) TrackerOption {
 	return features.WithEvidenceHalfLife(d)
+}
+
+// WithSummaryStaleness lets the tracker serve a cached behavioral summary
+// for up to d per IP, as long as no new verification evidence arrived —
+// scoring reads then do cache-validity arithmetic instead of re-deriving
+// nine attributes under the shard lock. Zero (the default) disables the
+// cache; a few milliseconds is plenty to absorb a hot client's burst while
+// staying far below any half-life or window the summaries feed.
+func WithSummaryStaleness(d time.Duration) TrackerOption {
+	return features.WithSummaryStaleness(d)
 }
 
 // RequestInfo is one observed request for behavioral tracking.

@@ -36,6 +36,7 @@ func main() {
 		scenario = flag.String("scenario", "", "run only the named scenario (see -list)")
 		list     = flag.Bool("list", false, "list suite scenarios and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-scenario tables")
+		batch    = flag.Bool("batch", false, "drive arrivals through the batch entry points (byte-identical output)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,11 @@ func main() {
 		suiteName = "quick"
 	}
 	scenarios := sim.DefaultSuite(*seed, scale)
+	if *batch {
+		for i := range scenarios {
+			scenarios[i].Batch = true
+		}
+	}
 
 	if *list {
 		for _, sc := range scenarios {

@@ -142,6 +142,17 @@ func main() {
 		go runAdaptLoop(gk)
 	}
 
+	// On SIGINT/SIGTERM, stop the pipelines' evidence flush loops and
+	// drain their buffers before exiting; serving state needs no other
+	// teardown.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-stop
+		_ = gk.Close()
+		os.Exit(0)
+	}()
+
 	log.Printf("powserver: pipelines %v, %d feed IPs, listening on %s", gk.Names(), store.Len(), *addr)
 	server := &http.Server{Addr: *addr, Handler: root, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(server.ListenAndServe())
@@ -342,6 +353,14 @@ func serveAdmin(addr, token string, gk *aipow.Gatekeeper) {
 		log.Printf("powserver: admin rolled back deployment (pipelines %v)", gk.Names())
 		fmt.Fprintf(w, "rolled back; pipelines %v\n", gk.Names())
 	}))
+	// The batch front door trusts caller-supplied client IPs, so it lives
+	// on the (privately bound) admin listener behind the bearer token:
+	// only a trusted proxy tier may decide on behalf of clients.
+	batch, err := aipow.NewRoutedHTTPBatchHandler(gk)
+	if err != nil {
+		log.Fatalf("powserver: batch handler: %v", err)
+	}
+	mux.HandleFunc("POST /batch", requireBearer(token, batch.ServeHTTP))
 	mux.HandleFunc("GET /spec/history", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -365,7 +384,7 @@ func serveAdmin(addr, token string, gk *aipow.Gatekeeper) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(stats)
 	})
-	log.Printf("powserver: control plane on %s (POST /apply, POST /rollback, GET /spec, GET /spec/history, GET /stats)", addr)
+	log.Printf("powserver: control plane on %s (POST /apply, POST /rollback, POST /batch, GET /spec, GET /spec/history, GET /stats)", addr)
 	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }

@@ -229,9 +229,61 @@
 //
 // and `go run ./cmd/benchdump` writes the hot-path numbers to
 // BENCH_hotpath.json for regression tracking across changes (compare runs
-// with benchstat). In CI, `benchdump -compare BENCH_hotpath.json
-// -max-regress 20%` fails the build when Decide/Verify/Issue allocate at
-// all or slow down beyond the tolerance.
+// with benchstat; -runs N keeps the fastest of N repeats). In CI,
+// `benchdump -compare BENCH_hotpath.json -max-regress 20%` fails the
+// build when a gated benchmark allocates at all or slows down beyond the
+// tolerance — or when a within-run ratio gate fails: the full
+// evidence-carrying stack (DecideWithEvidence) beyond 2x plain Decide,
+// or the batch path (DecideBatch) not beating the single-op evidence
+// path per request.
+//
+// # Batch serving & evidence buffering
+//
+// Front-line proxies and load balancers rarely hold one request at a
+// time; they drain accept queues. The batch entry points let such
+// callers amortize the per-request fixed costs — snapshot load, clock
+// read, scratch checkout — across a whole queue drain:
+//
+//   - Framework.DecideBatch scores and prices a slice of
+//     RequestContexts against one configuration snapshot and one
+//     timestamp, appending into a caller-owned []Decision (zero
+//     allocations in steady state, like Decide). ObserveBatch and
+//     VerifyBatch batch the evidence half the same way. Batching
+//     changes cost, never outcomes: each item's decision is identical
+//     to what the single-op call would have produced, a property the
+//     simulation engine gates byte-for-byte (attacksim -batch drives
+//     the whole adversarial suite through the batch path and CI
+//     compares the reports, including under a multi-core GOMAXPROCS).
+//   - NewHTTPBatchHandler / NewRoutedHTTPBatchHandler expose the same
+//     front door over HTTP: one POST /batch body carries many items
+//     (decide requests and solution redemptions, mixed), each item is
+//     routed to its pipeline, and results return in request order.
+//     Because the handler trusts caller-supplied client IPs, powserver
+//     mounts it on the admin listener behind the bearer token, not on
+//     the public mux.
+//   - Evidence write-back buffering (WithEvidenceBuffer, spec line
+//     "evidence-buffer <size> <interval>") moves tracker writes off the
+//     Verify hot path: events queue in per-shard buffers and apply in
+//     batches — when a shard's queue reaches the size limit, or when
+//     the framework's flush loop fires each interval. Buffered events
+//     carry capture-time timestamps, so applied state is bit-identical
+//     to synchronous writes; only visibility latency changes, bounded
+//     by the interval. Framework.Close stops the flush loop and drains
+//     the buffers (Gatekeeper.Close and pipeline rebuilds do this for
+//     spec-built pipelines); after Close, writes degrade to synchronous.
+//   - Snapshot-cached redemption reads (WithSummaryStaleness): the
+//     tracker caches each IP's computed behavior summary — the vector
+//     the redemption scorer and live sources read — keyed on the
+//     entry's evidence generation, serving it while younger than the
+//     staleness bound. Observations alone do not invalidate (that is
+//     exactly the tolerated staleness); every applied verification
+//     outcome bumps the generation, so redemption-relevant changes are
+//     visible immediately.
+//
+// Together these close the evidence-path gap: the gated
+// DecideWithEvidence benchmark (the full Observe + verdict Decide +
+// Verify + write-back loop) runs within 2x plain Decide, and
+// DecideBatch under it, all at 0 allocs/op.
 //
 // # Simulation & scenario regression
 //

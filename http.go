@@ -61,6 +61,33 @@ func NewRoutedHTTPMiddleware(router HTTPRouter, next http.Handler, opts ...HTTPM
 	return httpmw.NewRoutedMiddleware(router, next, opts...)
 }
 
+// HTTPBatchRequest is one item of a batch decide/verify call.
+type HTTPBatchRequest = httpmw.BatchRequest
+
+// HTTPBatchResult is the per-item outcome of a batch call.
+type HTTPBatchResult = httpmw.BatchResult
+
+// HTTPBatchOption configures the batch handler.
+type HTTPBatchOption = httpmw.BatchOption
+
+// WithBatchLimit bounds the items one batch call may carry (default
+// httpmw.DefaultBatchLimit).
+func WithBatchLimit(n int) HTTPBatchOption { return httpmw.WithBatchLimit(n) }
+
+// NewHTTPBatchHandler serves batch decide/verify calls against one
+// framework: one POST carries many requests and the framework's batch
+// entry points amortize the fixed costs across them. The handler trusts
+// the caller-supplied client IPs — expose it only to trusted proxies.
+func NewHTTPBatchHandler(fw *Framework, opts ...HTTPBatchOption) (http.Handler, error) {
+	return httpmw.NewBatchHandler(fw, opts...)
+}
+
+// NewRoutedHTTPBatchHandler is NewHTTPBatchHandler with per-item pipeline
+// routing through router (typically a Gatekeeper).
+func NewRoutedHTTPBatchHandler(router HTTPRouter, opts ...HTTPBatchOption) (http.Handler, error) {
+	return httpmw.NewRoutedBatchHandler(router, opts...)
+}
+
 // HTTPTransportOption configures NewHTTPTransport.
 type HTTPTransportOption = httpmw.TransportOption
 

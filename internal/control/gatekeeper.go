@@ -187,12 +187,42 @@ func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error
 func (gk *Gatekeeper) Apply(dep *DeploymentSpec) error {
 	gk.mu.Lock()
 	defer gk.mu.Unlock()
-	st, err := gk.build(dep, gk.state.Load())
+	prev := gk.state.Load()
+	st, err := gk.build(dep, prev)
 	if err != nil {
 		return err
 	}
 	gk.state.Store(st)
 	gk.record(dep)
+	gk.closeReplaced(prev, st)
+	return nil
+}
+
+// closeReplaced closes the frameworks of pipelines that did not carry
+// from prev into next — rebuilt under the same name, or dropped from the
+// deployment — stopping their evidence flush loops so repeated applies
+// (powserver's SIGHUP reload) never accumulate goroutines. Closing is
+// safe against stragglers: a request still routed by the old generation
+// degrades to synchronous evidence writes, it does not fail.
+func (gk *Gatekeeper) closeReplaced(prev, next *gkState) {
+	for name, old := range prev.pipelines {
+		if next.pipelines[name] != old {
+			old.Close()
+		}
+	}
+}
+
+// Close stops the background state (evidence flush loops) of every
+// pipeline in the current generation. The pipelines keep serving
+// correctly — buffered evidence write-back degrades to synchronous — so
+// hosts call this on shutdown, after which no framework goroutines
+// remain. Idempotent.
+func (gk *Gatekeeper) Close() error {
+	gk.mu.Lock()
+	defer gk.mu.Unlock()
+	for _, p := range gk.state.Load().pipelines {
+		p.Close()
+	}
 	return nil
 }
 
@@ -250,12 +280,14 @@ func (gk *Gatekeeper) Rollback() (*DeploymentSpec, error) {
 		return nil, fmt.Errorf("control: no previous deployment to roll back to")
 	}
 	prev := gk.hist[len(gk.hist)-2]
-	st, err := gk.build(prev.Spec, gk.state.Load())
+	cur := gk.state.Load()
+	st, err := gk.build(prev.Spec, cur)
 	if err != nil {
 		return nil, fmt.Errorf("control: rollback to spec #%d: %w", prev.Seq, err)
 	}
 	gk.state.Store(st)
 	gk.hist = gk.hist[:len(gk.hist)-1]
+	gk.closeReplaced(cur, st)
 	return prev.Spec, nil
 }
 

@@ -65,6 +65,14 @@ func (p *Pipeline) Spec() PipelineSpec {
 // stable across Apply calls — hold it for the process lifetime.
 func (p *Pipeline) Framework() *core.Framework { return p.fw }
 
+// Close stops the pipeline's background state — the framework's evidence
+// flush loop, when the spec declares an evidence-buffer section — and
+// drains any buffered evidence into the tracker. The pipeline keeps
+// serving correctly afterward (evidence writes degrade to synchronous);
+// Gatekeeper.Apply calls this on pipelines it replaces or drops.
+// Idempotent.
+func (p *Pipeline) Close() error { return p.fw.Close() }
+
 // Controller reports the attached feedback controller, nil when the spec
 // declares no adapt section.
 func (p *Pipeline) Controller() *feedback.Controller { return p.ctrl.Load() }

@@ -14,6 +14,7 @@ import (
 	"aipow/internal/feedback"
 	"aipow/internal/policy"
 	"aipow/internal/puzzle"
+	"aipow/internal/reputation"
 )
 
 // ScorerFactory builds an AI model from a component spec's numeric
@@ -52,15 +53,25 @@ type Registry struct {
 	tracker  *features.Tracker
 	now      func() time.Time
 
-	// windowed holds the per-window trackers behind `window <duration>`
-	// pipeline specs, keyed by span: pipelines declaring equal windows
-	// share one tracker (and with it behavioral history), pipelines
-	// declaring different windows finally get different decay horizons —
-	// the one knob the shared tracker used to force deployment-wide.
-	// Like the default tracker, windowed trackers persist across applies.
-	// windowOrder tracks creation order for the FIFO bound below.
-	windowed    map[time.Duration]*features.Tracker
-	windowOrder []time.Duration
+	// windowed holds the per-pipeline trackers behind `window <duration>`
+	// and `redeem(half-life=…)` pipeline specs, keyed by (window span,
+	// evidence half-life): pipelines declaring equal keys share one
+	// tracker (and with it behavioral history), pipelines declaring
+	// different keys get different decay horizons — the knobs the shared
+	// tracker used to force deployment-wide. Like the default tracker,
+	// these trackers persist across applies. windowOrder tracks creation
+	// order for the FIFO bound below.
+	windowed    map[trackerKey]*features.Tracker
+	windowOrder []trackerKey
+}
+
+// trackerKey identifies a shared per-pipeline tracker: the sliding-window
+// span (zero: the default window) and the solve-evidence half-life (zero:
+// the default tracker's half-life). Both are tracker construction state,
+// which is why `window` and `redeem half-life` are not hot-swappable.
+type trackerKey struct {
+	window   time.Duration
+	halfLife time.Duration
 }
 
 // maxTrackerWindows bounds how many distinct per-pipeline tracker windows
@@ -139,40 +150,52 @@ func NewRegistry(key []byte, opts ...RegistryOption) (*Registry, error) {
 func (r *Registry) Tracker() *features.Tracker { return r.tracker }
 
 // trackerFor resolves a pipeline's behavior tracker: the shared default
-// for a zero window, otherwise the per-window tracker for that span,
-// created on first use and cached so same-window pipelines share state.
-// Windowed trackers inherit the shared tracker's sizing (capacity,
-// evidence half-life) so `window` changes exactly one thing — the
-// behavioral decay horizon — instead of silently resetting an operator's
-// capacity tuning to defaults.
-func (r *Registry) trackerFor(window Duration) (*features.Tracker, error) {
-	if window == 0 {
+// when the spec declares neither a window nor a redeem half-life,
+// otherwise the per-key tracker for that (window, half-life) pair,
+// created on first use and cached so same-key pipelines share state.
+// Per-key trackers inherit the shared tracker's remaining sizing
+// (capacity, summary staleness, and whichever of window/half-life the
+// spec leaves zero) so the spec changes exactly the declared knobs
+// instead of silently resetting an operator's tuning to defaults.
+func (r *Registry) trackerFor(ps PipelineSpec) (*features.Tracker, error) {
+	key := trackerKey{
+		window:   time.Duration(ps.TrackerWindow),
+		halfLife: time.Duration(ps.Redeem.halfLife()),
+	}
+	if key == (trackerKey{}) {
 		return r.tracker, nil
 	}
-	span := time.Duration(window)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if t, ok := r.windowed[span]; ok {
+	if t, ok := r.windowed[key]; ok {
 		return t, nil
 	}
-	t, err := features.NewTracker(
-		features.WithWindow(span, trackerWindowBuckets),
+	halfLife := key.halfLife
+	if halfLife == 0 {
+		halfLife = r.tracker.EvidenceHalfLife()
+	}
+	opts := []features.TrackerOption{
 		features.WithCapacity(r.tracker.Capacity()),
-		features.WithEvidenceHalfLife(r.tracker.EvidenceHalfLife()),
-	)
+		features.WithEvidenceHalfLife(halfLife),
+		features.WithSummaryStaleness(r.tracker.SummaryStaleness()),
+	}
+	if key.window > 0 {
+		opts = append(opts, features.WithWindow(key.window, trackerWindowBuckets))
+	}
+	t, err := features.NewTracker(opts...)
 	if err != nil {
-		return nil, fmt.Errorf("control: window %v tracker: %w", span, err)
+		return nil, fmt.Errorf("control: window %v / half-life %v tracker: %w", key.window, halfLife, err)
 	}
 	if r.windowed == nil {
-		r.windowed = make(map[time.Duration]*features.Tracker, 1)
+		r.windowed = make(map[trackerKey]*features.Tracker, 1)
 	}
 	for len(r.windowed) >= maxTrackerWindows {
 		oldest := r.windowOrder[0]
 		r.windowOrder = r.windowOrder[1:]
 		delete(r.windowed, oldest) // FIFO: see maxTrackerWindows
 	}
-	r.windowed[span] = t
-	r.windowOrder = append(r.windowOrder, span)
+	r.windowed[key] = t
+	r.windowOrder = append(r.windowOrder, key)
 	return t, nil
 }
 
@@ -366,6 +389,29 @@ func (r *Registry) newController(ps PipelineSpec, base policy.Policy, load polic
 	return ctrl, nil
 }
 
+// redeemScorer wraps a resolved scorer with the spec's behavioral
+// redemption. The half-life parameter is absent here deliberately: it is
+// tracker state, applied by trackerFor.
+func (r *Registry) redeemScorer(ps PipelineSpec, scorer core.Scorer) (core.Scorer, error) {
+	vs, ok := scorer.(features.VectorScorer)
+	if !ok {
+		return nil, fmt.Errorf("control: pipeline %q redeem: scorer %q does not support the vector fast path",
+			ps.Name, ps.Scorer)
+	}
+	var opts []reputation.DecayOption
+	if ps.Redeem.Max > 0 {
+		opts = append(opts, reputation.WithMaxRedemption(ps.Redeem.Max))
+	}
+	if ps.Redeem.HalfCredit > 0 {
+		opts = append(opts, reputation.WithHalfCredit(ps.Redeem.HalfCredit))
+	}
+	dec, err := reputation.NewDecay(vs, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("control: pipeline %q redeem: %w", ps.Name, err)
+	}
+	return dec, nil
+}
+
 // DefaultMaxDifficulty is the issuance cap when a spec leaves
 // max-difficulty unset — high enough to price out abusive clients
 // (seconds of compute), low enough that a misscored legitimate client is
@@ -395,6 +441,12 @@ func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc, tracker *fe
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
+	if ps.Redeem != nil {
+		scorer, err = r.redeemScorer(ps, scorer)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	}
 	pol, err := r.newPolicy(ps, load)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -422,7 +474,7 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 		return nil, err
 	}
 	ps = ps.withDefaults()
-	tracker, err := r.trackerFor(ps.TrackerWindow)
+	tracker, err := r.trackerFor(ps)
 	if err != nil {
 		return nil, err
 	}
@@ -453,6 +505,9 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	}
 	if ps.FailClosedScore != nil {
 		opts = append(opts, core.WithFailClosedScore(*ps.FailClosedScore))
+	}
+	if ps.EvidenceBuffer != nil {
+		opts = append(opts, core.WithEvidenceBuffer(ps.EvidenceBuffer.Size, time.Duration(ps.EvidenceBuffer.Interval)))
 	}
 	fw, err := core.New(opts...)
 	if err != nil {

@@ -123,6 +123,100 @@ type PipelineSpec struct {
 	// base level (the declared spec always wins over accumulated
 	// escalation state).
 	Adapt *AdaptSpec `json:"adapt,omitempty"`
+
+	// Redeem wraps the pipeline's scorer with behavioral redemption
+	// (reputation.Decay): sustained verified-solve evidence earns a
+	// bounded, decaying score attenuation, closing the false-positive
+	// tail. The scorer spec must resolve to a vector-capable scorer. Max
+	// and half-credit are hot-swappable; half-life is the evidence decay
+	// horizon of the pipeline's behavior tracker and therefore rebuilds
+	// the pipeline when changed (pipelines declaring the same window and
+	// half-life share a tracker).
+	Redeem *RedeemSpec `json:"redeem,omitempty"`
+
+	// EvidenceBuffer enables buffered evidence write-back on the
+	// pipeline's framework (core.WithEvidenceBuffer): Observe and the
+	// verification evidence append to per-shard buffers flushed in the
+	// background, taking tracker shard locks off the serving path. Not
+	// hot-swappable: the flush loop is wired at build time.
+	EvidenceBuffer *BufferSpec `json:"evidence_buffer,omitempty"`
+}
+
+// RedeemSpec is a pipeline's behavioral-redemption section. In the text
+// DSL it is a single `redeem(max=6, half-credit=26, half-life=5m)` line;
+// every parameter is optional (zero keeps the reputation package's or the
+// tracker's default).
+type RedeemSpec struct {
+	// Max caps the score attenuation evidence can earn
+	// (0 = reputation.DefaultMaxRedemption). Hot-swappable.
+	Max float64 `json:"max,omitempty"`
+
+	// HalfCredit is the solve credit at which half the maximum redemption
+	// applies (0 = reputation.DefaultHalfCredit). Hot-swappable.
+	HalfCredit float64 `json:"half_credit,omitempty"`
+
+	// HalfLife is the solve-credit decay half-life, state owned by the
+	// pipeline's behavior tracker (0 = the registry tracker's half-life).
+	// Not hot-swappable: changing it keys the pipeline onto a different
+	// tracker.
+	HalfLife Duration `json:"half_life,omitempty"`
+}
+
+// validate rejects malformed redeem sections.
+func (r *RedeemSpec) validate(pipeline string) error {
+	switch {
+	case r.Max < 0:
+		return fmt.Errorf("control: pipeline %q redeem: negative max", pipeline)
+	case r.HalfCredit < 0:
+		return fmt.Errorf("control: pipeline %q redeem: negative half-credit", pipeline)
+	case r.HalfLife < 0:
+		return fmt.Errorf("control: pipeline %q redeem: negative half-life", pipeline)
+	}
+	return nil
+}
+
+// equal reports semantic equality of two redeem sections.
+func (r *RedeemSpec) equal(b *RedeemSpec) bool {
+	if (r == nil) != (b == nil) {
+		return false
+	}
+	return r == nil || *r == *b
+}
+
+// halfLife reports the section's half-life, tolerating a nil receiver.
+func (r *RedeemSpec) halfLife() Duration {
+	if r == nil {
+		return 0
+	}
+	return r.HalfLife
+}
+
+// BufferSpec is a pipeline's evidence write-back section: the per-shard
+// buffer size bound and the background flush interval. In the text DSL it
+// is an `evidence-buffer <size> <interval>` line.
+type BufferSpec struct {
+	Size     int      `json:"size"`
+	Interval Duration `json:"interval"`
+}
+
+// validate rejects malformed buffer sections (mirroring core.New's checks
+// so the error carries the pipeline name at parse time, not build time).
+func (b *BufferSpec) validate(pipeline string) error {
+	switch {
+	case b.Size < 2:
+		return fmt.Errorf("control: pipeline %q evidence-buffer: size %d below minimum 2", pipeline, b.Size)
+	case b.Interval <= 0:
+		return fmt.Errorf("control: pipeline %q evidence-buffer: non-positive interval %v", pipeline, time.Duration(b.Interval))
+	}
+	return nil
+}
+
+// equal reports semantic equality of two buffer sections.
+func (b *BufferSpec) equal(q *BufferSpec) bool {
+	if (b == nil) != (q == nil) {
+		return false
+	}
+	return b == nil || *b == *q
 }
 
 // AdaptSpec is a pipeline's adaptive-defense section: the signal-plane
@@ -346,6 +440,16 @@ func (p *PipelineSpec) validate() error {
 			return err
 		}
 	}
+	if p.Redeem != nil {
+		if err := p.Redeem.validate(p.Name); err != nil {
+			return err
+		}
+	}
+	if p.EvidenceBuffer != nil {
+		if err := p.EvidenceBuffer.validate(p.Name); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -366,7 +470,8 @@ func specEqual(a, b PipelineSpec) bool {
 		a.ReplayCache == b.ReplayCache && a.ClockSkew == b.ClockSkew &&
 		a.TrackerWindow == b.TrackerWindow &&
 		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
-		a.Adapt.equal(b.Adapt)
+		a.Adapt.equal(b.Adapt) && a.Redeem.equal(b.Redeem) &&
+		a.EvidenceBuffer.equal(b.EvidenceBuffer)
 }
 
 // swappableEqual reports whether only hot-swappable fields differ between
@@ -384,6 +489,11 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 		return fmt.Errorf("clock-skew %v → %v", time.Duration(p.ClockSkew), time.Duration(q.ClockSkew))
 	case p.TrackerWindow != q.TrackerWindow:
 		return fmt.Errorf("window %v → %v", time.Duration(p.TrackerWindow), time.Duration(q.TrackerWindow))
+	case p.Redeem.halfLife() != q.Redeem.halfLife():
+		return fmt.Errorf("redeem half-life %v → %v",
+			time.Duration(p.Redeem.halfLife()), time.Duration(q.Redeem.halfLife()))
+	case !p.EvidenceBuffer.equal(q.EvidenceBuffer):
+		return fmt.Errorf("evidence-buffer changed")
 	}
 	return nil
 }
@@ -413,6 +523,11 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	  adapt hard <n>               hard-difficulty threshold for the FP proxy
 //	  adapt window <n>             signal window length in steps
 //	  adapt load-shift <n>         load-adaptive difficulty shift at full load
+//	  redeem(max=<drop>, half-credit=<credit>, half-life=<duration>)
+//	                           behavioral redemption over the scorer; every
+//	                           parameter optional (redeem alone = defaults)
+//	  evidence-buffer <size> <interval>   buffered evidence write-back,
+//	                           e.g. evidence-buffer 256 5ms
 //	route <prefix> <pipeline>  longest matching path prefix wins; "/" is
 //	                           the catch-all (required with >1 pipeline)
 //	tenant <key> <pipeline>    tenant routes win over path routes
@@ -458,6 +573,13 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 		}
 		fields := strings.Fields(line)
 		stmt, args := fields[0], fields[1:]
+		// The redeem statement's parameter list may attach directly to the
+		// keyword — redeem(max=6, …) — so the keyword needs splitting off
+		// before dispatch.
+		if stmt != "redeem" && strings.HasPrefix(stmt, "redeem(") {
+			args = append([]string{strings.TrimPrefix(stmt, "redeem")}, args...)
+			stmt = "redeem"
+		}
 		switch stmt {
 		case "pipeline":
 			closeBlock()
@@ -480,7 +602,8 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 			}
 			d.Routes = append(d.Routes, r)
 		case "scorer", "policy", "source", "ttl", "max-difficulty", "bypass-below",
-			"fail-closed", "replay-cache", "clock-skew", "window", "when", "default", "adapt":
+			"fail-closed", "replay-cache", "clock-skew", "window", "when", "default",
+			"adapt", "redeem", "evidence-buffer":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
 			}
@@ -522,6 +645,27 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 		return nil
 	}
 	switch stmt {
+	case "redeem":
+		rs, err := parseRedeem(joined)
+		if err != nil {
+			return err
+		}
+		p.Redeem = rs
+		return nil
+	case "evidence-buffer":
+		if len(args) != 2 {
+			return fmt.Errorf("want 'evidence-buffer <size> <interval>'")
+		}
+		size, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("evidence-buffer size: %w", err)
+		}
+		iv, err := time.ParseDuration(args[1])
+		if err != nil {
+			return fmt.Errorf("evidence-buffer interval: %w", err)
+		}
+		p.EvidenceBuffer = &BufferSpec{Size: size, Interval: Duration(iv)}
+		return nil
 	case "scorer":
 		return one(&p.Scorer, "spec")
 	case "policy":
@@ -578,6 +722,47 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 		return nil
 	}
 	return fmt.Errorf("unknown statement %q", stmt) // unreachable: caller dispatched
+}
+
+// parseRedeem parses the redeem statement's parameter list: an optional
+// parenthesized, comma- or space-separated k=v list ("(max=6,
+// half-credit=26, half-life=5m)"). An empty list keeps every default.
+func parseRedeem(arg string) (*RedeemSpec, error) {
+	rs := &RedeemSpec{}
+	arg = strings.TrimSpace(arg)
+	if strings.HasPrefix(arg, "(") {
+		if !strings.HasSuffix(arg, ")") {
+			return nil, fmt.Errorf("redeem: unclosed parameter list %q", arg)
+		}
+		arg = arg[1 : len(arg)-1]
+	}
+	for _, tok := range strings.FieldsFunc(arg, func(r rune) bool { return r == ',' || r == ' ' }) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || v == "" {
+			return nil, fmt.Errorf("redeem: want k=v, got %q", tok)
+		}
+		switch k {
+		case "max", "half-credit":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("redeem %s: %w", k, err)
+			}
+			if k == "max" {
+				rs.Max = f
+			} else {
+				rs.HalfCredit = f
+			}
+		case "half-life":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return nil, fmt.Errorf("redeem half-life: %w", err)
+			}
+			rs.HalfLife = Duration(d)
+		default:
+			return nil, fmt.Errorf("redeem: unknown parameter %q (want max, half-credit, half-life)", k)
+		}
+	}
+	return rs, nil
 }
 
 // applyAdaptStatement folds one "adapt <setting>" line into the

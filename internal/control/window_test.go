@@ -101,17 +101,17 @@ func TestPerWindowTrackersSharedByEqualWindows(t *testing.T) {
 func TestWindowCountBounded(t *testing.T) {
 	reg := newTestRegistry(t)
 	for i := 0; i < maxTrackerWindows; i++ {
-		if _, err := reg.trackerFor(Duration(time.Duration(i+1) * time.Second)); err != nil {
+		if _, err := reg.trackerFor(PipelineSpec{TrackerWindow: Duration(time.Duration(i+1) * time.Second)}); err != nil {
 			t.Fatalf("window %d: %v", i, err)
 		}
 	}
-	newest, err := reg.trackerFor(Duration(time.Duration(maxTrackerWindows) * time.Second))
+	newest, err := reg.trackerFor(PipelineSpec{TrackerWindow: Duration(time.Duration(maxTrackerWindows) * time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Window churn past the bound FIFO-evicts the oldest share entry
 	// instead of failing the apply…
-	over, err := reg.trackerFor(Duration(time.Hour))
+	over, err := reg.trackerFor(PipelineSpec{TrackerWindow: Duration(time.Hour)})
 	if err != nil {
 		t.Fatalf("window churn past the bound failed: %v", err)
 	}
@@ -120,14 +120,14 @@ func TestWindowCountBounded(t *testing.T) {
 	}
 	// …so the evicted (oldest) window rebuilds fresh while recent windows
 	// keep their shared tracker.
-	fresh, err := reg.trackerFor(Duration(time.Second))
+	fresh, err := reg.trackerFor(PipelineSpec{TrackerWindow: Duration(time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fresh == over {
 		t.Fatal("evicted window handed another window's tracker")
 	}
-	again, err := reg.trackerFor(Duration(time.Duration(maxTrackerWindows) * time.Second))
+	again, err := reg.trackerFor(PipelineSpec{TrackerWindow: Duration(time.Duration(maxTrackerWindows) * time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestWindowedTrackerInheritsSizing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	windowed, err := reg.trackerFor(Duration(10 * time.Second))
+	windowed, err := reg.trackerFor(PipelineSpec{TrackerWindow: Duration(10 * time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -124,6 +124,12 @@ type snapshot struct {
 	// the plain score path at an implied confidence of 1.
 	verdictScorer features.VerdictScorer
 	confPol       policy.ConfidenceAware
+
+	// Batch wiring: vecBatch is the source's whole-batch vector fill
+	// (features.VectorBatchSource), resolved once per snapshot so
+	// DecideBatch pays no per-batch type assertion. Nil when the source
+	// only supports per-IP fills; DecideBatch then scores per item.
+	vecBatch features.VectorBatchSource
 }
 
 // Framework is the assembled pipeline. Construct with New; all methods are
@@ -158,6 +164,33 @@ type Framework struct {
 	// so recording costs the hot path one atomic add and zero allocations.
 	diffIssued   [puzzle.MaxDifficulty + 1]atomic.Uint64
 	diffVerified [puzzle.MaxDifficulty + 1]atomic.Uint64
+
+	// Evidence write-back buffering (WithEvidenceBuffer): when wbSize ≥ 2
+	// the tracker write paths — Observe, Verify's evidence, and
+	// RecordVerifyEvidence — append to the tracker's per-shard buffers
+	// instead of taking the shard lock inline, and a background loop
+	// flushes every wbInterval (a full shard buffer flushes itself
+	// inline, so wbSize bounds the lag in events and wbInterval bounds it
+	// in time). Close stops the loop and drains; closed flips the
+	// buffered paths back to synchronous so a Framework that outlives its
+	// Close — an in-flight request during a control-plane rebuild —
+	// cannot strand events in a buffer nobody will flush.
+	wbSize     int
+	wbInterval time.Duration
+	closed     atomic.Bool
+	closeOnce  sync.Once
+	flushStop  chan struct{}
+	flushDone  chan struct{}
+
+	// coarseNow (unix nanoseconds) is the buffered configuration's cached
+	// clock, refreshed by the flush loop each tick. With buffering on, the
+	// serving paths' clock reads (scoring decay, verifier freshness,
+	// evidence timestamps) come from here — one atomic load instead of a
+	// system clock read — with staleness bounded by the flush interval the
+	// buffer already accepts, orders of magnitude under both the
+	// verifier's skew tolerance and every tracker horizon. Disabled (falls
+	// back to the real clock) without buffering and after Close.
+	coarseNow atomic.Int64
 }
 
 // config collects the options New applies.
@@ -175,6 +208,8 @@ type config struct {
 	failClosed  float64
 	bypassBelow float64
 	clockSkew   time.Duration
+	wbSize      int
+	wbInterval  time.Duration
 }
 
 // Option customizes the framework.
@@ -232,6 +267,24 @@ func WithBypassBelow(threshold float64) Option {
 // WithClockSkew sets issuer/verifier skew tolerance (default 2 s).
 func WithClockSkew(d time.Duration) Option { return func(c *config) { c.clockSkew = d } }
 
+// WithEvidenceBuffer routes the framework's tracker writes — Observe,
+// Verify's evidence write-back, RecordVerifyEvidence — through the
+// tracker's per-shard write-back buffers: the hot path appends an event
+// (capturing its timestamp, so the applied state is bit-identical to a
+// synchronous write) and a background loop folds buffered events into the
+// tracker every interval. A shard's buffer also flushes itself inline at
+// size events, so visibility lags by at most size events and roughly one
+// interval. Callers must Close the framework to stop the flush loop and
+// drain. Requires a tracker; size ≥ 2 and interval > 0.
+//
+// This takes the shard lock off the per-request write path — the half-life
+// and window math tolerate the sub-millisecond staleness (see the bounded-
+// staleness tests) — and is the recommended production configuration
+// together with features.WithSummaryStaleness on the tracker.
+func WithEvidenceBuffer(size int, interval time.Duration) Option {
+	return func(c *config) { c.wbSize, c.wbInterval = size, interval }
+}
+
 // buildSnapshot validates the swappable configuration and assembles an
 // immutable snapshot from it, wiring the vector fast path when both sides
 // support it.
@@ -270,6 +323,9 @@ func buildSnapshot(scorer Scorer, pol policy.Policy, source features.Source, fai
 	if s.vecScorer != nil && policy.ConsumesConfidence(pol) {
 		s.verdictScorer, _ = s.vecScorer.(features.VerdictScorer)
 	}
+	if s.schema != nil {
+		s.vecBatch, _ = s.vecSource.(features.VectorBatchSource)
+	}
 	return s, nil
 }
 
@@ -295,11 +351,28 @@ func New(opts ...Option) (*Framework, error) {
 	if cfg.key == nil {
 		return nil, errors.New("core: an HMAC key is required (WithKey)")
 	}
+	if cfg.wbSize != 0 || cfg.wbInterval != 0 {
+		switch {
+		case cfg.tracker == nil:
+			return nil, errors.New("core: evidence buffer requires a tracker (WithTracker)")
+		case cfg.wbSize < 2:
+			return nil, fmt.Errorf("core: evidence buffer size %d below minimum 2", cfg.wbSize)
+		case cfg.wbInterval <= 0:
+			return nil, fmt.Errorf("core: non-positive evidence flush interval %v", cfg.wbInterval)
+		}
+	}
 
+	// Issuer and verifier live in one process here, so they share an
+	// AuthCache: the verifier authenticates challenges this issuer produced
+	// (or that it has itself already HMAC-checked) by byte equality instead
+	// of recomputing the HMAC. Misses fall back to the full check, so the
+	// cache changes verification cost, never outcomes.
+	authCache := puzzle.NewAuthCache()
 	issuer, err := puzzle.NewIssuer(cfg.key,
 		puzzle.WithIssuerNow(cfg.now),
 		puzzle.WithTTL(cfg.ttl),
 		puzzle.WithIssuerMaxDifficulty(cfg.maxDiff),
+		puzzle.WithIssuerAuthCache(authCache),
 	)
 	if err != nil {
 		return nil, fmt.Errorf("core: build issuer: %w", err)
@@ -307,6 +380,7 @@ func New(opts ...Option) (*Framework, error) {
 	verifierOpts := []puzzle.VerifierOption{
 		puzzle.WithVerifierNow(cfg.now),
 		puzzle.WithClockSkew(cfg.clockSkew),
+		puzzle.WithVerifierAuthCache(authCache),
 	}
 	if cfg.replaySize > 0 {
 		verifierOpts = append(verifierOpts,
@@ -331,7 +405,85 @@ func New(opts ...Option) (*Framework, error) {
 	f.cBypassed = f.stats.Counter("bypassed")
 	f.cScoreErrs = f.stats.Counter("score_errors")
 	f.cSwaps = f.stats.Counter("swaps")
+	if cfg.wbSize > 0 {
+		f.wbSize, f.wbInterval = cfg.wbSize, cfg.wbInterval
+		f.coarseNow.Store(f.now().UnixNano())
+		f.flushStop = make(chan struct{})
+		f.flushDone = make(chan struct{})
+		go f.flushLoop()
+	}
 	return f, nil
+}
+
+// flushLoop periodically drains the tracker's write-back buffers — so
+// evidence captured on a quiet shard (too few events to trigger the inline
+// size flush) still becomes visible within about one interval — and
+// refreshes the coarse clock.
+func (f *Framework) flushLoop() {
+	defer close(f.flushDone)
+	t := time.NewTicker(f.wbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.flushStop:
+			return
+		case <-t.C:
+			f.coarseNow.Store(f.now().UnixNano())
+			f.tracker.FlushWriteBack()
+		}
+	}
+}
+
+// hotNow is the serving paths' clock: the coarse cached reading while
+// buffering is active, the real clock otherwise. Challenge issuance always
+// uses the real clock (the issuer owns its own reading); everything
+// downstream of scoring and verification tolerates interval-bounded
+// staleness by construction.
+func (f *Framework) hotNow() time.Time {
+	if f.wbSize > 0 && !f.closed.Load() {
+		return time.Unix(0, f.coarseNow.Load())
+	}
+	return f.now()
+}
+
+// Close stops the evidence flush loop and drains the tracker's write-back
+// buffers. Idempotent, always nil. Frameworks built without
+// WithEvidenceBuffer have nothing to stop, but closing them is still
+// correct — the control plane closes every pipeline it replaces without
+// caring how it was configured. After Close the buffered write paths
+// degrade to synchronous tracker writes, so a request racing a
+// control-plane rebuild cannot strand its evidence in a buffer nobody will
+// flush (an event appended concurrently with the final drain may wait for
+// the shard's next inline size-triggered flush; it is never lost).
+func (f *Framework) Close() error {
+	f.closeOnce.Do(func() {
+		f.closed.Store(true)
+		if f.flushStop != nil {
+			close(f.flushStop)
+			<-f.flushDone
+		}
+		if f.tracker != nil {
+			f.tracker.FlushWriteBack()
+		}
+	})
+	return nil
+}
+
+// buffered reports whether tracker writes should go through the write-back
+// buffers right now.
+func (f *Framework) buffered() bool { return f.wbSize > 0 && !f.closed.Load() }
+
+// recordVerify routes one piece of verification evidence into the tracker:
+// through the write-back buffer when enabled, synchronously otherwise.
+func (f *Framework) recordVerify(ip string, difficulty int, ok bool, at time.Time) {
+	if f.tracker == nil || ip == "" {
+		return
+	}
+	if f.buffered() {
+		f.tracker.RecordVerifyBuffered(ip, difficulty, ok, at, f.wbSize)
+		return
+	}
+	f.tracker.RecordVerify(ip, difficulty, ok, at)
 }
 
 // SwapOption describes one change to the swappable configuration; pass a
@@ -449,7 +601,7 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	snap := f.snap.Load()
 	dec := Decision{IP: req.IP}
 
-	score, conf, err := snap.score(req.IP, f.now())
+	score, conf, err := snap.score(req.IP, f.hotNow())
 	if err != nil {
 		// Fail closed: an unscorable client is treated as configured,
 		// default maximally suspicious — at full confidence, so a
@@ -523,11 +675,13 @@ func (s *snapshot) score(ip string, now time.Time) (float64, float64, error) {
 // are allocation-free for tracked IPs; without a tracker Verify behaves
 // exactly as before.
 func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
-	if err := f.verifier.Verify(sol, binding); err != nil {
+	// One clock read serves both the cryptographic freshness checks and the
+	// evidence timestamp — the second time.Now this path used to pay was
+	// pure evidence-side overhead.
+	now := f.hotNow()
+	if err := f.verifier.VerifyAt(&sol, binding, now); err != nil {
 		f.cRejected.Inc()
-		if f.tracker != nil {
-			f.tracker.RecordVerify(binding, 0, false, f.now())
-		}
+		f.recordVerify(binding, 0, false, now)
 		return err
 	}
 	f.cVerified.Inc()
@@ -535,9 +689,7 @@ func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
 	if d >= 0 && d < len(f.diffVerified) {
 		f.diffVerified[d].Add(1)
 	}
-	if f.tracker != nil {
-		f.tracker.RecordVerify(binding, d, true, f.now())
-	}
+	f.recordVerify(binding, d, true, now)
 	return nil
 }
 
@@ -554,7 +706,7 @@ func (f *Framework) RecordVerifyEvidence(ip string, difficulty int, ok bool) {
 	if !ok {
 		difficulty = 0
 	}
-	f.tracker.RecordVerify(ip, difficulty, ok, f.now())
+	f.recordVerify(ip, difficulty, ok, f.hotNow())
 }
 
 // DifficultyProfileInto copies the cumulative per-difficulty counters into
@@ -577,6 +729,9 @@ func (f *Framework) DifficultyProfileInto(issued, verified []uint64) {
 func (f *Framework) Observe(req features.RequestInfo) error {
 	if f.tracker == nil {
 		return nil
+	}
+	if f.buffered() {
+		return f.tracker.ObserveBuffered(req, f.wbSize)
 	}
 	return f.tracker.Observe(req)
 }

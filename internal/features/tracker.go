@@ -112,6 +112,11 @@ type Tracker struct {
 	maxPaths  int
 	shardsOpt int
 	halfLife  time.Duration // solve-credit decay half-life
+	staleness time.Duration // summary cache tolerance (0 = always fresh)
+
+	// wb is the per-shard write-back buffer plane (one buffer per lock
+	// stripe, same index as shards), used by the *Buffered record paths.
+	wb []wbShard
 
 	// layouts caches the behavioral attrs' slots per schema seen on the
 	// vector fast path (keyed by schema pointer identity). The slice is
@@ -172,6 +177,20 @@ type ipEntry struct {
 	solveCredit float64
 	creditAt    time.Time
 	failStreak  uint64
+
+	// Summary cache (WithSummaryStaleness): the last computed behavior
+	// summary, the time it was computed, and the evidence generation it
+	// reflects. A summarize call may serve the cached value while it is
+	// younger than the tracker's staleness bound and no verification
+	// evidence has landed since (evGen unchanged) — observations alone do
+	// not invalidate, that is exactly the tolerated staleness. evGen is
+	// bumped by every applied verification outcome so redemption-relevant
+	// changes are visible immediately.
+	evGen    uint64
+	sumGen   uint64
+	sumAt    time.Time
+	sumValid bool
+	sum      behaviorSummary
 }
 
 // TrackerOption customizes a Tracker.
@@ -198,6 +217,18 @@ func WithMaxPaths(n int) TrackerOption {
 // half-life without fresh solves an IP's accumulated credit is halved.
 func WithEvidenceHalfLife(d time.Duration) TrackerOption {
 	return func(t *Tracker) { t.halfLife = d }
+}
+
+// WithSummaryStaleness lets summarize serve a cached behavior summary up
+// to d old, provided no verification evidence landed since it was computed
+// (evidence invalidates immediately; plain observations do not). The
+// half-life and window math tolerate sub-millisecond staleness — the decay
+// factor across 1 ms of a 5 m half-life is 1-2.3e-6 — so a steady-state
+// scoring path can skip the window sums, path-entropy, and Exp2 work on
+// cache hits. Zero (the default) disables the cache: every summary is
+// computed fresh at the caller's clock.
+func WithSummaryStaleness(d time.Duration) TrackerOption {
+	return func(t *Tracker) { t.staleness = d }
 }
 
 // WithShards sets the lock-stripe count, rounded up to a power of two and
@@ -236,6 +267,9 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	if t.shardsOpt < 0 {
 		return nil, fmt.Errorf("features: shard count must be non-negative, got %d", t.shardsOpt)
 	}
+	if t.staleness < 0 {
+		return nil, fmt.Errorf("features: summary staleness must be non-negative, got %v", t.staleness)
+	}
 	shards := t.shardsOpt
 	if shards == 0 {
 		shards = defaultShardCount(t.capacity)
@@ -268,6 +302,7 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 			t.shards[i].cap++
 		}
 	}
+	t.wb = make([]wbShard, shards)
 	return t, nil
 }
 
@@ -294,9 +329,10 @@ func ceilPow2(n int) int {
 	return p
 }
 
-// shard picks the lock stripe for ip by FNV-1a hash, keyed with the
-// per-tracker seed.
-func (t *Tracker) shard(ip string) *trackerShard {
+// shardIdx picks the lock-stripe index for ip by FNV-1a hash, keyed with
+// the per-tracker seed. The write-back buffer plane shares the index, so a
+// buffered event's flush touches exactly the shard that owns its entry.
+func (t *Tracker) shardIdx(ip string) uint32 {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
@@ -306,7 +342,12 @@ func (t *Tracker) shard(ip string) *trackerShard {
 		h ^= uint32(ip[i])
 		h *= prime32
 	}
-	return &t.shards[h&t.shardMask]
+	return h & t.shardMask
+}
+
+// shard picks the lock stripe for ip.
+func (t *Tracker) shard(ip string) *trackerShard {
+	return &t.shards[t.shardIdx(ip)]
 }
 
 // Shards reports the lock-stripe count in use.
@@ -317,6 +358,10 @@ func (t *Tracker) Capacity() int { return t.capacity }
 
 // EvidenceHalfLife reports the solve-credit decay half-life.
 func (t *Tracker) EvidenceHalfLife() time.Duration { return t.halfLife }
+
+// SummaryStaleness reports the summary-cache staleness bound (zero:
+// caching disabled).
+func (t *Tracker) SummaryStaleness() time.Duration { return t.staleness }
 
 // Observe folds one request into the tracker.
 func (t *Tracker) Observe(req RequestInfo) error {
@@ -331,9 +376,15 @@ func (t *Tracker) Observe(req RequestInfo) error {
 	if err != nil {
 		return err
 	}
+	t.observeLocked(e, req.Path, req.At, req.Failed)
+	return nil
+}
 
+// observeLocked folds one request into an entry. Callers hold the entry's
+// shard lock.
+func (t *Tracker) observeLocked(e *ipEntry, path string, at time.Time, failed bool) {
 	if !e.lastSeen.IsZero() {
-		gapMS := float64(req.At.Sub(e.lastSeen)) / float64(time.Millisecond)
+		gapMS := float64(at.Sub(e.lastSeen)) / float64(time.Millisecond)
 		if gapMS < 0 {
 			gapMS = 0
 		}
@@ -344,19 +395,18 @@ func (t *Tracker) Observe(req RequestInfo) error {
 			e.interArrival = alpha*gapMS + (1-alpha)*e.interArrival
 		}
 	}
-	e.lastSeen = req.At
+	e.lastSeen = at
 	e.total++
-	e.requests.Add(req.At, 1)
-	if req.Failed {
-		e.failures.Add(req.At, 1)
+	e.requests.Add(at, 1)
+	if failed {
+		e.failures.Add(at, 1)
 		e.totalFailed++
 	}
-	if _, known := e.paths[req.Path]; known || len(e.paths) < t.maxPaths {
-		e.paths[req.Path]++
+	if _, known := e.paths[path]; known || len(e.paths) < t.maxPaths {
+		e.paths[path]++
 	} else {
 		e.overflowHits++
 	}
-	return nil
 }
 
 // entryLocked returns the shard's entry for ip, creating (and, beyond the
@@ -407,6 +457,13 @@ func (t *Tracker) RecordVerify(ip string, difficulty int, ok bool, at time.Time)
 	if err != nil {
 		return // unreachable: window config was validated at construction
 	}
+	t.recordVerifyLocked(e, difficulty, ok, at)
+}
+
+// recordVerifyLocked folds one verification outcome into an entry and bumps
+// its evidence generation (invalidating any cached summary — redemption
+// changes are visible immediately). Callers hold the entry's shard lock.
+func (t *Tracker) recordVerifyLocked(e *ipEntry, difficulty int, ok bool, at time.Time) {
 	e.solveCredit = decayCredit(e.solveCredit, e.creditAt, at, t.halfLife)
 	e.creditAt = at
 	if ok {
@@ -415,6 +472,7 @@ func (t *Tracker) RecordVerify(ip string, difficulty int, ok bool, at time.Time)
 	} else {
 		e.failStreak++
 	}
+	e.evGen++
 }
 
 // decayCredit applies the exponential half-life decay from the credit's
@@ -446,6 +504,21 @@ func (t *Tracker) summarize(ip string, now time.Time) (behaviorSummary, bool) {
 	if !ok {
 		return s, false
 	}
+	return t.summarizeLocked(e, now), true
+}
+
+// summarizeLocked computes (or, within the staleness bound, serves the
+// cached) behavior summary for an entry. Callers hold the entry's shard
+// lock. A cache hit requires an unchanged evidence generation and an age in
+// [0, staleness]; negative ages (a clock stepping backwards) recompute, the
+// conservative choice.
+func (t *Tracker) summarizeLocked(e *ipEntry, now time.Time) behaviorSummary {
+	if t.staleness > 0 && e.sumValid && e.sumGen == e.evGen {
+		if age := now.Sub(e.sumAt); age >= 0 && age <= t.staleness {
+			return e.sum
+		}
+	}
+	var s behaviorSummary
 	reqs := e.requests.Sum(now)
 	s[0] = e.requests.Rate(now)
 	if reqs > 0 {
@@ -460,7 +533,10 @@ func (t *Tracker) summarize(ip string, now time.Time) (behaviorSummary, bool) {
 	if e.total > 0 {
 		s[8] = float64(e.totalFailed) / float64(e.total)
 	}
-	return s, true
+	if t.staleness > 0 {
+		e.sum, e.sumAt, e.sumGen, e.sumValid = s, now, e.evGen, true
+	}
+	return s
 }
 
 // Attributes summarizes the IP's tracked behavior at time now. Unknown IPs

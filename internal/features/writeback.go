@@ -1,0 +1,181 @@
+package features
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Write-back event kinds. Observations and verification evidence share one
+// buffer per shard so a single flush replays an IP's events in exactly the
+// order they arrived.
+const (
+	wbObserve = iota
+	wbObserveFailed
+	wbVerifyOK
+	wbVerifyFail
+)
+
+// wbEvent is one deferred tracker mutation. It carries its capture-time
+// timestamp, so deferring the apply delays only *visibility* — the EWMA,
+// window, and half-life math all run on the original clock reading and
+// produce exactly the state a synchronous call would have.
+type wbEvent struct {
+	ip         string
+	path       string
+	at         time.Time
+	kind       uint8
+	difficulty int32
+}
+
+// wbShard is one shard's write-back buffer: a tiny mutex guarding an
+// append slice, double-buffered so a flush never holds the buffer lock
+// while it replays events under the shard lock. The lock order is always
+// buffer → shard, never the reverse.
+type wbShard struct {
+	mu     sync.Mutex
+	events []wbEvent
+	spare  []wbEvent
+	_      [32]byte
+}
+
+// appendWB queues ev on shard i's buffer; when the buffer reaches limit it
+// is flushed inline, so limit bounds both the buffer's memory and how many
+// events visibility can lag by (the time dimension is bounded by whoever
+// calls FlushWriteBack periodically). limit < 1 degrades to a synchronous
+// apply.
+func (t *Tracker) appendWB(i uint32, ev wbEvent, limit int) {
+	b := &t.wb[i]
+	b.mu.Lock()
+	b.events = append(b.events, ev)
+	if len(b.events) < limit {
+		b.mu.Unlock()
+		return
+	}
+	evs := b.events
+	b.events = b.spare[:0]
+	b.spare = nil
+	b.mu.Unlock()
+	t.applyWB(i, evs)
+	b.mu.Lock()
+	if b.spare == nil {
+		b.spare = evs[:0]
+	}
+	b.mu.Unlock()
+}
+
+// applyWB replays a drained event slice into shard i under its lock, taken
+// once for the whole slice. Consecutive events for one IP (the common case
+// in a flush: a client's observe/verify pairs land adjacently) reuse the
+// entry lookup.
+func (t *Tracker) applyWB(i uint32, evs []wbEvent) {
+	if len(evs) == 0 {
+		return
+	}
+	sh := &t.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var e *ipEntry
+	lastIP := ""
+	for k := range evs {
+		ev := &evs[k]
+		if e == nil || ev.ip != lastIP {
+			var err error
+			e, err = t.entryLocked(sh, ev.ip)
+			if err != nil {
+				continue // unreachable: window config validated at construction
+			}
+			lastIP = ev.ip
+		}
+		switch ev.kind {
+		case wbObserve:
+			t.observeLocked(e, ev.path, ev.at, false)
+		case wbObserveFailed:
+			t.observeLocked(e, ev.path, ev.at, true)
+		case wbVerifyOK:
+			t.recordVerifyLocked(e, int(ev.difficulty), true, ev.at)
+		case wbVerifyFail:
+			t.recordVerifyLocked(e, 0, false, ev.at)
+		}
+	}
+}
+
+// ObserveBuffered is Observe through the write-back buffer: the request is
+// validated and queued at ~append cost, and folded into the entry at the
+// next flush (inline once the shard's buffer holds limit events, or when
+// FlushWriteBack runs). The event carries req.At, so the applied state is
+// identical to a synchronous Observe — only its visibility to summarize
+// lags, bounded by limit and the caller's flush interval.
+func (t *Tracker) ObserveBuffered(req RequestInfo, limit int) error {
+	if req.IP == "" {
+		return fmt.Errorf("features: request without IP")
+	}
+	if limit < 2 {
+		return t.Observe(req)
+	}
+	kind := uint8(wbObserve)
+	if req.Failed {
+		kind = wbObserveFailed
+	}
+	t.appendWB(t.shardIdx(req.IP), wbEvent{
+		ip:   req.IP,
+		path: req.Path,
+		at:   req.At,
+		kind: kind,
+	}, limit)
+	return nil
+}
+
+// RecordVerifyBuffered is RecordVerify through the write-back buffer, with
+// the same deferred-visibility contract as ObserveBuffered.
+func (t *Tracker) RecordVerifyBuffered(ip string, difficulty int, ok bool, at time.Time, limit int) {
+	if ip == "" {
+		return
+	}
+	if limit < 2 {
+		t.RecordVerify(ip, difficulty, ok, at)
+		return
+	}
+	ev := wbEvent{ip: ip, at: at, kind: wbVerifyFail}
+	if ok {
+		ev.kind, ev.difficulty = wbVerifyOK, int32(difficulty)
+	}
+	t.appendWB(t.shardIdx(ip), ev, limit)
+}
+
+// FlushWriteBack drains every shard's write-back buffer into its entries.
+// Periodic callers (core's evidence flush loop) bound the staleness of
+// buffered events in time; the per-shard limit bounds it in count.
+func (t *Tracker) FlushWriteBack() {
+	for i := range t.wb {
+		b := &t.wb[i]
+		b.mu.Lock()
+		if len(b.events) == 0 {
+			b.mu.Unlock()
+			continue
+		}
+		evs := b.events
+		b.events = b.spare[:0]
+		b.spare = nil
+		b.mu.Unlock()
+		t.applyWB(uint32(i), evs)
+		b.mu.Lock()
+		if b.spare == nil {
+			b.spare = evs[:0]
+		}
+		b.mu.Unlock()
+	}
+}
+
+// PendingWriteBack reports how many buffered events await a flush, summed
+// across shards (tests and flush-loop instrumentation).
+func (t *Tracker) PendingWriteBack() int {
+	total := 0
+	for i := range t.wb {
+		b := &t.wb[i]
+		b.mu.Lock()
+		total += len(b.events)
+		b.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package puzzle
+
+import (
+	"bytes"
+	"crypto/subtle"
+	"sync"
+)
+
+// AuthCache is a fixed-size memo of authenticated challenges shared between
+// a co-located Issuer and Verifier (the common single-process deployment,
+// and the one core.Framework always builds). Every entry is a
+// (canonical bytes, tag) pair that either the issuer produced under its own
+// key or the verifier has already authenticated with a full HMAC check, so
+// a presented challenge that is byte-identical to an entry is authentic by
+// construction — the verifier can skip recomputing the HMAC and check
+// equality instead. Anything else (a cache miss, a colliding slot, a
+// binding too long for the inline buffer) falls back to the full HMAC
+// path, so the cache changes verification cost, never its outcome.
+//
+// The cache holds no secrets: canonical bytes and tags are exactly what
+// clients receive in their challenges. The tag comparison is still
+// constant-time out of hygiene, though a mismatch only ever compares a
+// presented tag against an authentic tag the presenter does not hold.
+//
+// Slots are indexed by challenge seed. Seeds come from crypto/rand, so the
+// index bits are uniform and an attacker cannot aim evictions; eviction is
+// in any case only a performance event, never a correctness one.
+//
+// AuthCache is safe for concurrent use; each slot carries its own mutex,
+// held only for a bounded copy or compare.
+type AuthCache struct {
+	slots []authSlot
+}
+
+const (
+	// authCacheSlots is the fixed slot count (power of two). At ~200 B per
+	// slot the whole cache stays under half a megabyte while giving an
+	// issued challenge a 1/2048 chance per subsequent issuance of losing
+	// its slot before redemption.
+	authCacheSlots = 2048
+
+	// authCacheMaxCanonical bounds the inline canonical buffer. It covers
+	// every binding up to 99 bytes (an IPv6 literal is at most 45);
+	// longer canonicals simply never enter the cache.
+	authCacheMaxCanonical = 160
+)
+
+type authSlot struct {
+	mu  sync.Mutex
+	n   uint16
+	tag [TagSize]byte
+	buf [authCacheMaxCanonical]byte
+}
+
+// NewAuthCache returns an empty cache ready to be shared between an Issuer
+// (via WithIssuerAuthCache) and a Verifier (via WithVerifierAuthCache).
+func NewAuthCache() *AuthCache {
+	return &AuthCache{slots: make([]authSlot, authCacheSlots)}
+}
+
+// slotFor maps a seed to its slot. Seed bytes are uniform, so two of them
+// index the table directly.
+func (c *AuthCache) slotFor(seed *[SeedSize]byte) *authSlot {
+	idx := (uint32(seed[0]) | uint32(seed[1])<<8) & (authCacheSlots - 1)
+	return &c.slots[idx]
+}
+
+// store records an authenticated (canonical, tag) pair. The caller attests
+// authenticity: the issuer calls it with tags it just computed, the
+// verifier only after hmac.Equal has passed.
+func (c *AuthCache) store(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]byte) {
+	if len(canonical) > authCacheMaxCanonical {
+		return
+	}
+	s := c.slotFor(seed)
+	s.mu.Lock()
+	s.n = uint16(len(canonical))
+	copy(s.buf[:], canonical)
+	s.tag = *tag
+	s.mu.Unlock()
+}
+
+// match reports whether (canonical, tag) is byte-identical to the cached
+// authenticated pair in the seed's slot. A false return says nothing about
+// authenticity — the caller must run the full HMAC check.
+func (c *AuthCache) match(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]byte) bool {
+	if len(canonical) > authCacheMaxCanonical {
+		return false
+	}
+	s := c.slotFor(seed)
+	s.mu.Lock()
+	ok := int(s.n) == len(canonical) &&
+		bytes.Equal(s.buf[:s.n], canonical) &&
+		subtle.ConstantTimeCompare(s.tag[:], tag[:]) == 1
+	s.mu.Unlock()
+	return ok
+}

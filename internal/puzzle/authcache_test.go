@@ -1,0 +1,174 @@
+package puzzle
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// authCachePair returns an issuer and verifier sharing one AuthCache, the
+// wiring core.Framework uses in-process.
+func authCachePair(t *testing.T, opts ...IssuerOption) (*Issuer, *Verifier, *AuthCache) {
+	t.Helper()
+	key := []byte("0123456789abcdef0123456789abcdef")
+	cache := NewAuthCache()
+	iss, err := NewIssuer(key, append([]IssuerOption{WithIssuerAuthCache(cache)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := NewVerifier(key, WithVerifierAuthCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return iss, ver, cache
+}
+
+// TestAuthCacheHitVerifies pins the happy path: an issued challenge's
+// solution verifies through the shared cache (the HMAC-free path), with
+// the same outcome the uncached verifier produces.
+func TestAuthCacheHitVerifies(t *testing.T) {
+	iss, ver, cache := authCachePair(t)
+	ch, err := iss.Issue("203.0.113.1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cache.match(ch.appendCanonical(nil), &ch.Tag, &ch.Seed) {
+		t.Fatal("issued challenge not published into the cache")
+	}
+	sol, _, err := NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Verify(sol, "203.0.113.1"); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+// TestAuthCacheTamperedSiblingRejected is the security property: a forged
+// challenge whose seed points at a slot holding its authentic sibling must
+// still be rejected — the cache matches whole canonicals, and a miss falls
+// back to the full HMAC check, which a forgery cannot pass.
+func TestAuthCacheTamperedSiblingRejected(t *testing.T) {
+	iss, ver, _ := authCachePair(t)
+	ch, err := iss.Issue("203.0.113.2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tamper := []struct {
+		name string
+		mut  func(*Solution)
+	}{
+		// Same seed — so the forgery lands on the authentic entry's slot —
+		// with one field the attacker would like to rewrite.
+		{"difficulty", func(s *Solution) { s.Challenge.Difficulty = 1 }},
+		{"ttl", func(s *Solution) { s.Challenge.TTL *= 100 }},
+		{"binding", func(s *Solution) { s.Challenge.Binding = "198.51.100.9" }},
+		{"tag", func(s *Solution) { s.Challenge.Tag[3] ^= 0x01 }},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			forged := sol
+			tc.mut(&forged)
+			binding := forged.Challenge.Binding
+			if err := ver.Verify(forged, binding); !errors.Is(err, ErrBadTag) {
+				t.Errorf("forged %s verified: err=%v, want ErrBadTag", tc.name, err)
+			}
+		})
+	}
+	// The authentic solution still passes after the forgery attempts.
+	if err := ver.Verify(sol, "203.0.113.2"); err != nil {
+		t.Fatalf("authentic solution rejected after tamper probes: %v", err)
+	}
+}
+
+// TestAuthCacheColdFallback pins the miss path: a verifier whose cache
+// never saw the challenge (cold cache, evicted slot, separate process)
+// authenticates through the full HMAC check with identical outcomes.
+func TestAuthCacheColdFallback(t *testing.T) {
+	key := []byte("0123456789abcdef0123456789abcdef")
+	iss, err := NewIssuer(key) // no cache: nothing published
+	if err != nil {
+		t.Fatal(err)
+	}
+	ver, err := NewVerifier(key, WithVerifierAuthCache(NewAuthCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := iss.Issue("203.0.113.3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Verify(sol, "203.0.113.3"); err != nil {
+		t.Fatalf("cold-cache Verify: %v", err)
+	}
+	forged := sol
+	forged.Challenge.Tag[0] ^= 0xFF
+	if err := ver.Verify(forged, "203.0.113.3"); !errors.Is(err, ErrBadTag) {
+		t.Errorf("cold-cache forgery: err=%v, want ErrBadTag", err)
+	}
+}
+
+// TestAuthCacheVerifyRefreshes pins the steady-state property the hot
+// path's economics depend on: a successful full verify re-publishes the
+// entry, so a challenge that survived eviction repopulates its slot.
+func TestAuthCacheVerifyRefreshes(t *testing.T) {
+	iss, ver, cache := authCachePair(t)
+	ch, err := iss.Issue("203.0.113.4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evict by storing junk in the challenge's slot.
+	junk := []byte("not the canonical")
+	var junkTag [TagSize]byte
+	cache.store(junk, &junkTag, &ch.Seed)
+	canonical := ch.appendCanonical(nil)
+	if cache.match(canonical, &ch.Tag, &ch.Seed) {
+		t.Fatal("entry still cached after eviction overwrite")
+	}
+	sol, _, err := NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Verify(sol, "203.0.113.4"); err != nil {
+		t.Fatalf("Verify after eviction: %v", err)
+	}
+	if !cache.match(canonical, &ch.Tag, &ch.Seed) {
+		t.Error("successful verify did not refresh the evicted entry")
+	}
+}
+
+// TestAuthCacheLongBindingSkipped pins the inline-buffer bound: a
+// canonical too long for a slot is never stored, and verification still
+// works through the fallback.
+func TestAuthCacheLongBindingSkipped(t *testing.T) {
+	iss, ver, cache := authCachePair(t)
+	long := strings.Repeat("x", 120) // canonical exceeds authCacheMaxCanonical
+	ch, err := iss.Issue(long, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical := ch.appendCanonical(nil)
+	if len(canonical) <= authCacheMaxCanonical {
+		t.Fatalf("test binding too short: canonical is %d bytes", len(canonical))
+	}
+	if cache.match(canonical, &ch.Tag, &ch.Seed) {
+		t.Error("oversized canonical entered the cache")
+	}
+	sol, _, err := NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Verify(sol, long); err != nil {
+		t.Fatalf("Verify with oversized canonical: %v", err)
+	}
+}

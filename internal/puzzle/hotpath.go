@@ -14,10 +14,11 @@ import (
 // Pooling this state removes the hmac.New + buffer allocations that
 // otherwise dominate B/op on Issue and Verify.
 type macScratch struct {
-	mac  hash.Hash
-	buf  []byte
-	sum  []byte
-	seed [SeedSize]byte
+	mac   hash.Hash
+	buf   []byte
+	sum   []byte
+	seed  [SeedSize]byte
+	seeds []byte // batch issuance entropy, read one syscall per chunk
 }
 
 // macPool pools macScratch values keyed to one HMAC key.
@@ -48,6 +49,13 @@ func (p *macPool) put(s *macScratch) { p.pool.Put(s) }
 // verifier appends the nonce to them to check the solution digest).
 func (s *macScratch) tagOf(ch *Challenge) [TagSize]byte {
 	s.buf = ch.appendCanonical(s.buf[:0])
+	return s.sumCanonical()
+}
+
+// sumCanonical computes the HMAC-SHA256 tag over the canonical bytes
+// already sitting in s.buf (callers that built the canonical form for an
+// AuthCache probe reuse it as the MAC input on a miss).
+func (s *macScratch) sumCanonical() [TagSize]byte {
 	s.mac.Reset()
 	s.mac.Write(s.buf)
 	s.sum = s.mac.Sum(s.sum[:0])

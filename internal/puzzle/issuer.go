@@ -28,6 +28,7 @@ type Issuer struct {
 	ttl           time.Duration
 	maxDifficulty int
 	macs          *macPool
+	cache         *AuthCache
 }
 
 // IssuerOption customizes an Issuer.
@@ -55,6 +56,14 @@ func WithTTL(ttl time.Duration) IssuerOption {
 // legitimately ask for exceeds it.
 func WithIssuerMaxDifficulty(d int) IssuerOption {
 	return func(i *Issuer) { i.maxDifficulty = d }
+}
+
+// WithIssuerAuthCache publishes every issued challenge into c, so a
+// Verifier sharing the same cache (WithVerifierAuthCache) authenticates it
+// by equality instead of recomputing the HMAC. Only useful when issuer and
+// verifier live in one process; core.Framework wires this automatically.
+func WithIssuerAuthCache(c *AuthCache) IssuerOption {
+	return func(i *Issuer) { i.cache = c }
 }
 
 // NewIssuer returns an Issuer that signs challenges with key. The key must
@@ -112,6 +121,94 @@ func (i *Issuer) Issue(binding string, difficulty int) (Challenge, error) {
 	}
 	ch.Seed = s.seed
 	ch.Tag = s.tagOf(&ch)
+	if i.cache != nil {
+		i.cache.store(s.buf, &ch.Tag, &ch.Seed)
+	}
 	i.macs.put(s)
 	return ch, nil
+}
+
+// maxIssueChunk bounds how many seeds IssueBatch reads per entropy call
+// (1 KiB of scratch), so arbitrarily large batches cannot inflate the
+// pooled buffer.
+const maxIssueChunk = 64
+
+// IssueBatch issues one challenge per (binding, difficulty) pair into
+// dst[i], amortizing the clock read, the pooled MAC scratch checkout, and —
+// the dominant saving — the entropy reads: seeds are drawn one
+// crypto/rand call per chunk of up to maxIssueChunk challenges instead of
+// one per challenge. A negative difficulty is the caller's "no challenge
+// here" sentinel (a bypassed slot in a decision batch) and leaves dst[i]
+// zero. The whole batch is validated before any entropy is consumed, so an
+// error means dst holds no fresh challenges.
+func (i *Issuer) IssueBatch(bindings []string, difficulties []int, dst []Challenge) error {
+	if len(difficulties) != len(bindings) {
+		return fmt.Errorf("puzzle: batch shape mismatch: %d bindings, %d difficulties",
+			len(bindings), len(difficulties))
+	}
+	if len(dst) < len(bindings) {
+		return fmt.Errorf("puzzle: batch destination holds %d, need %d", len(dst), len(bindings))
+	}
+	for k, d := range difficulties {
+		if d < 0 {
+			continue
+		}
+		if err := validateDifficulty(d); err != nil {
+			return err
+		}
+		if d > i.maxDifficulty {
+			return fmt.Errorf("%w: %d exceeds issuer cap %d", ErrInvalidDifficulty, d, i.maxDifficulty)
+		}
+		if len(bindings[k]) > maxBindingLen {
+			return ErrBindingTooLong
+		}
+	}
+	now := i.now()
+	s := i.macs.get()
+	defer i.macs.put(s)
+	for start := 0; start < len(bindings); {
+		end := min(start+maxIssueChunk, len(bindings))
+		n := 0
+		for k := start; k < end; k++ {
+			if difficulties[k] >= 0 {
+				n++
+			}
+		}
+		if n > 0 {
+			if cap(s.seeds) < n*SeedSize {
+				s.seeds = make([]byte, n*SeedSize)
+			}
+			buf := s.seeds[:n*SeedSize]
+			if _, err := io.ReadFull(i.rand, buf); err != nil {
+				return fmt.Errorf("puzzle: read seed entropy: %w", err)
+			}
+			si := 0
+			for k := start; k < end; k++ {
+				if difficulties[k] < 0 {
+					dst[k] = Challenge{}
+					continue
+				}
+				ch := Challenge{
+					Version:    Version1,
+					IssuedAt:   now,
+					TTL:        i.ttl,
+					Difficulty: difficulties[k],
+					Binding:    bindings[k],
+				}
+				copy(ch.Seed[:], buf[si*SeedSize:(si+1)*SeedSize])
+				si++
+				ch.Tag = s.tagOf(&ch)
+				if i.cache != nil {
+					i.cache.store(s.buf, &ch.Tag, &ch.Seed)
+				}
+				dst[k] = ch
+			}
+		} else {
+			for k := start; k < end; k++ {
+				dst[k] = Challenge{}
+			}
+		}
+		start = end
+	}
+	return nil
 }

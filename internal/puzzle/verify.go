@@ -19,6 +19,7 @@ type Verifier struct {
 	replay *ReplayCache
 	skew   time.Duration
 	macs   *macPool
+	cache  *AuthCache
 }
 
 // VerifierOption customizes a Verifier.
@@ -39,6 +40,17 @@ func WithReplayCache(c *ReplayCache) VerifierOption {
 // (relevant when they are separate processes). Defaults to 2 s.
 func WithClockSkew(skew time.Duration) VerifierOption {
 	return func(v *Verifier) { v.skew = skew }
+}
+
+// WithVerifierAuthCache authenticates challenges that are byte-identical
+// to an entry of c — a challenge the sharing issuer produced or this
+// verifier already HMAC-checked — by equality instead of an HMAC
+// recomputation. A miss always falls back to the full HMAC check, so the
+// cache affects cost, never outcomes. core.Framework wires this
+// automatically; standalone verifiers (separate process from the issuer)
+// gain little beyond repeat presentations.
+func WithVerifierAuthCache(c *AuthCache) VerifierOption {
+	return func(v *Verifier) { v.cache = c }
 }
 
 // NewVerifier returns a Verifier holding the issuer's HMAC key.
@@ -66,7 +78,17 @@ func NewVerifier(key []byte, opts ...VerifierOption) (*Verifier, error) {
 // skips the binding check (for callers that have already authenticated the
 // presenter). All failures wrap ErrVerify plus a specific sentinel.
 func (v *Verifier) Verify(sol Solution, binding string) error {
-	ch := sol.Challenge
+	return v.VerifyAt(&sol, binding, v.now())
+}
+
+// VerifyAt is Verify against a caller-captured clock reading. Callers that
+// verify a batch (or have already read the clock for evidence write-back)
+// use it to pay for one time.Now per batch instead of one per solution;
+// now must come from the same clock the verifier was built with. The
+// solution is taken by pointer purely to spare the hot path two
+// ~150-byte struct copies; it is never modified.
+func (v *Verifier) VerifyAt(sol *Solution, binding string, now time.Time) error {
+	ch := &sol.Challenge
 	if ch.Version != Version1 {
 		return fmt.Errorf("%w: %w: got %d", ErrVerify, ErrBadVersion, ch.Version)
 	}
@@ -76,12 +98,21 @@ func (v *Verifier) Verify(sol Solution, binding string) error {
 
 	// Authenticate before trusting any field. The pooled scratch computes
 	// the tag without allocating and keeps the canonical bytes around so
-	// the solution digest below reuses them as its preimage prefix.
+	// the solution digest below reuses them as its preimage prefix. A
+	// challenge byte-identical to an AuthCache entry is authentic without
+	// the HMAC: the cache only ever holds pairs the co-located issuer
+	// produced or this verifier already checked.
 	s := v.macs.get()
 	defer v.macs.put(s)
-	tag := s.tagOf(&ch)
-	if !hmac.Equal(tag[:], ch.Tag[:]) {
-		return fmt.Errorf("%w: %w", ErrVerify, ErrBadTag)
+	s.buf = ch.appendCanonical(s.buf[:0])
+	if v.cache == nil || !v.cache.match(s.buf, &ch.Tag, &ch.Seed) {
+		tag := s.sumCanonical()
+		if !hmac.Equal(tag[:], ch.Tag[:]) {
+			return fmt.Errorf("%w: %w", ErrVerify, ErrBadTag)
+		}
+		if v.cache != nil {
+			v.cache.store(s.buf, &ch.Tag, &ch.Seed)
+		}
 	}
 
 	if binding != "" && binding != ch.Binding {
@@ -89,7 +120,6 @@ func (v *Verifier) Verify(sol Solution, binding string) error {
 			ErrVerify, ErrBindingMismatch, ch.Binding, binding)
 	}
 
-	now := v.now()
 	if ch.IssuedAt.After(now.Add(v.skew)) {
 		return fmt.Errorf("%w: %w: issued %v ahead of verifier clock",
 			ErrVerify, ErrNotYetValid, ch.IssuedAt.Sub(now))

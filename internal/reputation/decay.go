@@ -2,6 +2,8 @@ package reputation
 
 import (
 	"fmt"
+	"math"
+	"sync/atomic"
 
 	"aipow/internal/features"
 )
@@ -107,6 +109,75 @@ type Decay struct {
 	maxFailStreak float64
 	rateTol       float64
 	iaTolMS       float64
+
+	// Precomputed gate slopes, derived from the tolerances once at
+	// construction (and therefore rebuilt into the RCU snapshot at swap
+	// time): each soft-knee gate clamp(2 - 2·x/tol) / clamp(2·x/tol - 1)
+	// reduces to one multiply-add on the hot path instead of a divide and
+	// the knee-function call.
+	failK float64 // 2 / failRatioTol
+	rateK float64 // 2 / rateTol
+	iaK   float64 // 2 / iaTolMS
+
+	// memo caches the inner scorer's verdicts keyed on the raw inner
+	// subvector. Scorers are pure (same vector → same verdict), so the
+	// cache is semantically invisible — it exists because the inner
+	// verdict (normalization plus two nearest-centroid passes) is the
+	// expensive half of a redemption-wrapped Decide, while the evidence
+	// slots that actually change between a client's requests only feed
+	// the cheap attenuation arithmetic below. Steady-state scoring of a
+	// client whose feed attributes are unchanged therefore skips the
+	// model entirely. Nil when the inner vector is too wide to key.
+	memo *innerMemo
+}
+
+// Inner-verdict memo geometry: a direct-mapped, power-of-two slot table of
+// immutable entries swapped in with atomic pointers (lock-free, race-free;
+// a lost racing store just means one extra recompute). 256 slots cover a
+// serving shard's hot client set; collisions only cost the memoized
+// speedup, never correctness.
+const (
+	memoSlots   = 256
+	memoMaxDims = 16
+)
+
+// memoEntry is one immutable cached verdict with its full key.
+type memoEntry struct {
+	n   int
+	vec [memoMaxDims]float64
+	ver features.Verdict
+}
+
+// innerMemo is the slot table. The zero value is ready to use.
+type innerMemo struct {
+	slots [memoSlots]atomic.Pointer[memoEntry]
+}
+
+// slotFor hashes the raw vector (FNV-1a over the float bit patterns) to a
+// slot. NaN keys hash fine and can never match on compare (NaN != NaN), so
+// they degrade to always-recompute instead of poisoning a slot.
+func (m *innerMemo) slotFor(v []float64) *atomic.Pointer[memoEntry] {
+	h := uint64(14695981039346656037)
+	for _, x := range v {
+		h ^= math.Float64bits(x)
+		h *= 1099511628211
+	}
+	return &m.slots[(uint32(h>>32)^uint32(h))&(memoSlots-1)]
+}
+
+// lookup returns the cached verdict for v, and the slot to fill on a miss.
+func (m *innerMemo) lookup(v []float64) (features.Verdict, *atomic.Pointer[memoEntry], bool) {
+	slot := m.slotFor(v)
+	e := slot.Load()
+	if e == nil || e.n != len(v) {
+		return features.Verdict{}, slot, false
+	}
+	for i, x := range v {
+		if e.vec[i] != x {
+			return features.Verdict{}, slot, false
+		}
+	}
+	return e.ver, slot, true
 }
 
 var (
@@ -217,6 +288,12 @@ func NewDecay(inner features.VectorScorer, opts ...DecayOption) (*Decay, error) 
 	if d.iaTolMS <= 0 {
 		return nil, fmt.Errorf("reputation: inter-arrival tolerance must be positive, got %v", d.iaTolMS)
 	}
+	d.failK = 2 / d.failRatioTol
+	d.rateK = 2 / d.rateTol
+	d.iaK = 2 / d.iaTolMS
+	if d.innerLen <= memoMaxDims {
+		d.memo = &innerMemo{}
+	}
 	return d, nil
 }
 
@@ -234,31 +311,22 @@ func (d *Decay) redemption(credit, failStreak, failRatio, rate, interArrival flo
 	}
 	// Fail ratio and rate: open at or below half the tolerance, closed at
 	// the tolerance. Inter-arrival: open at or above the tolerance,
-	// closed at or below half of it.
-	clean := knee(1 - failRatio/d.failRatioTol)
-	if quiet := knee(1 - rate/d.rateTol); quiet < clean {
+	// closed at or below half of it. Each gate is the precomputed-slope
+	// form of knee(·): clamp to [0, 1] of a single multiply-add.
+	clean := 2 - failRatio*d.failK
+	if quiet := 2 - rate*d.rateK; quiet < clean {
 		clean = quiet
 	}
-	if spaced := knee(interArrival/d.iaTolMS - 0.5); spaced < clean {
+	if spaced := interArrival*d.iaK - 1; spaced < clean {
 		clean = spaced
 	}
 	if clean <= 0 {
 		return 0
 	}
+	if clean > 1 {
+		clean = 1
+	}
 	return d.maxDrop * credit / (credit + d.halfCredit) * clean
-}
-
-// knee maps the open fraction x (1 = fully inside tolerance, 0 = at it)
-// onto a gate weight that saturates at 1 once x reaches 1/2.
-func knee(x float64) float64 {
-	x *= 2
-	if x <= 0 {
-		return 0
-	}
-	if x > 1 {
-		return 1
-	}
-	return x
 }
 
 // apply attenuates a verdict's score by the evidence-earned redemption.
@@ -293,18 +361,47 @@ func (d *Decay) VerdictVector(v []float64) (features.Verdict, error) {
 	}
 	credit, failStreak, failRatio := v[d.credSlot], v[d.failSlot], v[d.ratioSlot]
 	rate, interArrival := v[d.rateSlot], v[d.iaSlot]
-	var ver features.Verdict
-	var err error
-	if d.verdict != nil {
-		ver, err = d.verdict.VerdictVector(v[:d.innerLen])
-	} else {
-		ver.Confidence = 1
-		ver.Score, err = d.vec.ScoreVector(v[:d.innerLen])
-	}
+	ver, err := d.innerVerdict(v[:d.innerLen])
 	if err != nil {
 		return features.Verdict{}, err
 	}
 	return d.apply(ver, credit, failStreak, failRatio, rate, interArrival), nil
+}
+
+// innerVerdict scores the inner subvector through the memo: a hit skips
+// the model, a miss snapshots the raw key (the inner scorer uses its
+// vector as scratch) before computing and publishing the entry. Errors are
+// never cached.
+func (d *Decay) innerVerdict(v []float64) (features.Verdict, error) {
+	var slot *atomic.Pointer[memoEntry]
+	if d.memo != nil {
+		var ver features.Verdict
+		var ok bool
+		if ver, slot, ok = d.memo.lookup(v); ok {
+			return ver, nil
+		}
+	}
+	var e *memoEntry
+	if slot != nil {
+		e = &memoEntry{n: len(v)}
+		copy(e.vec[:], v)
+	}
+	var ver features.Verdict
+	var err error
+	if d.verdict != nil {
+		ver, err = d.verdict.VerdictVector(v)
+	} else {
+		ver.Confidence = 1
+		ver.Score, err = d.vec.ScoreVector(v)
+	}
+	if err != nil {
+		return features.Verdict{}, err
+	}
+	if slot != nil {
+		e.ver = ver
+		slot.Store(e)
+	}
+	return ver, nil
 }
 
 // Score implements the map-path Scorer. Evidence attributes absent from

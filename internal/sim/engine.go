@@ -167,6 +167,13 @@ type worker struct {
 	// (single-threaded points).
 	mVerified [puzzle.MaxDifficulty + 1]uint64
 	mExpired  uint64
+
+	// Batch-mode scratch, reused across runs within the worker's ticks.
+	seen   []string
+	runArr []arrival
+	runObs []features.RequestInfo
+	runReq []core.RequestContext
+	runDec []core.Decision
 }
 
 // schedule queues ev at the tick containing its event time. Scheduling
@@ -558,27 +565,72 @@ func (eng *engine) nextPending(floor int) (int, bool) {
 
 // runTick processes the worker's queue for tick t in append order. The
 // queue may grow while iterating (same-tick completions), so the loop
-// re-reads its length.
+// re-reads its length. In batch mode (Scenario.Batch) maximal runs of
+// consecutive arrivals with distinct IPs flow through the framework's
+// batch entry points; everything else — and the relative order of
+// arrivals and completions — is unchanged, so the report stays
+// byte-identical to the single-op path.
 func (w *worker) runTick(t int) {
 	for i := 0; i < len(w.future[t]); i++ {
 		ev := w.future[t][i]
 		if ev.completion {
 			w.complete(ev)
-		} else {
-			w.arrive(t, ev)
+			continue
 		}
+		if !w.eng.sc.Batch {
+			w.arrive(t, ev)
+			continue
+		}
+		// Extend the run while the next events are arrivals for IPs not
+		// yet in it. A repeated IP must break the run: in single-op order
+		// its second Decide sees its first Observe, and a batch (all
+		// observes before all decides) would leak that observation into
+		// the *first* decide. Distinct IPs only touch distinct tracker
+		// entries, so observe/decide commute across items.
+		j := i + 1
+		w.seen = append(w.seen[:0], w.future[t][i].ip)
+		for ; j < len(w.future[t]); j++ {
+			nxt := w.future[t][j]
+			if nxt.completion || w.seenIP(nxt.ip) {
+				break
+			}
+			w.seen = append(w.seen, nxt.ip)
+		}
+		if j == i+1 {
+			w.arrive(t, ev)
+		} else {
+			w.arriveBatch(t, w.future[t][i:j])
+		}
+		i = j - 1
 	}
 	delete(w.future, t)
 }
 
-// arrive runs protocol steps 1–5 for one request: observe, decide, and —
-// per the population's behavior — model (or really perform) the solve and
-// schedule the completion.
-func (w *worker) arrive(t int, ev event) {
-	eng := w.eng
-	p := &eng.sc.Populations[ev.pop]
-	o := w.out[ev.pop][ev.phase]
-	o.requests++
+// seenIP reports whether ip is already in the current run scratch.
+func (w *worker) seenIP(ip string) bool {
+	for _, s := range w.seen {
+		if s == ip {
+			return true
+		}
+	}
+	return false
+}
+
+// arrival carries the deterministic per-event state computed before the
+// framework call (prepare) into the post-decide half (finish), so the
+// single-op and batched paths share every draw of the event's RNG.
+type arrival struct {
+	ev     event
+	rng    *rand.Rand
+	path   string
+	failed bool
+}
+
+// prepare runs the pre-framework half of an arrival: counters and the
+// event-RNG draws that feed the observation.
+func (w *worker) prepare(ev event) arrival {
+	p := &w.eng.sc.Populations[ev.pop]
+	w.out[ev.pop][ev.phase].requests++
 
 	rng := rand.New(rand.NewPCG(ev.seed, 0x5EEDFACE))
 	path := "/"
@@ -586,15 +638,63 @@ func (w *worker) arrive(t int, ev event) {
 		path = p.Paths[rng.IntN(len(p.Paths))]
 	}
 	failed := p.FailRatio > 0 && rng.Float64() < p.FailRatio
+	return arrival{ev: ev, rng: rng, path: path, failed: failed}
+}
+
+// arriveBatch is arrive over a run of distinct-IP arrivals: one
+// ObserveBatch, one DecideBatch, then the per-event post-decide logic in
+// original order.
+func (w *worker) arriveBatch(t int, evs []event) {
+	eng := w.eng
+	now := eng.clock.Now()
+
+	w.runArr = w.runArr[:0]
+	w.runObs = w.runObs[:0]
+	w.runReq = w.runReq[:0]
+	for _, ev := range evs {
+		a := w.prepare(ev)
+		w.runArr = append(w.runArr, a)
+		w.runObs = append(w.runObs, features.RequestInfo{IP: ev.ip, Path: a.path, At: now, Failed: a.failed})
+		w.runReq = append(w.runReq, core.RequestContext{IP: ev.ip})
+	}
+	_ = eng.fw.ObserveBatch(w.runObs)
+
+	var err error
+	w.runDec, err = eng.fw.DecideBatch(w.runReq, w.runDec[:0])
+	for k := range w.runArr {
+		if err != nil {
+			w.out[evs[k].pop][evs[k].phase].decideErrors++
+			continue
+		}
+		w.finish(t, w.runArr[k], w.runDec[k])
+	}
+}
+
+// arrive runs protocol steps 1–5 for one request: observe, decide, and —
+// per the population's behavior — model (or really perform) the solve and
+// schedule the completion.
+func (w *worker) arrive(t int, ev event) {
+	eng := w.eng
+	a := w.prepare(ev)
 
 	now := eng.clock.Now()
-	_ = eng.fw.Observe(features.RequestInfo{IP: ev.ip, Path: path, At: now, Failed: failed})
+	_ = eng.fw.Observe(features.RequestInfo{IP: ev.ip, Path: a.path, At: now, Failed: a.failed})
 
 	dec, err := eng.fw.Decide(core.RequestContext{IP: ev.ip})
 	if err != nil {
-		o.decideErrors++
+		w.out[ev.pop][ev.phase].decideErrors++
 		return
 	}
+	w.finish(t, a, dec)
+}
+
+// finish runs the post-decide half of an arrival: score accounting,
+// behavior dispatch, solve modeling, and completion scheduling.
+func (w *worker) finish(t int, a arrival, dec core.Decision) {
+	eng := w.eng
+	ev, rng := a.ev, a.rng
+	p := &eng.sc.Populations[ev.pop]
+	o := w.out[ev.pop][ev.phase]
 	if dec.ScoreErr != nil {
 		o.scoreErrors++
 	}

@@ -287,6 +287,14 @@ type Scenario struct {
 	// ordering — and therefore the report — is independent of scheduling.
 	Workers int
 
+	// Batch drives arrivals through the framework's batch entry points
+	// (ObserveBatch/DecideBatch) instead of per-event Observe/Decide.
+	// Grouping only ever spans consecutive same-tick arrivals with
+	// distinct IPs, so the result is byte-identical to the single-op
+	// path; the flag exists to exercise and regression-test exactly that
+	// equivalence under the full adversarial suite.
+	Batch bool
+
 	// Phases is the timeline. At least one phase is required; the
 	// scenario's duration is the sum of phase durations.
 	Phases []Phase

@@ -471,3 +471,71 @@ func TestBogusBehavior(t *testing.T) {
 		t.Errorf("users served %d of %d", users.served, users.requests)
 	}
 }
+
+// TestBatchModeByteIdentical is the batch-path equivalence gate: every
+// suite scenario — adaptive loops, redemption, forgers, rotation — must
+// produce a byte-identical report whether arrivals flow through per-event
+// Observe/Decide or the batch entry points (ObserveBatch/DecideBatch).
+// A divergence means batching changed semantics, not just cost.
+func TestBatchModeByteIdentical(t *testing.T) {
+	marshal := func(t *testing.T, sc Scenario) []byte {
+		t.Helper()
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("Run(batch=%v): %v", sc.Batch, err)
+		}
+		buf, err := (&SuiteReport{Scenarios: []ScenarioReport{res.Report()}}).Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return buf
+	}
+	for _, base := range DefaultSuite(4, 0.15) {
+		t.Run(base.Name, func(t *testing.T) {
+			single := base
+			single.Batch = false
+			batched := base
+			batched.Batch = true
+			got, want := marshal(t, batched), marshal(t, single)
+			if string(got) != string(want) {
+				t.Errorf("batch-mode report diverges from single-op report")
+			}
+		})
+	}
+}
+
+// TestBatchModeGroupsSameIP pins the run-breaking rule: repeated IPs in
+// one tick must not share a batch, or an early decide would see a later
+// observation. One client at a high per-tick rate forces same-tick
+// same-IP arrivals; the outputs must still match the single-op path.
+func TestBatchModeGroupsSameIP(t *testing.T) {
+	scenario := func(batch bool) Scenario {
+		return Scenario{
+			Name:   "same-ip-runs",
+			Seed:   11,
+			Batch:  batch,
+			Phases: []Phase{{Name: "burst", Duration: 3 * time.Second}},
+			Populations: []Population{
+				{Name: "hot", Clients: 2, Rate: 60,
+					Behavior: BehaviorSolve, HashRate: 27000, Feed: FeedMalicious,
+					FailRatio: 0.4, Paths: []string{"/a", "/b"}},
+			},
+			Network: testNetwork(),
+			Defense: Defense{SaturationRate: 3, TrackerWindow: 4 * time.Second},
+		}
+	}
+	run := func(batch bool) []byte {
+		res, err := Run(scenario(batch))
+		if err != nil {
+			t.Fatalf("Run(batch=%v): %v", batch, err)
+		}
+		buf, err := (&SuiteReport{Scenarios: []ScenarioReport{res.Report()}}).Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return buf
+	}
+	if got, want := run(true), run(false); string(got) != string(want) {
+		t.Error("same-IP runs diverge between batch and single-op paths")
+	}
+}
