@@ -72,6 +72,13 @@ func WithTTL(ttl time.Duration) Option { return core.WithTTL(ttl) }
 // WithMaxDifficulty caps the difficulty the issuer will sign.
 func WithMaxDifficulty(d int) Option { return core.WithMaxDifficulty(d) }
 
+// WithPuzzleBackend selects the framework's puzzle backend — see
+// Hashcash, NewHashcash, NewBalloon, ParseBackendSpec. The default is
+// hashcash with the classic Version1 wire format; the balloon backend
+// issues memory-hard Version2 challenges. The issuer and verifier are
+// pinned to the same backend, so solutions never verify across backends.
+func WithPuzzleBackend(b Backend) Option { return core.WithPuzzleBackend(b) }
+
 // WithReplayCacheSize bounds the single-use challenge cache.
 func WithReplayCacheSize(n int) Option { return core.WithReplayCacheSize(n) }
 

@@ -52,7 +52,7 @@ var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
 // Observe + Decide (redemption-wrapped verdict scorer, confidence-shaped
 // policy, combined source) + Verify with evidence write-back into the
 // tracker.
-var gated = []string{"Decide", "DecideUnderSwap", "DecideUnderAdapt", "DecideWithEvidence", "DecideBatch", "Verify", "Issue"}
+var gated = []string{"Decide", "DecideUnderSwap", "DecideUnderAdapt", "DecideWithEvidence", "DecideBatch", "Verify", "Issue", "IssueBalloon", "VerifyBalloon"}
 
 // Ratio gates, checked within the current run (no baseline needed): the
 // evidence-carrying stack must stay within evidenceRatioLimit of plain
@@ -328,6 +328,30 @@ pipeline bench
 	if err != nil {
 		return err
 	}
+	// The memory-hard backend's issuance/verification pair, gated beside
+	// the hashcash hot path: the defaults (space=256, time=2) price the
+	// attacker; what the gate pins is the server-side cost of issuing
+	// and checking a single balloon token.
+	balloonBackend, err := aipow.NewBalloon(0, 0)
+	if err != nil {
+		return err
+	}
+	balloonVerifier, err := aipow.NewVerifier(benchKey, aipow.WithVerifierBackend(balloonBackend))
+	if err != nil {
+		return err
+	}
+	balloonIssuer, err := aipow.NewIssuer(benchKey, aipow.WithIssuerBackend(balloonBackend))
+	if err != nil {
+		return err
+	}
+	balloonCh, err := balloonIssuer.Issue("203.0.113.9", 2)
+	if err != nil {
+		return err
+	}
+	balloonSol, _, err := aipow.NewSolver().Solve(context.Background(), balloonCh)
+	if err != nil {
+		return err
+	}
 	attrs := data[0].Attrs
 
 	decideParallel := func(b *testing.B) {
@@ -486,6 +510,22 @@ pipeline bench
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					if err := verifier.Verify(sol, "203.0.113.9"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})),
+			"IssueBalloon": bench((func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := balloonIssuer.Issue("203.0.113.9", 2); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})),
+			"VerifyBalloon": bench((func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := balloonVerifier.Verify(balloonSol, "203.0.113.9"); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -194,6 +194,44 @@
 // DecideWithEvidence benchmark holds the whole loop (Observe + verdict
 // Decide + Verify with evidence write-back) at 0 allocs/op.
 //
+// # Puzzle backends
+//
+// A difficulty level is only as meaningful as the function it prices, and
+// hashcash's SHA-256 search is exactly what GPU mining hardware is built
+// for: a discounted attacker solves the same bits thousands of times
+// cheaper than the phone-class clients the policy was calibrated against.
+// The puzzle layer is therefore built around a Backend — the puzzle
+// function, its wire format, its difficulty semantics, and a cost model
+// (work and memory per attempt) that policies and simulations price
+// attackers with:
+//
+//   - Hashcash (the default, Hashcash / NewHashcash) is the paper's
+//     CPU-bound construction, carried bit-for-bit in the original
+//     Version1 token format: tokens issued before backends existed keep
+//     verifying, and the Decide/Issue/Verify hot path is unchanged —
+//     0 allocs/op at the same ns/op.
+//   - Balloon (NewBalloon) is self-contained memory-hard balloon
+//     hashing in the Version2 format: each attempt fills a space-block
+//     buffer and mixes it with data-dependent reads, so attempts cost
+//     memory bandwidth — the resource parallel silicon discounts least.
+//
+// Select a backend per framework with WithPuzzleBackend, per pipeline
+// with the spec line "puzzle balloon(space=256, time=2)" (see SPEC.md),
+// or parse the shared grammar with ParseBackendSpec. The two wire
+// formats authenticate in disjoint HMAC domains and the verifier pins
+// its backend, so a Version2 balloon challenge re-encoded as a cheap
+// Version1 hashcash token is rejected (ErrBadVersion) and solutions
+// never redeem across backends or routes — downgrade attacks fail
+// closed. One Solver serves both: it dispatches on the token's version
+// and backend ID (WithSolverWorkers parallelizes either search), so
+// clients follow a backend change with no configuration. The backend is
+// issuance state like ttl: changing it rebuilds the pipeline rather
+// than hot-swapping. The attacksim suite gates the economics — a
+// GPU-discounted botnet collapses the hashcash work asymmetry
+// (gpu-botnet-hashcash), the balloon backend restores it under the same
+// policy (gpu-botnet-balloon), and cross-backend-replay pins the
+// downgrade rejection with real crypto.
+//
 // # Performance
 //
 // The serving hot path (Decide and Verify) is allocation-free and
@@ -319,10 +357,11 @@
 // scenarios additionally perform genuine nonce searches redeemed through
 // Verify.
 //
-// The canonical nine-scenario suite (steady state, flash crowd, pulsing
+// The canonical scenario suite (steady state, flash crowd, pulsing
 // botnet, rotating-IP botnet, slow-and-low probing, reputation-poisoning
-// warmup, challenge dodging, mid-campaign policy flip, real-crypto smoke)
-// runs via:
+// warmup, challenge dodging, mid-campaign policy flip, real-crypto smoke,
+// the adaptive-feedback ladder, the redemption pair, and the
+// puzzle-backend trio) runs via:
 //
 //	go run ./cmd/attacksim -json          # writes SIM_scenarios.json
 //	go run ./cmd/attacksim -json -quick   # CI scale

@@ -209,6 +209,26 @@ func (r *Registry) pipelineKey(name string) []byte {
 	return mac.Sum(nil)
 }
 
+// issuanceOptions is the single factory through which every pipeline's
+// issuer/verifier identity is constructed: the derived per-pipeline
+// signing key and the parsed puzzle backend, bundled into one core option
+// slice. Routing all construction through here keeps the two from
+// drifting apart — a pipeline can never end up signing with one route's
+// key while issuing another route's backend, and the cross-route
+// redemption guarantee (different name ⇒ different key ⇒ tokens do not
+// transfer) holds for every backend alike.
+func (r *Registry) issuanceOptions(ps PipelineSpec) ([]core.Option, error) {
+	opts := []core.Option{core.WithKey(r.pipelineKey(ps.Name))}
+	backend, err := puzzle.ParseBackendSpec(ps.Puzzle)
+	if err != nil {
+		return nil, fmt.Errorf("control: pipeline %q puzzle: %w", ps.Name, err)
+	}
+	if ps.Puzzle != "" {
+		opts = append(opts, core.WithPuzzleBackend(backend))
+	}
+	return opts, nil
+}
+
 // Policies reports the policy registry, for registering custom policies.
 func (r *Registry) Policies() *policy.Registry { return r.policies }
 
@@ -483,8 +503,11 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts := []core.Option{
-		core.WithKey(r.pipelineKey(ps.Name)),
+	opts, err := r.issuanceOptions(ps)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts,
 		core.WithScorer(scorer),
 		core.WithPolicy(pol),
 		core.WithSource(source),
@@ -493,7 +516,7 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 		core.WithTTL(time.Duration(ps.TTL)),
 		core.WithMaxDifficulty(ps.MaxDifficulty),
 		core.WithClockSkew(time.Duration(ps.ClockSkew)),
-	}
+	)
 	switch {
 	case ps.ReplayCache > 0:
 		opts = append(opts, core.WithReplayCacheSize(ps.ReplayCache))

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"aipow/internal/feedback"
+	"aipow/internal/puzzle"
 )
 
 // Duration is a time.Duration that marshals as a human-readable string
@@ -80,6 +81,17 @@ type PipelineSpec struct {
 	// behavior tracker alone). Deployments with a static feed register and
 	// name richer sources, e.g. "combined".
 	Source string `json:"source,omitempty"`
+
+	// Puzzle selects the pipeline's puzzle backend in the puzzle package's
+	// spec syntax: "hashcash(bits=22)" or "balloon(space=256, time=2)"
+	// (empty = the default hashcash backend, Version1 wire format). Each
+	// pipeline signs with its own derived key, so a solution minted on one
+	// route never redeems on another regardless of backend. Not
+	// hot-swappable: the backend is pinned into the issuer and verifier at
+	// build time, so changing it rebuilds the pipeline (in-flight
+	// challenges from the old backend stop verifying — fail-closed, like a
+	// key rotation).
+	Puzzle string `json:"puzzle,omitempty"`
 
 	// TrackerWindow gives the pipeline its own behavior tracker with this
 	// sliding-window span instead of the registry's shared default-window
@@ -432,6 +444,9 @@ func (p *PipelineSpec) validate() error {
 	if p.ClockSkew < 0 {
 		return fmt.Errorf("control: pipeline %q has negative clock-skew", p.Name)
 	}
+	if _, err := puzzle.ParseBackendSpec(p.Puzzle); err != nil {
+		return fmt.Errorf("control: pipeline %q puzzle: %w", p.Name, err)
+	}
 	if p.FailClosedScore != nil && (*p.FailClosedScore < 0 || *p.FailClosedScore > 10) {
 		return fmt.Errorf("control: pipeline %q fail-closed score %v outside [0, 10]", p.Name, *p.FailClosedScore)
 	}
@@ -453,6 +468,18 @@ func (p *PipelineSpec) validate() error {
 	return nil
 }
 
+// canonicalPuzzle resolves a puzzle backend spec to its canonical render,
+// so comparisons treat "" , "hashcash" and "hashcash(bits=64)" as the one
+// backend they all name. Specs that fail to parse compare raw; validate()
+// already rejected them everywhere it matters.
+func canonicalPuzzle(spec string) string {
+	b, err := puzzle.ParseBackendSpec(spec)
+	if err != nil {
+		return spec
+	}
+	return b.Spec()
+}
+
 // specEqual reports whether two (defaults-resolved) specs are identical
 // in effect. Applies skip identical specs entirely, so a reload that
 // touches one pipeline never resets another pipeline's stateful
@@ -469,6 +496,7 @@ func specEqual(a, b PipelineSpec) bool {
 		a.TTL == b.TTL && a.MaxDifficulty == b.MaxDifficulty &&
 		a.ReplayCache == b.ReplayCache && a.ClockSkew == b.ClockSkew &&
 		a.TrackerWindow == b.TrackerWindow &&
+		canonicalPuzzle(a.Puzzle) == canonicalPuzzle(b.Puzzle) &&
 		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
 		a.Adapt.equal(b.Adapt) && a.Redeem.equal(b.Redeem) &&
 		a.EvidenceBuffer.equal(b.EvidenceBuffer)
@@ -489,6 +517,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 		return fmt.Errorf("clock-skew %v → %v", time.Duration(p.ClockSkew), time.Duration(q.ClockSkew))
 	case p.TrackerWindow != q.TrackerWindow:
 		return fmt.Errorf("window %v → %v", time.Duration(p.TrackerWindow), time.Duration(q.TrackerWindow))
+	case canonicalPuzzle(p.Puzzle) != canonicalPuzzle(q.Puzzle):
+		return fmt.Errorf("puzzle %s → %s", canonicalPuzzle(p.Puzzle), canonicalPuzzle(q.Puzzle))
 	case p.Redeem.halfLife() != q.Redeem.halfLife():
 		return fmt.Errorf("redeem half-life %v → %v",
 			time.Duration(p.Redeem.halfLife()), time.Duration(q.Redeem.halfLife()))
@@ -509,6 +539,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	  when score <op> <n> use <d>   inline policy rules (the policy DSL);
 //	  default <d>                   an alternative to `policy`
 //	  source <spec>            default: tracker
+//	  puzzle <spec>            puzzle backend: hashcash(bits=22) or
+//	                           balloon(space=256, time=2); default hashcash
 //	  ttl <duration>           e.g. 30s
 //	  max-difficulty <n>
 //	  bypass-below <score>
@@ -601,9 +633,9 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 				r.Tenant = args[0]
 			}
 			d.Routes = append(d.Routes, r)
-		case "scorer", "policy", "source", "ttl", "max-difficulty", "bypass-below",
-			"fail-closed", "replay-cache", "clock-skew", "window", "when", "default",
-			"adapt", "redeem", "evidence-buffer":
+		case "scorer", "policy", "source", "puzzle", "ttl", "max-difficulty",
+			"bypass-below", "fail-closed", "replay-cache", "clock-skew", "window",
+			"when", "default", "adapt", "redeem", "evidence-buffer":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
 			}
@@ -672,6 +704,8 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 		return one(&p.Policy, "spec")
 	case "source":
 		return one(&p.Source, "spec")
+	case "puzzle":
+		return one(&p.Puzzle, "spec")
 	case "when", "default":
 		*rules = append(*rules, line)
 		return nil

@@ -196,6 +196,7 @@ type Framework struct {
 // config collects the options New applies.
 type config struct {
 	key         []byte
+	backend     puzzle.Backend
 	scorer      Scorer
 	pol         policy.Policy
 	source      features.Source
@@ -218,6 +219,16 @@ type Option func(*config)
 // WithKey sets the HMAC key shared by issuer and verifier. Required,
 // minimum 16 bytes.
 func WithKey(key []byte) Option { return func(c *config) { c.key = key } }
+
+// WithPuzzleBackend selects the puzzle algorithm the framework's issuer
+// and verifier run (default puzzle.Hashcash(), the paper's CPU-bound
+// partial-preimage puzzle and the pre-backend Version1 wire format). Like
+// the key and TTL, the backend is owned by the issuer/verifier pair and
+// is not hot-swappable: changing it requires a new Framework, which the
+// control plane's Gatekeeper does automatically on a `puzzle` line change.
+func WithPuzzleBackend(b puzzle.Backend) Option {
+	return func(c *config) { c.backend = b }
+}
 
 // WithScorer sets the AI model. Required.
 func WithScorer(s Scorer) Option { return func(c *config) { c.scorer = s } }
@@ -368,19 +379,24 @@ func New(opts ...Option) (*Framework, error) {
 	// of recomputing the HMAC. Misses fall back to the full check, so the
 	// cache changes verification cost, never outcomes.
 	authCache := puzzle.NewAuthCache()
-	issuer, err := puzzle.NewIssuer(cfg.key,
+	issuerOpts := []puzzle.IssuerOption{
 		puzzle.WithIssuerNow(cfg.now),
 		puzzle.WithTTL(cfg.ttl),
 		puzzle.WithIssuerMaxDifficulty(cfg.maxDiff),
 		puzzle.WithIssuerAuthCache(authCache),
-	)
-	if err != nil {
-		return nil, fmt.Errorf("core: build issuer: %w", err)
 	}
 	verifierOpts := []puzzle.VerifierOption{
 		puzzle.WithVerifierNow(cfg.now),
 		puzzle.WithClockSkew(cfg.clockSkew),
 		puzzle.WithVerifierAuthCache(authCache),
+	}
+	if cfg.backend != nil {
+		issuerOpts = append(issuerOpts, puzzle.WithIssuerBackend(cfg.backend))
+		verifierOpts = append(verifierOpts, puzzle.WithVerifierBackend(cfg.backend))
+	}
+	issuer, err := puzzle.NewIssuer(cfg.key, issuerOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build issuer: %w", err)
 	}
 	if cfg.replaySize > 0 {
 		verifierOpts = append(verifierOpts,

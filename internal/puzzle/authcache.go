@@ -58,21 +58,25 @@ func NewAuthCache() *AuthCache {
 	return &AuthCache{slots: make([]authSlot, authCacheSlots)}
 }
 
-// slotFor maps a seed to its slot. Seed bytes are uniform, so two of them
-// index the table directly.
-func (c *AuthCache) slotFor(seed *[SeedSize]byte) *authSlot {
-	idx := (uint32(seed[0]) | uint32(seed[1])<<8) & (authCacheSlots - 1)
+// slotFor maps a (seed, backend) pair to its slot. Seed bytes are
+// uniform, so two of them index the table directly; the backend ID is
+// mixed in so the cache is keyed by backend identity as well — entries
+// from different puzzle backends can never alias onto one another's
+// slots, on top of the canonical bytes (which embed the backend for
+// Version2) already making a cross-backend byte match impossible.
+func (c *AuthCache) slotFor(seed *[SeedSize]byte, backend BackendID) *authSlot {
+	idx := (uint32(seed[0]) | uint32(seed[1])<<8 ^ uint32(backend)*0x9E37) & (authCacheSlots - 1)
 	return &c.slots[idx]
 }
 
 // store records an authenticated (canonical, tag) pair. The caller attests
 // authenticity: the issuer calls it with tags it just computed, the
 // verifier only after hmac.Equal has passed.
-func (c *AuthCache) store(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]byte) {
+func (c *AuthCache) store(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]byte, backend BackendID) {
 	if len(canonical) > authCacheMaxCanonical {
 		return
 	}
-	s := c.slotFor(seed)
+	s := c.slotFor(seed, backend)
 	s.mu.Lock()
 	s.n = uint16(len(canonical))
 	copy(s.buf[:], canonical)
@@ -83,11 +87,11 @@ func (c *AuthCache) store(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]
 // match reports whether (canonical, tag) is byte-identical to the cached
 // authenticated pair in the seed's slot. A false return says nothing about
 // authenticity — the caller must run the full HMAC check.
-func (c *AuthCache) match(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]byte) bool {
+func (c *AuthCache) match(canonical []byte, tag *[TagSize]byte, seed *[SeedSize]byte, backend BackendID) bool {
 	if len(canonical) > authCacheMaxCanonical {
 		return false
 	}
-	s := c.slotFor(seed)
+	s := c.slotFor(seed, backend)
 	s.mu.Lock()
 	ok := int(s.n) == len(canonical) &&
 		bytes.Equal(s.buf[:s.n], canonical) &&

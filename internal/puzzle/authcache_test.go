@@ -33,7 +33,7 @@ func TestAuthCacheHitVerifies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !cache.match(ch.appendCanonical(nil), &ch.Tag, &ch.Seed) {
+	if !cache.match(ch.appendCanonical(nil), &ch.Tag, &ch.Seed, ch.Backend) {
 		t.Fatal("issued challenge not published into the cache")
 	}
 	sol, _, err := NewSolver().Solve(context.Background(), ch)
@@ -130,9 +130,9 @@ func TestAuthCacheVerifyRefreshes(t *testing.T) {
 	// Evict by storing junk in the challenge's slot.
 	junk := []byte("not the canonical")
 	var junkTag [TagSize]byte
-	cache.store(junk, &junkTag, &ch.Seed)
+	cache.store(junk, &junkTag, &ch.Seed, ch.Backend)
 	canonical := ch.appendCanonical(nil)
-	if cache.match(canonical, &ch.Tag, &ch.Seed) {
+	if cache.match(canonical, &ch.Tag, &ch.Seed, ch.Backend) {
 		t.Fatal("entry still cached after eviction overwrite")
 	}
 	sol, _, err := NewSolver().Solve(context.Background(), ch)
@@ -142,7 +142,7 @@ func TestAuthCacheVerifyRefreshes(t *testing.T) {
 	if err := ver.Verify(sol, "203.0.113.4"); err != nil {
 		t.Fatalf("Verify after eviction: %v", err)
 	}
-	if !cache.match(canonical, &ch.Tag, &ch.Seed) {
+	if !cache.match(canonical, &ch.Tag, &ch.Seed, ch.Backend) {
 		t.Error("successful verify did not refresh the evicted entry")
 	}
 }
@@ -161,7 +161,7 @@ func TestAuthCacheLongBindingSkipped(t *testing.T) {
 	if len(canonical) <= authCacheMaxCanonical {
 		t.Fatalf("test binding too short: canonical is %d bytes", len(canonical))
 	}
-	if cache.match(canonical, &ch.Tag, &ch.Seed) {
+	if cache.match(canonical, &ch.Tag, &ch.Seed, ch.Backend) {
 		t.Error("oversized canonical entered the cache")
 	}
 	sol, _, err := NewSolver().Solve(context.Background(), ch)

@@ -46,6 +46,53 @@ func BenchmarkVerify(b *testing.B) {
 	}
 }
 
+func BenchmarkIssueBalloon(b *testing.B) {
+	backend, err := NewBalloon(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iss, err := NewIssuer(testKey, WithIssuerBackend(backend))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := iss.Issue("203.0.113.9", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyBalloon(b *testing.B) {
+	backend, err := NewBalloon(0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iss, err := NewIssuer(testKey, WithIssuerBackend(backend))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ver, err := NewVerifier(testKey, WithVerifierBackend(backend)) // no replay cache: pure verify cost
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := iss.Issue("203.0.113.9", 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, _, err := NewSolver().Solve(context.Background(), ch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ver.Verify(sol, "203.0.113.9"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSolve(b *testing.B) {
 	iss, err := NewIssuer(testKey)
 	if err != nil {

@@ -175,7 +175,9 @@ func TestChallengeStringIsHumanReadable(t *testing.T) {
 
 func assertChallengeEqual(t *testing.T, want, got Challenge) {
 	t.Helper()
-	if got.Version != want.Version || got.Seed != want.Seed ||
+	if got.Version != want.Version || got.Backend != want.Backend ||
+		got.Space != want.Space || got.Rounds != want.Rounds ||
+		got.Seed != want.Seed ||
 		!got.IssuedAt.Equal(want.IssuedAt) || got.TTL != want.TTL ||
 		got.Difficulty != want.Difficulty || got.Binding != want.Binding ||
 		got.Tag != want.Tag {

@@ -29,6 +29,16 @@ type Issuer struct {
 	maxDifficulty int
 	macs          *macPool
 	cache         *AuthCache
+
+	// backend is the puzzle algorithm this issuer signs for; the wire
+	// fields below are precomputed from it at construction so Issue
+	// writes plain struct fields instead of making interface calls on
+	// the hot path.
+	backend   Backend
+	version   uint8
+	backendID BackendID
+	space     uint32
+	rounds    uint32
 }
 
 // IssuerOption customizes an Issuer.
@@ -58,6 +68,16 @@ func WithIssuerMaxDifficulty(d int) IssuerOption {
 	return func(i *Issuer) { i.maxDifficulty = d }
 }
 
+// WithIssuerBackend selects the puzzle algorithm this issuer signs for.
+// Defaults to Hashcash(), which issues the pre-backend Version1 wire
+// format bit for bit; any other backend issues Version2 tokens carrying
+// its ID and cost parameters. The issuer's difficulty cap is clamped to
+// the backend's DifficultyCap. The paired Verifier must be built with
+// the same backend (WithVerifierBackend).
+func WithIssuerBackend(b Backend) IssuerOption {
+	return func(i *Issuer) { i.backend = b }
+}
+
 // WithIssuerAuthCache publishes every issued challenge into c, so a
 // Verifier sharing the same cache (WithVerifierAuthCache) authenticates it
 // by equality instead of recomputing the HMAC. Only useful when issuer and
@@ -78,6 +98,7 @@ func NewIssuer(key []byte, opts ...IssuerOption) (*Issuer, error) {
 		rand:          rand.Reader,
 		ttl:           DefaultTTL,
 		maxDifficulty: 32,
+		backend:       Hashcash(),
 	}
 	for _, opt := range opts {
 		opt(i)
@@ -88,9 +109,21 @@ func NewIssuer(key []byte, opts ...IssuerOption) (*Issuer, error) {
 	if i.maxDifficulty < MinDifficulty || i.maxDifficulty > MaxDifficulty {
 		return nil, fmt.Errorf("%w: issuer cap %d", ErrInvalidDifficulty, i.maxDifficulty)
 	}
+	// The effective cap is the tighter of the issuer's and the backend's.
+	if cap := i.backend.DifficultyCap(); cap < i.maxDifficulty {
+		i.maxDifficulty = cap
+	}
+	i.version = i.backend.WireVersion()
+	if i.version >= Version2 {
+		i.backendID = i.backend.ID()
+		i.space, i.rounds = i.backend.params()
+	}
 	i.macs = newMACPool(i.key)
 	return i, nil
 }
+
+// Backend reports the puzzle algorithm this issuer signs for.
+func (i *Issuer) Backend() Backend { return i.backend }
 
 // Issue creates a d-difficult challenge bound to the given client identity.
 func (i *Issuer) Issue(binding string, difficulty int) (Challenge, error) {
@@ -105,7 +138,10 @@ func (i *Issuer) Issue(binding string, difficulty int) (Challenge, error) {
 		return Challenge{}, ErrBindingTooLong
 	}
 	ch := Challenge{
-		Version:    Version1,
+		Version:    i.version,
+		Backend:    i.backendID,
+		Space:      i.space,
+		Rounds:     i.rounds,
 		IssuedAt:   i.now(),
 		TTL:        i.ttl,
 		Difficulty: difficulty,
@@ -122,7 +158,7 @@ func (i *Issuer) Issue(binding string, difficulty int) (Challenge, error) {
 	ch.Seed = s.seed
 	ch.Tag = s.tagOf(&ch)
 	if i.cache != nil {
-		i.cache.store(s.buf, &ch.Tag, &ch.Seed)
+		i.cache.store(s.buf, &ch.Tag, &ch.Seed, i.backendID)
 	}
 	i.macs.put(s)
 	return ch, nil
@@ -189,7 +225,10 @@ func (i *Issuer) IssueBatch(bindings []string, difficulties []int, dst []Challen
 					continue
 				}
 				ch := Challenge{
-					Version:    Version1,
+					Version:    i.version,
+					Backend:    i.backendID,
+					Space:      i.space,
+					Rounds:     i.rounds,
 					IssuedAt:   now,
 					TTL:        i.ttl,
 					Difficulty: difficulties[k],
@@ -199,7 +238,7 @@ func (i *Issuer) IssueBatch(bindings []string, difficulties []int, dst []Challen
 				si++
 				ch.Tag = s.tagOf(&ch)
 				if i.cache != nil {
-					i.cache.store(s.buf, &ch.Tag, &ch.Seed)
+					i.cache.store(s.buf, &ch.Tag, &ch.Seed, i.backendID)
 				}
 				dst[k] = ch
 			}

@@ -2,115 +2,64 @@ package puzzle
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
-	"math"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
-// ParallelSolver searches the nonce space with multiple goroutines, each
-// scanning a disjoint stride (worker w tries nonces w, w+n, w+2n, …).
-// Any discovered nonce verifies identically to a sequential find; only the
-// wall-clock time changes. Use it for difficulties where a single core's
-// latency is unacceptable — the speedup is near-linear in workers because
-// hashing dominates.
+// ParallelSolver searches the nonce space with multiple goroutines.
 //
-// ParallelSolver is safe for concurrent use; each Solve owns its state.
+// Deprecated: Solver does everything ParallelSolver did — use
+// NewSolver(WithSolverWorkers(n), WithNonceLimit(m)) instead, which also
+// dispatches on the challenge's backend. ParallelSolver remains as a thin
+// wrapper so existing callers keep compiling.
 type ParallelSolver struct {
+	inner *Solver
+}
+
+// parallelConfig holds option state until NewParallelSolver validates it.
+type parallelConfig struct {
 	workers int
 	limit   uint64
 }
 
 // ParallelOption customizes a ParallelSolver.
-type ParallelOption func(*ParallelSolver)
+//
+// Deprecated: use SolverOption with NewSolver.
+type ParallelOption func(*parallelConfig)
 
 // WithWorkers sets the goroutine count (default runtime.NumCPU()).
+//
+// Deprecated: use WithSolverWorkers with NewSolver.
 func WithWorkers(n int) ParallelOption {
-	return func(s *ParallelSolver) { s.workers = n }
+	return func(c *parallelConfig) { c.workers = n }
 }
 
 // WithParallelNonceLimit caps total attempts across all workers before the
 // search gives up with ErrNonceExhausted (zero = full 32-bit space).
+//
+// Deprecated: use WithNonceLimit with NewSolver.
 func WithParallelNonceLimit(limit uint64) ParallelOption {
-	return func(s *ParallelSolver) { s.limit = limit }
+	return func(c *parallelConfig) { c.limit = limit }
 }
 
 // NewParallelSolver returns a solver with the options applied.
+//
+// Deprecated: use NewSolver(WithSolverWorkers(runtime.NumCPU())).
 func NewParallelSolver(opts ...ParallelOption) (*ParallelSolver, error) {
-	s := &ParallelSolver{workers: runtime.NumCPU()}
+	cfg := parallelConfig{workers: runtime.NumCPU()}
 	for _, opt := range opts {
-		opt(s)
+		opt(&cfg)
 	}
-	if s.workers < 1 {
-		return nil, fmt.Errorf("puzzle: parallel solver needs at least one worker, got %d", s.workers)
+	if cfg.workers < 1 {
+		return nil, fmt.Errorf("puzzle: parallel solver needs at least one worker, got %d", cfg.workers)
 	}
-	return s, nil
+	return &ParallelSolver{
+		inner: NewSolver(WithSolverWorkers(cfg.workers), WithNonceLimit(cfg.limit)),
+	}, nil
 }
 
 // Solve searches for a solving nonce using all workers. Stats aggregate
 // attempts across workers, so they measure total energy, not wall time.
 func (s *ParallelSolver) Solve(ctx context.Context, ch Challenge) (Solution, SolveStats, error) {
-	prefix := ch.canonical()
-	var (
-		stop     atomic.Bool
-		attempts atomic.Uint64
-		winner   atomic.Int64
-	)
-	winner.Store(-1)
-
-	perWorkerBudget := uint64(math.MaxUint32)
-	if s.limit > 0 {
-		perWorkerBudget = s.limit / uint64(s.workers)
-		if perWorkerBudget == 0 {
-			perWorkerBudget = 1
-		}
-	}
-
-	var wg sync.WaitGroup
-	for w := 0; w < s.workers; w++ {
-		wg.Add(1)
-		go func(start uint64) {
-			defer wg.Done()
-			buf := make([]byte, len(prefix)+4)
-			copy(buf, prefix)
-			var done uint64
-			for nonce := start; nonce <= math.MaxUint32; nonce += uint64(s.workers) {
-				if done%ctxCheckInterval == 0 {
-					if stop.Load() || ctx.Err() != nil {
-						attempts.Add(done)
-						return
-					}
-				}
-				if done >= perWorkerBudget {
-					attempts.Add(done)
-					return
-				}
-				binary.BigEndian.PutUint32(buf[len(prefix):], uint32(nonce))
-				digest := sha256.Sum256(buf)
-				done++
-				if CountLeadingZeroBits(digest[:]) >= ch.Difficulty {
-					// First writer wins; others keep their partial counts.
-					if winner.CompareAndSwap(-1, int64(nonce)) {
-						stop.Store(true)
-					}
-					attempts.Add(done)
-					return
-				}
-			}
-			attempts.Add(done)
-		}(uint64(w))
-	}
-	wg.Wait()
-
-	stats := SolveStats{Attempts: attempts.Load()}
-	if err := ctx.Err(); err != nil && winner.Load() < 0 {
-		return Solution{}, stats, err
-	}
-	if n := winner.Load(); n >= 0 {
-		return Solution{Challenge: ch, Nonce: uint64(n)}, stats, nil
-	}
-	return Solution{}, stats, ErrNonceExhausted
+	return s.inner.Solve(ctx, ch)
 }

@@ -28,8 +28,18 @@ import (
 )
 
 const (
-	// Version1 is the only wire format version currently defined.
+	// Version1 is the original wire format: implicitly hashcash, no
+	// backend byte. Tokens issued before backends existed verify
+	// unchanged.
 	Version1 = 1
+
+	// Version2 is the backend-carrying wire format: the canonical bytes
+	// gain a backend ID and the backend's cost parameters, all under the
+	// HMAC. Version1 and Version2 use disjoint magic prefixes, so the
+	// two formats live in disjoint HMAC domains — a v2 challenge
+	// rewritten as v1 (or vice versa) fails authentication even before
+	// the verifier's explicit version gate rejects it.
+	Version2 = 2
 
 	// SeedSize is the byte length of the anti-precomputation seed.
 	SeedSize = 16
@@ -54,9 +64,14 @@ const (
 	// maxBindingLen bounds the client-binding string on the wire.
 	maxBindingLen = 255
 
-	// magic prefixes every canonical encoding so that tags and hashes from
-	// this protocol cannot collide with other uses of the same key.
+	// magic prefixes every Version1 canonical encoding so that tags and
+	// hashes from this protocol cannot collide with other uses of the
+	// same key.
 	magic = "AIPoW/1\x00"
+
+	// magic2 prefixes Version2 canonical encodings. Distinct from magic,
+	// so the two wire versions authenticate under disjoint HMAC domains.
+	magic2 = "AIPoW/2\x00"
 )
 
 // Typed failures returned by issuance and verification. Callers are expected
@@ -105,8 +120,20 @@ var (
 // Challenge is one issued puzzle. The zero value is not a valid challenge;
 // obtain one from an Issuer or by decoding a wire string.
 type Challenge struct {
-	// Version identifies the wire format (Version1).
+	// Version identifies the wire format (Version1 or Version2).
 	Version uint8
+
+	// Backend identifies the puzzle algorithm, carried on the wire by
+	// Version2 tokens only. It is zero on Version1 challenges, which are
+	// implicitly hashcash.
+	Backend BackendID
+
+	// Space and Rounds are the memory-hard cost parameters (balloon
+	// backend; zero otherwise). They ride inside the authenticated
+	// canonical bytes, so a verifier only evaluates parameters its
+	// issuer signed.
+	Space  uint32
+	Rounds uint32
 
 	// Seed is the unique random value that makes each challenge fresh.
 	Seed [SeedSize]byte
@@ -138,14 +165,25 @@ func (c Challenge) ExpiresAt() time.Time { return c.IssuedAt.Add(c.TTL) }
 // canonical renders every authenticated field into a fixed, unambiguous
 // byte layout. It is both the HMAC input and the hash preimage prefix.
 func (c Challenge) canonical() []byte {
-	return c.appendCanonical(make([]byte, 0, len(magic)+1+SeedSize+8+8+2+2+len(c.Binding)))
+	return c.appendCanonical(make([]byte, 0, binaryFixedSizeV2+len(c.Binding)))
 }
 
 // appendCanonical appends the canonical form to b and returns the extended
 // slice; the hot paths pass pooled buffers to avoid per-call allocation.
+// Version1 keeps its original byte layout exactly, so pre-backend tokens
+// stay authentic; Version2 prepends the backend ID and cost parameters
+// under a distinct magic.
 func (c *Challenge) appendCanonical(b []byte) []byte {
-	b = append(b, magic...)
-	b = append(b, c.Version)
+	if c.Version >= Version2 {
+		b = append(b, magic2...)
+		b = append(b, c.Version)
+		b = append(b, byte(c.Backend))
+		b = binary.BigEndian.AppendUint32(b, c.Space)
+		b = binary.BigEndian.AppendUint32(b, c.Rounds)
+	} else {
+		b = append(b, magic...)
+		b = append(b, c.Version)
+	}
 	b = append(b, c.Seed[:]...)
 	b = binary.BigEndian.AppendUint64(b, uint64(c.IssuedAt.UnixNano()))
 	b = binary.BigEndian.AppendUint64(b, uint64(c.TTL))
@@ -174,9 +212,15 @@ func appendNonce(b []byte, nonce uint64) []byte {
 	return binary.BigEndian.AppendUint64(b, nonce)
 }
 
-// Digest computes the SHA-256 digest a verifier checks for the given nonce.
+// Digest computes the digest a verifier checks for the given nonce: a
+// plain SHA-256 of canonical‖nonce for hashcash challenges, the balloon
+// function over the same preimage for the memory-hard backend.
 func (c Challenge) Digest(nonce uint64) [sha256.Size]byte {
-	return sha256.Sum256(appendNonce(c.canonical(), nonce))
+	pre := appendNonce(c.canonical(), nonce)
+	if c.Version >= Version2 && c.Backend == BackendBalloon {
+		return balloonDigest(pre, c.Space, c.Rounds)
+	}
+	return sha256.Sum256(pre)
 }
 
 // Meets reports whether nonce solves the challenge at its difficulty.

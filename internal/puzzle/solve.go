@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,11 +15,17 @@ import (
 // against per-hash overhead.
 const ctxCheckInterval = 4096
 
+// balloonCheckInterval is the same for memory-hard attempts, which cost
+// thousands of hashes each, so the check must come far more often to keep
+// cancellation latency comparable.
+const balloonCheckInterval = 16
+
 // SolveStats describes the work one solve performed. The attack experiments
 // use it to account attacker-side cost.
 type SolveStats struct {
-	// Attempts is the number of hash evaluations performed, including the
-	// successful one.
+	// Attempts is the number of nonce evaluations performed, including
+	// the successful one. For memory-hard backends each attempt costs
+	// Backend.AttemptCost hash evaluations, not one.
 	Attempts uint64
 
 	// Elapsed is the wall-clock duration of the search.
@@ -29,10 +37,17 @@ type SolveStats struct {
 // an immutable prefix, a 32-bit string is appended, and the client mutates
 // it on each hash evaluation until the digest has the required zero prefix.
 //
+// One Solver handles every wire version: it dispatches on the challenge's
+// version and backend ID, so a client facing a mixed deployment (hashcash
+// on one route, memory-hard on another) needs exactly one solver. With
+// WithSolverWorkers the nonce space is searched by multiple goroutines in
+// disjoint strides; any discovered nonce verifies identically.
+//
 // Solver is safe for concurrent use; each Solve call owns its own state.
 type Solver struct {
 	extended bool
 	limit    uint64
+	workers  int
 	now      func() time.Time
 }
 
@@ -51,28 +66,54 @@ func WithSolverNow(now func() time.Time) SolverOption {
 	return func(s *Solver) { s.now = now }
 }
 
-// WithNonceLimit caps the number of hash attempts before the solver gives
+// WithNonceLimit caps the number of nonce attempts before the solver gives
 // up with ErrNonceExhausted. Zero (the default) means the full nonce space.
 // Rational attackers use this to bound the work they are willing to spend
-// on one request (see the attack strategies in internal/attack).
+// on one request (see the attack strategies in internal/attack). With
+// multiple workers the limit bounds total attempts across all of them.
 func WithNonceLimit(limit uint64) SolverOption {
 	return func(s *Solver) { s.limit = limit }
 }
 
+// WithSolverWorkers sets the number of goroutines searching the nonce
+// space (default 1, a sequential scan). Workers scan disjoint strides, so
+// the speedup is near-linear where hashing dominates; values below 1 are
+// treated as 1.
+func WithSolverWorkers(n int) SolverOption {
+	return func(s *Solver) { s.workers = n }
+}
+
 // NewSolver returns a Solver with the given options applied.
 func NewSolver(opts ...SolverOption) *Solver {
-	s := &Solver{now: time.Now}
+	s := &Solver{now: time.Now, workers: 1}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.workers < 1 {
+		s.workers = 1
 	}
 	return s
 }
 
-// Solve searches for a nonce meeting the challenge difficulty. It returns
-// ErrNonceExhausted if the nonce space runs out, or ctx.Err() if the
-// context is cancelled mid-search. The returned stats are valid in all
+// Solve searches for a nonce meeting the challenge difficulty, dispatching
+// on the challenge's wire version and backend. It returns ErrNonceExhausted
+// if the nonce space (or the configured limit) runs out, or ctx.Err() if
+// the context is cancelled mid-search. The returned stats are valid in all
 // cases and report the work performed up to the return.
 func (s *Solver) Solve(ctx context.Context, ch Challenge) (Solution, SolveStats, error) {
+	balloon := ch.Version >= Version2 && ch.Backend == BackendBalloon
+	if s.workers > 1 {
+		return s.solveStrided(ctx, ch, balloon)
+	}
+	if balloon {
+		return s.solveBalloon(ctx, ch)
+	}
+	return s.solveHashcash(ctx, ch)
+}
+
+// solveHashcash is the sequential CPU-bound search — the paper's solver,
+// byte for byte.
+func (s *Solver) solveHashcash(ctx context.Context, ch Challenge) (Solution, SolveStats, error) {
 	start := s.now()
 	stats := SolveStats{}
 	prefix := ch.canonical()
@@ -123,5 +164,112 @@ func (s *Solver) Solve(ctx context.Context, ch Challenge) (Solution, SolveStats,
 		}
 	}
 	stats.Elapsed = s.now().Sub(start)
+	return Solution{}, stats, ErrNonceExhausted
+}
+
+// solveBalloon is the sequential memory-hard search: the same nonce walk,
+// with the balloon function in place of the single SHA-256.
+func (s *Solver) solveBalloon(ctx context.Context, ch Challenge) (Solution, SolveStats, error) {
+	start := s.now()
+	stats := SolveStats{}
+	prefix := ch.canonical()
+	buf := make([]byte, len(prefix)+4)
+	copy(buf, prefix)
+	for nonce := uint64(0); nonce <= math.MaxUint32; nonce++ {
+		if stats.Attempts%balloonCheckInterval == 0 && ctx.Err() != nil {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{}, stats, ctx.Err()
+		}
+		if s.limit > 0 && stats.Attempts >= s.limit {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{}, stats, ErrNonceExhausted
+		}
+		binary.BigEndian.PutUint32(buf[len(prefix):], uint32(nonce))
+		digest := balloonDigest(buf, ch.Space, ch.Rounds)
+		stats.Attempts++
+		if CountLeadingZeroBits(digest[:]) >= ch.Difficulty {
+			stats.Elapsed = s.now().Sub(start)
+			return Solution{Challenge: ch, Nonce: nonce}, stats, nil
+		}
+	}
+	stats.Elapsed = s.now().Sub(start)
+	return Solution{}, stats, ErrNonceExhausted
+}
+
+// solveStrided searches the 32-bit nonce space with s.workers goroutines,
+// worker w trying nonces w, w+n, w+2n, … — any discovered nonce verifies
+// identically to a sequential find; only the wall-clock time changes.
+// Stats aggregate attempts across workers, so they measure total energy,
+// not wall time.
+func (s *Solver) solveStrided(ctx context.Context, ch Challenge, balloon bool) (Solution, SolveStats, error) {
+	start := s.now()
+	prefix := ch.canonical()
+	var (
+		stop     atomic.Bool
+		attempts atomic.Uint64
+		winner   atomic.Int64
+	)
+	winner.Store(-1)
+
+	checkEvery := uint64(ctxCheckInterval)
+	if balloon {
+		checkEvery = balloonCheckInterval
+	}
+	perWorkerBudget := uint64(math.MaxUint32)
+	if s.limit > 0 {
+		perWorkerBudget = s.limit / uint64(s.workers)
+		if perWorkerBudget == 0 {
+			perWorkerBudget = 1
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(first uint64) {
+			defer wg.Done()
+			buf := make([]byte, len(prefix)+4)
+			copy(buf, prefix)
+			var done uint64
+			for nonce := first; nonce <= math.MaxUint32; nonce += uint64(s.workers) {
+				if done%checkEvery == 0 {
+					if stop.Load() || ctx.Err() != nil {
+						attempts.Add(done)
+						return
+					}
+				}
+				if done >= perWorkerBudget {
+					attempts.Add(done)
+					return
+				}
+				binary.BigEndian.PutUint32(buf[len(prefix):], uint32(nonce))
+				var digest [sha256.Size]byte
+				if balloon {
+					digest = balloonDigest(buf, ch.Space, ch.Rounds)
+				} else {
+					digest = sha256.Sum256(buf)
+				}
+				done++
+				if CountLeadingZeroBits(digest[:]) >= ch.Difficulty {
+					// First writer wins; others keep their partial counts.
+					if winner.CompareAndSwap(-1, int64(nonce)) {
+						stop.Store(true)
+					}
+					attempts.Add(done)
+					return
+				}
+			}
+			attempts.Add(done)
+		}(uint64(w))
+	}
+	wg.Wait()
+
+	stats := SolveStats{Attempts: attempts.Load(), Elapsed: s.now().Sub(start)}
+	if err := ctx.Err(); err != nil && winner.Load() < 0 {
+		return Solution{}, stats, err
+	}
+	if n := winner.Load(); n >= 0 {
+		return Solution{Challenge: ch, Nonce: uint64(n)}, stats, nil
+	}
 	return Solution{}, stats, ErrNonceExhausted
 }

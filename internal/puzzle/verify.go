@@ -20,6 +20,16 @@ type Verifier struct {
 	skew   time.Duration
 	macs   *macPool
 	cache  *AuthCache
+
+	// backend is the puzzle algorithm this verifier accepts; wantVersion
+	// and wantBackend are the exact wire identity it requires, pinned at
+	// construction. Anything else is ErrBadVersion, fail-closed — a v2
+	// token never verifies on a v1 route and vice versa, independent of
+	// the HMAC-domain separation that already makes such a downgrade
+	// unforgeable.
+	backend     Backend
+	wantVersion uint8
+	wantBackend BackendID
 }
 
 // VerifierOption customizes a Verifier.
@@ -42,6 +52,14 @@ func WithClockSkew(skew time.Duration) VerifierOption {
 	return func(v *Verifier) { v.skew = skew }
 }
 
+// WithVerifierBackend selects the puzzle algorithm this verifier
+// accepts; it must match the paired issuer's WithIssuerBackend. Defaults
+// to Hashcash(), i.e. Version1 tokens. Solutions in any other wire
+// version or backend are rejected with ErrBadVersion.
+func WithVerifierBackend(b Backend) VerifierOption {
+	return func(v *Verifier) { v.backend = b }
+}
+
 // WithVerifierAuthCache authenticates challenges that are byte-identical
 // to an entry of c — a challenge the sharing issuer produced or this
 // verifier already HMAC-checked — by equality instead of an HMAC
@@ -59,9 +77,10 @@ func NewVerifier(key []byte, opts ...VerifierOption) (*Verifier, error) {
 		return nil, fmt.Errorf("%w (got %d)", ErrKeyTooShort, len(key))
 	}
 	v := &Verifier{
-		key:  append([]byte(nil), key...),
-		now:  time.Now,
-		skew: 2 * time.Second,
+		key:     append([]byte(nil), key...),
+		now:     time.Now,
+		skew:    2 * time.Second,
+		backend: Hashcash(),
 	}
 	for _, opt := range opts {
 		opt(v)
@@ -69,9 +88,16 @@ func NewVerifier(key []byte, opts ...VerifierOption) (*Verifier, error) {
 	if v.skew < 0 {
 		return nil, fmt.Errorf("puzzle: negative clock skew %v", v.skew)
 	}
+	v.wantVersion = v.backend.WireVersion()
+	if v.wantVersion >= Version2 {
+		v.wantBackend = v.backend.ID()
+	}
 	v.macs = newMACPool(v.key)
 	return v, nil
 }
+
+// Backend reports the puzzle algorithm this verifier accepts.
+func (v *Verifier) Backend() Backend { return v.backend }
 
 // Verify checks that sol is an authentic, fresh, unredeemed, and correct
 // solution presented by the client identified by binding. An empty binding
@@ -89,8 +115,9 @@ func (v *Verifier) Verify(sol Solution, binding string) error {
 // ~150-byte struct copies; it is never modified.
 func (v *Verifier) VerifyAt(sol *Solution, binding string, now time.Time) error {
 	ch := &sol.Challenge
-	if ch.Version != Version1 {
-		return fmt.Errorf("%w: %w: got %d", ErrVerify, ErrBadVersion, ch.Version)
+	if ch.Version != v.wantVersion || ch.Backend != v.wantBackend {
+		return fmt.Errorf("%w: %w: got v%d/%s, verifier accepts v%d/%s",
+			ErrVerify, ErrBadVersion, ch.Version, ch.Backend, v.wantVersion, v.wantBackend)
 	}
 	if err := validateDifficulty(ch.Difficulty); err != nil {
 		return fmt.Errorf("%w: %w", ErrVerify, err)
@@ -105,13 +132,13 @@ func (v *Verifier) VerifyAt(sol *Solution, binding string, now time.Time) error 
 	s := v.macs.get()
 	defer v.macs.put(s)
 	s.buf = ch.appendCanonical(s.buf[:0])
-	if v.cache == nil || !v.cache.match(s.buf, &ch.Tag, &ch.Seed) {
+	if v.cache == nil || !v.cache.match(s.buf, &ch.Tag, &ch.Seed, ch.Backend) {
 		tag := s.sumCanonical()
 		if !hmac.Equal(tag[:], ch.Tag[:]) {
 			return fmt.Errorf("%w: %w", ErrVerify, ErrBadTag)
 		}
 		if v.cache != nil {
-			v.cache.store(s.buf, &ch.Tag, &ch.Seed)
+			v.cache.store(s.buf, &ch.Tag, &ch.Seed, ch.Backend)
 		}
 	}
 
@@ -130,11 +157,21 @@ func (v *Verifier) VerifyAt(sol *Solution, binding string, now time.Time) error 
 	}
 
 	// Equivalent to ch.Meets(sol.Nonce), but re-using the canonical bytes
-	// already in s.buf instead of re-encoding them.
+	// already in s.buf instead of re-encoding them. The hashcash branch
+	// stays the pre-backend inline digest; only authenticated challenges
+	// reach the memory-hard branch, so its cost parameters are always
+	// ones this deployment's issuer signed.
 	s.buf = appendNonce(s.buf, sol.Nonce)
-	digest := sha256.Sum256(s.buf)
-	if CountLeadingZeroBits(digest[:]) < ch.Difficulty {
-		return fmt.Errorf("%w: %w: nonce %d", ErrVerify, ErrWrongSolution, sol.Nonce)
+	if v.wantBackend == BackendBalloon {
+		digest := balloonDigest(s.buf, ch.Space, ch.Rounds)
+		if CountLeadingZeroBits(digest[:]) < ch.Difficulty {
+			return fmt.Errorf("%w: %w: nonce %d", ErrVerify, ErrWrongSolution, sol.Nonce)
+		}
+	} else {
+		digest := sha256.Sum256(s.buf)
+		if CountLeadingZeroBits(digest[:]) < ch.Difficulty {
+			return fmt.Errorf("%w: %w: nonce %d", ErrVerify, ErrWrongSolution, sol.Nonce)
+		}
 	}
 
 	// Redeem last, so failed attempts do not burn the seed.

@@ -31,6 +31,15 @@ type Defense struct {
 	// MaxDifficulty caps what the issuer signs (default 22).
 	MaxDifficulty int
 
+	// Puzzle selects the puzzle backend in the puzzle package's spec
+	// syntax, e.g. "balloon(space=8, time=1)" (empty: the default
+	// hashcash backend). The engine prices every population's modeled
+	// solve in the backend's cost units (attempts × the backend's
+	// per-attempt hash cost, discounted by the population's Speedup
+	// factor for that backend), so GPU-vs-phone asymmetry scenarios can
+	// compare backends on the same traffic.
+	Puzzle string
+
 	// SaturationRate, when positive, blends a kaPoW-style behavioral
 	// score into the model: the final score is the maximum of the static
 	// DAbR score and 10·min(1, live_rate/SaturationRate). Zero leaves the
@@ -248,13 +257,22 @@ func BuildDefense(sc Scenario) FrameworkFactory {
 		opts := []core.Option{
 			core.WithKey(defenseKey),
 			core.WithScorer(scorer),
+		}
+		if d.Puzzle != "" {
+			backend, err := puzzle.ParseBackendSpec(d.Puzzle)
+			if err != nil {
+				return nil, fmt.Errorf("sim: puzzle backend: %w", err)
+			}
+			opts = append(opts, core.WithPuzzleBackend(backend))
+		}
+		opts = append(opts,
 			core.WithPolicy(pol),
 			core.WithSource(combined),
 			core.WithTracker(tracker),
 			core.WithClock(now),
 			core.WithMaxDifficulty(d.MaxDifficulty),
 			core.WithTTL(d.TTL),
-		}
+		)
 		if !d.RealSolve {
 			// Verification is modeled; the replay cache would only grow.
 			opts = append(opts, core.WithReplayCacheSize(0))

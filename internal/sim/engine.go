@@ -194,6 +194,14 @@ type engine struct {
 	ttl      time.Duration
 	phaseEnd []time.Duration // cumulative phase boundaries
 
+	// attemptCost and backendName describe the defense's puzzle backend
+	// for modeled-cost accounting: each modeled solve attempt is priced at
+	// attemptCost hash-equivalents (1 for hashcash, space-and-rounds
+	// dependent for balloon), discounted by the solving population's
+	// Speedup factor for backendName.
+	attemptCost float64
+	backendName string
+
 	// ctrl is the scenario's feedback controller (nil without
 	// Defense.Adapt), stepped once per tick between worker barriers.
 	ctrl *feedback.Controller
@@ -228,13 +236,19 @@ func Run(sc Scenario) (*Result, error) {
 		return nil, fmt.Errorf("sim: scenario %q factory returned a nil framework", sc.Name)
 	}
 
+	backend, err := puzzle.ParseBackendSpec(sc.Defense.Puzzle)
+	if err != nil {
+		return nil, fmt.Errorf("sim: scenario %q puzzle: %w", sc.Name, err)
+	}
 	eng := &engine{
-		sc:    sc,
-		fw:    fw,
-		clock: clock,
-		tick:  sc.Tick,
-		mask:  uint32(sc.Workers - 1),
-		ttl:   sc.Defense.TTL,
+		sc:          sc,
+		fw:          fw,
+		clock:       clock,
+		tick:        sc.Tick,
+		mask:        uint32(sc.Workers - 1),
+		ttl:         sc.Defense.TTL,
+		attemptCost: backend.AttemptCost(),
+		backendName: backend.Name(),
 	}
 	var cum time.Duration
 	for _, ph := range sc.Phases {
@@ -735,6 +749,32 @@ func (w *worker) finish(t int, a arrival, dec core.Decision) {
 		done.at = ev.at + 4*net.OneWay + net.IssueTime + net.VerifyTime
 		w.schedule(eng.tickOf(done.at, t), done)
 		return
+	case BehaviorDowngrade:
+		// The downgrade attacker: re-encode the issued challenge as a
+		// Version1 hashcash token (drop the backend identity, keep seed,
+		// difficulty, and tag), really solve the cheap single-SHA-256 form,
+		// and submit. The verifier's pinned version/backend gate rejects it
+		// before any digest work — and even without that gate, the tag was
+		// computed over the v2 canonical (a disjoint HMAC domain), so the
+		// rewritten token could never authenticate. Scenario validation
+		// guarantees RealSolve, so w.solver is always present here.
+		down := dec.Challenge
+		down.Version = puzzle.Version1
+		down.Backend, down.Space, down.Rounds = 0, 0, 0
+		sol, _, err := w.solver.Solve(context.Background(), down)
+		if err != nil {
+			o.decideErrors++
+			return
+		}
+		done := ev
+		done.completion = true
+		done.sentAt = ev.at
+		done.diff = dec.Difficulty
+		done.verify = true
+		done.sol = sol
+		done.at = ev.at + 4*net.OneWay + net.IssueTime + net.VerifyTime
+		w.schedule(eng.tickOf(done.at, t), done)
+		return
 	case BehaviorGiveUpAbove:
 		if dec.Difficulty > p.GiveUpAt {
 			o.gaveUp++
@@ -744,11 +784,17 @@ func (w *worker) finish(t int, a arrival, dec core.Decision) {
 
 	// The solve cost is always *modeled* from the same geometric process a
 	// real solver executes, so cost accounting stays deterministic even
-	// when RealSolve burns real hashes below.
+	// when RealSolve burns real hashes below. Attempts convert to
+	// effective hash-equivalents through the backend's per-attempt cost
+	// and the population's hardware discount for it: a GPU botnet pays a
+	// fraction of hashcash's price but nearly full price for the
+	// memory-hard backend. Hashcash at speedup 1 makes this a multiply
+	// and divide by 1.0 — bit-identical to the pre-backend accounting.
 	attempts := netsim.SimSolver{HashRate: p.HashRate}.Attempts(dec.Difficulty, rng)
-	o.solveAttempts += uint64(attempts)
-	o.work.Observe(attempts)
-	solveTime := time.Duration(attempts / p.HashRate * float64(time.Second))
+	effUnits := attempts * eng.attemptCost / p.speedupFor(eng.backendName)
+	o.solveAttempts += uint64(effUnits)
+	o.work.Observe(effUnits)
+	solveTime := time.Duration(effUnits / p.HashRate * float64(time.Second))
 
 	done := ev
 	done.completion = true

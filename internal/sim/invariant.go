@@ -59,12 +59,16 @@ const (
 	MetricWorkRatioP50 = "work_ratio_p50"
 
 	// MetricServed, MetricRequests, MetricSolveAttempts, MetricGaveUp,
-	// MetricExpired and MetricDecideErrors expose raw counts.
+	// MetricExpired, MetricRejected and MetricDecideErrors expose raw
+	// counts. Rejected counts real-verify refusals other than expiry —
+	// forged tags, wrong backends, replays — the figure cross-backend
+	// replay scenarios pin above zero.
 	MetricServed        = "served"
 	MetricRequests      = "requests"
 	MetricSolveAttempts = "solve_attempts"
 	MetricGaveUp        = "gave_up"
 	MetricExpired       = "expired"
+	MetricRejected      = "rejected"
 	MetricDecideErrors  = "decide_errors"
 
 	// Adaptive-controller metrics, defined only for scenarios with
@@ -92,8 +96,9 @@ var validMetrics = map[string]bool{
 	MetricMeanDifficulty: true, MetricMeanScore: true, MetricCostPerServed: true,
 	MetricCostP50: true, MetricWorkRatio: true, MetricWorkRatioP50: true,
 	MetricServed: true, MetricRequests: true, MetricSolveAttempts: true,
-	MetricGaveUp: true, MetricExpired: true, MetricDecideErrors: true,
-	MetricAdaptSwaps: true, MetricAdaptMaxLevel: true, MetricAdaptFinalLevel: true,
+	MetricGaveUp: true, MetricExpired: true, MetricRejected: true,
+	MetricDecideErrors: true,
+	MetricAdaptSwaps:   true, MetricAdaptMaxLevel: true, MetricAdaptFinalLevel: true,
 	MetricAdaptFirstEscalationMS: true, MetricAdaptFirstDeescalationMS: true,
 }
 
@@ -325,6 +330,8 @@ func (r *Result) metricValue(inv Invariant) float64 {
 		return float64(o.gaveUp)
 	case MetricExpired:
 		return float64(o.expired)
+	case MetricRejected:
+		return float64(o.rejected)
 	case MetricDecideErrors:
 		return float64(o.decideErrors)
 	}

@@ -7,6 +7,7 @@ import (
 	"aipow/internal/core"
 	"aipow/internal/feedback"
 	"aipow/internal/policy"
+	"aipow/internal/puzzle"
 )
 
 // Behavior describes how a population's clients react to a challenge.
@@ -32,6 +33,15 @@ const (
 	// verification deterministically, driving the verify_fail_rate signal
 	// and the per-IP fail-streak evidence.
 	BehaviorBogus
+
+	// BehaviorDowngrade re-encodes the issued challenge as a Version1
+	// hashcash token, really solves that cheap form, and submits the
+	// result — the downgrade attacker trying to pay single-SHA-256 prices
+	// for a memory-hard route. The verifier's version/backend gate rejects
+	// every submission (the v2 HMAC never authenticates a v1 canonical
+	// either), so these populations pin the downgrade-proofing end to end.
+	// Requires Defense.RealSolve.
+	BehaviorDowngrade
 )
 
 // String renders the behavior for reports.
@@ -45,6 +55,8 @@ func (b Behavior) String() string {
 		return "giveup"
 	case BehaviorBogus:
 		return "bogus"
+	case BehaviorDowngrade:
+		return "downgrade"
 	default:
 		return fmt.Sprintf("behavior(%d)", int(b))
 	}
@@ -110,6 +122,15 @@ type Population struct {
 	// for solving behaviors.
 	HashRate float64
 
+	// Speedup scales the population's effective cost per solve unit by
+	// puzzle backend name ("hashcash", "balloon"): a GPU botnet might
+	// declare {"hashcash": 2000, "balloon": 2} — three orders of magnitude
+	// of parallel SHA-256 throughput, but barely any gain on a
+	// memory-bandwidth-bound function. The engine divides the backend's
+	// modeled cost by the matching factor; absent backends (and a nil map,
+	// the phone-class default) cost full price. Values must be positive.
+	Speedup map[string]float64
+
 	// Feed is what the static intelligence feed knows about the
 	// population's addresses.
 	Feed Feed
@@ -147,9 +168,14 @@ func (p Population) validate() error {
 		if p.HashRate <= 0 {
 			return fmt.Errorf("sim: population %q solves but has hash rate %v", p.Name, p.HashRate)
 		}
-	case BehaviorIgnore, BehaviorBogus:
+	case BehaviorIgnore, BehaviorBogus, BehaviorDowngrade:
 	default:
 		return fmt.Errorf("sim: population %q has unknown behavior %d", p.Name, int(p.Behavior))
+	}
+	for backend, s := range p.Speedup {
+		if s <= 0 {
+			return fmt.Errorf("sim: population %q speedup for %q must be positive, got %v", p.Name, backend, s)
+		}
 	}
 	switch p.Feed {
 	case FeedBenign, FeedMalicious, FeedUnknown:
@@ -166,6 +192,15 @@ func (p Population) validate() error {
 		return fmt.Errorf("sim: population %q fail ratio %v outside [0, 1]", p.Name, p.FailRatio)
 	}
 	return nil
+}
+
+// speedupFor reports the population's cost discount on the named backend
+// (1: full price).
+func (p Population) speedupFor(backend string) float64 {
+	if s, ok := p.Speedup[backend]; ok {
+		return s
+	}
+	return 1
 }
 
 // poolSize reports the population's effective address pool.
@@ -401,10 +436,18 @@ func (sc Scenario) validate() error {
 			}
 		}
 	}
+	if _, err := puzzle.ParseBackendSpec(sc.Defense.Puzzle); err != nil {
+		return fmt.Errorf("sim: scenario %q puzzle: %w", sc.Name, err)
+	}
 	seen := map[string]bool{}
 	for _, p := range sc.Populations {
 		if err := p.validate(); err != nil {
 			return err
+		}
+		if p.Behavior == BehaviorDowngrade && !sc.Defense.RealSolve {
+			// The downgrade attack only means anything against the real
+			// verifier: modeled verification has no version gate to beat.
+			return fmt.Errorf("sim: population %q downgrades but the defense is modeled; set Defense.RealSolve", p.Name)
 		}
 		if seen[p.Name] {
 			return fmt.Errorf("sim: duplicate population %q", p.Name)

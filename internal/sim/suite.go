@@ -32,14 +32,18 @@ func scalePop(n int, scale float64) int {
 }
 
 // DefaultSuite is the canonical adversarial scenario set the CI gate runs:
-// fifteen deterministic scenarios spanning the traffic mixes the ROADMAP
+// eighteen deterministic scenarios spanning the traffic mixes the ROADMAP
 // asks for, including the mid-campaign policy hot-swap, the closed-loop
 // adaptive-defense suite (auto-escalation on attack onset, FP-proxy-gated
 // escalation, controller flap guard, a verify_fail_rate rung against
-// real-crypto forgeries, a three-rung production ladder), and the
+// real-crypto forgeries, a three-rung production ladder), the
 // scoring-verdict stack (the canonical policy2 scenarios run
 // shape(inner=policy2) + behavioral redemption; fp-redemption pins a
-// misscored benign population earning its way out of the FP tail).
+// misscored benign population earning its way out of the FP tail), and the
+// puzzle-backend pair (a GPU-discounted botnet collapses the hashcash
+// asymmetry and the memory-hard balloon backend restores it, plus a
+// real-crypto downgrade-replay scenario pinning that v2 solutions never
+// redeem as v1).
 // scale < 1 (the CLI's -quick) shrinks population sizes without changing
 // per-client dynamics, so invariant bounds hold at every scale.
 func DefaultSuite(seed uint64, scale float64) []Scenario {
@@ -562,6 +566,106 @@ func DefaultSuite(seed uint64, scale float64) []Scenario {
 				AtMost(MetricExpired, "users", "", 0),
 				AtMost(MetricDecideErrors, "users", "", 0),
 				AtMost(MetricLatencyP99, "users", "", 300),
+			},
+		},
+		{
+			Name:        "gpu-botnet-hashcash",
+			Description: "GPU-discounted botnet vs hashcash: parallel SHA-256 hardware collapses the work asymmetry",
+			Phases: []Phase{
+				{Name: "warmup", Duration: 10 * time.Second, RateScale: map[string]float64{"gpu-bots": 0}},
+				{Name: "attack", Duration: 30 * time.Second},
+			},
+			Populations: []Population{
+				{
+					Name: "phones", Legit: true, Clients: scalePop(100, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					// A GPU mines SHA-256 three orders of magnitude faster than
+					// a phone core, but gains almost nothing on a memory-
+					// bandwidth-bound function — the asymmetry this pair of
+					// scenarios measures from both sides.
+					Name: "gpu-bots", Clients: scalePop(150, scale), Rate: 1,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Speedup: map[string]float64{"hashcash": 2000, "balloon": 2},
+					Paths:   []string{"/signup"},
+				},
+			},
+			Defense: Defense{Policy: "shape(inner=policy2)", SaturationRate: 3, MaxDifficulty: 12, Redeem: &RedeemDefense{}},
+			Invariants: []Invariant{
+				// The headline failure: with the hardware discount, the
+				// botnet's effective median cost falls to or below the
+				// phones' — pure hashcash cannot price out parallel silicon.
+				AtMost(MetricWorkRatioP50, "", "attack", 1),
+				AtLeast(MetricServedFrac, "gpu-bots", "", 0.999),
+				AtLeast(MetricServedFrac, "phones", "", 0.999),
+				AtMost(MetricLatencyP90, "phones", "attack", 800),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "gpu-botnet-balloon",
+			Description: "same botnet vs the memory-hard backend: balloon hashing restores the priced-out asymmetry",
+			Phases: []Phase{
+				{Name: "warmup", Duration: 10 * time.Second, RateScale: map[string]float64{"gpu-bots": 0}},
+				{Name: "attack", Duration: 30 * time.Second},
+			},
+			Populations: []Population{
+				{
+					Name: "phones", Legit: true, Clients: scalePop(100, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "gpu-bots", Clients: scalePop(150, scale), Rate: 1,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Speedup: map[string]float64{"hashcash": 2000, "balloon": 2},
+					Paths:   []string{"/signup"},
+				},
+			},
+			Defense: Defense{Policy: "shape(inner=policy2)", SaturationRate: 3, MaxDifficulty: 12, Redeem: &RedeemDefense{}, Puzzle: "balloon(space=8, time=1)"},
+			Invariants: []Invariant{
+				// Identical traffic, identical policy — only the backend
+				// changed, and the asymmetry is back: the botnet's 2x memory
+				// discount cannot bridge the backend's per-attempt cost.
+				AtLeast(MetricWorkRatioP50, "", "attack", 4),
+				AtLeast(MetricCostP50, "gpu-bots", "attack", 1000),
+				// The benign quantiles hold: the median phone barely
+				// notices the backend switch, the tail pays the memory-hard
+				// price in single-digit seconds (not minutes), and every
+				// phone is served.
+				AtLeast(MetricServedFrac, "phones", "", 0.999),
+				AtMost(MetricLatencyP50, "phones", "attack", 250),
+				AtMost(MetricLatencyP90, "phones", "attack", 2000),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "cross-backend-replay",
+			Description: "real-crypto downgrade replay: v2 balloon challenges re-encoded as v1 hashcash never redeem",
+			Phases:      []Phase{{Name: "attack", Duration: 20 * time.Second}},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(20, scale), Rate: 0.5,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "downgraders", Clients: scalePop(60, scale), Rate: 1,
+					Behavior: BehaviorDowngrade, Feed: FeedMalicious,
+					Paths: []string{"/signup"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", MaxDifficulty: 8, RealSolve: true, Puzzle: "balloon(space=8, time=1)"},
+			Invariants: []Invariant{
+				// Every downgraded solution is rejected by the verifier's
+				// version/backend gate; none is ever served — the cheap
+				// hashcash work buys nothing on the memory-hard route.
+				AtMost(MetricServed, "downgraders", "", 0),
+				AtLeast(MetricRejected, "downgraders", "", 1),
+				// Honest clients solving the real memory-hard puzzle sail
+				// through the same verifier.
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricExpired, "users", "", 0),
+				AtMost(MetricDecideErrors, "", "", 0),
 			},
 		},
 	}
