@@ -1,0 +1,34 @@
+package aipow
+
+import (
+	"aipow/internal/cluster"
+	"aipow/internal/control"
+)
+
+// This file surfaces the distributed defense plane: multi-node
+// deployments exchange compact state frames — rotating Bloom filters
+// over redeemed-token tags, CRDT-merged reputation digests, and
+// monotone serving counters — so every fleet node defends with
+// cluster-wide knowledge. See the "Distributed defense plane" section
+// of the package documentation and the `cluster` statement in SPEC.md.
+
+// ClusterSpec is a pipeline spec's cluster section: peer frame URLs,
+// the exchange interval, and the replay-filter geometry. A nil section
+// means a standalone node — cluster code is never on the request path.
+type ClusterSpec = control.ClusterSpec
+
+// ClusterNode is one fleet member's exchange endpoint, owned by a
+// pipeline built from a spec with a cluster section
+// (Pipeline.ClusterNode). Mount Handler() on a peer-facing listener so
+// other nodes can fetch this node's frames.
+type ClusterNode = cluster.Node
+
+// ClusterNodeStats is a snapshot of one node's exchange counters.
+type ClusterNodeStats = cluster.Stats
+
+// WithRegistryNodeID sets the origin name this registry's cluster
+// nodes gossip under. Every node in a fleet needs a distinct ID
+// (default "local"); powserver defaults it to the hostname.
+func WithRegistryNodeID(id string) ComponentRegistryOption {
+	return control.WithRegistryNodeID(id)
+}

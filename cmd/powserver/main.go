@@ -31,7 +31,15 @@
 // -admin-token protects the mutating admin endpoints (POST /apply, POST
 // /rollback) with a constant-time bearer check; read endpoints stay open
 // for scrapers. Without a token the admin listener is fully open — bind
-// it privately.
+// it privately. POST /batch alternatively accepts per-request signed
+// proxy headers (X-AIPoW-Client-IP + timestamp + signature under a key
+// derived from -key), so the proxy tier never holds the admin token.
+//
+// Fleet deployments add two flags: -node-id names this node's gossip
+// origin (default: the hostname), and -cluster-listen serves GET
+// /cluster/<pipeline> state frames for peers whose specs name this node
+// in a `cluster peers(...)` statement. Single-node deployments without
+// cluster sections are byte-for-byte unaffected.
 //
 // Spec-named components: scorers "dabr" (the trained reputation model)
 // and "rate(saturation=N)" (kaPoW-style request-rate scorer); sources
@@ -78,7 +86,16 @@ func main() {
 	bypass := flag.Float64("bypass", -1, "bypass puzzles for scores below this (negative disables)")
 	trustHeader := flag.String("trust-ip-header", "", "trust this header for client IPs (behind a proxy only)")
 	tenantHeader := flag.String("tenant-header", "", "trust this header as the tenant routing key (behind a proxy only)")
+	nodeID := flag.String("node-id", "", "this node's cluster origin name (default: the hostname)")
+	clusterListen := flag.String("cluster-listen", "", "peer-exchange listen address serving GET /cluster/<pipeline> frames (empty disables; bind privately)")
 	flag.Parse()
+
+	origin := *nodeID
+	if origin == "" {
+		if host, err := os.Hostname(); err == nil {
+			origin = host
+		}
+	}
 
 	key, err := resolveKey(*keyHex)
 	if err != nil {
@@ -96,7 +113,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
-	registry, err := buildRegistry(key, model, store)
+	registry, err := buildRegistry(key, model, store, origin)
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
@@ -136,7 +153,14 @@ func main() {
 		reloadOnSIGHUP(gk, *specPath)
 	}
 	if *adminAddr != "" {
-		go serveAdmin(*adminAddr, *adminToken, gk)
+		proxyAuth, err := aipow.NewProxyAuth(aipow.DeriveProxyAuthKey(key))
+		if err != nil {
+			log.Fatalf("powserver: %v", err)
+		}
+		go serveAdmin(*adminAddr, *adminToken, proxyAuth, gk)
+	}
+	if *clusterListen != "" {
+		go serveCluster(*clusterListen, gk)
 	}
 	if *adapt {
 		go runAdaptLoop(gk)
@@ -161,12 +185,16 @@ func main() {
 // buildRegistry assembles the component registry the spec's names resolve
 // against: the trained model and the feed store become spec-addressable
 // components sharing one tracker and key across all pipelines.
-func buildRegistry(key []byte, model *reputation.Model, store *aipow.MapStore) (*aipow.ComponentRegistry, error) {
+func buildRegistry(key []byte, model *reputation.Model, store *aipow.MapStore, nodeID string) (*aipow.ComponentRegistry, error) {
 	tracker, err := aipow.NewTracker()
 	if err != nil {
 		return nil, err
 	}
-	registry, err := aipow.NewComponentRegistry(key, aipow.WithSharedTracker(tracker))
+	opts := []aipow.ComponentRegistryOption{aipow.WithSharedTracker(tracker)}
+	if nodeID != "" {
+		opts = append(opts, aipow.WithRegistryNodeID(nodeID))
+	}
+	registry, err := aipow.NewComponentRegistry(key, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -313,11 +341,61 @@ func requireBearer(token string, next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// requireBearerOrProxy admits a request through either credential: the
+// admin bearer token, or the signed proxy headers proving the caller
+// holds the key derived from the deployment's root key — so the proxy
+// tier can drive POST /batch without ever seeing the admin token, and a
+// leaked admin token no longer implies a leaked serving path. A request
+// that presents a proxy signature is judged on it alone (a bad
+// signature never falls back to the bearer check).
+func requireBearerOrProxy(token string, auth *aipow.ProxyAuth, next http.HandlerFunc) http.HandlerFunc {
+	bearer := requireBearer(token, next)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(aipow.HeaderProxySignature) == "" {
+			bearer(w, r)
+			return
+		}
+		if _, err := auth.Authenticate(r); err != nil {
+			http.Error(w, err.Error(), http.StatusUnauthorized)
+			return
+		}
+		next(w, r)
+	}
+}
+
+// serveCluster runs the peer-exchange listener: GET /cluster/<pipeline>
+// serves the named pipeline's current state frame (Bloom filter over
+// redeemed tags, reputation digest, serving counters) for fleet peers
+// to absorb. Frames are HMAC-signed with the pipeline's key, so the
+// listener leaks nothing actionable to an unkeyed reader — but bind it
+// privately anyway. Pipelines are resolved per request, so hot-swapped
+// deployments serve their current generation's node.
+func serveCluster(addr string, gk *aipow.Gatekeeper) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cluster/{pipeline}", func(w http.ResponseWriter, r *http.Request) {
+		p, ok := gk.Pipeline(r.PathValue("pipeline"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		node := p.ClusterNode()
+		if node == nil {
+			http.Error(w, "pipeline is not clustered", http.StatusNotFound)
+			return
+		}
+		node.Handler().ServeHTTP(w, r)
+	})
+	log.Printf("powserver: cluster exchange on %s (GET /cluster/<pipeline>)", addr)
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(server.ListenAndServe())
+}
+
 // serveAdmin runs the control-plane listener: POST /apply (spec body),
-// POST /rollback, GET /spec, GET /spec/history, GET /stats. Mutating
-// endpoints honor the bearer token; read endpoints stay open for
+// POST /rollback, POST /batch, GET /spec, GET /spec/history, GET
+// /stats. Mutating endpoints honor the bearer token (the batch front
+// door also accepts signed proxy headers); read endpoints stay open for
 // scrapers — bind the listener to a private interface regardless.
-func serveAdmin(addr, token string, gk *aipow.Gatekeeper) {
+func serveAdmin(addr, token string, proxyAuth *aipow.ProxyAuth, gk *aipow.Gatekeeper) {
 	// One stats map reused across polls (StatsInto): the scrape path does
 	// not allocate a map per request.
 	var statsMu sync.Mutex
@@ -354,13 +432,14 @@ func serveAdmin(addr, token string, gk *aipow.Gatekeeper) {
 		fmt.Fprintf(w, "rolled back; pipelines %v\n", gk.Names())
 	}))
 	// The batch front door trusts caller-supplied client IPs, so it lives
-	// on the (privately bound) admin listener behind the bearer token:
-	// only a trusted proxy tier may decide on behalf of clients.
+	// on the (privately bound) admin listener behind a credential: the
+	// bearer token, or per-request signed proxy headers — only a trusted
+	// proxy tier may decide on behalf of clients.
 	batch, err := aipow.NewRoutedHTTPBatchHandler(gk)
 	if err != nil {
 		log.Fatalf("powserver: batch handler: %v", err)
 	}
-	mux.HandleFunc("POST /batch", requireBearer(token, batch.ServeHTTP))
+	mux.HandleFunc("POST /batch", requireBearerOrProxy(token, proxyAuth, batch.ServeHTTP))
 	mux.HandleFunc("GET /spec/history", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

@@ -323,6 +323,48 @@
 // Verify + write-back loop) runs within 2x plain Decide, and
 // DecideBatch under it, all at 0 allocs/op.
 //
+// # Distributed defense plane
+//
+// A single node defends with what it alone has seen. The cluster plane
+// makes a fleet defend with what the *fleet* has seen — without a
+// coordinator, a quorum, or any network call on the serving path. A
+// pipeline whose spec carries a cluster statement
+//
+//	pipeline edge
+//	  scorer dabr
+//	  policy policy1
+//	  cluster peers(http://10.0.0.2:9100/cluster/edge) exchange(1s)
+//
+// owns a ClusterNode that periodically pulls compact state frames from
+// its peers and merges three planes of fleet knowledge:
+//
+//   - Replay suppression. Redeemed-token tags enter a time-bucketed
+//     rotating Bloom ring that gossips fleet-wide, so a token solved
+//     honestly on one node redeems exactly once anywhere: replaying it
+//     against a different node hits the merged filter and is rejected
+//     (fail-closed), at a declared worst-case false-positive rate and
+//     bounded memory. The serving-path check is a pure in-memory probe
+//     at 0 allocs/op.
+//   - Reputation gossip. Behavior-tracker digests — evidence credit and
+//     fail counters as monotone or decayed sums — merge CRDT-style:
+//     commutative, associative, idempotent (property-tested), so merge
+//     order, duplicated delivery, and relay topology cannot change the
+//     result. An attacker burned on one node is expensive everywhere.
+//   - Fleet feedback. Peer serving counters fold into a summed feedback
+//     source, so adapt ladders escalate on cluster-wide rate. A botnet
+//     striping across K nodes keeps every per-node rate under the
+//     threshold; only the fleet sum crosses it.
+//
+// Peers are a partial view: frames carry relayed peer sections, so
+// gossip converges transitively over rings and sparse meshes at the
+// cost of one exchange interval per hop — bounded staleness, declared
+// in the spec. powserver serves frames at GET /cluster/<pipeline> via
+// -cluster-listen; standalone deployments (no cluster statement) are
+// byte-for-byte unaffected. The sim suite's cluster quartet pins the
+// semantics: the striping pair (fleet feedback detects what per-node
+// feedback provably cannot), cross-node replay redeeming zero times,
+// and a ring topology trading one relay hop of detection latency.
+//
 // # Simulation & scenario regression
 //
 // The paper's central claim is economic asymmetry: legitimate clients pay
@@ -360,8 +402,8 @@
 // The canonical scenario suite (steady state, flash crowd, pulsing
 // botnet, rotating-IP botnet, slow-and-low probing, reputation-poisoning
 // warmup, challenge dodging, mid-campaign policy flip, real-crypto smoke,
-// the adaptive-feedback ladder, the redemption pair, and the
-// puzzle-backend trio) runs via:
+// the adaptive-feedback ladder, the redemption pair, the puzzle-backend
+// trio, and the K-node cluster quartet) runs via:
 //
 //	go run ./cmd/attacksim -json          # writes SIM_scenarios.json
 //	go run ./cmd/attacksim -json -quick   # CI scale

@@ -17,6 +17,17 @@ const (
 
 	// StatusChallenge is 428 Precondition Required.
 	StatusChallenge = httpmw.StatusChallenge
+
+	// HeaderProxyIP carries the client IP an authenticated proxy is
+	// acting for on a signed batch request.
+	HeaderProxyIP = httpmw.HeaderProxyIP
+
+	// HeaderProxyTimestamp is the proxy signature's signing time.
+	HeaderProxyTimestamp = httpmw.HeaderProxyTimestamp
+
+	// HeaderProxySignature authenticates the proxy's (IP, timestamp)
+	// pair; see ProxyAuth.
+	HeaderProxySignature = httpmw.HeaderProxySignature
 )
 
 // HTTPMiddlewareOption configures NewHTTPMiddleware.
@@ -86,6 +97,35 @@ func NewHTTPBatchHandler(fw *Framework, opts ...HTTPBatchOption) (http.Handler, 
 // routing through router (typically a Gatekeeper).
 func NewRoutedHTTPBatchHandler(router HTTPRouter, opts ...HTTPBatchOption) (http.Handler, error) {
 	return httpmw.NewRoutedBatchHandler(router, opts...)
+}
+
+// ProxyAuth signs and verifies the batch proxy-authentication headers:
+// an upstream proxy proves fleet membership per request by signing the
+// client IP it fronts plus a timestamp with a key derived from the
+// deployment's root key, so POST /batch does not require sharing the
+// admin bearer token with the proxy tier.
+type ProxyAuth = httpmw.ProxyAuth
+
+// ProxyAuthOption configures NewProxyAuth.
+type ProxyAuthOption = httpmw.ProxyAuthOption
+
+// NewProxyAuth builds a proxy-header signer/verifier over a derived key
+// (see DeriveProxyAuthKey).
+func NewProxyAuth(key []byte, opts ...ProxyAuthOption) (*ProxyAuth, error) {
+	return httpmw.NewProxyAuth(key, opts...)
+}
+
+// WithProxyAuthSkew sets the tolerated signed-timestamp skew (default
+// httpmw.DefaultProxyAuthSkew).
+func WithProxyAuthSkew(skew time.Duration) ProxyAuthOption {
+	return httpmw.WithProxyAuthSkew(skew)
+}
+
+// DeriveProxyAuthKey derives the proxy-auth signing key from a
+// deployment's root HMAC key; both the proxy tier and every verifying
+// node derive the same key without the root key ever traveling.
+func DeriveProxyAuthKey(root []byte) []byte {
+	return httpmw.DeriveProxyAuthKey(root)
 }
 
 // HTTPTransportOption configures NewHTTPTransport.

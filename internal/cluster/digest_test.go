@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"aipow/internal/features"
+)
+
+const testHalfLife = 5 * time.Minute
+
+var digestEpoch = time.Date(2022, 3, 21, 0, 0, 0, 0, time.UTC)
+
+// randRow draws an arbitrary evidence row; failures never exceed totals
+// (the invariant real trackers maintain).
+func randRow(rng *rand.Rand) features.EvidenceRow {
+	total := rng.Uint64() % 1e6
+	return features.EvidenceRow{
+		IP:          "203.0.113.7",
+		Total:       total,
+		Failed:      rng.Uint64() % (total + 1),
+		SolveCredit: rng.Float64() * 50,
+		CreditAt:    digestEpoch.Add(time.Duration(rng.Int63n(int64(24 * time.Hour)))),
+	}
+}
+
+// decayedTo re-expresses a row's credit at a later reference time using
+// only the public merge operation (merging with an empty row carrying the
+// target time), so the no-resurrection test exercises exactly the decay
+// the merge itself applies.
+func decayedTo(a features.EvidenceRow, at time.Time) features.EvidenceRow {
+	return features.MergeRows(a, features.EvidenceRow{IP: a.IP, CreditAt: at}, testHalfLife)
+}
+
+func rowsEqual(a, b features.EvidenceRow) bool {
+	return a.Total == b.Total && a.Failed == b.Failed &&
+		a.SolveCredit == b.SolveCredit && a.CreditAt.Equal(b.CreditAt)
+}
+
+func rowsClose(a, b features.EvidenceRow) bool {
+	if a.Total != b.Total || a.Failed != b.Failed || !a.CreditAt.Equal(b.CreditAt) {
+		return false
+	}
+	diff := math.Abs(a.SolveCredit - b.SolveCredit)
+	scale := math.Max(math.Abs(a.SolveCredit), math.Abs(b.SolveCredit))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// TestMergeRowsCommutative: merge(a, b) == merge(b, a), exactly.
+func TestMergeRowsCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randRow(rng), randRow(rng)
+		ab := features.MergeRows(a, b, testHalfLife)
+		ba := features.MergeRows(b, a, testHalfLife)
+		if !rowsEqual(ab, ba) {
+			t.Fatalf("iteration %d: merge not commutative:\n a=%+v\n b=%+v\nab=%+v\nba=%+v", i, a, b, ab, ba)
+		}
+	}
+}
+
+// TestMergeRowsAssociative: merge(merge(a, b), c) == merge(a, merge(b, c))
+// up to float rounding in the decay factor (2^-(d1+d2) vs 2^-d1 · 2^-d2).
+func TestMergeRowsAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randRow(rng), randRow(rng), randRow(rng)
+		left := features.MergeRows(features.MergeRows(a, b, testHalfLife), c, testHalfLife)
+		right := features.MergeRows(a, features.MergeRows(b, c, testHalfLife), testHalfLife)
+		if !rowsClose(left, right) {
+			t.Fatalf("iteration %d: merge not associative:\n a=%+v\n b=%+v\n c=%+v\nleft=%+v\nright=%+v",
+				i, a, b, c, left, right)
+		}
+	}
+}
+
+// TestMergeRowsIdempotent: merge(a, a) == a, exactly.
+func TestMergeRowsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a := randRow(rng)
+		if got := features.MergeRows(a, a, testHalfLife); !rowsEqual(got, a) {
+			t.Fatalf("iteration %d: merge(a, a) = %+v, want %+v", i, got, a)
+		}
+	}
+}
+
+// TestMergeRowsNeverResurrects: merging a row with a later-decayed copy of
+// itself yields the decayed copy — stale gossip cannot restore credit that
+// has since decayed away locally.
+func TestMergeRowsNeverResurrects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		a := randRow(rng)
+		later := a.CreditAt.Add(time.Duration(rng.Int63n(int64(time.Hour))) + time.Second)
+		decayed := decayedTo(a, later)
+		if decayed.SolveCredit >= a.SolveCredit && a.SolveCredit > 0 {
+			t.Fatalf("iteration %d: decay to %v did not reduce credit (%v → %v)",
+				i, later, a.SolveCredit, decayed.SolveCredit)
+		}
+		if got := features.MergeRows(a, decayed, testHalfLife); !rowsEqual(got, decayed) {
+			t.Fatalf("iteration %d: merge(a, decay(a)) = %+v, want the decayed row %+v", i, got, decayed)
+		}
+		if got := features.MergeRows(decayed, a, testHalfLife); !rowsEqual(got, decayed) {
+			t.Fatalf("iteration %d: merge(decay(a), a) = %+v, want the decayed row %+v", i, got, decayed)
+		}
+	}
+}
+
+// TestTrackerGossipRoundTrip drives the tracker-level export/merge pair:
+// evidence earned on one tracker transfers to another, and echoing the
+// merged digest back changes nothing (gossip echo is harmless).
+func TestTrackerGossipRoundTrip(t *testing.T) {
+	now := digestEpoch
+	ta, err := features.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := features.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		at := now.Add(time.Duration(i) * time.Second)
+		if err := ta.Observe(features.RequestInfo{IP: "198.51.100.9", Path: "/", At: at}); err != nil {
+			t.Fatal(err)
+		}
+		ta.RecordVerify("198.51.100.9", 12, true, at)
+	}
+	if err := ta.Observe(features.RequestInfo{IP: "198.51.100.9", Path: "/", At: now.Add(6 * time.Second), Failed: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	exported := ta.ExportEvidence(nil, 0)
+	if len(exported) != 1 {
+		t.Fatalf("exported %d rows, want 1", len(exported))
+	}
+	if exported[0].Total != 6 || exported[0].Failed != 1 || exported[0].SolveCredit <= 0 {
+		t.Fatalf("unexpected export %+v", exported[0])
+	}
+
+	tb.MergeEvidence(exported)
+	merged := tb.ExportEvidence(nil, 0)
+	if len(merged) != 1 || !rowsEqual(merged[0], exported[0]) {
+		t.Fatalf("merge did not transfer evidence: got %+v, want %+v", merged, exported)
+	}
+
+	// Echo: merging B's digest back into A must be a no-op.
+	ta.MergeEvidence(merged)
+	after := ta.ExportEvidence(nil, 0)
+	if len(after) != 1 || !rowsEqual(after[0], exported[0]) {
+		t.Fatalf("gossip echo changed local evidence: got %+v, want %+v", after, exported)
+	}
+
+	// Idempotence at tracker level: merging the same digest again too.
+	tb.MergeEvidence(exported)
+	again := tb.ExportEvidence(nil, 0)
+	if len(again) != 1 || !rowsEqual(again[0], exported[0]) {
+		t.Fatalf("repeated merge changed evidence: got %+v, want %+v", again, exported)
+	}
+}
+
+// TestExportEvidenceBounds: maxRows truncates deterministically and empty
+// entries are skipped.
+func TestExportEvidenceBounds(t *testing.T) {
+	tr, err := features.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := digestEpoch
+	ips := []string{"10.0.0.3", "10.0.0.1", "10.0.0.2"}
+	for _, ip := range ips {
+		tr.RecordVerify(ip, 8, true, now)
+	}
+	// An entry holding neither request counts nor solve credit — a failed
+	// verification alone — carries nothing a peer could merge, so it is
+	// skipped (fail streaks are deliberately not gossiped: the local
+	// reset-on-success makes them non-monotone).
+	tr.RecordVerify("10.0.0.9", 8, false, now)
+
+	all := tr.ExportEvidence(nil, 0)
+	if len(all) != 3 {
+		t.Fatalf("exported %d rows, want 3 (evidence-free entries must be skipped)", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].IP >= all[i].IP {
+			t.Fatalf("export not sorted: %q before %q", all[i-1].IP, all[i].IP)
+		}
+	}
+	capped := tr.ExportEvidence(nil, 2)
+	if len(capped) != 2 || capped[0].IP != "10.0.0.1" || capped[1].IP != "10.0.0.2" {
+		t.Fatalf("maxRows truncation unstable: %+v", capped)
+	}
+}

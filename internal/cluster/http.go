@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// frameContentType labels encoded frames on the wire.
+const frameContentType = "application/x-aipow-cluster-frame"
+
+// Handler returns an http.Handler serving the node's current frame —
+// mount it on the peer-exchange listener (powserver exposes it at
+// /cluster/<pipeline>). Frames are signed with the node's key when one
+// is configured, so peers reject responses from an impostor.
+func (n *Node) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := EncodeFrame(n.Frame(), n.cfg.Key)
+		if err != nil {
+			http.Error(w, "frame encoding failed", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", frameContentType)
+		w.Write(data)
+	})
+}
+
+// HTTPFetcher pulls frames from one peer's exchange endpoint. Responses
+// are size-bounded and decoded fail-closed; when a key is set, unsigned
+// or mis-signed frames are rejected.
+type HTTPFetcher struct {
+	// URL is the peer's frame endpoint, e.g.
+	// "http://10.0.0.2:9100/cluster/edge".
+	URL string
+
+	// Key verifies frame signatures; nil accepts unsigned frames.
+	Key []byte
+
+	// Client defaults to a client with a timeout of half the default
+	// exchange interval, so one stuck peer cannot stall a whole round.
+	Client *http.Client
+}
+
+// Close releases the fetcher's pooled connections (and their keep-alive
+// goroutines). The exchange loop calls it when the node shuts down.
+func (f *HTTPFetcher) Close() error {
+	if f.Client != nil {
+		f.Client.CloseIdleConnections()
+	}
+	return nil
+}
+
+// Fetch implements Fetcher.
+func (f *HTTPFetcher) Fetch() (*Frame, error) {
+	client := f.Client
+	if client == nil {
+		client = &http.Client{Timeout: DefaultExchange / 2}
+	}
+	resp, err := client.Get(f.URL)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch %s: %w", f.URL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: fetch %s: status %s", f.URL, resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: fetch %s: %w", f.URL, err)
+	}
+	return DecodeFrame(data, f.Key)
+}
+
+// NewHTTPFetchers builds one fetcher per peer URL with a shared client
+// whose timeout is half the exchange interval. The client gets its own
+// transport — never http.DefaultTransport — so closing the fetchers
+// (which the exchange loop does on shutdown) reliably frees every
+// pooled connection instead of leaving them in a process-global pool.
+func NewHTTPFetchers(urls []string, key []byte, exchange time.Duration) []Fetcher {
+	if exchange <= 0 {
+		exchange = DefaultExchange
+	}
+	client := &http.Client{Timeout: exchange / 2, Transport: &http.Transport{}}
+	out := make([]Fetcher, 0, len(urls))
+	for _, u := range urls {
+		out = append(out, &HTTPFetcher{URL: u, Key: key, Client: client})
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"aipow/internal/features"
+)
+
+// Wire format (all integers big-endian):
+//
+//	magic     8 bytes  "AIPoWX1\x00"
+//	sig       32 bytes HMAC-SHA256 over everything after it (zero if unkeyed)
+//	origins   u8 count, each:
+//	    origin    u8 len + bytes
+//	    counters  u16 count, each: u8 name len + bytes, f64 bits
+//	    issued    u8 count, each: u8 difficulty, u64 count   (sparse)
+//	    verified  u8 count, each: u8 difficulty, u64 count   (sparse)
+//	    rows      u32 count, each: u8 ip len + bytes,
+//	              u64 total, u64 failed, f64 credit, i64 creditAt unix-ns
+//	buckets   u8 count, each: i64 epoch, i64 span ns, u32 words, u64 each
+//
+// Every count is bounded against the remaining input before allocating,
+// so a truncated or hostile frame fails closed with ErrBadFrame instead
+// of ballooning memory. A signed decode (key != nil) rejects any frame
+// whose signature does not verify — including unsigned frames.
+
+var frameMagic = [8]byte{'A', 'I', 'P', 'o', 'W', 'X', '1', 0}
+
+// frameSigDomain separates frame signatures from every other HMAC use of
+// the pipeline key.
+const frameSigDomain = "aipow-cluster-frame\x00"
+
+// ErrBadFrame reports a frame that failed to decode or authenticate.
+var ErrBadFrame = errors.New("cluster: bad frame")
+
+// Wire bounds. Frames exceeding them fail closed.
+const (
+	maxFrameBytes   = 16 << 20
+	maxWireOrigins  = maxPeerOrigins + 1
+	maxWireCounters = 256
+	maxWireRows     = 1 << 16
+	maxWireBuckets  = 32
+	maxWireWords    = 1 << 22 / 64 // caps filter bits at 4 Mi
+)
+
+// EncodeFrame serializes f, signing with key when non-nil.
+func EncodeFrame(f *Frame, key []byte) ([]byte, error) {
+	if len(f.Origins) > maxWireOrigins {
+		return nil, fmt.Errorf("%w: %d origins exceeds %d", ErrBadFrame, len(f.Origins), maxWireOrigins)
+	}
+	if len(f.Buckets) > maxWireBuckets {
+		return nil, fmt.Errorf("%w: %d buckets exceeds %d", ErrBadFrame, len(f.Buckets), maxWireBuckets)
+	}
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, frameMagic[:]...)
+	buf = append(buf, make([]byte, sha256.Size)...) // signature placeholder
+	buf = append(buf, byte(len(f.Origins)))
+	for i := range f.Origins {
+		var err error
+		if buf, err = appendSection(buf, &f.Origins[i]); err != nil {
+			return nil, err
+		}
+	}
+	buf = append(buf, byte(len(f.Buckets)))
+	for i := range f.Buckets {
+		b := &f.Buckets[i]
+		if len(b.Words) > maxWireWords {
+			return nil, fmt.Errorf("%w: bucket of %d words exceeds %d", ErrBadFrame, len(b.Words), maxWireWords)
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(b.Epoch))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(b.Span))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Words)))
+		for _, w := range b.Words {
+			buf = binary.BigEndian.AppendUint64(buf, w)
+		}
+	}
+	if key != nil {
+		mac := hmac.New(sha256.New, key)
+		mac.Write([]byte(frameSigDomain))
+		mac.Write(buf[len(frameMagic)+sha256.Size:])
+		mac.Sum(buf[len(frameMagic):len(frameMagic)])
+	}
+	return buf, nil
+}
+
+func appendSection(buf []byte, sec *OriginSection) ([]byte, error) {
+	if len(sec.Origin) == 0 || len(sec.Origin) > 255 {
+		return nil, fmt.Errorf("%w: origin name length %d outside [1, 255]", ErrBadFrame, len(sec.Origin))
+	}
+	if len(sec.Counters) > maxWireCounters {
+		return nil, fmt.Errorf("%w: %d counters exceeds %d", ErrBadFrame, len(sec.Counters), maxWireCounters)
+	}
+	if len(sec.Rows) > maxWireRows {
+		return nil, fmt.Errorf("%w: %d rows exceeds %d", ErrBadFrame, len(sec.Rows), maxWireRows)
+	}
+	buf = append(buf, byte(len(sec.Origin)))
+	buf = append(buf, sec.Origin...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(sec.Counters)))
+	for _, name := range sortedCounterNames(sec.Counters) {
+		if len(name) == 0 || len(name) > 255 {
+			return nil, fmt.Errorf("%w: counter name length %d outside [1, 255]", ErrBadFrame, len(name))
+		}
+		buf = append(buf, byte(len(name)))
+		buf = append(buf, name...)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(sec.Counters[name]))
+	}
+	for _, profile := range [][]uint64{sec.DiffIssued, sec.DiffVerified} {
+		if len(profile) > 256 {
+			return nil, fmt.Errorf("%w: difficulty profile of %d entries", ErrBadFrame, len(profile))
+		}
+		nonzero := 0
+		for _, c := range profile {
+			if c != 0 {
+				nonzero++
+			}
+		}
+		if nonzero > 255 {
+			return nil, fmt.Errorf("%w: %d non-zero profile entries", ErrBadFrame, nonzero)
+		}
+		buf = append(buf, byte(nonzero))
+		for d, c := range profile {
+			if c != 0 {
+				buf = append(buf, byte(d))
+				buf = binary.BigEndian.AppendUint64(buf, c)
+			}
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(sec.Rows)))
+	for i := range sec.Rows {
+		r := &sec.Rows[i]
+		if len(r.IP) == 0 || len(r.IP) > 255 {
+			return nil, fmt.Errorf("%w: row IP length %d outside [1, 255]", ErrBadFrame, len(r.IP))
+		}
+		buf = append(buf, byte(len(r.IP)))
+		buf = append(buf, r.IP...)
+		buf = binary.BigEndian.AppendUint64(buf, r.Total)
+		buf = binary.BigEndian.AppendUint64(buf, r.Failed)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(r.SolveCredit))
+		var at int64
+		if !r.CreditAt.IsZero() {
+			at = r.CreditAt.UnixNano()
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(at))
+	}
+	return buf, nil
+}
+
+func sortedCounterNames(m map[string]float64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}
+
+// DecodeFrame parses data, verifying its signature against key when key
+// is non-nil. Decoding fails closed: truncation, garbage, out-of-bound
+// counts, non-finite floats, or a bad signature all yield ErrBadFrame
+// and a nil frame.
+func DecodeFrame(data []byte, key []byte) (*Frame, error) {
+	if len(data) > maxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes exceeds %d", ErrBadFrame, len(data), maxFrameBytes)
+	}
+	if len(data) < len(frameMagic)+sha256.Size+2 {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadFrame)
+	}
+	if string(data[:len(frameMagic)]) != string(frameMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if key != nil {
+		mac := hmac.New(sha256.New, key)
+		mac.Write([]byte(frameSigDomain))
+		mac.Write(data[len(frameMagic)+sha256.Size:])
+		if !hmac.Equal(mac.Sum(nil), data[len(frameMagic):len(frameMagic)+sha256.Size]) {
+			return nil, fmt.Errorf("%w: signature mismatch", ErrBadFrame)
+		}
+	}
+	rd := wireReader{b: data[len(frameMagic)+sha256.Size:]}
+	f := &Frame{}
+	nOrigins := int(rd.u8())
+	if nOrigins > maxWireOrigins {
+		return nil, fmt.Errorf("%w: %d origins exceeds %d", ErrBadFrame, nOrigins, maxWireOrigins)
+	}
+	for i := 0; i < nOrigins && !rd.failed; i++ {
+		sec, err := rd.section()
+		if err != nil {
+			return nil, err
+		}
+		f.Origins = append(f.Origins, sec)
+	}
+	nBuckets := int(rd.u8())
+	if nBuckets > maxWireBuckets {
+		return nil, fmt.Errorf("%w: %d buckets exceeds %d", ErrBadFrame, nBuckets, maxWireBuckets)
+	}
+	for i := 0; i < nBuckets && !rd.failed; i++ {
+		epoch := int64(rd.u64())
+		span := int64(rd.u64())
+		nWords := int(rd.u32())
+		if nWords > maxWireWords || nWords*8 > rd.remaining() {
+			return nil, fmt.Errorf("%w: bucket word count %d exceeds input", ErrBadFrame, nWords)
+		}
+		words := make([]uint64, nWords)
+		for w := range words {
+			words[w] = rd.u64()
+		}
+		if epoch < 0 || span <= 0 {
+			return nil, fmt.Errorf("%w: bucket epoch %d span %d", ErrBadFrame, epoch, span)
+		}
+		f.Buckets = append(f.Buckets, FilterBucket{Epoch: epoch, Span: span, Words: words})
+	}
+	if rd.failed {
+		return nil, fmt.Errorf("%w: truncated", ErrBadFrame)
+	}
+	if rd.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, rd.remaining())
+	}
+	return f, nil
+}
+
+// wireReader cursors over the payload, latching failure on any short
+// read so callers can batch reads and check once.
+type wireReader struct {
+	b      []byte
+	failed bool
+}
+
+func (r *wireReader) remaining() int { return len(r.b) }
+
+func (r *wireReader) take(n int) []byte {
+	if r.failed || len(r.b) < n {
+		r.failed = true
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *wireReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *wireReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *wireReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *wireReader) f64() (float64, error) {
+	v := math.Float64frombits(r.u64())
+	if !r.failed && (math.IsNaN(v) || math.IsInf(v, 0) || v < 0) {
+		return 0, fmt.Errorf("%w: non-finite or negative float", ErrBadFrame)
+	}
+	return v, nil
+}
+
+func (r *wireReader) str(what string) (string, error) {
+	n := int(r.u8())
+	if !r.failed && n == 0 {
+		return "", fmt.Errorf("%w: empty %s", ErrBadFrame, what)
+	}
+	return string(r.take(n)), nil
+}
+
+func (r *wireReader) section() (OriginSection, error) {
+	var sec OriginSection
+	origin, err := r.str("origin")
+	if err != nil {
+		return sec, err
+	}
+	sec.Origin = origin
+	nCounters := int(r.u16())
+	if nCounters > maxWireCounters {
+		return sec, fmt.Errorf("%w: %d counters exceeds %d", ErrBadFrame, nCounters, maxWireCounters)
+	}
+	if nCounters > 0 {
+		sec.Counters = make(map[string]float64, nCounters)
+	}
+	for i := 0; i < nCounters && !r.failed; i++ {
+		name, err := r.str("counter name")
+		if err != nil {
+			return sec, err
+		}
+		v, err := r.f64()
+		if err != nil {
+			return sec, err
+		}
+		sec.Counters[name] = v
+	}
+	for pi := 0; pi < 2 && !r.failed; pi++ {
+		n := int(r.u8())
+		var profile []uint64
+		for i := 0; i < n && !r.failed; i++ {
+			d := int(r.u8())
+			c := r.u64()
+			if profile == nil {
+				profile = make([]uint64, 256)
+			}
+			profile[d] = c
+		}
+		if pi == 0 {
+			sec.DiffIssued = profile
+		} else {
+			sec.DiffVerified = profile
+		}
+	}
+	nRows := int(r.u32())
+	if nRows > maxWireRows || nRows*26 > r.remaining() {
+		return sec, fmt.Errorf("%w: row count %d exceeds input", ErrBadFrame, nRows)
+	}
+	for i := 0; i < nRows && !r.failed; i++ {
+		ip, err := r.str("row IP")
+		if err != nil {
+			return sec, err
+		}
+		total := r.u64()
+		failed := r.u64()
+		credit, err := r.f64()
+		if err != nil {
+			return sec, err
+		}
+		at := int64(r.u64())
+		var creditAt time.Time
+		if at != 0 {
+			creditAt = time.Unix(0, at)
+		}
+		sec.Rows = append(sec.Rows, features.EvidenceRow{
+			IP: ip, Total: total, Failed: failed, SolveCredit: credit, CreditAt: creditAt,
+		})
+	}
+	if r.failed {
+		return sec, fmt.Errorf("%w: truncated section", ErrBadFrame)
+	}
+	return sec, nil
+}

@@ -373,5 +373,13 @@ func (gk *Gatekeeper) StatsInto(dst map[string]float64) {
 		if ctrl := p.Controller(); ctrl != nil {
 			ctrl.StatsPrefixInto(name+".adapt.", dst)
 		}
+		if node := p.ClusterNode(); node != nil {
+			cs := node.Stats()
+			dst[name+".cluster.peers"] += float64(cs.Peers)
+			dst[name+".cluster.filter_hits"] += float64(cs.FilterHits)
+			dst[name+".cluster.exchanges"] += float64(cs.Exchanges)
+			dst[name+".cluster.absorbs"] += float64(cs.Absorbs)
+			dst[name+".cluster.absorb_errors"] += float64(cs.AbsorbErrs)
+		}
 	}
 }

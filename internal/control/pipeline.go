@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aipow/internal/cluster"
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/feedback"
@@ -28,6 +29,13 @@ type Pipeline struct {
 	// the window rebuilds the pipeline — and used by Apply to rebuild
 	// sources over the same behavioral state.
 	tracker *features.Tracker
+
+	// node is the pipeline's cluster-plane member (nil without a cluster
+	// section). Like the tracker it is build-time state: the verifier
+	// holds it as its fleet tag filter, so changing the cluster section
+	// rebuilds the pipeline; its exchange loop stops via a framework
+	// closer when the pipeline closes.
+	node *cluster.Node
 
 	mu   sync.Mutex // guards spec/swapsAt against concurrent Apply
 	spec PipelineSpec
@@ -77,9 +85,26 @@ func (p *Pipeline) Close() error { return p.fw.Close() }
 // declares no adapt section.
 func (p *Pipeline) Controller() *feedback.Controller { return p.ctrl.Load() }
 
+// ClusterNode reports the pipeline's distributed-defense-plane member,
+// nil when the spec declares no cluster section. Hosts mount its Handler
+// on the peer-exchange listener; the simulation engine exchanges nodes
+// directly.
+func (p *Pipeline) ClusterNode() *cluster.Node { return p.node }
+
 // StatsInto adds the pipeline's framework counters into dst without
-// allocating a fresh map (see core.Framework.StatsInto).
-func (p *Pipeline) StatsInto(dst map[string]float64) { p.fw.StatsInto(dst) }
+// allocating a fresh map (see core.Framework.StatsInto), plus the
+// cluster plane's exchange counters when the pipeline has one.
+func (p *Pipeline) StatsInto(dst map[string]float64) {
+	p.fw.StatsInto(dst)
+	if p.node != nil {
+		cs := p.node.Stats()
+		dst["cluster.peers"] += float64(cs.Peers)
+		dst["cluster.filter_hits"] += float64(cs.FilterHits)
+		dst["cluster.exchanges"] += float64(cs.Exchanges)
+		dst["cluster.absorbs"] += float64(cs.Absorbs)
+		dst["cluster.absorb_errors"] += float64(cs.AbsorbErrs)
+	}
+}
 
 // load is the pipeline's policy.LoadFunc: the current controller's load
 // estimate, 0 without one. It is a stable indirection — load-shifted
@@ -136,12 +161,19 @@ func (t pipelineTarget) SwapPolicy(pol policy.Policy) error {
 }
 
 // attachControllerLocked installs (or clears) the pipeline's controller
-// and binds it to the pipeline's swap path and counter source. Callers
-// hold p.mu or own p exclusively (Build).
+// and binds it to the pipeline's swap path and counter source. A
+// clustered pipeline binds the controller to its local counters summed
+// with the fleet's peer-reported ones, so the adapt ladder fires on
+// cluster-wide rate — per-node signals would divide an attack's strength
+// by the fleet size. Callers hold p.mu or own p exclusively (Build).
 func (p *Pipeline) attachControllerLocked(ctrl *feedback.Controller) {
 	p.ctrl.Store(ctrl)
 	if ctrl != nil {
-		ctrl.Bind(pipelineTarget{p: p, ctrl: ctrl}, p.fw)
+		var src feedback.Source = p.fw
+		if p.node != nil {
+			src = feedback.NewSumSource(p.fw, p.node.PeerSource())
+		}
+		ctrl.Bind(pipelineTarget{p: p, ctrl: ctrl}, src)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"aipow/internal/cluster"
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/feedback"
@@ -52,6 +53,7 @@ type Registry struct {
 	key      []byte
 	tracker  *features.Tracker
 	now      func() time.Time
+	nodeID   string
 
 	// windowed holds the per-pipeline trackers behind `window <duration>`
 	// and `redeem(half-life=…)` pipeline specs, keyed by (window span,
@@ -109,6 +111,17 @@ func WithRegistryPolicies(p *policy.Registry) RegistryOption {
 	return func(r *Registry) { r.policies = p }
 }
 
+// WithRegistryNodeID names this process in cluster exchange frames
+// (default "local"). Fleet deployments must give every member a unique
+// id — powserver defaults it to the hostname.
+func WithRegistryNodeID(id string) RegistryOption {
+	return func(r *Registry) {
+		if id != "" {
+			r.nodeID = id
+		}
+	}
+}
+
 // NewRegistry returns a component registry sharing key, tracker, and clock
 // across every pipeline it builds. The root key must be at least 16
 // bytes: per-pipeline keys are derived from it by HMAC, which always
@@ -124,6 +137,7 @@ func NewRegistry(key []byte, opts ...RegistryOption) (*Registry, error) {
 		policies: policy.NewRegistry(),
 		key:      key,
 		now:      time.Now,
+		nodeID:   "local",
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -532,12 +546,43 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	if ps.EvidenceBuffer != nil {
 		opts = append(opts, core.WithEvidenceBuffer(ps.EvidenceBuffer.Size, time.Duration(ps.EvidenceBuffer.Interval)))
 	}
+	var node *cluster.Node
+	if ps.Cluster != nil {
+		node, err = cluster.NewNode(cluster.Config{
+			Origin:       r.nodeID,
+			Exchange:     time.Duration(ps.Cluster.Exchange),
+			FilterBits:   ps.Cluster.FilterBits,
+			FilterHashes: ps.Cluster.FilterHashes,
+			// Retain through the full redemption window — TTL plus skew on
+			// both ends — so the freshness check takes over exactly when
+			// the filter may forget.
+			Retain: time.Duration(ps.TTL) + 2*time.Duration(ps.ClockSkew),
+			Key:    r.pipelineKey(ps.Name),
+			Now:    r.now,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("control: pipeline %q cluster: %w", ps.Name, err)
+		}
+		// The node becomes the verifier's fleet tag filter, and its
+		// exchange loop stops with the framework: Pipeline.Close →
+		// Framework.Close → registered closers.
+		opts = append(opts, core.WithTagExchange(node), core.WithCloser(node.Close))
+	}
 	fw, err := core.New(opts...)
 	if err != nil {
 		return nil, fmt.Errorf("control: build pipeline %q: %w", ps.Name, err)
 	}
 	p.fw = fw
+	p.node = node
 	p.spec = ps
+	if node != nil {
+		node.BindLocal(fw, tracker)
+		if len(ps.Cluster.Peers) > 0 {
+			if err := node.Run(cluster.NewHTTPFetchers(ps.Cluster.Peers, r.pipelineKey(ps.Name), time.Duration(ps.Cluster.Exchange))); err != nil {
+				return nil, fmt.Errorf("control: build pipeline %q: %w", ps.Name, err)
+			}
+		}
+	}
 	p.attachControllerLocked(ctrl)
 	return p, nil
 }

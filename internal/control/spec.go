@@ -152,6 +152,16 @@ type PipelineSpec struct {
 	// background, taking tracker shard locks off the serving path. Not
 	// hot-swappable: the flush loop is wired at build time.
 	EvidenceBuffer *BufferSpec `json:"evidence_buffer,omitempty"`
+
+	// Cluster joins the pipeline to the distributed defense plane: a
+	// cluster.Node is built alongside the framework, wired as the
+	// verifier's fleet tag filter, bound to the pipeline's tracker for
+	// evidence gossip, and summed into the adapt controller's sampler so
+	// escalation fires on cluster-wide rates. Nil keeps the pipeline
+	// standalone with zero behavior change. Not hot-swappable: the node
+	// is pinned into the verifier at build time, like ttl — changing it
+	// rebuilds the pipeline.
+	Cluster *ClusterSpec `json:"cluster,omitempty"`
 }
 
 // RedeemSpec is a pipeline's behavioral-redemption section. In the text
@@ -229,6 +239,61 @@ func (b *BufferSpec) equal(q *BufferSpec) bool {
 		return false
 	}
 	return b == nil || *b == *q
+}
+
+// ClusterSpec is a pipeline's distributed-defense section. In the text
+// DSL it is a single line of parenthesized groups, each optional:
+//
+//	cluster peers(http://10.0.0.2:9100/cluster/edge, …) exchange(1s) filter(bits=1048576, hashes=4)
+//
+// Peers lists the exchange endpoints this node pulls frames from (its
+// partial view of the fleet — gossip converges transitively, so every
+// node need not list every other). Exchange is the pull interval, the
+// bounded staleness of fleet knowledge. Filter declares the Bloom
+// geometry, which all fleet members must share for their rings to merge.
+type ClusterSpec struct {
+	Peers        []string `json:"peers,omitempty"`
+	Exchange     Duration `json:"exchange,omitempty"`
+	FilterBits   int      `json:"filter_bits,omitempty"`
+	FilterHashes int      `json:"filter_hashes,omitempty"`
+}
+
+// validate rejects malformed cluster sections.
+func (c *ClusterSpec) validate(pipeline string) error {
+	switch {
+	case c.Exchange < 0:
+		return fmt.Errorf("control: pipeline %q cluster: negative exchange interval", pipeline)
+	case c.FilterBits != 0 && (c.FilterBits < 64 || c.FilterBits&(c.FilterBits-1) != 0):
+		return fmt.Errorf("control: pipeline %q cluster: filter bits %d must be a power of two ≥ 64", pipeline, c.FilterBits)
+	case c.FilterHashes < 0 || c.FilterHashes > 16:
+		return fmt.Errorf("control: pipeline %q cluster: filter hashes %d outside [0, 16]", pipeline, c.FilterHashes)
+	}
+	for _, p := range c.Peers {
+		if strings.TrimSpace(p) == "" {
+			return fmt.Errorf("control: pipeline %q cluster: empty peer URL", pipeline)
+		}
+	}
+	return nil
+}
+
+// equal reports semantic equality of two cluster sections.
+func (c *ClusterSpec) equal(b *ClusterSpec) bool {
+	if (c == nil) != (b == nil) {
+		return false
+	}
+	if c == nil {
+		return true
+	}
+	if c.Exchange != b.Exchange || c.FilterBits != b.FilterBits ||
+		c.FilterHashes != b.FilterHashes || len(c.Peers) != len(b.Peers) {
+		return false
+	}
+	for i := range c.Peers {
+		if c.Peers[i] != b.Peers[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // AdaptSpec is a pipeline's adaptive-defense section: the signal-plane
@@ -465,6 +530,11 @@ func (p *PipelineSpec) validate() error {
 			return err
 		}
 	}
+	if p.Cluster != nil {
+		if err := p.Cluster.validate(p.Name); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -499,7 +569,7 @@ func specEqual(a, b PipelineSpec) bool {
 		canonicalPuzzle(a.Puzzle) == canonicalPuzzle(b.Puzzle) &&
 		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
 		a.Adapt.equal(b.Adapt) && a.Redeem.equal(b.Redeem) &&
-		a.EvidenceBuffer.equal(b.EvidenceBuffer)
+		a.EvidenceBuffer.equal(b.EvidenceBuffer) && a.Cluster.equal(b.Cluster)
 }
 
 // swappableEqual reports whether only hot-swappable fields differ between
@@ -524,6 +594,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 			time.Duration(p.Redeem.halfLife()), time.Duration(q.Redeem.halfLife()))
 	case !p.EvidenceBuffer.equal(q.EvidenceBuffer):
 		return fmt.Errorf("evidence-buffer changed")
+	case !p.Cluster.equal(q.Cluster):
+		return fmt.Errorf("cluster changed")
 	}
 	return nil
 }
@@ -560,6 +632,10 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	                           parameter optional (redeem alone = defaults)
 //	  evidence-buffer <size> <interval>   buffered evidence write-back,
 //	                           e.g. evidence-buffer 256 5ms
+//	  cluster peers(<url>, …) exchange(<duration>) filter(bits=<n>, hashes=<n>)
+//	                           distributed defense plane: pull-based peer
+//	                           exchange of replay filters, evidence digests,
+//	                           and fleet counters; every group optional
 //	route <prefix> <pipeline>  longest matching path prefix wins; "/" is
 //	                           the catch-all (required with >1 pipeline)
 //	tenant <key> <pipeline>    tenant routes win over path routes
@@ -635,7 +711,7 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 			d.Routes = append(d.Routes, r)
 		case "scorer", "policy", "source", "puzzle", "ttl", "max-difficulty",
 			"bypass-below", "fail-closed", "replay-cache", "clock-skew", "window",
-			"when", "default", "adapt", "redeem", "evidence-buffer":
+			"when", "default", "adapt", "redeem", "evidence-buffer", "cluster":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
 			}
@@ -683,6 +759,13 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 			return err
 		}
 		p.Redeem = rs
+		return nil
+	case "cluster":
+		cs, err := parseCluster(joined)
+		if err != nil {
+			return err
+		}
+		p.Cluster = cs
 		return nil
 	case "evidence-buffer":
 		if len(args) != 2 {
@@ -797,6 +880,66 @@ func parseRedeem(arg string) (*RedeemSpec, error) {
 		}
 	}
 	return rs, nil
+}
+
+// parseCluster parses the cluster statement's group list: zero or more
+// parenthesized groups — peers(<url>, …), exchange(<duration>),
+// filter(bits=<n>, hashes=<n>) — in any order. A bare `cluster` line
+// enables the plane with every default (no peers: the node only serves
+// its own frame endpoint until peers pull from it).
+func parseCluster(arg string) (*ClusterSpec, error) {
+	cs := &ClusterSpec{}
+	rest := strings.TrimSpace(arg)
+	seen := map[string]bool{}
+	for rest != "" {
+		open := strings.IndexByte(rest, '(')
+		if open <= 0 {
+			return nil, fmt.Errorf("cluster: want '<group>(…)', got %q", rest)
+		}
+		name := strings.TrimSpace(rest[:open])
+		end := strings.IndexByte(rest, ')')
+		if end < open {
+			return nil, fmt.Errorf("cluster: unclosed group %q", name)
+		}
+		body := rest[open+1 : end]
+		rest = strings.TrimSpace(rest[end+1:])
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate group %q", name)
+		}
+		seen[name] = true
+		switch name {
+		case "peers":
+			cs.Peers = append(cs.Peers, strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' })...)
+		case "exchange":
+			d, err := time.ParseDuration(strings.TrimSpace(body))
+			if err != nil {
+				return nil, fmt.Errorf("cluster exchange: %w", err)
+			}
+			cs.Exchange = Duration(d)
+		case "filter":
+			for _, tok := range strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' }) {
+				k, v, ok := strings.Cut(tok, "=")
+				if !ok || v == "" {
+					return nil, fmt.Errorf("cluster filter: want k=v, got %q", tok)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("cluster filter %s: %w", k, err)
+				}
+				switch k {
+				case "bits":
+					cs.FilterBits = n
+				case "hashes":
+					cs.FilterHashes = n
+				default:
+					return nil, fmt.Errorf("cluster filter: unknown parameter %q (want bits, hashes)", k)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("cluster: unknown group %q (want peers, exchange, filter)", name)
+		}
+	}
+	return cs, nil
 }
 
 // applyAdaptStatement folds one "adapt <setting>" line into the

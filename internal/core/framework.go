@@ -147,6 +147,10 @@ type Framework struct {
 	now      func() time.Time
 	hooks    []Hook
 
+	// closers run during Close (WithCloser): subsystems tied to this
+	// framework's lifecycle, e.g. a cluster node's exchange loop.
+	closers []func() error
+
 	stats metrics.Registry
 
 	// Hot-path counters, pre-resolved once at New time so Decide/Verify
@@ -211,6 +215,8 @@ type config struct {
 	clockSkew   time.Duration
 	wbSize      int
 	wbInterval  time.Duration
+	tags        puzzle.TagExchange
+	closers     []func() error
 }
 
 // Option customizes the framework.
@@ -294,6 +300,30 @@ func WithClockSkew(d time.Duration) Option { return func(c *config) { c.clockSke
 // together with features.WithSummaryStaleness on the tracker.
 func WithEvidenceBuffer(size int, interval time.Duration) Option {
 	return func(c *config) { c.wbSize, c.wbInterval = size, interval }
+}
+
+// WithTagExchange wires a fleet-wide redeemed-tag view (the cluster
+// plane's replay suppression) into the framework's verifier: solutions
+// whose challenge tag any fleet member already redeemed fail closed with
+// puzzle.ErrReplayed, and every local redemption is published back for
+// propagation. Nil (the default) keeps verification purely local — a
+// single-node framework pays nothing for the seam.
+func WithTagExchange(x puzzle.TagExchange) Option {
+	return func(c *config) { c.tags = x }
+}
+
+// WithCloser registers fn to run during Framework.Close, after the
+// evidence flush loop has stopped and drained. The control plane uses it
+// to tie subsystems serving this framework — the cluster exchange loop —
+// to the framework's lifecycle, so Gatekeeper.Close and pipeline rebuilds
+// stop them without knowing what they are. Closers run in registration
+// order; Close reports the first error.
+func WithCloser(fn func() error) Option {
+	return func(c *config) {
+		if fn != nil {
+			c.closers = append(c.closers, fn)
+		}
+	}
 }
 
 // buildSnapshot validates the swappable configuration and assembles an
@@ -402,6 +432,9 @@ func New(opts ...Option) (*Framework, error) {
 		verifierOpts = append(verifierOpts,
 			puzzle.WithReplayCache(puzzle.NewReplayCache(cfg.replaySize, cfg.now)))
 	}
+	if cfg.tags != nil {
+		verifierOpts = append(verifierOpts, puzzle.WithTagExchange(cfg.tags))
+	}
 	verifier, err := puzzle.NewVerifier(cfg.key, verifierOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: build verifier: %w", err)
@@ -413,6 +446,7 @@ func New(opts ...Option) (*Framework, error) {
 		verifier: verifier,
 		now:      cfg.now,
 		hooks:    cfg.hooks,
+		closers:  cfg.closers,
 	}
 	f.snap.Store(snap)
 	f.cIssued = f.stats.Counter("issued")
@@ -471,7 +505,10 @@ func (f *Framework) hotNow() time.Time {
 // control-plane rebuild cannot strand its evidence in a buffer nobody will
 // flush (an event appended concurrently with the final drain may wait for
 // the shard's next inline size-triggered flush; it is never lost).
+// Registered closers (WithCloser — e.g. a cluster node's exchange loop)
+// run after the drain; Close reports the first closer error.
 func (f *Framework) Close() error {
+	var err error
 	f.closeOnce.Do(func() {
 		f.closed.Store(true)
 		if f.flushStop != nil {
@@ -481,8 +518,13 @@ func (f *Framework) Close() error {
 		if f.tracker != nil {
 			f.tracker.FlushWriteBack()
 		}
+		for _, fn := range f.closers {
+			if cerr := fn(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 	})
-	return nil
+	return err
 }
 
 // buffered reports whether tracker writes should go through the write-back

@@ -1,0 +1,87 @@
+package feedback
+
+import (
+	"sync"
+
+	"aipow/internal/puzzle"
+)
+
+// SumSource folds several counter sources into one by adding their
+// cumulative counters pointwise — the fleet-feedback combinator: bind a
+// controller's sampler to the local framework summed with the cluster
+// node's peer-reported counters and every signal the sampler derives
+// (rate, load, verify-fail ratio, the difficulty profile quantiles) is
+// computed over cluster-wide totals, so an attack striped 1/K across K
+// nodes trips the same thresholds an unstriped attack would.
+//
+// Unlike a bare Source, which overwrites same-named keys, SumSource adds —
+// that is the point. Constituent sources only need their counters to be
+// cumulative and individually monotone; bounded-staleness sources (peer
+// counters that refresh once per exchange round) sum soundly because the
+// sampler differences snapshots over its window rather than trusting any
+// instant.
+type SumSource struct {
+	sources []Source
+
+	mu       sync.Mutex
+	scratch  map[string]float64
+	issued   [puzzle.MaxDifficulty + 1]uint64
+	verified [puzzle.MaxDifficulty + 1]uint64
+}
+
+// NewSumSource returns a source summing the given sources' counters. Nil
+// entries are skipped, so callers can pass an optional peer source
+// unconditionally.
+func NewSumSource(sources ...Source) *SumSource {
+	kept := make([]Source, 0, len(sources))
+	for _, s := range sources {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	return &SumSource{sources: kept, scratch: make(map[string]float64, 8)}
+}
+
+// StatsInto implements Source by adding every constituent's counters into
+// dst. Safe for concurrent use.
+func (s *SumSource) StatsInto(dst map[string]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, src := range s.sources {
+		clear(s.scratch)
+		src.StatsInto(s.scratch)
+		for k, v := range s.scratch {
+			dst[k] += v
+		}
+	}
+}
+
+// DifficultyProfileInto implements Source by summing the constituents'
+// per-difficulty profiles into the destination slices.
+func (s *SumSource) DifficultyProfileInto(issued, verified []uint64) {
+	for i := range issued {
+		issued[i] = 0
+	}
+	for i := range verified {
+		verified[i] = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, src := range s.sources {
+		clear(s.issued[:])
+		clear(s.verified[:])
+		src.DifficultyProfileInto(s.issued[:], s.verified[:])
+		for i := range issued {
+			if i < len(s.issued) {
+				issued[i] += s.issued[i]
+			}
+		}
+		for i := range verified {
+			if i < len(s.verified) {
+				verified[i] += s.verified[i]
+			}
+		}
+	}
+}
+
+var _ Source = (*SumSource)(nil)

@@ -1,0 +1,123 @@
+package httpmw
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+var proxyEpoch = time.Date(2022, 3, 21, 0, 0, 0, 0, time.UTC)
+
+func testProxyAuth(t *testing.T, now func() time.Time) *ProxyAuth {
+	t.Helper()
+	a, err := NewProxyAuth(DeriveProxyAuthKey([]byte("root-key-0123456789abcdef")), WithProxyAuthClock(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func signedRequest(a *ProxyAuth, ip string) *http.Request {
+	r := httptest.NewRequest(http.MethodPost, "/batch", nil)
+	a.Sign(r.Header, ip)
+	return r
+}
+
+func TestProxyAuthRoundTrip(t *testing.T) {
+	a := testProxyAuth(t, func() time.Time { return proxyEpoch })
+	r := signedRequest(a, "198.51.100.9")
+	ip, err := a.Authenticate(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != "198.51.100.9" {
+		t.Fatalf("authenticated IP %q, want 198.51.100.9", ip)
+	}
+}
+
+func TestProxyAuthRejectsSkewedTimestamps(t *testing.T) {
+	clock := proxyEpoch
+	a := testProxyAuth(t, func() time.Time { return clock })
+	r := signedRequest(a, "198.51.100.9")
+
+	// Inside the window: fine.
+	clock = proxyEpoch.Add(DefaultProxyAuthSkew - time.Second)
+	if _, err := a.Authenticate(r); err != nil {
+		t.Fatalf("in-window timestamp rejected: %v", err)
+	}
+	// Stale: a captured header triple must not replay later.
+	clock = proxyEpoch.Add(DefaultProxyAuthSkew + time.Second)
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatalf("stale signature accepted: %v", err)
+	}
+	// From the future beyond skew: equally rejected.
+	clock = proxyEpoch.Add(-DefaultProxyAuthSkew - time.Second)
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatalf("future signature accepted: %v", err)
+	}
+}
+
+func TestProxyAuthFailsClosed(t *testing.T) {
+	a := testProxyAuth(t, func() time.Time { return proxyEpoch })
+
+	// Missing headers.
+	r := httptest.NewRequest(http.MethodPost, "/batch", nil)
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatal("unsigned request accepted")
+	}
+	// Tampered IP: the signature binds it.
+	r = signedRequest(a, "198.51.100.9")
+	r.Header.Set(HeaderProxyIP, "203.0.113.7")
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatal("IP swap accepted")
+	}
+	// Tampered timestamp.
+	r = signedRequest(a, "198.51.100.9")
+	r.Header.Set(HeaderProxyTimestamp, "1")
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatal("timestamp swap accepted")
+	}
+	// Garbled signature.
+	r = signedRequest(a, "198.51.100.9")
+	r.Header.Set(HeaderProxySignature, "AAAA")
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatal("garbled signature accepted")
+	}
+	// A signer under a different root key is a different fleet.
+	other, err := NewProxyAuth(DeriveProxyAuthKey([]byte("other-root-0123456789abcdef")),
+		WithProxyAuthClock(func() time.Time { return proxyEpoch }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r = signedRequest(other, "198.51.100.9")
+	if _, err := a.Authenticate(r); !errors.Is(err, ErrProxyAuth) {
+		t.Fatal("foreign-fleet signature accepted")
+	}
+}
+
+func TestDeriveProxyAuthKeyIsStable(t *testing.T) {
+	root := []byte("root-key-0123456789abcdef")
+	a := DeriveProxyAuthKey(root)
+	b := DeriveProxyAuthKey(root)
+	if string(a) != string(b) {
+		t.Fatal("derivation not deterministic")
+	}
+	if string(a) == string(root) {
+		t.Fatal("derived key equals root key")
+	}
+	if len(a) != 32 {
+		t.Fatalf("derived key length %d, want 32", len(a))
+	}
+}
+
+func TestNewProxyAuthValidation(t *testing.T) {
+	if _, err := NewProxyAuth([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := NewProxyAuth(DeriveProxyAuthKey([]byte("root-key-0123456789abcdef")),
+		WithProxyAuthSkew(-time.Second)); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}

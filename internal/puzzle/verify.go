@@ -20,6 +20,7 @@ type Verifier struct {
 	skew   time.Duration
 	macs   *macPool
 	cache  *AuthCache
+	tags   TagExchange
 
 	// backend is the puzzle algorithm this verifier accepts; wantVersion
 	// and wantBackend are the exact wire identity it requires, pinned at
@@ -69,6 +70,40 @@ func WithVerifierBackend(b Backend) VerifierOption {
 // gain little beyond repeat presentations.
 func WithVerifierAuthCache(c *AuthCache) VerifierOption {
 	return func(v *Verifier) { v.cache = c }
+}
+
+// TagExchange is the distributed replay-suppression seam: a fleet-wide
+// view of redeemed challenge tags, fed and consulted by every node's
+// verifier. The cluster package's Node implements it over time-bucketed
+// rotating Bloom filters merged from peers.
+//
+// Tags pass by value ([TagSize]byte, one HMAC output) so the hot-path
+// call sites never force a challenge to escape to the heap; SeenTag must
+// therefore be cheap and allocation-free — it runs on the serving path of
+// every verification.
+type TagExchange interface {
+	// SeenTag reports whether the tag was already redeemed anywhere in
+	// the fleet as far as this node knows. It may err on the side of
+	// suppression (a Bloom false positive rejects a fresh solution at its
+	// declared rate) but never misses a tag it was told about.
+	SeenTag(tag [TagSize]byte) bool
+
+	// RedeemedTag records a successful local redemption for propagation
+	// to peers. expires is when the underlying challenge leaves its
+	// redemption window (TTL plus skew), after which the tag may be
+	// forgotten.
+	RedeemedTag(tag [TagSize]byte, expires time.Time)
+}
+
+// WithTagExchange consults x on every verification: a solution whose
+// challenge tag the fleet has already seen fails closed with ErrReplayed,
+// exactly like a local replay-cache hit, and every successful redemption
+// is published back through x. The check sits at the same stage as the
+// local replay cache — after all authenticity, binding, freshness, and
+// solution checks — so a failed attempt never burns the tag either
+// locally or fleet-wide.
+func WithTagExchange(x TagExchange) VerifierOption {
+	return func(v *Verifier) { v.tags = x }
 }
 
 // NewVerifier returns a Verifier holding the issuer's HMAC key.
@@ -174,9 +209,18 @@ func (v *Verifier) VerifyAt(sol *Solution, binding string, now time.Time) error 
 		}
 	}
 
-	// Redeem last, so failed attempts do not burn the seed.
+	// Redeem last, so failed attempts do not burn the seed. The fleet
+	// filter is consulted at the same stage as the local replay cache and
+	// yields the same sentinel: whether a replay is caught by this node's
+	// cache or by a tag a sibling gossiped, the outcome is one rejection.
+	if v.tags != nil && v.tags.SeenTag(ch.Tag) {
+		return fmt.Errorf("%w: %w", ErrVerify, ErrReplayed)
+	}
 	if v.replay != nil && !v.replay.Remember(ch.Seed, ch.ExpiresAt().Add(v.skew)) {
 		return fmt.Errorf("%w: %w", ErrVerify, ErrReplayed)
+	}
+	if v.tags != nil {
+		v.tags.RedeemedTag(ch.Tag, ch.ExpiresAt().Add(v.skew))
 	}
 	return nil
 }

@@ -147,138 +147,153 @@ func (d Defense) withDefaults(scenarioSeed uint64) Defense {
 // fast path.
 func BuildDefense(sc Scenario) FrameworkFactory {
 	return func(now func() time.Time) (*core.Framework, error) {
-		d := sc.Defense.withDefaults(sc.Seed)
-
-		cfg := dataset.DefaultConfig()
-		cfg.Seed = d.DatasetSeed
-		raw, err := dataset.Generate(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sim: generate feed: %w", err)
-		}
-		samples := make([]reputation.Sample, len(raw))
-		var benign, malicious []dataset.Sample
-		for i, s := range raw {
-			samples[i] = reputation.Sample{Attrs: s.Attrs, Malicious: s.Malicious}
-			if s.Malicious {
-				malicious = append(malicious, s)
-			} else {
-				benign = append(benign, s)
-			}
-		}
-		if len(benign) == 0 || len(malicious) == 0 {
-			return nil, fmt.Errorf("sim: feed is missing a class")
-		}
-		model, err := reputation.Train(samples, reputation.WithSeed(d.DatasetSeed))
-		if err != nil {
-			return nil, fmt.Errorf("sim: train model: %w", err)
-		}
-
-		// Unknown addresses fall back to the median benign profile: the
-		// feed has nothing on them, so static scoring sees an ordinary
-		// client and only live behavior can raise suspicion — exactly the
-		// blind spot rotating botnets aim for.
-		store, err := features.NewMapStore(medianAttrs(benign))
-		if err != nil {
-			return nil, err
-		}
-		rng := rand.New(rand.NewPCG(mix(d.DatasetSeed, 0xFEED), 0xA551617))
-		for pi := range sc.Populations {
-			pool := benign
-			switch sc.Populations[pi].Feed {
-			case FeedMalicious:
-				pool = malicious
-			case FeedUnknown:
-				continue
-			}
-			for _, addr := range sc.PopulationIPs(pi) {
-				store.Put(addr, pool[rng.IntN(len(pool))].Attrs)
-			}
-		}
-
-		// Capacity is sized so far above the address universe that no
-		// shard's quota can overflow; per-shard LRU eviction would depend
-		// on cross-worker interleaving and break determinism.
-		trackerOpts := []features.TrackerOption{
-			features.WithCapacity(sc.TotalIPs()*8 + 4096),
-			features.WithWindow(d.TrackerWindow, d.TrackerBuckets),
-		}
-		if d.Redeem != nil && d.Redeem.HalfLife > 0 {
-			trackerOpts = append(trackerOpts, features.WithEvidenceHalfLife(d.Redeem.HalfLife))
-		}
-		tracker, err := features.NewTracker(trackerOpts...)
-		if err != nil {
-			return nil, err
-		}
-		combined, err := features.NewCombined(store, tracker)
-		if err != nil {
-			return nil, err
-		}
-
-		// Scorer stack, innermost out: the static DAbR model, optionally
-		// wrapped in behavioral redemption (so solve evidence attenuates
-		// the *static* judgment only), optionally blended with the live
-		// rate score (layered outside redemption, so a currently-flooding
-		// client keeps its behavioral price regardless of earned credit).
-		var static vectorScorer = model
-		if d.Redeem != nil {
-			var opts []reputation.DecayOption
-			if d.Redeem.MaxDrop > 0 {
-				opts = append(opts, reputation.WithMaxRedemption(d.Redeem.MaxDrop))
-			}
-			if d.Redeem.HalfCredit > 0 {
-				opts = append(opts, reputation.WithHalfCredit(d.Redeem.HalfCredit))
-			}
-			decay, err := reputation.NewDecay(model, opts...)
-			if err != nil {
-				return nil, fmt.Errorf("sim: redemption wrapper: %w", err)
-			}
-			static = decay
-		}
-		var scorer core.Scorer = static
-		if d.SaturationRate > 0 {
-			hybrid, err := newHybridScorer(static, d.SaturationRate)
-			if err != nil {
-				return nil, err
-			}
-			scorer = hybrid
-		}
-		pol, err := policy.NewRegistry().New(d.Policy)
-		if err != nil {
-			return nil, fmt.Errorf("sim: policy %q: %w", d.Policy, err)
-		}
-		// Clamp to the issuer's cap: the issuer rejects (rather than
-		// clamps) over-cap difficulties, and a worst-score client must
-		// still get a challenge, not an error.
-		pol, err = policy.NewClamp(pol, 1, d.MaxDifficulty)
-		if err != nil {
-			return nil, fmt.Errorf("sim: clamp policy: %w", err)
-		}
-
-		opts := []core.Option{
-			core.WithKey(defenseKey),
-			core.WithScorer(scorer),
-		}
-		if d.Puzzle != "" {
-			backend, err := puzzle.ParseBackendSpec(d.Puzzle)
-			if err != nil {
-				return nil, fmt.Errorf("sim: puzzle backend: %w", err)
-			}
-			opts = append(opts, core.WithPuzzleBackend(backend))
-		}
-		opts = append(opts,
-			core.WithPolicy(pol),
-			core.WithSource(combined),
-			core.WithTracker(tracker),
-			core.WithClock(now),
-			core.WithMaxDifficulty(d.MaxDifficulty),
-			core.WithTTL(d.TTL),
-		)
-		if !d.RealSolve {
-			// Verification is modeled; the replay cache would only grow.
-			opts = append(opts, core.WithReplayCacheSize(0))
-		}
-		return core.New(opts...)
+		fw, _, err := buildDefenseNode(sc, now)
+		return fw, err
 	}
+}
+
+// buildDefenseNode is the per-node assembly the factory (and the engine's
+// fleet mode, once per cluster node) builds on: identical seeds produce
+// identical feeds, models, and stores, so every fleet node defends with
+// the same trained pipeline over its own tracker. The extra options are
+// appended last (the fleet mode passes its cluster exchange hook).
+func buildDefenseNode(sc Scenario, now func() time.Time, extra ...core.Option) (*core.Framework, *features.Tracker, error) {
+	d := sc.Defense.withDefaults(sc.Seed)
+
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = d.DatasetSeed
+	raw, err := dataset.Generate(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: generate feed: %w", err)
+	}
+	samples := make([]reputation.Sample, len(raw))
+	var benign, malicious []dataset.Sample
+	for i, s := range raw {
+		samples[i] = reputation.Sample{Attrs: s.Attrs, Malicious: s.Malicious}
+		if s.Malicious {
+			malicious = append(malicious, s)
+		} else {
+			benign = append(benign, s)
+		}
+	}
+	if len(benign) == 0 || len(malicious) == 0 {
+		return nil, nil, fmt.Errorf("sim: feed is missing a class")
+	}
+	model, err := reputation.Train(samples, reputation.WithSeed(d.DatasetSeed))
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: train model: %w", err)
+	}
+
+	// Unknown addresses fall back to the median benign profile: the
+	// feed has nothing on them, so static scoring sees an ordinary
+	// client and only live behavior can raise suspicion — exactly the
+	// blind spot rotating botnets aim for.
+	store, err := features.NewMapStore(medianAttrs(benign))
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewPCG(mix(d.DatasetSeed, 0xFEED), 0xA551617))
+	for pi := range sc.Populations {
+		pool := benign
+		switch sc.Populations[pi].Feed {
+		case FeedMalicious:
+			pool = malicious
+		case FeedUnknown:
+			continue
+		}
+		for _, addr := range sc.PopulationIPs(pi) {
+			store.Put(addr, pool[rng.IntN(len(pool))].Attrs)
+		}
+	}
+
+	// Capacity is sized so far above the address universe that no
+	// shard's quota can overflow; per-shard LRU eviction would depend
+	// on cross-worker interleaving and break determinism.
+	trackerOpts := []features.TrackerOption{
+		features.WithCapacity(sc.TotalIPs()*8 + 4096),
+		features.WithWindow(d.TrackerWindow, d.TrackerBuckets),
+	}
+	if d.Redeem != nil && d.Redeem.HalfLife > 0 {
+		trackerOpts = append(trackerOpts, features.WithEvidenceHalfLife(d.Redeem.HalfLife))
+	}
+	tracker, err := features.NewTracker(trackerOpts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	combined, err := features.NewCombined(store, tracker)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Scorer stack, innermost out: the static DAbR model, optionally
+	// wrapped in behavioral redemption (so solve evidence attenuates
+	// the *static* judgment only), optionally blended with the live
+	// rate score (layered outside redemption, so a currently-flooding
+	// client keeps its behavioral price regardless of earned credit).
+	var static vectorScorer = model
+	if d.Redeem != nil {
+		var opts []reputation.DecayOption
+		if d.Redeem.MaxDrop > 0 {
+			opts = append(opts, reputation.WithMaxRedemption(d.Redeem.MaxDrop))
+		}
+		if d.Redeem.HalfCredit > 0 {
+			opts = append(opts, reputation.WithHalfCredit(d.Redeem.HalfCredit))
+		}
+		decay, err := reputation.NewDecay(model, opts...)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: redemption wrapper: %w", err)
+		}
+		static = decay
+	}
+	var scorer core.Scorer = static
+	if d.SaturationRate > 0 {
+		hybrid, err := newHybridScorer(static, d.SaturationRate)
+		if err != nil {
+			return nil, nil, err
+		}
+		scorer = hybrid
+	}
+	pol, err := policy.NewRegistry().New(d.Policy)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: policy %q: %w", d.Policy, err)
+	}
+	// Clamp to the issuer's cap: the issuer rejects (rather than
+	// clamps) over-cap difficulties, and a worst-score client must
+	// still get a challenge, not an error.
+	pol, err = policy.NewClamp(pol, 1, d.MaxDifficulty)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: clamp policy: %w", err)
+	}
+
+	opts := []core.Option{
+		core.WithKey(defenseKey),
+		core.WithScorer(scorer),
+	}
+	if d.Puzzle != "" {
+		backend, err := puzzle.ParseBackendSpec(d.Puzzle)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: puzzle backend: %w", err)
+		}
+		opts = append(opts, core.WithPuzzleBackend(backend))
+	}
+	opts = append(opts,
+		core.WithPolicy(pol),
+		core.WithSource(combined),
+		core.WithTracker(tracker),
+		core.WithClock(now),
+		core.WithMaxDifficulty(d.MaxDifficulty),
+		core.WithTTL(d.TTL),
+	)
+	if !d.RealSolve {
+		// Verification is modeled; the replay cache would only grow.
+		opts = append(opts, core.WithReplayCacheSize(0))
+	}
+	opts = append(opts, extra...)
+	fw, err := core.New(opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fw, tracker, nil
 }
 
 // medianAttrs computes the per-attribute median over samples — the

@@ -38,9 +38,11 @@ import (
 	"math"
 	"math/bits"
 	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 
+	"aipow/internal/cluster"
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/feedback"
@@ -140,6 +142,7 @@ type event struct {
 	pop        int
 	phase      int
 	client     int
+	node       int // fleet node serving the event (0 outside cluster mode)
 	ip         string
 	at         time.Duration // event time, offset from scenario start
 	seed       uint64        // per-event PRNG seed (arrivals)
@@ -148,6 +151,7 @@ type event struct {
 	sentAt time.Duration
 	diff   int  // assigned difficulty (0 for bypassed completions)
 	verify bool // redeem sol through Framework.Verify (real-solve mode)
+	replay bool // cross-node resubmission of an already-redeemed sol
 	sol    puzzle.Solution
 }
 
@@ -160,13 +164,14 @@ type worker struct {
 	out    [][]*outcome    // [population][phase]
 	solver *puzzle.Solver
 
-	// Modeled verification accounting for the feedback signal plane: a
-	// modeled completion is the simulation shortcut for a solved-and-
-	// verified challenge, so the controller's source folds these counts
-	// into the framework's verify counters. Read only at tick boundaries
+	// Modeled verification accounting for the feedback signal plane,
+	// per fleet node (length 1 outside cluster mode): a modeled
+	// completion is the simulation shortcut for a solved-and-verified
+	// challenge, so each node's controller source folds these counts
+	// into that node's verify counters. Read only at tick boundaries
 	// (single-threaded points).
-	mVerified [puzzle.MaxDifficulty + 1]uint64
-	mExpired  uint64
+	mVerified [][puzzle.MaxDifficulty + 1]uint64
+	mExpired  []uint64
 
 	// Batch-mode scratch, reused across runs within the worker's ticks.
 	seen   []string
@@ -183,10 +188,21 @@ func (w *worker) schedule(tick int, ev event) {
 	w.future[tick] = append(w.future[tick], ev)
 }
 
+// simNode is one fleet member of a run: a full defense pipeline plus its
+// cluster exchange endpoint and (with Defense.Adapt) its own controller.
+// Single-framework runs are the one-node degenerate case with no cluster
+// endpoint, so the two modes share every code path.
+type simNode struct {
+	fw      *core.Framework
+	tracker *features.Tracker
+	cnode   *cluster.Node        // nil outside cluster mode
+	ctrl    *feedback.Controller // nil without Defense.Adapt
+}
+
 // engine is the per-run state.
 type engine struct {
 	sc       Scenario
-	fw       *core.Framework
+	nodes    []*simNode
 	clock    *Clock
 	tick     time.Duration
 	workers  []*worker
@@ -201,10 +217,6 @@ type engine struct {
 	// Speedup factor for backendName.
 	attemptCost float64
 	backendName string
-
-	// ctrl is the scenario's feedback controller (nil without
-	// Defense.Adapt), stepped once per tick between worker barriers.
-	ctrl *feedback.Controller
 }
 
 // Run executes the scenario and returns its raw result. The run is
@@ -224,31 +236,21 @@ func Run(sc Scenario) (*Result, error) {
 	sc.Defense = sc.Defense.withDefaults(sc.Seed)
 
 	clock := NewClock(Epoch())
-	factory := sc.Factory
-	if factory == nil {
-		factory = BuildDefense(sc)
-	}
-	fw, err := factory(clock.Now)
-	if err != nil {
-		return nil, fmt.Errorf("sim: build defense for %q: %w", sc.Name, err)
-	}
-	if fw == nil {
-		return nil, fmt.Errorf("sim: scenario %q factory returned a nil framework", sc.Name)
-	}
-
 	backend, err := puzzle.ParseBackendSpec(sc.Defense.Puzzle)
 	if err != nil {
 		return nil, fmt.Errorf("sim: scenario %q puzzle: %w", sc.Name, err)
 	}
 	eng := &engine{
 		sc:          sc,
-		fw:          fw,
 		clock:       clock,
 		tick:        sc.Tick,
 		mask:        uint32(sc.Workers - 1),
 		ttl:         sc.Defense.TTL,
 		attemptCost: backend.AttemptCost(),
 		backendName: backend.Name(),
+	}
+	if err := eng.buildNodes(); err != nil {
+		return nil, err
 	}
 	var cum time.Duration
 	for _, ph := range sc.Phases {
@@ -265,6 +267,8 @@ func Run(sc Scenario) (*Result, error) {
 				w.out[p][ph] = newOutcome()
 			}
 		}
+		w.mVerified = make([][puzzle.MaxDifficulty + 1]uint64, len(eng.nodes))
+		w.mExpired = make([]uint64, len(eng.nodes))
 		if sc.Defense.RealSolve {
 			w.solver = puzzle.NewSolver(puzzle.WithExtendedNonce())
 		}
@@ -291,12 +295,21 @@ func Run(sc Scenario) (*Result, error) {
 			}
 		}
 		lastPhase = phase
-		// The feedback controller steps at the same single-threaded
+		// Cluster gossip runs at the same single-threaded point, in fixed
+		// node order, so peer views update deterministically before the
+		// controllers read them.
+		if cs := sc.Cluster; cs != nil && t%cs.exchangeTicks() == 0 {
+			eng.exchangeRounds(1)
+		}
+		// The feedback controllers step at the same single-threaded
 		// point, on counters complete through the previous tick — the
 		// closed loop runs against the live framework exactly as a
 		// server's adapt ticker would, minus wall-clock dependence.
-		if eng.ctrl != nil {
-			if err := eng.ctrl.Step(clock.Now()); err != nil {
+		for _, n := range eng.nodes {
+			if n.ctrl == nil {
+				continue
+			}
+			if err := n.ctrl.Step(clock.Now()); err != nil {
 				return nil, fmt.Errorf("sim: scenario %q adapt: %w", sc.Name, err)
 			}
 		}
@@ -315,14 +328,33 @@ func Run(sc Scenario) (*Result, error) {
 			break
 		}
 		clock.Set(Epoch().Add(time.Duration(t) * eng.tick))
+		if sc.Cluster != nil {
+			// The drain jumps over empty ticks, so per-tick gossip rounds
+			// no longer accumulate; run a full diameter's worth before each
+			// drained tick so anything redeemed on the last processed tick
+			// has reached every node (the cross-node replay bound).
+			eng.exchangeRounds(eng.clusterDiameter())
+		}
 		eng.runTick(t)
 	}
 
 	res := &Result{Scenario: sc, FrameworkStats: make(map[string]float64, 8)}
-	fw.StatsInto(res.FrameworkStats)
-	if eng.ctrl != nil {
-		res.Adapt = adaptOutcome(eng.ctrl)
+	if len(eng.nodes) == 1 {
+		eng.nodes[0].fw.StatsInto(res.FrameworkStats)
+	} else {
+		// Fleet counters sum pointwise: one logical defense, K serving
+		// nodes. Key-by-key accumulation in fixed node order keeps the
+		// float sums deterministic.
+		scratch := make(map[string]float64, 16)
+		for _, n := range eng.nodes {
+			clear(scratch)
+			n.fw.StatsInto(scratch)
+			for k, v := range scratch {
+				res.FrameworkStats[k] += v
+			}
+		}
 	}
+	res.Adapt = eng.adaptResult()
 	res.Outcomes = make([][]*outcome, len(sc.Populations))
 	for p := range res.Outcomes {
 		res.Outcomes[p] = make([]*outcome, len(sc.Phases))
@@ -337,10 +369,84 @@ func Run(sc Scenario) (*Result, error) {
 	return res, nil
 }
 
-// buildAdapt compiles the defense's adapt section into a feedback
-// controller bound to the framework and the engine's modeled-verify-aware
-// counter source. Policies resolve against the built-in registry and are
-// clamped to the defense's difficulty cap, mirroring BuildDefense.
+// buildNodes assembles the run's defense node(s): one framework from the
+// scenario's factory (or the built-in Defense) in the single-node case, K
+// identically-trained pipelines joined by in-process cluster nodes in
+// fleet mode. Identical dataset seeds mean every fleet node scores with
+// the same model over the same store; only live per-node state (tracker,
+// replay window, counters) diverges — exactly a real fleet's shape.
+func (eng *engine) buildNodes() error {
+	sc := eng.sc
+	if sc.Cluster == nil {
+		factory := sc.Factory
+		if factory == nil {
+			factory = BuildDefense(sc)
+		}
+		fw, err := factory(eng.clock.Now)
+		if err != nil {
+			return fmt.Errorf("sim: build defense for %q: %w", sc.Name, err)
+		}
+		if fw == nil {
+			return fmt.Errorf("sim: scenario %q factory returned a nil framework", sc.Name)
+		}
+		eng.nodes = []*simNode{{fw: fw}}
+		return nil
+	}
+	d := sc.Defense.withDefaults(sc.Seed)
+	eng.nodes = make([]*simNode, sc.Cluster.Nodes)
+	for i := range eng.nodes {
+		cnode, err := cluster.NewNode(cluster.Config{
+			Origin:     fmt.Sprintf("n%d", i),
+			FilterBits: sc.Cluster.FilterBits,
+			// Retain through the full redemption window — TTL plus skew on
+			// both ends — so the fleet filter never lets a tag go before
+			// the challenge's own freshness check takes over.
+			Retain: d.TTL + 2*2*time.Second,
+			Now:    eng.clock.Now,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: scenario %q cluster node %d: %w", sc.Name, i, err)
+		}
+		fw, tracker, err := buildDefenseNode(sc, eng.clock.Now, core.WithTagExchange(cnode))
+		if err != nil {
+			return fmt.Errorf("sim: build defense for %q node %d: %w", sc.Name, i, err)
+		}
+		cnode.BindLocal(adaptSource{eng: eng, node: i}, tracker)
+		eng.nodes[i] = &simNode{fw: fw, tracker: tracker, cnode: cnode}
+	}
+	return nil
+}
+
+// exchangeRounds runs the fleet's gossip topology the given number of
+// rounds: each round, node i pulls from nodes i+1 … i+Degree (mod K), in
+// fixed order — the deterministic in-process analogue of every node's
+// exchange loop firing once.
+func (eng *engine) exchangeRounds(rounds int) {
+	cs := eng.sc.Cluster
+	k, deg := len(eng.nodes), cs.degree()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < k; i++ {
+			for d := 1; d <= deg; d++ {
+				eng.nodes[i].cnode.ExchangeWith(eng.nodes[(i+d)%k].cnode)
+			}
+		}
+	}
+}
+
+// clusterDiameter reports how many gossip rounds state needs to reach
+// every node under the pull topology (1 for a full mesh, K-1 for a ring).
+func (eng *engine) clusterDiameter() int {
+	deg := eng.sc.Cluster.degree()
+	return (len(eng.nodes) - 2 + deg) / deg
+}
+
+// buildAdapt compiles the defense's adapt section into one feedback
+// controller per node, each bound to its node's framework and counter
+// view. With Cluster.FleetFeedback the view is the node's own counters
+// summed with its peer-reported fleet state, so every controller's rate
+// thresholds see cluster-wide totals. Policies resolve against the
+// built-in registry and are clamped to the defense's difficulty cap,
+// mirroring BuildDefense.
 func (eng *engine) buildAdapt() error {
 	a := eng.sc.Defense.Adapt
 	if a == nil {
@@ -353,10 +459,6 @@ func (eng *engine) buildAdapt() error {
 		}
 		return policy.NewClamp(pol, 1, eng.sc.Defense.MaxDifficulty)
 	}
-	base, err := compileClamped(eng.sc.Defense.Policy)
-	if err != nil {
-		return fmt.Errorf("sim: scenario %q adapt base policy: %w", eng.sc.Name, err)
-	}
 	rules := make([]feedback.Rule, 0, len(a.Rules))
 	for _, spec := range a.Rules {
 		rule, err := feedback.ParseRule(spec)
@@ -365,40 +467,54 @@ func (eng *engine) buildAdapt() error {
 		}
 		rules = append(rules, rule)
 	}
-	ctrl, err := feedback.New(feedback.Config{
-		Sampler: feedback.SamplerConfig{
-			Capacity:       a.Capacity,
-			HardDifficulty: a.Hard,
-			Window:         a.Window,
-		},
-		Rules:   rules,
-		Compile: compileClamped,
-		Base:    base,
-	})
-	if err != nil {
-		return fmt.Errorf("sim: scenario %q adapt: %w", eng.sc.Name, err)
+	for i, n := range eng.nodes {
+		base, err := compileClamped(eng.sc.Defense.Policy)
+		if err != nil {
+			return fmt.Errorf("sim: scenario %q adapt base policy: %w", eng.sc.Name, err)
+		}
+		ctrl, err := feedback.New(feedback.Config{
+			Sampler: feedback.SamplerConfig{
+				Capacity:       a.Capacity,
+				HardDifficulty: a.Hard,
+				Window:         a.Window,
+			},
+			Rules:   rules,
+			Compile: compileClamped,
+			Base:    base,
+		})
+		if err != nil {
+			return fmt.Errorf("sim: scenario %q adapt: %w", eng.sc.Name, err)
+		}
+		var src feedback.Source = adaptSource{eng: eng, node: i}
+		if cs := eng.sc.Cluster; cs != nil && cs.FleetFeedback {
+			src = feedback.NewSumSource(src, n.cnode.PeerSource())
+		}
+		ctrl.Bind(n.fw, src)
+		n.ctrl = ctrl
 	}
-	ctrl.Bind(eng.fw, adaptSource{eng})
-	eng.ctrl = ctrl
 	return nil
 }
 
-// adaptSource is the controller's counter view of a simulated defense:
-// the framework's own counters plus the engine's modeled verification
-// outcomes, so the signal plane sees the same solved-challenge stream a
-// real deployment's Verify calls would produce. Only read at tick
-// boundaries, where workers are quiescent.
-type adaptSource struct{ eng *engine }
+// adaptSource is one node's counter view of a simulated defense: the
+// framework's own counters plus the engine's modeled verification
+// outcomes on that node, so the signal plane sees the same
+// solved-challenge stream a real deployment's Verify calls would
+// produce. It is also what each cluster node gossips as its origin
+// section. Only read at tick boundaries, where workers are quiescent.
+type adaptSource struct {
+	eng  *engine
+	node int
+}
 
 // StatsInto implements feedback.Source.
 func (s adaptSource) StatsInto(dst map[string]float64) {
-	s.eng.fw.StatsInto(dst)
+	s.eng.nodes[s.node].fw.StatsInto(dst)
 	var verified, expired uint64
 	for _, w := range s.eng.workers { // fixed order
-		for d := puzzle.MinDifficulty; d < len(w.mVerified); d++ {
-			verified += w.mVerified[d]
+		for d := puzzle.MinDifficulty; d < len(w.mVerified[s.node]); d++ {
+			verified += w.mVerified[s.node][d]
 		}
-		expired += w.mExpired
+		expired += w.mExpired[s.node]
 	}
 	dst["verified"] += float64(verified)
 	dst["rejected"] += float64(expired)
@@ -406,10 +522,10 @@ func (s adaptSource) StatsInto(dst map[string]float64) {
 
 // DifficultyProfileInto implements feedback.Source.
 func (s adaptSource) DifficultyProfileInto(issued, verified []uint64) {
-	s.eng.fw.DifficultyProfileInto(issued, verified)
+	s.eng.nodes[s.node].fw.DifficultyProfileInto(issued, verified)
 	for _, w := range s.eng.workers {
-		for d := puzzle.MinDifficulty; d < len(w.mVerified) && d < len(verified); d++ {
-			verified[d] += w.mVerified[d]
+		for d := puzzle.MinDifficulty; d < len(w.mVerified[s.node]) && d < len(verified); d++ {
+			verified[d] += w.mVerified[s.node][d]
 		}
 	}
 }
@@ -433,12 +549,15 @@ type AdaptOutcome struct {
 	Transitions []AdaptTransition `json:"transitions,omitempty"`
 }
 
-// AdaptTransition is one controller level change, in scenario time.
+// AdaptTransition is one controller level change, in scenario time. Node
+// identifies the fleet member whose controller moved (only set in cluster
+// mode, where each node runs its own controller).
 type AdaptTransition struct {
 	AtMS float64 `json:"at_ms"`
 	From int     `json:"from"`
 	To   int     `json:"to"`
 	Rule string  `json:"rule,omitempty"`
+	Node int     `json:"node,omitempty"`
 }
 
 // adaptOutcome flattens the controller's transition log into the report
@@ -467,6 +586,49 @@ func adaptOutcome(ctrl *feedback.Controller) *AdaptOutcome {
 	return out
 }
 
+// adaptResult summarizes the run's controller behavior: the single
+// controller's outcome verbatim in the one-node case (so standalone
+// reports stay byte-identical), or the fleet's controllers folded into
+// one log — swaps sum, levels take the max, transitions interleave by
+// time with their node index, and the first-escalation clock reads the
+// earliest node to move (the fleet's detection latency).
+func (eng *engine) adaptResult() *AdaptOutcome {
+	if eng.nodes[0].ctrl == nil {
+		return nil
+	}
+	if len(eng.nodes) == 1 {
+		return adaptOutcome(eng.nodes[0].ctrl)
+	}
+	agg := &AdaptOutcome{}
+	for i, n := range eng.nodes {
+		o := adaptOutcome(n.ctrl)
+		agg.Swaps += o.Swaps
+		if o.MaxLevel > agg.MaxLevel {
+			agg.MaxLevel = o.MaxLevel
+		}
+		if o.FinalLevel > agg.FinalLevel {
+			agg.FinalLevel = o.FinalLevel
+		}
+		for _, tr := range o.Transitions {
+			tr.Node = i
+			agg.Transitions = append(agg.Transitions, tr)
+		}
+	}
+	sort.SliceStable(agg.Transitions, func(a, b int) bool {
+		return agg.Transitions[a].AtMS < agg.Transitions[b].AtMS
+	})
+	var sawUp, sawDown bool
+	for _, tr := range agg.Transitions {
+		if tr.To > tr.From && !sawUp {
+			agg.FirstEscalationMS, sawUp = tr.AtMS, true
+		}
+		if tr.To < tr.From && !sawDown {
+			agg.FirstDeescalationMS, sawDown = tr.AtMS, true
+		}
+	}
+	return agg
+}
+
 // applyPhaseSwap installs phase p's SwapPolicy (if any) on the framework,
 // clamped to the defense's difficulty cap like the original policy.
 func (eng *engine) applyPhaseSwap(p int) error {
@@ -482,8 +644,10 @@ func (eng *engine) applyPhaseSwap(p int) error {
 	if err != nil {
 		return fmt.Errorf("sim: phase %q clamp swap policy: %w", eng.sc.Phases[p].Name, err)
 	}
-	if err := eng.fw.SwapPolicy(clamped); err != nil {
-		return fmt.Errorf("sim: phase %q swap policy: %w", eng.sc.Phases[p].Name, err)
+	for _, n := range eng.nodes {
+		if err := n.fw.SwapPolicy(clamped); err != nil {
+			return fmt.Errorf("sim: phase %q swap policy: %w", eng.sc.Phases[p].Name, err)
+		}
 	}
 	return nil
 }
@@ -529,6 +693,19 @@ func (eng *engine) generateArrivals(t int, tickStart time.Duration) {
 				ip:     addr,
 				at:     tickStart,
 				seed:   rng.Uint64(),
+			}
+			// Fleet routing: stable client→node affinity by default (a
+			// load balancer with session stickiness), or an independent
+			// per-request draw for striping populations — the attacker
+			// spreading each IP's footprint 1/K across the fleet. The
+			// extra draw only happens in cluster mode, so single-node
+			// arrival streams are bit-identical to the pre-fleet engine.
+			if k := len(eng.nodes); k > 1 {
+				if p.Stripe {
+					ev.node = int(rng.Uint64N(uint64(k)))
+				} else {
+					ev.node = client % k
+				}
 			}
 			eng.workers[eng.workerFor(addr)].schedule(t, ev)
 		}
@@ -588,7 +765,7 @@ func (w *worker) runTick(t int) {
 	for i := 0; i < len(w.future[t]); i++ {
 		ev := w.future[t][i]
 		if ev.completion {
-			w.complete(ev)
+			w.complete(t, ev)
 			continue
 		}
 		if !w.eng.sc.Batch {
@@ -600,12 +777,13 @@ func (w *worker) runTick(t int) {
 		// its second Decide sees its first Observe, and a batch (all
 		// observes before all decides) would leak that observation into
 		// the *first* decide. Distinct IPs only touch distinct tracker
-		// entries, so observe/decide commute across items.
+		// entries, so observe/decide commute across items. A node change
+		// also breaks the run: one batch call targets one framework.
 		j := i + 1
 		w.seen = append(w.seen[:0], w.future[t][i].ip)
 		for ; j < len(w.future[t]); j++ {
 			nxt := w.future[t][j]
-			if nxt.completion || w.seenIP(nxt.ip) {
+			if nxt.completion || nxt.node != ev.node || w.seenIP(nxt.ip) {
 				break
 			}
 			w.seen = append(w.seen, nxt.ip)
@@ -661,6 +839,7 @@ func (w *worker) prepare(ev event) arrival {
 func (w *worker) arriveBatch(t int, evs []event) {
 	eng := w.eng
 	now := eng.clock.Now()
+	fw := eng.nodes[evs[0].node].fw // runs never span nodes
 
 	w.runArr = w.runArr[:0]
 	w.runObs = w.runObs[:0]
@@ -671,10 +850,10 @@ func (w *worker) arriveBatch(t int, evs []event) {
 		w.runObs = append(w.runObs, features.RequestInfo{IP: ev.ip, Path: a.path, At: now, Failed: a.failed})
 		w.runReq = append(w.runReq, core.RequestContext{IP: ev.ip})
 	}
-	_ = eng.fw.ObserveBatch(w.runObs)
+	_ = fw.ObserveBatch(w.runObs)
 
 	var err error
-	w.runDec, err = eng.fw.DecideBatch(w.runReq, w.runDec[:0])
+	w.runDec, err = fw.DecideBatch(w.runReq, w.runDec[:0])
 	for k := range w.runArr {
 		if err != nil {
 			w.out[evs[k].pop][evs[k].phase].decideErrors++
@@ -690,11 +869,12 @@ func (w *worker) arriveBatch(t int, evs []event) {
 func (w *worker) arrive(t int, ev event) {
 	eng := w.eng
 	a := w.prepare(ev)
+	fw := eng.nodes[ev.node].fw
 
 	now := eng.clock.Now()
-	_ = eng.fw.Observe(features.RequestInfo{IP: ev.ip, Path: a.path, At: now, Failed: a.failed})
+	_ = fw.Observe(features.RequestInfo{IP: ev.ip, Path: a.path, At: now, Failed: a.failed})
 
-	dec, err := eng.fw.Decide(core.RequestContext{IP: ev.ip})
+	dec, err := fw.Decide(core.RequestContext{IP: ev.ip})
 	if err != nil {
 		w.out[ev.pop][ev.phase].decideErrors++
 		return
@@ -815,12 +995,13 @@ func (w *worker) finish(t int, a arrival, dec core.Decision) {
 
 // complete runs steps 6–7: the solution lands at the server at simulated
 // time ev.at and the client is (or is not) served.
-func (w *worker) complete(ev event) {
+func (w *worker) complete(t int, ev event) {
 	eng := w.eng
+	fw := eng.nodes[ev.node].fw
 	o := w.out[ev.pop][ev.phase]
 	latency := ev.at - ev.sentAt
 	if ev.verify {
-		if err := eng.fw.Verify(ev.sol, ev.ip); err != nil {
+		if err := fw.Verify(ev.sol, ev.ip); err != nil {
 			if errors.Is(err, puzzle.ErrExpired) {
 				o.expired++
 			} else {
@@ -834,8 +1015,8 @@ func (w *worker) complete(ev event) {
 		// redeemable. (Conservative: latency includes network crossings.)
 		o.expired++
 		if ev.diff >= puzzle.MinDifficulty {
-			w.mExpired++
-			eng.fw.RecordVerifyEvidence(ev.ip, 0, false)
+			w.mExpired[ev.node]++
+			fw.RecordVerifyEvidence(ev.ip, 0, false)
 		}
 		return
 	}
@@ -847,8 +1028,22 @@ func (w *worker) complete(ev event) {
 	// tracker's evidence state exactly as a real Verify call would — the
 	// redemption path runs on the same solve-credit stream either way.
 	if !ev.verify && ev.diff >= puzzle.MinDifficulty {
-		w.mVerified[ev.diff]++
-		eng.fw.RecordVerifyEvidence(ev.ip, ev.diff, true)
+		w.mVerified[ev.node][ev.diff]++
+		fw.RecordVerifyEvidence(ev.ip, ev.diff, true)
+	}
+	// The cross-node replay attacker: the solution just redeemed here is
+	// resubmitted verbatim to the next fleet node after enough gossip
+	// rounds for the redeemed tag to have crossed the whole topology. The
+	// fleet filter must fail it closed (counted rejected above); a second
+	// service would show up as served > requests — an invariant every
+	// replay scenario pins with served_frac ≤ 1.
+	if ev.verify && !ev.replay && eng.sc.Populations[ev.pop].Behavior == BehaviorReplayCross {
+		rep := ev
+		rep.replay = true
+		rep.node = (ev.node + 1) % len(eng.nodes)
+		ticks := eng.clusterDiameter()*eng.sc.Cluster.exchangeTicks() + 2
+		rep.at = ev.at + time.Duration(ticks)*eng.tick
+		w.schedule(eng.tickOf(rep.at, t), rep)
 	}
 }
 

@@ -118,6 +118,10 @@ type ScenarioReport struct {
 		AdaptRules     []string `json:"adapt_rules,omitempty"`
 	} `json:"defense"`
 
+	// Cluster echoes the fleet shape for K-node scenarios (absent for
+	// standalone runs, so pre-fleet reports are byte-identical).
+	Cluster *ClusterReport `json:"cluster,omitempty"`
+
 	Populations []PopulationReport `json:"populations"`
 	Phases      []PhaseReport      `json:"phases,omitempty"`
 
@@ -131,6 +135,14 @@ type ScenarioReport struct {
 
 	Invariants []InvariantResult `json:"invariants"`
 	Pass       bool              `json:"pass"`
+}
+
+// ClusterReport echoes a scenario's fleet configuration.
+type ClusterReport struct {
+	Nodes         int  `json:"nodes"`
+	ExchangeTicks int  `json:"exchange_ticks"`
+	Degree        int  `json:"degree"`
+	FleetFeedback bool `json:"fleet_feedback"`
 }
 
 // Report reports the result as the canonical ScenarioReport.
@@ -152,6 +164,14 @@ func (r *Result) Report() ScenarioReport {
 	rep.Defense.RealSolve = sc.Defense.RealSolve
 	if sc.Defense.Adapt != nil {
 		rep.Defense.AdaptRules = sc.Defense.Adapt.Rules
+	}
+	if cs := sc.Cluster; cs != nil {
+		rep.Cluster = &ClusterReport{
+			Nodes:         cs.Nodes,
+			ExchangeTicks: cs.exchangeTicks(),
+			Degree:        cs.degree(),
+			FleetFeedback: cs.FleetFeedback,
+		}
 	}
 	rep.Adapt = r.Adapt
 

@@ -42,6 +42,14 @@ const (
 	// either), so these populations pin the downgrade-proofing end to end.
 	// Requires Defense.RealSolve.
 	BehaviorDowngrade
+
+	// BehaviorReplayCross solves honestly, redeems on its home node, then
+	// resubmits the same solution to a different fleet node — the
+	// cross-node replay attacker exploiting per-node replay windows. With
+	// the cluster's Bloom exchange the second redemption must fail on
+	// every node; without it each node would happily redeem once.
+	// Requires Defense.RealSolve and a Cluster section.
+	BehaviorReplayCross
 )
 
 // String renders the behavior for reports.
@@ -57,6 +65,8 @@ func (b Behavior) String() string {
 		return "bogus"
 	case BehaviorDowngrade:
 		return "downgrade"
+	case BehaviorReplayCross:
+		return "replay-cross"
 	default:
 		return fmt.Sprintf("behavior(%d)", int(b))
 	}
@@ -150,6 +160,12 @@ type Population struct {
 	// FailRatio is the fraction of requests observed as failed (4xx-like
 	// behavioral signal), in [0, 1]. Probing populations set it high.
 	FailRatio float64
+
+	// Stripe sprays each request onto an independently-drawn fleet node
+	// instead of the default stable client→node affinity — the striping
+	// botnet diluting its per-node footprint 1/K. Requires a Cluster
+	// section.
+	Stripe bool
 }
 
 // validate rejects inconsistent populations.
@@ -164,7 +180,7 @@ func (p Population) validate() error {
 		return fmt.Errorf("sim: population %q needs a positive request rate, got %v", p.Name, p.Rate)
 	}
 	switch p.Behavior {
-	case BehaviorSolve, BehaviorGiveUpAbove:
+	case BehaviorSolve, BehaviorGiveUpAbove, BehaviorReplayCross:
 		if p.HashRate <= 0 {
 			return fmt.Errorf("sim: population %q solves but has hash rate %v", p.Name, p.HashRate)
 		}
@@ -293,6 +309,70 @@ func (n Network) validate() error {
 	return nil
 }
 
+// ClusterSim configures the scenario's fleet mode: K independent defense
+// nodes (each its own framework, tracker, and — with Defense.Adapt — its
+// own controller) joined by the cluster exchange plane. Clients hold a
+// stable home node (client mod K) unless their population stripes.
+type ClusterSim struct {
+	// Nodes is the fleet size K (at least 2).
+	Nodes int
+
+	// ExchangeTicks is how many engine ticks pass between gossip rounds
+	// (default 1). Larger values model a slower exchange interval, i.e.
+	// more staleness.
+	ExchangeTicks int
+
+	// Degree is each node's pull fan-out: node i pulls from nodes
+	// i+1 … i+Degree (mod K) each round. Zero defaults to K-1, a full
+	// mesh; 1 is a ring — the partial-view deployment whose state
+	// spreads transitively, one hop per round.
+	Degree int
+
+	// FleetFeedback binds each node's adapt controller to its local
+	// counters summed with its peer-reported view of the fleet
+	// (feedback.NewSumSource + Node.PeerSource), so rate thresholds see
+	// cluster-wide totals. Off, controllers see only their own node —
+	// the configuration a striping botnet slips under.
+	FleetFeedback bool
+
+	// FilterBits overrides the replay filter's per-bucket Bloom size
+	// (power of two; default cluster.DefaultFilterBits).
+	FilterBits int
+}
+
+// validate rejects inconsistent fleet configurations.
+func (c ClusterSim) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("sim: cluster needs at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.ExchangeTicks < 0 {
+		return fmt.Errorf("sim: cluster has negative exchange interval")
+	}
+	if c.Degree < 0 || c.Degree > c.Nodes-1 {
+		return fmt.Errorf("sim: cluster degree %d outside [0, %d]", c.Degree, c.Nodes-1)
+	}
+	if c.FilterBits < 0 || (c.FilterBits > 0 && c.FilterBits&(c.FilterBits-1) != 0) {
+		return fmt.Errorf("sim: cluster filter bits %d not a power of two", c.FilterBits)
+	}
+	return nil
+}
+
+// degree reports the effective pull fan-out.
+func (c ClusterSim) degree() int {
+	if c.Degree == 0 {
+		return c.Nodes - 1
+	}
+	return c.Degree
+}
+
+// exchangeTicks reports the effective gossip interval in ticks.
+func (c ClusterSim) exchangeTicks() int {
+	if c.ExchangeTicks == 0 {
+		return 1
+	}
+	return c.ExchangeTicks
+}
+
 // FrameworkFactory builds the defense under test on the simulation clock.
 // The returned framework must route all time through now, or TTLs and
 // tracker windows would mix wall and simulated time.
@@ -343,6 +423,11 @@ type Scenario struct {
 	// Defense configures the framework under test; used when Factory is
 	// nil.
 	Defense Defense
+
+	// Cluster, when non-nil, runs the defense as a K-node fleet joined
+	// by the cluster exchange plane instead of a single framework.
+	// Requires the built-in Defense (no custom Factory).
+	Cluster *ClusterSim
 
 	// Factory overrides Defense with a custom framework construction.
 	Factory FrameworkFactory `json:"-"`
@@ -402,6 +487,17 @@ func (sc Scenario) validate() error {
 			// defense's base policy spec for de-escalation.
 			return fmt.Errorf("sim: scenario %q: Defense.Adapt requires the built-in Defense, not a custom Factory", sc.Name)
 		}
+		if sc.Cluster != nil {
+			// The fleet mode builds one framework per node and wires each
+			// to a cluster exchange hook; a single opaque factory cannot
+			// provide that.
+			return fmt.Errorf("sim: scenario %q: Cluster requires the built-in Defense, not a custom Factory", sc.Name)
+		}
+	}
+	if sc.Cluster != nil {
+		if err := sc.Cluster.validate(); err != nil {
+			return fmt.Errorf("sim: scenario %q: %w", sc.Name, err)
+		}
 	}
 	if a := sc.Defense.Adapt; a != nil {
 		if a.Capacity < 0 || a.Hard < 0 || a.Window < 0 {
@@ -448,6 +544,20 @@ func (sc Scenario) validate() error {
 			// The downgrade attack only means anything against the real
 			// verifier: modeled verification has no version gate to beat.
 			return fmt.Errorf("sim: population %q downgrades but the defense is modeled; set Defense.RealSolve", p.Name)
+		}
+		if p.Behavior == BehaviorReplayCross {
+			// A replay must clear the real verifier once and be refused the
+			// second time by the fleet filter; both need real verification
+			// and a second node to replay against.
+			if !sc.Defense.RealSolve {
+				return fmt.Errorf("sim: population %q replays cross-node but the defense is modeled; set Defense.RealSolve", p.Name)
+			}
+			if sc.Cluster == nil {
+				return fmt.Errorf("sim: population %q replays cross-node but the scenario has no Cluster", p.Name)
+			}
+		}
+		if p.Stripe && sc.Cluster == nil {
+			return fmt.Errorf("sim: population %q stripes but the scenario has no Cluster", p.Name)
 		}
 		if seen[p.Name] {
 			return fmt.Errorf("sim: duplicate population %q", p.Name)

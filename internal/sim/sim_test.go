@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -279,6 +280,26 @@ func TestScenarioValidation(t *testing.T) {
 			sc.Defense.Adapt = &AdaptDefense{Rules: []string{"escalate(when=rate>1, policy=policy2)"}}
 			sc.Invariants = []Invariant{AtLeast(MetricAdaptSwaps, "a", "", 1)}
 		}},
+		{"cluster_too_small", func(sc *Scenario) { sc.Cluster = &ClusterSim{Nodes: 1} }},
+		{"cluster_bad_degree", func(sc *Scenario) { sc.Cluster = &ClusterSim{Nodes: 3, Degree: 3} }},
+		{"cluster_bad_filter_bits", func(sc *Scenario) {
+			sc.Cluster = &ClusterSim{Nodes: 2, FilterBits: 1000}
+		}},
+		{"cluster_with_factory", func(sc *Scenario) {
+			sc.Cluster = &ClusterSim{Nodes: 2}
+			sc.Factory = func(now func() time.Time) (*core.Framework, error) { return nil, nil }
+		}},
+		{"stripe_without_cluster", func(sc *Scenario) { sc.Populations[0].Stripe = true }},
+		{"replay_cross_without_cluster", func(sc *Scenario) {
+			sc.Populations[0].Behavior = BehaviorReplayCross
+			sc.Populations[0].HashRate = 1000
+			sc.Defense.RealSolve = true
+		}},
+		{"replay_cross_without_realsolve", func(sc *Scenario) {
+			sc.Cluster = &ClusterSim{Nodes: 2}
+			sc.Populations[0].Behavior = BehaviorReplayCross
+			sc.Populations[0].HashRate = 1000
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -328,6 +349,84 @@ func TestAdaptiveRunDeterministic(t *testing.T) {
 		}
 		if string(buf) != string(first) {
 			t.Fatalf("run %d produced a different report", i)
+		}
+	}
+}
+
+// TestClusterRunDeterministic reruns the K-node scenarios and demands
+// byte-identical reports: per-node routing, gossip exchange rounds,
+// fleet-summed feedback, and cross-node replay scheduling must all be
+// free of map-order and wall-clock dependence.
+func TestClusterRunDeterministic(t *testing.T) {
+	pick := func(name string) Scenario {
+		for _, sc := range DefaultSuite(7, 0.15) {
+			if sc.Name == name {
+				return sc
+			}
+		}
+		t.Fatalf("%s missing from the default suite", name)
+		return Scenario{}
+	}
+	for _, name := range []string{"cluster-striping-fleet", "cluster-replay"} {
+		t.Run(name, func(t *testing.T) {
+			var first []byte
+			for i := 0; i < 3; i++ {
+				res, err := Run(pick(name))
+				if err != nil {
+					t.Fatalf("run %d: %v", i, err)
+				}
+				rep := res.Report()
+				if !rep.Pass {
+					t.Fatalf("run %d: invariants failed: %+v", i, rep.Invariants)
+				}
+				buf, err := (&SuiteReport{Scenarios: []ScenarioReport{rep}}).Marshal()
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				if i == 0 {
+					first = buf
+					continue
+				}
+				if !bytes.Equal(first, buf) {
+					t.Fatalf("run %d produced a different report", i)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterReplayAccounting pins the cross-node replay semantics at the
+// outcome level: every replayed token is rejected (rejected > 0), no
+// replay is ever served twice (served never exceeds requests), and the
+// honest first redemptions all land.
+func TestClusterReplayAccounting(t *testing.T) {
+	var sc Scenario
+	for _, s := range DefaultSuite(11, 0.15) {
+		if s.Name == "cluster-replay" {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatal("cluster-replay missing from the default suite")
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	for _, p := range rep.Populations {
+		if p.Name != "replayers" {
+			continue
+		}
+		o := p.Outcome
+		if o.Rejected == 0 {
+			t.Error("no replays were rejected — the cross-node filter never fired")
+		}
+		if o.Served > o.Requests {
+			t.Errorf("served %d > requests %d: a replayed token was redeemed twice", o.Served, o.Requests)
+		}
+		if o.Served < o.Requests {
+			t.Errorf("served %d < requests %d: an honest first redemption was lost", o.Served, o.Requests)
 		}
 	}
 }

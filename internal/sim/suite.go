@@ -668,6 +668,160 @@ func DefaultSuite(seed uint64, scale float64) []Scenario {
 				AtMost(MetricDecideErrors, "", "", 0),
 			},
 		},
+		{
+			Name:        "cluster-striping-fleet",
+			Description: "K=4 fleet, striping botnet: fleet-summed feedback sees the cluster-wide rate and every node escalates; per-node rates alone stay under threshold",
+			Cluster:     &ClusterSim{Nodes: 4, FleetFeedback: true},
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"stripe-bots": 0}},
+				{Name: "flood", Duration: 30 * time.Second},
+				{Name: "recovery", Duration: 25 * time.Second, RateScale: map[string]float64{"stripe-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(8, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					// Each bot request lands on an independently-drawn node:
+					// ~32 r/s per node at full scale, under the 45 r/s
+					// threshold every per-node controller watches — only the
+					// ~128 r/s fleet total crosses it.
+					Name: "stripe-bots", Clients: scalePop(8, scale), Rate: 8,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Stripe: true, Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3, Adapt: &AdaptDefense{
+				Capacity: 400,
+				Rules:    []string{"escalate(when=rate>45, policy=policy2, hold=10s, after=2)"},
+			}},
+			Invariants: []Invariant{
+				// Fleet detection latency: escalation only after the flood
+				// starts (15 s) and within ~2 s — one exchange round of
+				// staleness on top of the single-node loop latency.
+				AtLeast(MetricAdaptFirstEscalationMS, "", "", 15000),
+				AtMost(MetricAdaptFirstEscalationMS, "", "", 17500),
+				// Every node escalates once and de-escalates once: 4 up, 4
+				// down, ending back at base.
+				AtLeast(MetricAdaptSwaps, "", "", 8),
+				AtMost(MetricAdaptSwaps, "", "", 8),
+				AtLeast(MetricAdaptMaxLevel, "", "", 1),
+				AtMost(MetricAdaptFinalLevel, "", "", 0),
+				// The escalation reprices the striped bots fleet-wide past
+				// policy1's cap of 11 (the score spread keeps the mean just
+				// above it; the local variant sits at ~7.6).
+				AtLeast(MetricMeanDifficulty, "stripe-bots", "flood", 11.25),
+				// …while legitimate traffic keeps flowing on every node.
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricLatencyP90, "users", "", 800),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "cluster-striping-local",
+			Description: "failure exhibit paired with cluster-striping-fleet: same fleet, same botnet, feedback left per-node — no controller ever fires and the bots keep paying base prices",
+			Cluster:     &ClusterSim{Nodes: 4, FleetFeedback: false},
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"stripe-bots": 0}},
+				{Name: "flood", Duration: 30 * time.Second},
+				{Name: "recovery", Duration: 25 * time.Second, RateScale: map[string]float64{"stripe-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(8, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "stripe-bots", Clients: scalePop(8, scale), Rate: 8,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Stripe: true, Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3, Adapt: &AdaptDefense{
+				Capacity: 400,
+				Rules:    []string{"escalate(when=rate>45, policy=policy2, hold=10s, after=2)"},
+			}},
+			Invariants: []Invariant{
+				// The striping works: no per-node rate ever crosses the
+				// threshold, so no controller moves — this is exactly the
+				// blind spot the fleet-feedback variant closes.
+				AtMost(MetricAdaptSwaps, "", "", 0),
+				AtMost(MetricAdaptMaxLevel, "", "", 0),
+				// And the bots stay at policy1's cap the whole flood.
+				AtMost(MetricMeanDifficulty, "stripe-bots", "flood", 11),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "cluster-replay",
+			Description: "real-crypto cross-node replay: tokens solved and redeemed on one fleet node are resubmitted to the other; the gossiped Bloom filter rejects every one",
+			Cluster:     &ClusterSim{Nodes: 2},
+			Phases:      []Phase{{Name: "attack", Duration: 20 * time.Second}},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(8, scale), Rate: 0.5,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "replayers", Clients: scalePop(8, scale), Rate: 0.5,
+					Behavior: BehaviorReplayCross, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", MaxDifficulty: 8, RealSolve: true},
+			Invariants: []Invariant{
+				// The replayers' honest first redemptions all land…
+				AtLeast(MetricServedFrac, "replayers", "", 0.999),
+				// …and served_frac ≤ 1 pins that no replay ever redeemed:
+				// a second service for the same request would push served
+				// past requests.
+				AtMost(MetricServedFrac, "replayers", "", 1),
+				// Every replay is rejected by the fleet filter.
+				AtLeast(MetricRejected, "replayers", "", 50),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
+		{
+			Name:        "cluster-partial",
+			Description: "K=4 ring (degree 1, partial views): fleet feedback still detects the striping botnet, one relay hop of staleness slower than the full mesh",
+			Cluster:     &ClusterSim{Nodes: 4, Degree: 1, FleetFeedback: true},
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"stripe-bots": 0}},
+				{Name: "flood", Duration: 30 * time.Second},
+				{Name: "recovery", Duration: 25 * time.Second, RateScale: map[string]float64{"stripe-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(8, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "stripe-bots", Clients: scalePop(8, scale), Rate: 8,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Stripe: true, Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3, Adapt: &AdaptDefense{
+				Capacity: 400,
+				Rules:    []string{"escalate(when=rate>45, policy=policy2, hold=10s, after=2)"},
+			}},
+			Invariants: []Invariant{
+				// Same detection, looser latency ceiling: counters relay
+				// around the ring one hop per round (up to 3 rounds to the
+				// farthest peer), so the mesh's bound gains that slack —
+				// the detection-latency-vs-topology trade, pinned.
+				AtLeast(MetricAdaptFirstEscalationMS, "", "", 15000),
+				AtMost(MetricAdaptFirstEscalationMS, "", "", 18500),
+				AtLeast(MetricAdaptMaxLevel, "", "", 1),
+				AtMost(MetricAdaptFinalLevel, "", "", 0),
+				AtLeast(MetricMeanDifficulty, "stripe-bots", "flood", 11.25),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
 	}
 	for i := range scs {
 		scs[i].Seed = seed
