@@ -226,6 +226,26 @@ func BenchmarkAsymmetryDecide(b *testing.B) {
 	}
 }
 
+// BenchmarkDecideTraced measures the decision path with a sampled
+// decision-trace ring attached at the default 1-in-1024 rate. The
+// unsampled iterations — all but ~0.1% — pay one atomic increment and
+// one branch; the sampled ones write a fixed-size record into a
+// preallocated slot. Both must stay allocation-free, and the aggregate
+// ns/op must sit within a few percent of plain Decide (benchdump gates
+// the ratio).
+func BenchmarkDecideTraced(b *testing.B) {
+	fw := benchFramework(b, func(store *aipow.MapStore) []aipow.Option {
+		return []aipow.Option{aipow.WithObserveTrace(aipow.NewTraceRing(1024, 256))}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fw.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDecideParallel measures the serving path under GOMAXPROCS-way
 // concurrency — the millions-of-users shape: every iteration feeds the
 // behavior tracker (Observe) and runs the decision over the combined

@@ -15,11 +15,12 @@
 //
 // -compare is the CI regression gate: after measuring, the run is diffed
 // against the baseline file and the process exits non-zero when a gated
-// benchmark (Decide, DecideUnderSwap, DecideUnderAdapt, DecideWithEvidence,
-// DecideBatch, Verify, Issue) allocates at all or slows down by more than
-// -max-regress — or when a within-run ratio gate fails: the evidence path
-// beyond 2× plain Decide, or the batch path not beating the single-op
-// evidence path per request.
+// benchmark (Decide, DecideTraced, DecideUnderSwap, DecideUnderAdapt,
+// DecideWithEvidence, DecideBatch, Verify, Issue) allocates at all or slows
+// down by more than -max-regress — or when a within-run ratio gate fails:
+// the evidence path beyond 2× plain Decide, the traced path beyond 5% of
+// plain Decide, or the batch path not beating the single-op evidence path
+// per request.
 package main
 
 import (
@@ -57,7 +58,10 @@ var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
 // the 0-alloc rule), while DigestMerge and BloomExchange pin the
 // exchange plane's cost — they run at gossip cadence, not per request,
 // so they are regression-gated on ns/op only (see allocExempt).
-var gated = []string{"Decide", "DecideUnderSwap", "DecideUnderAdapt", "DecideWithEvidence", "DecideBatch", "Verify", "Issue", "IssueBalloon", "VerifyBalloon", "FilterSeen", "DigestMerge", "BloomExchange"}
+// DecideTraced is Decide with the sampled decision-trace ring attached
+// at the default 1-in-1024 rate — the observability tax, pinned both
+// here (no allocations) and by the traced_over_decide ratio gate.
+var gated = []string{"Decide", "DecideTraced", "DecideUnderSwap", "DecideUnderAdapt", "DecideWithEvidence", "DecideBatch", "Verify", "Issue", "IssueBalloon", "VerifyBalloon", "FilterSeen", "DigestMerge", "BloomExchange"}
 
 // allocExempt marks gated benchmarks that legitimately allocate: the
 // exchange plane assembles wire frames off the serving path (once per
@@ -69,6 +73,11 @@ var allocExempt = map[string]bool{"DigestMerge": true, "BloomExchange": true}
 // Decide, and the batch front door must beat the single-op evidence path
 // (a batch that amortizes nothing has no reason to exist).
 const evidenceRatioLimit = 2.0
+
+// tracedRatioLimit bounds DecideTraced relative to plain Decide: the
+// trace ring's unsampled path is one branch plus one atomic, so the
+// whole benchmark — sampled iterations included — must stay within 5%.
+const tracedRatioLimit = 1.05
 
 // scalingRatioLimit bounds DecideParallel per-op time at each wider
 // GOMAXPROCS relative to the narrowest measured width. Healthy scaling
@@ -198,6 +207,20 @@ func run(out, cpuSpec, compare, maxRegress string, runs int) error {
 		aipow.WithScorer(model),
 		aipow.WithPolicy(aipow.Policy2()),
 		aipow.WithSource(store),
+	)
+	if err != nil {
+		return err
+	}
+
+	// Tracing wiring: the same Decide pipeline with a sampled
+	// decision-trace ring at the default 1-in-1024 rate, so the
+	// traced_over_decide ratio isolates the observability tax.
+	tracedFW, err := aipow.New(
+		aipow.WithKey(benchKey),
+		aipow.WithScorer(model),
+		aipow.WithPolicy(aipow.Policy2()),
+		aipow.WithSource(store),
+		aipow.WithObserveTrace(aipow.NewTraceRing(1024, 256)),
 	)
 	if err != nil {
 		return err
@@ -441,6 +464,18 @@ pipeline bench
 					}
 				}
 			})),
+			// Decide with the decision-trace ring attached: ~0.1% of
+			// iterations write a fixed-size record into a preallocated
+			// slot, the rest pay one branch and one atomic. Gated like
+			// Decide, plus the traced_over_decide ratio below.
+			"DecideTraced": bench((func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := tracedFW.Decide(aipow.RequestContext{IP: "198.51.100.1"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})),
 			"DecideParallel": bench(decideParallel),
 			// Decide while a background goroutine hot-swaps the policy at
 			// ~1 kHz: the RCU snapshot design means swap churn must cost
@@ -648,6 +683,7 @@ pipeline bench
 	d.Ratios = map[string]float64{
 		"evidence_over_decide": d.Benchmarks["DecideWithEvidence"].NsPerOp / d.Benchmarks["Decide"].NsPerOp,
 		"batch_over_evidence":  d.Benchmarks["DecideBatch"].NsPerOp / d.Benchmarks["DecideWithEvidence"].NsPerOp,
+		"traced_over_decide":   d.Benchmarks["DecideTraced"].NsPerOp / d.Benchmarks["Decide"].NsPerOp,
 	}
 	if len(cpus) > 0 {
 		base := d.Benchmarks[fmt.Sprintf("DecideParallel/cpu=%d", cpus[0])].NsPerOp
@@ -720,6 +756,12 @@ func gate(cur dump, baselinePath string, tol float64) error {
 			fmt.Sprintf("DecideWithEvidence/Decide ratio %.2f exceeds %.1f", r, evidenceRatioLimit))
 	} else {
 		fmt.Printf("compare: evidence/decide ratio %.2f (limit %.1f) ok\n", r, evidenceRatioLimit)
+	}
+	if r := cur.Ratios["traced_over_decide"]; r > tracedRatioLimit {
+		violations = append(violations,
+			fmt.Sprintf("DecideTraced/Decide ratio %.3f exceeds %.2f (tracing must stay near-free)", r, tracedRatioLimit))
+	} else {
+		fmt.Printf("compare: traced/decide ratio %.3f (limit %.2f) ok\n", r, tracedRatioLimit)
 	}
 	if r := cur.Ratios["batch_over_evidence"]; r >= 1 {
 		violations = append(violations,

@@ -21,6 +21,18 @@
 //     generation), and GET /stats (per-pipeline counters, including
 //     adapt.* controller state).
 //
+// The same listener is the observability plane: GET /metrics serves the
+// whole deployment in Prometheus text exposition format (serving
+// counters, per-stage latency histograms, adapt and cluster state, every
+// series labeled with the pipeline and this node's name), GET /trace
+// serves the sampled decision traces of pipelines with an `observe
+// trace(...)` spec line, and GET /events serves the defense event log
+// (adapt escalations with the tripping signal value, spec
+// applies/rollbacks, cluster membership changes, evidence flush stalls).
+// /trace and /events carry per-client and posture detail, so they demand
+// the -admin-token; /metrics stays open for scrapers. -pprof additionally
+// mounts net/http/pprof under /debug/pprof/.
+//
 // With -adapt the server also runs the feedback controllers declared in
 // the spec's `adapt` sections: live signal estimation (request rate,
 // verify failures, difficulty distribution, the hard-solve FP proxy)
@@ -58,6 +70,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -78,6 +91,7 @@ func main() {
 	adminAddr := flag.String("admin", "", "control-plane listen address (empty disables; bind privately)")
 	adminToken := flag.String("admin-token", "", "bearer token required on mutating admin endpoints (empty leaves them open)")
 	adapt := flag.Bool("adapt", false, "run the feedback controllers declared in the spec's adapt sections")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin listener")
 	specPath := flag.String("spec", "", "deployment spec file (text DSL or JSON; overrides -policy/-bypass)")
 	policySpec := flag.String("policy", "policy2", "policy spec for the default single-pipeline deployment")
 	keyHex := flag.String("key", "", "hex HMAC key (≥32 hex chars); random demo key when empty")
@@ -113,7 +127,11 @@ func main() {
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
-	registry, err := buildRegistry(key, model, store, origin)
+	// The defense event log backs GET /events: every adapt transition,
+	// spec apply/rollback, cluster membership change, and evidence stall
+	// lands here regardless of whether an admin listener is serving it.
+	events := aipow.NewEventLog(0)
+	registry, err := buildRegistry(key, model, store, origin, events)
 	if err != nil {
 		log.Fatalf("powserver: %v", err)
 	}
@@ -157,7 +175,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("powserver: %v", err)
 		}
-		go serveAdmin(*adminAddr, *adminToken, proxyAuth, gk)
+		admin, err := newAdminMux(*adminToken, proxyAuth, gk, origin, events, *pprofFlag)
+		if err != nil {
+			log.Fatalf("powserver: %v", err)
+		}
+		go serveAdmin(*adminAddr, admin)
 	}
 	if *clusterListen != "" {
 		go serveCluster(*clusterListen, gk)
@@ -185,7 +207,7 @@ func main() {
 // buildRegistry assembles the component registry the spec's names resolve
 // against: the trained model and the feed store become spec-addressable
 // components sharing one tracker and key across all pipelines.
-func buildRegistry(key []byte, model *reputation.Model, store *aipow.MapStore, nodeID string) (*aipow.ComponentRegistry, error) {
+func buildRegistry(key []byte, model *reputation.Model, store *aipow.MapStore, nodeID string, events *aipow.EventLog) (*aipow.ComponentRegistry, error) {
 	tracker, err := aipow.NewTracker()
 	if err != nil {
 		return nil, err
@@ -193,6 +215,9 @@ func buildRegistry(key []byte, model *reputation.Model, store *aipow.MapStore, n
 	opts := []aipow.ComponentRegistryOption{aipow.WithSharedTracker(tracker)}
 	if nodeID != "" {
 		opts = append(opts, aipow.WithRegistryNodeID(nodeID))
+	}
+	if events != nil {
+		opts = append(opts, aipow.WithRegistryEvents(events.Append))
 	}
 	registry, err := aipow.NewComponentRegistry(key, opts...)
 	if err != nil {
@@ -390,12 +415,16 @@ func serveCluster(addr string, gk *aipow.Gatekeeper) {
 	log.Fatal(server.ListenAndServe())
 }
 
-// serveAdmin runs the control-plane listener: POST /apply (spec body),
-// POST /rollback, POST /batch, GET /spec, GET /spec/history, GET
-// /stats. Mutating endpoints honor the bearer token (the batch front
-// door also accepts signed proxy headers); read endpoints stay open for
-// scrapers — bind the listener to a private interface regardless.
-func serveAdmin(addr, token string, proxyAuth *aipow.ProxyAuth, gk *aipow.Gatekeeper) {
+// newAdminMux assembles the control-plane handler: POST /apply (spec
+// body), POST /rollback, POST /batch, GET /spec, GET /spec/history, GET
+// /stats, GET /metrics (Prometheus text exposition), and the token-authed
+// observability reads GET /trace (sampled decision traces) and GET
+// /events (the defense event log). Mutating endpoints and the
+// trace/events reads honor the bearer token (the batch front door also
+// accepts signed proxy headers); plain scrape endpoints stay open — bind
+// the listener to a private interface regardless. node labels every
+// exposition series; withPprof mounts net/http/pprof under /debug/pprof/.
+func newAdminMux(token string, proxyAuth *aipow.ProxyAuth, gk *aipow.Gatekeeper, node string, events *aipow.EventLog, withPprof bool) (*http.ServeMux, error) {
 	// One stats map reused across polls (StatsInto): the scrape path does
 	// not allocate a map per request.
 	var statsMu sync.Mutex
@@ -437,7 +466,7 @@ func serveAdmin(addr, token string, proxyAuth *aipow.ProxyAuth, gk *aipow.Gateke
 	// proxy tier may decide on behalf of clients.
 	batch, err := aipow.NewRoutedHTTPBatchHandler(gk)
 	if err != nil {
-		log.Fatalf("powserver: batch handler: %v", err)
+		return nil, fmt.Errorf("batch handler: %w", err)
 	}
 	mux.HandleFunc("POST /batch", requireBearerOrProxy(token, proxyAuth, batch.ServeHTTP))
 	mux.HandleFunc("GET /spec/history", func(w http.ResponseWriter, r *http.Request) {
@@ -463,7 +492,43 @@ func serveAdmin(addr, token string, proxyAuth *aipow.ProxyAuth, gk *aipow.Gateke
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(stats)
 	})
-	log.Printf("powserver: control plane on %s (POST /apply, POST /rollback, POST /batch, GET /spec, GET /spec/history, GET /stats)", addr)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		e := aipow.NewExposition()
+		gk.ExpositionInto(e, node)
+		w.Header().Set("Content-Type", metricsContentType)
+		_, _ = e.WriteTo(w)
+	})
+	// Trace and event reads expose per-client scores and defense posture,
+	// so unlike the aggregate scrape endpoints they sit behind the token.
+	mux.HandleFunc("GET /trace", requireBearer(token, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(gk.TraceSnapshots())
+	}))
+	mux.HandleFunc("GET /events", requireBearer(token, func(w http.ResponseWriter, r *http.Request) {
+		snap := []aipow.DefenseEvent{}
+		if events != nil {
+			snap = events.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+	}))
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux, nil
+}
+
+// metricsContentType is the Prometheus text exposition format version the
+// /metrics endpoint emits.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// serveAdmin runs the control-plane listener built by newAdminMux.
+func serveAdmin(addr string, mux http.Handler) {
+	log.Printf("powserver: control plane on %s (POST /apply, POST /rollback, POST /batch, GET /spec, GET /spec/history, GET /stats, GET /metrics, GET /trace, GET /events)", addr)
 	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }

@@ -272,8 +272,9 @@
 // build when a gated benchmark allocates at all or slows down beyond the
 // tolerance — or when a within-run ratio gate fails: the full
 // evidence-carrying stack (DecideWithEvidence) beyond 2x plain Decide,
-// or the batch path (DecideBatch) not beating the single-op evidence
-// path per request.
+// the traced path (DecideTraced) beyond 5% of plain Decide, or the
+// batch path (DecideBatch) not beating the single-op evidence path per
+// request.
 //
 // # Batch serving & evidence buffering
 //
@@ -365,6 +366,46 @@
 // feedback provably cannot), cross-node replay redeeming zero times,
 // and a ring topology trading one relay hop of detection latency.
 //
+// # Observability
+//
+// A defense that escalates, swaps policies, and gossips fleet state on
+// its own needs to be watchable in production without taxing the path
+// it watches. The observability plane covers four layers, all
+// dependency-free:
+//
+//   - Prometheus exposition. Gatekeeper.ExpositionInto renders every
+//     pipeline's counters, serving-path latency histograms, trace and
+//     adapt state, and cluster figures as Prometheus text format
+//     (version 0.0.4) via the hand-rolled Exposition encoder, labeled
+//     {pipeline, node}. powserver serves it at GET /metrics on the
+//     admin listener (unauthenticated — aggregate data, scrapers rarely
+//     carry tokens) and -pprof additionally mounts net/http/pprof.
+//     ValidateExposition checks scraped output — family structure,
+//     name syntax, histogram bucket monotonicity — and the CI obs job
+//     runs live scrapes through it, twice, asserting monotonicity.
+//   - Serving-path latency histograms. Every Framework carries
+//     allocation-free atomic log-bucketed histograms over the Decide
+//     and Verify stages (AtomicHistogram: power-of-two buckets, lock-free
+//     Observe, snapshot reads). Always on — the gated hot-path
+//     benchmarks hold 0 allocs/op with them counting.
+//   - Sampled decision tracing. The spec line "observe
+//     trace(sample=1024, ring=256)" — hot-swappable, like a policy —
+//     samples one decision in N into a lock-free TraceRing of
+//     fixed-size TraceSamples: client hash, score, confidence, chosen
+//     difficulty, adapt rung, redemption credit, per-stage nanosecond
+//     timings. The unsampled path costs one atomic increment and one
+//     branch (the gated DecideTraced benchmark pins the whole thing
+//     within 5% of plain Decide at 0 allocs/op). GET /trace exports
+//     the rings as JSON, behind the admin bearer token.
+//   - Defense event log. State transitions that matter during an
+//     incident — adapt escalations and de-escalations with the signal
+//     readings that tripped them, spec applies and rollbacks, cluster
+//     peer joins and stalenesses, evidence flush stalls — append to a
+//     bounded EventLog (WithRegistryEvents wires it through every
+//     layer), exported at GET /events and mirrored into simulation
+//     reports, where the adapt-event-log scenario asserts the exact
+//     escalate → hold → de-escalate sequence deterministically.
+//
 // # Simulation & scenario regression
 //
 // The paper's central claim is economic asymmetry: legitimate clients pay
@@ -403,7 +444,8 @@
 // botnet, rotating-IP botnet, slow-and-low probing, reputation-poisoning
 // warmup, challenge dodging, mid-campaign policy flip, real-crypto smoke,
 // the adaptive-feedback ladder, the redemption pair, the puzzle-backend
-// trio, and the K-node cluster quartet) runs via:
+// trio, the K-node cluster quartet, and the defense event-log sequence
+// check) runs via:
 //
 //	go run ./cmd/attacksim -json          # writes SIM_scenarios.json
 //	go run ./cmd/attacksim -json -quick   # CI scale

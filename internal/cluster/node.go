@@ -9,6 +9,7 @@ import (
 
 	"aipow/internal/features"
 	"aipow/internal/feedback"
+	"aipow/internal/obs"
 	"aipow/internal/puzzle"
 )
 
@@ -71,6 +72,12 @@ type Config struct {
 
 	// Now injects the node's clock. Defaults to time.Now.
 	Now func() time.Time
+
+	// Events receives cluster membership events: peer_join when a frame
+	// first names an unknown origin, peer_stale when a fetcher that was
+	// healthy starts failing. Nil drops them. Sinks are called outside the
+	// node's lock but must still be fast — they run on the exchange loop.
+	Events obs.Sink
 }
 
 // OriginSection is one origin's slice of a frame: its cumulative serving
@@ -271,6 +278,7 @@ func (n *Node) Absorb(f *Frame) {
 		return
 	}
 	var rows []features.EvidenceRow
+	var joined []string
 	n.mu.Lock()
 	for i := range f.Origins {
 		sec := &f.Origins[i]
@@ -284,6 +292,9 @@ func (n *Node) Absorb(f *Frame) {
 			}
 			ps = &peerState{counters: make(map[string]float64, len(sec.Counters))}
 			n.peers[sec.Origin] = ps
+			if n.cfg.Events != nil {
+				joined = append(joined, sec.Origin)
+			}
 		}
 		for k, v := range sec.Counters {
 			if v > ps.counters[k] {
@@ -307,6 +318,15 @@ func (n *Node) Absorb(f *Frame) {
 	merge := n.merge
 	n.absorbs++
 	n.mu.Unlock()
+	// Join events fire outside n.mu: a sink may snapshot node stats.
+	for _, origin := range joined {
+		n.cfg.Events(obs.Event{
+			At:     n.cfg.Now(),
+			Kind:   obs.EventPeerJoin,
+			Node:   n.cfg.Origin,
+			Detail: origin,
+		})
+	}
 	if merge != nil && len(rows) > 0 {
 		merge(rows)
 	}
@@ -456,31 +476,59 @@ func (n *Node) loop(peers []Fetcher, stop <-chan struct{}, done chan<- struct{})
 	}()
 	ticker := time.NewTicker(n.cfg.Exchange)
 	defer ticker.Stop()
+	// Per-fetcher health, owned by the loop: peer_stale fires on each
+	// healthy→failing edge, not once per failed pull, so a partitioned
+	// peer produces one event per outage instead of one per tick.
+	failing := make([]bool, len(peers))
 	for {
 		select {
 		case <-stop:
 			return
 		case <-ticker.C:
-			n.exchangeOnce(peers)
+			n.exchangeOnce(peers, failing)
 		}
 	}
 }
 
-// exchangeOnce performs one pull round over the fetchers.
-func (n *Node) exchangeOnce(peers []Fetcher) {
-	for _, p := range peers {
+// exchangeOnce performs one pull round over the fetchers. failing carries
+// per-fetcher health between rounds (may be nil for one-shot callers).
+func (n *Node) exchangeOnce(peers []Fetcher, failing []bool) {
+	for i, p := range peers {
 		f, err := p.Fetch()
 		if err != nil {
 			n.mu.Lock()
 			n.absorbErrs++
 			n.mu.Unlock()
+			if i < len(failing) && !failing[i] {
+				failing[i] = true
+				if n.cfg.Events != nil {
+					n.cfg.Events(obs.Event{
+						At:     n.cfg.Now(),
+						Kind:   obs.EventPeerStale,
+						Node:   n.cfg.Origin,
+						Detail: fetcherName(p, i),
+					})
+				}
+			}
 			continue
+		}
+		if i < len(failing) {
+			failing[i] = false
 		}
 		n.Absorb(f)
 		n.mu.Lock()
 		n.exchanges++
 		n.mu.Unlock()
 	}
+}
+
+// fetcherName labels a fetcher in events — the peer URL when the
+// transport exposes one, otherwise its slot index.
+func fetcherName(p Fetcher, i int) string {
+	if h, ok := p.(*HTTPFetcher); ok {
+		return h.URL
+	}
+	return fmt.Sprintf("peer[%d]", i)
 }
 
 // Close stops the exchange loop and waits for it to drain. Idempotent,

@@ -10,6 +10,7 @@ import (
 
 	"aipow/internal/features"
 	"aipow/internal/feedback"
+	"aipow/internal/obs"
 )
 
 // fakeSource is a settable local-counter source.
@@ -283,3 +284,70 @@ func TestNodeHTTPExchange(t *testing.T) {
 }
 
 var _ feedback.Source = (*fakeSource)(nil)
+
+// flakyFetcher errors while fail is set, serving its node's frame
+// otherwise.
+type flakyFetcher struct {
+	node *Node
+	fail bool
+}
+
+func (f *flakyFetcher) Fetch() (*Frame, error) {
+	if f.fail {
+		return nil, errors.New("partitioned")
+	}
+	return f.node.Frame(), nil
+}
+
+func TestNodeMembershipEvents(t *testing.T) {
+	var events []obs.Event
+	a, err := NewNode(Config{
+		Origin: "a",
+		Now:    func() time.Time { return bloomEpoch },
+		Events: func(e obs.Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(Config{Origin: "b", Now: func() time.Time { return bloomEpoch }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.BindLocal(&fakeSource{counters: map[string]float64{"issued": 1}}, nil)
+
+	fetch := &flakyFetcher{node: b}
+	failing := make([]bool, 1)
+
+	// First round succeeds: the unknown origin joins, exactly once.
+	a.exchangeOnce([]Fetcher{fetch}, failing)
+	a.exchangeOnce([]Fetcher{fetch}, failing)
+	if len(events) != 1 {
+		t.Fatalf("events after two healthy rounds = %+v, want one peer_join", events)
+	}
+	if e := events[0]; e.Kind != obs.EventPeerJoin || e.Node != "a" || e.Detail != "b" {
+		t.Errorf("join event = %+v", e)
+	}
+
+	// Partition: stale fires on the first failed round only.
+	fetch.fail = true
+	a.exchangeOnce([]Fetcher{fetch}, failing)
+	a.exchangeOnce([]Fetcher{fetch}, failing)
+	if len(events) != 2 {
+		t.Fatalf("events after partition = %+v, want join+stale", events)
+	}
+	if e := events[1]; e.Kind != obs.EventPeerStale || e.Node != "a" || e.Detail != "peer[0]" {
+		t.Errorf("stale event = %+v", e)
+	}
+
+	// Heal, then re-partition: the edge fires again.
+	fetch.fail = false
+	a.exchangeOnce([]Fetcher{fetch}, failing)
+	fetch.fail = true
+	a.exchangeOnce([]Fetcher{fetch}, failing)
+	if len(events) != 3 || events[2].Kind != obs.EventPeerStale {
+		t.Fatalf("events after heal+re-partition = %+v, want a second stale", events)
+	}
+	if got := a.Stats().AbsorbErrs; got != 3 {
+		t.Errorf("absorb errors = %d, want 3", got)
+	}
+}

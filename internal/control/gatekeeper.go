@@ -11,6 +11,8 @@ import (
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/feedback"
+	"aipow/internal/metrics"
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 )
 
@@ -125,7 +127,7 @@ func (gk *Gatekeeper) build(dep *DeploymentSpec, prev *gkState) (*gkState, error
 					if old.upToDate(resolved) {
 						built = old // unchanged: keep running state intact
 					} else {
-						scorer, pol, source, ctrl, err := gk.reg.components(resolved, old.load, old.tracker)
+						scorer, pol, source, ctrl, err := gk.reg.components(resolved, old.load, old.tracker, old.adaptEvents(resolved.Name))
 						if err != nil {
 							return nil, err
 						}
@@ -234,11 +236,22 @@ func (gk *Gatekeeper) record(dep *DeploymentSpec) {
 	if n := len(gk.hist); n > 0 && depEqual(gk.hist[n-1].Spec, dep) {
 		return
 	}
+	from := gk.seq
 	gk.seq++
-	gk.hist = append(gk.hist, SpecHistoryEntry{Seq: gk.seq, AppliedAt: gk.reg.now(), Spec: dep})
+	now := gk.reg.now()
+	gk.hist = append(gk.hist, SpecHistoryEntry{Seq: gk.seq, AppliedAt: now, Spec: dep})
 	if len(gk.hist) > SpecHistoryLimit {
 		copy(gk.hist, gk.hist[1:])
 		gk.hist = gk.hist[:SpecHistoryLimit]
+	}
+	if gk.reg.events != nil {
+		gk.reg.events(obs.Event{
+			At:     now,
+			Kind:   obs.EventSpecApply,
+			From:   from,
+			To:     gk.seq,
+			Detail: fmt.Sprintf("%d pipelines, %d routes", len(dep.Pipelines), len(dep.Routes)),
+		})
 	}
 }
 
@@ -286,8 +299,17 @@ func (gk *Gatekeeper) Rollback() (*DeploymentSpec, error) {
 		return nil, fmt.Errorf("control: rollback to spec #%d: %w", prev.Seq, err)
 	}
 	gk.state.Store(st)
+	dropped := gk.hist[len(gk.hist)-1]
 	gk.hist = gk.hist[:len(gk.hist)-1]
 	gk.closeReplaced(cur, st)
+	if gk.reg.events != nil {
+		gk.reg.events(obs.Event{
+			At:   gk.reg.now(),
+			Kind: obs.EventSpecRollback,
+			From: dropped.Seq,
+			To:   prev.Seq,
+		})
+	}
 	return prev.Spec, nil
 }
 
@@ -355,6 +377,67 @@ func (gk *Gatekeeper) Spec() *DeploymentSpec {
 	for _, ps := range st.spec.Pipelines { // declaration order
 		if p, ok := st.pipelines[ps.Name]; ok {
 			out.Pipelines = append(out.Pipelines, p.Spec())
+		}
+	}
+	return out
+}
+
+// ExpositionInto contributes the whole deployment's metrics to e in
+// Prometheus exposition form: every pipeline's serving counters
+// (aipow_issued{pipeline="web"} …), its serving-path latency histograms
+// (aipow_serving_latency_ms with a stage label), its decision-trace ring
+// counters when tracing is on, and — where the spec declares them — the
+// adapt controller's level/signal gauges and swap counters, and the
+// cluster plane's exchange counters. node, when non-empty, labels every
+// series with the fleet member's name.
+func (gk *Gatekeeper) ExpositionInto(e *metrics.Exposition, node string) {
+	st := gk.state.Load()
+	for _, name := range sortedKeys(st.pipelines) {
+		p := st.pipelines[name]
+		labels := make([]metrics.Label, 0, 2)
+		labels = append(labels, metrics.Label{Name: "pipeline", Value: name})
+		if node != "" {
+			labels = append(labels, metrics.Label{Name: "node", Value: node})
+		}
+		fw := p.Framework()
+		fw.StatsExpositionInto(e, "aipow_", labels...)
+		fw.LatencyExpositionInto(e, "aipow_serving_latency_ms",
+			"serving-path stage latency in milliseconds", labels...)
+		if t := fw.TraceRing(); t != nil {
+			e.Add(metrics.TypeCounter, "aipow_trace_sampled", "decisions recorded into the trace ring",
+				float64(t.Recorded()), labels...)
+		}
+		if ctrl := p.Controller(); ctrl != nil {
+			stats := make(map[string]float64, 16)
+			ctrl.StatsPrefixInto("", stats)
+			for _, k := range sortedKeys(stats) {
+				typ := metrics.TypeGauge // level and the live signal estimates
+				if k == "swaps" || k == "escalations" {
+					typ = metrics.TypeCounter
+				}
+				e.Add(typ, "aipow_adapt_"+k, "adapt controller "+k, stats[k], labels...)
+			}
+		}
+		if n := p.ClusterNode(); n != nil {
+			cs := n.Stats()
+			e.Add(metrics.TypeGauge, "aipow_cluster_peers", "known fleet peers", float64(cs.Peers), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_filter_hits", "serving-path rejections from the fleet filter", float64(cs.FilterHits), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_exchanges", "completed exchange pulls", float64(cs.Exchanges), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_absorbs", "frames folded in", float64(cs.Absorbs), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_absorb_errors", "failed exchange pulls", float64(cs.AbsorbErrs), labels...)
+		}
+	}
+}
+
+// TraceSnapshots exports every pipeline's retained decision traces,
+// keyed by pipeline name; pipelines without an observe section are
+// omitted. This is the GET /trace read path.
+func (gk *Gatekeeper) TraceSnapshots() map[string][]obs.TraceSample {
+	st := gk.state.Load()
+	out := make(map[string][]obs.TraceSample, len(st.pipelines))
+	for name, p := range st.pipelines {
+		if t := p.Framework().TraceRing(); t != nil {
+			out[name] = t.Snapshot()
 		}
 	}
 	return out

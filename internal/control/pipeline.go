@@ -10,6 +10,7 @@ import (
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/feedback"
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 )
 
@@ -160,6 +161,23 @@ func (t pipelineTarget) SwapPolicy(pol policy.Policy) error {
 	return t.p.controllerSwap(t.ctrl, pol)
 }
 
+// adaptEvents is the sink a pipeline's feedback controller emits level
+// transitions into: the framework's trace rung follows the level (so
+// sampled traces record the rung they were decided under), and the
+// registry's event sink — when one is configured — receives the event
+// stamped with the pipeline name. Safe to build before p.fw is set: the
+// controller only steps once the pipeline is fully assembled.
+func (p *Pipeline) adaptEvents(name string) obs.Sink {
+	sink := p.reg.events
+	return func(e obs.Event) {
+		p.fw.SetTraceRung(e.To)
+		if sink != nil {
+			e.Pipeline = name
+			sink(e)
+		}
+	}
+}
+
 // attachControllerLocked installs (or clears) the pipeline's controller
 // and binds it to the pipeline's swap path and counter source. A
 // clustered pipeline binds the controller to its local counters summed
@@ -212,7 +230,7 @@ func (p *Pipeline) Apply(ps PipelineSpec) error {
 	if specEqual(p.spec, ps) && p.fw.Swaps() == p.swapsAt {
 		return nil
 	}
-	scorer, pol, source, ctrl, err := p.reg.components(ps, p.load, p.tracker)
+	scorer, pol, source, ctrl, err := p.reg.components(ps, p.load, p.tracker, p.adaptEvents(ps.Name))
 	if err != nil {
 		return err
 	}
@@ -231,13 +249,20 @@ func (p *Pipeline) installLocked(ps PipelineSpec, scorer core.Scorer, pol policy
 	if ps.BypassBelow != nil {
 		bypass = *ps.BypassBelow
 	}
-	if err := p.fw.Swap(
+	swaps := []core.SwapOption{
 		core.SetScorer(scorer),
 		core.SetPolicy(pol),
 		core.SetSource(source),
 		core.SetFailClosedScore(failClosed),
 		core.SetBypassBelow(bypass),
-	); err != nil {
+	}
+	// The trace ring is rebuilt only when the observe section changed: an
+	// unrelated apply keeps the running ring (and its retained samples),
+	// and a removed section disables tracing with SetTrace(nil).
+	if !p.spec.Observe.equal(ps.Observe) {
+		swaps = append(swaps, core.SetTrace(newTraceRing(ps.Observe)))
+	}
+	if err := p.fw.Swap(swaps...); err != nil {
 		return err
 	}
 	p.spec = ps

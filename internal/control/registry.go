@@ -13,6 +13,7 @@ import (
 	"aipow/internal/core"
 	"aipow/internal/features"
 	"aipow/internal/feedback"
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 	"aipow/internal/puzzle"
 	"aipow/internal/reputation"
@@ -54,6 +55,7 @@ type Registry struct {
 	tracker  *features.Tracker
 	now      func() time.Time
 	nodeID   string
+	events   obs.Sink
 
 	// windowed holds the per-pipeline trackers behind `window <duration>`
 	// and `redeem(half-life=…)` pipeline specs, keyed by (window span,
@@ -120,6 +122,15 @@ func WithRegistryNodeID(id string) RegistryOption {
 			r.nodeID = id
 		}
 	}
+}
+
+// WithRegistryEvents attaches the defense event sink every built pipeline
+// emits into: adapt level transitions, cluster membership changes, and
+// evidence flush stalls, each stamped with the pipeline name. The
+// gatekeeper also reports spec applies and rollbacks through it. Nil (the
+// default) drops all events.
+func WithRegistryEvents(sink obs.Sink) RegistryOption {
+	return func(r *Registry) { r.events = sink }
 }
 
 // NewRegistry returns a component registry sharing key, tracker, and clock
@@ -389,8 +400,9 @@ func (r *Registry) finishPolicy(ps PipelineSpec, pol policy.Policy, load policy.
 // newController compiles a spec's adapt section into a feedback
 // controller over the given base policy. The controller is returned
 // unbound; the pipeline attaches it (target + counter source) at install
-// time.
-func (r *Registry) newController(ps PipelineSpec, base policy.Policy, load policy.LoadFunc) (*feedback.Controller, error) {
+// time. events receives each level transition (Pipeline.adaptEvents: the
+// trace rung follows the level, the registry sink gets the event).
+func (r *Registry) newController(ps PipelineSpec, base policy.Policy, load policy.LoadFunc, events obs.Sink) (*feedback.Controller, error) {
 	a := ps.Adapt
 	rules := make([]feedback.Rule, 0, len(a.Rules))
 	for _, spec := range a.Rules {
@@ -415,7 +427,8 @@ func (r *Registry) newController(ps PipelineSpec, base policy.Policy, load polic
 			}
 			return r.finishPolicy(ps, pol, load)
 		},
-		Base: base,
+		Base:   base,
+		Events: events,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("control: pipeline %q adapt: %w", ps.Name, err)
@@ -466,11 +479,42 @@ func (ps PipelineSpec) withDefaults() PipelineSpec {
 	return ps
 }
 
+// pipelineEvents wraps the registry's event sink to stamp the pipeline
+// name onto every event; nil when no sink is configured, so emitters can
+// skip event assembly entirely.
+func (r *Registry) pipelineEvents(name string) obs.Sink {
+	sink := r.events
+	if sink == nil {
+		return nil
+	}
+	return func(e obs.Event) {
+		e.Pipeline = name
+		sink(e)
+	}
+}
+
+// newTraceRing compiles a spec's observe section into a trace ring (nil
+// without one), resolving zero parameters to the obs defaults.
+func newTraceRing(o *ObserveSpec) *obs.TraceRing {
+	if o == nil {
+		return nil
+	}
+	sample, ring := o.TraceSample, o.TraceRing
+	if sample == 0 {
+		sample = obs.DefaultTraceSample
+	}
+	if ring == 0 {
+		ring = obs.DefaultTraceRingSize
+	}
+	return obs.NewTraceRing(sample, ring)
+}
+
 // components compiles the hot-swappable component set of a spec over the
 // pipeline's tracker, including the feedback controller when the spec has
 // an adapt section. load feeds load-shifted policies and must outlive
-// controller rebuilds (pipelines pass their stable load indirection).
-func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc, tracker *features.Tracker) (core.Scorer, policy.Policy, features.Source, *feedback.Controller, error) {
+// controller rebuilds (pipelines pass their stable load indirection);
+// events is the controller's transition sink (Pipeline.adaptEvents).
+func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc, tracker *features.Tracker, events obs.Sink) (core.Scorer, policy.Policy, features.Source, *feedback.Controller, error) {
 	scorer, err := r.newScorer(ps.Scorer)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -491,7 +535,7 @@ func (r *Registry) components(ps PipelineSpec, load policy.LoadFunc, tracker *fe
 	}
 	var ctrl *feedback.Controller
 	if ps.Adapt != nil {
-		ctrl, err = r.newController(ps, pol, load)
+		ctrl, err = r.newController(ps, pol, load, events)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
@@ -513,7 +557,7 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{reg: r, tracker: tracker}
-	scorer, pol, source, ctrl, err := r.components(ps, p.load, tracker)
+	scorer, pol, source, ctrl, err := r.components(ps, p.load, tracker, p.adaptEvents(ps.Name))
 	if err != nil {
 		return nil, err
 	}
@@ -531,6 +575,12 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 		core.WithMaxDifficulty(ps.MaxDifficulty),
 		core.WithClockSkew(time.Duration(ps.ClockSkew)),
 	)
+	if sink := r.pipelineEvents(ps.Name); sink != nil {
+		opts = append(opts, core.WithEventSink(sink))
+	}
+	if ps.Observe != nil {
+		opts = append(opts, core.WithObserveTrace(newTraceRing(ps.Observe)))
+	}
 	switch {
 	case ps.ReplayCache > 0:
 		opts = append(opts, core.WithReplayCacheSize(ps.ReplayCache))
@@ -559,6 +609,7 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 			Retain: time.Duration(ps.TTL) + 2*time.Duration(ps.ClockSkew),
 			Key:    r.pipelineKey(ps.Name),
 			Now:    r.now,
+			Events: r.pipelineEvents(ps.Name),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("control: pipeline %q cluster: %w", ps.Name, err)

@@ -153,6 +153,13 @@ type PipelineSpec struct {
 	// hot-swappable: the flush loop is wired at build time.
 	EvidenceBuffer *BufferSpec `json:"evidence_buffer,omitempty"`
 
+	// Observe configures the pipeline's sampled decision tracing. Nil
+	// disables tracing (the serving path then pays one nil-check per
+	// decision). Hot-swappable: the trace ring lives in the framework's
+	// RCU snapshot, so an Apply that only changes this section is a plain
+	// snapshot swap.
+	Observe *ObserveSpec `json:"observe,omitempty"`
+
 	// Cluster joins the pipeline to the distributed defense plane: a
 	// cluster.Node is built alongside the framework, wired as the
 	// verifier's fleet tag filter, bound to the pipeline's tracker for
@@ -239,6 +246,44 @@ func (b *BufferSpec) equal(q *BufferSpec) bool {
 		return false
 	}
 	return b == nil || *b == *q
+}
+
+// ObserveSpec is a pipeline's observability section. In the text DSL it
+// is a single line of parenthesized groups:
+//
+//	observe trace(sample=1024, ring=256)
+//
+// Trace samples one decision in TraceSample (rounded up to a power of
+// two so the sampling draw is one atomic add and a mask) into a
+// lock-free ring of TraceRing records (also rounded to a power of two).
+type ObserveSpec struct {
+	// TraceSample is the decision sampling rate: one trace record per
+	// TraceSample decisions (0 = obs.DefaultTraceSample, 1 = every
+	// decision).
+	TraceSample int `json:"trace_sample,omitempty"`
+
+	// TraceRing is the trace ring capacity in records
+	// (0 = obs.DefaultTraceRingSize).
+	TraceRing int `json:"trace_ring,omitempty"`
+}
+
+// validate rejects malformed observe sections.
+func (o *ObserveSpec) validate(pipeline string) error {
+	switch {
+	case o.TraceSample < 0:
+		return fmt.Errorf("control: pipeline %q observe: negative trace sample", pipeline)
+	case o.TraceRing < 0:
+		return fmt.Errorf("control: pipeline %q observe: negative trace ring", pipeline)
+	}
+	return nil
+}
+
+// equal reports semantic equality of two observe sections.
+func (o *ObserveSpec) equal(b *ObserveSpec) bool {
+	if (o == nil) != (b == nil) {
+		return false
+	}
+	return o == nil || *o == *b
 }
 
 // ClusterSpec is a pipeline's distributed-defense section. In the text
@@ -535,6 +580,11 @@ func (p *PipelineSpec) validate() error {
 			return err
 		}
 	}
+	if p.Observe != nil {
+		if err := p.Observe.validate(p.Name); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -569,7 +619,8 @@ func specEqual(a, b PipelineSpec) bool {
 		canonicalPuzzle(a.Puzzle) == canonicalPuzzle(b.Puzzle) &&
 		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
 		a.Adapt.equal(b.Adapt) && a.Redeem.equal(b.Redeem) &&
-		a.EvidenceBuffer.equal(b.EvidenceBuffer) && a.Cluster.equal(b.Cluster)
+		a.EvidenceBuffer.equal(b.EvidenceBuffer) && a.Cluster.equal(b.Cluster) &&
+		a.Observe.equal(b.Observe)
 }
 
 // swappableEqual reports whether only hot-swappable fields differ between
@@ -636,6 +687,11 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	                           distributed defense plane: pull-based peer
 //	                           exchange of replay filters, evidence digests,
 //	                           and fleet counters; every group optional
+//	  observe trace(sample=<n>, ring=<n>)
+//	                           sampled decision tracing: one trace record per
+//	                           <sample> decisions into a ring of <ring>
+//	                           records (both rounded up to powers of two;
+//	                           both optional, zero = defaults)
 //	route <prefix> <pipeline>  longest matching path prefix wins; "/" is
 //	                           the catch-all (required with >1 pipeline)
 //	tenant <key> <pipeline>    tenant routes win over path routes
@@ -711,7 +767,7 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 			d.Routes = append(d.Routes, r)
 		case "scorer", "policy", "source", "puzzle", "ttl", "max-difficulty",
 			"bypass-below", "fail-closed", "replay-cache", "clock-skew", "window",
-			"when", "default", "adapt", "redeem", "evidence-buffer", "cluster":
+			"when", "default", "adapt", "redeem", "evidence-buffer", "cluster", "observe":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
 			}
@@ -766,6 +822,13 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 			return err
 		}
 		p.Cluster = cs
+		return nil
+	case "observe":
+		os, err := parseObserve(joined)
+		if err != nil {
+			return err
+		}
+		p.Observe = os
 		return nil
 	case "evidence-buffer":
 		if len(args) != 2 {
@@ -940,6 +1003,65 @@ func parseCluster(arg string) (*ClusterSpec, error) {
 		}
 	}
 	return cs, nil
+}
+
+// parseObserve parses the observe statement's group list: currently the
+// single group trace(sample=<n>, ring=<n>), both parameters optional
+// (zero keeps the obs package's default). A bare `observe trace` or
+// `observe trace()` enables tracing at the defaults.
+func parseObserve(arg string) (*ObserveSpec, error) {
+	os := &ObserveSpec{}
+	rest := strings.TrimSpace(arg)
+	if rest == "" {
+		return nil, fmt.Errorf("observe: want 'observe trace(sample=<n>, ring=<n>)'")
+	}
+	seen := map[string]bool{}
+	for rest != "" {
+		name := rest
+		body := ""
+		if open := strings.IndexByte(rest, '('); open >= 0 {
+			end := strings.IndexByte(rest, ')')
+			if end < open {
+				return nil, fmt.Errorf("observe: unclosed group %q", strings.TrimSpace(rest[:open]))
+			}
+			name = strings.TrimSpace(rest[:open])
+			body = rest[open+1 : end]
+			rest = strings.TrimSpace(rest[end+1:])
+		} else {
+			rest = ""
+		}
+		if name == "" {
+			return nil, fmt.Errorf("observe: want '<group>(…)'")
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("observe: duplicate group %q", name)
+		}
+		seen[name] = true
+		switch name {
+		case "trace":
+			for _, tok := range strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' }) {
+				k, v, ok := strings.Cut(tok, "=")
+				if !ok || v == "" {
+					return nil, fmt.Errorf("observe trace: want k=v, got %q", tok)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("observe trace %s: %w", k, err)
+				}
+				switch k {
+				case "sample":
+					os.TraceSample = n
+				case "ring":
+					os.TraceRing = n
+				default:
+					return nil, fmt.Errorf("observe trace: unknown parameter %q (want sample, ring)", k)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("observe: unknown group %q (want trace)", name)
+		}
+	}
+	return os, nil
 }
 
 // applyAdaptStatement folds one "adapt <setting>" line into the

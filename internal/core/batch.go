@@ -75,6 +75,7 @@ func (f *Framework) DecideBatch(reqs []RequestContext, dst []Decision) ([]Decisi
 	if len(reqs) == 0 {
 		return dst, nil
 	}
+	t0 := time.Now()
 	snap := f.snap.Load()
 	now := f.hotNow()
 	sc := decidePool.Get().(*decideScratch)
@@ -86,6 +87,19 @@ func (f *Framework) DecideBatch(reqs []RequestContext, dst []Decision) ([]Decisi
 		}
 	}
 	decidePool.Put(sc)
+	t1 := time.Now()
+	f.lat[latStageBatch].ObserveDuration(t1.Sub(t0))
+	if snap.trace != nil {
+		// Per-item sampling draws, so batch-decided traffic is sampled at
+		// the same 1-in-N rate as the request-at-a-time path. Stage
+		// timings are batch-amortized and not attributable per item, so
+		// only the decision fields are recorded.
+		for i := range dst {
+			if snap.trace.Sampled() {
+				f.traceDecide(snap, &dst[i], t1, t1, t1)
+			}
+		}
+	}
 	return dst, nil
 }
 

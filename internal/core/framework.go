@@ -40,6 +40,7 @@ import (
 
 	"aipow/internal/features"
 	"aipow/internal/metrics"
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 	"aipow/internal/puzzle"
 )
@@ -130,6 +131,18 @@ type snapshot struct {
 	// DecideBatch pays no per-batch type assertion. Nil when the source
 	// only supports per-IP fills; DecideBatch then scores per item.
 	vecBatch features.VectorBatchSource
+
+	// trace is the sampled decision-trace ring, nil when tracing is off.
+	// It lives in the snapshot so the `observe trace(...)` spec line
+	// hot-swaps it exactly like a policy: one snapshot store, in-flight
+	// requests finish on the ring they loaded, and the unsampled hot path
+	// pays only the nil-check it already pays for every snapshot field.
+	trace *obs.TraceRing
+
+	// creditIdx is the schema index of the live solve-credit attribute
+	// (features.AttrSolveCredit), -1 when the schema does not carry it.
+	// Sampled traces read the client's redemption credit through it.
+	creditIdx int
 }
 
 // Framework is the assembled pipeline. Construct with New; all methods are
@@ -161,6 +174,22 @@ type Framework struct {
 	cBypassed  *metrics.Counter
 	cScoreErrs *metrics.Counter
 	cSwaps     *metrics.Counter
+
+	// lat are the always-on serving-path latency histograms (milliseconds),
+	// one per stage (see latStageNames). Atomic and allocation-free, so
+	// they ride the hot path unconditionally; they are exported through
+	// LatencySnapshots/LatencyExpositionInto, deliberately not through
+	// StatsInto — stats snapshots feed deterministic simulation reports,
+	// and wall-clock latency is not deterministic.
+	lat [latStages]*metrics.AtomicHistogram
+
+	// traceRung mirrors the feedback plane's current escalation level into
+	// sampled trace records (SetTraceRung).
+	traceRung atomic.Int32
+
+	// events receives evidence-plane defense events (flush stalls); nil
+	// drops them.
+	events obs.Sink
 
 	// Per-difficulty cumulative profiles feeding the feedback signal
 	// plane: diffIssued[d] counts challenges issued at difficulty d and
@@ -217,6 +246,8 @@ type config struct {
 	wbInterval  time.Duration
 	tags        puzzle.TagExchange
 	closers     []func() error
+	trace       *obs.TraceRing
+	events      obs.Sink
 }
 
 // Option customizes the framework.
@@ -364,8 +395,12 @@ func buildSnapshot(scorer Scorer, pol policy.Policy, source features.Source, fai
 	if s.vecScorer != nil && policy.ConsumesConfidence(pol) {
 		s.verdictScorer, _ = s.vecScorer.(features.VerdictScorer)
 	}
+	s.creditIdx = -1
 	if s.schema != nil {
 		s.vecBatch, _ = s.vecSource.(features.VectorBatchSource)
+		if idx, ok := s.schema.Index(features.AttrSolveCredit); ok {
+			s.creditIdx = idx
+		}
 	}
 	return s, nil
 }
@@ -389,6 +424,7 @@ func New(opts ...Option) (*Framework, error) {
 	if err != nil {
 		return nil, err
 	}
+	snap.trace = cfg.trace
 	if cfg.key == nil {
 		return nil, errors.New("core: an HMAC key is required (WithKey)")
 	}
@@ -447,6 +483,10 @@ func New(opts ...Option) (*Framework, error) {
 		now:      cfg.now,
 		hooks:    cfg.hooks,
 		closers:  cfg.closers,
+		events:   cfg.events,
+	}
+	for i := range f.lat {
+		f.lat[i] = metrics.NewAtomicLatencyHistogram()
 	}
 	f.snap.Store(snap)
 	f.cIssued = f.stats.Counter("issued")
@@ -478,8 +518,21 @@ func (f *Framework) flushLoop() {
 		case <-f.flushStop:
 			return
 		case <-t.C:
-			f.coarseNow.Store(f.now().UnixNano())
+			start := f.now()
+			f.coarseNow.Store(start.UnixNano())
 			f.tracker.FlushWriteBack()
+			// A drain that overruns its own interval means the buffers are
+			// refilling faster than they empty — the write-back lag bound
+			// no longer holds. That is a defense-plane state worth an event.
+			if f.events != nil {
+				if el := f.now().Sub(start); el > f.wbInterval {
+					f.events(obs.Event{
+						At:    start,
+						Kind:  obs.EventFlushStall,
+						Value: float64(el) / float64(time.Millisecond),
+					})
+				}
+			}
 		}
 	}
 }
@@ -560,6 +613,8 @@ type swapConfig struct {
 	sourceSet   bool
 	failClosed  *float64
 	bypassBelow *float64
+	trace       *obs.TraceRing
+	traceSet    bool
 }
 
 // SetScorer replaces the AI model.
@@ -634,6 +689,11 @@ func (f *Framework) Swap(changes ...SwapOption) error {
 	if next.schema != nil && next.schema == cur.schema {
 		next.vecPool = cur.vecPool
 	}
+	// The trace ring persists across unrelated swaps; SetTrace replaces it.
+	next.trace = cur.trace
+	if cfg.traceSet {
+		next.trace = cfg.trace
+	}
 	f.snap.Store(next)
 	f.cSwaps.Inc()
 	return nil
@@ -656,6 +716,11 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	if req.IP == "" {
 		return Decision{}, errors.New("core: request without client IP")
 	}
+	// The latency histograms time with the real clock, not hotNow: the
+	// coarse cached clock would quantize every duration to the flush
+	// interval, and the simulation's virtual clock would make latency a
+	// function of scenario script rather than machine.
+	t0 := time.Now()
 	snap := f.snap.Load()
 	dec := Decision{IP: req.IP}
 
@@ -674,6 +739,11 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	if snap.bypassBelow >= 0 && score < snap.bypassBelow {
 		dec.Bypassed = true
 		f.cBypassed.Inc()
+		t1 := time.Now()
+		f.lat[latStageDecide].ObserveDuration(t1.Sub(t0))
+		if snap.trace != nil && snap.trace.Sampled() {
+			f.traceDecide(snap, &dec, t0, t1, t1)
+		}
 		f.fire(dec)
 		return dec, nil
 	}
@@ -683,6 +753,7 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	} else {
 		dec.Difficulty = snap.pol.Difficulty(score)
 	}
+	t1 := time.Now()
 	ch, err := f.issuer.Issue(req.IP, dec.Difficulty)
 	if err != nil {
 		return Decision{}, fmt.Errorf("core: issue challenge: %w", err)
@@ -690,6 +761,12 @@ func (f *Framework) Decide(req RequestContext) (Decision, error) {
 	dec.Challenge = ch
 	f.cIssued.Inc()
 	f.diffIssued[dec.Difficulty].Add(1) // issuer validated the range
+	t2 := time.Now()
+	f.lat[latStageDecide].ObserveDuration(t2.Sub(t0))
+	f.lat[latStageIssue].ObserveDuration(t2.Sub(t1))
+	if snap.trace != nil && snap.trace.Sampled() {
+		f.traceDecide(snap, &dec, t0, t1, t2)
+	}
 	f.fire(dec)
 	return dec, nil
 }
@@ -733,22 +810,30 @@ func (s *snapshot) score(ip string, now time.Time) (float64, float64, error) {
 // are allocation-free for tracked IPs; without a tracker Verify behaves
 // exactly as before.
 func (f *Framework) Verify(sol puzzle.Solution, binding string) error {
+	t0 := time.Now()
 	// One clock read serves both the cryptographic freshness checks and the
 	// evidence timestamp — the second time.Now this path used to pay was
 	// pure evidence-side overhead.
 	now := f.hotNow()
-	if err := f.verifier.VerifyAt(&sol, binding, now); err != nil {
+	err := f.verifier.VerifyAt(&sol, binding, now)
+	if err != nil {
 		f.cRejected.Inc()
 		f.recordVerify(binding, 0, false, now)
-		return err
+	} else {
+		f.cVerified.Inc()
+		d := sol.Challenge.Difficulty
+		if d >= 0 && d < len(f.diffVerified) {
+			f.diffVerified[d].Add(1)
+		}
+		f.recordVerify(binding, d, true, now)
 	}
-	f.cVerified.Inc()
-	d := sol.Challenge.Difficulty
-	if d >= 0 && d < len(f.diffVerified) {
-		f.diffVerified[d].Add(1)
+	el := time.Since(t0)
+	f.lat[latStageVerify].ObserveDuration(el)
+	if t := f.snap.Load().trace; t != nil && t.Sampled() {
+		t.RecordVerify(now, obs.HashClient(binding), puzzle.TraceOutcome(err),
+			int32(sol.Challenge.Difficulty), f.traceRung.Load(), el.Nanoseconds())
 	}
-	f.recordVerify(binding, d, true, now)
-	return nil
+	return err
 }
 
 // RecordVerifyEvidence feeds one externally-adjudicated verification

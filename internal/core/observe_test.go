@@ -1,0 +1,263 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aipow/internal/features"
+	"aipow/internal/metrics"
+	"aipow/internal/obs"
+	"aipow/internal/policy"
+	"aipow/internal/puzzle"
+)
+
+func TestLatencyHistogramsRecord(t *testing.T) {
+	f := newTestFramework(t)
+	dec, err := f.Decide(RequestContext{IP: "10.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := puzzle.NewSolver().Solve(context.Background(), dec.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(sol, "10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecideBatch([]RequestContext{{IP: "10.0.0.1"}, {IP: "10.0.0.9"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	snaps := f.LatencySnapshots()
+	for stage, want := range map[string]uint64{"decide": 1, "issue": 1, "verify": 1, "batch": 1} {
+		if got := snaps[stage].Count; got < want {
+			t.Errorf("%s histogram count = %d, want >= %d", stage, got, want)
+		}
+	}
+	// The batch path times the batch, not its members.
+	if snaps["decide"].Count != 1 {
+		t.Errorf("decide count = %d after one Decide + one batch, want 1", snaps["decide"].Count)
+	}
+}
+
+func TestLatencyExpositionValidates(t *testing.T) {
+	f := newTestFramework(t)
+	if _, err := f.Decide(RequestContext{IP: "10.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	e := metrics.NewExposition()
+	f.LatencyExpositionInto(e, "aipow_serving_latency_ms", "serving-path latency",
+		metrics.Label{Name: "pipeline", Value: "test"})
+	var b strings.Builder
+	if _, err := e.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := metrics.ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("latency exposition invalid: %v\n%s", err, out)
+	}
+	for _, stage := range latStageNames {
+		if !strings.Contains(out, `stage="`+stage+`"`) {
+			t.Errorf("missing stage %q in exposition", stage)
+		}
+	}
+}
+
+func TestStatsUnchangedByHistograms(t *testing.T) {
+	f := newTestFramework(t)
+	if _, err := f.Decide(RequestContext{IP: "10.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	for name := range f.Stats() {
+		if strings.Contains(name, "latency") || strings.Contains(name, "stage") {
+			t.Errorf("latency leaked into Stats map as %q — sim reports must stay deterministic", name)
+		}
+	}
+}
+
+func TestDecideTraceRecords(t *testing.T) {
+	ring := obs.NewTraceRing(1, 16)
+	f := newTestFramework(t, WithObserveTrace(ring), WithBypassBelow(1))
+	if got := f.TraceRing(); got != ring {
+		t.Fatalf("TraceRing = %p, want %p", got, ring)
+	}
+	f.SetTraceRung(3)
+
+	if _, err := f.Decide(RequestContext{IP: "10.0.0.9"}); err != nil { // challenged
+		t.Fatal(err)
+	}
+	if _, err := f.Decide(RequestContext{IP: "10.0.0.1"}); err != nil { // bypassed (score 0 < 1)
+		t.Fatal(err)
+	}
+	samples := ring.Snapshot()
+	if len(samples) != 2 {
+		t.Fatalf("trace samples = %d, want 2", len(samples))
+	}
+	challenged, bypassed := samples[0], samples[1]
+	if challenged.Kind != "decide" || challenged.Score != 10 || challenged.Difficulty != 15 {
+		t.Errorf("challenged sample = %+v", challenged)
+	}
+	if challenged.Rung != 3 {
+		t.Errorf("challenged rung = %d, want 3", challenged.Rung)
+	}
+	if challenged.Client != obsClientHex("10.0.0.9") {
+		t.Errorf("client hash = %q", challenged.Client)
+	}
+	if challenged.TotalNs <= 0 || challenged.IssueNs <= 0 {
+		t.Errorf("stage timings missing: %+v", challenged)
+	}
+	if bypassed.Difficulty != -1 {
+		t.Errorf("bypassed sample difficulty = %d, want -1", bypassed.Difficulty)
+	}
+}
+
+func obsClientHex(ip string) string {
+	return fmt.Sprintf("%016x", obs.HashClient(ip))
+}
+
+func TestVerifyTraceRecordsOutcome(t *testing.T) {
+	ring := obs.NewTraceRing(1, 16)
+	f := newTestFramework(t, WithObserveTrace(ring))
+	dec, err := f.Decide(RequestContext{IP: "10.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, _, err := puzzle.NewSolver().Solve(context.Background(), dec.Challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(sol, "10.0.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(sol, "10.0.0.1"); !errors.Is(err, puzzle.ErrReplayed) {
+		t.Fatalf("replay not rejected: %v", err)
+	}
+	var verifies []obs.TraceSample
+	for _, s := range ring.Snapshot() {
+		if s.Kind == "verify" {
+			verifies = append(verifies, s)
+		}
+	}
+	if len(verifies) != 2 {
+		t.Fatalf("verify samples = %d, want 2", len(verifies))
+	}
+	if verifies[0].Outcome != "ok" || verifies[1].Outcome != "replayed" {
+		t.Errorf("outcomes = %q, %q, want ok, replayed", verifies[0].Outcome, verifies[1].Outcome)
+	}
+}
+
+func TestTraceSurvivesUnrelatedSwap(t *testing.T) {
+	ring := obs.NewTraceRing(1, 16)
+	f := newTestFramework(t, WithObserveTrace(ring))
+	if err := f.SwapPolicy(policy.Policy1()); err != nil {
+		t.Fatal(err)
+	}
+	if f.TraceRing() != ring {
+		t.Fatal("trace ring lost across a policy swap")
+	}
+	bigger := obs.NewTraceRing(2, 64)
+	if err := f.SwapTrace(bigger); err != nil {
+		t.Fatal(err)
+	}
+	if f.TraceRing() != bigger {
+		t.Fatal("SwapTrace did not install the new ring")
+	}
+	if err := f.SwapTrace(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.TraceRing() != nil {
+		t.Fatal("SwapTrace(nil) did not disable tracing")
+	}
+	// Tracing off: decisions proceed untraced.
+	if _, err := f.Decide(RequestContext{IP: "10.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceSampling(t *testing.T) {
+	ring := obs.NewTraceRing(4, 64)
+	f := newTestFramework(t, WithObserveTrace(ring))
+	for i := 0; i < 32; i++ {
+		if _, err := f.Decide(RequestContext{IP: "10.0.0.1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ring.Recorded(); got != 8 {
+		t.Errorf("recorded %d of 32 at 1-in-4, want 8", got)
+	}
+}
+
+func TestBatchTraceSamplesPerItem(t *testing.T) {
+	ring := obs.NewTraceRing(1, 64)
+	f := newTestFramework(t, WithObserveTrace(ring))
+	reqs := make([]RequestContext, 10)
+	for i := range reqs {
+		reqs[i] = RequestContext{IP: "10.0.0.1"}
+	}
+	if _, err := f.DecideBatch(reqs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := ring.Recorded(); got != 10 {
+		t.Errorf("batch recorded %d traces for 10 requests at 1-in-1, want 10", got)
+	}
+}
+
+// TestFlushStallEvent drives the flush loop with an injected clock that
+// jumps far past the flush interval per reading, so every tick looks like
+// a stalled drain and must emit an evidence.flush_stall event.
+func TestFlushStallEvent(t *testing.T) {
+	tracker, err := features.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []obs.Event
+	var fake struct {
+		mu  sync.Mutex
+		now time.Time
+	}
+	fake.now = time.Unix(1000, 0)
+	clock := func() time.Time {
+		fake.mu.Lock()
+		defer fake.mu.Unlock()
+		fake.now = fake.now.Add(100 * time.Millisecond)
+		return fake.now
+	}
+	f := newTestFramework(t,
+		WithTracker(tracker),
+		WithEvidenceBuffer(64, time.Millisecond),
+		WithClock(clock),
+		WithEventSink(func(e obs.Event) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		}),
+	)
+	defer f.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(events)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("no flush_stall event emitted")
+	}
+	e := events[0]
+	if e.Kind != obs.EventFlushStall {
+		t.Errorf("kind = %q, want %q", e.Kind, obs.EventFlushStall)
+	}
+	if e.Value < 100 { // clock jumps 100 ms per reading; two readings bound the flush
+		t.Errorf("stall value = %v ms, want >= 100", e.Value)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// Base is the level-0 policy restored on full de-escalation — the
 	// pipeline's declared policy. Required when Rules is non-empty.
 	Base policy.Policy
+
+	// Events receives one defense event per level transition —
+	// adapt.escalate with the triggering rule, signal name, and the signal
+	// reading that tripped it; adapt.deescalate with the levels. Nil drops
+	// them. Called under the controller's lock, so sinks must be fast and
+	// must not call back into the controller.
+	Events obs.Sink
 }
 
 // Transition is one controller level change.
@@ -95,6 +103,7 @@ type Controller struct {
 	swaps       uint64
 	escalations uint64
 	transitions []Transition
+	events      obs.Sink
 }
 
 // New builds a controller from cfg, compiling every rule's policy up
@@ -124,6 +133,7 @@ func New(cfg Config) (*Controller, error) {
 		interval: cfg.Interval,
 		base:     cfg.Base,
 		rules:    make([]compiledRule, 0, len(cfg.Rules)),
+		events:   cfg.Events,
 	}
 	for _, r := range cfg.Rules {
 		pol, err := cfg.Compile(r.Policy)
@@ -202,8 +212,21 @@ func (c *Controller) stepLocked(now time.Time) error {
 		// The hold clock starts at installation, so a level is kept for
 		// at least Hold even if its condition clears immediately.
 		r.lastTrue = now
+		from := c.level
 		c.record(now, desired, r.When.String())
 		c.escalations++
+		if c.events != nil {
+			v, _ := sig.Value(r.When.Signal)
+			c.events(obs.Event{
+				At:     now,
+				Kind:   obs.EventAdaptEscalate,
+				From:   from,
+				To:     desired,
+				Rule:   r.When.String(),
+				Signal: r.When.Signal,
+				Value:  v,
+			})
+		}
 		return nil
 	}
 
@@ -222,7 +245,19 @@ func (c *Controller) stepLocked(now time.Time) error {
 			if err := c.target.SwapPolicy(pol); err != nil {
 				return fmt.Errorf("feedback: de-escalate to level %d: %w", next, err)
 			}
+			from := c.level
 			c.record(now, next, "")
+			if c.events != nil {
+				v, _ := sig.Value(r.When.Signal)
+				c.events(obs.Event{
+					At:     now,
+					Kind:   obs.EventAdaptDeescalate,
+					From:   from,
+					To:     next,
+					Signal: r.When.Signal,
+					Value:  v,
+				})
+			}
 		}
 	}
 	return nil

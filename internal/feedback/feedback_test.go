@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 	"aipow/internal/puzzle"
 )
@@ -605,4 +606,66 @@ func approx(a, b float64) bool {
 		d = -d
 	}
 	return d < 1e-12
+}
+
+func TestControllerEmitsAdaptEvents(t *testing.T) {
+	src := &fakeSource{}
+	target := &swapRecorder{}
+	var events []obs.Event
+	rule, err := ParseRule("escalate(when=rate>50, policy=policy2, hold=3s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := compile("policy1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		Sampler: SamplerConfig{Capacity: 100, Alpha: 1, Window: 2},
+		Rules:   []Rule{rule},
+		Compile: compile,
+		Base:    base,
+		Events:  func(e obs.Event) { events = append(events, e) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Bind(target, src)
+
+	step := func(i int, decisionsPerSec uint64) {
+		src.issue(5, decisionsPerSec)
+		if err := c.Step(at(i)); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	step(0, 10)
+	step(1, 10)
+	step(2, 500) // onset → escalate
+	step(3, 10)
+	step(4, 10)
+	step(5, 10) // hold expired → de-escalate
+
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2: %+v", len(events), events)
+	}
+	esc := events[0]
+	if esc.Kind != obs.EventAdaptEscalate || esc.From != 0 || esc.To != 1 {
+		t.Errorf("escalate event = %+v", esc)
+	}
+	if esc.Rule != "rate>50" || esc.Signal != "rate" {
+		t.Errorf("escalate rule/signal = %q/%q, want rate>50/rate", esc.Rule, esc.Signal)
+	}
+	if esc.Value <= 50 {
+		t.Errorf("escalate signal value = %v, want the >50 reading that tripped the rule", esc.Value)
+	}
+	if !esc.At.Equal(at(2)) {
+		t.Errorf("escalate at %v, want %v", esc.At, at(2))
+	}
+	de := events[1]
+	if de.Kind != obs.EventAdaptDeescalate || de.From != 1 || de.To != 0 {
+		t.Errorf("de-escalate event = %+v", de)
+	}
+	if de.Signal != "rate" || de.Value > 50 {
+		t.Errorf("de-escalate signal = %q value %v, want calm rate reading", de.Signal, de.Value)
+	}
 }

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// AtomicHistogram is the concurrency-safe sibling of Histogram: the same
+// log-bucketed geometry, but with atomic bucket counters and a CAS-looped
+// float sum, so serving paths can observe into one shared histogram from
+// many goroutines without locks and without allocating. Use it anywhere a
+// Histogram would be reachable from concurrent request paths; keep plain
+// Histogram for single-goroutine collectors (the simulation's worker-
+// private outcome histograms) where deterministic float summation
+// matters.
+//
+// Observe is wait-free on the bucket counters; only the sum uses a CAS
+// retry loop, which under contention costs retries but never blocks.
+// Snapshot is not a point-in-time cut — counters are read individually —
+// so totals may be off by in-flight observations; for a monitoring
+// export that is the accepted contract (Prometheus scrapes have the same
+// property).
+type AtomicHistogram struct {
+	start        float64
+	factor       float64
+	invLogFactor float64 // 1 / ln(factor), precomputed off the hot path
+	counts       []atomic.Uint64
+	under        atomic.Uint64
+	total        atomic.Uint64
+	sumBits      atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewAtomicHistogram returns an atomic histogram with the same shape
+// semantics as NewHistogram: first bucket [start, start*factor), n
+// geometric buckets, final bucket catching overflow. Panics on a
+// degenerate shape, like NewHistogram.
+func NewAtomicHistogram(start, factor float64, n int) *AtomicHistogram {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: invalid histogram shape start=%v factor=%v n=%d", start, factor, n))
+	}
+	return &AtomicHistogram{
+		start:        start,
+		factor:       factor,
+		invLogFactor: 1 / math.Log(factor),
+		counts:       make([]atomic.Uint64, n+1),
+	}
+}
+
+// NewAtomicLatencyHistogram returns an atomic histogram tuned for
+// serving-path latencies in milliseconds: 500 ns to ~5.5 s across 40
+// geometric buckets (50% relative bucket width — coarse enough to stay
+// small, fine enough to separate a 2 µs decide from a 30 µs one).
+func NewAtomicLatencyHistogram() *AtomicHistogram {
+	return NewAtomicHistogram(0.0005, 1.5, 40)
+}
+
+// Observe records one value. Non-positive and NaN values land in the
+// underflow bucket so totals still reconcile. Safe for concurrent use;
+// never allocates.
+func (h *AtomicHistogram) Observe(v float64) {
+	h.total.Add(1)
+	if !math.IsNaN(v) {
+		for {
+			old := h.sumBits.Load()
+			if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+				break
+			}
+		}
+	}
+	if math.IsNaN(v) || v < h.start {
+		h.under.Add(1)
+		return
+	}
+	idx := int(math.Floor(math.Log(v/h.start) * h.invLogFactor))
+	if idx >= len(h.counts)-1 {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx].Add(1)
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *AtomicHistogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count reports the total number of observations, including underflow.
+func (h *AtomicHistogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the running sum of observed values.
+func (h *AtomicHistogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// materialize copies the atomic state into a plain Histogram, from which
+// every derived statistic (quantiles, snapshot, exposition) follows. The
+// copy is not a consistent cut, but bucket counters are read before the
+// total — and Observe increments the total first — so the materialized
+// buckets never sum past the materialized count: exported cumulative
+// series stay internally consistent under concurrent observation.
+func (h *AtomicHistogram) materialize() *Histogram {
+	p := &Histogram{
+		start:  h.start,
+		factor: h.factor,
+		counts: make([]uint64, len(h.counts)),
+	}
+	p.under = h.under.Load()
+	for i := range h.counts {
+		p.counts[i] = h.counts[i].Load()
+	}
+	p.sum = h.Sum()
+	p.total = h.total.Load()
+	return p
+}
+
+// Snapshot exports the histogram's current state in the shared
+// HistogramSnapshot form.
+func (h *AtomicHistogram) Snapshot() HistogramSnapshot { return h.materialize().Snapshot() }
+
+// Quantile estimates the q-th quantile, like Histogram.Quantile.
+func (h *AtomicHistogram) Quantile(q float64) float64 { return h.materialize().Quantile(q) }

@@ -1,0 +1,346 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expositionString(t *testing.T, e *Exposition) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := e.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestExpositionGolden(t *testing.T) {
+	e := NewExposition()
+	e.Add(TypeCounter, "pow.decide_total", "counter pow.decide_total", 42, Label{"pipeline", "edge"})
+	e.Add(TypeCounter, "pow.decide_total", "counter pow.decide_total", 7, Label{"pipeline", "api"})
+	e.Add(TypeGauge, "pow.adapt_level", "gauge pow.adapt_level", 2, Label{"pipeline", "edge"})
+
+	want := strings.Join([]string{
+		`# HELP pow_adapt_level gauge pow.adapt_level`,
+		`# TYPE pow_adapt_level gauge`,
+		`pow_adapt_level{pipeline="edge"} 2`,
+		`# HELP pow_decide_total counter pow.decide_total`,
+		`# TYPE pow_decide_total counter`,
+		`pow_decide_total{pipeline="edge"} 42`,
+		`pow_decide_total{pipeline="api"} 7`,
+		``,
+	}, "\n")
+	got := expositionString(t, e)
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("golden output fails validation: %v", err)
+	}
+}
+
+func TestExpositionHistogramGolden(t *testing.T) {
+	h := NewHistogram(1, 2, 3) // bounds 1,2,4,8 + overflow
+	for _, v := range []float64{0.5, 1.5, 3, 3, 10, 100} {
+		h.Observe(v)
+	}
+	e := NewExposition()
+	h.ExpositionInto(e, "lat_ms", "latency", Label{"pipeline", "edge"})
+	want := strings.Join([]string{
+		`# HELP lat_ms latency`,
+		`# TYPE lat_ms histogram`,
+		`lat_ms_bucket{pipeline="edge",le="1"} 1`,
+		`lat_ms_bucket{pipeline="edge",le="2"} 2`,
+		`lat_ms_bucket{pipeline="edge",le="4"} 4`,
+		`lat_ms_bucket{pipeline="edge",le="8"} 4`,
+		`lat_ms_bucket{pipeline="edge",le="+Inf"} 6`,
+		`lat_ms_sum{pipeline="edge"} 118`,
+		`lat_ms_count{pipeline="edge"} 6`,
+		``,
+	}, "\n")
+	got := expositionString(t, e)
+	if got != want {
+		t.Errorf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("histogram golden fails validation: %v", err)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	e := NewExposition()
+	e.Add(TypeGauge, "g", "help with \\ and\nnewline", 1, Label{"path", "a\\b\"c\nd"})
+	got := expositionString(t, e)
+	if !strings.Contains(got, `# HELP g help with \\ and\nnewline`) {
+		t.Errorf("HELP not escaped:\n%s", got)
+	}
+	if !strings.Contains(got, `g{path="a\\b\"c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", got)
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("escaped output fails validation: %v", err)
+	}
+}
+
+func TestExpositionRegistryInto(t *testing.T) {
+	r := &Registry{}
+	r.Counter("decide.ok").Add(5)
+	r.Gauge("adapt.level").Set(3)
+	e := NewExposition()
+	r.ExpositionInto(e, "pow_", Label{"pipeline", "edge"}, Label{"node", "n1"})
+	got := expositionString(t, e)
+	for _, want := range []string{
+		`pow_decide_ok{pipeline="edge",node="n1"} 5`,
+		`pow_adapt_level{pipeline="edge",node="n1"} 3`,
+		`# TYPE pow_decide_ok counter`,
+		`# TYPE pow_adapt_level gauge`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+	if err := ValidateExposition([]byte(got)); err != nil {
+		t.Errorf("registry exposition fails validation: %v", err)
+	}
+}
+
+func TestExpositionTypeConflictPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on counter/gauge family conflict")
+		}
+	}()
+	e := NewExposition()
+	e.Add(TypeCounter, "m", "h", 1)
+	e.Add(TypeGauge, "m", "h", 2)
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"pow.decide.total": "pow_decide_total",
+		"already_fine:ok":  "already_fine:ok",
+		"9starts_digit":    "_9starts_digit",
+		"has-dash and sp":  "has_dash_and_sp",
+		"":                 "_",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample before TYPE": "m 1\n",
+		"duplicate TYPE":     "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"HELP after TYPE":    "# TYPE m counter\n# HELP m h\nm 1\n",
+		"interleaved families": strings.Join([]string{
+			"# TYPE a counter", "# TYPE b counter", "a 1", "b 1", "a 2", "",
+		}, "\n"),
+		"bad metric name":    "# TYPE 1m counter\n1m 1\n",
+		"bad label name":     "# TYPE m counter\nm{1x=\"v\"} 1\n",
+		"bad escape":         "# TYPE m counter\nm{l=\"a\\t\"} 1\n",
+		"unterminated label": "# TYPE m counter\nm{l=\"v} 1\n",
+		"bad value":          "# TYPE m counter\nm{l=\"v\"} zebra\n",
+		"non-monotone buckets": strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 5`,
+			`h_bucket{le="2"} 3`,
+			`h_bucket{le="+Inf"} 5`,
+			"h_sum 1", "h_count 5", "",
+		}, "\n"),
+		"missing +Inf": strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 5`,
+			"h_sum 1", "h_count 5", "",
+		}, "\n"),
+		"+Inf != count": strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{le="1"} 5`,
+			`h_bucket{le="+Inf"} 5`,
+			"h_sum 1", "h_count 7", "",
+		}, "\n"),
+		"bucket without le": strings.Join([]string{
+			"# TYPE h histogram",
+			`h_bucket{x="1"} 5`,
+			`h_bucket{le="+Inf"} 5`,
+			"h_sum 1", "h_count 5", "",
+		}, "\n"),
+	}
+	for name, input := range cases {
+		if err := ValidateExposition([]byte(input)); err == nil {
+			t.Errorf("%s: expected validation error, got nil\ninput:\n%s", name, input)
+		}
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	ok := strings.Join([]string{
+		"# plain comment",
+		"# HELP a helpful text with spaces",
+		"# TYPE a counter",
+		"a 1",
+		`a{l="v"} 2.5e3`,
+		"# TYPE untyped_metric untyped",
+		"untyped_metric 3 1712345678",
+		"nan_ok_without_meta_is_invalid_tho", // deliberately absent
+		"",
+	}, "\n")
+	// Remove the deliberately invalid line for the accept case.
+	ok = strings.Replace(ok, "nan_ok_without_meta_is_invalid_tho\n", "", 1)
+	if err := ValidateExposition([]byte(ok)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestAtomicHistogramMatchesPlain(t *testing.T) {
+	a := NewAtomicHistogram(0.1, 1.26, 60)
+	p := NewHistogram(0.1, 1.26, 60)
+	vals := []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 100, 1000, 1e6}
+	for _, v := range vals {
+		a.Observe(v)
+		p.Observe(v)
+	}
+	as, ps := a.Snapshot(), p.Snapshot()
+	if as.Count != ps.Count || math.Abs(as.Sum-ps.Sum) > 1e-9 || as.P50 != ps.P50 || as.P99 != ps.P99 {
+		t.Errorf("atomic snapshot %+v != plain %+v", as, ps)
+	}
+	if len(as.Buckets) != len(ps.Buckets) {
+		t.Fatalf("bucket layouts differ: %d vs %d", len(as.Buckets), len(ps.Buckets))
+	}
+	for i := range as.Buckets {
+		if as.Buckets[i] != ps.Buckets[i] {
+			t.Errorf("bucket %d: atomic %+v != plain %+v", i, as.Buckets[i], ps.Buckets[i])
+		}
+	}
+}
+
+// TestAtomicHistogramConcurrent pins the Observe/Snapshot contract under
+// -race: concurrent observers against a snapshotting reader, with exact
+// count and sum reconciliation afterwards.
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	h := NewAtomicLatencyHistogram()
+	const (
+		writers = 8
+		perW    = 5000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan error, 1)
+	go func() { // reader: snapshots must stay internally consistent
+		for {
+			select {
+			case <-stop:
+				readerDone <- nil
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var n uint64
+			for _, b := range s.Buckets {
+				n += b.Count
+			}
+			// materialize reads buckets before total, and Observe bumps
+			// total first, so this holds even mid-write.
+			if n > s.Count {
+				readerDone <- fmt.Errorf("bucket total %d exceeds count %d", n, s.Count)
+				return
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(float64(i%100) * 0.01)
+				h.ObserveDuration(time.Duration(i%50) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-readerDone; err != nil {
+		t.Error(err)
+	}
+	const total = writers * perW * 2
+	if h.Count() != total {
+		t.Errorf("Count = %d, want %d", h.Count(), total)
+	}
+	var wantSum float64
+	for i := 0; i < perW; i++ {
+		wantSum += float64(i%100) * 0.01
+		wantSum += float64(time.Duration(i%50)*time.Microsecond) / float64(time.Millisecond)
+	}
+	wantSum *= writers
+	if math.Abs(h.Sum()-wantSum) > 1e-6*wantSum+1e-9 {
+		t.Errorf("Sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+func TestAtomicHistogramUnderflowAndShape(t *testing.T) {
+	h := NewAtomicHistogram(1, 2, 4)
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	h.Observe(0.5)
+	h.Observe(1e12) // overflow bucket
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Errorf("Count = %d, want 4", s.Count)
+	}
+	e := NewExposition()
+	h.ExpositionInto(e, "h", "h")
+	out := expositionString(t, e)
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Errorf("underflow/NaN exposition invalid: %v\n%s", err, out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on degenerate shape")
+		}
+	}()
+	NewAtomicHistogram(0, 1, 0)
+}
+
+func TestRegistrySnapshotPrefixInto(t *testing.T) {
+	r := &Registry{}
+	r.Counter("decide.ok").Add(3)
+	r.Counter("verify.ok").Add(4)
+	r.Gauge("adapt.level").Set(2)
+	dst := map[string]float64{"existing": 1}
+	r.SnapshotPrefixInto("p1.", dst)
+	want := map[string]float64{
+		"existing": 1, "p1.decide.ok": 3, "p1.verify.ok": 4, "p1.adapt.level": 2,
+	}
+	if len(dst) != len(want) {
+		t.Fatalf("dst = %v, want %v", dst, want)
+	}
+	for k, v := range want {
+		if dst[k] != v {
+			t.Errorf("dst[%q] = %v, want %v", k, dst[k], v)
+		}
+	}
+}
+
+func TestRegistryNames(t *testing.T) {
+	r := &Registry{}
+	r.Counter("b.counter")
+	r.Gauge("a.gauge")
+	r.Counter("shared")
+	r.Gauge("shared")
+	got := r.Names()
+	want := []string{"a.gauge", "b.counter", "shared"}
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -104,6 +104,12 @@ var (
 	// ErrReplayed reports a seed that was already redeemed.
 	ErrReplayed = errors.New("puzzle: challenge already redeemed")
 
+	// ErrFleetReplay reports a replay caught by the cluster's gossiped tag
+	// filter rather than this node's local cache. It wraps ErrReplayed, so
+	// errors.Is(err, ErrReplayed) matches both; branch on ErrFleetReplay
+	// only to attribute the catch (tracing, per-plane counters).
+	ErrFleetReplay = fmt.Errorf("%w (fleet filter)", ErrReplayed)
+
 	// ErrBindingMismatch reports a solution presented by a client other
 	// than the one the challenge was issued to.
 	ErrBindingMismatch = errors.New("puzzle: client binding mismatch")

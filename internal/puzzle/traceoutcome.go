@@ -1,0 +1,41 @@
+package puzzle
+
+import (
+	"errors"
+
+	"aipow/internal/obs"
+)
+
+// TraceOutcome maps a verification error onto the compact outcome codes
+// trace records carry. The mapping lives here — next to the error
+// taxonomy it classifies — so obs stays free of puzzle knowledge and a
+// new sentinel cannot silently fall through to "other" without the test
+// beside this file catching it.
+//
+// Order matters only for the replay pair: ErrFleetReplay wraps
+// ErrReplayed, so it must be checked first.
+func TraceOutcome(err error) obs.VerifyOutcome {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrFleetReplay):
+		return obs.OutcomeFleetReplay
+	case errors.Is(err, ErrReplayed):
+		return obs.OutcomeReplayed
+	case errors.Is(err, ErrBadVersion):
+		return obs.OutcomeBadVersion
+	case errors.Is(err, ErrBadTag):
+		return obs.OutcomeBadTag
+	case errors.Is(err, ErrBindingMismatch):
+		return obs.OutcomeBindingMismatch
+	case errors.Is(err, ErrNotYetValid):
+		return obs.OutcomeNotYetValid
+	case errors.Is(err, ErrExpired):
+		return obs.OutcomeExpired
+	case errors.Is(err, ErrWrongSolution):
+		return obs.OutcomeWrongSolution
+	case errors.Is(err, ErrInvalidDifficulty):
+		return obs.OutcomeInvalidDifficulty
+	}
+	return obs.OutcomeOther
+}

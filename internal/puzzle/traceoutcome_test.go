@@ -1,0 +1,46 @@
+package puzzle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"aipow/internal/obs"
+)
+
+func TestTraceOutcomeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want obs.VerifyOutcome
+	}{
+		{nil, obs.OutcomeOK},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrBadVersion), obs.OutcomeBadVersion},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrBadTag), obs.OutcomeBadTag},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrBindingMismatch), obs.OutcomeBindingMismatch},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrNotYetValid), obs.OutcomeNotYetValid},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrExpired), obs.OutcomeExpired},
+		{fmt.Errorf("%w: %w: nonce 7", ErrVerify, ErrWrongSolution), obs.OutcomeWrongSolution},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrReplayed), obs.OutcomeReplayed},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrFleetReplay), obs.OutcomeFleetReplay},
+		{fmt.Errorf("%w: %w", ErrVerify, ErrInvalidDifficulty), obs.OutcomeInvalidDifficulty},
+		{errors.New("something else"), obs.OutcomeOther},
+	}
+	for _, tc := range cases {
+		if got := TraceOutcome(tc.err); got != tc.want {
+			t.Errorf("TraceOutcome(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestFleetReplayWrapsReplayed pins the compatibility contract: callers
+// branching with errors.Is(err, ErrReplayed) must keep matching fleet
+// catches.
+func TestFleetReplayWrapsReplayed(t *testing.T) {
+	err := fmt.Errorf("%w: %w", ErrVerify, ErrFleetReplay)
+	if !errors.Is(err, ErrReplayed) {
+		t.Error("ErrFleetReplay does not wrap ErrReplayed")
+	}
+	if !errors.Is(err, ErrVerify) {
+		t.Error("fleet replay error does not wrap ErrVerify")
+	}
+}

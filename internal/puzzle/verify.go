@@ -211,10 +211,11 @@ func (v *Verifier) VerifyAt(sol *Solution, binding string, now time.Time) error 
 
 	// Redeem last, so failed attempts do not burn the seed. The fleet
 	// filter is consulted at the same stage as the local replay cache and
-	// yields the same sentinel: whether a replay is caught by this node's
-	// cache or by a tag a sibling gossiped, the outcome is one rejection.
+	// rejects identically as far as errors.Is(ErrReplayed) goes;
+	// ErrFleetReplay only attributes the catch to the gossiped filter so
+	// traces can tell the two planes apart.
 	if v.tags != nil && v.tags.SeenTag(ch.Tag) {
-		return fmt.Errorf("%w: %w", ErrVerify, ErrReplayed)
+		return fmt.Errorf("%w: %w", ErrVerify, ErrFleetReplay)
 	}
 	if v.replay != nil && !v.replay.Remember(ch.Seed, ch.ExpiresAt().Add(v.skew)) {
 		return fmt.Errorf("%w: %w", ErrVerify, ErrReplayed)

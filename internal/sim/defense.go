@@ -79,6 +79,14 @@ type Defense struct {
 	// adaptive runs stay byte-identical across reruns. Requires the
 	// built-in Defense, not a custom Factory.
 	Adapt *AdaptDefense
+
+	// Events captures the defense event log into the scenario report:
+	// every adapt escalation and de-escalation (with the tripping signal
+	// reading), cluster membership change, and evidence flush stall is
+	// recorded as a structured event, so scenarios can assert exact
+	// defense event sequences. Off by default — existing reports stay
+	// byte-identical unless a scenario opts in.
+	Events bool
 }
 
 // AdaptDefense configures the scenario's feedback controller: the

@@ -48,6 +48,7 @@ import (
 	"aipow/internal/feedback"
 	"aipow/internal/metrics"
 	"aipow/internal/netsim"
+	"aipow/internal/obs"
 	"aipow/internal/policy"
 	"aipow/internal/puzzle"
 )
@@ -133,6 +134,10 @@ type Result struct {
 	// Adapt summarizes the feedback controller's behavior (nil when the
 	// defense declares no adapt section).
 	Adapt *AdaptOutcome
+
+	// Events is the run's merged defense event log (nil unless the
+	// defense sets Events).
+	Events []obs.Event
 }
 
 // event is one unit of simulated work, processed by the worker owning its
@@ -197,6 +202,23 @@ type simNode struct {
 	tracker *features.Tracker
 	cnode   *cluster.Node        // nil outside cluster mode
 	ctrl    *feedback.Controller // nil without Defense.Adapt
+	elog    *obs.EventLog        // nil without Defense.Events
+}
+
+// eventSink is the node's defense event sink, stamped with the node's
+// fleet origin when the run has more than one member. Nil without
+// Defense.Events, so the zero-configuration path emits nothing.
+func (n *simNode) eventSink(origin string, fleet bool) obs.Sink {
+	if n.elog == nil {
+		return nil
+	}
+	if !fleet {
+		return n.elog.Append
+	}
+	return func(e obs.Event) {
+		e.Node = origin
+		n.elog.Append(e)
+	}
 }
 
 // engine is the per-run state.
@@ -355,6 +377,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 	}
 	res.Adapt = eng.adaptResult()
+	res.Events = eng.eventResult()
 	res.Outcomes = make([][]*outcome, len(sc.Populations))
 	for p := range res.Outcomes {
 		res.Outcomes[p] = make([]*outcome, len(sc.Phases))
@@ -378,41 +401,64 @@ func Run(sc Scenario) (*Result, error) {
 func (eng *engine) buildNodes() error {
 	sc := eng.sc
 	if sc.Cluster == nil {
-		factory := sc.Factory
-		if factory == nil {
-			factory = BuildDefense(sc)
+		node := &simNode{}
+		if sc.Factory != nil {
+			fw, err := sc.Factory(eng.clock.Now)
+			if err != nil {
+				return fmt.Errorf("sim: build defense for %q: %w", sc.Name, err)
+			}
+			if fw == nil {
+				return fmt.Errorf("sim: scenario %q factory returned a nil framework", sc.Name)
+			}
+			node.fw = fw
+			eng.nodes = []*simNode{node}
+			return nil
 		}
-		fw, err := factory(eng.clock.Now)
+		var extra []core.Option
+		if sc.Defense.Events {
+			node.elog = obs.NewEventLog(0)
+			extra = append(extra, core.WithEventSink(node.eventSink("", false)))
+		}
+		fw, tracker, err := buildDefenseNode(sc, eng.clock.Now, extra...)
 		if err != nil {
 			return fmt.Errorf("sim: build defense for %q: %w", sc.Name, err)
 		}
-		if fw == nil {
-			return fmt.Errorf("sim: scenario %q factory returned a nil framework", sc.Name)
-		}
-		eng.nodes = []*simNode{{fw: fw}}
+		node.fw, node.tracker = fw, tracker
+		eng.nodes = []*simNode{node}
 		return nil
 	}
 	d := sc.Defense.withDefaults(sc.Seed)
 	eng.nodes = make([]*simNode, sc.Cluster.Nodes)
 	for i := range eng.nodes {
+		origin := fmt.Sprintf("n%d", i)
+		node := &simNode{}
+		if sc.Defense.Events {
+			node.elog = obs.NewEventLog(0)
+		}
 		cnode, err := cluster.NewNode(cluster.Config{
-			Origin:     fmt.Sprintf("n%d", i),
+			Origin:     origin,
 			FilterBits: sc.Cluster.FilterBits,
 			// Retain through the full redemption window — TTL plus skew on
 			// both ends — so the fleet filter never lets a tag go before
 			// the challenge's own freshness check takes over.
 			Retain: d.TTL + 2*2*time.Second,
 			Now:    eng.clock.Now,
+			Events: node.eventSink(origin, true),
 		})
 		if err != nil {
 			return fmt.Errorf("sim: scenario %q cluster node %d: %w", sc.Name, i, err)
 		}
-		fw, tracker, err := buildDefenseNode(sc, eng.clock.Now, core.WithTagExchange(cnode))
+		extra := []core.Option{core.WithTagExchange(cnode)}
+		if sc.Defense.Events {
+			extra = append(extra, core.WithEventSink(node.eventSink(origin, true)))
+		}
+		fw, tracker, err := buildDefenseNode(sc, eng.clock.Now, extra...)
 		if err != nil {
 			return fmt.Errorf("sim: build defense for %q node %d: %w", sc.Name, i, err)
 		}
 		cnode.BindLocal(adaptSource{eng: eng, node: i}, tracker)
-		eng.nodes[i] = &simNode{fw: fw, tracker: tracker, cnode: cnode}
+		node.fw, node.tracker, node.cnode = fw, tracker, cnode
+		eng.nodes[i] = node
 	}
 	return nil
 }
@@ -481,6 +527,7 @@ func (eng *engine) buildAdapt() error {
 			Rules:   rules,
 			Compile: compileClamped,
 			Base:    base,
+			Events:  n.eventSink(fmt.Sprintf("n%d", i), len(eng.nodes) > 1),
 		})
 		if err != nil {
 			return fmt.Errorf("sim: scenario %q adapt: %w", eng.sc.Name, err)
@@ -627,6 +674,27 @@ func (eng *engine) adaptResult() *AdaptOutcome {
 		}
 	}
 	return agg
+}
+
+// eventResult merges the per-node defense event logs into one stream:
+// the single node's log verbatim, or the fleet's logs interleaved by
+// event time (stable within a node, fixed node order at ties), so equal
+// seeds produce equal event sequences.
+func (eng *engine) eventResult() []obs.Event {
+	if eng.nodes[0].elog == nil {
+		return nil
+	}
+	if len(eng.nodes) == 1 {
+		return eng.nodes[0].elog.Snapshot()
+	}
+	var out []obs.Event
+	for _, n := range eng.nodes {
+		out = append(out, n.elog.Snapshot()...)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].At.Before(out[b].At)
+	})
+	return out
 }
 
 // applyPhaseSwap installs phase p's SwapPolicy (if any) on the framework,

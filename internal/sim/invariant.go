@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"aipow/internal/obs"
 )
 
 // Class selectors for Invariant.Population: aggregate over every
@@ -81,12 +83,28 @@ const (
 	MetricAdaptFinalLevel          = "adapt_final_level"
 	MetricAdaptFirstEscalationMS   = "adapt_first_escalation_ms"
 	MetricAdaptFirstDeescalationMS = "adapt_first_deescalation_ms"
+
+	// Defense-event-log metrics, defined only for scenarios with
+	// Defense.Events; Population and Phase must be empty (the log is
+	// run-wide). MetricEventCount is the number of captured events;
+	// MetricEventSequenceOK is 1 when the log is structurally consistent —
+	// per-node sequence numbers strictly increase, timestamps never run
+	// backward, and every adapt transition chains From the level the
+	// previous one left the node at — and 0 otherwise, so a scenario can
+	// pin an exact event sequence with count + sequence bounds.
+	MetricEventCount      = "event_count"
+	MetricEventSequenceOK = "event_sequence_ok"
 )
 
 // adaptMetrics marks the controller-scoped metric names.
 var adaptMetrics = map[string]bool{
 	MetricAdaptSwaps: true, MetricAdaptMaxLevel: true, MetricAdaptFinalLevel: true,
 	MetricAdaptFirstEscalationMS: true, MetricAdaptFirstDeescalationMS: true,
+}
+
+// eventMetrics marks the event-log-scoped metric names.
+var eventMetrics = map[string]bool{
+	MetricEventCount: true, MetricEventSequenceOK: true,
 }
 
 // validMetrics guards scenario validation against typos.
@@ -100,6 +118,7 @@ var validMetrics = map[string]bool{
 	MetricDecideErrors: true,
 	MetricAdaptSwaps:   true, MetricAdaptMaxLevel: true, MetricAdaptFinalLevel: true,
 	MetricAdaptFirstEscalationMS: true, MetricAdaptFirstDeescalationMS: true,
+	MetricEventCount: true, MetricEventSequenceOK: true,
 }
 
 // Invariant is one declarative bound a scenario's outcome must satisfy —
@@ -171,6 +190,14 @@ func (inv Invariant) validate(sc Scenario) error {
 		}
 		if sc.Defense.Adapt == nil {
 			return fmt.Errorf("%s requires Defense.Adapt", inv.Metric)
+		}
+	}
+	if eventMetrics[inv.Metric] {
+		if inv.Population != "" || inv.Phase != "" {
+			return fmt.Errorf("%s is run-wide; population and phase must be empty", inv.Metric)
+		}
+		if !sc.Defense.Events {
+			return fmt.Errorf("%s requires Defense.Events", inv.Metric)
 		}
 	}
 	if inv.Population != "" && inv.Population != ClassLegit && inv.Population != ClassAttackers {
@@ -285,6 +312,17 @@ func (r *Result) metricValue(inv Invariant) float64 {
 			return a.FirstDeescalationMS
 		}
 	}
+	if eventMetrics[inv.Metric] {
+		switch inv.Metric {
+		case MetricEventCount:
+			return float64(len(r.Events))
+		case MetricEventSequenceOK:
+			if eventSequenceOK(r.Events) {
+				return 1
+			}
+			return 0
+		}
+	}
 	switch inv.Metric {
 	case MetricWorkRatio:
 		att, _ := r.scope(ClassAttackers, inv.Phase)
@@ -359,6 +397,42 @@ func (r *Result) Evaluate() ([]InvariantResult, bool) {
 		all = all && pass
 	}
 	return out, all
+}
+
+// eventSequenceOK checks the merged defense event log's structural
+// consistency: per-node sequence numbers strictly increase, timestamps
+// never run backward across the merged stream, and each node's adapt
+// transitions chain — every escalate/de-escalate departs From the level
+// the previous transition arrived To (starting at base level 0), moving
+// in the direction its kind names. An empty log is vacuously consistent;
+// pair the metric with an event_count bound to pin that events happened.
+func eventSequenceOK(events []obs.Event) bool {
+	lastSeq := make(map[string]uint64)
+	level := make(map[string]int)
+	var lastAt time.Time
+	for i, e := range events {
+		if i > 0 && e.At.Before(lastAt) {
+			return false
+		}
+		lastAt = e.At
+		if s, seen := lastSeq[e.Node]; seen && e.Seq <= s {
+			return false
+		}
+		lastSeq[e.Node] = e.Seq
+		switch e.Kind {
+		case obs.EventAdaptEscalate:
+			if e.From != level[e.Node] || e.To <= e.From {
+				return false
+			}
+			level[e.Node] = e.To
+		case obs.EventAdaptDeescalate:
+			if e.From != level[e.Node] || e.To >= e.From {
+				return false
+			}
+			level[e.Node] = e.To
+		}
+	}
+	return true
 }
 
 // quantileOrZero is Histogram.Quantile with the empty case pinned to 0.

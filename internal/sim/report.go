@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"aipow/internal/metrics"
+	"aipow/internal/obs"
 )
 
 // DifficultyCount is one row of a sparse difficulty histogram.
@@ -129,6 +130,12 @@ type ScenarioReport struct {
 	// counts (present only for adaptive scenarios).
 	Adapt *AdaptOutcome `json:"adapt,omitempty"`
 
+	// Events mirrors the run's defense event log (present only when the
+	// scenario sets Defense.Events), so CI can diff exact defense event
+	// sequences — escalate → hold → de-escalate, with the signal readings
+	// that tripped each transition.
+	Events []obs.Event `json:"events,omitempty"`
+
 	// Framework snapshots the framework's own counters — an independent
 	// cross-check of the engine's accounting.
 	Framework map[string]float64 `json:"framework_counters"`
@@ -174,6 +181,7 @@ func (r *Result) Report() ScenarioReport {
 		}
 	}
 	rep.Adapt = r.Adapt
+	rep.Events = r.Events
 
 	for pi, p := range sc.Populations {
 		total := newOutcome()

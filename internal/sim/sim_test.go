@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"aipow/internal/core"
+	"aipow/internal/obs"
 )
 
 // testNetwork is a fast network for unit scenarios.
@@ -636,5 +637,72 @@ func TestBatchModeGroupsSameIP(t *testing.T) {
 	}
 	if got, want := run(true), run(false); string(got) != string(want) {
 		t.Error("same-IP runs diverge between batch and single-op paths")
+	}
+}
+
+// TestDefenseEventLog runs the event-log scenario and checks the captured
+// sequence in detail: exactly escalate then de-escalate, level-chained,
+// each carrying the rate signal reading that tripped it, separated by at
+// least the rule's hold, and mirrored into the report. A second run must
+// produce a byte-identical report — events ride the simulated clock, not
+// the wall clock.
+func TestDefenseEventLog(t *testing.T) {
+	pick := func() Scenario {
+		for _, sc := range DefaultSuite(7, 0.15) {
+			if sc.Name == "adapt-event-log" {
+				return sc
+			}
+		}
+		t.Fatal("adapt-event-log missing from the default suite")
+		return Scenario{}
+	}
+	res, err := Run(pick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Events) != 2 {
+		t.Fatalf("events = %+v, want exactly [escalate, de-escalate]", res.Events)
+	}
+	up, down := res.Events[0], res.Events[1]
+	if up.Kind != obs.EventAdaptEscalate || up.From != 0 || up.To != 1 {
+		t.Fatalf("first event = %+v, want escalate 0→1", up)
+	}
+	if up.Signal != "rate" || up.Value <= 60 {
+		t.Fatalf("escalation carries signal %q=%v, want rate>60", up.Signal, up.Value)
+	}
+	if up.Rule == "" {
+		t.Fatalf("escalation carries no rule: %+v", up)
+	}
+	if down.Kind != obs.EventAdaptDeescalate || down.From != 1 || down.To != 0 {
+		t.Fatalf("second event = %+v, want de-escalate 1→0", down)
+	}
+	if down.Signal != "rate" || down.Value > 60 {
+		t.Fatalf("de-escalation carries signal %q=%v, want rate≤60", down.Signal, down.Value)
+	}
+	if hold := down.At.Sub(up.At); hold < 10*time.Second {
+		t.Fatalf("de-escalation %v after escalation, want ≥ the 10s hold", hold)
+	}
+	if !eventSequenceOK(res.Events) {
+		t.Fatal("event sequence flagged inconsistent")
+	}
+
+	rep := res.Report()
+	if len(rep.Events) != 2 || !rep.Pass {
+		t.Fatalf("report events=%d pass=%v, want 2 mirrored events and a passing run", len(rep.Events), rep.Pass)
+	}
+	first, err := (&SuiteReport{Scenarios: []ScenarioReport{rep}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(pick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := (&SuiteReport{Scenarios: []ScenarioReport{res2.Report()}}).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatal("event-log runs diverge between reruns")
 	}
 }

@@ -822,6 +822,52 @@ func DefaultSuite(seed uint64, scale float64) []Scenario {
 				AtMost(MetricDecideErrors, "", "", 0),
 			},
 		},
+		{
+			Name:        "adapt-event-log",
+			Description: "defense event log: the attack cycle's escalate → hold → de-escalate shows up as exactly two structured events, in order, with the tripping signal readings",
+			Phases: []Phase{
+				{Name: "calm", Duration: 15 * time.Second, RateScale: map[string]float64{"cycle-bots": 0}},
+				{Name: "flood", Duration: 30 * time.Second},
+				{Name: "recovery", Duration: 25 * time.Second, RateScale: map[string]float64{"cycle-bots": 0}},
+			},
+			Populations: []Population{
+				{
+					Name: "users", Legit: true, Clients: scalePop(60, scale), Rate: 0.3,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedBenign,
+				},
+				{
+					Name: "cycle-bots", Clients: scalePop(300, scale), Rate: 2,
+					Behavior: BehaviorSolve, HashRate: suiteHashRate, Feed: FeedMalicious,
+					Paths: []string{"/login"},
+				},
+			},
+			Defense: Defense{Policy: "policy1", SaturationRate: 3, Events: true, Adapt: &AdaptDefense{
+				Capacity: 400,
+				Rules:    []string{"escalate(when=rate>60, policy=policy2, hold=10s, after=2)"},
+			}},
+			Invariants: []Invariant{
+				// Exactly two events — one escalation, one de-escalation —
+				// and a structurally consistent log (monotone sequence
+				// numbers and timestamps, level-chained adapt transitions):
+				// together these pin the exact escalate → de-escalate
+				// sequence, with nothing spurious in between.
+				AtLeast(MetricEventCount, "", "", 2),
+				AtMost(MetricEventCount, "", "", 2),
+				AtLeast(MetricEventSequenceOK, "", "", 1),
+				// The hold separates them: escalation lands with the flood
+				// onset, de-escalation only after the flood ends plus the
+				// 10 s hold — the event log's timestamps carry the same
+				// clock the adapt transition log does.
+				AtLeast(MetricAdaptFirstEscalationMS, "", "", 15000),
+				AtMost(MetricAdaptFirstEscalationMS, "", "", 16500),
+				AtLeast(MetricAdaptFirstDeescalationMS, "", "", 55000),
+				AtMost(MetricAdaptFirstDeescalationMS, "", "", 59000),
+				AtMost(MetricAdaptMaxLevel, "", "", 1),
+				AtMost(MetricAdaptFinalLevel, "", "", 0),
+				AtLeast(MetricServedFrac, "users", "", 0.999),
+				AtMost(MetricDecideErrors, "", "", 0),
+			},
+		},
 	}
 	for i := range scs {
 		scs[i].Seed = seed
