@@ -37,6 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list suite scenarios and exit")
 		quiet    = flag.Bool("quiet", false, "suppress per-scenario tables")
 		batch    = flag.Bool("batch", false, "drive arrivals through the batch entry points (byte-identical output)")
+		delta    = flag.Int("delta", 0, "delta evidence gossip: full anti-entropy frame every K exchanges on clustered scenarios (byte-identical output)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,13 @@ func main() {
 	if *batch {
 		for i := range scenarios {
 			scenarios[i].Batch = true
+		}
+	}
+	if *delta > 0 {
+		for i := range scenarios {
+			if scenarios[i].Cluster != nil {
+				scenarios[i].Cluster.DeltaEvery = *delta
+			}
 		}
 	}
 

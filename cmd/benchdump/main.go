@@ -21,6 +21,14 @@
 // the evidence path beyond 2× plain Decide, the traced path beyond 5% of
 // plain Decide, or the batch path not beating the single-op evidence path
 // per request.
+//
+// The capacity section measures million-client cost: bytes and heap
+// objects per tracked IP at 1M entries (runtime.ReadMemStats deltas
+// around building a full tracker), eviction-under-churn ns/op at
+// capacity, and full- vs delta-frame build+encode cost at 1% dirty rows.
+// Gated: bytes/IP must stay under a fixed ceiling (and within -max-regress
+// of the baseline), and the delta frame must cost at most
+// deltaFrameRatioLimit of the full frame.
 package main
 
 import (
@@ -38,6 +46,8 @@ import (
 	"time"
 
 	"aipow"
+	"aipow/internal/cluster"
+	"aipow/internal/features"
 )
 
 var benchKey = []byte("benchmark-hmac-key-32-bytes-long")
@@ -87,6 +97,43 @@ const tracedRatioLimit = 1.05
 // every width ratios ~1.0.
 const scalingRatioLimit = 1.3
 
+// bytesPerIPCeiling is the absolute memory gate at 1M tracked IPs. The
+// slab layout measures ~650 B/IP (fixed record + index map overhead +
+// the IP string); the ceiling leaves headroom for map growth phases
+// while still failing any return of per-entry heap structures (the old
+// pointer-based layout measured ~1237 B/IP).
+const bytesPerIPCeiling = 750.0
+
+// deltaFrameRatioLimit bounds the delta frame's build+encode cost
+// relative to a full frame at 1% dirty rows: shipping 1% of the rows
+// must cost at most 20% of the full-frame work, or delta gossip is not
+// pulling its weight.
+const deltaFrameRatioLimit = 0.2
+
+// capacitySection is the measured cost of a full tracker at
+// million-client scale plus the delta-gossip frame economics.
+type capacitySection struct {
+	// Entries is the tracker population measured (1M).
+	Entries int `json:"entries"`
+
+	// BytesPerIP and HeapObjsPerIP are heap growth per tracked IP while
+	// building the full tracker, after a GC on each side.
+	BytesPerIP    float64 `json:"bytes_per_ip"`
+	HeapObjsPerIP float64 `json:"heap_objs_per_ip"`
+
+	// EvictNsPerOp is Observe cost for a brand-new IP against the full
+	// tracker — every op LRU-evicts and recycles a slab slot.
+	EvictNsPerOp float64 `json:"evict_ns_per_op"`
+
+	// FrameFullNsPerOp and FrameDeltaNsPerOp are cluster frame build +
+	// encode cost over a 50k-row tracker, full versus delta at 1% dirty;
+	// FullRows/DeltaRows record the row counts behind them.
+	FrameFullNsPerOp  float64 `json:"frame_full_ns_per_op"`
+	FrameDeltaNsPerOp float64 `json:"frame_delta_ns_per_op"`
+	FullRows          int     `json:"full_rows"`
+	DeltaRows         int     `json:"delta_rows"`
+}
+
 // result is one benchmark's stable, diffable summary.
 type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -103,9 +150,13 @@ type dump struct {
 
 	// Ratios are derived cross-benchmark figures: the evidence path's
 	// cost relative to plain Decide, the batch path's relative to the
-	// single-op evidence path, and — with -cpu — multi-core scaling of
-	// the parallel Decide benchmark relative to its first listed width.
+	// single-op evidence path, the delta frame's relative to the full
+	// frame, and — with -cpu — multi-core scaling of the parallel Decide
+	// benchmark relative to its first listed width.
 	Ratios map[string]float64 `json:"ratios,omitempty"`
+
+	// Capacity is the million-client memory and delta-gossip section.
+	Capacity *capacitySection `json:"capacity,omitempty"`
 }
 
 func summarize(r testing.BenchmarkResult) result {
@@ -693,6 +744,16 @@ pipeline bench
 		}
 	}
 
+	// Capacity measurement last: building the 1M-entry tracker moves the
+	// heap by ~700 MB, which must not sit live under the hot-path
+	// benchmarks above.
+	capSec, err := measureCapacity(bench)
+	if err != nil {
+		return err
+	}
+	d.Capacity = capSec
+	d.Ratios["delta_over_full_frame"] = capSec.FrameDeltaNsPerOp / capSec.FrameFullNsPerOp
+
 	buf, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		return err
@@ -707,6 +768,107 @@ pipeline bench
 		return gate(d, compare, tolerance)
 	}
 	return nil
+}
+
+// capIP formats the i-th synthetic client address into buf (reused across
+// calls; only the returned string allocates — the cost any new-IP insert
+// pays for its map key).
+func capIP(buf []byte, prefix string, i uint64) string {
+	buf = append(buf[:0], prefix...)
+	buf = strconv.AppendUint(buf, i>>16&255, 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, i>>8&255, 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, i&255, 10)
+	return string(buf)
+}
+
+// measureCapacity builds the capacity section: heap cost per tracked IP
+// at 1M entries, eviction churn at capacity, and full- vs delta-frame
+// cost at 1% dirty rows on a 50k-row tracker (kept under the wire-format
+// row bound so the full frame is genuinely full).
+func measureCapacity(bench func(fn func(*testing.B)) result) (*capacitySection, error) {
+	const entries = 1 << 20
+	at := time.Unix(1700000000, 0)
+	var ipBuf [32]byte
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	tr, err := features.NewTracker(features.WithCapacity(entries))
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < entries; i++ {
+		ip := capIP(ipBuf[:], "10.", i)
+		if err := tr.Observe(features.RequestInfo{IP: ip, Path: "/api", At: at}); err != nil {
+			return nil, err
+		}
+		tr.RecordVerify(ip, 12, true, at)
+	}
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	cs := &capacitySection{
+		Entries:       entries,
+		BytesPerIP:    float64(after.HeapAlloc-before.HeapAlloc) / entries,
+		HeapObjsPerIP: float64(after.HeapObjects-before.HeapObjects) / entries,
+	}
+
+	// Eviction under churn: every op observes a never-seen IP against the
+	// full tracker, so each insert LRU-evicts a victim and recycles its
+	// slab slot.
+	var churn uint64
+	cs.EvictNsPerOp = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			churn++
+			if err := tr.Observe(features.RequestInfo{IP: capIP(ipBuf[:], "172.16.", churn), Path: "/api", At: at}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}).NsPerOp
+
+	// Frame economics: a 50k-row tracker behind a cluster node with the
+	// row cap lifted to the wire bound, so the full frame really carries
+	// all rows. 1% of the rows are re-verified after the watermark cut;
+	// the delta frame ships only those.
+	const frameEntries = 50000
+	ftr, err := features.NewTracker(features.WithCapacity(frameEntries))
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < frameEntries; i++ {
+		ftr.RecordVerify(capIP(ipBuf[:], "10.", i), 10, true, at)
+	}
+	node, err := cluster.NewNode(cluster.Config{Origin: "bench-capacity", MaxRows: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	node.BindLocal(nil, ftr)
+	_, watermark, _ := ftr.ExportEvidenceSince(nil, 1<<16, 0)
+	for i := uint64(0); i < frameEntries/100; i++ {
+		ftr.RecordVerify(capIP(ipBuf[:], "10.", i), 10, true, at.Add(time.Second))
+	}
+	full := node.FrameSince(0)
+	delta := node.FrameSince(watermark)
+	cs.FullRows = len(full.Origins[0].Rows)
+	cs.DeltaRows = len(delta.Origins[0].Rows)
+	if !delta.Delta || cs.DeltaRows == 0 || cs.DeltaRows >= cs.FullRows {
+		return nil, fmt.Errorf("capacity: delta frame degraded (delta=%v rows %d of %d) — ratio would be meaningless",
+			delta.Delta, cs.DeltaRows, cs.FullRows)
+	}
+	frameCost := func(since uint64) float64 {
+		return bench(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f := node.FrameSince(since)
+				if _, err := cluster.EncodeFrame(f, benchKey); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}).NsPerOp
+	}
+	cs.FrameFullNsPerOp = frameCost(0)
+	cs.FrameDeltaNsPerOp = frameCost(watermark)
+	return cs, nil
 }
 
 // gate diffs the fresh run against the baseline file and fails on hot-path
@@ -768,6 +930,35 @@ func gate(cur dump, baselinePath string, tol float64) error {
 			fmt.Sprintf("DecideBatch/DecideWithEvidence ratio %.2f; the batch path must be cheaper per op", r))
 	} else {
 		fmt.Printf("compare: batch/evidence ratio %.2f (limit 1.0) ok\n", cur.Ratios["batch_over_evidence"])
+	}
+	// Capacity gates: the absolute bytes/IP ceiling, a baseline-relative
+	// memory regression check (same tolerance as ns/op), and the delta
+	// frame earning its keep at 1% dirty.
+	if cur.Capacity == nil {
+		violations = append(violations, "capacity: section missing from current run")
+	} else {
+		c := cur.Capacity
+		if c.BytesPerIP > bytesPerIPCeiling {
+			violations = append(violations,
+				fmt.Sprintf("capacity: %.1f bytes/IP exceeds ceiling %.0f at %d entries", c.BytesPerIP, bytesPerIPCeiling, c.Entries))
+		} else {
+			fmt.Printf("compare: bytes/IP %.1f (ceiling %.0f) at %d entries ok\n", c.BytesPerIP, bytesPerIPCeiling, c.Entries)
+		}
+		if base.Capacity != nil {
+			limit := base.Capacity.BytesPerIP * (1 + tol)
+			if c.BytesPerIP > limit {
+				violations = append(violations,
+					fmt.Sprintf("capacity: %.1f bytes/IP vs baseline %.1f (limit %.1f)", c.BytesPerIP, base.Capacity.BytesPerIP, limit))
+			}
+		}
+	}
+	if r, ok := cur.Ratios["delta_over_full_frame"]; !ok {
+		violations = append(violations, "capacity: delta_over_full_frame ratio missing")
+	} else if r > deltaFrameRatioLimit {
+		violations = append(violations,
+			fmt.Sprintf("capacity: delta/full frame ratio %.3f exceeds %.1f at 1%% dirty", r, deltaFrameRatioLimit))
+	} else {
+		fmt.Printf("compare: delta/full frame ratio %.3f (limit %.1f) ok\n", r, deltaFrameRatioLimit)
 	}
 	// Multi-core scaling is a gated claim, not an uploaded artifact: a
 	// wider GOMAXPROCS must never cost materially more per op than the

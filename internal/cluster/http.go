@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 )
 
@@ -13,7 +15,10 @@ const frameContentType = "application/x-aipow-cluster-frame"
 // Handler returns an http.Handler serving the node's current frame —
 // mount it on the peer-exchange listener (powserver exposes it at
 // /cluster/<pipeline>). Frames are signed with the node's key when one
-// is configured, so peers reject responses from an impostor.
+// is configured, so peers reject responses from an impostor. A
+// ?since=<gen> query asks for a delta frame (rows changed after the
+// puller's watermark); an unparsable or absent since serves a full
+// frame, the always-safe answer.
 func (n *Node) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -21,7 +26,11 @@ func (n *Node) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		data, err := EncodeFrame(n.Frame(), n.cfg.Key)
+		var since uint64
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, _ = strconv.ParseUint(s, 10, 64)
+		}
+		data, err := EncodeFrame(n.FrameSince(since), n.cfg.Key)
 		if err != nil {
 			http.Error(w, "frame encoding failed", http.StatusInternalServerError)
 			return
@@ -45,6 +54,19 @@ type HTTPFetcher struct {
 	// Client defaults to a client with a timeout of half the default
 	// exchange interval, so one stuck peer cannot stall a whole round.
 	Client *http.Client
+
+	// AntiEntropyEvery enables delta pulls: when K ≥ 1 the fetcher sends
+	// its last absorbed watermark as ?since, requesting a full frame on
+	// the first pull and every Kth thereafter. Zero pulls full frames
+	// only.
+	AntiEntropyEvery int
+
+	// lastGen and pulls are the delta cursor. Plain fields: a fetcher is
+	// driven by exactly one exchange loop (Fetch is not safe for
+	// concurrent use with itself — it never was, the shared http.Client
+	// aside).
+	lastGen uint64
+	pulls   uint64
 }
 
 // Close releases the fetcher's pooled connections (and their keep-alive
@@ -62,7 +84,15 @@ func (f *HTTPFetcher) Fetch() (*Frame, error) {
 	if client == nil {
 		client = &http.Client{Timeout: DefaultExchange / 2}
 	}
-	resp, err := client.Get(f.URL)
+	target := f.URL
+	if since := f.nextSince(); since > 0 {
+		sep := "?"
+		if u, err := url.Parse(f.URL); err == nil && u.RawQuery != "" {
+			sep = "&"
+		}
+		target = f.URL + sep + "since=" + strconv.FormatUint(since, 10)
+	}
+	resp, err := client.Get(target)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: fetch %s: %w", f.URL, err)
 	}
@@ -74,7 +104,22 @@ func (f *HTTPFetcher) Fetch() (*Frame, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: fetch %s: %w", f.URL, err)
 	}
-	return DecodeFrame(data, f.Key)
+	frame, err := DecodeFrame(data, f.Key)
+	if err != nil {
+		return nil, err
+	}
+	f.lastGen = frame.Gen
+	f.pulls++
+	return frame, nil
+}
+
+// nextSince picks the watermark for the next pull, mirroring
+// Node.nextSince for the HTTP transport.
+func (f *HTTPFetcher) nextSince() uint64 {
+	if f.AntiEntropyEvery <= 0 || f.pulls%uint64(f.AntiEntropyEvery) == 0 {
+		return 0
+	}
+	return f.lastGen
 }
 
 // NewHTTPFetchers builds one fetcher per peer URL with a shared client
@@ -82,14 +127,17 @@ func (f *HTTPFetcher) Fetch() (*Frame, error) {
 // transport — never http.DefaultTransport — so closing the fetchers
 // (which the exchange loop does on shutdown) reliably frees every
 // pooled connection instead of leaving them in a process-global pool.
-func NewHTTPFetchers(urls []string, key []byte, exchange time.Duration) []Fetcher {
+// deltaEvery ≥ 1 enables delta pulls with a full anti-entropy pull every
+// deltaEvery-th exchange (see HTTPFetcher.AntiEntropyEvery); zero keeps
+// every pull full-frame.
+func NewHTTPFetchers(urls []string, key []byte, exchange time.Duration, deltaEvery int) []Fetcher {
 	if exchange <= 0 {
 		exchange = DefaultExchange
 	}
 	client := &http.Client{Timeout: exchange / 2, Transport: &http.Transport{}}
 	out := make([]Fetcher, 0, len(urls))
 	for _, u := range urls {
-		out = append(out, &HTTPFetcher{URL: u, Key: key, Client: client})
+		out = append(out, &HTTPFetcher{URL: u, Key: key, Client: client, AntiEntropyEvery: deltaEvery})
 	}
 	return out
 }

@@ -65,6 +65,16 @@ type Config struct {
 	// DefaultMaxRows; negative disables the export entirely.
 	MaxRows int
 
+	// DeltaEvery enables delta evidence gossip on this node's *pulls*:
+	// when K ≥ 1, the node asks peers only for rows changed since its
+	// last pull, with a full-frame anti-entropy pull every Kth exchange
+	// (the first pull from a peer is always full). Zero keeps every pull
+	// full-frame. Deltas change only how much is shipped, never what
+	// converges: rows merge as a CRDT, and the exporter falls back to a
+	// full frame whenever it cannot prove the delta covers everything the
+	// puller missed.
+	DeltaEvery int
+
 	// Key, when set, HMAC-signs encoded frames and rejects peers' frames
 	// that fail verification (see EncodeFrame/DecodeFrame). In-process
 	// exchange ignores it.
@@ -99,6 +109,17 @@ type OriginSection struct {
 type Frame struct {
 	Origins []OriginSection
 	Buckets []FilterBucket
+
+	// Gen is the sender's evidence watermark as of this frame: pass it
+	// back as since on the next pull to receive only newer rows. Zero
+	// when the sender exports no evidence.
+	Gen uint64
+
+	// Delta marks a frame whose evidence rows cover only changes after
+	// the requested since watermark (counters and Bloom buckets are
+	// always complete). Full frames — including every delta request the
+	// sender had to answer with a full export — carry false.
+	Delta bool
 }
 
 // peerState is the retained view of one remote origin.
@@ -106,6 +127,14 @@ type peerState struct {
 	counters     map[string]float64
 	diffIssued   [puzzle.MaxDifficulty + 1]uint64
 	diffVerified [puzzle.MaxDifficulty + 1]uint64
+}
+
+// pullState is the delta-gossip cursor for one peer this node pulls from:
+// the watermark of the last absorbed frame and how many pulls completed
+// (drives the every-Kth anti-entropy full pull).
+type pullState struct {
+	gen   uint64
+	count uint64
 }
 
 // Node is one fleet member's cluster plane. It implements
@@ -119,14 +148,18 @@ type Node struct {
 
 	mu     sync.Mutex
 	stats  feedback.Source
-	export func(dst []features.EvidenceRow, maxRows int) []features.EvidenceRow
+	export func(dst []features.EvidenceRow, maxRows int, since uint64) ([]features.EvidenceRow, uint64, bool)
 	merge  func(rows []features.EvidenceRow)
 	peers  map[string]*peerState
+	pulls  map[string]*pullState
 
-	filterHits uint64
-	exchanges  uint64
-	absorbs    uint64
-	absorbErrs uint64
+	filterHits  uint64
+	exchanges   uint64
+	absorbs     uint64
+	absorbErrs  uint64
+	fullFrames  uint64
+	deltaFrames uint64
+	frameRows   uint64
 
 	runMu     sync.Mutex
 	stop      chan struct{}
@@ -174,6 +207,7 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg:   cfg,
 		ring:  ring,
 		peers: make(map[string]*peerState),
+		pulls: make(map[string]*pullState),
 	}, nil
 }
 
@@ -195,7 +229,7 @@ func (n *Node) BindLocal(stats feedback.Source, tracker *features.Tracker) {
 	n.stats = stats
 	if tracker != nil {
 		n.cfg.HalfLife = tracker.EvidenceHalfLife()
-		n.export = tracker.ExportEvidence
+		n.export = tracker.ExportEvidenceSince
 		n.merge = tracker.MergeEvidence
 	} else {
 		n.export = nil
@@ -225,7 +259,17 @@ func (n *Node) RedeemedTag(tag [puzzle.TagSize]byte, _ time.Time) {
 // section (relayed counters — rows are not relayed; evidence already
 // spreads transitively through each tracker's own export), and the Bloom
 // ring.
-func (n *Node) Frame() *Frame {
+func (n *Node) Frame() *Frame { return n.frameSince(0, true) }
+
+// FrameSince is Frame for a delta pull: evidence rows cover only changes
+// after the since watermark when the exporter can prove that is complete,
+// and fall back to the full row set otherwise (Frame.Delta reports which
+// happened). since zero is exactly Frame.
+func (n *Node) FrameSince(since uint64) *Frame { return n.frameSince(since, true) }
+
+// frameSince builds the exchange payload. includeRing=false skips the
+// Bloom snapshot for callers that merge rings directly (ExchangeWith).
+func (n *Node) frameSince(since uint64, includeRing bool) *Frame {
 	f := &Frame{}
 	n.mu.Lock()
 	self := OriginSection{Origin: n.cfg.Origin, Counters: make(map[string]float64, 8)}
@@ -252,10 +296,60 @@ func (n *Node) Frame() *Frame {
 	// Export outside n.mu: the tracker has its own locking, and the local
 	// stats source must never be able to re-enter the node.
 	if export != nil && maxRows >= 0 {
-		f.Origins[0].Rows = export(nil, maxRows)
+		rows, gen, delta := export(nil, maxRows, since)
+		f.Origins[0].Rows = rows
+		f.Gen, f.Delta = gen, delta
+		n.mu.Lock()
+		if delta {
+			n.deltaFrames++
+		} else {
+			n.fullFrames++
+		}
+		n.frameRows += uint64(len(rows))
+		n.mu.Unlock()
 	}
-	f.Buckets = n.ring.Snapshot(nil)
+	if includeRing {
+		f.Buckets = n.ring.Snapshot(nil)
+	}
 	return f
+}
+
+// nextSince picks the watermark for the node's next pull from origin:
+// zero (full frame) when delta gossip is off, on the first pull, or on
+// the every-DeltaEvery-th anti-entropy pull; otherwise the watermark of
+// the last frame absorbed from that peer.
+func (n *Node) nextSince(origin string) uint64 {
+	if n.cfg.DeltaEvery <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.pulls[origin]
+	if st == nil || st.count%uint64(n.cfg.DeltaEvery) == 0 {
+		return 0
+	}
+	return st.gen
+}
+
+// notePulled records a completed pull from origin for delta-cursor
+// bookkeeping. The map is bounded like the peer table: past the cap new
+// origins simply keep pulling full frames.
+func (n *Node) notePulled(origin string, gen uint64) {
+	if n.cfg.DeltaEvery <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := n.pulls[origin]
+	if st == nil {
+		if len(n.pulls) >= maxPeerOrigins {
+			return
+		}
+		st = &pullState{}
+		n.pulls[origin] = st
+	}
+	st.gen = gen
+	st.count++
 }
 
 func (n *Node) sortedPeersLocked() []string {
@@ -342,37 +436,13 @@ func (n *Node) ExchangeWith(peer *Node) {
 	if peer == nil || peer == n {
 		return
 	}
-	f := &Frame{}
-	peer.mu.Lock()
-	self := OriginSection{Origin: peer.cfg.Origin, Counters: make(map[string]float64, 8)}
-	if peer.stats != nil {
-		peer.stats.StatsInto(self.Counters)
-		self.DiffIssued = make([]uint64, puzzle.MaxDifficulty+1)
-		self.DiffVerified = make([]uint64, puzzle.MaxDifficulty+1)
-		peer.stats.DifficultyProfileInto(self.DiffIssued, self.DiffVerified)
-	}
-	export := peer.export
-	maxRows := peer.cfg.MaxRows
-	f.Origins = append(f.Origins, self)
-	for _, origin := range peer.sortedPeersLocked() {
-		ps := peer.peers[origin]
-		sec := OriginSection{Origin: origin, Counters: make(map[string]float64, len(ps.counters))}
-		for k, v := range ps.counters {
-			sec.Counters[k] = v
-		}
-		sec.DiffIssued = append([]uint64(nil), ps.diffIssued[:]...)
-		sec.DiffVerified = append([]uint64(nil), ps.diffVerified[:]...)
-		f.Origins = append(f.Origins, sec)
-	}
-	peer.mu.Unlock()
-	if export != nil && maxRows >= 0 {
-		f.Origins[0].Rows = export(nil, maxRows)
-	}
+	f := peer.frameSince(n.nextSince(peer.cfg.Origin), false)
 	n.Absorb(f)
 	n.ring.MergeFrom(peer.ring)
 	n.mu.Lock()
 	n.exchanges++
 	n.mu.Unlock()
+	n.notePulled(peer.cfg.Origin, f.Gen)
 }
 
 // PeerSource returns a feedback.Source over the sum of all peer-reported
@@ -417,12 +487,15 @@ func (p peerSource) DifficultyProfileInto(issued, verified []uint64) {
 
 // Stats describes the node's exchange-plane counters.
 type Stats struct {
-	Origin     string
-	Peers      int
-	FilterHits uint64 // serving-path rejections from the fleet filter
-	Exchanges  uint64 // completed exchange pulls
-	Absorbs    uint64 // frames folded in
-	AbsorbErrs uint64 // failed pulls (fetch or decode errors)
+	Origin      string
+	Peers       int
+	FilterHits  uint64 // serving-path rejections from the fleet filter
+	Exchanges   uint64 // completed exchange pulls
+	Absorbs     uint64 // frames folded in
+	AbsorbErrs  uint64 // failed pulls (fetch or decode errors)
+	FullFrames  uint64 // frames this node served with the full row set
+	DeltaFrames uint64 // frames this node served as deltas
+	FrameRows   uint64 // cumulative evidence rows served across frames
 }
 
 // Stats snapshots the node's counters.
@@ -430,12 +503,15 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return Stats{
-		Origin:     n.cfg.Origin,
-		Peers:      len(n.peers),
-		FilterHits: n.filterHits,
-		Exchanges:  n.exchanges,
-		Absorbs:    n.absorbs,
-		AbsorbErrs: n.absorbErrs,
+		Origin:      n.cfg.Origin,
+		Peers:       len(n.peers),
+		FilterHits:  n.filterHits,
+		Exchanges:   n.exchanges,
+		Absorbs:     n.absorbs,
+		AbsorbErrs:  n.absorbErrs,
+		FullFrames:  n.fullFrames,
+		DeltaFrames: n.deltaFrames,
+		FrameRows:   n.frameRows,
 	}
 }
 

@@ -261,7 +261,7 @@ func TestNodeHTTPExchange(t *testing.T) {
 	srv := httptest.NewServer(a.Handler())
 	defer srv.Close()
 
-	fetchers := NewHTTPFetchers([]string{srv.URL}, key, time.Second)
+	fetchers := NewHTTPFetchers([]string{srv.URL}, key, time.Second, 0)
 	f, err := fetchers[0].Fetch()
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +277,7 @@ func TestNodeHTTPExchange(t *testing.T) {
 	}
 
 	// A fetcher keyed differently rejects the frame: fail closed.
-	bad := NewHTTPFetchers([]string{srv.URL}, []byte("other-signing-key-0123456789abcd"), time.Second)
+	bad := NewHTTPFetchers([]string{srv.URL}, []byte("other-signing-key-0123456789abcd"), time.Second, 0)
 	if _, err := bad[0].Fetch(); !errors.Is(err, ErrBadFrame) {
 		t.Fatalf("mis-keyed fetch accepted: %v", err)
 	}

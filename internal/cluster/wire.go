@@ -14,7 +14,7 @@ import (
 
 // Wire format (all integers big-endian):
 //
-//	magic     8 bytes  "AIPoWX1\x00"
+//	magic     8 bytes  "AIPoWX2\x00"
 //	sig       32 bytes HMAC-SHA256 over everything after it (zero if unkeyed)
 //	origins   u8 count, each:
 //	    origin    u8 len + bytes
@@ -24,13 +24,19 @@ import (
 //	    rows      u32 count, each: u8 ip len + bytes,
 //	              u64 total, u64 failed, f64 credit, i64 creditAt unix-ns
 //	buckets   u8 count, each: i64 epoch, i64 span ns, u32 words, u64 each
+//	gen       u64 (sender's evidence watermark; see Frame.Gen)
+//	flags     u8  (bit 0: delta frame — rows cover only changes since the
+//	               requested watermark)
 //
 // Every count is bounded against the remaining input before allocating,
 // so a truncated or hostile frame fails closed with ErrBadFrame instead
 // of ballooning memory. A signed decode (key != nil) rejects any frame
 // whose signature does not verify — including unsigned frames.
 
-var frameMagic = [8]byte{'A', 'I', 'P', 'o', 'W', 'X', '1', 0}
+var frameMagic = [8]byte{'A', 'I', 'P', 'o', 'W', 'X', '2', 0}
+
+// frameFlagDelta marks a delta frame in the wire flags byte.
+const frameFlagDelta = 1
 
 // frameSigDomain separates frame signatures from every other HMAC use of
 // the pipeline key.
@@ -80,6 +86,12 @@ func EncodeFrame(f *Frame, key []byte) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint64(buf, w)
 		}
 	}
+	buf = binary.BigEndian.AppendUint64(buf, f.Gen)
+	var flags byte
+	if f.Delta {
+		flags |= frameFlagDelta
+	}
+	buf = append(buf, flags)
 	if key != nil {
 		mac := hmac.New(sha256.New, key)
 		mac.Write([]byte(frameSigDomain))
@@ -219,6 +231,12 @@ func DecodeFrame(data []byte, key []byte) (*Frame, error) {
 		}
 		f.Buckets = append(f.Buckets, FilterBucket{Epoch: epoch, Span: span, Words: words})
 	}
+	f.Gen = rd.u64()
+	flags := rd.u8()
+	if !rd.failed && flags > frameFlagDelta {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadFrame, flags)
+	}
+	f.Delta = flags&frameFlagDelta != 0
 	if rd.failed {
 		return nil, fmt.Errorf("%w: truncated", ErrBadFrame)
 	}

@@ -247,7 +247,8 @@ func TestClusterStats(t *testing.T) {
 	p, _ := gk.Pipeline("p")
 	stats := map[string]float64{}
 	p.StatsInto(stats)
-	for _, k := range []string{"cluster.peers", "cluster.filter_hits", "cluster.exchanges"} {
+	for _, k := range []string{"cluster.peers", "cluster.filter_hits", "cluster.exchanges",
+		"cluster.frames_full", "cluster.frames_delta", "cluster.frame_rows"} {
 		if _, ok := stats[k]; !ok {
 			t.Errorf("missing cluster stat %q (have %v)", k, stats)
 		}
@@ -257,7 +258,8 @@ func TestClusterStats(t *testing.T) {
 	// the same counters under the pipeline's namespace.
 	scrape := map[string]float64{}
 	gk.StatsInto(scrape)
-	for _, k := range []string{"p.cluster.peers", "p.cluster.filter_hits", "p.cluster.exchanges"} {
+	for _, k := range []string{"p.cluster.peers", "p.cluster.filter_hits", "p.cluster.exchanges",
+		"p.cluster.frames_full", "p.tracker.entries", "p.tracker.slab_utilization"} {
 		if _, ok := scrape[k]; !ok {
 			t.Errorf("gatekeeper scrape missing %q", k)
 		}

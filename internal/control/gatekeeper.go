@@ -387,9 +387,10 @@ func (gk *Gatekeeper) Spec() *DeploymentSpec {
 // (aipow_issued{pipeline="web"} …), its serving-path latency histograms
 // (aipow_serving_latency_ms with a stage label), its decision-trace ring
 // counters when tracing is on, and — where the spec declares them — the
-// adapt controller's level/signal gauges and swap counters, and the
-// cluster plane's exchange counters. node, when non-empty, labels every
-// series with the fleet member's name.
+// adapt controller's level/signal gauges and swap counters, the behavior
+// tracker's occupancy gauges (entries, capacity, slab utilization,
+// evictions), and the cluster plane's exchange and frame counters. node,
+// when non-empty, labels every series with the fleet member's name.
 func (gk *Gatekeeper) ExpositionInto(e *metrics.Exposition, node string) {
 	st := gk.state.Load()
 	for _, name := range sortedKeys(st.pipelines) {
@@ -418,6 +419,14 @@ func (gk *Gatekeeper) ExpositionInto(e *metrics.Exposition, node string) {
 				e.Add(typ, "aipow_adapt_"+k, "adapt controller "+k, stats[k], labels...)
 			}
 		}
+		if t := p.tracker; t != nil {
+			ts := t.StatsSnapshot()
+			e.Add(metrics.TypeGauge, "aipow_tracker_entries", "tracked client IPs", float64(ts.Entries), labels...)
+			e.Add(metrics.TypeGauge, "aipow_tracker_capacity", "tracked-IP eviction capacity", float64(ts.Capacity), labels...)
+			e.Add(metrics.TypeGauge, "aipow_tracker_slab_slots", "slab slots allocated across shards", float64(ts.Slots), labels...)
+			e.Add(metrics.TypeGauge, "aipow_tracker_slab_utilization", "live entries per allocated slab slot", ts.Utilization(), labels...)
+			e.Add(metrics.TypeCounter, "aipow_tracker_evictions", "LRU evictions of tracked IPs", float64(ts.Evictions), labels...)
+		}
 		if n := p.ClusterNode(); n != nil {
 			cs := n.Stats()
 			e.Add(metrics.TypeGauge, "aipow_cluster_peers", "known fleet peers", float64(cs.Peers), labels...)
@@ -425,6 +434,9 @@ func (gk *Gatekeeper) ExpositionInto(e *metrics.Exposition, node string) {
 			e.Add(metrics.TypeCounter, "aipow_cluster_exchanges", "completed exchange pulls", float64(cs.Exchanges), labels...)
 			e.Add(metrics.TypeCounter, "aipow_cluster_absorbs", "frames folded in", float64(cs.Absorbs), labels...)
 			e.Add(metrics.TypeCounter, "aipow_cluster_absorb_errors", "failed exchange pulls", float64(cs.AbsorbErrs), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_frames_full", "full anti-entropy evidence frames served", float64(cs.FullFrames), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_frames_delta", "delta evidence frames served", float64(cs.DeltaFrames), labels...)
+			e.Add(metrics.TypeCounter, "aipow_cluster_frame_rows", "evidence rows exported across served frames", float64(cs.FrameRows), labels...)
 		}
 	}
 }
@@ -445,7 +457,9 @@ func (gk *Gatekeeper) TraceSnapshots() map[string][]obs.TraceSample {
 
 // StatsInto adds every pipeline's counters — and, for pipelines with an
 // adapt section, the controller's level, swap counts, and live signal
-// estimates under "<pipeline>.adapt.*" — into dst under namespaced keys.
+// estimates under "<pipeline>.adapt.*", plus tracker occupancy under
+// "<pipeline>.tracker.*" and cluster counters under
+// "<pipeline>.cluster.*" — into dst under namespaced keys.
 // Reusing dst across polls means no maps are allocated per scrape; the
 // namespaced key strings still allocate (this is the admin scrape path,
 // not the serving hot path).
@@ -456,6 +470,14 @@ func (gk *Gatekeeper) StatsInto(dst map[string]float64) {
 		if ctrl := p.Controller(); ctrl != nil {
 			ctrl.StatsPrefixInto(name+".adapt.", dst)
 		}
+		if t := p.tracker; t != nil {
+			ts := t.StatsSnapshot()
+			dst[name+".tracker.entries"] = float64(ts.Entries)
+			dst[name+".tracker.capacity"] = float64(ts.Capacity)
+			dst[name+".tracker.slab_slots"] = float64(ts.Slots)
+			dst[name+".tracker.slab_utilization"] = ts.Utilization()
+			dst[name+".tracker.evictions"] = float64(ts.Evictions)
+		}
 		if node := p.ClusterNode(); node != nil {
 			cs := node.Stats()
 			dst[name+".cluster.peers"] += float64(cs.Peers)
@@ -463,6 +485,9 @@ func (gk *Gatekeeper) StatsInto(dst map[string]float64) {
 			dst[name+".cluster.exchanges"] += float64(cs.Exchanges)
 			dst[name+".cluster.absorbs"] += float64(cs.Absorbs)
 			dst[name+".cluster.absorb_errors"] += float64(cs.AbsorbErrs)
+			dst[name+".cluster.frames_full"] += float64(cs.FullFrames)
+			dst[name+".cluster.frames_delta"] += float64(cs.DeltaFrames)
+			dst[name+".cluster.frame_rows"] += float64(cs.FrameRows)
 		}
 	}
 }

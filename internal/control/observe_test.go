@@ -232,6 +232,11 @@ func TestGatekeeperExposition(t *testing.T) {
 		`# TYPE aipow_serving_latency_ms histogram`,
 		`# TYPE aipow_issued counter`,
 		`# TYPE aipow_adapt_level gauge`,
+		`# TYPE aipow_tracker_entries gauge`,
+		`# TYPE aipow_tracker_slab_utilization gauge`,
+		`# TYPE aipow_tracker_evictions counter`,
+		`aipow_tracker_capacity{pipeline="web",node="node-1"}`,
+		`aipow_tracker_slab_slots{pipeline="web",node="node-1"}`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q\n%s", want, out)

@@ -104,6 +104,9 @@ func (p *Pipeline) StatsInto(dst map[string]float64) {
 		dst["cluster.exchanges"] += float64(cs.Exchanges)
 		dst["cluster.absorbs"] += float64(cs.Absorbs)
 		dst["cluster.absorb_errors"] += float64(cs.AbsorbErrs)
+		dst["cluster.frames_full"] += float64(cs.FullFrames)
+		dst["cluster.frames_delta"] += float64(cs.DeltaFrames)
+		dst["cluster.frame_rows"] += float64(cs.FrameRows)
 	}
 }
 

@@ -587,6 +587,9 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	case ps.ReplayCache < 0:
 		opts = append(opts, core.WithReplayCacheSize(0))
 	}
+	if ps.AuthCacheSlots > 0 {
+		opts = append(opts, core.WithAuthCacheSlots(ps.AuthCacheSlots))
+	}
 	if ps.BypassBelow != nil {
 		opts = append(opts, core.WithBypassBelow(*ps.BypassBelow))
 	}
@@ -606,10 +609,11 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 			// Retain through the full redemption window — TTL plus skew on
 			// both ends — so the freshness check takes over exactly when
 			// the filter may forget.
-			Retain: time.Duration(ps.TTL) + 2*time.Duration(ps.ClockSkew),
-			Key:    r.pipelineKey(ps.Name),
-			Now:    r.now,
-			Events: r.pipelineEvents(ps.Name),
+			Retain:     time.Duration(ps.TTL) + 2*time.Duration(ps.ClockSkew),
+			Key:        r.pipelineKey(ps.Name),
+			DeltaEvery: ps.Cluster.DeltaEvery,
+			Now:        r.now,
+			Events:     r.pipelineEvents(ps.Name),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("control: pipeline %q cluster: %w", ps.Name, err)
@@ -629,7 +633,7 @@ func (r *Registry) Build(ps PipelineSpec) (*Pipeline, error) {
 	if node != nil {
 		node.BindLocal(fw, tracker)
 		if len(ps.Cluster.Peers) > 0 {
-			if err := node.Run(cluster.NewHTTPFetchers(ps.Cluster.Peers, r.pipelineKey(ps.Name), time.Duration(ps.Cluster.Exchange))); err != nil {
+			if err := node.Run(cluster.NewHTTPFetchers(ps.Cluster.Peers, r.pipelineKey(ps.Name), time.Duration(ps.Cluster.Exchange), ps.Cluster.DeltaEvery)); err != nil {
 				return nil, fmt.Errorf("control: build pipeline %q: %w", ps.Name, err)
 			}
 		}

@@ -124,6 +124,12 @@ type PipelineSpec struct {
 	// disables replay protection). Not hot-swappable.
 	ReplayCache int `json:"replay_cache,omitempty"`
 
+	// AuthCacheSlots sizes the issuer/verifier authenticated-challenge
+	// cache (0 = 2048; rounded up to a power of two, clamped to
+	// [64, 1<<22]). Size toward ≥ 10× the challenges outstanding at any
+	// instant; a miss only costs an HMAC recomputation. Not hot-swappable.
+	AuthCacheSlots int `json:"auth_cache,omitempty"`
+
 	// ClockSkew is the verifier's tolerance for clock drift (0 = 2s). Not
 	// hot-swappable.
 	ClockSkew Duration `json:"clock_skew,omitempty"`
@@ -296,11 +302,16 @@ func (o *ObserveSpec) equal(b *ObserveSpec) bool {
 // node need not list every other). Exchange is the pull interval, the
 // bounded staleness of fleet knowledge. Filter declares the Bloom
 // geometry, which all fleet members must share for their rings to merge.
+// Delta (delta(every=<k>)) turns the node's pulls into delta pulls —
+// only evidence rows changed since the last pull — with a full-frame
+// anti-entropy pull every kth exchange; omitted, every pull is a full
+// frame.
 type ClusterSpec struct {
 	Peers        []string `json:"peers,omitempty"`
 	Exchange     Duration `json:"exchange,omitempty"`
 	FilterBits   int      `json:"filter_bits,omitempty"`
 	FilterHashes int      `json:"filter_hashes,omitempty"`
+	DeltaEvery   int      `json:"delta_every,omitempty"`
 }
 
 // validate rejects malformed cluster sections.
@@ -312,6 +323,8 @@ func (c *ClusterSpec) validate(pipeline string) error {
 		return fmt.Errorf("control: pipeline %q cluster: filter bits %d must be a power of two ≥ 64", pipeline, c.FilterBits)
 	case c.FilterHashes < 0 || c.FilterHashes > 16:
 		return fmt.Errorf("control: pipeline %q cluster: filter hashes %d outside [0, 16]", pipeline, c.FilterHashes)
+	case c.DeltaEvery < 0:
+		return fmt.Errorf("control: pipeline %q cluster: negative delta interval %d", pipeline, c.DeltaEvery)
 	}
 	for _, p := range c.Peers {
 		if strings.TrimSpace(p) == "" {
@@ -330,7 +343,8 @@ func (c *ClusterSpec) equal(b *ClusterSpec) bool {
 		return true
 	}
 	if c.Exchange != b.Exchange || c.FilterBits != b.FilterBits ||
-		c.FilterHashes != b.FilterHashes || len(c.Peers) != len(b.Peers) {
+		c.FilterHashes != b.FilterHashes || c.DeltaEvery != b.DeltaEvery ||
+		len(c.Peers) != len(b.Peers) {
 		return false
 	}
 	for i := range c.Peers {
@@ -551,6 +565,9 @@ func (p *PipelineSpec) validate() error {
 	if p.MaxDifficulty < 0 {
 		return fmt.Errorf("control: pipeline %q has negative max-difficulty", p.Name)
 	}
+	if p.AuthCacheSlots < 0 {
+		return fmt.Errorf("control: pipeline %q has negative auth-cache", p.Name)
+	}
 	if p.ClockSkew < 0 {
 		return fmt.Errorf("control: pipeline %q has negative clock-skew", p.Name)
 	}
@@ -614,7 +631,8 @@ func specEqual(a, b PipelineSpec) bool {
 	return a.Name == b.Name && a.Scorer == b.Scorer && a.Policy == b.Policy &&
 		a.PolicyRules == b.PolicyRules && a.Source == b.Source &&
 		a.TTL == b.TTL && a.MaxDifficulty == b.MaxDifficulty &&
-		a.ReplayCache == b.ReplayCache && a.ClockSkew == b.ClockSkew &&
+		a.ReplayCache == b.ReplayCache && a.AuthCacheSlots == b.AuthCacheSlots &&
+		a.ClockSkew == b.ClockSkew &&
 		a.TrackerWindow == b.TrackerWindow &&
 		canonicalPuzzle(a.Puzzle) == canonicalPuzzle(b.Puzzle) &&
 		eq(a.BypassBelow, b.BypassBelow) && eq(a.FailClosedScore, b.FailClosedScore) &&
@@ -634,6 +652,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 		return fmt.Errorf("max-difficulty %d → %d", p.MaxDifficulty, q.MaxDifficulty)
 	case p.ReplayCache != q.ReplayCache:
 		return fmt.Errorf("replay-cache %d → %d", p.ReplayCache, q.ReplayCache)
+	case p.AuthCacheSlots != q.AuthCacheSlots:
+		return fmt.Errorf("auth-cache %d → %d", p.AuthCacheSlots, q.AuthCacheSlots)
 	case p.ClockSkew != q.ClockSkew:
 		return fmt.Errorf("clock-skew %v → %v", time.Duration(p.ClockSkew), time.Duration(q.ClockSkew))
 	case p.TrackerWindow != q.TrackerWindow:
@@ -669,6 +689,8 @@ func (p PipelineSpec) swappableEqual(q PipelineSpec) error {
 //	  bypass-below <score>
 //	  fail-closed <score>
 //	  replay-cache <n>         negative disables replay protection
+//	  auth-cache <slots>       authenticated-challenge cache size (default
+//	                           2048; rounded to a power of two)
 //	  clock-skew <duration>
 //	  window <duration>        per-pipeline behavior-tracker window (default:
 //	                           the registry's shared tracker)
@@ -766,7 +788,7 @@ func parseDeploymentText(src string) (*DeploymentSpec, error) {
 			}
 			d.Routes = append(d.Routes, r)
 		case "scorer", "policy", "source", "puzzle", "ttl", "max-difficulty",
-			"bypass-below", "fail-closed", "replay-cache", "clock-skew", "window",
+			"bypass-below", "fail-closed", "replay-cache", "auth-cache", "clock-skew", "window",
 			"when", "default", "adapt", "redeem", "evidence-buffer", "cluster", "observe":
 			if cur == nil {
 				return nil, fmt.Errorf("control: spec line %d: %q outside a pipeline block", lineNo+1, stmt)
@@ -872,7 +894,7 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 			p.TrackerWindow = Duration(v)
 		}
 		return nil
-	case "max-difficulty", "replay-cache":
+	case "max-difficulty", "replay-cache", "auth-cache":
 		if len(args) != 1 {
 			return fmt.Errorf("want '%s <n>'", stmt)
 		}
@@ -880,10 +902,13 @@ func (p *PipelineSpec) applyStatement(stmt string, args []string, line string, r
 		if err != nil {
 			return fmt.Errorf("%s: %w", stmt, err)
 		}
-		if stmt == "max-difficulty" {
+		switch stmt {
+		case "max-difficulty":
 			p.MaxDifficulty = n
-		} else {
+		case "replay-cache":
 			p.ReplayCache = n
+		default:
+			p.AuthCacheSlots = n
 		}
 		return nil
 	case "bypass-below", "fail-closed":
@@ -947,9 +972,9 @@ func parseRedeem(arg string) (*RedeemSpec, error) {
 
 // parseCluster parses the cluster statement's group list: zero or more
 // parenthesized groups — peers(<url>, …), exchange(<duration>),
-// filter(bits=<n>, hashes=<n>) — in any order. A bare `cluster` line
-// enables the plane with every default (no peers: the node only serves
-// its own frame endpoint until peers pull from it).
+// filter(bits=<n>, hashes=<n>), delta(every=<k>) — in any order. A bare
+// `cluster` line enables the plane with every default (no peers: the
+// node only serves its own frame endpoint until peers pull from it).
 func parseCluster(arg string) (*ClusterSpec, error) {
 	cs := &ClusterSpec{}
 	rest := strings.TrimSpace(arg)
@@ -998,8 +1023,25 @@ func parseCluster(arg string) (*ClusterSpec, error) {
 					return nil, fmt.Errorf("cluster filter: unknown parameter %q (want bits, hashes)", k)
 				}
 			}
+		case "delta":
+			for _, tok := range strings.FieldsFunc(body, func(r rune) bool { return r == ',' || r == ' ' }) {
+				k, v, ok := strings.Cut(tok, "=")
+				if !ok || v == "" {
+					return nil, fmt.Errorf("cluster delta: want k=v, got %q", tok)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fmt.Errorf("cluster delta %s: %w", k, err)
+				}
+				switch k {
+				case "every":
+					cs.DeltaEvery = n
+				default:
+					return nil, fmt.Errorf("cluster delta: unknown parameter %q (want every)", k)
+				}
+			}
 		default:
-			return nil, fmt.Errorf("cluster: unknown group %q (want peers, exchange, filter)", name)
+			return nil, fmt.Errorf("cluster: unknown group %q (want peers, exchange, filter, delta)", name)
 		}
 	}
 	return cs, nil

@@ -19,6 +19,7 @@ pipeline api
   bypass-below 1.5
   fail-closed 9
   replay-cache 1024
+  auth-cache 8192
   clock-skew 3s
 
 pipeline static
@@ -48,7 +49,8 @@ func TestParseDeploymentText(t *testing.T) {
 		t.Fatalf("api components = %q/%q/%q", api.Scorer, api.Policy, api.Source)
 	}
 	if time.Duration(api.TTL) != 45*time.Second || api.MaxDifficulty != 18 ||
-		api.ReplayCache != 1024 || time.Duration(api.ClockSkew) != 3*time.Second {
+		api.ReplayCache != 1024 || api.AuthCacheSlots != 8192 ||
+		time.Duration(api.ClockSkew) != 3*time.Second {
 		t.Fatalf("api limits = %+v", api)
 	}
 	if api.BypassBelow == nil || *api.BypassBelow != 1.5 {
@@ -144,6 +146,7 @@ func TestSwappableEqual(t *testing.T) {
 		func(p *PipelineSpec) { p.TTL = Duration(time.Minute) },
 		func(p *PipelineSpec) { p.MaxDifficulty = 9 },
 		func(p *PipelineSpec) { p.ReplayCache = 7 },
+		func(p *PipelineSpec) { p.AuthCacheSlots = 4096 },
 		func(p *PipelineSpec) { p.ClockSkew = Duration(time.Minute) },
 	} {
 		q := base

@@ -238,6 +238,7 @@ type config struct {
 	ttl         time.Duration
 	maxDiff     int
 	replaySize  int
+	authSlots   int
 	hooks       []Hook
 	failClosed  float64
 	bypassBelow float64
@@ -293,6 +294,14 @@ func WithMaxDifficulty(d int) Option { return func(c *config) { c.maxDiff = d } 
 // WithReplayCacheSize bounds the single-use seed cache (default 1<<16).
 // Zero disables replay protection entirely — only sensible in benchmarks.
 func WithReplayCacheSize(n int) Option { return func(c *config) { c.replaySize = n } }
+
+// WithAuthCacheSlots sizes the issuer/verifier authenticated-challenge
+// cache (default 2048 slots; rounded up to a power of two and clamped to
+// [64, 1<<22]). Size toward ≥ 10× the expected number of challenges
+// outstanding (issued but not yet redeemed) at any instant — a slot
+// collision before redemption only costs the redeeming request the full
+// HMAC recomputation, never correctness. Zero keeps the default.
+func WithAuthCacheSlots(n int) Option { return func(c *config) { c.authSlots = n } }
 
 // WithHook registers a decision observer. Hooks run synchronously on the
 // Decide path and must be fast.
@@ -445,6 +454,9 @@ func New(opts ...Option) (*Framework, error) {
 	// of recomputing the HMAC. Misses fall back to the full check, so the
 	// cache changes verification cost, never outcomes.
 	authCache := puzzle.NewAuthCache()
+	if cfg.authSlots > 0 {
+		authCache = puzzle.NewAuthCacheSize(cfg.authSlots)
+	}
 	issuerOpts := []puzzle.IssuerOption{
 		puzzle.WithIssuerNow(cfg.now),
 		puzzle.WithTTL(cfg.ttl),

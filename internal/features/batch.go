@@ -74,11 +74,8 @@ func (t *Tracker) ObserveBatch(reqs []RequestInfo) error {
 	t.groupByShard(g, len(reqs), func(i int) string { return reqs[i].IP })
 	t.eachShardRun(g, func(sh *trackerShard, i int32) {
 		req := &reqs[i]
-		e, err := t.entryLocked(sh, req.IP)
-		if err != nil {
-			return
-		}
-		t.observeLocked(e, req.Path, req.At, req.Failed)
+		idx := t.entryLocked(sh, req.IP)
+		t.observeLocked(sh, idx, req.Path, req.At, req.Failed)
 	})
 	return nil
 }
@@ -98,15 +95,12 @@ func (t *Tracker) RecordVerifyBatch(ips []string, difficulties []int, oks []bool
 		if ips[i] == "" {
 			return
 		}
-		e, err := t.entryLocked(sh, ips[i])
-		if err != nil {
-			return
-		}
+		idx := t.entryLocked(sh, ips[i])
 		d := 0
 		if oks[i] {
 			d = difficulties[i]
 		}
-		t.recordVerifyLocked(e, d, oks[i], at)
+		t.recordVerifyLocked(sh, idx, d, oks[i], at)
 	})
 }
 
@@ -143,11 +137,11 @@ func (t *Tracker) AttributesVectorBatch(dst []float64, stride int, schema *Schem
 	t.groupByShard(g, len(ips), func(i int) string { return ips[i] })
 	t.eachShardRun(g, func(sh *trackerShard, i int32) {
 		masks[i] |= l.mask
-		e, ok := sh.entries[ips[i]]
+		idx, ok := sh.index[ips[i]]
 		if !ok {
 			return // unknown IP: all-zero behavior, coverage still granted
 		}
-		s := t.summarizeLocked(e, now)
+		s := t.summarizeLocked(&sh.slots[idx], now)
 		row := dst[int(i)*stride:]
 		for a, j := range l.idx {
 			if j >= 0 {

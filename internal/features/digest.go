@@ -83,17 +83,12 @@ func (t *Tracker) ExportEvidence(dst []EvidenceRow, maxRows int) []EvidenceRow {
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
-		for _, e := range sh.entries {
+		for _, idx := range sh.index {
+			e := &sh.slots[idx]
 			if e.total == 0 && e.solveCredit == 0 {
 				continue
 			}
-			dst = append(dst, EvidenceRow{
-				IP:          e.ip,
-				Total:       e.total,
-				Failed:      e.totalFailed,
-				SolveCredit: e.solveCredit,
-				CreditAt:    e.creditAt,
-			})
+			dst = appendEvidenceRow(dst, e)
 		}
 		sh.mu.Unlock()
 	}
@@ -103,6 +98,71 @@ func (t *Tracker) ExportEvidence(dst []EvidenceRow, maxRows int) []EvidenceRow {
 		dst = dst[:start+maxRows]
 	}
 	return dst
+}
+
+// appendEvidenceRow appends e's evidence digest to dst. Callers hold the
+// owning shard's lock.
+func appendEvidenceRow(dst []EvidenceRow, e *entrySlot) []EvidenceRow {
+	return append(dst, EvidenceRow{
+		IP:          e.ip,
+		Total:       e.total,
+		Failed:      e.totalFailed,
+		SolveCredit: e.solveCredit,
+		CreditAt:    nsTime(e.creditAtNS),
+	})
+}
+
+// ExportEvidenceSince is the delta form of ExportEvidence: it appends only
+// the rows whose exported evidence changed after the since watermark, and
+// returns the extended slice, the new watermark (pass it as since on the
+// next call), and whether the export actually was a delta.
+//
+// The watermark contract: every evidence change numbered at or below the
+// returned watermark is either in the returned rows or was in the rows of
+// the earlier export that handed out since. That holds because the
+// watermark is loaded *before* any shard lock is taken, while change
+// sequences are allocated and stamped *under* the shard lock — a change
+// numbered ≤ watermark therefore completed its stamp before this scan
+// acquired the lock, and is visible to it.
+//
+// The call degrades to a full export (delta=false, same row semantics as
+// ExportEvidence, including the maxRows truncation) when since is zero, when
+// any shard's dirty log has forgotten changes the caller has not seen yet
+// (log overflow under churn), or when the delta itself would exceed maxRows
+// — so a consumer never silently misses rows. Evicted entries simply stop
+// being exported in either mode; the monotone CRDT state peers already
+// merged stands.
+func (t *Tracker) ExportEvidenceSince(dst []EvidenceRow, maxRows int, since uint64) ([]EvidenceRow, uint64, bool) {
+	watermark := t.deltaSeq.Load()
+	if since == 0 {
+		return t.ExportEvidence(dst, maxRows), watermark, false
+	}
+	start := len(dst)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		if since < sh.dirtyLost {
+			sh.mu.Unlock()
+			return t.ExportEvidence(dst[:start], maxRows), watermark, false
+		}
+		for _, idx := range sh.dirty {
+			if idx == noSlot {
+				continue // tombstone: the entry was evicted
+			}
+			e := &sh.slots[idx]
+			if e.expSeq <= since || (e.total == 0 && e.solveCredit == 0) {
+				continue
+			}
+			dst = appendEvidenceRow(dst, e)
+		}
+		sh.mu.Unlock()
+		if maxRows > 0 && len(dst)-start > maxRows {
+			return t.ExportEvidence(dst[:start], maxRows), watermark, false
+		}
+	}
+	rows := dst[start:]
+	sort.Slice(rows, func(i, j int) bool { return rows[i].IP < rows[j].IP })
+	return dst, watermark, true
 }
 
 // MergeEvidence folds peer-reported evidence rows into the tracker's
@@ -121,24 +181,23 @@ func (t *Tracker) MergeEvidence(rows []EvidenceRow) {
 		}
 		sh := t.shard(r.IP)
 		sh.mu.Lock()
-		e, err := t.entryLocked(sh, r.IP)
-		if err != nil {
-			sh.mu.Unlock()
-			continue // unreachable: window config was validated at construction
-		}
+		idx := t.entryLocked(sh, r.IP)
+		e := &sh.slots[idx]
+		creditAt := nsTime(e.creditAtNS)
 		merged := MergeRows(EvidenceRow{
 			Total:       e.total,
 			Failed:      e.totalFailed,
 			SolveCredit: e.solveCredit,
-			CreditAt:    e.creditAt,
+			CreditAt:    creditAt,
 		}, *r, t.halfLife)
 		if merged.Total != e.total || merged.Failed != e.totalFailed ||
-			merged.SolveCredit != e.solveCredit || !merged.CreditAt.Equal(e.creditAt) {
+			merged.SolveCredit != e.solveCredit || !merged.CreditAt.Equal(creditAt) {
+			seq := t.markDirtyLocked(sh, idx)
 			e.total = merged.Total
 			e.totalFailed = merged.Failed
 			e.solveCredit = merged.SolveCredit
-			e.creditAt = merged.CreditAt
-			e.evGen++
+			e.creditAtNS = timeNS(merged.CreditAt)
+			e.evGen = seq
 		}
 		sh.mu.Unlock()
 	}

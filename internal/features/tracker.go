@@ -1,11 +1,11 @@
 package features
 
 import (
-	"container/list"
 	cryptorand "crypto/rand"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,18 +84,44 @@ type RequestInfo struct {
 	Failed bool
 }
 
+// Slab-layout capacity constants. Per-IP state lives in fixed-size records
+// inside per-shard backing arrays (no per-entry heap objects beyond the IP
+// string itself), which fixes both sizes at compile time.
+const (
+	// maxSlotBuckets is the inline ring capacity of the two sliding
+	// windows in a slot, and therefore the largest bucket count a Tracker
+	// accepts (WithWindow). It equals the default bucket count.
+	maxSlotBuckets = 12
+
+	// inlinePaths is the open-addressed per-path table inlined in a slot.
+	// An IP's first inlinePaths distinct paths are tracked inline; further
+	// distinct paths (up to maxPaths) spill to a small per-entry slice —
+	// rare in practice, since most clients touch a handful of endpoints.
+	inlinePaths = 4
+
+	// noSlot is the nil slab index (freelist end, empty LRU list).
+	noSlot = ^uint32(0)
+)
+
 // Tracker maintains bounded per-IP behavioral state and summarizes it as
 // attributes for the scorer. Memory is bounded two ways: at most capacity
 // IPs (LRU-evicted) and at most maxPaths distinct paths tracked per IP.
 //
 // State is lock-striped across a power-of-two number of shards, each with
-// its own mutex, entries map, and LRU list; an IP's shard is chosen by
+// its own mutex, index map, and slab arena; an IP's shard is chosen by
 // FNV-1a hash, so concurrent Observe/Attributes calls for different
 // clients do not serialize on one lock. The capacity bound is exact:
 // capacity is distributed across the shards (per-shard quotas differ by at
 // most one entry) and each shard LRU-evicts beyond its own quota, so the
 // total never exceeds capacity — though eviction order is per-shard LRU,
 // not global.
+//
+// Entries are fixed-size records (entrySlot) in a per-shard []entrySlot
+// slab addressed by uint32 index: the two ring windows are inline arrays,
+// the LRU is intrusive prev/next indices, and evicted slots recycle
+// through a freelist. The only per-entry heap allocation is the IP string
+// (shared with the index map key), which is what keeps a million tracked
+// clients at ~1 GC-visible object each instead of ~11.
 //
 // Tracker is safe for concurrent use.
 type Tracker struct {
@@ -109,10 +135,20 @@ type Tracker struct {
 	capacity  int
 	span      time.Duration
 	buckets   int
+	bucketNS  int64 // span/buckets in nanoseconds (window epoch unit)
 	maxPaths  int
 	shardsOpt int
 	halfLife  time.Duration // solve-credit decay half-life
 	staleness time.Duration // summary cache tolerance (0 = always fresh)
+
+	// deltaSeq is the tracker-global change sequence behind delta evidence
+	// export: every exported-field mutation (request counters, solve
+	// credit) takes the next value under its shard lock and stamps it on
+	// the entry, so ExportEvidenceSince can hand consumers a watermark
+	// that is safe against concurrent writers (a change numbered at or
+	// below a loaded watermark is already visible to a scan that takes the
+	// shard locks afterward).
+	deltaSeq atomic.Uint64
 
 	// wb is the per-shard write-back buffer plane (one buffer per lock
 	// stripe, same index as shards), used by the *Buffered record paths.
@@ -142,11 +178,24 @@ const maxTrackerLayouts = 16
 // trackerShard is one lock stripe, padded so neighboring shards' mutexes
 // do not share a cache line under contention.
 type trackerShard struct {
-	mu      sync.Mutex
-	entries map[string]*ipEntry
-	lru     *list.List // front = most recently used
-	cap     int        // this shard's share of the tracker capacity
-	_       [32]byte
+	mu               sync.Mutex
+	index            map[string]uint32 // IP → slab index
+	slots            []entrySlot       // slab arena, grows by doubling up to cap
+	free             uint32            // freelist head (chained via lruNext), noSlot = empty
+	lruHead, lruTail uint32            // intrusive LRU: head = most recently used
+	cap              int               // this shard's share of the tracker capacity
+	evictions        uint64            // lifetime LRU evictions (occupancy gauge)
+
+	// dirty is the shard's delta-export log: the slab indices whose
+	// exported evidence fields changed, deduplicated via entrySlot.dirtyPos
+	// (each live slot appears at most once; evicted slots leave a noSlot
+	// tombstone). When the log would exceed dirtyLimit it is cleared and
+	// dirtyLost records the last sequence whose dirt was forgotten —
+	// consumers whose watermark predates it must take a full export.
+	dirty      []uint32
+	dirtyLimit int
+	dirtyLost  uint64
+	_          [32]byte
 }
 
 // trackerLayout maps the tracker's behavioral attributes onto one schema's
@@ -158,15 +207,49 @@ type trackerLayout struct {
 	mask   uint64
 }
 
-// ipEntry is the tracked state for one client IP.
-type ipEntry struct {
-	ip           string
-	lruElem      *list.Element
-	requests     *Window
-	failures     *Window
-	paths        map[string]uint64 // per-path hit counts, capped at maxPaths keys
-	overflowHits uint64            // hits on paths beyond the cap, pooled
-	lastSeen     time.Time
+// pathSpillEnt is one spilled per-path counter (beyond the inline table).
+type pathSpillEnt struct {
+	hash uint64
+	hits uint64
+}
+
+// entrySlot is the tracked state for one client IP, laid out as one
+// fixed-size slab record. Window counts are float32 — the tracker only
+// ever adds 1 per request, and float32 holds integers exactly below 2^24,
+// far beyond any per-bucket request count — and every timestamp is an
+// int64 unix-nanosecond (0 = unset), so the record holds no pointers
+// except the IP string and the rare path-spill slice.
+type entrySlot struct {
+	ip string
+
+	// Intrusive LRU links (slab indices). lruNext doubles as the freelist
+	// chain while the slot is free.
+	lruPrev, lruNext uint32
+
+	// Sliding windows, inlined: requests and failures share the epoch
+	// scheme of Window but live in fixed arrays sized maxSlotBuckets (the
+	// tracker's bucket count uses a prefix of them).
+	reqCounts  [maxSlotBuckets]float32
+	failCounts [maxSlotBuckets]float32
+	reqStamps  [maxSlotBuckets]int64
+	failStamps [maxSlotBuckets]int64
+
+	// Per-path hit counts keyed by 64-bit FNV-1a path hash: the first
+	// inlinePaths distinct paths inline (hits==0 marks a vacant cell; a
+	// tracked path always has at least one hit), later distinct paths in
+	// the insertion-ordered spill slice. Hashing merges colliding paths
+	// into one counter — at ≤ maxPaths (default 64) distinct paths per IP
+	// the 64-bit collision odds are ~1e-16, far below any behavioral
+	// signal. overflowHits pools hits beyond the maxPaths cap.
+	pathHash     [inlinePaths]uint64
+	pathHits     [inlinePaths]uint64
+	pathSpill    []pathSpillEnt
+	pathCount    int32 // distinct paths tracked (inline + spill)
+	seen         bool  // at least one Observe folded in (gates the EWMA gap)
+	sumValid     bool
+	overflowHits uint64
+
+	lastSeenNS   int64
 	interArrival float64 // EWMA, milliseconds
 	total        uint64
 	totalFailed  uint64
@@ -175,22 +258,49 @@ type ipEntry struct {
 	// solved difficulties, the decay reference time, and the consecutive
 	// failed-verification streak.
 	solveCredit float64
-	creditAt    time.Time
+	creditAtNS  int64
 	failStreak  uint64
+
+	// evGen is the entry's evidence generation: the tracker-global delta
+	// sequence stamped by every applied verification outcome (and every
+	// evidence merge that changed state). It is monotone per entry, so the
+	// summary cache uses it unchanged for invalidation; observations alone
+	// do not bump it — that is exactly the tolerated staleness.
+	evGen uint64
+
+	// expSeq is the delta sequence of the last change to any exported
+	// evidence field (total, totalFailed, solveCredit, creditAt) — unlike
+	// evGen it advances on observations too, since lifetime counters are
+	// gossiped. dirtyPos is this slot's position+1 in the shard dirty log
+	// (0 = not logged).
+	expSeq   uint64
+	dirtyPos int32
 
 	// Summary cache (WithSummaryStaleness): the last computed behavior
 	// summary, the time it was computed, and the evidence generation it
 	// reflects. A summarize call may serve the cached value while it is
 	// younger than the tracker's staleness bound and no verification
-	// evidence has landed since (evGen unchanged) — observations alone do
-	// not invalidate, that is exactly the tolerated staleness. evGen is
-	// bumped by every applied verification outcome so redemption-relevant
-	// changes are visible immediately.
-	evGen    uint64
-	sumGen   uint64
-	sumAt    time.Time
-	sumValid bool
-	sum      behaviorSummary
+	// evidence has landed since (evGen unchanged).
+	sumGen  uint64
+	sumAtNS int64
+	sum     behaviorSummary
+}
+
+// timeNS converts a timestamp to the slab representation: unix
+// nanoseconds, with the zero time mapping to 0 (unset).
+func timeNS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// nsTime is the inverse of timeNS.
+func nsTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // TrackerOption customizes a Tracker.
@@ -202,7 +312,8 @@ func WithCapacity(n int) TrackerOption {
 }
 
 // WithWindow sets the sliding-window span and bucket count used for rates
-// (default 60 s across 12 buckets).
+// (default 60 s across 12 buckets; at most maxSlotBuckets buckets — the
+// rings are inlined in the slab record at compile-time size).
 func WithWindow(span time.Duration, buckets int) TrackerOption {
 	return func(t *Tracker) { t.span, t.buckets = span, buckets }
 }
@@ -258,6 +369,9 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	if t.span <= 0 || t.buckets < 1 {
 		return nil, fmt.Errorf("features: invalid window %v/%d", t.span, t.buckets)
 	}
+	if t.buckets > maxSlotBuckets {
+		return nil, fmt.Errorf("features: window buckets %d exceeds the inline ring capacity %d", t.buckets, maxSlotBuckets)
+	}
 	if t.halfLife <= 0 {
 		return nil, fmt.Errorf("features: evidence half-life must be positive, got %v", t.halfLife)
 	}
@@ -270,6 +384,7 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	if t.staleness < 0 {
 		return nil, fmt.Errorf("features: summary staleness must be non-negative, got %v", t.staleness)
 	}
+	t.bucketNS = int64(t.span / time.Duration(t.buckets))
 	shards := t.shardsOpt
 	if shards == 0 {
 		shards = defaultShardCount(t.capacity)
@@ -295,11 +410,24 @@ func NewTracker(opts ...TrackerOption) (*Tracker, error) {
 	// one extra entry, so quotas sum to capacity for any configuration.
 	base, extra := t.capacity/shards, t.capacity%shards
 	for i := range t.shards {
-		t.shards[i].entries = make(map[string]*ipEntry)
-		t.shards[i].lru = list.New()
-		t.shards[i].cap = base
+		sh := &t.shards[i]
+		sh.index = make(map[string]uint32)
+		sh.free = noSlot
+		sh.lruHead, sh.lruTail = noSlot, noSlot
+		sh.cap = base
 		if i < extra {
-			t.shards[i].cap++
+			sh.cap++
+		}
+		// Bound the dirty log well below the quota: at steady state delta
+		// consumers drain dirt every exchange interval, so the log tracks
+		// the churn of one interval, not the shard population. Overflow
+		// falls back to a full export, never loses data.
+		sh.dirtyLimit = sh.cap
+		if sh.dirtyLimit > 1024 {
+			sh.dirtyLimit = 1024
+		}
+		if sh.dirtyLimit < 16 {
+			sh.dirtyLimit = 16
 		}
 	}
 	t.wb = make([]wbShard, shards)
@@ -345,6 +473,20 @@ func (t *Tracker) shardIdx(ip string) uint32 {
 	return h & t.shardMask
 }
 
+// pathHash64 is the unseeded 64-bit FNV-1a the inline path table keys on.
+func pathHash64(path string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= prime64
+	}
+	return h
+}
+
 // shard picks the lock stripe for ip.
 func (t *Tracker) shard(ip string) *trackerShard {
 	return &t.shards[t.shardIdx(ip)]
@@ -372,19 +514,97 @@ func (t *Tracker) Observe(req RequestInfo) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
-	e, err := t.entryLocked(sh, req.IP)
-	if err != nil {
-		return err
-	}
-	t.observeLocked(e, req.Path, req.At, req.Failed)
+	idx := t.entryLocked(sh, req.IP)
+	t.observeLocked(sh, idx, req.Path, req.At, req.Failed)
 	return nil
 }
 
-// observeLocked folds one request into an entry. Callers hold the entry's
+// winAdd records one hit in an inline window ring: n is the live bucket
+// count (a prefix of the fixed arrays), bucketNS the epoch unit.
+func winAdd(counts *[maxSlotBuckets]float32, stamps *[maxSlotBuckets]int64, n int, bucketNS, atNS int64) {
+	e := atNS / bucketNS
+	slot := int(((e % int64(n)) + int64(n)) % int64(n))
+	if stamps[slot] != e {
+		counts[slot] = 0
+		stamps[slot] = e
+	}
+	counts[slot]++
+}
+
+// winSum totals the inline ring's buckets inside the window ending at
+// nowNS, mirroring Window.Sum.
+func winSum(counts *[maxSlotBuckets]float32, stamps *[maxSlotBuckets]int64, n int, bucketNS, nowNS int64) float64 {
+	newest := nowNS / bucketNS
+	oldest := newest - int64(n) + 1
+	var total float64
+	for i := 0; i < n; i++ {
+		if e := stamps[i]; e >= oldest && e <= newest {
+			total += float64(counts[i])
+		}
+	}
+	return total
+}
+
+// markDirtyLocked stamps the next tracker-global delta sequence on the
+// slot's exported-state generation and records it in the shard's dirty
+// log. The sequence is allocated under the shard lock — that ordering is
+// what makes ExportEvidenceSince's watermark sound (see deltaSeq). Returns
+// the allocated sequence so evidence paths can reuse it for evGen.
+func (t *Tracker) markDirtyLocked(sh *trackerShard, idx uint32) uint64 {
+	seq := t.deltaSeq.Add(1)
+	s := &sh.slots[idx]
+	s.expSeq = seq
+	if s.dirtyPos == 0 {
+		if len(sh.dirty) >= sh.dirtyLimit {
+			sh.compactDirtyLocked()
+		}
+		sh.dirty = append(sh.dirty, idx)
+		s.dirtyPos = int32(len(sh.dirty))
+	}
+	return seq
+}
+
+// compactDirtyLocked shrinks a full dirty log: eviction tombstones go
+// first, and if that is not enough the stalest half (smallest expSeq) is
+// forgotten, advancing dirtyLost to the newest forgotten sequence so only
+// consumers further behind than that lose their delta path. Data is never
+// lost — such consumers fall back to a full export. Callers hold sh.mu.
+func (sh *trackerShard) compactDirtyLocked() {
+	live := sh.dirty[:0]
+	for _, di := range sh.dirty {
+		if di != noSlot {
+			live = append(live, di)
+		}
+	}
+	sh.dirty = live
+	if len(sh.dirty) >= sh.dirtyLimit {
+		sort.Slice(sh.dirty, func(i, j int) bool {
+			return sh.slots[sh.dirty[i]].expSeq < sh.slots[sh.dirty[j]].expSeq
+		})
+		drop := len(sh.dirty) / 2
+		for _, di := range sh.dirty[:drop] {
+			s := &sh.slots[di]
+			if s.expSeq > sh.dirtyLost {
+				sh.dirtyLost = s.expSeq
+			}
+			s.dirtyPos = 0
+		}
+		copy(sh.dirty, sh.dirty[drop:])
+		sh.dirty = sh.dirty[:len(sh.dirty)-drop]
+	}
+	for pos, di := range sh.dirty {
+		sh.slots[di].dirtyPos = int32(pos + 1)
+	}
+}
+
+// observeLocked folds one request into the slot at idx. Callers hold the
 // shard lock.
-func (t *Tracker) observeLocked(e *ipEntry, path string, at time.Time, failed bool) {
-	if !e.lastSeen.IsZero() {
-		gapMS := float64(at.Sub(e.lastSeen)) / float64(time.Millisecond)
+func (t *Tracker) observeLocked(sh *trackerShard, idx uint32, path string, at time.Time, failed bool) {
+	atNS := at.UnixNano()
+	t.markDirtyLocked(sh, idx) // total (and maybe totalFailed) change below
+	e := &sh.slots[idx]
+	if e.seen {
+		gapMS := float64(atNS-e.lastSeenNS) / float64(time.Millisecond)
 		if gapMS < 0 {
 			gapMS = 0
 		}
@@ -395,48 +615,132 @@ func (t *Tracker) observeLocked(e *ipEntry, path string, at time.Time, failed bo
 			e.interArrival = alpha*gapMS + (1-alpha)*e.interArrival
 		}
 	}
-	e.lastSeen = at
+	e.seen = true
+	e.lastSeenNS = atNS
 	e.total++
-	e.requests.Add(at, 1)
+	winAdd(&e.reqCounts, &e.reqStamps, t.buckets, t.bucketNS, atNS)
 	if failed {
-		e.failures.Add(at, 1)
+		winAdd(&e.failCounts, &e.failStamps, t.buckets, t.bucketNS, atNS)
 		e.totalFailed++
 	}
-	if _, known := e.paths[path]; known || len(e.paths) < t.maxPaths {
-		e.paths[path]++
-	} else {
+	t.pathHitLocked(e, path)
+}
+
+// pathHitLocked counts one hit on path: known paths increment, new paths
+// enter the inline table (or the spill slice) until maxPaths distinct
+// paths are tracked, and hits beyond the cap pool into overflowHits.
+func (t *Tracker) pathHitLocked(e *entrySlot, path string) {
+	h := pathHash64(path)
+	for i := 0; i < inlinePaths; i++ {
+		if e.pathHits[i] != 0 && e.pathHash[i] == h {
+			e.pathHits[i]++
+			return
+		}
+	}
+	for i := range e.pathSpill {
+		if e.pathSpill[i].hash == h {
+			e.pathSpill[i].hits++
+			return
+		}
+	}
+	if int(e.pathCount) >= t.maxPaths {
 		e.overflowHits++
+		return
+	}
+	e.pathCount++
+	for i := 0; i < inlinePaths; i++ {
+		if e.pathHits[i] == 0 {
+			e.pathHash[i], e.pathHits[i] = h, 1
+			return
+		}
+	}
+	e.pathSpill = append(e.pathSpill, pathSpillEnt{hash: h, hits: 1})
+}
+
+// entryLocked returns the slab index of the shard's entry for ip, creating
+// (and, at the shard quota, LRU-evicting) as needed, and refreshes its LRU
+// position. Callers hold sh.mu. Slot pointers are invalidated by slab
+// growth, so callers re-derive &sh.slots[idx] after any entryLocked call.
+func (t *Tracker) entryLocked(sh *trackerShard, ip string) uint32 {
+	if idx, ok := sh.index[ip]; ok {
+		sh.moveToFrontLocked(idx)
+		return idx
+	}
+	if len(sh.index) >= sh.cap {
+		sh.evictLocked()
+	}
+	idx := sh.allocSlotLocked()
+	s := &sh.slots[idx]
+	s.ip = ip
+	sh.index[ip] = idx
+	sh.pushFrontLocked(idx)
+	return idx
+}
+
+// allocSlotLocked hands out a free slab slot: freelist first, then arena
+// growth (doubling, capped at the shard quota so the slab never
+// over-allocates past the memory bound).
+func (sh *trackerShard) allocSlotLocked() uint32 {
+	if sh.free != noSlot {
+		idx := sh.free
+		sh.free = sh.slots[idx].lruNext
+		sh.slots[idx].lruNext = noSlot
+		return idx
+	}
+	if len(sh.slots) == cap(sh.slots) {
+		newCap := cap(sh.slots) * 2
+		if newCap == 0 {
+			newCap = 8
+		}
+		if newCap > sh.cap {
+			newCap = sh.cap
+		}
+		if newCap < len(sh.slots)+1 {
+			newCap = len(sh.slots) + 1
+		}
+		grown := make([]entrySlot, len(sh.slots), newCap)
+		copy(grown, sh.slots)
+		sh.slots = grown
+	}
+	sh.slots = append(sh.slots, entrySlot{})
+	return uint32(len(sh.slots) - 1)
+}
+
+// pushFrontLocked links idx at the LRU front (most recently used).
+func (sh *trackerShard) pushFrontLocked(idx uint32) {
+	s := &sh.slots[idx]
+	s.lruPrev = noSlot
+	s.lruNext = sh.lruHead
+	if sh.lruHead != noSlot {
+		sh.slots[sh.lruHead].lruPrev = idx
+	} else {
+		sh.lruTail = idx
+	}
+	sh.lruHead = idx
+}
+
+// unlinkLocked removes idx from the LRU list.
+func (sh *trackerShard) unlinkLocked(idx uint32) {
+	s := &sh.slots[idx]
+	if s.lruPrev != noSlot {
+		sh.slots[s.lruPrev].lruNext = s.lruNext
+	} else {
+		sh.lruHead = s.lruNext
+	}
+	if s.lruNext != noSlot {
+		sh.slots[s.lruNext].lruPrev = s.lruPrev
+	} else {
+		sh.lruTail = s.lruPrev
 	}
 }
 
-// entryLocked returns the shard's entry for ip, creating (and, beyond the
-// shard quota, LRU-evicting) as needed, and refreshes its LRU position.
-// Callers hold sh.mu.
-func (t *Tracker) entryLocked(sh *trackerShard, ip string) (*ipEntry, error) {
-	if e, ok := sh.entries[ip]; ok {
-		sh.lru.MoveToFront(e.lruElem)
-		return e, nil
+// moveToFrontLocked refreshes idx's LRU position.
+func (sh *trackerShard) moveToFrontLocked(idx uint32) {
+	if sh.lruHead == idx {
+		return
 	}
-	reqW, err := NewWindow(t.span, t.buckets)
-	if err != nil {
-		return nil, err
-	}
-	failW, err := NewWindow(t.span, t.buckets)
-	if err != nil {
-		return nil, err
-	}
-	e := &ipEntry{
-		ip:       ip,
-		requests: reqW,
-		failures: failW,
-		paths:    make(map[string]uint64, 8),
-	}
-	e.lruElem = sh.lru.PushFront(e)
-	sh.entries[ip] = e
-	for len(sh.entries) > sh.cap {
-		sh.evictLocked()
-	}
-	return e, nil
+	sh.unlinkLocked(idx)
+	sh.pushFrontLocked(idx)
 }
 
 // RecordVerify folds one verification outcome into the IP's evidence
@@ -453,36 +757,42 @@ func (t *Tracker) RecordVerify(ip string, difficulty int, ok bool, at time.Time)
 	sh := t.shard(ip)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, err := t.entryLocked(sh, ip)
-	if err != nil {
-		return // unreachable: window config was validated at construction
-	}
-	t.recordVerifyLocked(e, difficulty, ok, at)
+	idx := t.entryLocked(sh, ip)
+	t.recordVerifyLocked(sh, idx, difficulty, ok, at)
 }
 
-// recordVerifyLocked folds one verification outcome into an entry and bumps
-// its evidence generation (invalidating any cached summary — redemption
-// changes are visible immediately). Callers hold the entry's shard lock.
-func (t *Tracker) recordVerifyLocked(e *ipEntry, difficulty int, ok bool, at time.Time) {
-	e.solveCredit = decayCredit(e.solveCredit, e.creditAt, at, t.halfLife)
-	e.creditAt = at
+// recordVerifyLocked folds one verification outcome into the slot at idx
+// and bumps its evidence generation (invalidating any cached summary —
+// redemption changes are visible immediately). Callers hold the shard
+// lock.
+func (t *Tracker) recordVerifyLocked(sh *trackerShard, idx uint32, difficulty int, ok bool, at time.Time) {
+	seq := t.markDirtyLocked(sh, idx) // credit and its reference time change
+	e := &sh.slots[idx]
+	e.solveCredit = decayCreditNS(e.solveCredit, e.creditAtNS, timeNS(at), t.halfLife)
+	e.creditAtNS = timeNS(at)
 	if ok {
 		e.solveCredit += float64(difficulty)
 		e.failStreak = 0
 	} else {
 		e.failStreak++
 	}
-	e.evGen++
+	e.evGen = seq
 }
 
 // decayCredit applies the exponential half-life decay from the credit's
 // reference time to now. Non-monotonic clocks decay nothing rather than
 // inflating credit.
 func decayCredit(credit float64, from, now time.Time, halfLife time.Duration) float64 {
-	if credit == 0 || from.IsZero() {
+	return decayCreditNS(credit, timeNS(from), timeNS(now), halfLife)
+}
+
+// decayCreditNS is decayCredit over slab timestamps (unix nanos, 0 =
+// unset).
+func decayCreditNS(credit float64, fromNS, nowNS int64, halfLife time.Duration) float64 {
+	if credit == 0 || fromNS == 0 {
 		return credit
 	}
-	dt := now.Sub(from)
+	dt := nowNS - fromNS
 	if dt <= 0 {
 		return credit
 	}
@@ -500,41 +810,42 @@ func (t *Tracker) summarize(ip string, now time.Time) (behaviorSummary, bool) {
 	sh := t.shard(ip)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	e, ok := sh.entries[ip]
+	idx, ok := sh.index[ip]
 	if !ok {
 		return s, false
 	}
-	return t.summarizeLocked(e, now), true
+	return t.summarizeLocked(&sh.slots[idx], now), true
 }
 
 // summarizeLocked computes (or, within the staleness bound, serves the
-// cached) behavior summary for an entry. Callers hold the entry's shard
-// lock. A cache hit requires an unchanged evidence generation and an age in
-// [0, staleness]; negative ages (a clock stepping backwards) recompute, the
-// conservative choice.
-func (t *Tracker) summarizeLocked(e *ipEntry, now time.Time) behaviorSummary {
+// cached) behavior summary for a slot. Callers hold the shard lock. A
+// cache hit requires an unchanged evidence generation and an age in
+// [0, staleness]; negative ages (a clock stepping backwards) recompute,
+// the conservative choice.
+func (t *Tracker) summarizeLocked(e *entrySlot, now time.Time) behaviorSummary {
+	nowNS := now.UnixNano()
 	if t.staleness > 0 && e.sumValid && e.sumGen == e.evGen {
-		if age := now.Sub(e.sumAt); age >= 0 && age <= t.staleness {
+		if age := nowNS - e.sumAtNS; age >= 0 && age <= int64(t.staleness) {
 			return e.sum
 		}
 	}
 	var s behaviorSummary
-	reqs := e.requests.Sum(now)
-	s[0] = e.requests.Rate(now)
+	reqs := winSum(&e.reqCounts, &e.reqStamps, t.buckets, t.bucketNS, nowNS)
+	s[0] = reqs / t.span.Seconds()
 	if reqs > 0 {
-		s[1] = e.failures.Sum(now) / reqs
+		s[1] = winSum(&e.failCounts, &e.failStamps, t.buckets, t.bucketNS, nowNS) / reqs
 	}
-	s[2] = float64(len(e.paths))
+	s[2] = float64(e.pathCount)
 	s[3] = e.pathEntropy()
 	s[4] = e.interArrival
 	s[5] = float64(e.total)
-	s[6] = decayCredit(e.solveCredit, e.creditAt, now, t.halfLife)
+	s[6] = decayCreditNS(e.solveCredit, e.creditAtNS, nowNS, t.halfLife)
 	s[7] = float64(e.failStreak)
 	if e.total > 0 {
 		s[8] = float64(e.totalFailed) / float64(e.total)
 	}
 	if t.staleness > 0 {
-		e.sum, e.sumAt, e.sumGen, e.sumValid = s, now, e.evGen, true
+		e.sum, e.sumAtNS, e.sumGen, e.sumValid = s, nowNS, e.evGen, true
 	}
 	return s
 }
@@ -618,11 +929,16 @@ func (t *Tracker) layoutFor(schema *Schema) *trackerLayout {
 // pathEntropy is the Shannon entropy (bits) of the per-path hit
 // distribution: near 0 for single-endpoint hammering, high for crawlers
 // spraying across many paths. Overflow hits pool into one pseudo-path, so
-// the cap cannot be abused to zero the signal.
-func (e *ipEntry) pathEntropy() float64 {
+// the cap cannot be abused to zero the signal. Accumulation runs in fixed
+// order (inline table, spill slice, overflow), so the value is
+// deterministic for a given event trace.
+func (e *entrySlot) pathEntropy() float64 {
 	total := e.overflowHits
-	for _, n := range e.paths {
-		total += n
+	for i := 0; i < inlinePaths; i++ {
+		total += e.pathHits[i]
+	}
+	for i := range e.pathSpill {
+		total += e.pathSpill[i].hits
 	}
 	if total == 0 {
 		return 0
@@ -635,8 +951,11 @@ func (e *ipEntry) pathEntropy() float64 {
 		p := float64(n) / float64(total)
 		h -= p * math.Log2(p)
 	}
-	for _, n := range e.paths {
-		acc(n)
+	for i := 0; i < inlinePaths; i++ {
+		acc(e.pathHits[i])
+	}
+	for i := range e.pathSpill {
+		acc(e.pathSpill[i].hits)
 	}
 	acc(e.overflowHits)
 	return h
@@ -648,19 +967,71 @@ func (t *Tracker) Tracked() int {
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.mu.Lock()
-		total += len(sh.entries)
+		total += len(sh.index)
 		sh.mu.Unlock()
 	}
 	return total
 }
 
-// evictLocked drops the shard's least-recently-used IP.
+// TrackerStats is a point-in-time occupancy snapshot: how full the
+// tracker is, how much slab the shards have actually committed, and how
+// much LRU churn it has absorbed.
+type TrackerStats struct {
+	// Entries is the number of IPs currently tracked.
+	Entries int
+
+	// Capacity is the configured tracked-IP bound.
+	Capacity int
+
+	// Slots is the total slab slots allocated across shards (high-water
+	// occupancy; slots are recycled, never returned to the allocator).
+	Slots int
+
+	// Evictions counts lifetime LRU evictions across shards.
+	Evictions uint64
+}
+
+// Utilization reports live entries per allocated slab slot in [0, 1]
+// (1 when nothing has been allocated yet).
+func (s TrackerStats) Utilization() float64 {
+	if s.Slots == 0 {
+		return 1
+	}
+	return float64(s.Entries) / float64(s.Slots)
+}
+
+// StatsSnapshot sums the occupancy gauges across shards.
+func (t *Tracker) StatsSnapshot() TrackerStats {
+	st := TrackerStats{Capacity: t.capacity}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.index)
+		st.Slots += len(sh.slots)
+		st.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// evictLocked drops the shard's least-recently-used IP and recycles its
+// slot through the freelist. Callers hold sh.mu.
 func (sh *trackerShard) evictLocked() {
-	back := sh.lru.Back()
-	if back == nil {
+	idx := sh.lruTail
+	if idx == noSlot {
 		return
 	}
-	e := back.Value.(*ipEntry)
-	sh.lru.Remove(back)
-	delete(sh.entries, e.ip)
+	sh.unlinkLocked(idx)
+	s := &sh.slots[idx]
+	delete(sh.index, s.ip)
+	if s.dirtyPos > 0 {
+		// Tombstone the dirty-log cell: the row is gone, and full exports
+		// would not include it either, so delta consumers just stop
+		// hearing about it (the CRDT state they already merged stands).
+		sh.dirty[s.dirtyPos-1] = noSlot
+	}
+	*s = entrySlot{} // clear state and drop the ip string / spill slice
+	s.lruNext = sh.free
+	sh.free = idx
+	sh.evictions++
 }

@@ -75,27 +75,27 @@ func (t *Tracker) applyWB(i uint32, evs []wbEvent) {
 	sh := &t.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	var e *ipEntry
+	// The slab index (not a slot pointer — slab growth moves slots) is
+	// reused only across *consecutive* same-IP events: an interleaved
+	// entryLocked for another IP could evict the cached entry and recycle
+	// its slot, but then the IP comparison forces a fresh lookup.
+	idx := noSlot
 	lastIP := ""
 	for k := range evs {
 		ev := &evs[k]
-		if e == nil || ev.ip != lastIP {
-			var err error
-			e, err = t.entryLocked(sh, ev.ip)
-			if err != nil {
-				continue // unreachable: window config validated at construction
-			}
+		if idx == noSlot || ev.ip != lastIP {
+			idx = t.entryLocked(sh, ev.ip)
 			lastIP = ev.ip
 		}
 		switch ev.kind {
 		case wbObserve:
-			t.observeLocked(e, ev.path, ev.at, false)
+			t.observeLocked(sh, idx, ev.path, ev.at, false)
 		case wbObserveFailed:
-			t.observeLocked(e, ev.path, ev.at, true)
+			t.observeLocked(sh, idx, ev.path, ev.at, true)
 		case wbVerifyOK:
-			t.recordVerifyLocked(e, int(ev.difficulty), true, ev.at)
+			t.recordVerifyLocked(sh, idx, int(ev.difficulty), true, ev.at)
 		case wbVerifyFail:
-			t.recordVerifyLocked(e, 0, false, ev.at)
+			t.recordVerifyLocked(sh, idx, 0, false, ev.at)
 		}
 	}
 }

@@ -30,14 +30,22 @@ import (
 // held only for a bounded copy or compare.
 type AuthCache struct {
 	slots []authSlot
+	mask  uint32 // len(slots)-1; len is always a power of two
 }
 
 const (
-	// authCacheSlots is the fixed slot count (power of two). At ~200 B per
-	// slot the whole cache stays under half a megabyte while giving an
+	// authCacheSlots is the default slot count (power of two). At ~200 B
+	// per slot the whole cache stays under half a megabyte while giving an
 	// issued challenge a 1/2048 chance per subsequent issuance of losing
-	// its slot before redemption.
+	// its slot before redemption. Deployments expecting more concurrent
+	// outstanding challenges size up via NewAuthCacheSize.
 	authCacheSlots = 2048
+
+	// authCacheMinSlots / authCacheMaxSlots clamp NewAuthCacheSize.
+	// The ceiling (4M slots, ~800 MB) is a guard against a mistyped spec,
+	// not a recommendation.
+	authCacheMinSlots = 64
+	authCacheMaxSlots = 1 << 22
 
 	// authCacheMaxCanonical bounds the inline canonical buffer. It covers
 	// every binding up to 99 bytes (an IPv6 literal is at most 45);
@@ -52,22 +60,49 @@ type authSlot struct {
 	buf [authCacheMaxCanonical]byte
 }
 
-// NewAuthCache returns an empty cache ready to be shared between an Issuer
-// (via WithIssuerAuthCache) and a Verifier (via WithVerifierAuthCache).
+// NewAuthCache returns an empty cache with the default slot count, ready
+// to be shared between an Issuer (via WithIssuerAuthCache) and a Verifier
+// (via WithVerifierAuthCache).
 func NewAuthCache() *AuthCache {
-	return &AuthCache{slots: make([]authSlot, authCacheSlots)}
+	return NewAuthCacheSize(authCacheSlots)
+}
+
+// NewAuthCacheSize returns an empty cache with at least slots slots,
+// rounded up to the next power of two and clamped to [64, 1<<22].
+// Sizing rule of thumb: the hit rate for a redeemed challenge is about
+// 1 - outstanding/slots, where outstanding is the number of challenges
+// issued but not yet redeemed at any instant — pick slots ≥ 10× the
+// expected outstanding count. A miss is never an error; it only costs
+// the full HMAC recomputation.
+func NewAuthCacheSize(slots int) *AuthCache {
+	if slots < authCacheMinSlots {
+		slots = authCacheMinSlots
+	}
+	if slots > authCacheMaxSlots {
+		slots = authCacheMaxSlots
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &AuthCache{slots: make([]authSlot, n), mask: uint32(n - 1)}
 }
 
 // slotFor maps a (seed, backend) pair to its slot. Seed bytes are
-// uniform, so two of them index the table directly; the backend ID is
-// mixed in so the cache is keyed by backend identity as well — entries
-// from different puzzle backends can never alias onto one another's
-// slots, on top of the canonical bytes (which embed the backend for
-// Version2) already making a cross-backend byte match impossible.
+// uniform, so four of them index the table directly (covering every
+// legal size up to the 4M-slot ceiling); the backend ID is mixed in so
+// the cache is keyed by backend identity as well — entries from
+// different puzzle backends can never alias onto one another's slots, on
+// top of the canonical bytes (which embed the backend for Version2)
+// already making a cross-backend byte match impossible.
 func (c *AuthCache) slotFor(seed *[SeedSize]byte, backend BackendID) *authSlot {
-	idx := (uint32(seed[0]) | uint32(seed[1])<<8 ^ uint32(backend)*0x9E37) & (authCacheSlots - 1)
+	w := uint32(seed[0]) | uint32(seed[1])<<8 | uint32(seed[2])<<16 | uint32(seed[3])<<24
+	idx := (w ^ uint32(backend)*0x9E37) & c.mask
 	return &c.slots[idx]
 }
+
+// Slots reports the cache's slot count (a power of two).
+func (c *AuthCache) Slots() int { return len(c.slots) }
 
 // store records an authenticated (canonical, tag) pair. The caller attests
 // authenticity: the issuer calls it with tags it just computed, the

@@ -172,3 +172,61 @@ func TestAuthCacheLongBindingSkipped(t *testing.T) {
 		t.Fatalf("Verify with oversized canonical: %v", err)
 	}
 }
+
+// TestAuthCacheSize pins NewAuthCacheSize's sizing contract: rounding up
+// to a power of two, clamping at both ends, and the default constructor's
+// equivalence to the default size.
+func TestAuthCacheSize(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, authCacheMinSlots},       // below the floor clamps up
+		{-5, authCacheMinSlots},      // negative too
+		{64, 64},                     // exact power of two kept
+		{65, 128},                    // rounded up, not down
+		{3000, 4096},                 // typical size-up
+		{1 << 23, authCacheMaxSlots}, // ceiling clamp
+	} {
+		if got := NewAuthCacheSize(tc.in).Slots(); got != tc.want {
+			t.Errorf("NewAuthCacheSize(%d).Slots() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := NewAuthCache().Slots(); got != authCacheSlots {
+		t.Errorf("NewAuthCache().Slots() = %d, want %d", got, authCacheSlots)
+	}
+}
+
+// TestAuthCacheLargeIndexSpread pins the 4-seed-byte slot index: with more
+// than 64Ki slots, entries must spread beyond the 2^16 slots two seed
+// bytes could address, and a sized-up cache still hits on its entries.
+func TestAuthCacheLargeIndexSpread(t *testing.T) {
+	cache := NewAuthCacheSize(1 << 18)
+	key := []byte("0123456789abcdef0123456789abcdef")
+	iss, err := NewIssuer(key, WithIssuerAuthCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make(map[uint32]bool)
+	for i := 0; i < 512; i++ {
+		ch, err := iss.Issue("203.0.113.9", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cache.match(ch.appendCanonical(nil), &ch.Tag, &ch.Seed, ch.Backend) {
+			t.Fatalf("issue %d missing from sized-up cache", i)
+		}
+		w := uint32(ch.Seed[0]) | uint32(ch.Seed[1])<<8 | uint32(ch.Seed[2])<<16 | uint32(ch.Seed[3])<<24
+		used[(w^uint32(ch.Backend)*0x9E37)&cache.mask] = true
+	}
+	// 512 crypto/rand seeds across 2^18 slots collide rarely; any use of
+	// only the low 16 bits would still pass here, so check the high bits
+	// actually participate: some index must exceed 2^16-1.
+	high := false
+	for idx := range used {
+		if idx > 0xFFFF {
+			high = true
+			break
+		}
+	}
+	if !high {
+		t.Error("no slot index above 2^16 — high seed bytes not mixed into the index")
+	}
+}

@@ -441,9 +441,10 @@ func (eng *engine) buildNodes() error {
 			// Retain through the full redemption window — TTL plus skew on
 			// both ends — so the fleet filter never lets a tag go before
 			// the challenge's own freshness check takes over.
-			Retain: d.TTL + 2*2*time.Second,
-			Now:    eng.clock.Now,
-			Events: node.eventSink(origin, true),
+			Retain:     d.TTL + 2*2*time.Second,
+			DeltaEvery: sc.Cluster.DeltaEvery,
+			Now:        eng.clock.Now,
+			Events:     node.eventSink(origin, true),
 		})
 		if err != nil {
 			return fmt.Errorf("sim: scenario %q cluster node %d: %w", sc.Name, i, err)

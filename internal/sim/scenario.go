@@ -338,6 +338,13 @@ type ClusterSim struct {
 	// FilterBits overrides the replay filter's per-bucket Bloom size
 	// (power of two; default cluster.DefaultFilterBits).
 	FilterBits int
+
+	// DeltaEvery enables delta evidence gossip between the fleet's
+	// nodes: K ≥ 1 pulls only changed rows, with a full anti-entropy
+	// pull every Kth exchange (cluster.Config.DeltaEvery). Zero keeps
+	// every pull full-frame. Either way the converged state — and hence
+	// the report — is identical; only the rows shipped differ.
+	DeltaEvery int
 }
 
 // validate rejects inconsistent fleet configurations.
@@ -353,6 +360,9 @@ func (c ClusterSim) validate() error {
 	}
 	if c.FilterBits < 0 || (c.FilterBits > 0 && c.FilterBits&(c.FilterBits-1) != 0) {
 		return fmt.Errorf("sim: cluster filter bits %d not a power of two", c.FilterBits)
+	}
+	if c.DeltaEvery < 0 {
+		return fmt.Errorf("sim: cluster has negative delta interval %d", c.DeltaEvery)
 	}
 	return nil
 }
